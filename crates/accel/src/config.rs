@@ -1,0 +1,156 @@
+//! E-PUR configuration parameters (Table 2 of the paper).
+
+/// Configuration of the fuzzy memoization unit added to each computation
+/// unit (bottom half of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoizationUnitConfig {
+    /// Width of the binary dot-product unit in bits (Table 2: 2048).
+    pub bdpu_width_bits: usize,
+    /// Latency of a binary-network evaluation plus comparison, in cycles
+    /// (Table 2: 5).
+    pub latency_cycles: u64,
+    /// Width of the integer/fixed-point datapath in bytes (Table 2: 2).
+    pub integer_width_bytes: usize,
+    /// Capacity of the memoization buffer in bytes (Table 2: 8 KiB).
+    pub memo_buffer_bytes: usize,
+}
+
+impl Default for MemoizationUnitConfig {
+    fn default() -> Self {
+        MemoizationUnitConfig {
+            bdpu_width_bits: 2048,
+            latency_cycles: 5,
+            integer_width_bytes: 2,
+            memo_buffer_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// Configuration of the E-PUR accelerator (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpurConfig {
+    /// Process node in nanometres (Table 2: 28 nm).  Only documented; the
+    /// energy model is calibrated for this node.
+    pub technology_nm: u32,
+    /// Clock frequency in hertz (Table 2: 500 MHz).
+    pub frequency_hz: f64,
+    /// On-chip memory for intermediate results, in bytes (Table 2: 6 MiB).
+    pub intermediate_memory_bytes: usize,
+    /// Weight buffer per computation unit, in bytes (Table 2: 2 MiB).
+    pub weight_buffer_bytes: usize,
+    /// Input buffer per computation unit, in bytes (Table 2: 8 KiB).
+    pub input_buffer_bytes: usize,
+    /// Number of FP16 multiply-accumulate lanes in the dot-product unit
+    /// (Table 2: 16 operations).
+    pub dpu_width: usize,
+    /// Number of computation units; E-PUR dedicates one per LSTM gate.
+    pub computation_units: usize,
+    /// Bytes per weight / activation operand (FP16 = 2).
+    pub operand_bytes: usize,
+    /// Main memory capacity in bytes (Section 4: 4 GB LPDDR4).
+    pub dram_bytes: usize,
+    /// Fuzzy memoization unit parameters.
+    pub memoization: MemoizationUnitConfig,
+}
+
+impl Default for EpurConfig {
+    fn default() -> Self {
+        EpurConfig {
+            technology_nm: 28,
+            frequency_hz: 500e6,
+            intermediate_memory_bytes: 6 * 1024 * 1024,
+            weight_buffer_bytes: 2 * 1024 * 1024,
+            input_buffer_bytes: 8 * 1024,
+            dpu_width: 16,
+            computation_units: 4,
+            operand_bytes: 2,
+            dram_bytes: 4 * 1024 * 1024 * 1024usize,
+            memoization: MemoizationUnitConfig::default(),
+        }
+    }
+}
+
+impl EpurConfig {
+    /// Cycle time in seconds.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+
+    /// Total weight-buffer capacity across all computation units.
+    pub fn total_weight_buffer_bytes(&self) -> usize {
+        self.weight_buffer_bytes * self.computation_units
+    }
+
+    /// Validates that the configuration is self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frequency_hz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.dpu_width == 0 {
+            return Err("DPU width must be positive".into());
+        }
+        if self.computation_units == 0 {
+            return Err("at least one computation unit is required".into());
+        }
+        if self.operand_bytes == 0 {
+            return Err("operand width must be positive".into());
+        }
+        if self.memoization.latency_cycles == 0 {
+            return Err("memoization latency must be at least one cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = EpurConfig::default();
+        assert_eq!(c.technology_nm, 28);
+        assert_eq!(c.frequency_hz, 500e6);
+        assert_eq!(c.intermediate_memory_bytes, 6 * 1024 * 1024);
+        assert_eq!(c.weight_buffer_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.input_buffer_bytes, 8 * 1024);
+        assert_eq!(c.dpu_width, 16);
+        assert_eq!(c.computation_units, 4);
+        assert_eq!(c.memoization.bdpu_width_bits, 2048);
+        assert_eq!(c.memoization.latency_cycles, 5);
+        assert_eq!(c.memoization.integer_width_bytes, 2);
+        assert_eq!(c.memoization.memo_buffer_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn cycle_time_is_two_nanoseconds_at_500mhz() {
+        let c = EpurConfig::default();
+        assert!((c.cycle_seconds() - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn totals_and_validation() {
+        let c = EpurConfig::default();
+        assert_eq!(c.total_weight_buffer_bytes(), 8 * 1024 * 1024);
+        assert!(c.validate().is_ok());
+        let mut bad = c;
+        bad.dpu_width = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = c;
+        bad.frequency_hz = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = c;
+        bad.memoization.latency_cycles = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = c;
+        bad.computation_units = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = c;
+        bad.operand_bytes = 0;
+        assert!(bad.validate().is_err());
+    }
+}

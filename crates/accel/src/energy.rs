@@ -1,0 +1,188 @@
+//! Analytical energy model of E-PUR and E-PUR+BM.
+//!
+//! The paper obtains component energies from Synopsys Design Compiler
+//! (logic), CACTI (on-chip memories) and Micron's LPDDR4 model (DRAM).
+//! This module substitutes calibrated per-event energies for the same
+//! components (see `DESIGN.md`): the absolute numbers are representative
+//! of a 28 nm node, and the *ratios* reproduce the paper's observations —
+//! weight fetching dominates (≈80% of accelerator energy, Section 3.1),
+//! the FMU adds a negligible overhead, and main-memory energy is
+//! unaffected by memoization.
+
+/// Per-event energies in picojoules and static power in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one FP16 multiply-accumulate in the DPU.
+    pub mac_pj: f64,
+    /// Energy per byte read from a weight buffer (2 MiB SRAM).
+    pub weight_read_pj_per_byte: f64,
+    /// Energy per byte read from an input buffer (8 KiB SRAM).
+    pub input_read_pj_per_byte: f64,
+    /// Energy per byte moved to/from the intermediate-results memory.
+    pub intermediate_pj_per_byte: f64,
+    /// Energy of the multi-functional unit finishing one neuron
+    /// (bias, peephole, activation).
+    pub mu_op_pj: f64,
+    /// Energy per bit of a binary dot product in the BDPU (XNOR + adder
+    /// tree).
+    pub bdpu_pj_per_bit: f64,
+    /// Energy per bit read from the sign buffer.
+    pub sign_read_pj_per_bit: f64,
+    /// Energy of one memoization-buffer access plus the fixed-point
+    /// comparison in the CMP unit.
+    pub memo_access_pj: f64,
+    /// Energy per byte transferred from LPDDR4 main memory.
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage) power of the baseline accelerator, in watts.
+    pub baseline_static_w: f64,
+    /// Additional static power of the memoization hardware, in watts.
+    pub fmu_static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mac_pj: 0.9,
+            weight_read_pj_per_byte: 2.6,
+            input_read_pj_per_byte: 0.4,
+            intermediate_pj_per_byte: 1.2,
+            mu_op_pj: 1.8,
+            bdpu_pj_per_bit: 0.025,
+            sign_read_pj_per_bit: 0.05,
+            memo_access_pj: 3.0,
+            dram_pj_per_byte: 40.0,
+            baseline_static_w: 0.08,
+            fmu_static_w: 0.003,
+        }
+    }
+}
+
+/// Energy consumed by one simulated run, broken down into the four
+/// categories of Figure 18.  All values are joules and include each
+/// component's share of static energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Scratch-pad memories: weight buffers, input buffers and the
+    /// intermediate-results memory.
+    pub scratchpad_j: f64,
+    /// Pipeline operations: DPU multiply-accumulates and MU scalar work.
+    pub operations_j: f64,
+    /// LPDDR4 main-memory traffic (weights are streamed once per input
+    /// sequence).
+    pub dram_j: f64,
+    /// The fuzzy memoization unit: sign-buffer reads, binary dot
+    /// products, comparisons and memoization-buffer accesses.
+    pub fmu_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.scratchpad_j + self.operations_j + self.dram_j + self.fmu_j
+    }
+
+    /// Fractional share of each category, in the Figure 18 order
+    /// `(scratchpad, operations, dram, fmu)`.  Returns zeros for an empty
+    /// breakdown.
+    pub fn shares(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.scratchpad_j / t,
+            self.operations_j / t,
+            self.dram_j / t,
+            self.fmu_j / t,
+        )
+    }
+
+    /// Energy saved relative to `baseline`, as a fraction of the baseline
+    /// total (the y-axis of Figure 17).
+    pub fn savings_over(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total() / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_positive_everywhere() {
+        let m = EnergyModel::default();
+        for v in [
+            m.mac_pj,
+            m.weight_read_pj_per_byte,
+            m.input_read_pj_per_byte,
+            m.intermediate_pj_per_byte,
+            m.mu_op_pj,
+            m.bdpu_pj_per_bit,
+            m.sign_read_pj_per_bit,
+            m.memo_access_pj,
+            m.dram_pj_per_byte,
+            m.baseline_static_w,
+            m.fmu_static_w,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn weight_fetch_dominates_compute_per_weight() {
+        // Section 3.1: fetching weights accounts for up to 80% of energy.
+        // Per weight the model charges 2 bytes of weight-buffer read vs one
+        // MAC; the ratio must make memory clearly dominant.
+        let m = EnergyModel::default();
+        let per_weight_memory = 2.0 * m.weight_read_pj_per_byte;
+        assert!(per_weight_memory > 3.0 * m.mac_pj);
+    }
+
+    #[test]
+    fn bnn_is_orders_of_magnitude_cheaper_than_fp() {
+        let m = EnergyModel::default();
+        // Per connection: FP = MAC + 2B weight read; BNN = 1 bit XNOR + 1 bit sign read.
+        let fp = m.mac_pj + 2.0 * m.weight_read_pj_per_byte;
+        let bnn = m.bdpu_pj_per_bit + m.sign_read_pj_per_bit;
+        assert!(fp / bnn > 20.0, "FP {fp} pJ vs BNN {bnn} pJ");
+    }
+
+    #[test]
+    fn breakdown_totals_and_shares() {
+        let b = EnergyBreakdown {
+            scratchpad_j: 6.0,
+            operations_j: 2.0,
+            dram_j: 1.0,
+            fmu_j: 1.0,
+        };
+        assert_eq!(b.total(), 10.0);
+        let (s, o, d, f) = b.shares();
+        assert!((s - 0.6).abs() < 1e-12);
+        assert!((o - 0.2).abs() < 1e-12);
+        assert!((d - 0.1).abs() < 1e-12);
+        assert!((f - 0.1).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().shares(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn savings_relative_to_baseline() {
+        let baseline = EnergyBreakdown {
+            scratchpad_j: 8.0,
+            operations_j: 2.0,
+            dram_j: 0.0,
+            fmu_j: 0.0,
+        };
+        let improved = EnergyBreakdown {
+            scratchpad_j: 6.0,
+            operations_j: 1.5,
+            dram_j: 0.0,
+            fmu_j: 0.5,
+        };
+        assert!((improved.savings_over(&baseline) - 0.2).abs() < 1e-12);
+        assert_eq!(improved.savings_over(&EnergyBreakdown::default()), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # nfm-accel
+//!
+//! A simulator of **E-PUR**, the energy-efficient processing unit for
+//! recurrent neural networks the paper builds on, together with the
+//! modifications required by the fuzzy memoization scheme (E-PUR+BM).
+//!
+//! The simulator follows the paper's evaluation methodology (Section 4):
+//! a cycle-accurate timing model of the computation units plus analytical
+//! energy models for the pipeline components, on-chip memories and
+//! LPDDR4 main memory (standing in for the Synopsys/CACTI/Micron models
+//! the authors used — see `DESIGN.md` for the substitution note).  It
+//! reports, per workload:
+//!
+//! * execution cycles and wall-clock time (Figure 19's speedups),
+//! * an energy breakdown by scratch-pad memories, pipeline operations,
+//!   main memory and the fuzzy memoization unit (Figure 18),
+//! * total energy and savings versus the baseline (Figure 17),
+//! * an area estimate with the memoization overhead (Section 5's
+//!   64.6 mm² vs 66.8 mm²).
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_accel::{EpurConfig, EpurSimulator, NetworkShape};
+//! use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
+//! use nfm_tensor::rng::DeterministicRng;
+//!
+//! let mut rng = DeterministicRng::seed_from_u64(1);
+//! let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 128, 256), &mut rng).unwrap();
+//! let shape = NetworkShape::from_network(&net);
+//! let sim = EpurSimulator::new(EpurConfig::default());
+//! let baseline = sim.simulate_baseline(&shape, 100);
+//! let memoized = sim.simulate_memoized(&shape, 100, 0.30);
+//! assert!(memoized.speedup_over(&baseline) > 1.0);
+//! assert!(memoized.total_energy_joules() < baseline.total_energy_joules());
+//! ```
+
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod report;
+pub mod shape;
+pub mod simulator;
+pub mod timing;
+
+pub use area::AreaModel;
+pub use config::{EpurConfig, MemoizationUnitConfig};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use report::{ComparisonReport, SimReport};
+pub use shape::{LayerShape, NetworkShape};
+pub use simulator::EpurSimulator;
+pub use timing::TimingModel;

@@ -1,0 +1,131 @@
+//! Simulation reports and baseline comparisons.
+
+use crate::energy::EnergyBreakdown;
+
+/// The outcome of simulating one workload on one accelerator
+/// configuration (baseline E-PUR or E-PUR+BM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Human-readable label ("E-PUR" / "E-PUR+BM").
+    pub label: String,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Wall-clock execution time in seconds at the configured frequency.
+    pub seconds: f64,
+    /// Energy breakdown (dynamic + static) by component group.
+    pub energy: EnergyBreakdown,
+    /// Fraction of neuron evaluations served from the memoization buffer
+    /// (0 for the baseline).
+    pub reuse_fraction: f64,
+    /// Total timesteps simulated.
+    pub timesteps: u64,
+}
+
+impl SimReport {
+    /// Total energy in joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Average power in watts over the simulated execution.
+    pub fn average_power_watts(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_joules() / self.seconds
+        }
+    }
+
+    /// Speedup of this report relative to `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Energy savings relative to `baseline`, as a fraction of the
+    /// baseline energy (>0 means this report uses less energy).
+    pub fn energy_savings_over(&self, baseline: &SimReport) -> f64 {
+        self.energy.savings_over(&baseline.energy)
+    }
+}
+
+/// A convenience pairing of a baseline and a memoized report for the same
+/// workload, as used by Figures 17–19.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// The unmodified accelerator.
+    pub baseline: SimReport,
+    /// The accelerator with fuzzy memoization.
+    pub memoized: SimReport,
+}
+
+impl ComparisonReport {
+    /// Speedup of E-PUR+BM over E-PUR (Figure 19).
+    pub fn speedup(&self) -> f64 {
+        self.memoized.speedup_over(&self.baseline)
+    }
+
+    /// Energy savings of E-PUR+BM over E-PUR as a fraction (Figure 17).
+    pub fn energy_savings(&self) -> f64 {
+        self.memoized.energy_savings_over(&self.baseline)
+    }
+
+    /// Computation reuse achieved by the memoized run.
+    pub fn reuse_fraction(&self) -> f64 {
+        self.memoized.reuse_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(label: &str, cycles: u64, energy: f64, reuse: f64) -> SimReport {
+        SimReport {
+            label: label.to_string(),
+            cycles,
+            seconds: cycles as f64 * 2e-9,
+            energy: EnergyBreakdown {
+                scratchpad_j: energy * 0.6,
+                operations_j: energy * 0.2,
+                dram_j: energy * 0.15,
+                fmu_j: energy * 0.05,
+            },
+            reuse_fraction: reuse,
+            timesteps: 100,
+        }
+    }
+
+    #[test]
+    fn totals_and_power() {
+        let r = report("E-PUR", 1_000_000, 2.0, 0.0);
+        assert!((r.total_energy_joules() - 2.0).abs() < 1e-9);
+        assert!(r.average_power_watts() > 0.0);
+        let zero = report("x", 0, 1.0, 0.0);
+        assert_eq!(zero.average_power_watts(), 0.0);
+    }
+
+    #[test]
+    fn speedup_and_savings() {
+        let base = report("E-PUR", 1_000_000, 2.0, 0.0);
+        let memo = report("E-PUR+BM", 750_000, 1.6, 0.3);
+        assert!((memo.speedup_over(&base) - 4.0 / 3.0).abs() < 1e-9);
+        assert!((memo.energy_savings_over(&base) - 0.2).abs() < 1e-9);
+        let cmp = ComparisonReport {
+            baseline: base,
+            memoized: memo,
+        };
+        assert!(cmp.speedup() > 1.3);
+        assert!((cmp.energy_savings() - 0.2).abs() < 1e-9);
+        assert_eq!(cmp.reuse_fraction(), 0.3);
+    }
+
+    #[test]
+    fn zero_cycle_report_has_zero_speedup() {
+        let base = report("E-PUR", 100, 1.0, 0.0);
+        let broken = report("E-PUR+BM", 0, 1.0, 0.0);
+        assert_eq!(broken.speedup_over(&base), 0.0);
+    }
+}

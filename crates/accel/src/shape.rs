@@ -1,0 +1,148 @@
+//! Static structural description of a network, as the simulator sees it.
+
+use nfm_rnn::DeepRnn;
+
+/// The shape of one recurrent layer: everything the timing/energy models
+/// need to know about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Neurons per gate (per direction).
+    pub neurons: usize,
+    /// Width of the forward input `x_t`.
+    pub input_size: usize,
+    /// Width of the recurrent input `h_{t-1}`.
+    pub hidden_size: usize,
+    /// Gates per cell (4 for LSTM, 3 for GRU).
+    pub gates: usize,
+    /// Directions (1 unidirectional, 2 bidirectional).
+    pub directions: usize,
+}
+
+impl LayerShape {
+    /// Connections per neuron (forward + recurrent weights).
+    pub fn connections_per_neuron(&self) -> usize {
+        self.input_size + self.hidden_size
+    }
+
+    /// Neuron evaluations per timestep for this layer (all gates, all
+    /// directions).
+    pub fn neurons_per_step(&self) -> usize {
+        self.neurons * self.gates * self.directions
+    }
+
+    /// Total weights in this layer.
+    pub fn weight_count(&self) -> usize {
+        self.neurons_per_step() * self.connections_per_neuron()
+    }
+}
+
+/// The shape of a whole network plus the number of neurons the
+/// memoization hardware must track.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkShape {
+    layers: Vec<LayerShape>,
+}
+
+impl NetworkShape {
+    /// Builds a shape from explicit layer descriptions.
+    pub fn new(layers: Vec<LayerShape>) -> Self {
+        NetworkShape { layers }
+    }
+
+    /// Extracts the shape of an `nfm-rnn` network.
+    pub fn from_network(network: &DeepRnn) -> Self {
+        let layers = network
+            .layers()
+            .iter()
+            .map(|layer| {
+                let cell = layer.forward_cell();
+                LayerShape {
+                    neurons: cell.hidden_size(),
+                    input_size: cell.input_size(),
+                    hidden_size: cell.hidden_size(),
+                    gates: cell.gate_kinds().len(),
+                    directions: if layer.is_bidirectional() { 2 } else { 1 },
+                }
+            })
+            .collect();
+        NetworkShape { layers }
+    }
+
+    /// The per-layer shapes.
+    pub fn layers(&self) -> &[LayerShape] {
+        &self.layers
+    }
+
+    /// Neuron evaluations per timestep across all layers.
+    pub fn neurons_per_step(&self) -> usize {
+        self.layers.iter().map(LayerShape::neurons_per_step).sum()
+    }
+
+    /// Total recurrent weights in the network.
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(LayerShape::weight_count).sum()
+    }
+
+    /// Total bytes of FP weights, given the operand width.
+    pub fn weight_bytes(&self, operand_bytes: usize) -> usize {
+        self.weight_count() * operand_bytes
+    }
+
+    /// Total sign bits required by the binary mirror (one per weight).
+    pub fn sign_bits(&self) -> usize {
+        self.weight_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnnConfig, Direction};
+    use nfm_tensor::rng::DeterministicRng;
+
+    #[test]
+    fn layer_shape_arithmetic() {
+        let l = LayerShape {
+            neurons: 320,
+            input_size: 40,
+            hidden_size: 320,
+            gates: 4,
+            directions: 2,
+        };
+        assert_eq!(l.connections_per_neuron(), 360);
+        assert_eq!(l.neurons_per_step(), 320 * 4 * 2);
+        assert_eq!(l.weight_count(), 320 * 4 * 2 * 360);
+    }
+
+    #[test]
+    fn from_network_matches_network_counters() {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 10, 16)
+            .layers(3)
+            .direction(Direction::Bidirectional);
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let shape = NetworkShape::from_network(&net);
+        assert_eq!(shape.layers().len(), 3);
+        assert_eq!(shape.neurons_per_step(), net.neuron_evaluations_per_step());
+        assert_eq!(shape.weight_count(), net.weight_count());
+        assert_eq!(shape.sign_bits(), net.weight_count());
+        assert_eq!(shape.weight_bytes(2), net.weight_count() * 2);
+    }
+
+    #[test]
+    fn gru_network_has_three_gates_per_cell() {
+        let cfg = DeepRnnConfig::new(CellKind::Gru, 8, 8).layers(2);
+        let mut rng = DeterministicRng::seed_from_u64(2);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let shape = NetworkShape::from_network(&net);
+        assert!(shape.layers().iter().all(|l| l.gates == 3));
+        assert!(shape.layers().iter().all(|l| l.directions == 1));
+    }
+
+    #[test]
+    fn empty_shape_is_all_zero() {
+        let s = NetworkShape::default();
+        assert_eq!(s.neurons_per_step(), 0);
+        assert_eq!(s.weight_count(), 0);
+    }
+}

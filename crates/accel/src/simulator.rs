@@ -1,0 +1,345 @@
+//! The E-PUR / E-PUR+BM simulator proper.
+
+use crate::area::AreaModel;
+use crate::config::EpurConfig;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::report::{ComparisonReport, SimReport};
+use crate::shape::NetworkShape;
+use crate::timing::TimingModel;
+
+/// Simulates RNN inference on E-PUR (optionally extended with the fuzzy
+/// memoization unit) and reports cycles, energy and area.
+///
+/// The simulator is driven by the *structure* of the network
+/// ([`NetworkShape`]), the number of timesteps/sequences processed and
+/// the computation-reuse fraction achieved by the memoization scheme
+/// (measured by `nfm-core`'s [`ReuseStats`](nfm_core::ReuseStats) on the
+/// functional model).  This mirrors the paper's methodology, where the
+/// functional accuracy/reuse evaluation (TensorFlow) and the
+/// timing/energy evaluation (the in-house simulator) are separate stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpurSimulator {
+    config: EpurConfig,
+    energy: EnergyModel,
+    timing: TimingModel,
+    area: AreaModel,
+}
+
+impl EpurSimulator {
+    /// Creates a simulator with the default energy and area models.
+    pub fn new(config: EpurConfig) -> Self {
+        EpurSimulator {
+            timing: TimingModel::new(config),
+            energy: EnergyModel::default(),
+            area: AreaModel::default(),
+            config,
+        }
+    }
+
+    /// Creates a simulator with an explicit energy model (used by the
+    /// sensitivity/ablation benches).
+    pub fn with_energy_model(config: EpurConfig, energy: EnergyModel) -> Self {
+        EpurSimulator {
+            timing: TimingModel::new(config),
+            energy,
+            area: AreaModel::default(),
+            config,
+        }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &EpurConfig {
+        &self.config
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The timing model in use.
+    pub fn timing_model(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The area model in use.
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area
+    }
+
+    /// Simulates the baseline accelerator on one sequence of `timesteps`
+    /// elements.
+    pub fn simulate_baseline(&self, shape: &NetworkShape, timesteps: u64) -> SimReport {
+        self.simulate(shape, timesteps, 1, 0.0, false)
+    }
+
+    /// Simulates the memoization-enabled accelerator on one sequence of
+    /// `timesteps` elements with the given computation-reuse fraction.
+    pub fn simulate_memoized(
+        &self,
+        shape: &NetworkShape,
+        timesteps: u64,
+        reuse_fraction: f64,
+    ) -> SimReport {
+        self.simulate(shape, timesteps, 1, reuse_fraction, true)
+    }
+
+    /// Simulates both configurations and pairs the reports.
+    pub fn compare(
+        &self,
+        shape: &NetworkShape,
+        timesteps: u64,
+        sequences: u64,
+        reuse_fraction: f64,
+    ) -> ComparisonReport {
+        ComparisonReport {
+            baseline: self.simulate(shape, timesteps, sequences, 0.0, false),
+            memoized: self.simulate(shape, timesteps, sequences, reuse_fraction, true),
+        }
+    }
+
+    /// Full-control entry point: `timesteps` is the total number of input
+    /// elements processed across `sequences` independent sequences (the
+    /// weights are streamed from DRAM once per sequence), `reuse_fraction`
+    /// is the fraction of neuron evaluations served by the memoization
+    /// buffer, and `memo_hardware` selects E-PUR+BM (with its FMU costs)
+    /// versus the unmodified E-PUR.
+    pub fn simulate(
+        &self,
+        shape: &NetworkShape,
+        timesteps: u64,
+        sequences: u64,
+        reuse_fraction: f64,
+        memo_hardware: bool,
+    ) -> SimReport {
+        let reuse = if memo_hardware {
+            reuse_fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let cycles = if memo_hardware {
+            self.timing.memoized_cycles(shape, timesteps, reuse)
+        } else {
+            self.timing.baseline_cycles(shape, timesteps)
+        };
+        let seconds = self.timing.seconds(cycles);
+        let energy = self.energy_breakdown(shape, timesteps, sequences, reuse, memo_hardware, seconds);
+        SimReport {
+            label: if memo_hardware { "E-PUR+BM" } else { "E-PUR" }.to_string(),
+            cycles,
+            seconds,
+            energy,
+            reuse_fraction: reuse,
+            timesteps,
+        }
+    }
+
+    fn energy_breakdown(
+        &self,
+        shape: &NetworkShape,
+        timesteps: u64,
+        sequences: u64,
+        reuse: f64,
+        memo_hardware: bool,
+        seconds: f64,
+    ) -> EnergyBreakdown {
+        let m = &self.energy;
+        let op_bytes = self.config.operand_bytes as f64;
+        let pj = 1e-12;
+
+        let mut weight_bytes_read = 0.0;
+        let mut input_bytes_read = 0.0;
+        let mut intermediate_bytes = 0.0;
+        let mut macs = 0.0;
+        let mut mu_ops = 0.0;
+        let mut bdpu_bits = 0.0;
+        let mut sign_bits_read = 0.0;
+        let mut memo_accesses = 0.0;
+
+        for layer in shape.layers() {
+            let neurons_ps = layer.neurons_per_step() as f64;
+            let connections = layer.connections_per_neuron() as f64;
+            let steps = timesteps as f64;
+            let computed = neurons_ps * (1.0 - reuse) * steps;
+            let all = neurons_ps * steps;
+
+            // Full-precision evaluation: one weight operand and one input
+            // operand fetched per connection, one MAC per connection.
+            weight_bytes_read += computed * connections * op_bytes;
+            input_bytes_read += computed * connections * op_bytes;
+            macs += computed * connections;
+
+            // Every neuron output (computed or reused) goes through the MU
+            // and is written to / read from the intermediate memory.
+            mu_ops += all;
+            intermediate_bytes += all * op_bytes * 2.0;
+
+            if memo_hardware {
+                // The BNN is evaluated for every neuron at every timestep:
+                // one sign bit per connection from the sign buffer, one
+                // XNOR+add per connection, one memoization-buffer access.
+                bdpu_bits += all * connections;
+                sign_bits_read += all * connections;
+                memo_accesses += all;
+            }
+        }
+
+        // Weights are streamed from main memory once per input sequence.
+        let dram_bytes = shape.weight_bytes(self.config.operand_bytes) as f64 * sequences as f64;
+
+        let scratchpad_dynamic = weight_bytes_read * m.weight_read_pj_per_byte
+            + input_bytes_read * m.input_read_pj_per_byte
+            + intermediate_bytes * m.intermediate_pj_per_byte;
+        let operations_dynamic = macs * m.mac_pj + mu_ops * m.mu_op_pj;
+        let fmu_dynamic = bdpu_bits * m.bdpu_pj_per_bit
+            + sign_bits_read * m.sign_read_pj_per_bit
+            + memo_accesses * m.memo_access_pj;
+        let dram_dynamic = dram_bytes * m.dram_pj_per_byte;
+
+        // Leakage: the bulk of the static power is in the large SRAM
+        // arrays; the FMU contributes its own small share when present.
+        let baseline_static = m.baseline_static_w * seconds;
+        let fmu_static = if memo_hardware {
+            m.fmu_static_w * seconds
+        } else {
+            0.0
+        };
+
+        EnergyBreakdown {
+            scratchpad_j: scratchpad_dynamic * pj + baseline_static * 0.7,
+            operations_j: operations_dynamic * pj + baseline_static * 0.3,
+            dram_j: dram_dynamic * pj,
+            fmu_j: fmu_dynamic * pj + fmu_static,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::LayerShape;
+
+    fn eesen_like() -> NetworkShape {
+        let first = LayerShape {
+            neurons: 320,
+            input_size: 40,
+            hidden_size: 320,
+            gates: 4,
+            directions: 2,
+        };
+        let rest = LayerShape {
+            neurons: 320,
+            input_size: 640,
+            hidden_size: 320,
+            gates: 4,
+            directions: 2,
+        };
+        let mut layers = vec![first];
+        layers.extend(std::iter::repeat(rest).take(9));
+        NetworkShape::new(layers)
+    }
+
+    fn sim() -> EpurSimulator {
+        EpurSimulator::new(EpurConfig::default())
+    }
+
+    #[test]
+    fn baseline_scratchpad_energy_dominates() {
+        // Section 3.1: weight fetching accounts for up to 80% of the
+        // accelerator energy.
+        let report = sim().simulate_baseline(&eesen_like(), 200);
+        let (scratch, ops, _dram, fmu) = report.energy.shares();
+        assert!(scratch > 0.6, "scratchpad share {scratch}");
+        assert!(scratch > ops);
+        assert_eq!(fmu, 0.0, "baseline has no FMU");
+    }
+
+    #[test]
+    fn memoization_saves_energy_and_time_at_paper_reuse_levels() {
+        let s = sim();
+        let shape = eesen_like();
+        let cmp = s.compare(&shape, 200, 1, 0.305);
+        // EESEN at ~30% reuse: the paper reports ~25% energy savings and
+        // ~1.3-1.5x speedup; the model should land in that neighbourhood.
+        let savings = cmp.energy_savings();
+        let speedup = cmp.speedup();
+        assert!(savings > 0.15 && savings < 0.35, "savings {savings}");
+        assert!(speedup > 1.2 && speedup < 1.7, "speedup {speedup}");
+        assert_eq!(cmp.reuse_fraction(), 0.305);
+    }
+
+    #[test]
+    fn zero_reuse_memoization_costs_slightly_more() {
+        let s = sim();
+        let shape = eesen_like();
+        let base = s.simulate_baseline(&shape, 100);
+        let memo = s.simulate_memoized(&shape, 100, 0.0);
+        assert!(memo.cycles > base.cycles);
+        assert!(memo.total_energy_joules() > base.total_energy_joules());
+        // ...but the overhead is small (the FMU is cheap).
+        assert!(memo.total_energy_joules() < base.total_energy_joules() * 1.1);
+    }
+
+    #[test]
+    fn savings_grow_monotonically_with_reuse() {
+        let s = sim();
+        let shape = eesen_like();
+        let base = s.simulate_baseline(&shape, 100);
+        let mut previous = f64::NEG_INFINITY;
+        for reuse in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7] {
+            let memo = s.simulate_memoized(&shape, 100, reuse);
+            let savings = memo.energy_savings_over(&base);
+            assert!(savings > previous);
+            previous = savings;
+        }
+    }
+
+    #[test]
+    fn dram_energy_is_unaffected_by_memoization() {
+        let s = sim();
+        let shape = eesen_like();
+        let cmp = s.compare(&shape, 150, 3, 0.4);
+        assert!((cmp.baseline.energy.dram_j - cmp.memoized.energy.dram_j).abs() < 1e-12);
+        assert!(cmp.baseline.energy.dram_j > 0.0);
+    }
+
+    #[test]
+    fn fmu_energy_is_a_small_fraction_of_total() {
+        let s = sim();
+        let shape = eesen_like();
+        let memo = s.simulate_memoized(&shape, 200, 0.3);
+        let (_, _, _, fmu_share) = memo.energy.shares();
+        assert!(fmu_share > 0.0);
+        assert!(fmu_share < 0.08, "FMU share should be small: {fmu_share}");
+    }
+
+    #[test]
+    fn more_sequences_means_more_dram_energy_only() {
+        let s = sim();
+        let shape = eesen_like();
+        let one = s.simulate(&shape, 100, 1, 0.0, false);
+        let four = s.simulate(&shape, 100, 4, 0.0, false);
+        assert!(four.energy.dram_j > one.energy.dram_j * 3.9);
+        assert!((four.energy.scratchpad_j - one.energy.scratchpad_j).abs() < 1e-9);
+        assert_eq!(one.cycles, four.cycles);
+    }
+
+    #[test]
+    fn accessors_expose_models() {
+        let s = sim();
+        assert_eq!(s.config().dpu_width, 16);
+        assert!(s.energy_model().mac_pj > 0.0);
+        assert!(s.area_model().baseline_mm2() > 60.0);
+        assert_eq!(s.timing_model().config().frequency_hz, 500e6);
+        let custom = EpurSimulator::with_energy_model(EpurConfig::default(), EnergyModel::default());
+        assert_eq!(custom, s);
+    }
+
+    #[test]
+    fn reports_are_labelled() {
+        let s = sim();
+        let shape = eesen_like();
+        assert_eq!(s.simulate_baseline(&shape, 10).label, "E-PUR");
+        assert_eq!(s.simulate_memoized(&shape, 10, 0.1).label, "E-PUR+BM");
+    }
+}

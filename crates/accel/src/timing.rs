@@ -1,0 +1,214 @@
+//! Cycle-level timing model of E-PUR and E-PUR+BM.
+//!
+//! E-PUR evaluates the gates of a cell in parallel (one computation unit
+//! per gate) and the neurons of each gate sequentially; a neuron's dot
+//! products are folded onto the 16-lane DPU in `ceil(connections / 16)`
+//! cycles, and the MU work (bias, peephole, activation) overlaps with the
+//! next neuron's DPU work (Section 3.3.1).  The memoization unit adds a
+//! fixed 5-cycle latency per neuron for the binary dot product and the
+//! comparison (Table 2); when the comparison allows a reuse the DPU work
+//! is skipped entirely (Section 3.3.2).
+
+use crate::config::EpurConfig;
+use crate::shape::{LayerShape, NetworkShape};
+
+/// Cycle-count model for the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    config: EpurConfig,
+}
+
+impl TimingModel {
+    /// Creates a timing model for a configuration.
+    pub fn new(config: EpurConfig) -> Self {
+        TimingModel { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EpurConfig {
+        &self.config
+    }
+
+    /// DPU cycles to evaluate one neuron of `layer` in full precision:
+    /// `ceil(connections / dpu_width)`.
+    pub fn dpu_cycles_per_neuron(&self, layer: &LayerShape) -> u64 {
+        (layer.connections_per_neuron() as u64).div_ceil(self.config.dpu_width as u64)
+    }
+
+    /// Baseline cycles for one timestep of one layer: gates run in
+    /// parallel on the computation units, neurons run sequentially, and
+    /// both directions of a bidirectional layer are processed.
+    pub fn baseline_layer_cycles_per_step(&self, layer: &LayerShape) -> u64 {
+        let gate_waves = (layer.gates as u64).div_ceil(self.config.computation_units as u64);
+        let per_direction =
+            layer.neurons as u64 * self.dpu_cycles_per_neuron(layer) * gate_waves;
+        per_direction * layer.directions as u64
+    }
+
+    /// Baseline cycles for one timestep of the whole network.
+    pub fn baseline_cycles_per_step(&self, shape: &NetworkShape) -> u64 {
+        shape
+            .layers()
+            .iter()
+            .map(|l| self.baseline_layer_cycles_per_step(l))
+            .sum()
+    }
+
+    /// Total baseline cycles for `timesteps` input elements.
+    pub fn baseline_cycles(&self, shape: &NetworkShape, timesteps: u64) -> u64 {
+        self.baseline_cycles_per_step(shape) * timesteps
+    }
+
+    /// Cycles for one timestep of one layer under memoization, given the
+    /// fraction of neuron evaluations that are reused.  Every neuron pays
+    /// the FMU latency; only non-reused neurons pay the DPU cycles.
+    pub fn memoized_layer_cycles_per_step(&self, layer: &LayerShape, reuse: f64) -> f64 {
+        let reuse = reuse.clamp(0.0, 1.0);
+        let gate_waves = (layer.gates as f64 / self.config.computation_units as f64).ceil();
+        let fmu = self.config.memoization.latency_cycles as f64;
+        let dpu = self.dpu_cycles_per_neuron(layer) as f64;
+        let per_neuron = fmu + (1.0 - reuse) * dpu;
+        layer.neurons as f64 * per_neuron * gate_waves * layer.directions as f64
+    }
+
+    /// Total cycles for `timesteps` elements under memoization.
+    pub fn memoized_cycles(&self, shape: &NetworkShape, timesteps: u64, reuse: f64) -> u64 {
+        let per_step: f64 = shape
+            .layers()
+            .iter()
+            .map(|l| self.memoized_layer_cycles_per_step(l, reuse))
+            .sum();
+        (per_step * timesteps as f64).round() as u64
+    }
+
+    /// Converts cycles to seconds at the configured frequency.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.config.cycle_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape {
+            neurons: 320,
+            input_size: 320,
+            hidden_size: 320,
+            gates: 4,
+            directions: 1,
+        }
+    }
+
+    fn shape() -> NetworkShape {
+        NetworkShape::new(vec![layer(), layer()])
+    }
+
+    #[test]
+    fn dpu_cycles_round_up() {
+        let t = TimingModel::new(EpurConfig::default());
+        // 640 connections / 16 lanes = 40 cycles.
+        assert_eq!(t.dpu_cycles_per_neuron(&layer()), 40);
+        let odd = LayerShape {
+            neurons: 1,
+            input_size: 17,
+            hidden_size: 0,
+            gates: 1,
+            directions: 1,
+        };
+        assert_eq!(t.dpu_cycles_per_neuron(&odd), 2);
+    }
+
+    #[test]
+    fn paper_range_of_cycles_per_neuron() {
+        // Section 5: a full-precision evaluation takes between 16 and 80
+        // cycles depending on the RNN.  Check the Table 1 extremes.
+        let t = TimingModel::new(EpurConfig::default());
+        let imdb = LayerShape {
+            neurons: 128,
+            input_size: 64,
+            hidden_size: 128,
+            gates: 4,
+            directions: 1,
+        };
+        let mnmt = LayerShape {
+            neurons: 1024,
+            input_size: 256,
+            hidden_size: 1024,
+            gates: 4,
+            directions: 1,
+        };
+        assert_eq!(t.dpu_cycles_per_neuron(&imdb), 12);
+        assert_eq!(t.dpu_cycles_per_neuron(&mnmt), 80);
+    }
+
+    #[test]
+    fn baseline_cycles_scale_with_timesteps_and_layers() {
+        let t = TimingModel::new(EpurConfig::default());
+        let one = t.baseline_cycles(&NetworkShape::new(vec![layer()]), 10);
+        let two = t.baseline_cycles(&shape(), 10);
+        assert_eq!(two, one * 2);
+        assert_eq!(t.baseline_cycles(&shape(), 20), two * 2);
+    }
+
+    #[test]
+    fn gates_beyond_cu_count_serialize() {
+        let mut cfg = EpurConfig::default();
+        cfg.computation_units = 2;
+        let t = TimingModel::new(cfg);
+        let l = layer();
+        // 4 gates on 2 CUs -> two waves.
+        assert_eq!(
+            t.baseline_layer_cycles_per_step(&l),
+            320 * 40 * 2
+        );
+    }
+
+    #[test]
+    fn memoization_with_zero_reuse_is_slower_than_baseline() {
+        // The 5-cycle FMU latency is pure overhead when nothing is reused.
+        let t = TimingModel::new(EpurConfig::default());
+        let base = t.baseline_cycles(&shape(), 100);
+        let memo = t.memoized_cycles(&shape(), 100, 0.0);
+        assert!(memo > base);
+    }
+
+    #[test]
+    fn memoization_speedup_grows_with_reuse() {
+        let t = TimingModel::new(EpurConfig::default());
+        let base = t.baseline_cycles(&shape(), 100) as f64;
+        let mut previous = 0.0;
+        for reuse in [0.1, 0.3, 0.5, 0.9] {
+            let memo = t.memoized_cycles(&shape(), 100, reuse) as f64;
+            let speedup = base / memo;
+            assert!(speedup > previous);
+            previous = speedup;
+        }
+        // At ~30% reuse the speedup lands in the neighbourhood the paper
+        // reports for its workloads (1.2x–1.6x).
+        let memo30 = t.memoized_cycles(&shape(), 100, 0.30) as f64;
+        let s = base / memo30;
+        assert!(s > 1.15 && s < 1.6, "speedup at 30% reuse: {s}");
+    }
+
+    #[test]
+    fn reuse_is_clamped() {
+        let t = TimingModel::new(EpurConfig::default());
+        assert_eq!(
+            t.memoized_cycles(&shape(), 10, 1.5),
+            t.memoized_cycles(&shape(), 10, 1.0)
+        );
+        assert_eq!(
+            t.memoized_cycles(&shape(), 10, -0.5),
+            t.memoized_cycles(&shape(), 10, 0.0)
+        );
+    }
+
+    #[test]
+    fn seconds_use_configured_frequency() {
+        let t = TimingModel::new(EpurConfig::default());
+        assert!((t.seconds(500_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(t.config().frequency_hz, 500e6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # nfm-bench
+//!
+//! Criterion benchmark harness for the reproduction.  The crate itself
+//! only carries the benchmark targets:
+//!
+//! * `benches/figures.rs` — regenerates every figure (1, 5, 7, 8, 11, 16,
+//!   17, 18, 19) through the evaluation harness.
+//! * `benches/tables.rs` — regenerates Tables 1 and 2 and the headline
+//!   averages.
+//! * `benches/micro.rs` — microbenchmarks (FP vs XNOR-popcount dot
+//!   products, exact vs memoized inference, throttling ablation,
+//!   accelerator projections).
+//!
+//! Run everything with `cargo bench --workspace`, or a single target with
+//! e.g. `cargo bench -p nfm-bench --bench micro -- dot_product`.
+
+/// The benchmark groups this crate provides, for documentation and for
+/// sanity tests.
+pub const BENCH_TARGETS: [&str; 3] = ["figures", "tables", "micro"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_targets_are_listed() {
+        assert_eq!(BENCH_TARGETS.len(), 3);
+        assert!(BENCH_TARGETS.contains(&"micro"));
+    }
+}

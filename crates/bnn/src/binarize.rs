@@ -1,0 +1,74 @@
+//! The binarization function of Equation 7.
+
+/// Binarizes a value to `+1.0` / `-1.0` by sign (Equation 7 of the paper:
+/// `x_b = +1 if x >= 0, -1 otherwise`).
+///
+/// # Example
+///
+/// ```
+/// # use nfm_bnn::binarize_sign;
+/// assert_eq!(binarize_sign(0.7), 1.0);
+/// assert_eq!(binarize_sign(-0.2), -1.0);
+/// assert_eq!(binarize_sign(0.0), 1.0); // zero counts as non-negative
+/// ```
+pub fn binarize_sign(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Binarizes a slice, returning the `±1` representation as `f32`s.
+///
+/// This is the *reference* (unpacked) representation used by tests and by
+/// the correlation analysis; the packed representation used for actual
+/// prediction is [`BitVector`](crate::BitVector).
+pub fn binarize_slice(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|&x| binarize_sign(x)).collect()
+}
+
+/// Reference binary dot product on unpacked `±1` values (Equation 8),
+/// used by property tests to validate the packed XNOR-popcount
+/// implementation.
+pub fn reference_binary_dot(a: &[f32], b: &[f32]) -> i32 {
+    assert_eq!(a.len(), b.len(), "reference dot needs equal lengths");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (binarize_sign(x) * binarize_sign(y)) as i32)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_of_zero_is_positive() {
+        assert_eq!(binarize_sign(0.0), 1.0);
+        assert_eq!(binarize_sign(-0.0), 1.0);
+    }
+
+    #[test]
+    fn binarize_slice_maps_elementwise() {
+        assert_eq!(
+            binarize_slice(&[1.5, -0.1, 0.0, -7.0]),
+            vec![1.0, -1.0, 1.0, -1.0]
+        );
+        assert!(binarize_slice(&[]).is_empty());
+    }
+
+    #[test]
+    fn reference_dot_counts_agreements_minus_disagreements() {
+        // signs: [+,-,+] vs [+,+,-] -> agree 1, disagree 2 -> -1
+        assert_eq!(reference_binary_dot(&[2.0, -1.0, 3.0], &[5.0, 1.0, -2.0]), -1);
+        // identical vectors give +len
+        assert_eq!(reference_binary_dot(&[1.0, -1.0], &[4.0, -9.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn reference_dot_rejects_mismatch() {
+        let _ = reference_binary_dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Packed sign vectors and the XNOR-popcount dot product.
+
+use crate::{BnnError, Result};
+
+/// A bit-packed vector of signs: bit `i` is `1` when the `i`-th value is
+/// non-negative (`+1`) and `0` when it is negative (`-1`).
+///
+/// The binary dot product of Equation 8 becomes, for packed operands,
+/// `2 * popcount(XNOR(a, b)) - len`: XNOR marks positions whose signs
+/// agree (`+1 * +1` or `-1 * -1`), each agreement contributes `+1` and
+/// each disagreement `-1`.  This is exactly what the paper's BDPU
+/// (binary dot-product unit) computes with an XNOR array and an adder
+/// tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// Creates an all-zero (all-negative-sign) vector of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitVector {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Packs the signs of a slice of values (non-negative → bit set).
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut v = BitVector::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x >= 0.0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector from explicit booleans (`true` = `+1`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVector::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of packed signs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no signs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i` (`true` = `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits (positive signs).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The sign at position `i` as `+1.0` / `-1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn sign(&self, i: usize) -> f32 {
+        if self.get(i) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Binary dot product (Equation 8) via XNOR + popcount:
+    /// `Σ sign_a(i) * sign_b(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnnError::LengthMismatch`] if the operands have
+    /// different lengths.
+    pub fn xnor_dot(&self, other: &BitVector) -> Result<i32> {
+        if self.len != other.len {
+            return Err(BnnError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        if self.len == 0 {
+            return Ok(0);
+        }
+        let mut agreements: u32 = 0;
+        let full_words = self.len / 64;
+        for w in 0..full_words {
+            agreements += (!(self.words[w] ^ other.words[w])).count_ones();
+        }
+        let tail = self.len % 64;
+        if tail > 0 {
+            let mask = (1u64 << tail) - 1;
+            let xnor = !(self.words[full_words] ^ other.words[full_words]) & mask;
+            agreements += xnor.count_ones();
+        }
+        Ok(2 * agreements as i32 - self.len as i32)
+    }
+
+    /// Number of positions where the two vectors disagree (Hamming
+    /// distance), a convenience used by diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnnError::LengthMismatch`] if the operands have
+    /// different lengths.
+    pub fn hamming_distance(&self, other: &BitVector) -> Result<u32> {
+        let dot = self.xnor_dot(other)?;
+        // dot = len - 2 * disagreements
+        Ok(((self.len as i32 - dot) / 2) as u32)
+    }
+
+    /// Iterates over the signs as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Memory footprint of the packed representation in bytes, used by
+    /// the accelerator area/energy model (the sign buffer stores exactly
+    /// these bits).
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::reference_binary_dot;
+
+    #[test]
+    fn pack_and_get_roundtrip() {
+        let values = [1.0, -0.5, 0.0, -2.0, 3.0];
+        let v = BitVector::from_signs(&values);
+        assert_eq!(v.len(), 5);
+        let expected = [true, false, true, false, true];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(v.get(i), e, "bit {i}");
+        }
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.sign(1), -1.0);
+        assert_eq!(v.sign(0), 1.0);
+    }
+
+    #[test]
+    fn from_bools_matches_from_signs() {
+        let bools = [true, false, true];
+        let a = BitVector::from_bools(&bools);
+        let b = BitVector::from_signs(&[0.5, -1.0, 2.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_and_clear_bits() {
+        let mut v = BitVector::zeros(70);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(69));
+        assert_eq!(v.count_ones(), 2);
+        v.set(0, false);
+        assert!(!v.get(0));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn xnor_dot_matches_reference_on_small_cases() {
+        let a = [1.0, -2.0, 3.0, -4.0, 5.0];
+        let b = [-1.0, -2.0, 3.0, 4.0, 0.0];
+        let pa = BitVector::from_signs(&a);
+        let pb = BitVector::from_signs(&b);
+        assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
+    }
+
+    #[test]
+    fn xnor_dot_spans_word_boundaries() {
+        // 130 elements exercises two full words plus a 2-bit tail.
+        let a: Vec<f32> = (0..130).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f32> = (0..130).map(|i| if i % 5 == 0 { 1.0 } else { -1.0 }).collect();
+        let pa = BitVector::from_signs(&a);
+        let pb = BitVector::from_signs(&b);
+        assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
+    }
+
+    #[test]
+    fn xnor_dot_identity_and_negation() {
+        let a: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let pa = BitVector::from_signs(&a);
+        assert_eq!(pa.xnor_dot(&pa).unwrap(), 100);
+        let neg: Vec<f32> = a.iter().map(|v| -v - 0.5).collect();
+        let pn = BitVector::from_signs(&neg);
+        assert_eq!(pa.xnor_dot(&pn).unwrap(), -100);
+    }
+
+    #[test]
+    fn xnor_dot_rejects_length_mismatch() {
+        let a = BitVector::zeros(4);
+        let b = BitVector::zeros(5);
+        assert!(matches!(
+            a.xnor_dot(&b),
+            Err(BnnError::LengthMismatch { left: 4, right: 5 })
+        ));
+    }
+
+    #[test]
+    fn empty_vectors_dot_to_zero() {
+        let a = BitVector::zeros(0);
+        let b = BitVector::from_signs(&[]);
+        assert_eq!(a.xnor_dot(&b).unwrap(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn hamming_distance_counts_disagreements() {
+        let a = BitVector::from_signs(&[1.0, 1.0, -1.0, -1.0]);
+        let b = BitVector::from_signs(&[1.0, -1.0, -1.0, 1.0]);
+        assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+        assert_eq!(a.hamming_distance(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn iterator_and_storage() {
+        let v = BitVector::from_signs(&[1.0, -1.0, 1.0]);
+        let bits: Vec<bool> = v.iter().collect();
+        assert_eq!(bits, vec![true, false, true]);
+        assert_eq!(v.storage_bytes(), 8);
+        assert_eq!(BitVector::zeros(65).storage_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = BitVector::zeros(3);
+        let _ = v.get(3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Binary mirror of a full-precision recurrent gate (Figure 9).
+
+use crate::bitvec::BitVector;
+use crate::Result;
+use nfm_rnn::Gate;
+
+/// The binarized mirror of one [`Gate`]: per-neuron packed sign vectors
+/// of the forward (`W_x`) and recurrent (`W_h`) weight rows.
+///
+/// Mirroring is exactly the construction of Figure 9 in the paper: the
+/// trained full-precision weights are binarized with the sign function;
+/// peepholes, bias and the activation function are omitted because the
+/// BNN output is only used as a change detector, never as the neuron's
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryGate {
+    wx_rows: Vec<BitVector>,
+    wh_rows: Vec<BitVector>,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+impl BinaryGate {
+    /// Builds the binary mirror of a full-precision gate.
+    pub fn mirror(gate: &Gate) -> Self {
+        let wx_rows = (0..gate.neurons())
+            .map(|n| BitVector::from_signs(gate.wx().row(n)))
+            .collect();
+        let wh_rows = (0..gate.neurons())
+            .map(|n| BitVector::from_signs(gate.wh().row(n)))
+            .collect();
+        BinaryGate {
+            wx_rows,
+            wh_rows,
+            input_size: gate.input_size(),
+            hidden_size: gate.hidden_size(),
+        }
+    }
+
+    /// Number of neurons in the mirrored gate.
+    pub fn neurons(&self) -> usize {
+        self.wx_rows.len()
+    }
+
+    /// Width of the forward input.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Width of the recurrent input.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Packs the signs of the current inputs, producing the operand pair
+    /// the binary dot products consume.  Call once per gate per timestep
+    /// and share across the gate's neurons (exactly what the hardware's
+    /// FMU does with its concatenated input vector).
+    pub fn binarize_inputs(&self, x: &[f32], h_prev: &[f32]) -> (BitVector, BitVector) {
+        (BitVector::from_signs(x), BitVector::from_signs(h_prev))
+    }
+
+    /// Binary output of neuron `n` (Equation 8): the XNOR-popcount dot
+    /// product over forward plus recurrent connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the packed inputs do not match
+    /// the gate's dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()`.
+    pub fn neuron_output(&self, n: usize, xb: &BitVector, hb: &BitVector) -> Result<i32> {
+        let fwd = self.wx_rows[n].xnor_dot(xb)?;
+        let rec = self.wh_rows[n].xnor_dot(hb)?;
+        Ok(fwd + rec)
+    }
+
+    /// Convenience wrapper that binarizes the raw inputs and evaluates
+    /// neuron `n` in one call (used by tests and by the software-only
+    /// memoization path; the runner-level code binarizes once per gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the inputs do not match the
+    /// gate's dimensions.
+    pub fn neuron_output_from_raw(&self, n: usize, x: &[f32], h_prev: &[f32]) -> Result<i32> {
+        let (xb, hb) = self.binarize_inputs(x, h_prev);
+        self.neuron_output(n, &xb, &hb)
+    }
+
+    /// Total number of sign bits stored for this gate (the contents of
+    /// the accelerator's sign buffer).
+    pub fn sign_bit_count(&self) -> usize {
+        self.neurons() * (self.input_size + self.hidden_size)
+    }
+
+    /// The maximum possible magnitude of a neuron output
+    /// (`input_size + hidden_size`), used to normalise relative errors.
+    pub fn max_output_magnitude(&self) -> i32 {
+        (self.input_size + self.hidden_size) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::reference_binary_dot;
+    use nfm_tensor::activation::Activation;
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::{Matrix, Vector};
+
+    fn fp_gate(neurons: usize, input: usize, hidden: usize, seed: u64) -> Gate {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        Gate::random(neurons, input, hidden, Activation::Sigmoid, true, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn mirror_preserves_shape() {
+        let g = fp_gate(6, 10, 6, 1);
+        let b = BinaryGate::mirror(&g);
+        assert_eq!(b.neurons(), 6);
+        assert_eq!(b.input_size(), 10);
+        assert_eq!(b.hidden_size(), 6);
+        assert_eq!(b.sign_bit_count(), 6 * 16);
+        assert_eq!(b.max_output_magnitude(), 16);
+    }
+
+    #[test]
+    fn neuron_output_matches_reference_binary_dot() {
+        let g = fp_gate(4, 8, 4, 2);
+        let b = BinaryGate::mirror(&g);
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let x: Vec<f32> = (0..8).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..4).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        for n in 0..4 {
+            let expected = reference_binary_dot(g.wx().row(n), &x)
+                + reference_binary_dot(g.wh().row(n), &h);
+            assert_eq!(b.neuron_output_from_raw(n, &x, &h).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn output_bounded_by_connection_count() {
+        let g = fp_gate(3, 5, 3, 4);
+        let b = BinaryGate::mirror(&g);
+        let x = vec![1.0; 5];
+        let h = vec![-1.0; 3];
+        for n in 0..3 {
+            let out = b.neuron_output_from_raw(n, &x, &h).unwrap();
+            assert!(out.abs() <= b.max_output_magnitude());
+        }
+    }
+
+    #[test]
+    fn neuron_output_rejects_wrong_widths() {
+        let g = fp_gate(2, 4, 2, 5);
+        let b = BinaryGate::mirror(&g);
+        let xb = BitVector::zeros(3);
+        let hb = BitVector::zeros(2);
+        assert!(b.neuron_output(0, &xb, &hb).is_err());
+    }
+
+    #[test]
+    fn mirror_of_explicit_weights_has_expected_signs() {
+        let wx = Matrix::from_rows(vec![vec![0.5, -0.5, 0.0]]).unwrap();
+        let wh = Matrix::from_rows(vec![vec![-1.0]]).unwrap();
+        let g = Gate::new(wx, wh, Vector::zeros(1), None, Activation::Identity).unwrap();
+        let b = BinaryGate::mirror(&g);
+        // x all positive -> forward dot = (+1)(+1) + (-1)(+1) + (+1)(+1) = 1
+        // h positive -> recurrent dot = (-1)(+1) = -1
+        assert_eq!(b.neuron_output_from_raw(0, &[1.0, 1.0, 1.0], &[1.0]).unwrap(), 0);
+    }
+}

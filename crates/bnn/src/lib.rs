@@ -1,0 +1,91 @@
+//! # nfm-bnn
+//!
+//! Binarized (bitwise) neural network substrate for the neuron-level
+//! fuzzy memoization (MICRO 2019) reproduction.
+//!
+//! The paper extends every recurrent gate with a *binary mirror*: each
+//! weight and input is reduced to its sign (Equation 7) and the neuron
+//! output becomes `Σ w_b · x_b` (Equation 8), computable with an XNOR and
+//! a popcount instead of FP16 multiply-accumulates.  The BNN output is
+//! *not* used as the neuron's value — it is only a cheap, highly
+//! correlated proxy that predicts when the full-precision output will be
+//! close to a previously cached one (Section 3.1.2).
+//!
+//! This crate provides:
+//! * [`BitVector`] — packed sign vectors with XNOR-popcount dot products,
+//! * [`BinaryGate`] / [`BinaryNetwork`] — the binarized mirrors of an
+//!   `nfm-rnn` gate / deep network (Figure 9),
+//! * [`CorrelationProbe`] — an instrumented evaluator that records paired
+//!   (full-precision, binarized) outputs to reproduce the correlation
+//!   analyses of Figures 7 and 8.
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_bnn::BitVector;
+//!
+//! let a = BitVector::from_signs(&[1.0, -2.0, 3.0, -4.0]);
+//! let b = BitVector::from_signs(&[1.0, 2.0, -3.0, -4.0]);
+//! // agreements: positions 0 and 3 -> dot = 2*2 - 4 = 0
+//! assert_eq!(a.xnor_dot(&b).unwrap(), 0);
+//! ```
+
+pub mod binarize;
+pub mod bitvec;
+pub mod gate;
+pub mod mirror;
+pub mod probe;
+
+pub use binarize::{binarize_sign, binarize_slice};
+pub use bitvec::BitVector;
+pub use gate::BinaryGate;
+pub use mirror::BinaryNetwork;
+pub use probe::{CorrelationProbe, NeuronSeries};
+
+/// Errors produced by binarized-network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BnnError {
+    /// Two bit vectors had different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A gate lookup failed (no binary mirror for the requested gate).
+    UnknownGate,
+}
+
+impl std::fmt::Display for BnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BnnError::LengthMismatch { left, right } => {
+                write!(f, "bit-vector length mismatch: {left} vs {right}")
+            }
+            BnnError::UnknownGate => write!(f, "no binary mirror exists for the requested gate"),
+        }
+    }
+}
+
+impl std::error::Error for BnnError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, BnnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = BnnError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        assert!(BnnError::UnknownGate.to_string().contains("mirror"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<BnnError>();
+    }
+}

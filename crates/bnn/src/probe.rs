@@ -1,0 +1,223 @@
+//! Instrumentation for the BNN/FP correlation analysis (Figures 7 and 8).
+
+use crate::gate::BinaryGate;
+use crate::mirror::BinaryNetwork;
+use nfm_rnn::{Gate, NeuronEvaluator, NeuronRef, Result as RnnResult};
+use nfm_tensor::stats::pearson_correlation;
+use std::collections::HashMap;
+
+/// The paired output series of one neuron: full-precision pre-activation
+/// dot products and the corresponding binarized outputs, one entry per
+/// evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NeuronSeries {
+    /// Full-precision dot products (`W_x·x + W_h·h`).
+    pub full_precision: Vec<f32>,
+    /// Binary-network outputs (Equation 8).
+    pub binarized: Vec<f32>,
+}
+
+impl NeuronSeries {
+    /// Pearson correlation between the two series, or `None` if fewer
+    /// than two samples were collected.
+    pub fn correlation(&self) -> Option<f32> {
+        if self.full_precision.len() < 2 {
+            return None;
+        }
+        pearson_correlation(&self.full_precision, &self.binarized).ok()
+    }
+
+    /// Number of paired samples.
+    pub fn len(&self) -> usize {
+        self.full_precision.len()
+    }
+
+    /// Returns `true` if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.full_precision.is_empty()
+    }
+}
+
+/// A [`NeuronEvaluator`] that evaluates neurons exactly (so network
+/// outputs are unchanged) while recording, for every neuron, both the
+/// full-precision dot product and the output of the binarized mirror.
+///
+/// This reproduces the measurement behind Figure 7 (scatter of binarized
+/// vs full-precision outputs for one network) and Figure 8 (histogram of
+/// per-neuron correlation factors).
+#[derive(Debug, Clone)]
+pub struct CorrelationProbe {
+    mirror: BinaryNetwork,
+    series: HashMap<(nfm_rnn::GateId, usize), NeuronSeries>,
+}
+
+impl CorrelationProbe {
+    /// Creates a probe for a network whose binary mirror is `mirror`.
+    pub fn new(mirror: BinaryNetwork) -> Self {
+        CorrelationProbe {
+            mirror,
+            series: HashMap::new(),
+        }
+    }
+
+    /// Borrow the recorded series, keyed by `(gate, neuron index)`.
+    pub fn series(&self) -> &HashMap<(nfm_rnn::GateId, usize), NeuronSeries> {
+        &self.series
+    }
+
+    /// Total number of neurons with at least one recorded sample.
+    pub fn neuron_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// All paired samples flattened into `(full precision, binarized)`
+    /// tuples — the point cloud of Figure 7.
+    pub fn paired_samples(&self) -> Vec<(f32, f32)> {
+        let mut out = Vec::new();
+        for s in self.series.values() {
+            out.extend(
+                s.full_precision
+                    .iter()
+                    .zip(s.binarized.iter())
+                    .map(|(&a, &b)| (a, b)),
+            );
+        }
+        out
+    }
+
+    /// Per-neuron correlation coefficients (neurons with fewer than two
+    /// samples are skipped) — the sample behind Figure 8.
+    pub fn per_neuron_correlations(&self) -> Vec<f32> {
+        self.series
+            .values()
+            .filter_map(NeuronSeries::correlation)
+            .collect()
+    }
+
+    /// Correlation computed over the pooled samples of *all* neurons —
+    /// the single "R factor" quoted for EESEN in Figure 7.
+    pub fn pooled_correlation(&self) -> Option<f32> {
+        let pairs = self.paired_samples();
+        if pairs.len() < 2 {
+            return None;
+        }
+        let fp: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let bn: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        pearson_correlation(&fp, &bn).ok()
+    }
+
+    fn binary_gate(&self, id: nfm_rnn::GateId) -> Option<&BinaryGate> {
+        self.mirror.gate(id)
+    }
+}
+
+impl NeuronEvaluator for CorrelationProbe {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        let fp = gate.neuron_dot(neuron.neuron, x, h_prev)?;
+        let bnn = match self.binary_gate(neuron.gate_id) {
+            Some(bg) => bg
+                .neuron_output_from_raw(neuron.neuron, x, h_prev)
+                .map(|v| v as f32)
+                .unwrap_or(0.0),
+            None => 0.0,
+        };
+        let entry = self
+            .series
+            .entry((neuron.gate_id, neuron.neuron))
+            .or_default();
+        entry.full_precision.push(fp);
+        entry.binarized.push(bnn);
+        Ok(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::Vector;
+
+    fn setup() -> (DeepRnn, Vec<Vector>) {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 8, 12).layers(1);
+        let mut rng = DeterministicRng::seed_from_u64(42);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        // A smooth, slowly varying input sequence (random walk) so
+        // consecutive outputs are correlated like real audio frames.
+        let mut x = Vector::from_fn(8, |_| rng.uniform(-0.5, 0.5));
+        let seq: Vec<Vector> = (0..40)
+            .map(|_| {
+                x = x.map(|v| v) // keep previous
+                    .add(&Vector::from_fn(8, |_| rng.uniform(-0.1, 0.1)))
+                    .unwrap();
+                x.clone()
+            })
+            .collect();
+        (net, seq)
+    }
+
+    #[test]
+    fn probe_does_not_change_network_outputs() {
+        let (net, seq) = setup();
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut probe = CorrelationProbe::new(BinaryNetwork::mirror(&net));
+        let probed = net.run(&seq, &mut probe).unwrap();
+        assert_eq!(exact, probed);
+    }
+
+    #[test]
+    fn probe_records_one_sample_per_neuron_per_timestep() {
+        let (net, seq) = setup();
+        let mut probe = CorrelationProbe::new(BinaryNetwork::mirror(&net));
+        let _ = net.run(&seq, &mut probe).unwrap();
+        assert_eq!(probe.neuron_count(), net.neuron_evaluations_per_step());
+        for s in probe.series().values() {
+            assert_eq!(s.len(), seq.len());
+            assert!(!s.is_empty());
+        }
+        assert_eq!(
+            probe.paired_samples().len(),
+            net.neuron_evaluations_per_step() * seq.len()
+        );
+    }
+
+    #[test]
+    fn fp_and_bnn_outputs_are_positively_correlated() {
+        let (net, seq) = setup();
+        let mut probe = CorrelationProbe::new(BinaryNetwork::mirror(&net));
+        let _ = net.run(&seq, &mut probe).unwrap();
+        let pooled = probe.pooled_correlation().expect("enough samples");
+        assert!(
+            pooled > 0.5,
+            "expected strong positive pooled correlation, got {pooled}"
+        );
+        let per_neuron = probe.per_neuron_correlations();
+        assert!(!per_neuron.is_empty());
+        let positive = per_neuron.iter().filter(|&&r| r > 0.0).count();
+        assert!(positive * 2 > per_neuron.len(), "most neurons correlate positively");
+    }
+
+    #[test]
+    fn empty_probe_reports_nothing() {
+        let (net, _) = setup();
+        let probe = CorrelationProbe::new(BinaryNetwork::mirror(&net));
+        assert_eq!(probe.neuron_count(), 0);
+        assert!(probe.pooled_correlation().is_none());
+        assert!(probe.per_neuron_correlations().is_empty());
+    }
+
+    #[test]
+    fn neuron_series_correlation_requires_two_samples() {
+        let mut s = NeuronSeries::default();
+        assert!(s.correlation().is_none());
+        s.full_precision.extend([1.0, 2.0, 3.0]);
+        s.binarized.extend([2.0, 4.0, 6.0]);
+        assert!((s.correlation().unwrap() - 1.0).abs() < 1e-6);
+    }
+}

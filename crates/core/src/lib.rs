@@ -1,0 +1,69 @@
+//! # nfm-core — neuron-level fuzzy memoization
+//!
+//! The paper's primary contribution (Section 3): a per-neuron fuzzy
+//! memoization scheme for recurrent layers that skips a neuron's
+//! full-precision dot products whenever a cheap Bitwise Neural Network
+//! (BNN) predicts that the output will be very close to a recently
+//! cached one.
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`MemoTable`] / [`MemoEntry`] — the memoization buffer holding, per
+//!   neuron, the cached full-precision output `y_m`, the cached BNN
+//!   output `yb_m` and the accumulated relative difference `δb`
+//!   (Figure 10 / the FMU's memoization buffer).
+//! * [`OracleEvaluator`] — the idealised predictor of Figure 6 used for
+//!   the limit study of Figure 1: it always knows the true output and
+//!   reuses whenever the true relative change is below the threshold.
+//! * [`BnnMemoEvaluator`] — the realisable predictor (Figure 10/12): the
+//!   binarized mirror is evaluated every timestep, relative changes of
+//!   its outputs are accumulated (the throttling mechanism), and the
+//!   full-precision neuron is evaluated only when the accumulated change
+//!   exceeds the threshold `θ`.
+//! * [`ReuseStats`] — computation-reuse accounting (the numerator /
+//!   denominator of every "computation reuse (%)" number in the paper).
+//! * [`ThresholdExplorer`] — the per-model threshold search of
+//!   Section 3.2.1 (pick the largest reuse whose accuracy loss stays
+//!   within a target).
+//! * [`MemoizedRunner`] / [`InferenceWorkload`] — a small façade that
+//!   runs a workload end-to-end under a chosen predictor.
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, ReuseStats};
+//! use nfm_bnn::BinaryNetwork;
+//! use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
+//! use nfm_tensor::rng::DeterministicRng;
+//! use nfm_tensor::Vector;
+//!
+//! let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 8);
+//! let mut rng = DeterministicRng::seed_from_u64(1);
+//! let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+//! let mirror = BinaryNetwork::mirror(&net);
+//! let mut evaluator = BnnMemoEvaluator::new(mirror, BnnMemoConfig::with_threshold(0.1));
+//! let seq: Vec<Vector> = (0..10).map(|_| Vector::from_fn(4, |i| (i as f32) * 0.1)).collect();
+//! let _ = net.run(&seq, &mut evaluator).unwrap();
+//! let stats: &ReuseStats = evaluator.stats();
+//! assert_eq!(stats.evaluations(), 10 * net.neuron_evaluations_per_step() as u64);
+//! ```
+
+pub mod config;
+pub mod input_similarity;
+pub mod oracle;
+pub mod predictor;
+pub mod runner;
+pub mod similarity;
+pub mod stats;
+pub mod table;
+pub mod threshold;
+
+pub use config::{BnnMemoConfig, OracleMemoConfig};
+pub use input_similarity::{InputSimilarityConfig, InputSimilarityEvaluator};
+pub use oracle::OracleEvaluator;
+pub use predictor::BnnMemoEvaluator;
+pub use runner::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
+pub use similarity::SimilarityProbe;
+pub use stats::ReuseStats;
+pub use table::{MemoEntry, MemoTable};
+pub use threshold::{ThresholdExplorer, ThresholdPoint};

@@ -1,0 +1,203 @@
+//! The Oracle predictor (Figure 6): an upper bound on achievable reuse.
+
+use crate::config::OracleMemoConfig;
+use crate::stats::ReuseStats;
+use crate::table::MemoTable;
+use nfm_rnn::{Gate, NeuronEvaluator, NeuronRef, Result as RnnResult};
+use nfm_tensor::vector::relative_difference;
+
+/// A [`NeuronEvaluator`] implementing the oracle memoization scheme of
+/// Figure 6: the true output `y_t` is always known, the cached value
+/// `y_m` is reused whenever `|y_t - y_m| / |y_t| <= θ`.
+///
+/// The oracle still *computes* every output (it must, to make its
+/// decision), so it cannot save work in a real system; its purpose is the
+/// limit study of Figures 1 and 16.  When a reuse is possible the oracle
+/// returns the *cached* value, so the accuracy impact of oracle-guided
+/// memoization is faithfully propagated through the network.
+#[derive(Debug, Clone)]
+pub struct OracleEvaluator {
+    config: OracleMemoConfig,
+    table: MemoTable,
+    stats: ReuseStats,
+}
+
+impl OracleEvaluator {
+    /// Creates an oracle evaluator with the given configuration.
+    pub fn new(config: OracleMemoConfig) -> Self {
+        OracleEvaluator {
+            config,
+            table: MemoTable::new(),
+            stats: ReuseStats::new(),
+        }
+    }
+
+    /// The reuse statistics accumulated so far.
+    pub fn stats(&self) -> &ReuseStats {
+        &self.stats
+    }
+
+    /// The configured threshold.
+    pub fn config(&self) -> OracleMemoConfig {
+        self.config
+    }
+
+    /// Resets the accumulated statistics (the memo table is cleared
+    /// automatically at the start of every sequence).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Borrow the memoization table (diagnostics only).
+    pub fn table(&self) -> &MemoTable {
+        &self.table
+    }
+}
+
+impl NeuronEvaluator for OracleEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        // The oracle always knows the true output.
+        let y_t = gate.neuron_dot(neuron.neuron, x, h_prev)?;
+        if let Some(entry) = self.table.get(neuron.gate_id, neuron.neuron) {
+            let delta = relative_difference(y_t, entry.cached_output, self.config.epsilon);
+            if delta <= self.config.threshold {
+                self.stats.record_reused();
+                let cached = self
+                    .table
+                    .record_reuse(neuron.gate_id, neuron.neuron, delta);
+                return Ok(cached);
+            }
+        }
+        self.stats.record_computed();
+        // The oracle does not use a BNN; store the output itself in the
+        // BNN slot so the entry layout stays uniform.
+        self.table
+            .refresh(neuron.gate_id, neuron.neuron, y_t, y_t);
+        Ok(y_t)
+    }
+
+    fn begin_sequence(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::Vector;
+
+    fn network(seed: u64) -> DeepRnn {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 6, 10);
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        DeepRnn::random(&cfg, &mut rng).unwrap()
+    }
+
+    fn smooth_sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let mut x = Vector::from_fn(width, |_| rng.uniform(-0.5, 0.5));
+        (0..len)
+            .map(|_| {
+                x = x
+                    .add(&Vector::from_fn(width, |_| rng.uniform(-0.05, 0.05)))
+                    .unwrap();
+                x.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_threshold_reuses_nothing_and_matches_exact() {
+        let net = network(1);
+        let seq = smooth_sequence(20, 6, 2);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(0.0));
+        let memo = net.run(&seq, &mut oracle).unwrap();
+        assert_eq!(exact, memo);
+        assert_eq!(oracle.stats().reuses(), 0);
+        assert_eq!(
+            oracle.stats().evaluations(),
+            (20 * net.neuron_evaluations_per_step()) as u64
+        );
+    }
+
+    #[test]
+    fn huge_threshold_reuses_everything_after_warmup() {
+        let net = network(3);
+        let seq = smooth_sequence(15, 6, 4);
+        let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(f32::INFINITY));
+        let _ = net.run(&seq, &mut oracle).unwrap();
+        let per_step = net.neuron_evaluations_per_step() as u64;
+        // First timestep must compute everything; the rest can all reuse.
+        assert_eq!(oracle.stats().computed(), per_step);
+        assert_eq!(oracle.stats().reuses(), per_step * 14);
+    }
+
+    #[test]
+    fn reuse_grows_monotonically_with_threshold() {
+        let net = network(5);
+        let seq = smooth_sequence(25, 6, 6);
+        let mut previous = -1.0f64;
+        for &theta in &[0.0, 0.1, 0.3, 0.5, 1.0] {
+            let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(theta));
+            let _ = net.run(&seq, &mut oracle).unwrap();
+            let reuse = oracle.stats().reuse_fraction();
+            assert!(
+                reuse + 1e-9 >= previous,
+                "reuse should not decrease: {previous} -> {reuse} at θ={theta}"
+            );
+            previous = reuse;
+        }
+        assert!(previous > 0.0, "a generous threshold must yield some reuse");
+    }
+
+    #[test]
+    fn table_is_cleared_between_sequences() {
+        let net = network(7);
+        let seq = smooth_sequence(5, 6, 8);
+        let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(0.5));
+        let _ = net.run(&seq, &mut oracle).unwrap();
+        let after_first = oracle.stats().evaluations();
+        let _ = net.run(&seq, &mut oracle).unwrap();
+        // Every sequence starts cold: the first timestep of the second run
+        // must compute (not reuse) for every neuron, so computed count grows.
+        assert_eq!(oracle.stats().evaluations(), after_first * 2);
+        assert!(oracle.stats().computed() >= 2 * net.neuron_evaluations_per_step() as u64);
+    }
+
+    #[test]
+    fn moderate_threshold_introduces_small_output_error() {
+        let net = network(9);
+        let seq = smooth_sequence(30, 6, 10);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(0.3));
+        let memo = net.run(&seq, &mut oracle).unwrap();
+        assert!(oracle.stats().reuse_fraction() > 0.05);
+        // Outputs diverge, but not wildly: the relative error per reuse is
+        // bounded by the threshold.
+        let mut max_abs_err = 0.0f32;
+        for (e, m) in exact.iter().zip(memo.iter()) {
+            for i in 0..e.len() {
+                max_abs_err = max_abs_err.max((e[i] - m[i]).abs());
+            }
+        }
+        assert!(max_abs_err < 1.0, "bounded divergence, got {max_abs_err}");
+    }
+
+    #[test]
+    fn reset_stats_only_clears_counters() {
+        let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(0.2));
+        assert_eq!(oracle.config().threshold, 0.2);
+        oracle.stats.record_computed();
+        oracle.reset_stats();
+        assert_eq!(oracle.stats().evaluations(), 0);
+        assert!(oracle.table().is_empty());
+    }
+}

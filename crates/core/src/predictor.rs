@@ -1,0 +1,342 @@
+//! The BNN-based memoization predictor (Figures 10 and 12).
+
+use crate::config::BnnMemoConfig;
+use crate::stats::ReuseStats;
+use crate::table::MemoTable;
+use nfm_bnn::{BinaryNetwork, BitVector};
+use nfm_rnn::{Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult};
+use nfm_tensor::vector::relative_difference;
+
+/// A [`NeuronEvaluator`] implementing the paper's realisable memoization
+/// scheme:
+///
+/// 1. the binarized mirror of the neuron is evaluated for every timestep
+///    (`yb_t`, Equation 8);
+/// 2. the relative difference `εb_t = |yb_t - yb_m| / |yb_t|` against the
+///    cached BNN output is computed (Equation 12);
+/// 3. the differences are accumulated over consecutive reuses
+///    (`δb_t = Σ εb_i`, Equation 13 — the throttling mechanism);
+/// 4. if `δb_t <= θ` the cached full-precision output `y_m` is returned
+///    and the expensive dot products are skipped; otherwise the neuron is
+///    evaluated exactly and the memoization entry is refreshed
+///    (Equations 14–17).
+#[derive(Debug, Clone)]
+pub struct BnnMemoEvaluator {
+    mirror: BinaryNetwork,
+    config: BnnMemoConfig,
+    table: MemoTable,
+    stats: ReuseStats,
+    // Binarized inputs are shared by every neuron of the same gate at the
+    // same timestep; cache them to binarize once per gate invocation,
+    // mirroring the FMU's single concatenated input vector.
+    input_cache: Option<InputCache>,
+}
+
+#[derive(Debug, Clone)]
+struct InputCache {
+    gate_id: GateId,
+    timestep: usize,
+    xb: BitVector,
+    hb: BitVector,
+}
+
+impl BnnMemoEvaluator {
+    /// Creates an evaluator from the binary mirror of the network it will
+    /// run and a configuration.
+    pub fn new(mirror: BinaryNetwork, config: BnnMemoConfig) -> Self {
+        BnnMemoEvaluator {
+            mirror,
+            config,
+            table: MemoTable::new(),
+            stats: ReuseStats::new(),
+            input_cache: None,
+        }
+    }
+
+    /// The reuse statistics accumulated so far.
+    pub fn stats(&self) -> &ReuseStats {
+        &self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> BnnMemoConfig {
+        self.config
+    }
+
+    /// Borrow the memoization table (diagnostics only).
+    pub fn table(&self) -> &MemoTable {
+        &self.table
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn binarized_inputs(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> (BitVector, BitVector) {
+        let hit = self
+            .input_cache
+            .as_ref()
+            .map(|c| c.gate_id == gate_id && c.timestep == timestep)
+            .unwrap_or(false);
+        if !hit {
+            self.input_cache = Some(InputCache {
+                gate_id,
+                timestep,
+                xb: BitVector::from_signs(x),
+                hb: BitVector::from_signs(h_prev),
+            });
+        }
+        let cache = self.input_cache.as_ref().expect("just populated");
+        (cache.xb.clone(), cache.hb.clone())
+    }
+}
+
+impl NeuronEvaluator for BnnMemoEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        if self.mirror.gate(neuron.gate_id).is_none() {
+            // No mirror: fall back to exact evaluation (this only happens
+            // if the mirror was built for a different network).
+            self.stats.record_computed();
+            return gate.neuron_dot(neuron.neuron, x, h_prev);
+        }
+
+        // Step 1: evaluate the binarized neuron (always done).
+        let (xb, hb) = {
+            let gate_id = neuron.gate_id;
+            let timestep = neuron.timestep;
+            // Work around the borrow of `self.mirror` above by recomputing
+            // the reference after the cache update.
+            self.binarized_inputs(gate_id, timestep, x, h_prev)
+        };
+        let binary_gate = self
+            .mirror
+            .gate(neuron.gate_id)
+            .expect("checked above");
+        let yb_t = match binary_gate.neuron_output(neuron.neuron, &xb, &hb) {
+            Ok(v) => v as f32,
+            Err(_) => {
+                // Dimension mismatch between mirror and network: evaluate
+                // exactly rather than failing inference.
+                self.stats.record_computed();
+                return gate.neuron_dot(neuron.neuron, x, h_prev);
+            }
+        };
+        self.stats.record_bnn_evaluation();
+
+        // Step 2/3: compare with the cached BNN output, accumulating over
+        // consecutive reuses when throttling is enabled.
+        if let Some(entry) = self.table.get(neuron.gate_id, neuron.neuron) {
+            let eps_t = relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
+            let delta_t = if self.config.throttle {
+                entry.accumulated_delta + eps_t
+            } else {
+                eps_t
+            };
+            if delta_t <= self.config.threshold {
+                self.stats.record_reused();
+                let cached = self
+                    .table
+                    .record_reuse(neuron.gate_id, neuron.neuron, delta_t);
+                return Ok(cached);
+            }
+        }
+
+        // Step 4: evaluate in full precision and refresh the entry.
+        let y_t = gate.neuron_dot(neuron.neuron, x, h_prev)?;
+        self.stats.record_computed();
+        self.table
+            .refresh(neuron.gate_id, neuron.neuron, y_t, yb_t);
+        Ok(y_t)
+    }
+
+    fn begin_sequence(&mut self) {
+        self.table.clear();
+        self.input_cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BnnMemoConfig;
+    use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::Vector;
+
+    fn network(seed: u64) -> DeepRnn {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 8, 12);
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        DeepRnn::random(&cfg, &mut rng).unwrap()
+    }
+
+    fn smooth_sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let mut x = Vector::from_fn(width, |_| rng.uniform(-0.5, 0.5));
+        (0..len)
+            .map(|_| {
+                x = x
+                    .add(&Vector::from_fn(width, |_| rng.uniform(-0.05, 0.05)))
+                    .unwrap();
+                x.clone()
+            })
+            .collect()
+    }
+
+    fn evaluator(net: &DeepRnn, config: BnnMemoConfig) -> BnnMemoEvaluator {
+        BnnMemoEvaluator::new(BinaryNetwork::mirror(net), config)
+    }
+
+    #[test]
+    fn negative_threshold_matches_exact_inference() {
+        // With θ < 0 no accumulated difference can qualify, so the scheme
+        // degenerates to exact inference with zero reuse.
+        let net = network(1);
+        let seq = smooth_sequence(15, 8, 2);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(-1.0));
+        let out = net.run(&seq, &mut memo).unwrap();
+        assert_eq!(exact, out);
+        assert_eq!(memo.stats().reuses(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_only_reuses_identical_bnn_outputs() {
+        // θ=0 reuses only while the BNN output is bit-identical to the
+        // cached one; the resulting divergence from exact inference stays
+        // small because identical BNN outputs imply near-identical
+        // full-precision outputs (the correlation property of Figure 7).
+        let net = network(1);
+        let seq = smooth_sequence(15, 8, 2);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(0.0));
+        let out = net.run(&seq, &mut memo).unwrap();
+        for (a, b) in exact.iter().zip(out.iter()) {
+            for i in 0..a.len() {
+                assert!((a[i] - b[i]).abs() < 0.3, "{} vs {}", a[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn bnn_is_evaluated_for_every_neuron_every_timestep() {
+        let net = network(3);
+        let seq = smooth_sequence(10, 8, 4);
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(0.3));
+        let _ = net.run(&seq, &mut memo).unwrap();
+        let expected = (10 * net.neuron_evaluations_per_step()) as u64;
+        assert_eq!(memo.stats().evaluations(), expected);
+        assert_eq!(memo.stats().bnn_evaluations(), expected);
+    }
+
+    #[test]
+    fn generous_threshold_yields_substantial_reuse() {
+        let net = network(5);
+        let seq = smooth_sequence(30, 8, 6);
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(2.0));
+        let _ = net.run(&seq, &mut memo).unwrap();
+        assert!(
+            memo.stats().reuse_fraction() > 0.2,
+            "expected >20% reuse, got {}",
+            memo.stats().reuse_percent()
+        );
+    }
+
+    #[test]
+    fn reuse_is_monotone_in_threshold() {
+        let net = network(7);
+        let seq = smooth_sequence(25, 8, 8);
+        let mut previous = -1.0;
+        for &theta in &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+            let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(theta));
+            let _ = net.run(&seq, &mut memo).unwrap();
+            let reuse = memo.stats().reuse_fraction();
+            assert!(
+                reuse + 1e-9 >= previous,
+                "reuse decreased from {previous} to {reuse} at θ={theta}"
+            );
+            previous = reuse;
+        }
+    }
+
+    #[test]
+    fn throttling_reduces_consecutive_reuse_runs() {
+        let net = network(9);
+        let seq = smooth_sequence(40, 8, 10);
+        let theta = 1.5;
+        let mut with = evaluator(&net, BnnMemoConfig::with_threshold(theta));
+        let _ = net.run(&seq, &mut with).unwrap();
+        let mut without = evaluator(
+            &net,
+            BnnMemoConfig::with_threshold(theta).without_throttling(),
+        );
+        let _ = net.run(&seq, &mut without).unwrap();
+        // Without throttling, per-step differences are never accumulated,
+        // so reuse and maximum run length can only be larger or equal.
+        assert!(without.stats().reuse_fraction() + 1e-9 >= with.stats().reuse_fraction());
+        assert!(
+            without.table().max_consecutive_reuses() >= with.table().max_consecutive_reuses()
+        );
+    }
+
+    #[test]
+    fn outputs_stay_bounded_under_aggressive_reuse() {
+        let net = network(11);
+        let seq = smooth_sequence(30, 8, 12);
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(8.0));
+        let out = net.run(&seq, &mut memo).unwrap();
+        assert!(memo.stats().reuse_fraction() > 0.4);
+        for v in &out {
+            assert!(v.iter().all(|x| x.is_finite()));
+            assert!(v.norm_inf() <= 1.0 + 1e-4, "LSTM outputs remain in [-1, 1]");
+        }
+    }
+
+    #[test]
+    fn begin_sequence_clears_state() {
+        let net = network(13);
+        let seq = smooth_sequence(10, 8, 14);
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(1.0));
+        let _ = net.run(&seq, &mut memo).unwrap();
+        assert!(!memo.table().is_empty());
+        memo.begin_sequence();
+        assert!(memo.table().is_empty());
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_threshold() {
+        // The divergence from exact inference should grow with θ but stay
+        // bounded — the property that makes fuzzy memoization usable.
+        let net = network(15);
+        let seq = smooth_sequence(25, 8, 16);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut divergences = Vec::new();
+        for &theta in &[0.5, 2.0, 8.0] {
+            let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(theta));
+            let out = net.run(&seq, &mut memo).unwrap();
+            let mut err = 0.0f32;
+            let mut count = 0usize;
+            for (a, b) in exact.iter().zip(out.iter()) {
+                for i in 0..a.len() {
+                    err += (a[i] - b[i]).abs();
+                    count += 1;
+                }
+            }
+            divergences.push(err / count as f32);
+        }
+        assert!(divergences[0] <= divergences[2] + 1e-6);
+        assert!(divergences[2] < 0.5, "mean divergence stays small");
+    }
+}

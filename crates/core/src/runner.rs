@@ -1,0 +1,264 @@
+//! A small façade that runs an entire workload under a chosen predictor.
+
+use crate::config::{BnnMemoConfig, OracleMemoConfig};
+use crate::oracle::OracleEvaluator;
+use crate::predictor::BnnMemoEvaluator;
+use crate::stats::ReuseStats;
+use nfm_bnn::BinaryNetwork;
+use nfm_rnn::{DeepRnn, ExactEvaluator, NeuronEvaluator, Result as RnnResult};
+use nfm_tensor::Vector;
+
+/// Anything that can be run through the memoization schemes: a network
+/// plus a set of input sequences.
+///
+/// The `nfm-workloads` crate implements this for the four Table 1
+/// networks; tests implement it for small ad-hoc models.
+pub trait InferenceWorkload {
+    /// The network to evaluate.
+    fn network(&self) -> &DeepRnn;
+
+    /// The input sequences to process (each is one utterance / review /
+    /// sentence, matching the batch-of-one inference regime of the paper).
+    fn input_sequences(&self) -> &[Vec<Vector>];
+}
+
+/// Which predictor a [`MemoizedRunner`] uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// No memoization: the exact baseline.
+    Exact,
+    /// The oracle predictor of Figure 6.
+    Oracle(OracleMemoConfig),
+    /// The BNN predictor of Figure 10.
+    Bnn(BnnMemoConfig),
+}
+
+/// The result of running a workload: per-sequence outputs plus the
+/// aggregated reuse statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Network outputs, one `Vec<Vector>` per input sequence.
+    pub outputs: Vec<Vec<Vector>>,
+    /// Aggregated reuse statistics across all sequences.
+    pub stats: ReuseStats,
+}
+
+impl RunOutcome {
+    /// Fraction of neuron evaluations avoided, in `[0, 1]`.
+    pub fn reuse_fraction(&self) -> f64 {
+        self.stats.reuse_fraction()
+    }
+
+    /// Computation reuse as a percentage (the paper's unit).
+    pub fn reuse_percent(&self) -> f64 {
+        self.stats.reuse_percent()
+    }
+}
+
+/// Runs a workload end-to-end under a chosen predictor.
+///
+/// ```
+/// use nfm_core::{MemoizedRunner, BnnMemoConfig, InferenceWorkload};
+/// use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
+/// use nfm_tensor::rng::DeterministicRng;
+/// use nfm_tensor::Vector;
+///
+/// struct Tiny { net: DeepRnn, seqs: Vec<Vec<Vector>> }
+/// impl InferenceWorkload for Tiny {
+///     fn network(&self) -> &DeepRnn { &self.net }
+///     fn input_sequences(&self) -> &[Vec<Vector>] { &self.seqs }
+/// }
+///
+/// let mut rng = DeterministicRng::seed_from_u64(5);
+/// let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 4, 6), &mut rng).unwrap();
+/// let seqs = vec![(0..8).map(|t| Vector::from_fn(4, |i| (t + i) as f32 * 0.05)).collect()];
+/// let workload = Tiny { net, seqs };
+/// let outcome = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.5)).run(&workload).unwrap();
+/// assert_eq!(outcome.outputs.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoizedRunner {
+    predictor: PredictorKind,
+}
+
+impl MemoizedRunner {
+    /// A runner that performs exact inference (the baseline).
+    pub fn exact() -> Self {
+        MemoizedRunner {
+            predictor: PredictorKind::Exact,
+        }
+    }
+
+    /// A runner using the oracle predictor.
+    pub fn oracle(config: OracleMemoConfig) -> Self {
+        MemoizedRunner {
+            predictor: PredictorKind::Oracle(config),
+        }
+    }
+
+    /// A runner using the BNN predictor.
+    pub fn bnn(config: BnnMemoConfig) -> Self {
+        MemoizedRunner {
+            predictor: PredictorKind::Bnn(config),
+        }
+    }
+
+    /// The predictor this runner applies.
+    pub fn predictor(&self) -> PredictorKind {
+        self.predictor
+    }
+
+    /// Runs every sequence of `workload` through its network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any inference error (shape mismatches, empty
+    /// sequences).
+    pub fn run(&self, workload: &impl InferenceWorkload) -> RnnResult<RunOutcome> {
+        let network = workload.network();
+        match self.predictor {
+            PredictorKind::Exact => {
+                let mut evaluator = ExactEvaluator::new();
+                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
+                let mut stats = ReuseStats::new();
+                for _ in 0..evaluator.evaluations() {
+                    stats.record_computed();
+                }
+                Ok(RunOutcome { outputs, stats })
+            }
+            PredictorKind::Oracle(config) => {
+                let mut evaluator = OracleEvaluator::new(config);
+                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
+                Ok(RunOutcome {
+                    outputs,
+                    stats: *evaluator.stats(),
+                })
+            }
+            PredictorKind::Bnn(config) => {
+                let mirror = BinaryNetwork::mirror(network);
+                let mut evaluator = BnnMemoEvaluator::new(mirror, config);
+                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
+                Ok(RunOutcome {
+                    outputs,
+                    stats: *evaluator.stats(),
+                })
+            }
+        }
+    }
+}
+
+fn run_all(
+    network: &DeepRnn,
+    sequences: &[Vec<Vector>],
+    evaluator: &mut dyn NeuronEvaluator,
+) -> RnnResult<Vec<Vec<Vector>>> {
+    sequences
+        .iter()
+        .map(|seq| network.run(seq, evaluator))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnnConfig};
+    use nfm_tensor::rng::DeterministicRng;
+
+    struct Tiny {
+        net: DeepRnn,
+        seqs: Vec<Vec<Vector>>,
+    }
+
+    impl InferenceWorkload for Tiny {
+        fn network(&self) -> &DeepRnn {
+            &self.net
+        }
+        fn input_sequences(&self) -> &[Vec<Vector>] {
+            &self.seqs
+        }
+    }
+
+    fn workload(sequences: usize, len: usize) -> Tiny {
+        let mut rng = DeterministicRng::seed_from_u64(17);
+        let net =
+            DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 5, 8), &mut rng).unwrap();
+        let seqs = (0..sequences)
+            .map(|_| {
+                let mut x = Vector::from_fn(5, |_| rng.uniform(-0.5, 0.5));
+                (0..len)
+                    .map(|_| {
+                        x = x
+                            .add(&Vector::from_fn(5, |_| rng.uniform(-0.05, 0.05)))
+                            .unwrap();
+                        x.clone()
+                    })
+                    .collect()
+            })
+            .map(|v: Vec<Vector>| v)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut v)| {
+                // Slightly perturb each sequence so they are distinct.
+                if i > 0 {
+                    for x in &mut v {
+                        *x = x.scale(1.0 + 0.01 * i as f32);
+                    }
+                }
+                v
+            })
+            .collect();
+        Tiny { net, seqs }
+    }
+
+    #[test]
+    fn exact_runner_has_zero_reuse() {
+        let w = workload(2, 10);
+        let outcome = MemoizedRunner::exact().run(&w).unwrap();
+        assert_eq!(outcome.outputs.len(), 2);
+        assert_eq!(outcome.reuse_fraction(), 0.0);
+        assert_eq!(
+            outcome.stats.evaluations(),
+            (2 * 10 * w.net.neuron_evaluations_per_step()) as u64
+        );
+    }
+
+    #[test]
+    fn oracle_and_bnn_runners_report_reuse() {
+        let w = workload(2, 20);
+        let oracle = MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.5))
+            .run(&w)
+            .unwrap();
+        let bnn = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(2.0))
+            .run(&w)
+            .unwrap();
+        assert!(oracle.reuse_fraction() > 0.0);
+        assert!(bnn.reuse_fraction() > 0.0);
+        assert!(oracle.reuse_percent() <= 100.0);
+        assert!(bnn.reuse_percent() <= 100.0);
+    }
+
+    #[test]
+    fn predictor_kind_is_observable() {
+        let r = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.1));
+        assert!(matches!(r.predictor(), PredictorKind::Bnn(_)));
+        assert!(matches!(
+            MemoizedRunner::exact().predictor(),
+            PredictorKind::Exact
+        ));
+        assert!(matches!(
+            MemoizedRunner::oracle(OracleMemoConfig::default()).predictor(),
+            PredictorKind::Oracle(_)
+        ));
+    }
+
+    #[test]
+    fn exact_and_zero_threshold_oracle_agree() {
+        let w = workload(1, 12);
+        let exact = MemoizedRunner::exact().run(&w).unwrap();
+        let oracle = MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.0))
+            .run(&w)
+            .unwrap();
+        assert_eq!(exact.outputs, oracle.outputs);
+    }
+}

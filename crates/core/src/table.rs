@@ -1,0 +1,205 @@
+//! The memoization buffer (Figure 10 / the FMU's memoization buffer).
+
+use nfm_rnn::GateId;
+use std::collections::HashMap;
+
+/// Per-neuron memoization state.
+///
+/// Matches the three quantities the paper's memoization buffer holds for
+/// every neuron: the cached full-precision output `y_m`, the cached
+/// binary-network output `yb_m` and the accumulated relative difference
+/// `δb` over the current run of reuses (Equations 13–17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoEntry {
+    /// Cached full-precision output `y_m` (the pre-activation dot product
+    /// in this implementation, which is what the DPU produces and the FMU
+    /// bypasses).
+    pub cached_output: f32,
+    /// Cached binary-network output `yb_m`.
+    pub cached_bnn_output: f32,
+    /// Accumulated relative difference `δb` across consecutive reuses.
+    pub accumulated_delta: f32,
+    /// Number of consecutive timesteps the entry has been reused since
+    /// the last full-precision evaluation (diagnostic; the hardware does
+    /// not need it but the evaluation section reports it).
+    pub consecutive_reuses: u32,
+}
+
+impl MemoEntry {
+    /// Creates a fresh entry right after a full-precision evaluation
+    /// (Equations 15–17: `y_m = y_t`, `yb_m = yb_t`, `δb = 0`).
+    pub fn fresh(output: f32, bnn_output: f32) -> Self {
+        MemoEntry {
+            cached_output: output,
+            cached_bnn_output: bnn_output,
+            accumulated_delta: 0.0,
+            consecutive_reuses: 0,
+        }
+    }
+}
+
+/// The memoization buffer: one [`MemoEntry`] per `(gate, neuron)`.
+///
+/// The table is cleared at the start of every input sequence — the
+/// hardware buffer holds no useful state across independent inputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoTable {
+    entries: HashMap<(GateId, usize), MemoEntry>,
+    max_consecutive_reuses: u32,
+}
+
+impl MemoTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MemoTable::default()
+    }
+
+    /// Number of neurons with a cached entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no neuron has a cached entry.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the entry for a neuron.
+    pub fn get(&self, gate: GateId, neuron: usize) -> Option<&MemoEntry> {
+        self.entries.get(&(gate, neuron))
+    }
+
+    /// Replaces a neuron's entry after a full-precision evaluation.
+    pub fn refresh(&mut self, gate: GateId, neuron: usize, output: f32, bnn_output: f32) {
+        self.entries
+            .insert((gate, neuron), MemoEntry::fresh(output, bnn_output));
+    }
+
+    /// Marks a reuse of a neuron's entry, updating the accumulated delta
+    /// (Equation 14 keeps `δb` when the value is reused).
+    ///
+    /// Returns the cached full-precision output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron has no entry; callers must only record a
+    /// reuse after [`MemoTable::get`] returned `Some`.
+    pub fn record_reuse(&mut self, gate: GateId, neuron: usize, new_delta: f32) -> f32 {
+        let entry = self
+            .entries
+            .get_mut(&(gate, neuron))
+            .expect("reuse recorded for a neuron with no memo entry");
+        entry.accumulated_delta = new_delta;
+        entry.consecutive_reuses += 1;
+        if entry.consecutive_reuses > self.max_consecutive_reuses {
+            self.max_consecutive_reuses = entry.consecutive_reuses;
+        }
+        entry.cached_output
+    }
+
+    /// Longest run of consecutive reuses observed for any neuron since
+    /// the table was created or cleared.
+    pub fn max_consecutive_reuses(&self) -> u32 {
+        self.max_consecutive_reuses
+    }
+
+    /// Clears every entry (start of a new input sequence).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.max_consecutive_reuses = 0;
+    }
+
+    /// Approximate size of the buffer in bytes, assuming the hardware
+    /// layout of Table 2: a 16-bit cached output, a 16-bit cached BNN
+    /// output and a 16-bit fixed-point accumulated delta per neuron.
+    pub fn hardware_bytes(&self) -> usize {
+        self.entries.len() * 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::GateKind;
+
+    fn gid() -> GateId {
+        GateId::new(0, 0, GateKind::Input)
+    }
+
+    #[test]
+    fn fresh_entry_has_zero_delta() {
+        let e = MemoEntry::fresh(1.5, 12.0);
+        assert_eq!(e.cached_output, 1.5);
+        assert_eq!(e.cached_bnn_output, 12.0);
+        assert_eq!(e.accumulated_delta, 0.0);
+        assert_eq!(e.consecutive_reuses, 0);
+    }
+
+    #[test]
+    fn refresh_and_get_roundtrip() {
+        let mut t = MemoTable::new();
+        assert!(t.is_empty());
+        assert!(t.get(gid(), 3).is_none());
+        t.refresh(gid(), 3, 2.0, 5.0);
+        assert_eq!(t.len(), 1);
+        let e = t.get(gid(), 3).unwrap();
+        assert_eq!(e.cached_output, 2.0);
+        assert_eq!(e.cached_bnn_output, 5.0);
+    }
+
+    #[test]
+    fn record_reuse_updates_delta_and_counts() {
+        let mut t = MemoTable::new();
+        t.refresh(gid(), 0, 1.0, 4.0);
+        let y = t.record_reuse(gid(), 0, 0.2);
+        assert_eq!(y, 1.0);
+        let y = t.record_reuse(gid(), 0, 0.35);
+        assert_eq!(y, 1.0);
+        let e = t.get(gid(), 0).unwrap();
+        assert_eq!(e.consecutive_reuses, 2);
+        assert!((e.accumulated_delta - 0.35).abs() < 1e-6);
+        assert_eq!(t.max_consecutive_reuses(), 2);
+        // A refresh resets the run length.
+        t.refresh(gid(), 0, 9.0, 9.0);
+        assert_eq!(t.get(gid(), 0).unwrap().consecutive_reuses, 0);
+        assert_eq!(t.max_consecutive_reuses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no memo entry")]
+    fn reuse_without_entry_panics() {
+        let mut t = MemoTable::new();
+        let _ = t.record_reuse(gid(), 7, 0.0);
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let mut t = MemoTable::new();
+        t.refresh(gid(), 0, 1.0, 1.0);
+        t.record_reuse(gid(), 0, 0.1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.max_consecutive_reuses(), 0);
+    }
+
+    #[test]
+    fn hardware_bytes_scale_with_entries() {
+        let mut t = MemoTable::new();
+        assert_eq!(t.hardware_bytes(), 0);
+        for n in 0..10 {
+            t.refresh(gid(), n, 0.0, 0.0);
+        }
+        assert_eq!(t.hardware_bytes(), 60);
+    }
+
+    #[test]
+    fn entries_are_independent_per_neuron_and_gate() {
+        let mut t = MemoTable::new();
+        let other_gate = GateId::new(1, 0, GateKind::Forget);
+        t.refresh(gid(), 0, 1.0, 1.0);
+        t.refresh(other_gate, 0, 2.0, 2.0);
+        t.record_reuse(gid(), 0, 0.5);
+        assert_eq!(t.get(other_gate, 0).unwrap().accumulated_delta, 0.0);
+        assert_eq!(t.get(gid(), 0).unwrap().accumulated_delta, 0.5);
+    }
+}

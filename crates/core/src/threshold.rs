@@ -1,0 +1,180 @@
+//! Threshold exploration (Section 3.2.1).
+//!
+//! "We perform an exploration of different values of θ for each RNN model
+//! by using the training set, obtaining accuracy and degree of
+//! computation reuse for each threshold value [...].  We then select the
+//! value that achieves highest computation reuse with the target
+//! accuracy loss (i.e. less than 1%)."
+
+/// One measured point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// The threshold `θ` that was evaluated.
+    pub threshold: f32,
+    /// Computation reuse achieved at this threshold, in `[0, 1]`.
+    pub reuse: f64,
+    /// Accuracy loss versus the exact baseline, in percentage points.
+    pub accuracy_loss: f64,
+}
+
+/// Sweeps candidate thresholds with a caller-supplied measurement
+/// function and selects the operating point the paper would pick.
+///
+/// The measurement function receives a threshold and returns
+/// `(reuse fraction, accuracy loss in percentage points)` — typically by
+/// running a calibration subset of the workload under the BNN predictor
+/// and scoring the outputs with the workload's accuracy proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdExplorer {
+    candidates: Vec<f32>,
+}
+
+impl ThresholdExplorer {
+    /// Creates an explorer over an explicit candidate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn new(candidates: Vec<f32>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate threshold");
+        ThresholdExplorer { candidates }
+    }
+
+    /// Creates an explorer over `steps` evenly spaced thresholds in
+    /// `[0, max]` (the paper sweeps 0–0.6 for speech and 0–1.0 for
+    /// classification workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or `max <= 0`.
+    pub fn linspace(max: f32, steps: usize) -> Self {
+        assert!(steps >= 2, "need at least two steps");
+        assert!(max > 0.0, "max threshold must be positive");
+        let candidates = (0..steps)
+            .map(|i| max * i as f32 / (steps - 1) as f32)
+            .collect();
+        ThresholdExplorer { candidates }
+    }
+
+    /// The candidate thresholds.
+    pub fn candidates(&self) -> &[f32] {
+        &self.candidates
+    }
+
+    /// Measures every candidate with `measure` and returns the full sweep.
+    pub fn sweep(&self, mut measure: impl FnMut(f32) -> (f64, f64)) -> Vec<ThresholdPoint> {
+        self.candidates
+            .iter()
+            .map(|&threshold| {
+                let (reuse, accuracy_loss) = measure(threshold);
+                ThresholdPoint {
+                    threshold,
+                    reuse,
+                    accuracy_loss,
+                }
+            })
+            .collect()
+    }
+
+    /// Selects, from a sweep, the point with the highest reuse whose
+    /// accuracy loss does not exceed `max_loss` percentage points.
+    /// Returns `None` if no point qualifies.
+    pub fn select(points: &[ThresholdPoint], max_loss: f64) -> Option<ThresholdPoint> {
+        points
+            .iter()
+            .filter(|p| p.accuracy_loss <= max_loss)
+            .cloned()
+            .max_by(|a, b| {
+                a.reuse
+                    .partial_cmp(&b.reuse)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Convenience: sweeps and selects in one call.
+    pub fn explore(
+        &self,
+        measure: impl FnMut(f32) -> (f64, f64),
+        max_loss: f64,
+    ) -> Option<ThresholdPoint> {
+        let points = self.sweep(measure);
+        Self::select(&points, max_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic reuse/accuracy trade-off: reuse saturates with θ while
+    /// accuracy loss grows quadratically.
+    fn fake_measure(theta: f32) -> (f64, f64) {
+        let reuse = 1.0 - (-theta as f64 * 3.0).exp();
+        let loss = (theta as f64 * 4.0).powi(2);
+        (reuse, loss)
+    }
+
+    #[test]
+    fn linspace_produces_inclusive_grid() {
+        let e = ThresholdExplorer::linspace(0.6, 7);
+        assert_eq!(e.candidates().len(), 7);
+        assert_eq!(e.candidates()[0], 0.0);
+        assert!((e.candidates()[6] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two steps")]
+    fn linspace_rejects_single_step() {
+        let _ = ThresholdExplorer::linspace(0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn new_rejects_empty_candidates() {
+        let _ = ThresholdExplorer::new(vec![]);
+    }
+
+    #[test]
+    fn sweep_visits_every_candidate_in_order() {
+        let e = ThresholdExplorer::new(vec![0.0, 0.2, 0.4]);
+        let points = e.sweep(fake_measure);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].threshold, 0.2);
+        assert!(points[2].reuse > points[0].reuse);
+    }
+
+    #[test]
+    fn select_picks_highest_reuse_within_budget() {
+        let e = ThresholdExplorer::linspace(1.0, 21);
+        let points = e.sweep(fake_measure);
+        let chosen = ThresholdExplorer::select(&points, 1.0).expect("a point qualifies");
+        // Every qualifying point has loss <= 1.0; the chosen one maximises reuse.
+        assert!(chosen.accuracy_loss <= 1.0);
+        for p in &points {
+            if p.accuracy_loss <= 1.0 {
+                assert!(chosen.reuse >= p.reuse);
+            }
+        }
+        // Tighter budgets choose smaller (or equal) thresholds.
+        let strict = ThresholdExplorer::select(&points, 0.1).unwrap();
+        assert!(strict.threshold <= chosen.threshold);
+    }
+
+    #[test]
+    fn select_returns_none_when_nothing_qualifies() {
+        let points = vec![ThresholdPoint {
+            threshold: 0.5,
+            reuse: 0.4,
+            accuracy_loss: 5.0,
+        }];
+        assert!(ThresholdExplorer::select(&points, 1.0).is_none());
+    }
+
+    #[test]
+    fn explore_combines_sweep_and_select() {
+        let e = ThresholdExplorer::linspace(1.0, 11);
+        let chosen = e.explore(fake_measure, 2.0).unwrap();
+        assert!(chosen.accuracy_loss <= 2.0);
+        assert!(chosen.reuse > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Command-line entry point: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! nfm-eval <experiment> [--full] [--scale S] [--sequences N] [--length L] [--steps K] [--seed X]
+//! nfm-eval all [--full]
+//! ```
+
+use nfm_eval::{run_experiment, EvalConfig, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let experiment = args[0].clone();
+    let mut config = EvalConfig::fast();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config = EvalConfig::full(),
+            "--scale" => {
+                config.scale = next_value(&args, &mut i, "--scale");
+            }
+            "--sequences" => {
+                config.sequences = next_value(&args, &mut i, "--sequences");
+            }
+            "--length" => {
+                config.sequence_length = Some(next_value(&args, &mut i, "--length"));
+            }
+            "--steps" => {
+                config.threshold_steps = next_value(&args, &mut i, "--steps");
+            }
+            "--seed" => {
+                config.seed = next_value(&args, &mut i, "--seed");
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let experiments: Vec<&str> = if experiment == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![experiment.as_str()]
+    };
+    for name in experiments {
+        match run_experiment(name, &config) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn next_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+}
+
+fn print_usage() {
+    println!("Usage: nfm-eval <experiment|all> [options]");
+    println!("Experiments: {}", EXPERIMENTS.join(", "));
+    println!("Options:");
+    println!("  --full           faithful Table 1 topologies (slow; use release mode)");
+    println!("  --scale S        topology scale factor (default 0.1)");
+    println!("  --sequences N    input sequences per workload (default 2)");
+    println!("  --length L       timesteps per sequence (default 30)");
+    println!("  --steps K        threshold sweep points (default 7)");
+    println!("  --seed X         RNG seed (default 2019)");
+}

@@ -1,0 +1,66 @@
+//! Figure 1: accuracy loss and computation reuse versus the relative
+//! output-error threshold, using the oracle predictor.
+
+use crate::harness::{EvalConfig, NetworkRun};
+use crate::report::{ExperimentReport, Series};
+
+/// Regenerates Figure 1: for every network, an oracle-predictor threshold
+/// sweep producing the accuracy-loss curve and the computation-reuse
+/// curve.
+pub fn run(config: &EvalConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "Figure 1: accuracy loss and computation reuse vs threshold (oracle predictor)",
+    );
+    let runs = match NetworkRun::all(config) {
+        Ok(r) => r,
+        Err(e) => {
+            report.heading = format!("Figure 1 failed: {e}");
+            return report;
+        }
+    };
+    for run in &runs {
+        let spec = run.spec();
+        let sweep = run.sweep_oracle(config.threshold_steps);
+        let mut loss = Series::new(
+            format!("{} / {}", spec.id, spec.accuracy.loss_label()),
+            "threshold",
+            spec.accuracy.loss_label(),
+        );
+        let mut reuse = Series::new(
+            format!("{} / Computation Reuse (%)", spec.id),
+            "threshold",
+            "Computation Reuse (%)",
+        );
+        for point in &sweep {
+            loss.push(point.threshold as f64, point.loss);
+            reuse.push(point.threshold as f64, point.reuse * 100.0);
+        }
+        report.series.push(loss);
+        report.series.push(reuse);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_two_curves_per_network_and_reuse_is_monotone() {
+        let r = run(&EvalConfig::smoke());
+        assert_eq!(r.series.len(), 8);
+        for s in r.series.iter().filter(|s| s.label.contains("Reuse")) {
+            assert!(
+                s.is_non_decreasing(1e-6),
+                "reuse curve must grow with threshold: {}",
+                s.label
+            );
+            // At threshold zero the oracle reuses only exactly repeated
+            // outputs, so reuse starts near zero.
+            assert!(s.points[0].1 < 20.0);
+        }
+        for s in r.series.iter().filter(|s| s.label.contains("Loss")) {
+            assert!(s.points.iter().all(|&(_, y)| y >= 0.0));
+        }
+    }
+}

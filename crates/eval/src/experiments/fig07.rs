@@ -1,0 +1,74 @@
+//! Figure 7: binarized versus full-precision neuron outputs for EESEN.
+
+use crate::harness::{EvalConfig, NetworkRun};
+use crate::report::{ExperimentReport, Series, TableReport};
+use nfm_bnn::{BinaryNetwork, CorrelationProbe};
+use nfm_workloads::NetworkId;
+
+/// Regenerates Figure 7: the scatter of BNN outputs against
+/// full-precision outputs for the EESEN network, and the pooled linear
+/// correlation coefficient (the paper reports R = 0.96).
+pub fn run(config: &EvalConfig) -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("Figure 7: binarized vs full-precision neuron outputs (EESEN)");
+    let run = match NetworkRun::build(NetworkId::Eesen, config) {
+        Ok(r) => r,
+        Err(e) => {
+            report.heading = format!("Figure 7 failed: {e}");
+            return report;
+        }
+    };
+    let mut probe = CorrelationProbe::new(BinaryNetwork::mirror(run.workload().network()));
+    for seq in run.workload().sequences() {
+        let _ = run
+            .workload()
+            .network()
+            .run(seq, &mut probe)
+            .expect("correlation probe run");
+    }
+    let pooled = probe.pooled_correlation().unwrap_or(0.0);
+
+    let mut table = TableReport::new("Correlation", vec!["Quantity", "Value"]);
+    table.push_row(vec!["Correlation factor (R)".into(), format!("{pooled:.3}")]);
+    table.push_row(vec![
+        "Neurons sampled".into(),
+        probe.neuron_count().to_string(),
+    ]);
+    table.push_row(vec![
+        "Paired samples".into(),
+        probe.paired_samples().len().to_string(),
+    ]);
+    table.push_note("The paper reports R = 0.96 for EESEN's trained model.");
+    report.tables.push(table);
+
+    // A down-sampled scatter so the report stays readable.
+    let mut scatter = Series::new(
+        "EESEN scatter (subsampled)",
+        "Full-precision output",
+        "Binarized output",
+    );
+    let samples = probe.paired_samples();
+    let stride = (samples.len() / 200).max(1);
+    for (fp, bnn) in samples.iter().step_by(stride) {
+        scatter.push(*fp as f64, *bnn as f64);
+    }
+    report.series.push(scatter);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_finds_a_strong_positive_correlation() {
+        let r = run(&EvalConfig::smoke());
+        let value: f64 = r.tables[0].rows[0][1].parse().unwrap();
+        assert!(
+            value > 0.5,
+            "pooled BNN/FP correlation should be strongly positive, got {value}"
+        );
+        assert!(!r.series[0].points.is_empty());
+        assert!(r.series[0].points.len() <= 250);
+    }
+}

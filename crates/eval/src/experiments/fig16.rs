@@ -1,0 +1,62 @@
+//! Figure 16: computation reuse versus accuracy loss for the oracle and
+//! BNN predictors.
+
+use crate::harness::{EvalConfig, NetworkRun};
+use crate::report::{ExperimentReport, Series};
+
+/// Regenerates Figure 16: for every network, the (computation reuse,
+/// accuracy loss) trade-off curves of the oracle predictor and the BNN
+/// predictor.
+pub fn run(config: &EvalConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "Figure 16: computation reuse vs accuracy loss, oracle and BNN predictors",
+    );
+    let runs = match NetworkRun::all(config) {
+        Ok(r) => r,
+        Err(e) => {
+            report.heading = format!("Figure 16 failed: {e}");
+            return report;
+        }
+    };
+    for run in &runs {
+        let spec = run.spec();
+        let mut oracle = Series::new(
+            format!("{} / Oracle predictor", spec.id),
+            "Computation Reuse (%)",
+            spec.accuracy.loss_label(),
+        );
+        for p in run.sweep_oracle(config.threshold_steps) {
+            oracle.push(p.reuse * 100.0, p.loss);
+        }
+        let mut bnn = Series::new(
+            format!("{} / Binary Network predictor", spec.id),
+            "Computation Reuse (%)",
+            spec.accuracy.loss_label(),
+        );
+        for p in run.sweep_bnn(config.threshold_steps, true) {
+            bnn.push(p.reuse * 100.0, p.loss);
+        }
+        report.series.push(oracle);
+        report.series.push(bnn);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure16_has_oracle_and_bnn_curves_per_network() {
+        let r = run(&EvalConfig::smoke());
+        assert_eq!(r.series.len(), 8);
+        let oracle_curves = r.series.iter().filter(|s| s.label.contains("Oracle")).count();
+        assert_eq!(oracle_curves, 4);
+        for s in &r.series {
+            assert!(!s.points.is_empty());
+            // Reuse percentages on the x axis stay in range.
+            assert!(s.points.iter().all(|&(x, _)| (0.0..=100.0).contains(&x)));
+            assert!(s.points.iter().all(|&(_, y)| y >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig05;
+pub mod fig07;
+pub mod fig08;
+pub mod fig11;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod headline;
+pub mod hw;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;

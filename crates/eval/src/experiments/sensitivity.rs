@@ -1,0 +1,105 @@
+//! Hardware sensitivity study: how the design parameters called out in
+//! Table 2 (FMU latency, DPU width) move the headline speedup.
+//!
+//! The paper fixes the FMU latency at 5 cycles and the DPU width at 16
+//! lanes; this ablation sweeps both to show how sensitive the speedup is
+//! to those design choices (DESIGN.md lists it as an ablation bench).
+
+use crate::harness::{shape_from_spec, EvalConfig};
+use crate::report::{ExperimentReport, Series, TableReport};
+use nfm_accel::{EpurConfig, EpurSimulator};
+use nfm_workloads::{NetworkId, NetworkSpec};
+
+/// Reuse levels representative of the paper's 1% / 2% / 3% loss budgets.
+const REUSE_LEVELS: [f64; 3] = [0.242, 0.31, 0.40];
+
+/// Regenerates the sensitivity study.
+pub fn run(_config: &EvalConfig) -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("Sensitivity: FMU latency and DPU width vs achievable speedup");
+    let spec = NetworkSpec::of(NetworkId::Eesen);
+    let shape = shape_from_spec(&spec);
+    let timesteps = spec.typical_sequence_length as u64;
+
+    // FMU latency sweep at the Table 2 DPU width.
+    let mut latency_table = TableReport::new(
+        "Speedup vs FMU latency (EESEN topology, DPU width 16)",
+        vec!["FMU latency (cycles)", "24.2% reuse", "31% reuse", "40% reuse"],
+    );
+    for latency in [1u64, 3, 5, 8, 12, 20] {
+        let mut config = EpurConfig::default();
+        config.memoization.latency_cycles = latency;
+        let sim = EpurSimulator::new(config);
+        let mut row = vec![latency.to_string()];
+        for reuse in REUSE_LEVELS {
+            let cmp = sim.compare(&shape, timesteps, 1, reuse);
+            row.push(format!("{:.2}", cmp.speedup()));
+        }
+        latency_table.push_row(row);
+    }
+    latency_table.push_note("Table 2 uses 5 cycles; longer FMU latencies erode the speedup.");
+    report.tables.push(latency_table);
+
+    // DPU width sweep at the Table 2 FMU latency.
+    let mut width_series = Series::new(
+        "Speedup vs DPU width at 31% reuse (EESEN topology)",
+        "DPU width (lanes)",
+        "Speedup (x)",
+    );
+    let mut width_table = TableReport::new(
+        "Speedup vs DPU width (EESEN topology, FMU latency 5)",
+        vec!["DPU width", "Baseline cycles/step", "24.2% reuse", "31% reuse", "40% reuse"],
+    );
+    for width in [8usize, 16, 32, 64] {
+        let mut config = EpurConfig::default();
+        config.dpu_width = width;
+        let sim = EpurSimulator::new(config);
+        let baseline_per_step = sim.timing_model().baseline_cycles_per_step(&shape);
+        let mut row = vec![width.to_string(), baseline_per_step.to_string()];
+        for reuse in REUSE_LEVELS {
+            let cmp = sim.compare(&shape, timesteps, 1, reuse);
+            row.push(format!("{:.2}", cmp.speedup()));
+            if (reuse - 0.31).abs() < 1e-9 {
+                width_series.push(width as f64, cmp.speedup());
+            }
+        }
+        width_table.push_row(row);
+    }
+    width_table.push_note(
+        "Wider DPUs shrink the full-precision evaluation time, so the fixed FMU latency weighs \
+         more and the relative benefit of memoization drops — the same trend the paper notes for \
+         small networks.",
+    );
+    report.tables.push(width_table);
+    report.series.push(width_series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_trends_match_expectations() {
+        let r = run(&EvalConfig::smoke());
+        // Speedup decreases as FMU latency grows (column for 31% reuse).
+        let latencies = &r.tables[0];
+        let speedups: Vec<f64> = latencies
+            .rows
+            .iter()
+            .map(|row| row[2].parse().unwrap())
+            .collect();
+        assert!(speedups.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        // Speedup decreases as the DPU gets wider.
+        let widths = &r.series[0];
+        assert!(widths
+            .points
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 + 1e-9));
+        // At the Table 2 design point the speedup is positive and > 1 for
+        // paper-level reuse.
+        let table2_row = &r.tables[0].rows[2];
+        assert_eq!(table2_row[0], "5");
+        assert!(table2_row[2].parse::<f64>().unwrap() > 1.0);
+    }
+}

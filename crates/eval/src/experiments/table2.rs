@@ -1,0 +1,78 @@
+//! Table 2: configuration parameters of E-PUR and the memoization unit.
+
+use crate::report::{ExperimentReport, TableReport};
+use nfm_accel::{AreaModel, EpurConfig};
+
+/// Regenerates Table 2: the accelerator and memoization-unit parameters
+/// this reproduction simulates, plus the Section 5 area summary.
+pub fn run() -> ExperimentReport {
+    let config = EpurConfig::default();
+    let area = AreaModel::default();
+    let mut report = ExperimentReport::new("Table 2: configuration parameters");
+
+    let mut epur = TableReport::new("E-PUR", vec!["Parameter", "Value"]);
+    epur.push_row(vec!["Technology".into(), format!("{} nm", config.technology_nm)]);
+    epur.push_row(vec![
+        "Frequency".into(),
+        format!("{} MHz", config.frequency_hz / 1e6),
+    ]);
+    epur.push_row(vec![
+        "Intermediate Memory".into(),
+        format!("{} MiB", config.intermediate_memory_bytes / (1024 * 1024)),
+    ]);
+    epur.push_row(vec![
+        "Weight Buffer".into(),
+        format!("{} MiB per CU", config.weight_buffer_bytes / (1024 * 1024)),
+    ]);
+    epur.push_row(vec![
+        "Input Buffer".into(),
+        format!("{} KiB per CU", config.input_buffer_bytes / 1024),
+    ]);
+    epur.push_row(vec!["DPU Width".into(), format!("{} operations", config.dpu_width)]);
+    epur.push_row(vec![
+        "Computation Units".into(),
+        config.computation_units.to_string(),
+    ]);
+    report.tables.push(epur);
+
+    let memo = config.memoization;
+    let mut fmu = TableReport::new("Memoization Unit", vec!["Parameter", "Value"]);
+    fmu.push_row(vec!["BDPU Width".into(), format!("{} bits", memo.bdpu_width_bits)]);
+    fmu.push_row(vec!["Latency".into(), format!("{} cycles", memo.latency_cycles)]);
+    fmu.push_row(vec![
+        "Integer Width".into(),
+        format!("{} bytes", memo.integer_width_bytes),
+    ]);
+    fmu.push_row(vec![
+        "Memoization Buffer".into(),
+        format!("{} KiB", memo.memo_buffer_bytes / 1024),
+    ]);
+    fmu.push_note(format!(
+        "Area: E-PUR {:.1} mm2, E-PUR+BM {:.1} mm2 ({:.1}% overhead).",
+        area.baseline_mm2(),
+        area.with_memoization_mm2(),
+        area.overhead_fraction() * 100.0
+    ));
+    report.tables.push(fmu);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reports_paper_parameters() {
+        let text = run().to_string();
+        assert!(text.contains("28 nm"));
+        assert!(text.contains("500 MHz"));
+        assert!(text.contains("6 MiB"));
+        assert!(text.contains("2 MiB per CU"));
+        assert!(text.contains("16 operations"));
+        assert!(text.contains("2048 bits"));
+        assert!(text.contains("5 cycles"));
+        assert!(text.contains("8 KiB"));
+        assert!(text.contains("64.6 mm2"));
+        assert!(text.contains("66.8 mm2"));
+    }
+}

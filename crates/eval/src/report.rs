@@ -1,0 +1,224 @@
+//! Plain-text report types shared by all experiments.
+
+use std::fmt;
+
+/// A named series of `(x, y)` points — one curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. "EESEN / Oracle predictor").
+    pub label: String,
+    /// Axis label of `x`.
+    pub x_label: String,
+    /// Axis label of `y`.
+    pub y_label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(
+        label: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Series {
+            label: label.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Returns `true` if `y` never decreases as `x` increases (within a
+    /// small tolerance); used by tests on reuse-vs-threshold curves.
+    pub fn is_non_decreasing(&self, tolerance: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 + tolerance >= w[0].1)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.label)?;
+        writeln!(f, "# {:>12} {:>14}", self.x_label, self.y_label)?;
+        for (x, y) in &self.points {
+            writeln!(f, "{x:>14.4} {y:>14.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A simple column-aligned table report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableReport {
+    /// Table title (e.g. "Table 1: RNN networks used for the experiments").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed after the table.
+    pub notes: Vec<String>,
+}
+
+impl TableReport {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        TableReport {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths = self.column_widths();
+        let render = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full experiment report: any number of tables and series plus a
+/// heading, rendered as plain text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExperimentReport {
+    /// Heading line identifying the paper artefact being regenerated.
+    pub heading: String,
+    /// Tables in display order.
+    pub tables: Vec<TableReport>,
+    /// Series in display order.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentReport {
+    /// Creates a report with a heading.
+    pub fn new(heading: impl Into<String>) -> Self {
+        ExperimentReport {
+            heading: heading.into(),
+            tables: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} ====", self.heading)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for s in &self.series {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_display_and_monotonicity() {
+        let mut s = Series::new("EESEN", "threshold", "reuse (%)");
+        s.push(0.0, 0.0);
+        s.push(0.3, 25.0);
+        s.push(0.5, 40.0);
+        assert!(s.is_non_decreasing(1e-9));
+        let text = s.to_string();
+        assert!(text.contains("EESEN"));
+        assert!(text.contains("threshold"));
+        assert!(text.lines().count() >= 5);
+        s.push(0.6, 10.0);
+        assert!(!s.is_non_decreasing(1e-9));
+    }
+
+    #[test]
+    fn table_display_aligns_columns() {
+        let mut t = TableReport::new("Table 1", vec!["Network", "Reuse"]);
+        t.push_row(vec!["EESEN".into(), "30.5%".into()]);
+        t.push_row(vec!["IMDB Sentiment".into(), "36.2%".into()]);
+        t.push_note("measured on synthetic data");
+        let text = t.to_string();
+        assert!(text.contains("== Table 1 =="));
+        assert!(text.contains("note: measured"));
+        // Both rows render the second column at the same offset.
+        let lines: Vec<&str> = text.lines().collect();
+        // line 0: title, 1: headers, 2: separator, 3: first row
+        assert!(lines[3].contains("EESEN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TableReport::new("x", vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn experiment_report_combines_parts() {
+        let mut r = ExperimentReport::new("Figure 1");
+        r.tables.push(TableReport::new("t", vec!["c"]));
+        let mut s = Series::new("curve", "x", "y");
+        s.push(1.0, 2.0);
+        r.series.push(s);
+        let text = r.to_string();
+        assert!(text.contains("==== Figure 1 ===="));
+        assert!(text.contains("curve"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for RNN construction and inference.
+
+use nfm_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running an RNN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnnError {
+    /// An underlying tensor operation failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// The network/layer/cell configuration is inconsistent.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+    /// An input sequence element had the wrong width for the first layer.
+    InputSizeMismatch {
+        /// Width the network expects.
+        expected: usize,
+        /// Width that was supplied.
+        found: usize,
+        /// Index of the offending element in the sequence.
+        timestep: usize,
+    },
+    /// The input sequence was empty.
+    EmptySequence,
+}
+
+impl fmt::Display for RnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RnnError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            RnnError::InputSizeMismatch {
+                expected,
+                found,
+                timestep,
+            } => write!(
+                f,
+                "input size mismatch at timestep {timestep}: expected {expected}, found {found}"
+            ),
+            RnnError::EmptySequence => write!(f, "input sequence is empty"),
+        }
+    }
+}
+
+impl Error for RnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for RnnError {
+    fn from(e: TensorError) -> Self {
+        RnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RnnError::InvalidConfig {
+            what: "layers must be > 0".into(),
+        };
+        assert!(e.to_string().contains("layers"));
+        let e = RnnError::InputSizeMismatch {
+            expected: 8,
+            found: 4,
+            timestep: 2,
+        };
+        assert!(e.to_string().contains("timestep 2"));
+        assert!(RnnError::EmptySequence.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let t = TensorError::Empty { op: "mean" };
+        let e: RnnError = t.clone().into();
+        assert_eq!(e, RnnError::Tensor(t));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RnnError>();
+    }
+}

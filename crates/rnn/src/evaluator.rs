@@ -1,0 +1,204 @@
+//! The per-neuron evaluation hook where fuzzy memoization plugs in.
+
+use crate::gate::{Gate, GateId};
+use crate::Result;
+
+/// Identifies one neuron evaluation: which gate, which neuron of that
+/// gate, and at which timestep of the current sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NeuronRef {
+    /// The gate being evaluated.
+    pub gate_id: GateId,
+    /// Row index of the neuron inside the gate.
+    pub neuron: usize,
+    /// Index of the current element in the input sequence.
+    pub timestep: usize,
+}
+
+/// Strategy for producing a neuron's pre-activation dot product
+/// `W_x[n]·x_t + W_h[n]·h_{t-1}`.
+///
+/// This is the exact boundary at which the paper's scheme operates: the
+/// E-PUR dot-product unit (DPU) computes this value in the baseline,
+/// while the fuzzy memoization unit (FMU) may instead return a recently
+/// cached value and skip the DPU entirely.  Implementations decide, per
+/// neuron and per timestep, whether to compute or reuse.
+///
+/// Bias, peephole and activation are *not* the evaluator's concern; the
+/// cell applies them afterwards (they are computed by the multi-functional
+/// unit in the accelerator and are never skipped).
+pub trait NeuronEvaluator {
+    /// Produces the pre-activation dot product for `neuron`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths are inconsistent with the
+    /// gate (exact evaluation performs dimension-checked dot products).
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> Result<f32>;
+
+    /// Called by [`DeepRnn::run`](crate::DeepRnn::run) before each new
+    /// input sequence so implementations can reset per-sequence state
+    /// (e.g. memoization tables are cold at the start of a sequence).
+    fn begin_sequence(&mut self) {}
+}
+
+/// The baseline evaluator: always computes the exact dot products.
+///
+/// Corresponds to the unmodified E-PUR accelerator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEvaluator {
+    evaluations: u64,
+}
+
+impl ExactEvaluator {
+    /// Creates a new exact evaluator.
+    pub fn new() -> Self {
+        ExactEvaluator { evaluations: 0 }
+    }
+
+    /// Number of neuron evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+impl NeuronEvaluator for ExactEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> Result<f32> {
+        self.evaluations += 1;
+        gate.neuron_dot(neuron.neuron, x, h_prev)
+    }
+}
+
+/// An instrumented evaluator that wraps another one and records every
+/// produced value; used by the evaluation harness to study output
+/// similarity between consecutive timesteps (Figure 5) and by tests.
+#[derive(Debug)]
+pub struct CountingEvaluator<E> {
+    inner: E,
+    calls: u64,
+    sequences: u64,
+}
+
+impl<E: NeuronEvaluator> CountingEvaluator<E> {
+    /// Wraps `inner`.
+    pub fn new(inner: E) -> Self {
+        CountingEvaluator {
+            inner,
+            calls: 0,
+            sequences: 0,
+        }
+    }
+
+    /// Total `evaluate` calls observed.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Total `begin_sequence` calls observed.
+    pub fn sequences(&self) -> u64 {
+        self.sequences
+    }
+
+    /// Returns the wrapped evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Borrows the wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: NeuronEvaluator> NeuronEvaluator for CountingEvaluator<E> {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> Result<f32> {
+        self.calls += 1;
+        self.inner.evaluate(neuron, gate, x, h_prev)
+    }
+
+    fn begin_sequence(&mut self) {
+        self.sequences += 1;
+        self.inner.begin_sequence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use nfm_tensor::activation::Activation;
+    use nfm_tensor::{Matrix, Vector};
+
+    fn gate() -> Gate {
+        Gate::new(
+            Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap(),
+            Matrix::from_rows(vec![vec![3.0]]).unwrap(),
+            Vector::zeros(1),
+            None,
+            Activation::Identity,
+        )
+        .unwrap()
+    }
+
+    fn nref() -> NeuronRef {
+        NeuronRef {
+            gate_id: GateId::new(0, 0, GateKind::Input),
+            neuron: 0,
+            timestep: 0,
+        }
+    }
+
+    #[test]
+    fn exact_evaluator_computes_dot() {
+        let g = gate();
+        let mut e = ExactEvaluator::new();
+        let v = e.evaluate(nref(), &g, &[1.0, 1.0], &[2.0]).unwrap();
+        assert_eq!(v, 1.0 + 2.0 + 6.0);
+        assert_eq!(e.evaluations(), 1);
+    }
+
+    #[test]
+    fn exact_evaluator_propagates_shape_errors() {
+        let g = gate();
+        let mut e = ExactEvaluator::new();
+        assert!(e.evaluate(nref(), &g, &[1.0], &[2.0]).is_err());
+    }
+
+    #[test]
+    fn counting_evaluator_tracks_calls_and_sequences() {
+        let g = gate();
+        let mut e = CountingEvaluator::new(ExactEvaluator::new());
+        e.begin_sequence();
+        let _ = e.evaluate(nref(), &g, &[1.0, 1.0], &[2.0]).unwrap();
+        let _ = e.evaluate(nref(), &g, &[1.0, 1.0], &[2.0]).unwrap();
+        assert_eq!(e.calls(), 2);
+        assert_eq!(e.sequences(), 1);
+        assert_eq!(e.inner().evaluations(), 2);
+        assert_eq!(e.into_inner().evaluations(), 2);
+    }
+
+    #[test]
+    fn default_begin_sequence_is_noop() {
+        let mut e = ExactEvaluator::new();
+        e.begin_sequence();
+        assert_eq!(e.evaluations(), 0);
+    }
+}

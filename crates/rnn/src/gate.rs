@@ -1,0 +1,448 @@
+//! Fully-connected gates: the unit of work the paper memoizes.
+
+use crate::error::RnnError;
+use crate::evaluator::{NeuronEvaluator, NeuronRef};
+use crate::Result;
+use nfm_tensor::activation::Activation;
+use nfm_tensor::init::Initializer;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::{Matrix, Vector};
+
+/// Which gate of a cell a set of weights belongs to.
+///
+/// LSTM cells use `Input`, `Forget`, `Candidate` (called the *updater*
+/// gate `g_t` in the paper) and `Output`; GRU cells use `Update`, `Reset`
+/// and `Candidate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// LSTM input gate `i_t` (Equation 1).
+    Input,
+    /// LSTM forget gate `f_t` (Equation 2).
+    Forget,
+    /// Candidate / updater gate `g_t` (Equation 3); also the GRU candidate.
+    Candidate,
+    /// LSTM output gate `o_t` (Equation 5).
+    Output,
+    /// GRU update gate `z_t`.
+    Update,
+    /// GRU reset gate `r_t`.
+    Reset,
+}
+
+impl GateKind {
+    /// All gate kinds used by an LSTM cell, in evaluation order.
+    pub const LSTM: [GateKind; 4] = [
+        GateKind::Input,
+        GateKind::Forget,
+        GateKind::Candidate,
+        GateKind::Output,
+    ];
+
+    /// All gate kinds used by a GRU cell, in evaluation order.
+    pub const GRU: [GateKind; 3] = [GateKind::Update, GateKind::Reset, GateKind::Candidate];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Input => "input",
+            GateKind::Forget => "forget",
+            GateKind::Candidate => "candidate",
+            GateKind::Output => "output",
+            GateKind::Update => "update",
+            GateKind::Reset => "reset",
+        }
+    }
+}
+
+/// Stable identifier of a gate inside a deep (possibly bidirectional)
+/// network: `(layer, direction slot, gate kind)`.
+///
+/// The memoization machinery keys its per-neuron tables with
+/// `(GateId, neuron index)`, which matches the paper's hardware where each
+/// computation unit owns the memoization buffer for the gate it evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId {
+    /// Index of the layer in the deep stack.
+    pub layer: usize,
+    /// 0 for the forward cell, 1 for the backward cell of a bidirectional
+    /// layer.
+    pub direction: usize,
+    /// Which gate of the cell.
+    pub kind: GateKind,
+}
+
+impl GateId {
+    /// Creates a new gate identifier.
+    pub fn new(layer: usize, direction: usize, kind: GateKind) -> Self {
+        GateId {
+            layer,
+            direction,
+            kind,
+        }
+    }
+}
+
+/// A fully-connected, single-layer gate with forward and recurrent
+/// connections, bias, optional peephole weights and an activation.
+///
+/// Each *row* of the two weight matrices belongs to one neuron; the
+/// pre-activation of neuron `n` at timestep `t` is
+/// `W_x[n]·x_t + W_h[n]·h_{t-1}` — this is the quantity that flows
+/// through a [`NeuronEvaluator`] and that the fuzzy memoization scheme
+/// either computes or reuses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    wx: Matrix,
+    wh: Matrix,
+    bias: Vector,
+    peephole: Option<Vector>,
+    activation: Activation,
+}
+
+impl Gate {
+    /// Creates a gate from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the matrix/vector shapes are
+    /// inconsistent (both matrices must have the same number of rows, the
+    /// bias and peephole must have one entry per row, and `wh` must be
+    /// square unless the layer projects to a different hidden size).
+    pub fn new(
+        wx: Matrix,
+        wh: Matrix,
+        bias: Vector,
+        peephole: Option<Vector>,
+        activation: Activation,
+    ) -> Result<Self> {
+        if wx.rows() != wh.rows() {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "forward and recurrent weight matrices disagree on neuron count: {} vs {}",
+                    wx.rows(),
+                    wh.rows()
+                ),
+            });
+        }
+        if bias.len() != wx.rows() {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "bias length {} does not match neuron count {}",
+                    bias.len(),
+                    wx.rows()
+                ),
+            });
+        }
+        if let Some(p) = &peephole {
+            if p.len() != wx.rows() {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "peephole length {} does not match neuron count {}",
+                        p.len(),
+                        wx.rows()
+                    ),
+                });
+            }
+        }
+        Ok(Gate {
+            wx,
+            wh,
+            bias,
+            peephole,
+            activation,
+        })
+    }
+
+    /// Creates a randomly initialized gate with `neurons` outputs,
+    /// `input_size` forward inputs and `hidden_size` recurrent inputs.
+    pub fn random(
+        neurons: usize,
+        input_size: usize,
+        hidden_size: usize,
+        activation: Activation,
+        peephole: bool,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self> {
+        if neurons == 0 || input_size == 0 || hidden_size == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: "gate dimensions must be positive".into(),
+            });
+        }
+        let wx = Initializer::XavierUniform.matrix(rng, neurons, input_size);
+        let wh = Initializer::XavierUniform.matrix(rng, neurons, hidden_size);
+        let bias = Initializer::Uniform { bound: 0.05 }.vector(rng, neurons);
+        let peephole = if peephole {
+            Some(Initializer::Uniform { bound: 0.1 }.vector(rng, neurons))
+        } else {
+            None
+        };
+        Gate::new(wx, wh, bias, peephole, activation)
+    }
+
+    /// Number of neurons (rows) in the gate.
+    pub fn neurons(&self) -> usize {
+        self.wx.rows()
+    }
+
+    /// Width of the forward input `x_t`.
+    pub fn input_size(&self) -> usize {
+        self.wx.cols()
+    }
+
+    /// Width of the recurrent input `h_{t-1}`.
+    pub fn hidden_size(&self) -> usize {
+        self.wh.cols()
+    }
+
+    /// Forward-connection weight matrix (`neurons x input_size`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent-connection weight matrix (`neurons x hidden_size`).
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+
+    /// Peephole weights, if the gate has them.
+    pub fn peephole(&self) -> Option<&Vector> {
+        self.peephole.as_ref()
+    }
+
+    /// Activation function applied after bias/peephole.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of weights fetched when a single neuron is evaluated
+    /// exactly (forward + recurrent row).
+    pub fn weights_per_neuron(&self) -> usize {
+        self.input_size() + self.hidden_size()
+    }
+
+    /// Total number of weights in the gate.
+    pub fn weight_count(&self) -> usize {
+        self.wx.element_count() + self.wh.element_count()
+    }
+
+    /// Exact pre-activation dot product of neuron `n`:
+    /// `W_x[n]·x + W_h[n]·h_prev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `x`/`h_prev` widths do not match the
+    /// gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()`.
+    pub fn neuron_dot(&self, n: usize, x: &[f32], h_prev: &[f32]) -> Result<f32> {
+        let fwd = self.wx.row_dot(n, x)?;
+        let rec = self.wh.row_dot(n, h_prev)?;
+        Ok(fwd + rec)
+    }
+
+    /// Completes a neuron evaluation from its pre-activation dot product:
+    /// adds bias, an optional peephole contribution (`p[n] * c_prev[n]`),
+    /// and applies the activation function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()` or if a peephole is present but
+    /// `c_prev` is `None` shorter than `n`.
+    pub fn finish_neuron(&self, n: usize, dot: f32, c_prev: Option<&Vector>) -> f32 {
+        let mut pre = dot + self.bias[n];
+        if let Some(p) = &self.peephole {
+            if let Some(c) = c_prev {
+                pre += p[n] * c[n];
+            }
+        }
+        self.activation.apply(pre)
+    }
+
+    /// Evaluates the whole gate for one timestep, routing every neuron's
+    /// dot product through `evaluator`.
+    ///
+    /// `gate_id` identifies this gate to the evaluator, `timestep` is the
+    /// index of the current element in the sequence, and `c_prev` supplies
+    /// the previous cell state for peephole connections (LSTM only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths do not match the gate shape.
+    pub fn evaluate(
+        &self,
+        gate_id: GateId,
+        timestep: usize,
+        x: &Vector,
+        h_prev: &Vector,
+        c_prev: Option<&Vector>,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vector> {
+        if x.len() != self.input_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: self.input_size(),
+                found: x.len(),
+                timestep,
+            });
+        }
+        if h_prev.len() != self.hidden_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: self.hidden_size(),
+                found: h_prev.len(),
+                timestep,
+            });
+        }
+        let mut out = Vec::with_capacity(self.neurons());
+        for n in 0..self.neurons() {
+            let dot = evaluator.evaluate(
+                NeuronRef {
+                    gate_id,
+                    neuron: n,
+                    timestep,
+                },
+                self,
+                x.as_slice(),
+                h_prev.as_slice(),
+            )?;
+            out.push(self.finish_neuron(n, dot, c_prev));
+        }
+        Ok(Vector::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ExactEvaluator;
+
+    fn small_gate(peephole: bool) -> Gate {
+        let wx = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let wh = Matrix::from_rows(vec![vec![0.5, 0.0], vec![0.0, 0.5]]).unwrap();
+        let bias = Vector::from(vec![0.0, 0.1]);
+        let p = if peephole {
+            Some(Vector::from(vec![0.2, 0.2]))
+        } else {
+            None
+        };
+        Gate::new(wx, wh, bias, p, Activation::Identity).unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let wx = Matrix::zeros(2, 3);
+        let wh = Matrix::zeros(3, 2);
+        let bias = Vector::zeros(2);
+        assert!(matches!(
+            Gate::new(wx, wh, bias, None, Activation::Sigmoid),
+            Err(RnnError::InvalidConfig { .. })
+        ));
+        let wx = Matrix::zeros(2, 3);
+        let wh = Matrix::zeros(2, 2);
+        let bias = Vector::zeros(3);
+        assert!(Gate::new(wx, wh, bias, None, Activation::Sigmoid).is_err());
+        let wx = Matrix::zeros(2, 3);
+        let wh = Matrix::zeros(2, 2);
+        let bias = Vector::zeros(2);
+        let peephole = Some(Vector::zeros(5));
+        assert!(Gate::new(wx, wh, bias, peephole, Activation::Sigmoid).is_err());
+    }
+
+    #[test]
+    fn random_gate_has_requested_shape() {
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let g = Gate::random(4, 6, 4, Activation::Sigmoid, true, &mut rng).unwrap();
+        assert_eq!(g.neurons(), 4);
+        assert_eq!(g.input_size(), 6);
+        assert_eq!(g.hidden_size(), 4);
+        assert_eq!(g.weights_per_neuron(), 10);
+        assert_eq!(g.weight_count(), 40);
+        assert!(g.peephole().is_some());
+        assert!(Gate::random(0, 1, 1, Activation::Sigmoid, false, &mut rng).is_err());
+    }
+
+    #[test]
+    fn neuron_dot_matches_manual() {
+        let g = small_gate(false);
+        let x = [2.0, 3.0];
+        let h = [4.0, 6.0];
+        assert_eq!(g.neuron_dot(0, &x, &h).unwrap(), 2.0 + 2.0);
+        assert_eq!(g.neuron_dot(1, &x, &h).unwrap(), 3.0 + 3.0);
+        assert!(g.neuron_dot(0, &[1.0], &h).is_err());
+    }
+
+    #[test]
+    fn finish_neuron_applies_bias_peephole_activation() {
+        let g = small_gate(true);
+        let c_prev = Vector::from(vec![1.0, 2.0]);
+        // neuron 1: dot 3.0 + bias 0.1 + peephole 0.2*2.0 = 3.5, identity activation
+        let y = g.finish_neuron(1, 3.0, Some(&c_prev));
+        assert!((y - 3.5).abs() < 1e-6);
+        // Without cell state the peephole term is skipped.
+        let y = g.finish_neuron(1, 3.0, None);
+        assert!((y - 3.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_routes_through_evaluator() {
+        let g = small_gate(false);
+        let x = Vector::from(vec![1.0, 2.0]);
+        let h = Vector::from(vec![2.0, 2.0]);
+        let mut eval = ExactEvaluator::new();
+        let out = g
+            .evaluate(
+                GateId::new(0, 0, GateKind::Input),
+                0,
+                &x,
+                &h,
+                None,
+                &mut eval,
+            )
+            .unwrap();
+        // neuron 0: 1.0*1 + 0.5*2 = 2.0 + bias 0 = 2.0
+        assert!((out[0] - 2.0).abs() < 1e-6);
+        // neuron 1: 2.0 + 1.0 + bias 0.1
+        assert!((out[1] - 3.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_widths() {
+        let g = small_gate(false);
+        let mut eval = ExactEvaluator::new();
+        let id = GateId::new(0, 0, GateKind::Input);
+        let bad_x = Vector::from(vec![1.0]);
+        let h = Vector::from(vec![1.0, 1.0]);
+        assert!(matches!(
+            g.evaluate(id, 0, &bad_x, &h, None, &mut eval),
+            Err(RnnError::InputSizeMismatch { .. })
+        ));
+        let x = Vector::from(vec![1.0, 1.0]);
+        let bad_h = Vector::from(vec![1.0]);
+        assert!(g.evaluate(id, 0, &x, &bad_h, None, &mut eval).is_err());
+    }
+
+    #[test]
+    fn gate_kind_lists_and_names() {
+        assert_eq!(GateKind::LSTM.len(), 4);
+        assert_eq!(GateKind::GRU.len(), 3);
+        assert_eq!(GateKind::Forget.name(), "forget");
+        assert_eq!(GateKind::Update.name(), "update");
+    }
+
+    #[test]
+    fn gate_id_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = GateId::new(1, 0, GateKind::Input);
+        let b = GateId::new(1, 0, GateKind::Input);
+        let c = GateId::new(1, 1, GateKind::Input);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<GateId> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

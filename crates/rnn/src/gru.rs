@@ -1,0 +1,288 @@
+//! GRU cell (Figure 3 of the paper).
+
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::{Gate, GateId, GateKind};
+use crate::Result;
+use nfm_tensor::activation::Activation;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+
+/// The recurrent state of a GRU cell — just the hidden output `h_t`
+/// (GRUs have no independent cell memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruState {
+    /// Hidden output `h_t`.
+    pub h: Vector,
+}
+
+impl GruState {
+    /// Zero-initialized state for a cell with `hidden` neurons.
+    pub fn zeros(hidden: usize) -> Self {
+        GruState {
+            h: Vector::zeros(hidden),
+        }
+    }
+}
+
+/// A GRU cell:
+///
+/// ```text
+/// z_t = σ(W_zx·x_t + W_zh·h_{t-1} + b_z)    (update gate)
+/// r_t = σ(W_rx·x_t + W_rh·h_{t-1} + b_r)    (reset gate)
+/// g_t = ϕ(W_gx·x_t + W_gh·(r_t ⊙ h_{t-1}) + b_g)
+/// h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
+/// ```
+///
+/// The candidate gate's recurrent dot product takes the *reset-modulated*
+/// hidden state `r_t ⊙ h_{t-1}` as its recurrent input, exactly as the
+/// GRU definition in the paper's reference (Cho et al., 2014).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruCell {
+    update: Gate,
+    reset: Gate,
+    candidate: Gate,
+}
+
+impl GruCell {
+    /// Creates a cell from its three gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the gates disagree on
+    /// dimensions or the recurrent width differs from the neuron count.
+    pub fn new(update: Gate, reset: Gate, candidate: Gate) -> Result<Self> {
+        let neurons = update.neurons();
+        let in_size = update.input_size();
+        let hid = update.hidden_size();
+        for g in [&update, &reset, &candidate] {
+            if g.neurons() != neurons || g.input_size() != in_size || g.hidden_size() != hid {
+                return Err(RnnError::InvalidConfig {
+                    what: "GRU gates disagree on dimensions".into(),
+                });
+            }
+        }
+        if hid != neurons {
+            return Err(RnnError::InvalidConfig {
+                what: format!("GRU recurrent width {hid} must equal neuron count {neurons}"),
+            });
+        }
+        Ok(GruCell {
+            update,
+            reset,
+            candidate,
+        })
+    }
+
+    /// Creates a randomly initialized cell.
+    pub fn random(
+        input_size: usize,
+        hidden_size: usize,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self> {
+        let update = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Sigmoid,
+            false,
+            rng,
+        )?;
+        let reset = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Sigmoid,
+            false,
+            rng,
+        )?;
+        let candidate = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Tanh,
+            false,
+            rng,
+        )?;
+        GruCell::new(update, reset, candidate)
+    }
+
+    /// Number of neurons per gate.
+    pub fn hidden_size(&self) -> usize {
+        self.update.neurons()
+    }
+
+    /// Width of the expected input vector.
+    pub fn input_size(&self) -> usize {
+        self.update.input_size()
+    }
+
+    /// Borrows a gate by kind; returns `None` for LSTM-only kinds.
+    pub fn gate(&self, kind: GateKind) -> Option<&Gate> {
+        match kind {
+            GateKind::Update => Some(&self.update),
+            GateKind::Reset => Some(&self.reset),
+            GateKind::Candidate => Some(&self.candidate),
+            GateKind::Input | GateKind::Forget | GateKind::Output => None,
+        }
+    }
+
+    /// The gate kinds this cell evaluates, in order.
+    pub fn gate_kinds(&self) -> &'static [GateKind] {
+        &GateKind::GRU
+    }
+
+    /// Total number of weights in the cell (all three gates).
+    pub fn weight_count(&self) -> usize {
+        GateKind::GRU
+            .iter()
+            .filter_map(|&k| self.gate(k))
+            .map(Gate::weight_count)
+            .sum()
+    }
+
+    /// Number of neuron evaluations performed per timestep.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        self.hidden_size() * GateKind::GRU.len()
+    }
+
+    /// Advances the cell by one timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` or the state widths do not match the cell.
+    pub fn step(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        x: &Vector,
+        state: &GruState,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<GruState> {
+        if state.h.len() != self.hidden_size() {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "GRU state width {} does not match hidden size {}",
+                    state.h.len(),
+                    self.hidden_size()
+                ),
+            });
+        }
+        let id = |kind| GateId::new(layer, direction, kind);
+        let z_t = self.update.evaluate(
+            id(GateKind::Update),
+            timestep,
+            x,
+            &state.h,
+            None,
+            evaluator,
+        )?;
+        let r_t = self.reset.evaluate(
+            id(GateKind::Reset),
+            timestep,
+            x,
+            &state.h,
+            None,
+            evaluator,
+        )?;
+        let reset_h = r_t.hadamard(&state.h)?;
+        let g_t = self.candidate.evaluate(
+            id(GateKind::Candidate),
+            timestep,
+            x,
+            &reset_h,
+            None,
+            evaluator,
+        )?;
+        // h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
+        let keep = z_t.map(|z| 1.0 - z).hadamard(&state.h)?;
+        let h_t = keep.add(&z_t.hadamard(&g_t)?)?;
+        Ok(GruState { h: h_t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ExactEvaluator;
+
+    fn cell(input: usize, hidden: usize, seed: u64) -> GruCell {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        GruCell::random(input, hidden, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn random_cell_dimensions() {
+        let c = cell(5, 3, 1);
+        assert_eq!(c.hidden_size(), 3);
+        assert_eq!(c.input_size(), 5);
+        assert_eq!(c.neuron_evaluations_per_step(), 9);
+        assert_eq!(c.weight_count(), 3 * 3 * (5 + 3));
+        assert!(c.gate(GateKind::Update).is_some());
+        assert!(c.gate(GateKind::Forget).is_none());
+        assert_eq!(c.gate_kinds().len(), 3);
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        let c = cell(4, 6, 2);
+        let mut state = GruState::zeros(6);
+        let mut eval = ExactEvaluator::new();
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        for t in 0..30 {
+            let x = Vector::from_fn(4, |_| rng.uniform(-2.0, 2.0));
+            state = c.step(0, 0, t, &x, &state, &mut eval).unwrap();
+            // h is a convex combination of the previous h and tanh output,
+            // so it remains within [-1, 1].
+            assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+        }
+        assert_eq!(eval.evaluations(), 30 * 18);
+    }
+
+    #[test]
+    fn update_gate_closed_keeps_previous_state() {
+        // Force z_t ≈ 0 with a huge negative bias: h_t must equal h_{t-1}.
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let mk = |act, bias: f32, rng: &mut DeterministicRng| {
+            let wx = nfm_tensor::init::Initializer::XavierUniform.matrix(rng, 3, 3);
+            let wh = nfm_tensor::init::Initializer::XavierUniform.matrix(rng, 3, 3);
+            Gate::new(wx, wh, Vector::filled(3, bias), None, act).unwrap()
+        };
+        let update = mk(Activation::Sigmoid, -40.0, &mut rng);
+        let reset = mk(Activation::Sigmoid, 0.0, &mut rng);
+        let candidate = mk(Activation::Tanh, 0.0, &mut rng);
+        let cell = GruCell::new(update, reset, candidate).unwrap();
+        let prev = GruState {
+            h: Vector::from(vec![0.3, -0.2, 0.5]),
+        };
+        let mut eval = ExactEvaluator::new();
+        let next = cell
+            .step(0, 0, 0, &Vector::from(vec![1.0, 2.0, -1.0]), &prev, &mut eval)
+            .unwrap();
+        for i in 0..3 {
+            assert!((next.h[i] - prev.h[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn step_rejects_bad_widths() {
+        let c = cell(4, 4, 9);
+        let mut eval = ExactEvaluator::new();
+        assert!(c
+            .step(0, 0, 0, &Vector::zeros(2), &GruState::zeros(4), &mut eval)
+            .is_err());
+        assert!(c
+            .step(0, 0, 0, &Vector::zeros(4), &GruState::zeros(3), &mut eval)
+            .is_err());
+    }
+
+    #[test]
+    fn new_rejects_mismatched_gates() {
+        let mut rng = DeterministicRng::seed_from_u64(13);
+        let good = Gate::random(4, 4, 4, Activation::Sigmoid, false, &mut rng).unwrap();
+        let good2 = Gate::random(4, 4, 4, Activation::Sigmoid, false, &mut rng).unwrap();
+        let bad = Gate::random(4, 5, 4, Activation::Tanh, false, &mut rng).unwrap();
+        assert!(GruCell::new(good, good2, bad).is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! A recurrent layer: one cell (unidirectional) or a forward/backward
+//! pair of cells (bidirectional).
+
+use crate::config::{CellKind, Direction};
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::{Gate, GateId, GateKind};
+use crate::gru::{GruCell, GruState};
+use crate::lstm::{LstmCell, LstmState};
+use crate::Result;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+
+/// Either kind of recurrent cell, so layers and networks can mix LSTM and
+/// GRU uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// An LSTM cell.
+    Lstm(LstmCell),
+    /// A GRU cell.
+    Gru(GruCell),
+}
+
+impl Cell {
+    /// Creates a random cell of the given kind.
+    pub fn random(
+        kind: CellKind,
+        input_size: usize,
+        hidden_size: usize,
+        peepholes: bool,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self> {
+        Ok(match kind {
+            CellKind::Lstm => Cell::Lstm(LstmCell::random(input_size, hidden_size, peepholes, rng)?),
+            CellKind::Gru => Cell::Gru(GruCell::random(input_size, hidden_size, rng)?),
+        })
+    }
+
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        match self {
+            Cell::Lstm(_) => CellKind::Lstm,
+            Cell::Gru(_) => CellKind::Gru,
+        }
+    }
+
+    /// Neurons per gate.
+    pub fn hidden_size(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.hidden_size(),
+            Cell::Gru(c) => c.hidden_size(),
+        }
+    }
+
+    /// Expected input width.
+    pub fn input_size(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.input_size(),
+            Cell::Gru(c) => c.input_size(),
+        }
+    }
+
+    /// Gate kinds evaluated by this cell, in order.
+    pub fn gate_kinds(&self) -> &'static [GateKind] {
+        match self {
+            Cell::Lstm(c) => c.gate_kinds(),
+            Cell::Gru(c) => c.gate_kinds(),
+        }
+    }
+
+    /// Borrows a gate by kind, if the cell has it.
+    pub fn gate(&self, kind: GateKind) -> Option<&Gate> {
+        match self {
+            Cell::Lstm(c) => c.gate(kind),
+            Cell::Gru(c) => c.gate(kind),
+        }
+    }
+
+    /// Total weights in the cell.
+    pub fn weight_count(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.weight_count(),
+            Cell::Gru(c) => c.weight_count(),
+        }
+    }
+
+    /// Neuron evaluations per timestep.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.neuron_evaluations_per_step(),
+            Cell::Gru(c) => c.neuron_evaluations_per_step(),
+        }
+    }
+
+    /// Runs the cell over a full sequence and returns the hidden output
+    /// at every timestep.  `reverse` processes the sequence backwards
+    /// (used by the backward half of a bidirectional layer) while still
+    /// returning outputs indexed by the original timestep order.
+    pub fn run_sequence(
+        &self,
+        layer: usize,
+        direction: usize,
+        inputs: &[Vector],
+        reverse: bool,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vector>> {
+        let n = inputs.len();
+        let mut outputs: Vec<Option<Vector>> = vec![None; n];
+        let order: Vec<usize> = if reverse {
+            (0..n).rev().collect()
+        } else {
+            (0..n).collect()
+        };
+        match self {
+            Cell::Lstm(cell) => {
+                let mut state = LstmState::zeros(cell.hidden_size());
+                for (step, &t) in order.iter().enumerate() {
+                    state = cell.step(layer, direction, step, &inputs[t], &state, evaluator)?;
+                    outputs[t] = Some(state.h.clone());
+                }
+            }
+            Cell::Gru(cell) => {
+                let mut state = GruState::zeros(cell.hidden_size());
+                for (step, &t) in order.iter().enumerate() {
+                    state = cell.step(layer, direction, step, &inputs[t], &state, evaluator)?;
+                    outputs[t] = Some(state.h.clone());
+                }
+            }
+        }
+        Ok(outputs.into_iter().map(|o| o.expect("filled")).collect())
+    }
+}
+
+/// One layer of a deep RNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    index: usize,
+    forward: Cell,
+    backward: Option<Cell>,
+}
+
+impl Layer {
+    /// Creates a layer from its cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the backward cell (when
+    /// present) disagrees with the forward cell on dimensions or kind.
+    pub fn new(index: usize, forward: Cell, backward: Option<Cell>) -> Result<Self> {
+        if let Some(b) = &backward {
+            if b.hidden_size() != forward.hidden_size()
+                || b.input_size() != forward.input_size()
+                || b.kind() != forward.kind()
+            {
+                return Err(RnnError::InvalidConfig {
+                    what: "bidirectional halves must have identical shape and cell kind".into(),
+                });
+            }
+        }
+        Ok(Layer {
+            index,
+            forward,
+            backward,
+        })
+    }
+
+    /// Creates a randomly initialized layer.
+    pub fn random(
+        index: usize,
+        kind: CellKind,
+        direction: Direction,
+        input_size: usize,
+        hidden_size: usize,
+        peepholes: bool,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self> {
+        let forward = Cell::random(kind, input_size, hidden_size, peepholes, rng)?;
+        let backward = match direction {
+            Direction::Unidirectional => None,
+            Direction::Bidirectional => {
+                Some(Cell::random(kind, input_size, hidden_size, peepholes, rng)?)
+            }
+        };
+        Layer::new(index, forward, backward)
+    }
+
+    /// Position of the layer in the stack.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether the layer is bidirectional.
+    pub fn is_bidirectional(&self) -> bool {
+        self.backward.is_some()
+    }
+
+    /// The forward cell.
+    pub fn forward_cell(&self) -> &Cell {
+        &self.forward
+    }
+
+    /// The backward cell, if bidirectional.
+    pub fn backward_cell(&self) -> Option<&Cell> {
+        self.backward.as_ref()
+    }
+
+    /// Width of the input this layer expects.
+    pub fn input_size(&self) -> usize {
+        self.forward.input_size()
+    }
+
+    /// Width of the output this layer produces per timestep
+    /// (hidden size, doubled for bidirectional layers).
+    pub fn output_size(&self) -> usize {
+        self.forward.hidden_size() * if self.is_bidirectional() { 2 } else { 1 }
+    }
+
+    /// Total weights in the layer.
+    pub fn weight_count(&self) -> usize {
+        self.forward.weight_count()
+            + self.backward.as_ref().map_or(0, Cell::weight_count)
+    }
+
+    /// Neuron evaluations per timestep across both directions.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        self.forward.neuron_evaluations_per_step()
+            + self
+                .backward
+                .as_ref()
+                .map_or(0, Cell::neuron_evaluations_per_step)
+    }
+
+    /// Iterates over `(GateId, &Gate)` pairs for every gate in the layer.
+    pub fn gates(&self) -> Vec<(GateId, &Gate)> {
+        let mut out = Vec::new();
+        for kind in self.forward.gate_kinds() {
+            if let Some(g) = self.forward.gate(*kind) {
+                out.push((GateId::new(self.index, 0, *kind), g));
+            }
+        }
+        if let Some(b) = &self.backward {
+            for kind in b.gate_kinds() {
+                if let Some(g) = b.gate(*kind) {
+                    out.push((GateId::new(self.index, 1, *kind), g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes a full sequence, producing one output vector per input.
+    ///
+    /// For bidirectional layers the forward and backward outputs at each
+    /// timestep are concatenated (forward half first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input width does not match the layer.
+    pub fn process(
+        &self,
+        inputs: &[Vector],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vector>> {
+        let fwd = self
+            .forward
+            .run_sequence(self.index, 0, inputs, false, evaluator)?;
+        match &self.backward {
+            None => Ok(fwd),
+            Some(bwd_cell) => {
+                let bwd = bwd_cell.run_sequence(self.index, 1, inputs, true, evaluator)?;
+                Ok(fwd
+                    .iter()
+                    .zip(bwd.iter())
+                    .map(|(f, b)| f.concat(b))
+                    .collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ExactEvaluator;
+
+    fn inputs(n: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(width, |_| rng.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn cell_enum_exposes_common_interface() {
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        let lstm = Cell::random(CellKind::Lstm, 4, 3, true, &mut rng).unwrap();
+        let gru = Cell::random(CellKind::Gru, 4, 3, false, &mut rng).unwrap();
+        assert_eq!(lstm.kind(), CellKind::Lstm);
+        assert_eq!(gru.kind(), CellKind::Gru);
+        assert_eq!(lstm.hidden_size(), 3);
+        assert_eq!(gru.input_size(), 4);
+        assert_eq!(lstm.gate_kinds().len(), 4);
+        assert_eq!(gru.gate_kinds().len(), 3);
+        assert!(lstm.gate(GateKind::Forget).is_some());
+        assert!(gru.gate(GateKind::Forget).is_none());
+        assert_eq!(lstm.neuron_evaluations_per_step(), 12);
+        assert_eq!(gru.neuron_evaluations_per_step(), 9);
+    }
+
+    #[test]
+    fn unidirectional_layer_output_width() {
+        let mut rng = DeterministicRng::seed_from_u64(2);
+        let layer = Layer::random(
+            0,
+            CellKind::Lstm,
+            Direction::Unidirectional,
+            4,
+            6,
+            true,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!layer.is_bidirectional());
+        assert_eq!(layer.output_size(), 6);
+        let out = layer
+            .process(&inputs(5, 4, 3), &mut ExactEvaluator::new())
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|v| v.len() == 6));
+    }
+
+    #[test]
+    fn bidirectional_layer_concatenates() {
+        let mut rng = DeterministicRng::seed_from_u64(4);
+        let layer = Layer::random(
+            1,
+            CellKind::Gru,
+            Direction::Bidirectional,
+            3,
+            5,
+            false,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(layer.is_bidirectional());
+        assert_eq!(layer.output_size(), 10);
+        assert_eq!(layer.gates().len(), 6);
+        let out = layer
+            .process(&inputs(4, 3, 5), &mut ExactEvaluator::new())
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|v| v.len() == 10));
+    }
+
+    #[test]
+    fn backward_pass_sees_reversed_sequence() {
+        // With a single timestep, forward and backward passes coincide; with
+        // more, the backward output at the *last* timestep must equal what a
+        // forward pass over the reversed sequence would produce first.
+        let mut rng = DeterministicRng::seed_from_u64(6);
+        let cell = Cell::random(CellKind::Lstm, 2, 3, false, &mut rng).unwrap();
+        let seq = inputs(3, 2, 7);
+        let mut eval = ExactEvaluator::new();
+        let bwd = cell.run_sequence(0, 1, &seq, true, &mut eval).unwrap();
+        let mut rev = seq.clone();
+        rev.reverse();
+        let fwd_on_rev = cell.run_sequence(0, 1, &rev, false, &mut eval).unwrap();
+        // bwd[t] corresponds to fwd_on_rev[n-1-t]
+        for t in 0..seq.len() {
+            let a = &bwd[t];
+            let b = &fwd_on_rev[seq.len() - 1 - t];
+            for i in 0..a.len() {
+                assert!((a[i] - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_rejects_mismatched_halves() {
+        let mut rng = DeterministicRng::seed_from_u64(8);
+        let fwd = Cell::random(CellKind::Lstm, 4, 4, false, &mut rng).unwrap();
+        let bad_bwd = Cell::random(CellKind::Lstm, 4, 5, false, &mut rng).unwrap();
+        assert!(Layer::new(0, fwd.clone(), Some(bad_bwd)).is_err());
+        let wrong_kind = Cell::random(CellKind::Gru, 4, 4, false, &mut rng).unwrap();
+        assert!(Layer::new(0, fwd, Some(wrong_kind)).is_err());
+    }
+
+    #[test]
+    fn gate_ids_are_unique_within_layer() {
+        use std::collections::HashSet;
+        let mut rng = DeterministicRng::seed_from_u64(9);
+        let layer = Layer::random(
+            2,
+            CellKind::Lstm,
+            Direction::Bidirectional,
+            3,
+            3,
+            true,
+            &mut rng,
+        )
+        .unwrap();
+        let ids: HashSet<GateId> = layer.gates().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 8);
+        assert!(ids.iter().all(|id| id.layer == 2));
+    }
+}

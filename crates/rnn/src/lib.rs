@@ -1,0 +1,58 @@
+//! # nfm-rnn
+//!
+//! Recurrent neural network inference substrate for the neuron-level
+//! fuzzy memoization (MICRO 2019) reproduction.
+//!
+//! The crate implements the cell types the paper evaluates — LSTM with
+//! peephole connections (Figure 2 / Equations 1–6) and GRU (Figure 3) —
+//! plus unidirectional and bidirectional layers and deep stacks of them,
+//! matching the topologies of Table 1 (e.g. EESEN is a 10-layer
+//! bidirectional LSTM with 320 neurons per direction).
+//!
+//! The central abstraction is the [`NeuronEvaluator`] trait: every
+//! per-neuron dot product (`W_x·x_t + W_h·h_{t-1}`) performed during
+//! inference goes through it.  The default [`ExactEvaluator`] simply
+//! computes the products; the `nfm-core` crate plugs in the paper's fuzzy
+//! memoization scheme at exactly this boundary, which mirrors where the
+//! E-PUR accelerator's fuzzy memoization unit intercepts the DPU.
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_rnn::{DeepRnnConfig, CellKind, Direction, DeepRnn, ExactEvaluator};
+//! use nfm_tensor::rng::DeterministicRng;
+//! use nfm_tensor::Vector;
+//!
+//! let config = DeepRnnConfig::new(CellKind::Lstm, 8, 16)
+//!     .layers(2)
+//!     .direction(Direction::Unidirectional);
+//! let mut rng = DeterministicRng::seed_from_u64(1);
+//! let rnn = DeepRnn::random(&config, &mut rng).unwrap();
+//! let sequence: Vec<Vector> = (0..4).map(|_| Vector::zeros(8)).collect();
+//! let outputs = rnn.run(&sequence, &mut ExactEvaluator::new()).unwrap();
+//! assert_eq!(outputs.len(), 4);
+//! assert_eq!(outputs[0].len(), 16);
+//! ```
+
+pub mod config;
+pub mod dense;
+pub mod error;
+pub mod evaluator;
+pub mod gate;
+pub mod gru;
+pub mod layer;
+pub mod lstm;
+pub mod network;
+
+pub use config::{CellKind, DeepRnnConfig, Direction};
+pub use dense::Dense;
+pub use error::RnnError;
+pub use evaluator::{CountingEvaluator, ExactEvaluator, NeuronEvaluator, NeuronRef};
+pub use gate::{Gate, GateId, GateKind};
+pub use gru::{GruCell, GruState};
+pub use layer::Layer;
+pub use lstm::{LstmCell, LstmState};
+pub use network::DeepRnn;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RnnError>;

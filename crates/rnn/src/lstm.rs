@@ -1,0 +1,358 @@
+//! LSTM cell with peephole connections (Figure 2 / Equations 1–6).
+
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::{Gate, GateId, GateKind};
+use crate::Result;
+use nfm_tensor::activation::Activation;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+
+/// The recurrent state carried by an LSTM cell between timesteps: the
+/// hidden output `h_t` and the cell state `c_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden output `h_t`.
+    pub h: Vector,
+    /// Cell state `c_t`.
+    pub c: Vector,
+}
+
+impl LstmState {
+    /// Zero-initialized state for a cell with `hidden` neurons.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState {
+            h: Vector::zeros(hidden),
+            c: Vector::zeros(hidden),
+        }
+    }
+}
+
+/// An LSTM cell (Equations 1–6 of the paper):
+///
+/// ```text
+/// i_t = σ(W_ix·x_t + W_ih·h_{t-1} + p_i⊙c_{t-1} + b_i)
+/// f_t = σ(W_fx·x_t + W_fh·h_{t-1} + p_f⊙c_{t-1} + b_f)
+/// g_t = ϕ(W_gx·x_t + W_gh·h_{t-1} + b_g)
+/// c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+/// o_t = σ(W_ox·x_t + W_oh·h_{t-1} + p_o⊙c_t + b_o)
+/// h_t = o_t ⊙ ϕ(c_t)
+/// ```
+///
+/// The output-gate peephole uses the *previous* cell state here (a common
+/// simplification that keeps all four gates independent, matching the
+/// E-PUR hardware where the four computation units run concurrently).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCell {
+    input: Gate,
+    forget: Gate,
+    candidate: Gate,
+    output: Gate,
+}
+
+impl LstmCell {
+    /// Creates a cell from its four gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the gates disagree on
+    /// neuron count, input size or hidden size.
+    pub fn new(input: Gate, forget: Gate, candidate: Gate, output: Gate) -> Result<Self> {
+        let gates = [&input, &forget, &candidate, &output];
+        let neurons = input.neurons();
+        let in_size = input.input_size();
+        let hid = input.hidden_size();
+        for g in gates {
+            if g.neurons() != neurons || g.input_size() != in_size || g.hidden_size() != hid {
+                return Err(RnnError::InvalidConfig {
+                    what: "LSTM gates disagree on dimensions".into(),
+                });
+            }
+        }
+        if hid != neurons {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "LSTM recurrent width {hid} must equal neuron count {neurons}"
+                ),
+            });
+        }
+        Ok(LstmCell {
+            input,
+            forget,
+            candidate,
+            output,
+        })
+    }
+
+    /// Creates a randomly initialized cell.
+    ///
+    /// `peepholes` controls whether the sigmoid gates get peephole
+    /// connections (the paper's LSTM description includes them).
+    pub fn random(
+        input_size: usize,
+        hidden_size: usize,
+        peepholes: bool,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self> {
+        let input = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Sigmoid,
+            peepholes,
+            rng,
+        )?;
+        let forget = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Sigmoid,
+            peepholes,
+            rng,
+        )?;
+        let candidate = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Tanh,
+            false,
+            rng,
+        )?;
+        let output = Gate::random(
+            hidden_size,
+            input_size,
+            hidden_size,
+            Activation::Sigmoid,
+            peepholes,
+            rng,
+        )?;
+        LstmCell::new(input, forget, candidate, output)
+    }
+
+    /// Number of neurons per gate.
+    pub fn hidden_size(&self) -> usize {
+        self.input.neurons()
+    }
+
+    /// Width of the expected input vector.
+    pub fn input_size(&self) -> usize {
+        self.input.input_size()
+    }
+
+    /// Borrows a gate by kind.
+    ///
+    /// Returns `None` for GRU-only gate kinds (`Update`, `Reset`).
+    pub fn gate(&self, kind: GateKind) -> Option<&Gate> {
+        match kind {
+            GateKind::Input => Some(&self.input),
+            GateKind::Forget => Some(&self.forget),
+            GateKind::Candidate => Some(&self.candidate),
+            GateKind::Output => Some(&self.output),
+            GateKind::Update | GateKind::Reset => None,
+        }
+    }
+
+    /// The gate kinds this cell evaluates, in order.
+    pub fn gate_kinds(&self) -> &'static [GateKind] {
+        &GateKind::LSTM
+    }
+
+    /// Total number of weights in the cell (all four gates).
+    pub fn weight_count(&self) -> usize {
+        GateKind::LSTM
+            .iter()
+            .filter_map(|&k| self.gate(k))
+            .map(Gate::weight_count)
+            .sum()
+    }
+
+    /// Number of neuron evaluations performed per timestep (one per gate
+    /// neuron), i.e. the quantity the paper's "computation reuse"
+    /// percentages are measured against.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        self.hidden_size() * GateKind::LSTM.len()
+    }
+
+    /// Advances the cell by one timestep.
+    ///
+    /// `layer`/`direction` locate this cell inside the deep network so the
+    /// evaluator can key its memoization tables; `timestep` is the element
+    /// index within the current sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` or the state widths do not match the cell.
+    pub fn step(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        x: &Vector,
+        state: &LstmState,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<LstmState> {
+        if state.h.len() != self.hidden_size() || state.c.len() != self.hidden_size() {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "LSTM state width {} does not match hidden size {}",
+                    state.h.len(),
+                    self.hidden_size()
+                ),
+            });
+        }
+        let id = |kind| GateId::new(layer, direction, kind);
+        let i_t = self.input.evaluate(
+            id(GateKind::Input),
+            timestep,
+            x,
+            &state.h,
+            Some(&state.c),
+            evaluator,
+        )?;
+        let f_t = self.forget.evaluate(
+            id(GateKind::Forget),
+            timestep,
+            x,
+            &state.h,
+            Some(&state.c),
+            evaluator,
+        )?;
+        let g_t = self.candidate.evaluate(
+            id(GateKind::Candidate),
+            timestep,
+            x,
+            &state.h,
+            None,
+            evaluator,
+        )?;
+        // c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+        let c_t = f_t.hadamard(&state.c)?.add(&i_t.hadamard(&g_t)?)?;
+        let o_t = self.output.evaluate(
+            id(GateKind::Output),
+            timestep,
+            x,
+            &state.h,
+            Some(&state.c),
+            evaluator,
+        )?;
+        // h_t = o_t ⊙ ϕ(c_t)
+        let h_t = o_t.hadamard(&c_t.map(|v| v.tanh()))?;
+        Ok(LstmState { h: h_t, c: c_t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ExactEvaluator;
+
+    fn cell(input_size: usize, hidden: usize, seed: u64) -> LstmCell {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        LstmCell::random(input_size, hidden, true, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn random_cell_dimensions() {
+        let c = cell(6, 4, 1);
+        assert_eq!(c.hidden_size(), 4);
+        assert_eq!(c.input_size(), 6);
+        assert_eq!(c.neuron_evaluations_per_step(), 16);
+        assert_eq!(c.weight_count(), 4 * 4 * (6 + 4));
+        assert!(c.gate(GateKind::Input).is_some());
+        assert!(c.gate(GateKind::Update).is_none());
+        assert_eq!(c.gate_kinds().len(), 4);
+    }
+
+    #[test]
+    fn step_produces_bounded_outputs() {
+        let c = cell(6, 4, 2);
+        let mut state = LstmState::zeros(4);
+        let mut eval = ExactEvaluator::new();
+        let mut rng = DeterministicRng::seed_from_u64(9);
+        for t in 0..20 {
+            let x = Vector::from_fn(6, |_| rng.uniform(-1.0, 1.0));
+            state = c.step(0, 0, t, &x, &state, &mut eval).unwrap();
+            // |h| <= 1 because h = σ(...) ⊙ tanh(c); c is bounded by the
+            // forget/input gate dynamics for bounded inputs.
+            assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+            assert!(state.h.iter().all(|v| v.is_finite()));
+            assert!(state.c.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(eval.evaluations(), 20 * 16);
+    }
+
+    #[test]
+    fn step_is_deterministic() {
+        let c = cell(3, 5, 7);
+        let x = Vector::from(vec![0.1, -0.3, 0.7]);
+        let s0 = LstmState::zeros(5);
+        let mut e1 = ExactEvaluator::new();
+        let mut e2 = ExactEvaluator::new();
+        let a = c.step(0, 0, 0, &x, &s0, &mut e1).unwrap();
+        let b = c.step(0, 0, 0, &x, &s0, &mut e2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_small_output() {
+        let c = cell(4, 4, 3);
+        let mut eval = ExactEvaluator::new();
+        let out = c
+            .step(0, 0, 0, &Vector::zeros(4), &LstmState::zeros(4), &mut eval)
+            .unwrap();
+        // With zero inputs only the biases contribute, so outputs stay small.
+        assert!(out.h.norm_inf() < 0.5);
+    }
+
+    #[test]
+    fn step_rejects_bad_widths() {
+        let c = cell(4, 4, 4);
+        let mut eval = ExactEvaluator::new();
+        let bad_x = Vector::zeros(3);
+        assert!(c
+            .step(0, 0, 0, &bad_x, &LstmState::zeros(4), &mut eval)
+            .is_err());
+        let bad_state = LstmState::zeros(2);
+        assert!(c
+            .step(0, 0, 0, &Vector::zeros(4), &bad_state, &mut eval)
+            .is_err());
+    }
+
+    #[test]
+    fn new_rejects_mismatched_gates() {
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let g4 = || Gate::random(4, 4, 4, Activation::Sigmoid, false, &mut DeterministicRng::seed_from_u64(1)).unwrap();
+        let g_bad = Gate::random(3, 4, 3, Activation::Sigmoid, false, &mut rng).unwrap();
+        assert!(LstmCell::new(g4(), g4(), g4(), g_bad).is_err());
+    }
+
+    #[test]
+    fn forget_gate_dominates_when_input_gate_closed() {
+        // A hand-built cell where the input gate is forced closed (large
+        // negative bias): the cell state must stay at zero.
+        let mut rng = DeterministicRng::seed_from_u64(11);
+        let mut mk = |act, bias: f32| {
+            let wx = nfm_tensor::init::Initializer::XavierUniform.matrix(&mut rng, 2, 2);
+            let wh = nfm_tensor::init::Initializer::XavierUniform.matrix(&mut rng, 2, 2);
+            Gate::new(wx, wh, Vector::filled(2, bias), None, act).unwrap()
+        };
+        let input = mk(Activation::Sigmoid, -30.0);
+        let forget = mk(Activation::Sigmoid, 0.0);
+        let candidate = mk(Activation::Tanh, 0.0);
+        let output = mk(Activation::Sigmoid, 0.0);
+        let cell = LstmCell::new(input, forget, candidate, output).unwrap();
+        let mut eval = ExactEvaluator::new();
+        let state = cell
+            .step(
+                0,
+                0,
+                0,
+                &Vector::from(vec![1.0, -1.0]),
+                &LstmState::zeros(2),
+                &mut eval,
+            )
+            .unwrap();
+        assert!(state.c.norm_inf() < 1e-5);
+        assert!(state.h.norm_inf() < 1e-5);
+    }
+}

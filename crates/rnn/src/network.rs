@@ -1,0 +1,380 @@
+//! Deep (stacked) RNNs with an optional dense head.
+
+use crate::config::DeepRnnConfig;
+use crate::dense::Dense;
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::{Gate, GateId};
+use crate::layer::Layer;
+use crate::Result;
+use nfm_tensor::activation::Activation;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+
+/// A deep RNN: a stack of recurrent [`Layer`]s followed by an optional
+/// dense head, mirroring the workload networks of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepRnn {
+    layers: Vec<Layer>,
+    head: Option<Dense>,
+    input_size: usize,
+}
+
+impl DeepRnn {
+    /// Builds a network from explicit layers and an optional head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the stack is empty, if
+    /// consecutive layers have incompatible widths, or if the head's
+    /// input width does not match the last layer's output width.
+    pub fn new(layers: Vec<Layer>, head: Option<Dense>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(RnnError::InvalidConfig {
+                what: "a deep RNN needs at least one layer".into(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[1].input_size() != pair[0].output_size() {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "layer {} expects input width {} but layer {} produces {}",
+                        pair[1].index(),
+                        pair[1].input_size(),
+                        pair[0].index(),
+                        pair[0].output_size()
+                    ),
+                });
+            }
+        }
+        if let Some(h) = &head {
+            let last = layers.last().expect("non-empty");
+            if h.input_size() != last.output_size() {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "head expects input width {} but the last layer produces {}",
+                        h.input_size(),
+                        last.output_size()
+                    ),
+                });
+            }
+        }
+        let input_size = layers[0].input_size();
+        Ok(DeepRnn {
+            layers,
+            head,
+            input_size,
+        })
+    }
+
+    /// Builds a randomly initialized network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if the configuration is invalid.
+    pub fn random(config: &DeepRnnConfig, rng: &mut DeterministicRng) -> Result<Self> {
+        config.validate()?;
+        let mut layers = Vec::with_capacity(config.layer_count());
+        let mut layer_input = config.input_size();
+        for i in 0..config.layer_count() {
+            let layer = Layer::random(
+                i,
+                config.cell(),
+                config.direction_kind(),
+                layer_input,
+                config.hidden_size(),
+                config.has_peepholes(),
+                rng,
+            )?;
+            layer_input = layer.output_size();
+            layers.push(layer);
+        }
+        let head = match config.head_size() {
+            Some(out) => Some(Dense::random(
+                layer_input,
+                out,
+                Activation::Identity,
+                rng,
+            )?),
+            None => None,
+        };
+        DeepRnn::new(layers, head)
+    }
+
+    /// Width of the input vectors the network expects.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Width of the vectors produced per timestep (head output if a head
+    /// is present, otherwise the last layer's output).
+    pub fn output_size(&self) -> usize {
+        match &self.head {
+            Some(h) => h.output_size(),
+            None => self.layers.last().expect("non-empty").output_size(),
+        }
+    }
+
+    /// The recurrent layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The dense head, if any.
+    pub fn head(&self) -> Option<&Dense> {
+        self.head.as_ref()
+    }
+
+    /// Iterates over every `(GateId, &Gate)` in the recurrent stack.
+    pub fn gates(&self) -> Vec<(GateId, &Gate)> {
+        self.layers.iter().flat_map(|l| l.gates()).collect()
+    }
+
+    /// Looks up a gate by id.
+    pub fn gate(&self, id: GateId) -> Option<&Gate> {
+        self.layers.get(id.layer).and_then(|layer| {
+            let cell = if id.direction == 0 {
+                Some(layer.forward_cell())
+            } else {
+                layer.backward_cell()
+            };
+            cell.and_then(|c| c.gate(id.kind))
+        })
+    }
+
+    /// Total recurrent weights (excluding the head).
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Neuron evaluations per timestep across the whole stack — the
+    /// denominator of the paper's computation-reuse percentages.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        self.layers
+            .iter()
+            .map(Layer::neuron_evaluations_per_step)
+            .sum()
+    }
+
+    /// Runs the network over an input sequence, returning one output per
+    /// timestep (after the dense head when present).
+    ///
+    /// The evaluator's [`begin_sequence`](NeuronEvaluator::begin_sequence)
+    /// hook is invoked once before processing starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::EmptySequence`] for an empty input, or an
+    /// error if any element has the wrong width.
+    pub fn run(
+        &self,
+        sequence: &[Vector],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vector>> {
+        if sequence.is_empty() {
+            return Err(RnnError::EmptySequence);
+        }
+        for (t, x) in sequence.iter().enumerate() {
+            if x.len() != self.input_size {
+                return Err(RnnError::InputSizeMismatch {
+                    expected: self.input_size,
+                    found: x.len(),
+                    timestep: t,
+                });
+            }
+        }
+        evaluator.begin_sequence();
+        let mut current: Vec<Vector> = sequence.to_vec();
+        for layer in &self.layers {
+            current = layer.process(&current, evaluator)?;
+        }
+        match &self.head {
+            None => Ok(current),
+            Some(head) => current.iter().map(|v| head.apply(v)).collect(),
+        }
+    }
+
+    /// Runs the network and also returns the outputs of the final
+    /// recurrent layer (before the head).  The evaluation harness uses
+    /// the recurrent outputs for similarity analyses and the head outputs
+    /// for task-level accuracy proxies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeepRnn::run`].
+    pub fn run_with_hidden(
+        &self,
+        sequence: &[Vector],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<(Vec<Vector>, Vec<Vector>)> {
+        if sequence.is_empty() {
+            return Err(RnnError::EmptySequence);
+        }
+        for (t, x) in sequence.iter().enumerate() {
+            if x.len() != self.input_size {
+                return Err(RnnError::InputSizeMismatch {
+                    expected: self.input_size,
+                    found: x.len(),
+                    timestep: t,
+                });
+            }
+        }
+        evaluator.begin_sequence();
+        let mut current: Vec<Vector> = sequence.to_vec();
+        for layer in &self.layers {
+            current = layer.process(&current, evaluator)?;
+        }
+        let hidden = current.clone();
+        let outputs = match &self.head {
+            None => current,
+            Some(head) => current
+                .iter()
+                .map(|v| head.apply(v))
+                .collect::<Result<Vec<_>>>()?,
+        };
+        Ok((outputs, hidden))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CellKind, Direction};
+    use crate::evaluator::{CountingEvaluator, ExactEvaluator};
+
+    fn seq(n: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(width, |_| rng.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn random_network_runs_and_has_expected_shapes() {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 6, 8)
+            .layers(2)
+            .output_size(3);
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        assert_eq!(net.input_size(), 6);
+        assert_eq!(net.output_size(), 3);
+        assert_eq!(net.layers().len(), 2);
+        assert!(net.head().is_some());
+        let out = net.run(&seq(5, 6, 2), &mut ExactEvaluator::new()).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|v| v.len() == 3));
+    }
+
+    #[test]
+    fn bidirectional_network_widths_compose() {
+        let cfg = DeepRnnConfig::new(CellKind::Gru, 4, 5)
+            .layers(3)
+            .direction(Direction::Bidirectional);
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        assert_eq!(net.output_size(), 10);
+        assert_eq!(net.gates().len(), 3 * 2 * 3);
+        let out = net.run(&seq(4, 4, 4), &mut ExactEvaluator::new()).unwrap();
+        assert!(out.iter().all(|v| v.len() == 10));
+    }
+
+    #[test]
+    fn run_counts_expected_neuron_evaluations() {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 6).layers(2);
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let mut counter = CountingEvaluator::new(ExactEvaluator::new());
+        let timesteps = 7;
+        let _ = net.run(&seq(timesteps, 4, 6), &mut counter).unwrap();
+        assert_eq!(
+            counter.calls() as usize,
+            timesteps * net.neuron_evaluations_per_step()
+        );
+        assert_eq!(counter.sequences(), 1);
+    }
+
+    #[test]
+    fn gate_lookup_round_trips() {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 4)
+            .layers(2)
+            .direction(Direction::Bidirectional);
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        for (id, gate) in net.gates() {
+            let found = net.gate(id).expect("gate must exist");
+            assert_eq!(found.neurons(), gate.neurons());
+        }
+        // Unknown ids return None.
+        assert!(net
+            .gate(GateId::new(9, 0, crate::gate::GateKind::Input))
+            .is_none());
+    }
+
+    #[test]
+    fn run_rejects_empty_and_misshaped_sequences() {
+        let cfg = DeepRnnConfig::new(CellKind::Gru, 3, 4);
+        let mut rng = DeterministicRng::seed_from_u64(8);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let mut eval = ExactEvaluator::new();
+        assert!(matches!(net.run(&[], &mut eval), Err(RnnError::EmptySequence)));
+        let bad = vec![Vector::zeros(2)];
+        assert!(matches!(
+            net.run(&bad, &mut eval),
+            Err(RnnError::InputSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_incompatible_layers_and_head() {
+        let mut rng = DeterministicRng::seed_from_u64(9);
+        let l0 = Layer::random(
+            0,
+            CellKind::Lstm,
+            Direction::Unidirectional,
+            4,
+            6,
+            false,
+            &mut rng,
+        )
+        .unwrap();
+        let l1_bad = Layer::random(
+            1,
+            CellKind::Lstm,
+            Direction::Unidirectional,
+            5,
+            6,
+            false,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(DeepRnn::new(vec![l0.clone(), l1_bad], None).is_err());
+        let bad_head = Dense::random(7, 2, Activation::Identity, &mut rng).unwrap();
+        assert!(DeepRnn::new(vec![l0], Some(bad_head)).is_err());
+        assert!(DeepRnn::new(vec![], None).is_err());
+    }
+
+    #[test]
+    fn run_with_hidden_returns_both_views() {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 3, 5).output_size(2);
+        let mut rng = DeterministicRng::seed_from_u64(11);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let (out, hidden) = net
+            .run_with_hidden(&seq(4, 3, 12), &mut ExactEvaluator::new())
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(hidden.len(), 4);
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(hidden[0].len(), 5);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let cfg = DeepRnnConfig::new(CellKind::Gru, 4, 4).layers(2);
+        let mut rng = DeterministicRng::seed_from_u64(13);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let s = seq(6, 4, 14);
+        let a = net.run(&s, &mut ExactEvaluator::new()).unwrap();
+        let b = net.run(&s, &mut ExactEvaluator::new()).unwrap();
+        assert_eq!(a, b);
+    }
+}

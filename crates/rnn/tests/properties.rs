@@ -1,0 +1,92 @@
+//! Property-based tests on RNN inference invariants.
+
+use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, Direction, ExactEvaluator, GruCell, GruState, LstmCell, LstmState};
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+use proptest::prelude::*;
+
+fn sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Vector::from_fn(width, |_| rng.uniform(-1.5, 1.5)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gru_hidden_state_is_a_convex_combination(seed in 0u64..500, steps in 1usize..10) {
+        // h_t is elementwise between h_{t-1} and tanh(...) in [-1, 1], so
+        // it can never leave [-1, 1].
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let cell = GruCell::random(5, 7, &mut rng).unwrap();
+        let mut state = GruState::zeros(7);
+        let mut eval = ExactEvaluator::new();
+        for (t, x) in sequence(steps, 5, seed ^ 0xABC).iter().enumerate() {
+            state = cell.step(0, 0, t, x, &state, &mut eval).unwrap();
+            prop_assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn lstm_hidden_output_is_bounded_by_one(seed in 0u64..500, steps in 1usize..10) {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let cell = LstmCell::random(4, 6, true, &mut rng).unwrap();
+        let mut state = LstmState::zeros(6);
+        let mut eval = ExactEvaluator::new();
+        for (t, x) in sequence(steps, 4, seed ^ 0xDEF).iter().enumerate() {
+            state = cell.step(0, 0, t, x, &state, &mut eval).unwrap();
+            prop_assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+            prop_assert!(state.c.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic_and_counts_are_exact(
+        seed in 0u64..300,
+        layers in 1usize..3,
+        steps in 1usize..6,
+        bidirectional in any::<bool>(),
+    ) {
+        let direction = if bidirectional { Direction::Bidirectional } else { Direction::Unidirectional };
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 5)
+            .layers(layers)
+            .direction(direction);
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let seq = sequence(steps, 4, seed ^ 0x123);
+        let mut e1 = ExactEvaluator::new();
+        let mut e2 = ExactEvaluator::new();
+        let a = net.run(&seq, &mut e1).unwrap();
+        let b = net.run(&seq, &mut e2).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(e1.evaluations(), e2.evaluations());
+        prop_assert_eq!(
+            e1.evaluations() as usize,
+            steps * net.neuron_evaluations_per_step()
+        );
+    }
+
+    #[test]
+    fn output_width_matches_configuration(
+        seed in 0u64..200,
+        hidden in 2usize..8,
+        head in prop::option::of(1usize..5),
+        bidirectional in any::<bool>(),
+    ) {
+        let direction = if bidirectional { Direction::Bidirectional } else { Direction::Unidirectional };
+        let mut cfg = DeepRnnConfig::new(CellKind::Gru, 3, hidden).direction(direction);
+        if let Some(h) = head {
+            cfg = cfg.output_size(h);
+        }
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let out = net.run(&sequence(3, 3, seed), &mut ExactEvaluator::new()).unwrap();
+        let expected = match head {
+            Some(h) => h,
+            None => hidden * direction.cells_per_layer(),
+        };
+        prop_assert!(out.iter().all(|v| v.len() == expected));
+    }
+}

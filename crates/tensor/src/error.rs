@@ -1,0 +1,134 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dimension-checked tensor operations.
+///
+/// Every fallible public function in this crate returns this type so
+/// callers can propagate shape problems with `?` instead of panicking
+/// deep inside an inference loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands were expected to have the same length but did not.
+    LengthMismatch {
+        /// Length of the left-hand operand.
+        left: usize,
+        /// Length of the right-hand operand.
+        right: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A matrix-vector product was attempted with an incompatible vector.
+    ShapeMismatch {
+        /// Number of matrix rows.
+        rows: usize,
+        /// Number of matrix columns.
+        cols: usize,
+        /// Length of the vector operand.
+        vec_len: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A matrix was constructed from rows of unequal length.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// An empty input was supplied where at least one element is required.
+    Empty {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A parameter was outside its valid domain (e.g. a negative bin count).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { left, right, op } => {
+                write!(f, "length mismatch in {op}: {left} vs {right}")
+            }
+            TensorError::ShapeMismatch {
+                rows,
+                cols,
+                vec_len,
+                op,
+            } => write!(
+                f,
+                "shape mismatch in {op}: matrix {rows}x{cols} incompatible with vector of length {vec_len}"
+            ),
+            TensorError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has length {found}, expected {expected}"
+            ),
+            TensorError::Empty { op } => write!(f, "empty input in {op}"),
+            TensorError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            left: 3,
+            right: 4,
+            op: "dot",
+        };
+        assert_eq!(e.to_string(), "length mismatch in dot: 3 vs 4");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            rows: 2,
+            cols: 3,
+            vec_len: 5,
+            op: "matvec",
+        };
+        assert!(e.to_string().contains("matrix 2x3"));
+        assert!(e.to_string().contains("length 5"));
+    }
+
+    #[test]
+    fn display_ragged_rows() {
+        let e = TensorError::RaggedRows {
+            expected: 4,
+            found: 2,
+            row: 1,
+        };
+        assert!(e.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn display_empty_and_invalid() {
+        assert!(TensorError::Empty { op: "mean" }.to_string().contains("mean"));
+        assert!(TensorError::InvalidParameter { what: "bins must be > 0" }
+            .to_string()
+            .contains("bins"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Weight initializers for the synthetic workload models.
+//!
+//! The paper uses trained TensorFlow models; this repository substitutes
+//! synthetic networks (see `DESIGN.md`) whose weights come from the
+//! standard initializers below.  Xavier/Glorot scaling keeps gate
+//! pre-activations in the responsive region of `σ`/`ϕ`, which is what
+//! gives the synthetic models the smooth, temporally-correlated neuron
+//! outputs the memoization scheme exploits.
+
+use crate::matrix::Matrix;
+use crate::rng::DeterministicRng;
+use crate::vector::Vector;
+
+/// Weight initialization strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Normal with standard deviation `sqrt(2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// Normal with the given standard deviation.
+    Gaussian {
+        /// Standard deviation of each weight.
+        std_dev: f32,
+    },
+    /// Uniform in `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the interval.
+        bound: f32,
+    },
+    /// All elements set to the same constant (used by bias vectors, e.g.
+    /// the common "forget-gate bias = 1.0" trick).
+    Constant {
+        /// The constant value.
+        value: f32,
+    },
+}
+
+impl Initializer {
+    /// Samples a single weight for a tensor with the given fan-in/fan-out.
+    pub fn sample(&self, rng: &mut DeterministicRng, fan_in: usize, fan_out: usize) -> f32 {
+        match *self {
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                rng.uniform(-limit, limit)
+            }
+            Initializer::XavierNormal => {
+                let std_dev = (2.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                rng.normal_with(0.0, std_dev)
+            }
+            Initializer::Gaussian { std_dev } => rng.normal_with(0.0, std_dev),
+            Initializer::Uniform { bound } => {
+                if bound == 0.0 {
+                    0.0
+                } else {
+                    rng.uniform(-bound, bound)
+                }
+            }
+            Initializer::Constant { value } => value,
+        }
+    }
+
+    /// Builds a `rows x cols` weight matrix (`fan_out = rows`, `fan_in = cols`).
+    pub fn matrix(&self, rng: &mut DeterministicRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.sample(rng, cols, rows))
+    }
+
+    /// Builds a length-`len` vector, treating it as a bias (`fan_in = len`).
+    pub fn vector(&self, rng: &mut DeterministicRng, len: usize) -> Vector {
+        Vector::from_fn(len, |_| self.sample(rng, len, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_uniform_respects_limit() {
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        let m = Initializer::XavierUniform.matrix(&mut rng, 64, 64);
+        let limit = (6.0 / 128.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn xavier_normal_std_is_close() {
+        let mut rng = DeterministicRng::seed_from_u64(2);
+        let m = Initializer::XavierNormal.matrix(&mut rng, 100, 100);
+        let expected_std = (2.0 / 200.0_f32).sqrt();
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.element_count() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f32>()
+            / m.element_count() as f32;
+        assert!((var.sqrt() - expected_std).abs() < expected_std * 0.2);
+    }
+
+    #[test]
+    fn gaussian_scales_with_std() {
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let v = Initializer::Gaussian { std_dev: 0.01 }.vector(&mut rng, 1000);
+        assert!(v.norm_inf() < 0.1);
+    }
+
+    #[test]
+    fn uniform_and_constant() {
+        let mut rng = DeterministicRng::seed_from_u64(4);
+        let v = Initializer::Uniform { bound: 0.5 }.vector(&mut rng, 100);
+        assert!(v.iter().all(|x| x.abs() <= 0.5));
+        let zero = Initializer::Uniform { bound: 0.0 }.vector(&mut rng, 4);
+        assert!(zero.iter().all(|x| x == 0.0));
+        let c = Initializer::Constant { value: 1.0 }.vector(&mut rng, 4);
+        assert!(c.iter().all(|x| x == 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = DeterministicRng::seed_from_u64(77);
+        let mut r2 = DeterministicRng::seed_from_u64(77);
+        let a = Initializer::XavierUniform.matrix(&mut r1, 8, 8);
+        let b = Initializer::XavierUniform.matrix(&mut r2, 8, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Half-precision (FP16) emulation.
+//!
+//! The E-PUR accelerator evaluates RNNs with 16-bit floating point
+//! operands (Table 2 of the paper says computations can be performed with
+//! 32- or 16-bit floats).  The memoization scheme's energy advantage comes
+//! from *not fetching* those FP16 weights; to model the arithmetic
+//! faithfully the workloads can optionally quantize weights and
+//! activations through the IEEE 754 binary16 round-trip implemented here.
+
+/// Converts an `f32` to the nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even), without needing the unstable `f16` type.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mantissa = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Infinity or NaN.
+        let nan_bit = if mantissa != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan_bit;
+    }
+
+    // Re-bias the exponent from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normalised f16.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mantissa >> 13) as u16;
+        let rounded = round_mantissa(sign | half_exp | half_mant, mantissa);
+        return rounded;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: the value is mant_with_hidden * 2^(e-23); the
+        // subnormal mantissa is value / 2^-24 = mant_with_hidden >> (-e-1).
+        let shift = (-unbiased - 1) as u32; // 14..=23
+        let mant_with_hidden = mantissa | 0x0080_0000;
+        let half_mant = (mant_with_hidden >> shift) as u16;
+        // Round to nearest-even based on the dropped bits.
+        let dropped = mant_with_hidden & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut result = sign | half_mant;
+        if dropped > halfway || (dropped == halfway && (half_mant & 1) == 1) {
+            result = result.wrapping_add(1);
+        }
+        return result;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+fn round_mantissa(candidate: u16, mantissa: u32) -> u16 {
+    let dropped = mantissa & 0x1FFF;
+    let halfway = 0x1000;
+    if dropped > halfway || (dropped == halfway && (candidate & 1) == 1) {
+        candidate.wrapping_add(1)
+    } else {
+        candidate
+    }
+}
+
+/// Converts an IEEE 754 binary16 bit pattern back to `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mant = (bits & 0x03FF) as u32;
+
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: value = mant * 2^-24; normalise the leading 1 into
+            // bit 10 and rebuild the f32 exponent from the shift count.
+            let mut m = mant;
+            let mut shifts = 0i32;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                shifts += 1;
+            }
+            m &= 0x03FF;
+            let unbiased = -14 - shifts;
+            let exp32 = ((unbiased + 127) as u32) << 23;
+            sign | exp32 | (m << 13)
+        }
+    } else if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (mant << 13)
+    } else {
+        let exp32 = (exp + 127 - 15) << 23;
+        sign | exp32 | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds a value through binary16 precision and back.
+pub fn quantize_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Quantizes a slice in place through binary16.
+pub fn quantize_slice_f16(values: &mut [f32]) {
+    for v in values {
+        *v = quantize_f16(*v);
+    }
+}
+
+/// Symmetric linear quantization to `bits`-bit signed integers over the
+/// range `[-max_abs, max_abs]`, returning the dequantized value.
+///
+/// Linear quantization of weights is the standard footprint optimization
+/// the paper cites (TPU / GNMT); it is exposed here so the ablation
+/// benches can compare memoization against plain quantization.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 31.
+pub fn fake_linear_quantize(value: f32, max_abs: f32, bits: u32) -> f32 {
+    assert!(bits > 0 && bits < 32, "bits must be in 1..=31");
+    if max_abs <= 0.0 {
+        return 0.0;
+    }
+    let levels = (1i64 << (bits - 1)) - 1;
+    let scale = levels as f32 / max_abs;
+    let q = (value * scale).round().clamp(-(levels as f32), levels as f32);
+    q / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0_f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1024.0, 65504.0] {
+            assert_eq!(quantize_f16(v), v, "value {v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_close_for_typical_weights() {
+        for i in 0..100 {
+            let v = (i as f32 - 50.0) / 37.0;
+            let q = quantize_f16(v);
+            assert!((q - v).abs() <= v.abs() * 1e-3 + 1e-4, "{v} -> {q}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_infinity() {
+        assert!(quantize_f16(1e6).is_infinite());
+        assert!(quantize_f16(-1e6).is_infinite());
+        assert!(quantize_f16(-1e6) < 0.0);
+    }
+
+    #[test]
+    fn f16_underflow_to_zero() {
+        let q = quantize_f16(1e-10);
+        assert_eq!(q, 0.0);
+        let qn = quantize_f16(-1e-10);
+        assert_eq!(qn, 0.0);
+        assert!(qn.is_sign_negative());
+    }
+
+    #[test]
+    fn f16_subnormals_preserved_approximately() {
+        let v = 3.0e-5_f32; // Below the normal f16 minimum (6.1e-5).
+        let q = quantize_f16(v);
+        assert!(q > 0.0);
+        assert!((q - v).abs() / v < 0.1);
+    }
+
+    #[test]
+    fn f16_nan_stays_nan() {
+        assert!(quantize_f16(f32::NAN).is_nan());
+        assert!(quantize_f16(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn quantize_slice_applies_elementwise() {
+        let mut xs = vec![0.1_f32, 0.2, 0.3];
+        let expect: Vec<f32> = xs.iter().map(|&v| quantize_f16(v)).collect();
+        quantize_slice_f16(&mut xs);
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn linear_quantization_is_bounded_and_monotone() {
+        let max_abs = 2.0;
+        let a = fake_linear_quantize(0.5, max_abs, 8);
+        let b = fake_linear_quantize(0.6, max_abs, 8);
+        assert!(b >= a);
+        assert!((a - 0.5).abs() < 0.02);
+        // Saturation
+        assert!(fake_linear_quantize(100.0, max_abs, 8) <= max_abs + 1e-6);
+        assert_eq!(fake_linear_quantize(1.0, 0.0, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn linear_quantization_rejects_zero_bits() {
+        let _ = fake_linear_quantize(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Task-level accuracy proxies.
+//!
+//! The paper reports *accuracy loss relative to the baseline model*
+//! (Table 1's trained networks evaluated without memoization).  Without
+//! those trained models this reproduction scores the same divergence at
+//! the same point of the pipeline: the exact run's outputs act as the
+//! reference labels/transcripts/translations, and memoized outputs are
+//! scored against them with the task's own metric (classification
+//! accuracy, word error rate, BLEU).  A zero-reuse run therefore has
+//! exactly zero loss, and loss grows as memoization perturbs the output
+//! trajectory — the quantity every figure of the paper plots.
+
+use crate::spec::AccuracyKind;
+use nfm_tensor::Vector;
+
+/// A decoded output sequence: the per-timestep argmax labels, with
+/// consecutive duplicates collapsed for the sequence metrics (a light
+/// stand-in for CTC-style decoding used by the speech networks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Collapsed label sequence.
+    pub labels: Vec<usize>,
+}
+
+impl Decoded {
+    /// Greedy-decodes a sequence of output vectors.
+    pub fn greedy(outputs: &[Vector]) -> Decoded {
+        let mut labels = Vec::new();
+        for v in outputs {
+            if let Some(l) = v.argmax() {
+                if labels.last() != Some(&l) {
+                    labels.push(l);
+                }
+            }
+        }
+        Decoded { labels }
+    }
+
+    /// Majority label across all timesteps (sequence classification).
+    pub fn majority_label(outputs: &[Vector]) -> Option<usize> {
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for v in outputs {
+            if let Some(l) = v.argmax() {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+    }
+}
+
+/// Levenshtein edit distance between two label sequences.
+pub fn edit_distance(a: &[usize], b: &[usize]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Word error rate of `hypothesis` against `reference`, in `[0, ∞)`.
+/// Returns 0 when both are empty.
+pub fn word_error_rate(reference: &[usize], hypothesis: &[usize]) -> f64 {
+    if reference.is_empty() {
+        return if hypothesis.is_empty() { 0.0 } else { 1.0 };
+    }
+    edit_distance(reference, hypothesis) as f64 / reference.len() as f64
+}
+
+/// BLEU-style modified n-gram precision (n = 1..=4, uniform weights, with
+/// a brevity penalty).  Returns a score in `[0, 1]`; identical sequences
+/// score 1.
+pub fn bleu(reference: &[usize], hypothesis: &[usize]) -> f64 {
+    if hypothesis.is_empty() || reference.is_empty() {
+        return if hypothesis == reference { 1.0 } else { 0.0 };
+    }
+    let max_n = 4.min(hypothesis.len()).min(reference.len());
+    let mut log_precision_sum = 0.0;
+    for n in 1..=max_n {
+        let h_counts = ngram_counts(hypothesis, n);
+        let r_counts = ngram_counts(reference, n);
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for (gram, &count) in &h_counts {
+            total += count;
+            matched += count.min(*r_counts.get(gram).unwrap_or(&0));
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        // Laplace-style smoothing so a single missing n-gram order does not
+        // zero the whole score.
+        let precision = (matched as f64 + 1e-9) / total as f64;
+        log_precision_sum += precision.ln();
+    }
+    let geo_mean = (log_precision_sum / max_n as f64).exp();
+    let brevity = if hypothesis.len() < reference.len() {
+        (1.0 - reference.len() as f64 / hypothesis.len() as f64).exp()
+    } else {
+        1.0
+    };
+    (geo_mean * brevity).clamp(0.0, 1.0)
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> std::collections::HashMap<&[usize], usize> {
+    let mut counts = std::collections::HashMap::new();
+    if seq.len() >= n {
+        for w in seq.windows(n) {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Scores memoized outputs against baseline outputs with the metric of a
+/// workload, returning the *loss in percentage points* (the unit of every
+/// accuracy axis in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccuracyMetric {
+    kind: AccuracyKind,
+}
+
+impl AccuracyMetric {
+    /// Creates the metric for an accuracy kind.
+    pub fn new(kind: AccuracyKind) -> Self {
+        AccuracyMetric { kind }
+    }
+
+    /// The underlying metric kind.
+    pub fn kind(&self) -> AccuracyKind {
+        self.kind
+    }
+
+    /// Loss of one memoized sequence against its baseline, in percentage
+    /// points (0 = identical behaviour).
+    pub fn sequence_loss(&self, baseline: &[Vector], memoized: &[Vector]) -> f64 {
+        match self.kind {
+            AccuracyKind::Classification => {
+                let b = Decoded::majority_label(baseline);
+                let m = Decoded::majority_label(memoized);
+                if b == m {
+                    0.0
+                } else {
+                    100.0
+                }
+            }
+            AccuracyKind::WordErrorRate => {
+                let b = Decoded::greedy(baseline);
+                let m = Decoded::greedy(memoized);
+                word_error_rate(&b.labels, &m.labels) * 100.0
+            }
+            AccuracyKind::Bleu => {
+                let b = Decoded::greedy(baseline);
+                let m = Decoded::greedy(memoized);
+                (1.0 - bleu(&b.labels, &m.labels)) * 100.0
+            }
+        }
+    }
+
+    /// Mean loss over a batch of sequences, in percentage points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two batches have different lengths.
+    pub fn batch_loss(&self, baseline: &[Vec<Vector>], memoized: &[Vec<Vector>]) -> f64 {
+        assert_eq!(
+            baseline.len(),
+            memoized.len(),
+            "baseline and memoized batches must align"
+        );
+        if baseline.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = baseline
+            .iter()
+            .zip(memoized.iter())
+            .map(|(b, m)| self.sequence_loss(b, m))
+            .sum();
+        total / baseline.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onehot(class: usize, classes: usize) -> Vector {
+        Vector::from_fn(classes, |i| if i == class { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn greedy_decoding_collapses_repeats() {
+        let outputs = vec![onehot(1, 3), onehot(1, 3), onehot(2, 3), onehot(1, 3)];
+        assert_eq!(Decoded::greedy(&outputs).labels, vec![1, 2, 1]);
+        assert!(Decoded::greedy(&[]).labels.is_empty());
+    }
+
+    #[test]
+    fn majority_label_picks_most_frequent() {
+        let outputs = vec![onehot(0, 2), onehot(1, 2), onehot(1, 2)];
+        assert_eq!(Decoded::majority_label(&outputs), Some(1));
+        assert_eq!(Decoded::majority_label(&[]), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(edit_distance(&[], &[1, 2]), 2);
+        assert_eq!(edit_distance(&[1, 2], &[]), 2);
+        assert_eq!(edit_distance(&[1, 2, 3], &[4, 5, 6]), 3);
+    }
+
+    #[test]
+    fn wer_is_zero_for_identical_and_grows_with_errors() {
+        assert_eq!(word_error_rate(&[1, 2, 3, 4], &[1, 2, 3, 4]), 0.0);
+        assert_eq!(word_error_rate(&[1, 2, 3, 4], &[1, 2, 3]), 0.25);
+        assert_eq!(word_error_rate(&[], &[]), 0.0);
+        assert_eq!(word_error_rate(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn bleu_identical_is_one_and_disjoint_is_low() {
+        let r = vec![1, 2, 3, 4, 5, 6];
+        assert!((bleu(&r, &r) - 1.0).abs() < 1e-6);
+        let disjoint = vec![7, 8, 9, 10, 11, 12];
+        assert!(bleu(&r, &disjoint) < 0.01);
+        let close = vec![1, 2, 3, 4, 5, 7];
+        let b = bleu(&r, &close);
+        assert!(b > 0.3 && b < 1.0);
+        assert_eq!(bleu(&[], &[]), 1.0);
+        assert_eq!(bleu(&r, &[]), 0.0);
+    }
+
+    #[test]
+    fn classification_loss_is_all_or_nothing_per_sequence() {
+        let m = AccuracyMetric::new(AccuracyKind::Classification);
+        let base = vec![onehot(1, 2); 5];
+        assert_eq!(m.sequence_loss(&base, &base), 0.0);
+        let flipped = vec![onehot(0, 2); 5];
+        assert_eq!(m.sequence_loss(&base, &flipped), 100.0);
+    }
+
+    #[test]
+    fn wer_and_bleu_losses_are_zero_for_identical_outputs() {
+        for kind in [AccuracyKind::WordErrorRate, AccuracyKind::Bleu] {
+            let m = AccuracyMetric::new(kind);
+            let outputs = vec![onehot(1, 4), onehot(2, 4), onehot(3, 4)];
+            assert_eq!(m.sequence_loss(&outputs, &outputs), 0.0);
+            assert_eq!(m.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn batch_loss_averages_over_sequences() {
+        let m = AccuracyMetric::new(AccuracyKind::Classification);
+        let base = vec![vec![onehot(1, 2); 3], vec![onehot(0, 2); 3]];
+        let memo = vec![vec![onehot(1, 2); 3], vec![onehot(1, 2); 3]];
+        assert_eq!(m.batch_loss(&base, &memo), 50.0);
+        assert_eq!(m.batch_loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn batch_loss_rejects_mismatched_batches() {
+        let m = AccuracyMetric::new(AccuracyKind::Bleu);
+        let _ = m.batch_loss(&[vec![]], &[]);
+    }
+}

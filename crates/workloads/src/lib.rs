@@ -1,0 +1,48 @@
+//! # nfm-workloads
+//!
+//! The four RNN workloads of Table 1 of the paper, rebuilt as synthetic
+//! networks (see `DESIGN.md` for the substitution rationale):
+//!
+//! | Network          | Domain                    | Cell   | Layers | Neurons |
+//! |------------------|---------------------------|--------|--------|---------|
+//! | IMDB Sentiment   | sentiment classification  | LSTM   | 1      | 128     |
+//! | DeepSpeech2      | speech recognition        | GRU    | 5      | 800     |
+//! | EESEN            | speech recognition        | BiLSTM | 10     | 320     |
+//! | MNMT             | machine translation       | LSTM   | 8      | 1024    |
+//!
+//! Each workload couples a [`DeepRnn`](nfm_rnn::DeepRnn) with the exact
+//! Table 1 topology (optionally scaled down for fast experimentation), a
+//! deterministic synthetic input generator whose temporal correlation
+//! mimics the network's domain (audio frames change slowly, token
+//! embeddings jump), and an accuracy *proxy* that scores how far
+//! memoized outputs diverge from the exact baseline in the same units the
+//! paper reports (accuracy loss, WER loss, BLEU loss).
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_workloads::{NetworkId, WorkloadBuilder};
+//!
+//! let workload = WorkloadBuilder::new(NetworkId::ImdbSentiment)
+//!     .scale(0.25)
+//!     .sequences(2)
+//!     .sequence_length(12)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(workload.spec().layers, 1);
+//! assert_eq!(workload.network().layers().len(), 1);
+//! ```
+
+pub mod accuracy;
+pub mod generator;
+pub mod spec;
+pub mod workload;
+
+pub use accuracy::{AccuracyMetric, Decoded};
+pub use generator::{InputDomain, SequenceGenerator};
+pub use spec::{AccuracyKind, NetworkId, NetworkSpec};
+pub use workload::{Workload, WorkloadBuilder, WorkloadError};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

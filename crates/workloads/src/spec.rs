@@ -1,0 +1,267 @@
+//! Static descriptions of the Table 1 networks.
+
+use nfm_rnn::{CellKind, Direction};
+
+/// The four networks evaluated by the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkId {
+    /// IMDB sentiment classification (1-layer LSTM, 128 neurons).
+    ImdbSentiment,
+    /// DeepSpeech2 speech recognition (5-layer GRU, 800 neurons).
+    DeepSpeech2,
+    /// EESEN speech recognition (10-layer bidirectional LSTM, 320 neurons).
+    Eesen,
+    /// Massive-exploration NMT machine translation (8-layer LSTM, 1024 neurons).
+    Mnmt,
+}
+
+impl NetworkId {
+    /// All four networks, in the order Table 1 lists them.
+    pub const ALL: [NetworkId; 4] = [
+        NetworkId::ImdbSentiment,
+        NetworkId::DeepSpeech2,
+        NetworkId::Eesen,
+        NetworkId::Mnmt,
+    ];
+
+    /// Short display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkId::ImdbSentiment => "IMDB Sentiment",
+            NetworkId::DeepSpeech2 => "DeepSpeech2",
+            NetworkId::Eesen => "EESEN",
+            NetworkId::Mnmt => "MNMT",
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which accuracy metric the network's task is scored with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccuracyKind {
+    /// Classification accuracy (%); loss is reported in percentage points.
+    Classification,
+    /// Word error rate; loss is the WER increase in percentage points.
+    WordErrorRate,
+    /// BLEU score; loss is the BLEU decrease in percentage points.
+    Bleu,
+}
+
+impl AccuracyKind {
+    /// The y-axis label the paper uses for this metric's loss.
+    pub fn loss_label(self) -> &'static str {
+        match self {
+            AccuracyKind::Classification => "Accuracy Loss (%)",
+            AccuracyKind::WordErrorRate => "WER Loss (%)",
+            AccuracyKind::Bleu => "Bleu Loss (%)",
+        }
+    }
+}
+
+/// One row of Table 1, plus the model dimensions this reproduction uses
+/// for the synthetic stand-in (input features, output classes, typical
+/// sequence length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Which network this describes.
+    pub id: NetworkId,
+    /// Application domain as listed in Table 1.
+    pub app_domain: &'static str,
+    /// Cell type.
+    pub cell: CellKind,
+    /// Direction of the recurrent layers.
+    pub direction: Direction,
+    /// Number of stacked recurrent layers.
+    pub layers: usize,
+    /// Neurons per cell (per direction for bidirectional layers).
+    pub neurons: usize,
+    /// Base accuracy reported by the paper (in the metric's native unit:
+    /// %, WER, or BLEU).
+    pub base_accuracy: f32,
+    /// Computation reuse the paper reports at 1% accuracy loss (Table 1,
+    /// "Reuse" column) — the reference value `EXPERIMENTS.md` compares
+    /// against.
+    pub paper_reuse_percent: f32,
+    /// Dataset named in Table 1 (for documentation; this reproduction
+    /// substitutes synthetic data).
+    pub dataset: &'static str,
+    /// Accuracy metric of the task.
+    pub accuracy: AccuracyKind,
+    /// Input feature width used by the synthetic stand-in.
+    pub input_features: usize,
+    /// Output width (classes / characters / vocabulary) of the head.
+    pub output_classes: usize,
+    /// Typical input sequence length (the paper notes 20 to a few
+    /// thousand elements; these are representative mid-points).
+    pub typical_sequence_length: usize,
+}
+
+impl NetworkSpec {
+    /// The specification of one network.
+    pub fn of(id: NetworkId) -> NetworkSpec {
+        match id {
+            NetworkId::ImdbSentiment => NetworkSpec {
+                id,
+                app_domain: "Sentiment Classification",
+                cell: CellKind::Lstm,
+                direction: Direction::Unidirectional,
+                layers: 1,
+                neurons: 128,
+                base_accuracy: 86.5,
+                paper_reuse_percent: 36.2,
+                dataset: "IMDB dataset",
+                accuracy: AccuracyKind::Classification,
+                input_features: 64,
+                output_classes: 2,
+                typical_sequence_length: 80,
+            },
+            NetworkId::DeepSpeech2 => NetworkSpec {
+                id,
+                app_domain: "Speech Recognition",
+                cell: CellKind::Gru,
+                direction: Direction::Unidirectional,
+                layers: 5,
+                neurons: 800,
+                base_accuracy: 10.24,
+                paper_reuse_percent: 16.4,
+                dataset: "LibriSpeech",
+                accuracy: AccuracyKind::WordErrorRate,
+                input_features: 161,
+                output_classes: 29,
+                typical_sequence_length: 300,
+            },
+            NetworkId::Eesen => NetworkSpec {
+                id,
+                app_domain: "Speech Recognition",
+                cell: CellKind::Lstm,
+                direction: Direction::Bidirectional,
+                layers: 10,
+                neurons: 320,
+                base_accuracy: 23.8,
+                paper_reuse_percent: 30.5,
+                dataset: "Tedlium V1",
+                accuracy: AccuracyKind::WordErrorRate,
+                input_features: 40,
+                output_classes: 29,
+                typical_sequence_length: 200,
+            },
+            NetworkId::Mnmt => NetworkSpec {
+                id,
+                app_domain: "Machine Translation",
+                cell: CellKind::Lstm,
+                direction: Direction::Unidirectional,
+                layers: 8,
+                neurons: 1024,
+                base_accuracy: 29.8,
+                paper_reuse_percent: 19.0,
+                dataset: "WMT'15 En->Ge",
+                accuracy: AccuracyKind::Bleu,
+                input_features: 256,
+                output_classes: 64,
+                typical_sequence_length: 30,
+            },
+        }
+    }
+
+    /// Specifications of all four networks.
+    pub fn all() -> Vec<NetworkSpec> {
+        NetworkId::ALL.iter().map(|&id| NetworkSpec::of(id)).collect()
+    }
+
+    /// Total neuron evaluations per timestep for the full-size network.
+    pub fn neuron_evaluations_per_step(&self) -> usize {
+        self.layers * self.direction.cells_per_layer() * self.neurons * self.cell.gates()
+    }
+
+    /// The paper's threshold sweep upper bound for this network
+    /// (Figure 1 sweeps 0–0.6 for the speech networks and up to 1.0 for
+    /// classification / 0.8 for translation).
+    pub fn threshold_sweep_max(&self) -> f32 {
+        match self.accuracy {
+            AccuracyKind::WordErrorRate => 0.6,
+            AccuracyKind::Bleu => 0.8,
+            AccuracyKind::Classification => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_networks_are_described() {
+        let all = NetworkSpec::all();
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = NetworkId::ALL.iter().map(|id| id.name()).collect();
+        assert!(names.contains(&"EESEN"));
+        assert!(names.contains(&"DeepSpeech2"));
+    }
+
+    #[test]
+    fn table1_topologies_match_the_paper() {
+        let imdb = NetworkSpec::of(NetworkId::ImdbSentiment);
+        assert_eq!((imdb.cell, imdb.layers, imdb.neurons), (CellKind::Lstm, 1, 128));
+        let ds2 = NetworkSpec::of(NetworkId::DeepSpeech2);
+        assert_eq!((ds2.cell, ds2.layers, ds2.neurons), (CellKind::Gru, 5, 800));
+        let eesen = NetworkSpec::of(NetworkId::Eesen);
+        assert_eq!(
+            (eesen.cell, eesen.direction, eesen.layers, eesen.neurons),
+            (CellKind::Lstm, Direction::Bidirectional, 10, 320)
+        );
+        let mnmt = NetworkSpec::of(NetworkId::Mnmt);
+        assert_eq!((mnmt.cell, mnmt.layers, mnmt.neurons), (CellKind::Lstm, 8, 1024));
+    }
+
+    #[test]
+    fn paper_reuse_and_accuracy_figures_are_recorded() {
+        assert_eq!(NetworkSpec::of(NetworkId::ImdbSentiment).paper_reuse_percent, 36.2);
+        assert_eq!(NetworkSpec::of(NetworkId::DeepSpeech2).base_accuracy, 10.24);
+        assert_eq!(NetworkSpec::of(NetworkId::Eesen).paper_reuse_percent, 30.5);
+        assert_eq!(NetworkSpec::of(NetworkId::Mnmt).base_accuracy, 29.8);
+    }
+
+    #[test]
+    fn metric_kinds_and_labels() {
+        assert_eq!(
+            NetworkSpec::of(NetworkId::ImdbSentiment).accuracy,
+            AccuracyKind::Classification
+        );
+        assert_eq!(
+            NetworkSpec::of(NetworkId::Eesen).accuracy.loss_label(),
+            "WER Loss (%)"
+        );
+        assert_eq!(
+            NetworkSpec::of(NetworkId::Mnmt).accuracy.loss_label(),
+            "Bleu Loss (%)"
+        );
+    }
+
+    #[test]
+    fn evaluations_per_step_account_for_directions() {
+        let eesen = NetworkSpec::of(NetworkId::Eesen);
+        assert_eq!(
+            eesen.neuron_evaluations_per_step(),
+            10 * 2 * 320 * 4
+        );
+        let imdb = NetworkSpec::of(NetworkId::ImdbSentiment);
+        assert_eq!(imdb.neuron_evaluations_per_step(), 128 * 4);
+    }
+
+    #[test]
+    fn sweep_bounds_follow_the_metric() {
+        assert_eq!(NetworkSpec::of(NetworkId::Eesen).threshold_sweep_max(), 0.6);
+        assert_eq!(NetworkSpec::of(NetworkId::ImdbSentiment).threshold_sweep_max(), 1.0);
+        assert_eq!(NetworkSpec::of(NetworkId::Mnmt).threshold_sweep_max(), 0.8);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(NetworkId::Eesen.to_string(), "EESEN");
+    }
+}

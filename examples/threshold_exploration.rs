@@ -1,0 +1,58 @@
+//! Machine-translation scenario (MNMT style): show how the throttling
+//! mechanism (accumulating BNN differences over consecutive reuses)
+//! affects the reuse/accuracy trade-off — a runnable version of the
+//! Figure 11 ablation.
+//!
+//! ```text
+//! cargo run --release --example threshold_exploration
+//! ```
+
+use nfm::memo::{BnnMemoConfig, MemoizedRunner};
+use nfm::workloads::{NetworkId, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadBuilder::new(NetworkId::Mnmt)
+        .scale(0.08)
+        .layers(3)
+        .sequences(3)
+        .sequence_length(25)
+        .seed(77)
+        .build()?;
+    println!(
+        "MNMT-like workload: {} LSTM layers, {} neurons, BLEU-style accuracy proxy\n",
+        workload.network().layers().len(),
+        workload.network().layers()[0].forward_cell().hidden_size()
+    );
+
+    let baseline = MemoizedRunner::exact().run(&workload)?;
+
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "threshold", "throttling (reuse/loss)", "no throttling (reuse/loss)"
+    );
+    for theta in [0.2_f32, 0.4, 0.8, 1.2, 1.6] {
+        let with = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(theta)).run(&workload)?;
+        let without =
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(theta).without_throttling())
+                .run(&workload)?;
+        let with_loss = workload
+            .metric()
+            .batch_loss(&baseline.outputs, &with.outputs);
+        let without_loss = workload
+            .metric()
+            .batch_loss(&baseline.outputs, &without.outputs);
+        println!(
+            "{theta:>10.2} {:>13.1}% / {:>5.2} {:>13.1}% / {:>5.2}",
+            with.reuse_percent(),
+            with_loss,
+            without.reuse_percent(),
+            without_loss
+        );
+    }
+
+    println!("\nWithout throttling the same threshold reuses more aggressively but lets the");
+    println!("error accumulate over long runs of reuses; with throttling the accumulated");
+    println!("difference bounds how stale a cached value may become, so larger thresholds");
+    println!("remain safe — the paper gains ~5 points of reuse at equal accuracy this way.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # nfm — Neuron-Level Fuzzy Memoization in RNNs
+//!
+//! Umbrella crate for the reproduction of *"Neuron-Level Fuzzy Memoization
+//! in RNNs"* (Silfa, Dot, Arnau, González — MICRO-52, 2019).
+//!
+//! It re-exports the workspace crates under a single namespace so
+//! examples, integration tests and downstream users can write
+//! `use nfm::memo::...` without tracking individual crate names:
+//!
+//! * [`tensor`] — dense linear algebra, activations, statistics.
+//! * [`rnn`] — LSTM/GRU cells, layers and deep networks.
+//! * [`bnn`] — binarized (bitwise) network substrate.
+//! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
+//! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
+//! * [`workloads`] — the four Table 1 RNNs with synthetic data.
+//! * [`eval`] — per-figure/per-table experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nfm::workloads::{NetworkId, WorkloadBuilder};
+//! use nfm::memo::{BnnMemoConfig, MemoizedRunner};
+//!
+//! // Build a scaled-down IMDB sentiment workload and run it with the
+//! // BNN-predictor memoization scheme at threshold 0.05.
+//! let workload = WorkloadBuilder::new(NetworkId::ImdbSentiment)
+//!     .scale(0.125)
+//!     .sequences(2)
+//!     .sequence_length(16)
+//!     .seed(7)
+//!     .build()
+//!     .expect("workload");
+//! let mut runner = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.05));
+//! let outcome = runner.run(&workload).expect("run");
+//! assert!(outcome.reuse_fraction() >= 0.0);
+//! ```
+
+pub use nfm_accel as accel;
+pub use nfm_bnn as bnn;
+pub use nfm_core as memo;
+pub use nfm_eval as eval;
+pub use nfm_rnn as rnn;
+pub use nfm_tensor as tensor;
+pub use nfm_workloads as workloads;
