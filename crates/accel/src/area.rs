@@ -38,7 +38,10 @@ impl Default for AreaModel {
 impl AreaModel {
     /// Area of the unmodified E-PUR accelerator.
     pub fn baseline_mm2(&self) -> f64 {
-        self.computation_units_mm2 + self.weight_buffers_mm2 + self.on_chip_memory_mm2 + self.other_mm2
+        self.computation_units_mm2
+            + self.weight_buffers_mm2
+            + self.on_chip_memory_mm2
+            + self.other_mm2
     }
 
     /// Area of E-PUR+BM (baseline plus memoization hardware).
@@ -60,7 +63,11 @@ mod tests {
     #[test]
     fn totals_match_the_paper() {
         let a = AreaModel::default();
-        assert!((a.baseline_mm2() - 64.6).abs() < 0.05, "{}", a.baseline_mm2());
+        assert!(
+            (a.baseline_mm2() - 64.6).abs() < 0.05,
+            "{}",
+            a.baseline_mm2()
+        );
         assert!(
             (a.with_memoization_mm2() - 66.8).abs() < 0.05,
             "{}",

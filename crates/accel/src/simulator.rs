@@ -123,7 +123,8 @@ impl EpurSimulator {
             self.timing.baseline_cycles(shape, timesteps)
         };
         let seconds = self.timing.seconds(cycles);
-        let energy = self.energy_breakdown(shape, timesteps, sequences, reuse, memo_hardware, seconds);
+        let energy =
+            self.energy_breakdown(shape, timesteps, sequences, reuse, memo_hardware, seconds);
         SimReport {
             label: if memo_hardware { "E-PUR+BM" } else { "E-PUR" }.to_string(),
             cycles,
@@ -235,7 +236,7 @@ mod tests {
             directions: 2,
         };
         let mut layers = vec![first];
-        layers.extend(std::iter::repeat(rest).take(9));
+        layers.extend(std::iter::repeat_n(rest, 9));
         NetworkShape::new(layers)
     }
 
@@ -331,7 +332,8 @@ mod tests {
         assert!(s.energy_model().mac_pj > 0.0);
         assert!(s.area_model().baseline_mm2() > 60.0);
         assert_eq!(s.timing_model().config().frequency_hz, 500e6);
-        let custom = EpurSimulator::with_energy_model(EpurConfig::default(), EnergyModel::default());
+        let custom =
+            EpurSimulator::with_energy_model(EpurConfig::default(), EnergyModel::default());
         assert_eq!(custom, s);
     }
 

@@ -40,8 +40,7 @@ impl TimingModel {
     /// both directions of a bidirectional layer are processed.
     pub fn baseline_layer_cycles_per_step(&self, layer: &LayerShape) -> u64 {
         let gate_waves = (layer.gates as u64).div_ceil(self.config.computation_units as u64);
-        let per_direction =
-            layer.neurons as u64 * self.dpu_cycles_per_neuron(layer) * gate_waves;
+        let per_direction = layer.neurons as u64 * self.dpu_cycles_per_neuron(layer) * gate_waves;
         per_direction * layer.directions as u64
     }
 
@@ -154,15 +153,14 @@ mod tests {
 
     #[test]
     fn gates_beyond_cu_count_serialize() {
-        let mut cfg = EpurConfig::default();
-        cfg.computation_units = 2;
+        let cfg = EpurConfig {
+            computation_units: 2,
+            ..EpurConfig::default()
+        };
         let t = TimingModel::new(cfg);
         let l = layer();
         // 4 gates on 2 CUs -> two waves.
-        assert_eq!(
-            t.baseline_layer_cycles_per_step(&l),
-            320 * 40 * 2
-        );
+        assert_eq!(t.baseline_layer_cycles_per_step(&l), 320 * 40 * 2);
     }
 
     #[test]

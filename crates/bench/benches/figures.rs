@@ -1,40 +1,27 @@
-//! One Criterion benchmark per figure of the paper's evaluation.
+//! One benchmark per figure of the paper's evaluation.
 //!
 //! Each benchmark regenerates the corresponding figure's data with the
 //! evaluation harness on the smoke-sized configuration, so `cargo bench`
 //! both exercises the full pipeline end-to-end and reports how long each
 //! artefact takes to reproduce.  Run a single figure with e.g.
-//! `cargo bench -p nfm-bench -- fig17`.
+//! `cargo bench -p nfm-bench --bench figures -- fig17`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nfm_bench::Bencher;
 use nfm_eval::{run_experiment, EvalConfig};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_figure(c: &mut Criterion, name: &'static str) {
+fn main() {
+    let (mut bench, save) = Bencher::from_args();
     let config = EvalConfig::smoke();
-    c.bench_function(&format!("figure/{name}"), |b| {
-        b.iter(|| {
-            let report = run_experiment(black_box(name), &config).expect("experiment runs");
-            black_box(report.len())
-        })
-    });
-}
-
-fn figures(c: &mut Criterion) {
     for name in [
         "fig1", "fig5", "fig7", "fig8", "fig11", "fig16", "fig17", "fig18", "fig19",
     ] {
-        bench_figure(c, name);
+        bench.bench(&format!("figure/{name}"), || {
+            let report = run_experiment(black_box(name), &config).expect("experiment runs");
+            black_box(report.len())
+        });
+    }
+    if let Some(path) = save {
+        bench.save_json(&path, &[]).expect("snapshot written");
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-    targets = figures
-}
-criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! The perf baseline of the repository: inference throughput of the
+//! batched gate-evaluation hot path against the per-neuron paths, for
+//! the exact baseline and the BNN-memoized predictor, plus the parallel
+//! sequence runner.
+//!
+//! `scripts/bench_snapshot.sh` runs this target and records the medians
+//! into `BENCH_inference.json`; every future optimisation PR is judged
+//! against that file.
+//!
+//! Three exact-inference variants are measured:
+//!
+//! * `inference/exact/*` — the batched path: one `evaluate_gate` call
+//!   per gate, fused dual matvec kernels, reused scratch buffers.
+//! * `inference/exact_per_neuron/*` — the trait's per-neuron fallback
+//!   (one virtual call per neuron) over the same vectorized dot kernel.
+//! * `inference/exact_naive/*` — a faithful reproduction of the seed hot
+//!   path: per-neuron virtual dispatch, per-row dimension checks and the
+//!   strictly-ordered scalar dot product the original implementation
+//!   compiled to.
+
+use nfm_bench::Bencher;
+use nfm_bnn::BinaryNetwork;
+use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, MemoizedRunner};
+use nfm_rnn::{
+    ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator, Result as RnnResult,
+    RnnError,
+};
+use nfm_workloads::{NetworkId, Workload, WorkloadBuilder};
+use std::hint::black_box;
+
+/// Seed-faithful naive evaluator: one virtual call per neuron, dimension
+/// checks re-run per row, and a strictly-ordered scalar reduction (the
+/// loop shape the seed's `iter().zip().map().sum()` dot compiled to —
+/// sequential adds cannot be vectorized).
+#[derive(Default)]
+struct NaiveExactEvaluator;
+
+fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+impl NeuronEvaluator for NaiveExactEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        if x.len() != gate.input_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: gate.input_size(),
+                found: x.len(),
+                timestep: neuron.timestep,
+            });
+        }
+        if h_prev.len() != gate.hidden_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: gate.hidden_size(),
+                found: h_prev.len(),
+                timestep: neuron.timestep,
+            });
+        }
+        Ok(scalar_dot(gate.wx().row(neuron.neuron), x)
+            + scalar_dot(gate.wh().row(neuron.neuron), h_prev))
+    }
+    // No evaluate_gate override: the default per-neuron loop is exactly
+    // the seed's gate evaluation strategy.
+}
+
+/// Seed-faithful BNN-memoized evaluator: the hot path exactly as the
+/// seed shipped it — one virtual call per neuron, `(GateId, neuron)`
+/// hashed into a `HashMap` for every lookup/refresh, the cached input
+/// `BitVector`s *cloned* for every neuron, and strictly-ordered scalar
+/// dots for every full-precision evaluation.
+struct SeedBnnEvaluator {
+    mirror: BinaryNetwork,
+    threshold: f32,
+    epsilon: f32,
+    table: std::collections::HashMap<(nfm_rnn::GateId, usize), (f32, f32, f32)>,
+    input_cache: Option<(
+        nfm_rnn::GateId,
+        usize,
+        nfm_bnn::BitVector,
+        nfm_bnn::BitVector,
+    )>,
+}
+
+impl SeedBnnEvaluator {
+    fn new(mirror: BinaryNetwork, threshold: f32) -> Self {
+        SeedBnnEvaluator {
+            mirror,
+            threshold,
+            epsilon: 1.0,
+            table: std::collections::HashMap::new(),
+            input_cache: None,
+        }
+    }
+}
+
+impl NeuronEvaluator for SeedBnnEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        let binary_gate = self.mirror.gate(neuron.gate_id).expect("mirrored");
+        let hit = self
+            .input_cache
+            .as_ref()
+            .map(|c| c.0 == neuron.gate_id && c.1 == neuron.timestep)
+            .unwrap_or(false);
+        if !hit {
+            self.input_cache = Some((
+                neuron.gate_id,
+                neuron.timestep,
+                nfm_bnn::BitVector::from_signs(x),
+                nfm_bnn::BitVector::from_signs(h_prev),
+            ));
+        }
+        // The seed's per-neuron clone bug, reproduced faithfully.
+        let (xb, hb) = {
+            let c = self.input_cache.as_ref().expect("populated");
+            (c.2.clone(), c.3.clone())
+        };
+        let yb_t = binary_gate
+            .neuron_output(neuron.neuron, &xb, &hb)
+            .expect("widths match") as f32;
+        let key = (neuron.gate_id, neuron.neuron);
+        if let Some(&(cached_out, cached_bnn, acc_delta)) = self.table.get(&key) {
+            let denom = cached_bnn.abs().max(self.epsilon);
+            let delta = acc_delta + (yb_t - cached_bnn).abs() / denom;
+            if delta <= self.threshold {
+                self.table.insert(key, (cached_out, cached_bnn, delta));
+                return Ok(cached_out);
+            }
+        }
+        let y_t = scalar_dot(gate.wx().row(neuron.neuron), x)
+            + scalar_dot(gate.wh().row(neuron.neuron), h_prev);
+        self.table.insert(key, (y_t, yb_t, 0.0));
+        Ok(y_t)
+    }
+
+    fn begin_sequence(&mut self) {
+        self.table.clear();
+        self.input_cache = None;
+    }
+}
+
+fn workload(id: NetworkId, scale: f32, sequences: usize, len: usize) -> Workload {
+    WorkloadBuilder::new(id)
+        .scale(scale)
+        .sequences(sequences)
+        .sequence_length(len)
+        .seed(5)
+        .build()
+        .expect("workload builds")
+}
+
+fn run_all(workload: &Workload, evaluator: &mut dyn NeuronEvaluator) -> usize {
+    let mut total = 0;
+    for seq in workload.sequences() {
+        total += workload
+            .network()
+            .run(black_box(seq), evaluator)
+            .expect("inference runs")
+            .len();
+    }
+    total
+}
+
+fn main() {
+    let (mut bench, save) = Bencher::from_args();
+
+    // small: a quarter-scale IMDB LSTM; medium: the full Table 1 IMDB
+    // topology (128 neurons, 64 features).
+    let sizes = [
+        ("small", workload(NetworkId::ImdbSentiment, 0.25, 2, 32)),
+        ("medium", workload(NetworkId::ImdbSentiment, 1.0, 2, 48)),
+    ];
+
+    for (size, w) in &sizes {
+        bench.bench(&format!("inference/exact/{size}"), || {
+            let mut evaluator = ExactEvaluator::new();
+            run_all(w, &mut evaluator)
+        });
+        bench.bench(&format!("inference/exact_per_neuron/{size}"), || {
+            let mut evaluator = PerNeuronEvaluator::new(ExactEvaluator::new());
+            run_all(w, &mut evaluator)
+        });
+        bench.bench(&format!("inference/exact_naive/{size}"), || {
+            let mut evaluator = NaiveExactEvaluator;
+            run_all(w, &mut evaluator)
+        });
+
+        let mirror = BinaryNetwork::mirror(w.network());
+        let mut memo = BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(0.5));
+        bench.bench(&format!("inference/bnn_memoized/{size}"), || {
+            run_all(w, &mut memo)
+        });
+        let mut per_neuron_memo = PerNeuronEvaluator::new(BnnMemoEvaluator::new(
+            mirror.clone(),
+            BnnMemoConfig::with_threshold(0.5),
+        ));
+        bench.bench(&format!("inference/bnn_memoized_per_neuron/{size}"), || {
+            run_all(w, &mut per_neuron_memo)
+        });
+        let mut seed_memo = SeedBnnEvaluator::new(mirror, 0.5);
+        bench.bench(&format!("inference/bnn_memoized_seed/{size}"), || {
+            run_all(w, &mut seed_memo)
+        });
+    }
+
+    // The cross-sequence parallel runner on a many-sequence workload.
+    let fanout = workload(NetworkId::ImdbSentiment, 0.5, 8, 32);
+    bench.bench("runner/sequential", || {
+        black_box(
+            MemoizedRunner::exact()
+                .sequential()
+                .run(&fanout)
+                .expect("runs")
+                .outputs
+                .len(),
+        )
+    });
+    bench.bench("runner/parallel", || {
+        black_box(
+            MemoizedRunner::exact()
+                .run(&fanout)
+                .expect("runs")
+                .outputs
+                .len(),
+        )
+    });
+
+    let speedups: Vec<(&str, &str)> = vec![
+        ("inference/exact_naive/small", "inference/exact/small"),
+        ("inference/exact_naive/medium", "inference/exact/medium"),
+        ("inference/exact_per_neuron/small", "inference/exact/small"),
+        (
+            "inference/exact_per_neuron/medium",
+            "inference/exact/medium",
+        ),
+        (
+            "inference/bnn_memoized_per_neuron/medium",
+            "inference/bnn_memoized/medium",
+        ),
+        (
+            "inference/bnn_memoized_seed/small",
+            "inference/bnn_memoized/small",
+        ),
+        (
+            "inference/bnn_memoized_seed/medium",
+            "inference/bnn_memoized/medium",
+        ),
+        ("runner/sequential", "runner/parallel"),
+    ];
+    println!();
+    for (base, cand) in &speedups {
+        bench.report_speedup(base, cand);
+    }
+    if let Some(path) = save {
+        bench.save_json(&path, &speedups).expect("snapshot written");
+    }
+}

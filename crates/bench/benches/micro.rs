@@ -6,8 +6,8 @@
 //! * the throttling ablation (Figure 11's mechanism) at a fixed threshold,
 //! * the accelerator model itself (baseline vs memoized projection).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nfm_accel::{EpurConfig, EpurSimulator, LayerShape, NetworkShape};
+use nfm_bench::Bencher;
 use nfm_bnn::{BinaryNetwork, BitVector};
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, MemoizedRunner, OracleMemoConfig};
 use nfm_rnn::{ExactEvaluator, NeuronEvaluator};
@@ -15,27 +15,24 @@ use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::vector::dot;
 use nfm_workloads::{NetworkId, WorkloadBuilder};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn dot_products(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dot_product");
+fn dot_products(bench: &mut Bencher) {
     let mut rng = DeterministicRng::seed_from_u64(1);
     for &len in &[256usize, 1024, 4096] {
         let a: Vec<f32> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let b: Vec<f32> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        group.bench_with_input(BenchmarkId::new("fp32", len), &len, |bench, _| {
-            bench.iter(|| dot(black_box(&a), black_box(&b)).unwrap())
+        bench.bench(&format!("dot_product/fp32/{len}"), || {
+            dot(black_box(&a), black_box(&b)).unwrap()
         });
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
-        group.bench_with_input(BenchmarkId::new("xnor_popcount", len), &len, |bench, _| {
-            bench.iter(|| pa.xnor_dot(black_box(&pb)).unwrap())
+        bench.bench(&format!("dot_product/xnor_popcount/{len}"), || {
+            pa.xnor_dot(black_box(&pb)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn inference_modes(c: &mut Criterion) {
+fn inference_modes(bench: &mut Bencher) {
     let workload = WorkloadBuilder::new(NetworkId::Eesen)
         .scale(0.05)
         .layers(2)
@@ -44,59 +41,50 @@ fn inference_modes(c: &mut Criterion) {
         .seed(3)
         .build()
         .expect("workload");
-    let mut group = c.benchmark_group("inference");
-    group.bench_function("exact", |b| {
-        b.iter(|| {
-            let mut evaluator = ExactEvaluator::new();
-            for seq in workload.sequences() {
-                black_box(workload.network().run(seq, &mut evaluator).unwrap());
-            }
-        })
+    bench.bench("inference/exact", || {
+        let mut evaluator = ExactEvaluator::new();
+        for seq in workload.sequences() {
+            black_box(workload.network().run(seq, &mut evaluator).unwrap());
+        }
     });
-    group.bench_function("oracle_memoized", |b| {
-        b.iter(|| {
-            black_box(
-                MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.4))
-                    .run(&workload)
-                    .unwrap(),
-            )
-        })
+    bench.bench("inference/oracle_memoized", || {
+        black_box(
+            MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.4))
+                .sequential()
+                .run(&workload)
+                .unwrap(),
+        )
     });
-    group.bench_function("bnn_memoized", |b| {
-        b.iter(|| {
-            black_box(
-                MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.4))
-                    .run(&workload)
-                    .unwrap(),
-            )
-        })
+    bench.bench("inference/bnn_memoized", || {
+        black_box(
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.4))
+                .sequential()
+                .run(&workload)
+                .unwrap(),
+        )
     });
-    group.bench_function("bnn_memoized_no_throttling", |b| {
-        b.iter(|| {
-            black_box(
-                MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.4).without_throttling())
-                    .run(&workload)
-                    .unwrap(),
-            )
-        })
+    bench.bench("inference/bnn_memoized_no_throttling", || {
+        black_box(
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.4).without_throttling())
+                .sequential()
+                .run(&workload)
+                .unwrap(),
+        )
     });
     // The evaluator in isolation, reusing a pre-built binary mirror (the
     // mirror corresponds to static sign-buffer contents in hardware).
     let mirror = BinaryNetwork::mirror(workload.network());
-    group.bench_function("bnn_evaluator_reused_mirror", |b| {
-        b.iter(|| {
-            let mut evaluator =
-                BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(0.4));
-            evaluator.begin_sequence();
-            for seq in workload.sequences() {
-                black_box(workload.network().run(seq, &mut evaluator).unwrap());
-            }
-        })
+    bench.bench("inference/bnn_evaluator_reused_mirror", || {
+        let mut evaluator =
+            BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(0.4));
+        evaluator.begin_sequence();
+        for seq in workload.sequences() {
+            black_box(workload.network().run(seq, &mut evaluator).unwrap());
+        }
     });
-    group.finish();
 }
 
-fn accelerator_model(c: &mut Criterion) {
+fn accelerator_model(bench: &mut Bencher) {
     let shape = NetworkShape::new(
         (0..10)
             .map(|i| LayerShape {
@@ -109,22 +97,20 @@ fn accelerator_model(c: &mut Criterion) {
             .collect(),
     );
     let sim = EpurSimulator::new(EpurConfig::default());
-    let mut group = c.benchmark_group("accelerator");
-    group.bench_function("baseline_projection", |b| {
-        b.iter(|| black_box(sim.simulate_baseline(black_box(&shape), 200)))
+    bench.bench("accelerator/baseline_projection", || {
+        black_box(sim.simulate_baseline(black_box(&shape), 200))
     });
-    group.bench_function("memoized_projection", |b| {
-        b.iter(|| black_box(sim.simulate_memoized(black_box(&shape), 200, 0.305)))
+    bench.bench("accelerator/memoized_projection", || {
+        black_box(sim.simulate_memoized(black_box(&shape), 200, 0.305))
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-    targets = dot_products, inference_modes, accelerator_model
+fn main() {
+    let (mut bench, save) = Bencher::from_args();
+    dot_products(&mut bench);
+    inference_modes(&mut bench);
+    accelerator_model(&mut bench);
+    if let Some(path) = save {
+        bench.save_json(&path, &[]).expect("snapshot written");
+    }
 }
-criterion_main!(benches);

@@ -1,29 +1,19 @@
-//! Criterion benchmarks regenerating the paper's tables and the headline
-//! averages.
+//! Benchmarks regenerating the paper's tables and the headline averages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nfm_bench::Bencher;
 use nfm_eval::{run_experiment, EvalConfig};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn tables(c: &mut Criterion) {
+fn main() {
+    let (mut bench, save) = Bencher::from_args();
     let config = EvalConfig::smoke();
     for name in ["table1", "table2", "headline"] {
-        c.bench_function(&format!("table/{name}"), |b| {
-            b.iter(|| {
-                let report = run_experiment(black_box(name), &config).expect("experiment runs");
-                black_box(report.len())
-            })
+        bench.bench(&format!("table/{name}"), || {
+            let report = run_experiment(black_box(name), &config).expect("experiment runs");
+            black_box(report.len())
         });
     }
+    if let Some(path) = save {
+        bench.save_json(&path, &[]).expect("snapshot written");
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-    targets = tables
-}
-criterion_main!(benches);

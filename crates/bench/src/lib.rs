@@ -1,30 +1,329 @@
 //! # nfm-bench
 //!
-//! Criterion benchmark harness for the reproduction.  The crate itself
-//! only carries the benchmark targets:
+//! Dependency-free benchmark harness plus the benchmark targets for the
+//! reproduction.  The build container has no network access, so instead
+//! of `criterion` this crate ships a small measurement core with the
+//! same ergonomics: named benchmarks in groups, warm-up, automatic
+//! iteration scaling, median-of-samples reporting and machine-readable
+//! JSON snapshots (consumed by `scripts/bench_snapshot.sh` to refresh
+//! `BENCH_inference.json`).
 //!
-//! * `benches/figures.rs` — regenerates every figure (1, 5, 7, 8, 11, 16,
-//!   17, 18, 19) through the evaluation harness.
-//! * `benches/tables.rs` — regenerates Tables 1 and 2 and the headline
-//!   averages.
+//! Benchmark targets (all `harness = false`):
+//!
+//! * `benches/inference_throughput.rs` — the perf baseline: batched
+//!   exact inference vs the per-neuron fallback vs the seed-faithful
+//!   naive path, plus BNN-memoized inference and the parallel runner.
 //! * `benches/micro.rs` — microbenchmarks (FP vs XNOR-popcount dot
 //!   products, exact vs memoized inference, throttling ablation,
 //!   accelerator projections).
+//! * `benches/figures.rs` — regenerates every figure through the
+//!   evaluation harness.
+//! * `benches/tables.rs` — regenerates Tables 1 and 2 and the headline
+//!   averages.
 //!
-//! Run everything with `cargo bench --workspace`, or a single target with
-//! e.g. `cargo bench -p nfm-bench --bench micro -- dot_product`.
+//! Run everything with `cargo bench --workspace`, or a single target
+//! with e.g. `cargo bench -p nfm-bench --bench micro`.  Pass a substring
+//! filter and/or `--save <path>` after `--`:
+//!
+//! ```text
+//! cargo bench -p nfm-bench --bench inference_throughput -- exact --save out.json
+//! ```
 
-/// The benchmark groups this crate provides, for documentation and for
+use std::time::{Duration, Instant};
+
+/// The benchmark targets this crate provides, for documentation and for
 /// sanity tests.
-pub const BENCH_TARGETS: [&str; 3] = ["figures", "tables", "micro"];
+pub const BENCH_TARGETS: [&str; 4] = ["inference_throughput", "micro", "figures", "tables"];
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `inference/exact/small`.
+    pub id: String,
+    /// Median per-iteration time over all samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time over all samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum per-iteration time over all samples, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median sample.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Options controlling a [`Bencher`]'s measurement loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOptions {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Wall-clock target per sample; iterations are scaled to reach it.
+    pub sample_time: Duration,
+    /// Warm-up time before iteration scaling is estimated.
+    pub warmup: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            samples: 11,
+            sample_time: Duration::from_millis(40),
+            warmup: Duration::from_millis(150),
+        }
+    }
+}
+
+/// A minimal benchmark driver: measures closures, prints a table, and
+/// serializes results to JSON.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    options: BenchOptions,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Creates a bencher with default options and a filter/save spec
+    /// parsed from the process arguments (`cargo bench` passes its
+    /// trailing arguments through; unknown flags are ignored).
+    pub fn from_args() -> (Self, Option<String>) {
+        let mut filter = None;
+        let mut save = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--save" => save = args.next(),
+                // Flags cargo/libtest conventionally forward.
+                "--bench" | "--test" | "--nocapture" | "--quiet" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        (
+            Bencher {
+                options: BenchOptions::default(),
+                filter,
+                results: Vec::new(),
+            },
+            save,
+        )
+    }
+
+    /// Creates a bencher with explicit options (tests / scripts).
+    pub fn with_options(options: BenchOptions) -> Self {
+        Bencher {
+            options,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures one benchmark.  Skips (and records nothing) when a
+    /// command-line filter is set and `id` does not contain it.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: pay one-time costs and estimate the per-iteration time.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.options.warmup {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let iters =
+            ((self.options.sample_time.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.options.samples);
+        for _ in 0..self.options.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let result = BenchResult {
+            id: id.to_string(),
+            median_ns,
+            mean_ns,
+            min_ns: samples_ns[0],
+            samples: samples_ns.len(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<44} median {:>12}  ({} samples x {} iters)",
+            result.id,
+            format_ns(result.median_ns),
+            result.samples,
+            result.iters_per_sample
+        );
+        self.results.push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Looks up a result by exact id.
+    pub fn result(&self, id: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+
+    /// Prints the ratio of two benchmarks (`baseline` over `candidate`)
+    /// as a speedup line, when both were measured.
+    pub fn report_speedup(&self, baseline: &str, candidate: &str) {
+        if let (Some(b), Some(c)) = (self.result(baseline), self.result(candidate)) {
+            println!(
+                "speedup {:<36} {:>6.2}x  ({} -> {})",
+                format!("{candidate} vs {baseline}"),
+                b.median_ns / c.median_ns,
+                format_ns(b.median_ns),
+                format_ns(c.median_ns),
+            );
+        }
+    }
+
+    /// Serializes every result (plus derived speedups) to a JSON string.
+    pub fn to_json(&self, speedups: &[(&str, &str)]) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                escape(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        let pairs: Vec<(String, f64)> = speedups
+            .iter()
+            .filter_map(|(base, cand)| {
+                let b = self.result(base)?;
+                let c = self.result(cand)?;
+                Some((format!("{} vs {}", cand, base), b.median_ns / c.median_ns))
+            })
+            .collect();
+        for (i, (name, ratio)) in pairs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"comparison\": \"{}\", \"speedup\": {:.3}}}{}\n",
+                escape(name),
+                ratio,
+                if i + 1 == pairs.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Bencher::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save_json(&self, path: &str, speedups: &[(&str, &str)]) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(speedups))?;
+        println!("saved {} results to {path}", self.results.len());
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn fast_options() -> BenchOptions {
+        BenchOptions {
+            samples: 3,
+            sample_time: Duration::from_micros(200),
+            warmup: Duration::from_micros(200),
+        }
+    }
+
     #[test]
     fn bench_targets_are_listed() {
-        assert_eq!(BENCH_TARGETS.len(), 3);
+        assert_eq!(BENCH_TARGETS.len(), 4);
         assert!(BENCH_TARGETS.contains(&"micro"));
+        assert!(BENCH_TARGETS.contains(&"inference_throughput"));
+    }
+
+    #[test]
+    fn bencher_measures_and_serializes() {
+        let mut b = Bencher::with_options(fast_options());
+        b.bench("group/fast", || std::hint::black_box(1 + 1));
+        b.bench("group/slow", || {
+            let mut acc = 0u64;
+            for i in 0..2000 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert_eq!(b.results().len(), 2);
+        assert!(b.result("group/fast").unwrap().median_ns > 0.0);
+        assert!(
+            b.result("group/slow").unwrap().median_ns >= b.result("group/fast").unwrap().median_ns
+        );
+        let json = b.to_json(&[("group/slow", "group/fast")]);
+        assert!(json.contains("\"id\": \"group/fast\""));
+        assert!(json.contains("\"speedups\""));
+        assert!(json.contains("group/fast vs group/slow"));
+    }
+
+    #[test]
+    fn throughput_is_inverse_of_median() {
+        let r = BenchResult {
+            id: "x".into(),
+            median_ns: 100.0,
+            mean_ns: 100.0,
+            min_ns: 90.0,
+            samples: 3,
+            iters_per_sample: 10,
+        };
+        assert!((r.throughput_per_sec() - 1e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("us"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
     }
 }

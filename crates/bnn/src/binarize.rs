@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn reference_dot_counts_agreements_minus_disagreements() {
         // signs: [+,-,+] vs [+,+,-] -> agree 1, disagree 2 -> -1
-        assert_eq!(reference_binary_dot(&[2.0, -1.0, 3.0], &[5.0, 1.0, -2.0]), -1);
+        assert_eq!(
+            reference_binary_dot(&[2.0, -1.0, 3.0], &[5.0, 1.0, -2.0]),
+            -1
+        );
         // identical vectors give +len
         assert_eq!(reference_binary_dot(&[1.0, -1.0], &[4.0, -9.0]), 2);
     }

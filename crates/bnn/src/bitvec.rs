@@ -29,12 +29,26 @@ impl BitVector {
     /// Packs the signs of a slice of values (non-negative → bit set).
     pub fn from_signs(values: &[f32]) -> Self {
         let mut v = BitVector::zeros(values.len());
-        for (i, &x) in values.iter().enumerate() {
-            if x >= 0.0 {
-                v.set(i, true);
-            }
-        }
+        v.fill_from_signs(values);
         v
+    }
+
+    /// Repacks the signs of `values` into this vector in place, reusing
+    /// the existing word storage whenever it is large enough.  This is
+    /// the zero-allocation path the batched memoization evaluator uses
+    /// to binarize a gate's inputs exactly once per invocation.
+    pub fn fill_from_signs(&mut self, values: &[f32]) {
+        self.len = values.len();
+        let words = values.len().div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+        for (word, chunk) in self.words.iter_mut().zip(values.chunks(64)) {
+            let mut bits = 0u64;
+            for (i, &x) in chunk.iter().enumerate() {
+                bits |= ((x >= 0.0) as u64) << i;
+            }
+            *word = bits;
+        }
     }
 
     /// Creates a vector from explicit booleans (`true` = `+1`).
@@ -116,8 +130,20 @@ impl BitVector {
                 right: other.len,
             });
         }
+        Ok(self.xnor_dot_unchecked(other))
+    }
+
+    /// Check-free variant of [`BitVector::xnor_dot`] for batched callers
+    /// that validated the operand widths once per gate invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the lengths differ.
+    #[inline]
+    pub fn xnor_dot_unchecked(&self, other: &BitVector) -> i32 {
+        debug_assert_eq!(self.len, other.len);
         if self.len == 0 {
-            return Ok(0);
+            return 0;
         }
         let mut agreements: u32 = 0;
         let full_words = self.len / 64;
@@ -130,7 +156,7 @@ impl BitVector {
             let xnor = !(self.words[full_words] ^ other.words[full_words]) & mask;
             agreements += xnor.count_ones();
         }
-        Ok(2 * agreements as i32 - self.len as i32)
+        2 * agreements as i32 - self.len as i32
     }
 
     /// Number of positions where the two vectors disagree (Hamming
@@ -179,6 +205,18 @@ mod tests {
     }
 
     #[test]
+    fn fill_from_signs_reuses_storage_and_matches_from_signs() {
+        let mut v = BitVector::zeros(130);
+        for len in [130usize, 64, 65, 3, 0, 200] {
+            let values: Vec<f32> = (0..len)
+                .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            v.fill_from_signs(&values);
+            assert_eq!(v, BitVector::from_signs(&values), "len {len}");
+        }
+    }
+
+    #[test]
     fn from_bools_matches_from_signs() {
         let bools = [true, false, true];
         let a = BitVector::from_bools(&bools);
@@ -211,8 +249,12 @@ mod tests {
     #[test]
     fn xnor_dot_spans_word_boundaries() {
         // 130 elements exercises two full words plus a 2-bit tail.
-        let a: Vec<f32> = (0..130).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
-        let b: Vec<f32> = (0..130).map(|i| if i % 5 == 0 { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f32> = (0..130)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let b: Vec<f32> = (0..130)
+            .map(|i| if i % 5 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
         assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
@@ -220,7 +262,9 @@ mod tests {
 
     #[test]
     fn xnor_dot_identity_and_negation() {
-        let a: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let pa = BitVector::from_signs(&a);
         assert_eq!(pa.xnor_dot(&pa).unwrap(), 100);
         let neg: Vec<f32> = a.iter().map(|v| -v - 0.5).collect();

@@ -77,6 +77,20 @@ impl BinaryGate {
         Ok(fwd + rec)
     }
 
+    /// Check-free variant of [`BinaryGate::neuron_output`] for batched
+    /// callers that validated the packed input widths once per gate
+    /// invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the widths do not match.
+    #[inline]
+    pub fn neuron_output_unchecked(&self, n: usize, xb: &BitVector, hb: &BitVector) -> i32 {
+        debug_assert_eq!(xb.len(), self.input_size);
+        debug_assert_eq!(hb.len(), self.hidden_size);
+        self.wx_rows[n].xnor_dot_unchecked(xb) + self.wh_rows[n].xnor_dot_unchecked(hb)
+    }
+
     /// Convenience wrapper that binarizes the raw inputs and evaluates
     /// neuron `n` in one call (used by tests and by the software-only
     /// memoization path; the runner-level code binarizes once per gate).
@@ -135,8 +149,8 @@ mod tests {
         let x: Vec<f32> = (0..8).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let h: Vec<f32> = (0..4).map(|_| rng.uniform(-1.0, 1.0)).collect();
         for n in 0..4 {
-            let expected = reference_binary_dot(g.wx().row(n), &x)
-                + reference_binary_dot(g.wh().row(n), &h);
+            let expected =
+                reference_binary_dot(g.wx().row(n), &x) + reference_binary_dot(g.wh().row(n), &h);
             assert_eq!(b.neuron_output_from_raw(n, &x, &h).unwrap(), expected);
         }
     }
@@ -170,6 +184,10 @@ mod tests {
         let b = BinaryGate::mirror(&g);
         // x all positive -> forward dot = (+1)(+1) + (-1)(+1) + (+1)(+1) = 1
         // h positive -> recurrent dot = (-1)(+1) = -1
-        assert_eq!(b.neuron_output_from_raw(0, &[1.0, 1.0, 1.0], &[1.0]).unwrap(), 0);
+        assert_eq!(
+            b.neuron_output_from_raw(0, &[1.0, 1.0, 1.0], &[1.0])
+                .unwrap(),
+            0
+        );
     }
 }

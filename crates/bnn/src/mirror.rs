@@ -71,7 +71,9 @@ mod tests {
         } else {
             Direction::Unidirectional
         };
-        let cfg = DeepRnnConfig::new(CellKind::Lstm, 6, 8).layers(2).direction(dir);
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 6, 8)
+            .layers(2)
+            .direction(dir);
         let mut rng = DeterministicRng::seed_from_u64(1);
         DeepRnn::random(&cfg, &mut rng).unwrap()
     }
@@ -100,7 +102,10 @@ mod tests {
         let mirror = BinaryNetwork::mirror(&network(false));
         let bogus = GateId::new(99, 0, nfm_rnn::GateKind::Input);
         assert!(mirror.gate(bogus).is_none());
-        assert_eq!(mirror.gate_or_err(bogus).unwrap_err(), BnnError::UnknownGate);
+        assert_eq!(
+            mirror.gate_or_err(bogus).unwrap_err(),
+            BnnError::UnknownGate
+        );
     }
 
     #[test]

@@ -153,7 +153,8 @@ mod tests {
         let mut x = Vector::from_fn(8, |_| rng.uniform(-0.5, 0.5));
         let seq: Vec<Vector> = (0..40)
             .map(|_| {
-                x = x.map(|v| v) // keep previous
+                x = x
+                    .map(|v| v) // keep previous
                     .add(&Vector::from_fn(8, |_| rng.uniform(-0.1, 0.1)))
                     .unwrap();
                 x.clone()
@@ -200,7 +201,10 @@ mod tests {
         let per_neuron = probe.per_neuron_correlations();
         assert!(!per_neuron.is_empty());
         let positive = per_neuron.iter().filter(|&&r| r > 0.0).count();
-        assert!(positive * 2 > per_neuron.len(), "most neurons correlate positively");
+        assert!(
+            positive * 2 > per_neuron.len(),
+            "most neurons correlate positively"
+        );
     }
 
     #[test]

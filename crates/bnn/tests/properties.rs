@@ -1,84 +1,98 @@
-//! Property-based tests for the binarized-network substrate.
+//! Property-style tests for the binarized-network substrate, exercised
+//! over seeded deterministic sampling loops (the container has no
+//! `proptest`).
 
 use nfm_bnn::binarize::{binarize_sign, reference_binary_dot};
 use nfm_bnn::{BinaryGate, BinaryNetwork, BitVector};
 use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, Gate};
 use nfm_tensor::activation::Activation;
 use nfm_tensor::rng::DeterministicRng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn vec_f32(rng: &mut DeterministicRng, len: usize, low: f32, high: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(low, high)).collect()
+}
 
-    #[test]
-    fn packed_dot_matches_reference_for_any_length(
-        pairs in prop::collection::vec((-3.0f32..3.0, -3.0f32..3.0), 0..512)
-    ) {
-        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn packed_dot_matches_reference_for_any_length() {
+    let mut rng = DeterministicRng::seed_from_u64(1);
+    for _ in 0..48 {
+        let len = rng.index(512);
+        let a = vec_f32(&mut rng, len, -3.0, 3.0);
+        let b = vec_f32(&mut rng, len, -3.0, 3.0);
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
         if a.is_empty() {
-            prop_assert_eq!(pa.xnor_dot(&pb).unwrap(), 0);
+            assert_eq!(pa.xnor_dot(&pb).unwrap(), 0);
         } else {
-            prop_assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
+            assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
         }
     }
+}
 
-    #[test]
-    fn hamming_distance_and_dot_are_consistent(
-        pairs in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 1..200)
-    ) {
-        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn hamming_distance_and_dot_are_consistent() {
+    let mut rng = DeterministicRng::seed_from_u64(2);
+    for _ in 0..48 {
+        let len = 1 + rng.index(199);
+        let a = vec_f32(&mut rng, len, -1.0, 1.0);
+        let b = vec_f32(&mut rng, len, -1.0, 1.0);
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
         let dot = pa.xnor_dot(&pb).unwrap();
         let ham = pa.hamming_distance(&pb).unwrap();
-        prop_assert_eq!(dot, a.len() as i32 - 2 * ham as i32);
+        assert_eq!(dot, a.len() as i32 - 2 * ham as i32);
     }
+}
 
-    #[test]
-    fn binarization_is_sign_preserving(x in -100.0f32..100.0) {
+#[test]
+fn binarization_is_sign_preserving() {
+    let mut rng = DeterministicRng::seed_from_u64(3);
+    for _ in 0..256 {
+        let x = rng.uniform(-100.0, 100.0);
         let b = binarize_sign(x);
-        prop_assert!(b == 1.0 || b == -1.0);
+        assert!(b == 1.0 || b == -1.0);
         if x != 0.0 {
-            prop_assert_eq!(b.signum(), x.signum());
+            assert_eq!(b.signum(), x.signum());
         }
     }
+}
 
-    #[test]
-    fn binary_gate_output_is_bounded_and_matches_unpacked_reference(
-        neurons in 1usize..6,
-        input in 1usize..12,
-        hidden in 1usize..12,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn binary_gate_output_is_bounded_and_matches_unpacked_reference() {
+    let mut outer = DeterministicRng::seed_from_u64(4);
+    for _ in 0..48 {
+        let neurons = 1 + outer.index(5);
+        let input = 1 + outer.index(11);
+        let hidden = 1 + outer.index(11);
+        let seed = outer.index(500) as u64;
         let mut rng = DeterministicRng::seed_from_u64(seed);
-        let gate = Gate::random(neurons, input, hidden, Activation::Sigmoid, false, &mut rng).unwrap();
+        let gate =
+            Gate::random(neurons, input, hidden, Activation::Sigmoid, false, &mut rng).unwrap();
         let bg = BinaryGate::mirror(&gate);
-        let x: Vec<f32> = (0..input).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        let h: Vec<f32> = (0..hidden).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x = vec_f32(&mut rng, input, -1.0, 1.0);
+        let h = vec_f32(&mut rng, hidden, -1.0, 1.0);
         for n in 0..neurons {
             let packed = bg.neuron_output_from_raw(n, &x, &h).unwrap();
             let reference = reference_binary_dot(gate.wx().row(n), &x)
                 + reference_binary_dot(gate.wh().row(n), &h);
-            prop_assert_eq!(packed, reference);
-            prop_assert!(packed.abs() <= (input + hidden) as i32);
+            assert_eq!(packed, reference);
+            assert!(packed.abs() <= (input + hidden) as i32);
         }
     }
+}
 
-    #[test]
-    fn mirror_sign_bits_equal_weight_count(
-        layers in 1usize..3,
-        hidden in 2usize..8,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn mirror_sign_bits_equal_weight_count() {
+    let mut outer = DeterministicRng::seed_from_u64(5);
+    for _ in 0..48 {
+        let layers = 1 + outer.index(2);
+        let hidden = 2 + outer.index(6);
+        let seed = outer.index(300) as u64;
         let cfg = DeepRnnConfig::new(CellKind::Gru, 4, hidden).layers(layers);
         let mut rng = DeterministicRng::seed_from_u64(seed);
         let net = DeepRnn::random(&cfg, &mut rng).unwrap();
         let mirror = BinaryNetwork::mirror(&net);
-        prop_assert_eq!(mirror.total_sign_bits(), net.weight_count());
-        prop_assert_eq!(mirror.gate_count(), net.gates().len());
+        assert_eq!(mirror.total_sign_bits(), net.weight_count());
+        assert_eq!(mirror.gate_count(), net.gates().len());
     }
 }

@@ -116,8 +116,7 @@ impl NeuronEvaluator for InputSimilarityEvaluator {
 
         if let Some(entry) = self.cache.get(&neuron.gate_id) {
             if entry.inputs.len() == current.len() {
-                let change =
-                    Self::relative_l1_change(&entry.inputs, &current, self.config.epsilon);
+                let change = Self::relative_l1_change(&entry.inputs, &current, self.config.epsilon);
                 if change <= self.config.threshold {
                     if let Some(Some(cached)) = entry.outputs.get(neuron.neuron) {
                         self.stats.record_reused();

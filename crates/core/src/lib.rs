@@ -65,5 +65,5 @@ pub use predictor::BnnMemoEvaluator;
 pub use runner::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
 pub use similarity::SimilarityProbe;
 pub use stats::ReuseStats;
-pub use table::{MemoEntry, MemoTable};
+pub use table::{GateHandle, MemoEntry, MemoTable};
 pub use threshold::{ThresholdExplorer, ThresholdPoint};

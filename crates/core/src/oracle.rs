@@ -3,7 +3,7 @@
 use crate::config::OracleMemoConfig;
 use crate::stats::ReuseStats;
 use crate::table::MemoTable;
-use nfm_rnn::{Gate, NeuronEvaluator, NeuronRef, Result as RnnResult};
+use nfm_rnn::{DeepRnn, Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult};
 use nfm_tensor::vector::relative_difference;
 
 /// A [`NeuronEvaluator`] implementing the oracle memoization scheme of
@@ -23,11 +23,22 @@ pub struct OracleEvaluator {
 }
 
 impl OracleEvaluator {
-    /// Creates an oracle evaluator with the given configuration.
+    /// Creates an oracle evaluator with the given configuration; the
+    /// memo table lays out gate regions on first touch.
     pub fn new(config: OracleMemoConfig) -> Self {
         OracleEvaluator {
             config,
             table: MemoTable::new(),
+            stats: ReuseStats::new(),
+        }
+    }
+
+    /// Creates an oracle evaluator with the memo table pre-laid-out for
+    /// `network`, so the hot path never appends to the buffer.
+    pub fn for_network(network: &DeepRnn, config: OracleMemoConfig) -> Self {
+        OracleEvaluator {
+            config,
+            table: MemoTable::for_network(network),
             stats: ReuseStats::new(),
         }
     }
@@ -77,9 +88,37 @@ impl NeuronEvaluator for OracleEvaluator {
         self.stats.record_computed();
         // The oracle does not use a BNN; store the output itself in the
         // BNN slot so the entry layout stays uniform.
-        self.table
-            .refresh(neuron.gate_id, neuron.neuron, y_t, y_t);
+        self.table.refresh(neuron.gate_id, neuron.neuron, y_t, y_t);
         Ok(y_t)
+    }
+
+    fn evaluate_gate(
+        &mut self,
+        gate_id: GateId,
+        _timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        // The oracle always knows the true outputs: one fused dual
+        // matvec for the whole gate (bit-identical to per-neuron dots).
+        gate.preactivate_into(x, h_prev, out)?;
+        let handle = self.table.gate_handle(gate_id, gate.neurons());
+        for (n, y) in out.iter_mut().enumerate() {
+            let y_t = *y;
+            if let Some(entry) = self.table.entry(handle, n) {
+                let delta = relative_difference(y_t, entry.cached_output, self.config.epsilon);
+                if delta <= self.config.threshold {
+                    self.stats.record_reused();
+                    *y = self.table.reuse_at(handle, n, delta);
+                    continue;
+                }
+            }
+            self.stats.record_computed();
+            self.table.refresh_at(handle, n, y_t, y_t);
+        }
+        Ok(())
     }
 
     fn begin_sequence(&mut self) {

@@ -20,6 +20,12 @@ use nfm_tensor::vector::relative_difference;
 ///    and the expensive dot products are skipped; otherwise the neuron is
 ///    evaluated exactly and the memoization entry is refreshed
 ///    (Equations 14–17).
+///
+/// The batched [`NeuronEvaluator::evaluate_gate`] path binarizes the
+/// gate inputs exactly once per invocation into reusable buffers (zero
+/// `BitVector` clones or allocations) and walks the flat memo table with
+/// a pre-resolved gate handle; the per-neuron path remains available for
+/// custom drivers and is bit-identical.
 #[derive(Debug, Clone)]
 pub struct BnnMemoEvaluator {
     mirror: BinaryNetwork,
@@ -30,6 +36,9 @@ pub struct BnnMemoEvaluator {
     // same timestep; cache them to binarize once per gate invocation,
     // mirroring the FMU's single concatenated input vector.
     input_cache: Option<InputCache>,
+    // Reusable scratch for the batched path (no per-gate allocation).
+    xb: BitVector,
+    hb: BitVector,
 }
 
 #[derive(Debug, Clone)]
@@ -42,14 +51,18 @@ struct InputCache {
 
 impl BnnMemoEvaluator {
     /// Creates an evaluator from the binary mirror of the network it will
-    /// run and a configuration.
+    /// run and a configuration.  The memo table is laid out up front from
+    /// the mirror's gate shapes (the paper's dense FMU buffer).
     pub fn new(mirror: BinaryNetwork, config: BnnMemoConfig) -> Self {
+        let table = MemoTable::with_gates(mirror.iter().map(|(id, g)| (*id, g.neurons())));
         BnnMemoEvaluator {
             mirror,
             config,
-            table: MemoTable::new(),
+            table,
             stats: ReuseStats::new(),
             input_cache: None,
+            xb: BitVector::zeros(0),
+            hb: BitVector::zeros(0),
         }
     }
 
@@ -73,28 +86,36 @@ impl BnnMemoEvaluator {
         self.stats.reset();
     }
 
-    fn binarized_inputs(
+    /// Ensures the input cache holds this `(gate, timestep)`'s binarized
+    /// inputs.  Callers then borrow them from `self.input_cache` — no
+    /// clones (the cached bitvectors used to be cloned per neuron, which
+    /// dominated the per-neuron path's cost).
+    fn ensure_binarized_inputs(
         &mut self,
         gate_id: GateId,
         timestep: usize,
         x: &[f32],
         h_prev: &[f32],
-    ) -> (BitVector, BitVector) {
+    ) {
         let hit = self
             .input_cache
             .as_ref()
             .map(|c| c.gate_id == gate_id && c.timestep == timestep)
             .unwrap_or(false);
         if !hit {
-            self.input_cache = Some(InputCache {
+            // Reuse the cache's storage when present.
+            let mut cache = self.input_cache.take().unwrap_or(InputCache {
                 gate_id,
                 timestep,
-                xb: BitVector::from_signs(x),
-                hb: BitVector::from_signs(h_prev),
+                xb: BitVector::zeros(0),
+                hb: BitVector::zeros(0),
             });
+            cache.gate_id = gate_id;
+            cache.timestep = timestep;
+            cache.xb.fill_from_signs(x);
+            cache.hb.fill_from_signs(h_prev);
+            self.input_cache = Some(cache);
         }
-        let cache = self.input_cache.as_ref().expect("just populated");
-        (cache.xb.clone(), cache.hb.clone())
     }
 }
 
@@ -113,19 +134,12 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             return gate.neuron_dot(neuron.neuron, x, h_prev);
         }
 
-        // Step 1: evaluate the binarized neuron (always done).
-        let (xb, hb) = {
-            let gate_id = neuron.gate_id;
-            let timestep = neuron.timestep;
-            // Work around the borrow of `self.mirror` above by recomputing
-            // the reference after the cache update.
-            self.binarized_inputs(gate_id, timestep, x, h_prev)
-        };
-        let binary_gate = self
-            .mirror
-            .gate(neuron.gate_id)
-            .expect("checked above");
-        let yb_t = match binary_gate.neuron_output(neuron.neuron, &xb, &hb) {
+        // Step 1: evaluate the binarized neuron (always done).  The
+        // cached input bitvectors are borrowed, never cloned.
+        self.ensure_binarized_inputs(neuron.gate_id, neuron.timestep, x, h_prev);
+        let cache = self.input_cache.as_ref().expect("just populated");
+        let binary_gate = self.mirror.gate(neuron.gate_id).expect("checked above");
+        let yb_t = match binary_gate.neuron_output(neuron.neuron, &cache.xb, &cache.hb) {
             Ok(v) => v as f32,
             Err(_) => {
                 // Dimension mismatch between mirror and network: evaluate
@@ -157,9 +171,60 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         // Step 4: evaluate in full precision and refresh the entry.
         let y_t = gate.neuron_dot(neuron.neuron, x, h_prev)?;
         self.stats.record_computed();
-        self.table
-            .refresh(neuron.gate_id, neuron.neuron, y_t, yb_t);
+        self.table.refresh(neuron.gate_id, neuron.neuron, y_t, yb_t);
         Ok(y_t)
+    }
+
+    fn evaluate_gate(
+        &mut self,
+        gate_id: GateId,
+        _timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        let Some(binary_gate) = self.mirror.gate(gate_id) else {
+            // No mirror: exact evaluation for the whole gate.
+            gate.preactivate_into(x, h_prev, out)?;
+            self.stats.record_computed_many(out.len() as u64);
+            return Ok(());
+        };
+        if binary_gate.input_size() != x.len() || binary_gate.hidden_size() != h_prev.len() {
+            // Mirror built for a different shape: evaluate exactly rather
+            // than failing inference (matches the per-neuron fallback).
+            gate.preactivate_into(x, h_prev, out)?;
+            self.stats.record_computed_many(out.len() as u64);
+            return Ok(());
+        }
+
+        // Binarize the gate inputs exactly once, into reused storage.
+        self.xb.fill_from_signs(x);
+        self.hb.fill_from_signs(h_prev);
+        let handle = self.table.gate_handle(gate_id, gate.neurons());
+        for (n, slot) in out.iter_mut().enumerate() {
+            // Widths were checked above, so the binary dot cannot fail.
+            let yb_t = binary_gate.neuron_output_unchecked(n, &self.xb, &self.hb) as f32;
+            self.stats.record_bnn_evaluation();
+            if let Some(entry) = self.table.entry(handle, n) {
+                let eps_t = relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
+                let delta_t = if self.config.throttle {
+                    entry.accumulated_delta + eps_t
+                } else {
+                    eps_t
+                };
+                if delta_t <= self.config.threshold {
+                    self.stats.record_reused();
+                    *slot = self.table.reuse_at(handle, n, delta_t);
+                    continue;
+                }
+            }
+            let y_t = gate.neuron_dot_unchecked(n, x, h_prev);
+            self.stats.record_computed();
+            self.table.refresh_at(handle, n, y_t, yb_t);
+            *slot = y_t;
+        }
+        Ok(())
     }
 
     fn begin_sequence(&mut self) {
@@ -286,9 +351,7 @@ mod tests {
         // Without throttling, per-step differences are never accumulated,
         // so reuse and maximum run length can only be larger or equal.
         assert!(without.stats().reuse_fraction() + 1e-9 >= with.stats().reuse_fraction());
-        assert!(
-            without.table().max_consecutive_reuses() >= with.table().max_consecutive_reuses()
-        );
+        assert!(without.table().max_consecutive_reuses() >= with.table().max_consecutive_reuses());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A small façade that runs an entire workload under a chosen predictor.
+//! A small façade that runs an entire workload under a chosen predictor,
+//! in parallel across independent input sequences.
 
 use crate::config::{BnnMemoConfig, OracleMemoConfig};
 use crate::oracle::OracleEvaluator;
@@ -57,6 +58,14 @@ impl RunOutcome {
 
 /// Runs a workload end-to-end under a chosen predictor.
 ///
+/// Sequences are fully independent (memoization state is cleared at
+/// every sequence start), so by default the runner fans them out over
+/// the available cores with one evaluator per worker and merges the
+/// [`ReuseStats`] afterwards.  Outputs and statistics are *identical* to
+/// a sequential run; [`MemoizedRunner::sequential`] remains as an escape
+/// hatch for single-threaded measurements (e.g. figure experiments that
+/// time the run itself).
+///
 /// ```
 /// use nfm_core::{MemoizedRunner, BnnMemoConfig, InferenceWorkload};
 /// use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
@@ -79,6 +88,56 @@ impl RunOutcome {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoizedRunner {
     predictor: PredictorKind,
+    parallel: bool,
+    /// Explicit worker-count override (`None` = available parallelism).
+    workers: Option<usize>,
+}
+
+/// One worker's evaluator, constructed per thread so no synchronization
+/// touches the hot path.
+enum WorkerEvaluator {
+    Exact(ExactEvaluator),
+    Oracle(OracleEvaluator),
+    Bnn(Box<BnnMemoEvaluator>),
+}
+
+impl WorkerEvaluator {
+    fn build(
+        predictor: PredictorKind,
+        network: &DeepRnn,
+        mirror: Option<&BinaryNetwork>,
+    ) -> WorkerEvaluator {
+        match predictor {
+            PredictorKind::Exact => WorkerEvaluator::Exact(ExactEvaluator::new()),
+            PredictorKind::Oracle(config) => {
+                WorkerEvaluator::Oracle(OracleEvaluator::for_network(network, config))
+            }
+            PredictorKind::Bnn(config) => {
+                let mirror = mirror.expect("mirror prebuilt for BNN runs").clone();
+                WorkerEvaluator::Bnn(Box::new(BnnMemoEvaluator::new(mirror, config)))
+            }
+        }
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn NeuronEvaluator {
+        match self {
+            WorkerEvaluator::Exact(e) => e,
+            WorkerEvaluator::Oracle(e) => e,
+            WorkerEvaluator::Bnn(e) => e.as_mut(),
+        }
+    }
+
+    fn into_stats(self) -> ReuseStats {
+        match self {
+            WorkerEvaluator::Exact(e) => {
+                let mut stats = ReuseStats::new();
+                stats.record_computed_many(e.evaluations());
+                stats
+            }
+            WorkerEvaluator::Oracle(e) => *e.stats(),
+            WorkerEvaluator::Bnn(e) => *e.stats(),
+        }
+    }
 }
 
 impl MemoizedRunner {
@@ -86,6 +145,8 @@ impl MemoizedRunner {
     pub fn exact() -> Self {
         MemoizedRunner {
             predictor: PredictorKind::Exact,
+            parallel: true,
+            workers: None,
         }
     }
 
@@ -93,6 +154,8 @@ impl MemoizedRunner {
     pub fn oracle(config: OracleMemoConfig) -> Self {
         MemoizedRunner {
             predictor: PredictorKind::Oracle(config),
+            parallel: true,
+            workers: None,
         }
     }
 
@@ -100,7 +163,31 @@ impl MemoizedRunner {
     pub fn bnn(config: BnnMemoConfig) -> Self {
         MemoizedRunner {
             predictor: PredictorKind::Bnn(config),
+            parallel: true,
+            workers: None,
         }
+    }
+
+    /// Disables the cross-sequence parallel fan-out.  Results are
+    /// bitwise identical either way; use this when the caller is timing
+    /// the run on one core or wants fully deterministic scheduling.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Overrides the worker count used by the parallel fan-out (clamped
+    /// to the number of sequences).  Useful to exercise or bound the
+    /// threaded path regardless of the host's core count; results stay
+    /// identical for any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Whether the runner fans sequences out across cores.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The predictor this runner applies.
@@ -116,46 +203,72 @@ impl MemoizedRunner {
     /// sequences).
     pub fn run(&self, workload: &impl InferenceWorkload) -> RnnResult<RunOutcome> {
         let network = workload.network();
-        match self.predictor {
-            PredictorKind::Exact => {
-                let mut evaluator = ExactEvaluator::new();
-                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
-                let mut stats = ReuseStats::new();
-                for _ in 0..evaluator.evaluations() {
-                    stats.record_computed();
-                }
-                Ok(RunOutcome { outputs, stats })
-            }
-            PredictorKind::Oracle(config) => {
-                let mut evaluator = OracleEvaluator::new(config);
-                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
-                Ok(RunOutcome {
-                    outputs,
-                    stats: *evaluator.stats(),
+        let sequences = workload.input_sequences();
+        // The mirror only depends on the weights; build it once and share
+        // it read-only across workers (each clones its own working copy,
+        // mirroring one FMU sign-buffer per computation unit).
+        let mirror = match self.predictor {
+            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(network)),
+            _ => None,
+        };
+
+        let workers = if self.parallel {
+            self.workers
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
                 })
-            }
-            PredictorKind::Bnn(config) => {
-                let mirror = BinaryNetwork::mirror(network);
-                let mut evaluator = BnnMemoEvaluator::new(mirror, config);
-                let outputs = run_all(network, workload.input_sequences(), &mut evaluator)?;
-                Ok(RunOutcome {
-                    outputs,
-                    stats: *evaluator.stats(),
-                })
-            }
+                .min(sequences.len().max(1))
+        } else {
+            1
+        };
+
+        if workers <= 1 {
+            let (outputs, stats) = run_chunk(self.predictor, network, mirror.as_ref(), sequences)?;
+            return Ok(RunOutcome { outputs, stats });
         }
+
+        let chunk_size = sequences.len().div_ceil(workers);
+        let chunks: Vec<&[Vec<Vector>]> = sequences.chunks(chunk_size).collect();
+        let mut results: Vec<Option<ChunkResult>> = (0..chunks.len()).map(|_| None).collect();
+        let predictor = self.predictor;
+        let mirror_ref = mirror.as_ref();
+        std::thread::scope(|scope| {
+            for (slot, chunk) in results.iter_mut().zip(chunks.iter()) {
+                scope.spawn(move || {
+                    *slot = Some(run_chunk(predictor, network, mirror_ref, chunk));
+                });
+            }
+        });
+
+        let mut outputs = Vec::with_capacity(sequences.len());
+        let mut stats = ReuseStats::new();
+        for slot in results {
+            let (chunk_outputs, chunk_stats) = slot.expect("worker finished")?;
+            outputs.extend(chunk_outputs);
+            stats.merge(&chunk_stats);
+        }
+        Ok(RunOutcome { outputs, stats })
     }
 }
 
-fn run_all(
+/// One worker's result: its chunk's outputs plus its evaluator's stats.
+type ChunkResult = RnnResult<(Vec<Vec<Vector>>, ReuseStats)>;
+
+/// Runs one worker's share of the sequences with its own evaluator.
+fn run_chunk(
+    predictor: PredictorKind,
     network: &DeepRnn,
+    mirror: Option<&BinaryNetwork>,
     sequences: &[Vec<Vector>],
-    evaluator: &mut dyn NeuronEvaluator,
-) -> RnnResult<Vec<Vec<Vector>>> {
-    sequences
-        .iter()
-        .map(|seq| network.run(seq, evaluator))
-        .collect()
+) -> ChunkResult {
+    let mut evaluator = WorkerEvaluator::build(predictor, network, mirror);
+    let mut outputs = Vec::with_capacity(sequences.len());
+    for seq in sequences {
+        outputs.push(network.run(seq, evaluator.as_dyn())?);
+    }
+    Ok((outputs, evaluator.into_stats()))
 }
 
 #[cfg(test)]
@@ -180,8 +293,7 @@ mod tests {
 
     fn workload(sequences: usize, len: usize) -> Tiny {
         let mut rng = DeterministicRng::seed_from_u64(17);
-        let net =
-            DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 5, 8), &mut rng).unwrap();
+        let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 5, 8), &mut rng).unwrap();
         let seqs = (0..sequences)
             .map(|_| {
                 let mut x = Vector::from_fn(5, |_| rng.uniform(-0.5, 0.5));
@@ -260,5 +372,39 @@ mod tests {
             .run(&w)
             .unwrap();
         assert_eq!(exact.outputs, oracle.outputs);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        // More sequences than cores in most CI boxes, with every
+        // predictor kind.
+        let w = workload(7, 12);
+        for runner in [
+            MemoizedRunner::exact(),
+            MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.4)),
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(1.0)),
+        ] {
+            assert!(runner.is_parallel());
+            let par = runner.run(&w).unwrap();
+            let seq = runner.sequential().run(&w).unwrap();
+            assert!(!runner.sequential().is_parallel());
+            assert_eq!(par.outputs, seq.outputs);
+            assert_eq!(par.stats, seq.stats);
+            // Any explicit worker count must not change the results,
+            // including counts above the sequence count.
+            for workers in [2usize, 3, 16] {
+                let forced = runner.with_workers(workers).run(&w).unwrap();
+                assert_eq!(forced.outputs, seq.outputs);
+                assert_eq!(forced.stats, seq.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_errors_propagate_from_workers() {
+        let mut w = workload(3, 6);
+        w.seqs[1].clear();
+        assert!(MemoizedRunner::exact().run(&w).is_err());
+        assert!(MemoizedRunner::exact().sequential().run(&w).is_err());
     }
 }

@@ -140,7 +140,10 @@ mod tests {
         let mut probe = SimilarityProbe::new();
         let _ = net.run(&seq, &mut probe).unwrap();
         let mean = probe.mean_relative_change().unwrap();
-        assert!(mean < 1.0, "mean relative change should be moderate: {mean}");
+        assert!(
+            mean < 1.0,
+            "mean relative change should be moderate: {mean}"
+        );
         let below_10 = probe.fraction_below(0.10).unwrap();
         assert!(below_10 > 0.05, "some outputs change by <10%: {below_10}");
         assert!(probe.fraction_below(10.0).unwrap() >= below_10);

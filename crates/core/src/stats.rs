@@ -26,6 +26,11 @@ impl ReuseStats {
         self.evaluations += 1;
     }
 
+    /// Records `n` full-precision evaluations at once (batched paths).
+    pub fn record_computed_many(&mut self, n: u64) {
+        self.evaluations += n;
+    }
+
     /// Records one neuron evaluation request that was served from the
     /// memoization buffer.
     pub fn record_reused(&mut self) {

@@ -1,7 +1,16 @@
 //! The memoization buffer (Figure 10 / the FMU's memoization buffer).
+//!
+//! The buffer is a *flat* `Vec` of per-neuron entries indexed by
+//! precomputed per-gate offsets — the software analogue of the paper's
+//! dense per-computation-unit memoization buffer, and the reason the hot
+//! path performs no hashing: a lookup is two array indexes
+//! (`gate_map[GateId::dense_index()]` → block offset → slot).
+//!
+//! Sequence boundaries are handled with an epoch counter instead of
+//! clearing storage: [`MemoTable::clear`] bumps the epoch, instantly
+//! invalidating every entry.
 
-use nfm_rnn::GateId;
-use std::collections::HashMap;
+use nfm_rnn::{DeepRnn, GateId};
 
 /// Per-neuron memoization state.
 ///
@@ -38,45 +47,234 @@ impl MemoEntry {
     }
 }
 
-/// The memoization buffer: one [`MemoEntry`] per `(gate, neuron)`.
+/// One slot of the flat buffer: an entry plus the epoch it was written
+/// in (a slot is live only when its epoch matches the table's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    entry: MemoEntry,
+    epoch: u32,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    entry: MemoEntry {
+        cached_output: 0.0,
+        cached_bnn_output: 0.0,
+        accumulated_delta: 0.0,
+        consecutive_reuses: 0,
+    },
+    epoch: 0,
+};
+
+/// Contiguous region of `slots` owned by one gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Block {
+    offset: u32,
+    len: u32,
+}
+
+/// Opaque handle to a gate's block, resolved once per gate invocation so
+/// the per-neuron loop is pure array indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateHandle(u32);
+
+/// Sentinel in `gate_map` for gates with no block yet.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// The memoization buffer: one [`MemoEntry`] per `(gate, neuron)`,
+/// stored flat and indexed by precomputed per-gate offsets.
 ///
-/// The table is cleared at the start of every input sequence — the
-/// hardware buffer holds no useful state across independent inputs.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The table is (logically) cleared at the start of every input
+/// sequence — the hardware buffer holds no useful state across
+/// independent inputs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoTable {
-    entries: HashMap<(GateId, usize), MemoEntry>,
+    /// `GateId::dense_index()` → index into `blocks`, `NO_BLOCK` if the
+    /// gate has no region yet.  Grown on demand.
+    gate_map: Vec<u32>,
+    blocks: Vec<Block>,
+    slots: Vec<Slot>,
+    /// Entries are live iff their slot epoch equals this (starts at 1 so
+    /// zero-initialized slots are dead).
+    epoch: u32,
+    live: usize,
     max_consecutive_reuses: u32,
 }
 
+impl Default for MemoTable {
+    fn default() -> Self {
+        MemoTable {
+            gate_map: Vec::new(),
+            blocks: Vec::new(),
+            slots: Vec::new(),
+            epoch: 1,
+            live: 0,
+            max_consecutive_reuses: 0,
+        }
+    }
+}
+
 impl MemoTable {
-    /// Creates an empty table.
+    /// Creates an empty table; gate regions are laid out on first touch
+    /// (each gate's neuron count becomes known when it is first
+    /// evaluated).
     pub fn new() -> Self {
         MemoTable::default()
     }
 
-    /// Number of neurons with a cached entry.
+    /// Creates a table with every gate region of `network` laid out up
+    /// front, so the hot path never appends.
+    pub fn for_network(network: &DeepRnn) -> Self {
+        let mut table = MemoTable::new();
+        for (id, gate) in network.gates() {
+            table.gate_handle(id, gate.neurons());
+        }
+        table
+    }
+
+    /// Creates a table pre-laid-out for an explicit `(gate, neurons)`
+    /// shape list (e.g. from a binary mirror).
+    pub fn with_gates(shapes: impl IntoIterator<Item = (GateId, usize)>) -> Self {
+        let mut table = MemoTable::new();
+        for (id, neurons) in shapes {
+            table.gate_handle(id, neurons);
+        }
+        table
+    }
+
+    /// Number of neurons with a live cached entry.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
-    /// Returns `true` if no neuron has a cached entry.
+    /// Returns `true` if no neuron has a live cached entry.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Looks up the entry for a neuron.
-    pub fn get(&self, gate: GateId, neuron: usize) -> Option<&MemoEntry> {
-        self.entries.get(&(gate, neuron))
+    /// Resolves (allocating if needed) the block of `gate`, sized for at
+    /// least `neurons` entries.  Call once per gate invocation; the
+    /// returned handle makes every per-neuron access O(1) indexing.
+    pub fn gate_handle(&mut self, gate: GateId, neurons: usize) -> GateHandle {
+        let dense = gate.dense_index();
+        if dense >= self.gate_map.len() {
+            self.gate_map.resize(dense + 1, NO_BLOCK);
+        }
+        let block_idx = self.gate_map[dense];
+        if block_idx != NO_BLOCK {
+            let idx = block_idx as usize;
+            if self.blocks[idx].len as usize >= neurons {
+                return GateHandle(block_idx);
+            }
+            // A gate grew past its region (only possible through the
+            // keyed convenience API) — relocate it to the end, keeping
+            // live entries.
+            let old = self.blocks[idx];
+            let new_len = neurons.max(old.len as usize * 2);
+            let new_offset = self.slots.len() as u32;
+            self.slots.reserve(new_len);
+            for i in 0..old.len as usize {
+                let slot = self.slots[old.offset as usize + i];
+                self.slots.push(slot);
+            }
+            self.slots
+                .extend(std::iter::repeat_n(EMPTY_SLOT, new_len - old.len as usize));
+            // Kill the abandoned region so stale entries cannot resurface.
+            for slot in &mut self.slots[old.offset as usize..(old.offset + old.len) as usize] {
+                slot.epoch = 0;
+            }
+            self.blocks[idx] = Block {
+                offset: new_offset,
+                len: new_len as u32,
+            };
+            return GateHandle(block_idx);
+        }
+        let offset = self.slots.len() as u32;
+        self.slots.extend(std::iter::repeat_n(EMPTY_SLOT, neurons));
+        let block_idx = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            offset,
+            len: neurons as u32,
+        });
+        self.gate_map[dense] = block_idx;
+        GateHandle(block_idx)
+    }
+
+    #[inline]
+    fn slot_index(&self, handle: GateHandle, neuron: usize) -> usize {
+        let block = &self.blocks[handle.0 as usize];
+        debug_assert!(neuron < block.len as usize, "neuron outside gate block");
+        block.offset as usize + neuron
+    }
+
+    /// Looks up the live entry for `neuron` of the handled gate.
+    #[inline]
+    pub fn entry(&self, handle: GateHandle, neuron: usize) -> Option<&MemoEntry> {
+        let slot = &self.slots[self.slot_index(handle, neuron)];
+        (slot.epoch == self.epoch).then_some(&slot.entry)
     }
 
     /// Replaces a neuron's entry after a full-precision evaluation.
-    pub fn refresh(&mut self, gate: GateId, neuron: usize, output: f32, bnn_output: f32) {
-        self.entries
-            .insert((gate, neuron), MemoEntry::fresh(output, bnn_output));
+    #[inline]
+    pub fn refresh_at(&mut self, handle: GateHandle, neuron: usize, output: f32, bnn_output: f32) {
+        let epoch = self.epoch;
+        let idx = self.slot_index(handle, neuron);
+        let slot = &mut self.slots[idx];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            self.live += 1;
+        }
+        slot.entry = MemoEntry::fresh(output, bnn_output);
     }
 
     /// Marks a reuse of a neuron's entry, updating the accumulated delta
-    /// (Equation 14 keeps `δb` when the value is reused).
+    /// (Equation 14 keeps `δb` when the value is reused).  Returns the
+    /// cached full-precision output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron has no live entry; callers must only record
+    /// a reuse after [`MemoTable::entry`] returned `Some`.
+    #[inline]
+    pub fn reuse_at(&mut self, handle: GateHandle, neuron: usize, new_delta: f32) -> f32 {
+        let epoch = self.epoch;
+        let idx = self.slot_index(handle, neuron);
+        let slot = &mut self.slots[idx];
+        assert_eq!(
+            slot.epoch, epoch,
+            "reuse recorded for a neuron with no memo entry"
+        );
+        slot.entry.accumulated_delta = new_delta;
+        slot.entry.consecutive_reuses += 1;
+        if slot.entry.consecutive_reuses > self.max_consecutive_reuses {
+            self.max_consecutive_reuses = slot.entry.consecutive_reuses;
+        }
+        slot.entry.cached_output
+    }
+
+    fn lookup_handle(&self, gate: GateId) -> Option<GateHandle> {
+        let dense = gate.dense_index();
+        let block_idx = *self.gate_map.get(dense)?;
+        (block_idx != NO_BLOCK).then_some(GateHandle(block_idx))
+    }
+
+    /// Looks up the entry for a neuron (keyed convenience API; the hot
+    /// path resolves a [`GateHandle`] once per gate instead).
+    pub fn get(&self, gate: GateId, neuron: usize) -> Option<&MemoEntry> {
+        let handle = self.lookup_handle(gate)?;
+        if neuron >= self.blocks[handle.0 as usize].len as usize {
+            return None;
+        }
+        self.entry(handle, neuron)
+    }
+
+    /// Replaces a neuron's entry after a full-precision evaluation
+    /// (keyed convenience API).
+    pub fn refresh(&mut self, gate: GateId, neuron: usize, output: f32, bnn_output: f32) {
+        let handle = self.gate_handle(gate, neuron + 1);
+        self.refresh_at(handle, neuron, output, bnn_output);
+    }
+
+    /// Marks a reuse of a neuron's entry (keyed convenience API).
     ///
     /// Returns the cached full-precision output.
     ///
@@ -85,16 +283,14 @@ impl MemoTable {
     /// Panics if the neuron has no entry; callers must only record a
     /// reuse after [`MemoTable::get`] returned `Some`.
     pub fn record_reuse(&mut self, gate: GateId, neuron: usize, new_delta: f32) -> f32 {
-        let entry = self
-            .entries
-            .get_mut(&(gate, neuron))
+        let handle = self
+            .lookup_handle(gate)
             .expect("reuse recorded for a neuron with no memo entry");
-        entry.accumulated_delta = new_delta;
-        entry.consecutive_reuses += 1;
-        if entry.consecutive_reuses > self.max_consecutive_reuses {
-            self.max_consecutive_reuses = entry.consecutive_reuses;
-        }
-        entry.cached_output
+        assert!(
+            neuron < self.blocks[handle.0 as usize].len as usize,
+            "reuse recorded for a neuron with no memo entry"
+        );
+        self.reuse_at(handle, neuron, new_delta)
     }
 
     /// Longest run of consecutive reuses observed for any neuron since
@@ -103,9 +299,18 @@ impl MemoTable {
         self.max_consecutive_reuses
     }
 
-    /// Clears every entry (start of a new input sequence).
+    /// Clears every entry (start of a new input sequence).  O(1): the
+    /// epoch bump invalidates all slots without touching storage.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        if self.epoch == u32::MAX {
+            for slot in &mut self.slots {
+                slot.epoch = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.live = 0;
         self.max_consecutive_reuses = 0;
     }
 
@@ -113,7 +318,7 @@ impl MemoTable {
     /// layout of Table 2: a 16-bit cached output, a 16-bit cached BNN
     /// output and a 16-bit fixed-point accumulated delta per neuron.
     pub fn hardware_bytes(&self) -> usize {
-        self.entries.len() * 6
+        self.live * 6
     }
 }
 
@@ -145,6 +350,9 @@ mod tests {
         let e = t.get(gid(), 3).unwrap();
         assert_eq!(e.cached_output, 2.0);
         assert_eq!(e.cached_bnn_output, 5.0);
+        // Unwritten neurons of the same gate remain absent.
+        assert!(t.get(gid(), 0).is_none());
+        assert!(t.get(gid(), 9).is_none());
     }
 
     #[test]
@@ -173,6 +381,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no memo entry")]
+    fn reuse_after_clear_panics() {
+        let mut t = MemoTable::new();
+        t.refresh(gid(), 0, 1.0, 1.0);
+        t.clear();
+        let _ = t.record_reuse(gid(), 0, 0.0);
+    }
+
+    #[test]
     fn clear_empties_the_table() {
         let mut t = MemoTable::new();
         t.refresh(gid(), 0, 1.0, 1.0);
@@ -180,6 +397,11 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.max_consecutive_reuses(), 0);
+        assert!(t.get(gid(), 0).is_none());
+        // The storage survives the clear and is reused.
+        t.refresh(gid(), 0, 2.0, 2.0);
+        assert_eq!(t.get(gid(), 0).unwrap().cached_output, 2.0);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
@@ -201,5 +423,42 @@ mod tests {
         t.record_reuse(gid(), 0, 0.5);
         assert_eq!(t.get(other_gate, 0).unwrap().accumulated_delta, 0.0);
         assert_eq!(t.get(gid(), 0).unwrap().accumulated_delta, 0.5);
+    }
+
+    #[test]
+    fn handles_make_lookups_o1_and_match_keyed_api() {
+        let mut t = MemoTable::with_gates([(gid(), 8)]);
+        let h = t.gate_handle(gid(), 8);
+        assert!(t.entry(h, 3).is_none());
+        t.refresh_at(h, 3, 1.5, -2.0);
+        assert_eq!(t.get(gid(), 3).unwrap().cached_output, 1.5);
+        assert_eq!(t.entry(h, 3).unwrap().cached_bnn_output, -2.0);
+        assert_eq!(t.reuse_at(h, 3, 0.25), 1.5);
+        assert_eq!(t.get(gid(), 3).unwrap().consecutive_reuses, 1);
+    }
+
+    #[test]
+    fn block_relocation_preserves_live_entries() {
+        let mut t = MemoTable::new();
+        t.refresh(gid(), 0, 1.0, 1.0);
+        // Force the gate block to grow well past its initial size.
+        t.refresh(gid(), 30, 3.0, 3.0);
+        assert_eq!(t.get(gid(), 0).unwrap().cached_output, 1.0);
+        assert_eq!(t.get(gid(), 30).unwrap().cached_output, 3.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_slots() {
+        let mut t = MemoTable::new();
+        t.refresh(gid(), 0, 1.0, 1.0);
+        // Force the wrap path.
+        t.epoch = u32::MAX - 1;
+        t.clear(); // -> u32::MAX
+        t.refresh(gid(), 0, 2.0, 2.0);
+        t.clear(); // wraps: full slot reset
+        assert!(t.get(gid(), 0).is_none());
+        t.refresh(gid(), 0, 3.0, 3.0);
+        assert_eq!(t.get(gid(), 0).unwrap().cached_output, 3.0);
     }
 }

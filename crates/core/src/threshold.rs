@@ -36,7 +36,10 @@ impl ThresholdExplorer {
     ///
     /// Panics if `candidates` is empty.
     pub fn new(candidates: Vec<f32>) -> Self {
-        assert!(!candidates.is_empty(), "need at least one candidate threshold");
+        assert!(
+            !candidates.is_empty(),
+            "need at least one candidate threshold"
+        );
         ThresholdExplorer { candidates }
     }
 

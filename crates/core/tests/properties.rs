@@ -1,11 +1,12 @@
-//! Property-based tests on the fuzzy memoization scheme's invariants.
+//! Property-style tests on the fuzzy memoization scheme's invariants,
+//! exercised over seeded deterministic sampling loops (the container has
+//! no `proptest`).
 
 use nfm_bnn::BinaryNetwork;
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator, OracleMemoConfig};
 use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, ExactEvaluator, NeuronEvaluator};
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
-use proptest::prelude::*;
 
 fn network(seed: u64) -> DeepRnn {
     let cfg = DeepRnnConfig::new(CellKind::Lstm, 5, 8);
@@ -26,15 +27,13 @@ fn smooth_sequence(len: usize, width: usize, seed: u64, drift: f32) -> Vec<Vecto
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn accounting_is_exact_for_any_threshold(
-        seed in 0u64..300,
-        theta in 0.0f32..4.0,
-        steps in 2usize..12,
-    ) {
+#[test]
+fn accounting_is_exact_for_any_threshold() {
+    let mut rng = DeterministicRng::seed_from_u64(100);
+    for _ in 0..16 {
+        let seed = rng.index(300) as u64;
+        let theta = rng.uniform(0.0, 4.0);
+        let steps = 2 + rng.index(10);
         let net = network(seed);
         let seq = smooth_sequence(steps, 5, seed ^ 1, 0.05);
         let mut memo = BnnMemoEvaluator::new(
@@ -43,17 +42,19 @@ proptest! {
         );
         let out = net.run(&seq, &mut memo).unwrap();
         let expected = (steps * net.neuron_evaluations_per_step()) as u64;
-        prop_assert_eq!(memo.stats().evaluations(), expected);
-        prop_assert_eq!(memo.stats().bnn_evaluations(), expected);
-        prop_assert_eq!(memo.stats().computed() + memo.stats().reuses(), expected);
-        prop_assert!(out.iter().all(|v| v.iter().all(|x| x.is_finite())));
+        assert_eq!(memo.stats().evaluations(), expected);
+        assert_eq!(memo.stats().bnn_evaluations(), expected);
+        assert_eq!(memo.stats().computed() + memo.stats().reuses(), expected);
+        assert!(out.iter().all(|v| v.iter().all(|x| x.is_finite())));
     }
+}
 
-    #[test]
-    fn first_timestep_always_computes_every_neuron(
-        seed in 0u64..300,
-        theta in 0.0f32..8.0,
-    ) {
+#[test]
+fn first_timestep_always_computes_every_neuron() {
+    let mut rng = DeterministicRng::seed_from_u64(101);
+    for _ in 0..16 {
+        let seed = rng.index(300) as u64;
+        let theta = rng.uniform(0.0, 8.0);
         let net = network(seed);
         let seq = smooth_sequence(1, 5, seed ^ 2, 0.05);
         let mut memo = BnnMemoEvaluator::new(
@@ -61,18 +62,20 @@ proptest! {
             BnnMemoConfig::with_threshold(theta),
         );
         let _ = net.run(&seq, &mut memo).unwrap();
-        prop_assert_eq!(memo.stats().reuses(), 0);
-        prop_assert_eq!(
+        assert_eq!(memo.stats().reuses(), 0);
+        assert_eq!(
             memo.stats().computed(),
             net.neuron_evaluations_per_step() as u64
         );
     }
+}
 
-    #[test]
-    fn oracle_reuse_is_monotone_in_threshold_on_a_fixed_trajectory(
-        seed in 0u64..200,
-        steps in 3usize..10,
-    ) {
+#[test]
+fn oracle_reuse_is_monotone_in_threshold_on_a_fixed_trajectory() {
+    let mut rng = DeterministicRng::seed_from_u64(102);
+    for _ in 0..16 {
+        let seed = rng.index(200) as u64;
+        let steps = 3 + rng.index(7);
         // Unlike the BNN predictor (whose reuse decisions feed back into
         // the state trajectory), the oracle on a *fixed* exact trajectory
         // gives reuse counts that cannot decrease with the threshold when
@@ -85,17 +88,19 @@ proptest! {
             let mut oracle = OracleEvaluator::new(OracleMemoConfig::with_threshold(theta));
             let _ = net.run(&seq, &mut oracle).unwrap();
             let reuse = oracle.stats().reuse_fraction();
-            prop_assert!(reuse + 0.02 >= previous, "θ={theta}: {reuse} < {previous}");
+            assert!(reuse + 0.02 >= previous, "θ={theta}: {reuse} < {previous}");
             previous = reuse;
         }
     }
+}
 
-    #[test]
-    fn throttling_never_increases_reuse(
-        seed in 0u64..200,
-        theta in 0.1f32..2.0,
-        steps in 4usize..14,
-    ) {
+#[test]
+fn throttling_never_increases_reuse() {
+    let mut rng = DeterministicRng::seed_from_u64(103);
+    for _ in 0..16 {
+        let seed = rng.index(200) as u64;
+        let theta = rng.uniform(0.1, 2.0);
+        let steps = 4 + rng.index(10);
         let net = network(seed);
         let seq = smooth_sequence(steps, 5, seed ^ 4, 0.03);
         let run = |throttle: bool| {
@@ -112,15 +117,17 @@ proptest! {
         // Accumulating differences can only make the comparison stricter,
         // so throttled reuse is bounded by unthrottled reuse (up to the
         // small trajectory-feedback noise).
-        prop_assert!(with <= without + 0.05, "with={with} without={without}");
+        assert!(with <= without + 0.05, "with={with} without={without}");
     }
+}
 
-    #[test]
-    fn memoized_outputs_stay_bounded_like_exact_ones(
-        seed in 0u64..200,
-        theta in 0.0f32..10.0,
-        steps in 2usize..10,
-    ) {
+#[test]
+fn memoized_outputs_stay_bounded_like_exact_ones() {
+    let mut rng = DeterministicRng::seed_from_u64(104);
+    for _ in 0..16 {
+        let seed = rng.index(200) as u64;
+        let theta = rng.uniform(0.0, 10.0);
+        let steps = 2 + rng.index(8);
         let net = network(seed);
         let seq = smooth_sequence(steps, 5, seed ^ 5, 0.08);
         let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
@@ -129,14 +136,19 @@ proptest! {
             BnnMemoConfig::with_threshold(theta),
         );
         let out = net.run(&seq, &mut memo).unwrap();
-        prop_assert_eq!(out.len(), exact.len());
+        assert_eq!(out.len(), exact.len());
         for v in &out {
-            prop_assert!(v.norm_inf() <= 1.0 + 1e-4);
+            assert!(v.norm_inf() <= 1.0 + 1e-4);
         }
     }
+}
 
-    #[test]
-    fn begin_sequence_makes_runs_independent(seed in 0u64..200, theta in 0.5f32..3.0) {
+#[test]
+fn begin_sequence_makes_runs_independent() {
+    let mut rng = DeterministicRng::seed_from_u64(105);
+    for _ in 0..16 {
+        let seed = rng.index(200) as u64;
+        let theta = rng.uniform(0.5, 3.0);
         let net = network(seed);
         let seq = smooth_sequence(6, 5, seed ^ 6, 0.05);
         let mirror = BinaryNetwork::mirror(&net);
@@ -147,12 +159,12 @@ proptest! {
         let first = net.run(&seq, &mut memo).unwrap();
         let after_first = memo.stats().reuses();
         let second = net.run(&seq, &mut memo).unwrap();
-        prop_assert_eq!(first, second);
-        prop_assert_eq!(memo.stats().reuses(), after_first * 2);
+        assert_eq!(first, second);
+        assert_eq!(memo.stats().reuses(), after_first * 2);
         // And a fresh evaluator agrees with the reused one.
         let mut fresh = BnnMemoEvaluator::new(mirror, BnnMemoConfig::with_threshold(theta));
         fresh.begin_sequence();
         let third = net.run(&seq, &mut fresh).unwrap();
-        prop_assert_eq!(third, net.run(&seq, &mut fresh).unwrap());
+        assert_eq!(third, net.run(&seq, &mut fresh).unwrap());
     }
 }

@@ -37,8 +37,7 @@ fn score_input_similarity(run: &NetworkRun, threshold: f32) -> (f64, f64) {
 
 /// Regenerates the predictor ablation.
 pub fn run(config: &EvalConfig) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("Ablation: BNN predictor vs input-similarity predictor");
+    let mut report = ExperimentReport::new("Ablation: BNN predictor vs input-similarity predictor");
     let runs = match NetworkRun::all(config) {
         Ok(r) => r,
         Err(e) => {

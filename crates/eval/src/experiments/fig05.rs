@@ -11,8 +11,9 @@ use nfm_tensor::stats::empirical_cdf;
 /// paper does (relative difference as a function of the cumulative
 /// percentage of neuron-output transitions).
 pub fn run(config: &EvalConfig) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("Figure 5: relative change in neuron output between consecutive inputs");
+    let mut report = ExperimentReport::new(
+        "Figure 5: relative change in neuron output between consecutive inputs",
+    );
     let runs = match NetworkRun::all(config) {
         Ok(r) => r,
         Err(e) => {

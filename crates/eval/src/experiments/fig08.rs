@@ -21,7 +21,12 @@ pub fn run(config: &EvalConfig) -> ExperimentReport {
     };
     let mut summary = TableReport::new(
         "Correlation summary",
-        vec!["Network", "Median R", "Neurons with R > 0.8 (%)", "Neurons with R > 0.5 (%)"],
+        vec![
+            "Network",
+            "Median R",
+            "Neurons with R > 0.8 (%)",
+            "Neurons with R > 0.5 (%)",
+        ],
     );
     for run in &runs {
         let spec = run.spec();
@@ -82,7 +87,11 @@ mod tests {
         assert_eq!(r.tables[0].rows.len(), 4);
         for row in &r.tables[0].rows {
             let median: f64 = row[1].parse().unwrap();
-            assert!(median > 0.0, "{}: median correlation should be positive", row[0]);
+            assert!(
+                median > 0.0,
+                "{}: median correlation should be positive",
+                row[0]
+            );
         }
         for s in &r.series {
             let total: f64 = s.points.iter().map(|&(_, y)| y).sum();

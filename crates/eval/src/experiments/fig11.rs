@@ -1,9 +1,9 @@
 //! Figure 11: computation reuse with and without the throttling
 //! mechanism, at 1% and 2% accuracy loss.
 
+use crate::experiments::hw::mean;
 use crate::harness::{EvalConfig, NetworkRun};
 use crate::report::{ExperimentReport, TableReport};
-use crate::experiments::hw::mean;
 
 /// Regenerates Figure 11: for every network and for 1% / 2% accuracy-loss
 /// budgets, the reuse achieved by the BNN predictor with and without

@@ -50,7 +50,11 @@ mod tests {
     fn figure16_has_oracle_and_bnn_curves_per_network() {
         let r = run(&EvalConfig::smoke());
         assert_eq!(r.series.len(), 8);
-        let oracle_curves = r.series.iter().filter(|s| s.label.contains("Oracle")).count();
+        let oracle_curves = r
+            .series
+            .iter()
+            .filter(|s| s.label.contains("Oracle"))
+            .count();
         assert_eq!(oracle_curves, 4);
         for s in &r.series {
             assert!(!s.points.is_empty());

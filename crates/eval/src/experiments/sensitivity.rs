@@ -24,7 +24,12 @@ pub fn run(_config: &EvalConfig) -> ExperimentReport {
     // FMU latency sweep at the Table 2 DPU width.
     let mut latency_table = TableReport::new(
         "Speedup vs FMU latency (EESEN topology, DPU width 16)",
-        vec!["FMU latency (cycles)", "24.2% reuse", "31% reuse", "40% reuse"],
+        vec![
+            "FMU latency (cycles)",
+            "24.2% reuse",
+            "31% reuse",
+            "40% reuse",
+        ],
     );
     for latency in [1u64, 3, 5, 8, 12, 20] {
         let mut config = EpurConfig::default();
@@ -48,11 +53,19 @@ pub fn run(_config: &EvalConfig) -> ExperimentReport {
     );
     let mut width_table = TableReport::new(
         "Speedup vs DPU width (EESEN topology, FMU latency 5)",
-        vec!["DPU width", "Baseline cycles/step", "24.2% reuse", "31% reuse", "40% reuse"],
+        vec![
+            "DPU width",
+            "Baseline cycles/step",
+            "24.2% reuse",
+            "31% reuse",
+            "40% reuse",
+        ],
     );
     for width in [8usize, 16, 32, 64] {
-        let mut config = EpurConfig::default();
-        config.dpu_width = width;
+        let config = EpurConfig {
+            dpu_width: width,
+            ..EpurConfig::default()
+        };
         let sim = EpurSimulator::new(config);
         let baseline_per_step = sim.timing_model().baseline_cycles_per_step(&shape);
         let mut row = vec![width.to_string(), baseline_per_step.to_string()];
@@ -92,10 +105,7 @@ mod tests {
         assert!(speedups.windows(2).all(|w| w[1] <= w[0] + 1e-9));
         // Speedup decreases as the DPU gets wider.
         let widths = &r.series[0];
-        assert!(widths
-            .points
-            .windows(2)
-            .all(|w| w[1].1 <= w[0].1 + 1e-9));
+        assert!(widths.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9));
         // At the Table 2 design point the speedup is positive and > 1 for
         // paper-level reuse.
         let table2_row = &r.tables[0].rows[2];

@@ -11,7 +11,10 @@ pub fn run() -> ExperimentReport {
     let mut report = ExperimentReport::new("Table 2: configuration parameters");
 
     let mut epur = TableReport::new("E-PUR", vec!["Parameter", "Value"]);
-    epur.push_row(vec!["Technology".into(), format!("{} nm", config.technology_nm)]);
+    epur.push_row(vec![
+        "Technology".into(),
+        format!("{} nm", config.technology_nm),
+    ]);
     epur.push_row(vec![
         "Frequency".into(),
         format!("{} MHz", config.frequency_hz / 1e6),
@@ -28,7 +31,10 @@ pub fn run() -> ExperimentReport {
         "Input Buffer".into(),
         format!("{} KiB per CU", config.input_buffer_bytes / 1024),
     ]);
-    epur.push_row(vec!["DPU Width".into(), format!("{} operations", config.dpu_width)]);
+    epur.push_row(vec![
+        "DPU Width".into(),
+        format!("{} operations", config.dpu_width),
+    ]);
     epur.push_row(vec![
         "Computation Units".into(),
         config.computation_units.to_string(),
@@ -37,8 +43,14 @@ pub fn run() -> ExperimentReport {
 
     let memo = config.memoization;
     let mut fmu = TableReport::new("Memoization Unit", vec!["Parameter", "Value"]);
-    fmu.push_row(vec!["BDPU Width".into(), format!("{} bits", memo.bdpu_width_bits)]);
-    fmu.push_row(vec!["Latency".into(), format!("{} cycles", memo.latency_cycles)]);
+    fmu.push_row(vec![
+        "BDPU Width".into(),
+        format!("{} bits", memo.bdpu_width_bits),
+    ]);
+    fmu.push_row(vec![
+        "Latency".into(),
+        format!("{} cycles", memo.latency_cycles),
+    ]);
     fmu.push_row(vec![
         "Integer Width".into(),
         format!("{} bytes", memo.integer_width_bytes),

@@ -40,8 +40,20 @@ pub use report::{Series, TableReport};
 /// Names of every runnable experiment, as accepted by the `nfm-eval`
 /// binary and produced by [`run_experiment`].
 pub const EXPERIMENTS: [&str; 14] = [
-    "table1", "table2", "fig1", "fig5", "fig7", "fig8", "fig11", "fig16", "fig17", "fig18",
-    "fig19", "headline", "ablation", "sensitivity",
+    "table1",
+    "table2",
+    "fig1",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "headline",
+    "ablation",
+    "sensitivity",
 ];
 
 /// Runs an experiment by name and returns its printable report.

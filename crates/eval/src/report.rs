@@ -122,7 +122,11 @@ impl fmt::Display for TableReport {
                 .join("  ")
         };
         writeln!(f, "{}", render(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render(row))?;
         }

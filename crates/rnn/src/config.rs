@@ -156,9 +156,8 @@ impl DeepRnnConfig {
 
     /// Approximate total weight count of the recurrent stack.
     pub fn weight_count(&self) -> usize {
-        let per_dir_layer = |input: usize| {
-            self.cell.gates() * self.hidden_size * (input + self.hidden_size)
-        };
+        let per_dir_layer =
+            |input: usize| self.cell.gates() * self.hidden_size * (input + self.hidden_size);
         let mut total = 0usize;
         let mut layer_input = self.input_size;
         for _ in 0..self.layers {

@@ -1,7 +1,23 @@
-//! The per-neuron evaluation hook where fuzzy memoization plugs in.
+//! The neuron evaluation hook where fuzzy memoization plugs in.
+//!
+//! Evaluators expose two granularities:
+//!
+//! * [`NeuronEvaluator::evaluate`] — one neuron at a time, the boundary
+//!   the paper describes (the FMU intercepting one DPU operation);
+//! * [`NeuronEvaluator::evaluate_gate`] — one whole gate per call, the
+//!   granularity the software hot path actually runs at.  The default
+//!   implementation falls back to the per-neuron method, so custom
+//!   evaluators keep working unchanged, while the built-in evaluators
+//!   override it with fused, allocation-free kernels.
+//!
+//! The two paths are contractually **bit-identical**: every built-in
+//! override performs the same floating-point operations in the same
+//! order as the per-neuron fallback (see the `batched_equivalence`
+//! integration tests).
 
 use crate::gate::{Gate, GateId};
 use crate::Result;
+use nfm_tensor::kernels::dual_matvec_into;
 
 /// Identifies one neuron evaluation: which gate, which neuron of that
 /// gate, and at which timestep of the current sequence.
@@ -42,6 +58,46 @@ pub trait NeuronEvaluator {
         h_prev: &[f32],
     ) -> Result<f32>;
 
+    /// Produces the pre-activation dot products for *every* neuron of
+    /// `gate` at once, writing them into the caller-owned `out` buffer
+    /// (`out.len() == gate.neurons()`, guaranteed by [`Gate::evaluate`]).
+    ///
+    /// The default implementation routes each neuron through
+    /// [`evaluate`](NeuronEvaluator::evaluate), preserving the trait
+    /// contract for custom evaluators; the built-in evaluators override
+    /// it with fused kernels that skip per-neuron virtual dispatch,
+    /// dimension checks and hashing.  Overrides must remain bit-identical
+    /// to the fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths are inconsistent with the
+    /// gate.
+    fn evaluate_gate(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        debug_assert_eq!(out.len(), gate.neurons());
+        for (n, slot) in out.iter_mut().enumerate() {
+            *slot = self.evaluate(
+                NeuronRef {
+                    gate_id,
+                    neuron: n,
+                    timestep,
+                },
+                gate,
+                x,
+                h_prev,
+            )?;
+        }
+        Ok(())
+    }
+
     /// Called by [`DeepRnn::run`](crate::DeepRnn::run) before each new
     /// input sequence so implementations can reset per-sequence state
     /// (e.g. memoization tables are cold at the start of a sequence).
@@ -50,7 +106,8 @@ pub trait NeuronEvaluator {
 
 /// The baseline evaluator: always computes the exact dot products.
 ///
-/// Corresponds to the unmodified E-PUR accelerator.
+/// Corresponds to the unmodified E-PUR accelerator.  Its batched path is
+/// one fused dual matrix-vector product per gate.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactEvaluator {
     evaluations: u64,
@@ -79,6 +136,20 @@ impl NeuronEvaluator for ExactEvaluator {
         self.evaluations += 1;
         gate.neuron_dot(neuron.neuron, x, h_prev)
     }
+
+    fn evaluate_gate(
+        &mut self,
+        _gate_id: GateId,
+        _timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        dual_matvec_into(gate.wx(), gate.wh(), x, h_prev, out)?;
+        self.evaluations += out.len() as u64;
+        Ok(())
+    }
 }
 
 /// An instrumented evaluator that wraps another one and records every
@@ -101,7 +172,8 @@ impl<E: NeuronEvaluator> CountingEvaluator<E> {
         }
     }
 
-    /// Total `evaluate` calls observed.
+    /// Total neuron evaluations observed (batched gate calls count one
+    /// per neuron they cover).
     pub fn calls(&self) -> u64 {
         self.calls
     }
@@ -134,8 +206,70 @@ impl<E: NeuronEvaluator> NeuronEvaluator for CountingEvaluator<E> {
         self.inner.evaluate(neuron, gate, x, h_prev)
     }
 
+    fn evaluate_gate(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.calls += out.len() as u64;
+        self.inner
+            .evaluate_gate(gate_id, timestep, gate, x, h_prev, out)
+    }
+
     fn begin_sequence(&mut self) {
         self.sequences += 1;
+        self.inner.begin_sequence();
+    }
+}
+
+/// Forces the wrapped evaluator onto the per-neuron fallback path: its
+/// `evaluate_gate` loops over [`NeuronEvaluator::evaluate`] exactly like
+/// the trait's default implementation, ignoring any batched override the
+/// inner evaluator provides.
+///
+/// Used by the equivalence tests (batched output must be bit-identical
+/// to this path) and by the benchmarks to measure the naive path's cost.
+#[derive(Debug, Clone, Default)]
+pub struct PerNeuronEvaluator<E> {
+    inner: E,
+}
+
+impl<E: NeuronEvaluator> PerNeuronEvaluator<E> {
+    /// Wraps `inner`.
+    pub fn new(inner: E) -> Self {
+        PerNeuronEvaluator { inner }
+    }
+
+    /// Returns the wrapped evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Borrows the wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: NeuronEvaluator> NeuronEvaluator for PerNeuronEvaluator<E> {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> Result<f32> {
+        self.inner.evaluate(neuron, gate, x, h_prev)
+    }
+
+    // No evaluate_gate override: the trait default IS the per-neuron
+    // loop this wrapper exists to pin down.
+
+    fn begin_sequence(&mut self) {
         self.inner.begin_sequence();
     }
 }
@@ -180,6 +314,28 @@ mod tests {
         let g = gate();
         let mut e = ExactEvaluator::new();
         assert!(e.evaluate(nref(), &g, &[1.0], &[2.0]).is_err());
+        let mut out = [0.0f32; 1];
+        assert!(e
+            .evaluate_gate(nref().gate_id, 0, &g, &[1.0], &[2.0], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn exact_batched_matches_per_neuron_bitwise() {
+        let g = gate();
+        let mut batched = ExactEvaluator::new();
+        let mut out = [0.0f32; 1];
+        batched
+            .evaluate_gate(nref().gate_id, 0, &g, &[1.0, 1.0], &[2.0], &mut out)
+            .unwrap();
+        let mut naive = PerNeuronEvaluator::new(ExactEvaluator::new());
+        let mut out2 = [0.0f32; 1];
+        naive
+            .evaluate_gate(nref().gate_id, 0, &g, &[1.0, 1.0], &[2.0], &mut out2)
+            .unwrap();
+        assert_eq!(out[0].to_bits(), out2[0].to_bits());
+        assert_eq!(batched.evaluations(), 1);
+        assert_eq!(naive.inner().evaluations(), 1);
     }
 
     #[test]
@@ -193,6 +349,17 @@ mod tests {
         assert_eq!(e.sequences(), 1);
         assert_eq!(e.inner().evaluations(), 2);
         assert_eq!(e.into_inner().evaluations(), 2);
+    }
+
+    #[test]
+    fn counting_evaluator_counts_batched_neurons() {
+        let g = gate();
+        let mut e = CountingEvaluator::new(ExactEvaluator::new());
+        let mut out = [0.0f32; 1];
+        e.evaluate_gate(nref().gate_id, 0, &g, &[1.0, 1.0], &[2.0], &mut out)
+            .unwrap();
+        assert_eq!(e.calls(), 1);
+        assert_eq!(e.inner().evaluations(), 1);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Fully-connected gates: the unit of work the paper memoizes.
 
 use crate::error::RnnError;
-use crate::evaluator::{NeuronEvaluator, NeuronRef};
+use crate::evaluator::NeuronEvaluator;
 use crate::Result;
 use nfm_tensor::activation::Activation;
 use nfm_tensor::init::Initializer;
+use nfm_tensor::kernels;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::{Matrix, Vector};
 
@@ -40,6 +41,22 @@ impl GateKind {
 
     /// All gate kinds used by a GRU cell, in evaluation order.
     pub const GRU: [GateKind; 3] = [GateKind::Update, GateKind::Reset, GateKind::Candidate];
+
+    /// Total number of gate kinds across both cell types.
+    pub const COUNT: usize = 6;
+
+    /// Stable dense index of the kind in `0..GateKind::COUNT`, used to
+    /// key flat per-gate tables without hashing.
+    pub fn index(self) -> usize {
+        match self {
+            GateKind::Input => 0,
+            GateKind::Forget => 1,
+            GateKind::Candidate => 2,
+            GateKind::Output => 3,
+            GateKind::Update => 4,
+            GateKind::Reset => 5,
+        }
+    }
 
     /// Short lowercase name used in reports.
     pub fn name(self) -> &'static str {
@@ -79,6 +96,16 @@ impl GateId {
             direction,
             kind,
         }
+    }
+
+    /// Dense index of the gate inside a network:
+    /// `(layer * 2 + direction) * GateKind::COUNT + kind`.
+    ///
+    /// The memoization buffer uses this to replace hashing with plain
+    /// array indexing on the hot path (directions are always 0 or 1).
+    pub fn dense_index(self) -> usize {
+        debug_assert!(self.direction < 2, "directions are 0 (fwd) or 1 (bwd)");
+        (self.layer * 2 + self.direction) * GateKind::COUNT + self.kind.index()
     }
 }
 
@@ -247,6 +274,18 @@ impl Gate {
         Ok(fwd + rec)
     }
 
+    /// Check-free variant of [`Gate::neuron_dot`] for batched evaluators
+    /// that have already validated the input widths once per gate call.
+    /// Bit-identical to the checked version (same kernel, same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()`; may panic on mismatched widths.
+    #[inline]
+    pub fn neuron_dot_unchecked(&self, n: usize, x: &[f32], h_prev: &[f32]) -> f32 {
+        kernels::dot_unchecked(self.wx.row(n), x) + kernels::dot_unchecked(self.wh.row(n), h_prev)
+    }
+
     /// Completes a neuron evaluation from its pre-activation dot product:
     /// adds bias, an optional peephole contribution (`p[n] * c_prev[n]`),
     /// and applies the activation function.
@@ -265,8 +304,54 @@ impl Gate {
         self.activation.apply(pre)
     }
 
-    /// Evaluates the whole gate for one timestep, routing every neuron's
-    /// dot product through `evaluator`.
+    /// Batched exact pre-activation of every neuron:
+    /// `out[n] = W_x[n]·x + W_h[n]·h_prev` (no bias/peephole/activation).
+    ///
+    /// One fused dual matrix-vector product; this is what the exact
+    /// evaluator and the memoization predictors run when a neuron must be
+    /// computed in full precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `x`/`h_prev`/`out` widths do not match
+    /// the gate.
+    pub fn preactivate_into(&self, x: &[f32], h_prev: &[f32], out: &mut [f32]) -> Result<()> {
+        kernels::dual_matvec_into(&self.wx, &self.wh, x, h_prev, out)?;
+        Ok(())
+    }
+
+    /// Completes a whole gate evaluation in place: adds bias, the
+    /// optional peephole contribution and the activation to every dot
+    /// product in `pre` (which arrives from
+    /// [`NeuronEvaluator::evaluate_gate`] and leaves as the gate output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre.len() != self.neurons()` or if a peephole is
+    /// present and `c_prev` is shorter than the gate.
+    pub fn finish_into(&self, pre: &mut [f32], c_prev: Option<&[f32]>) {
+        assert_eq!(pre.len(), self.neurons(), "gate output width mismatch");
+        let bias = self.bias.as_slice();
+        match (&self.peephole, c_prev) {
+            (Some(p), Some(c)) => {
+                let p = p.as_slice();
+                for n in 0..pre.len() {
+                    // Keep the scalar order of finish_neuron: (dot + bias) + p*c.
+                    pre[n] = self.activation.apply(pre[n] + bias[n] + p[n] * c[n]);
+                }
+            }
+            _ => {
+                for n in 0..pre.len() {
+                    pre[n] = self.activation.apply(pre[n] + bias[n]);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the whole gate for one timestep into a caller-owned
+    /// buffer, routing the dot products through `evaluator` (one batched
+    /// [`NeuronEvaluator::evaluate_gate`] call) and then applying
+    /// bias/peephole/activation in place.
     ///
     /// `gate_id` identifies this gate to the evaluator, `timestep` is the
     /// index of the current element in the sequence, and `c_prev` supplies
@@ -275,15 +360,21 @@ impl Gate {
     /// # Errors
     ///
     /// Returns an error if the input widths do not match the gate shape.
-    pub fn evaluate(
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.neurons()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_into(
         &self,
         gate_id: GateId,
         timestep: usize,
-        x: &Vector,
-        h_prev: &Vector,
-        c_prev: Option<&Vector>,
+        x: &[f32],
+        h_prev: &[f32],
+        c_prev: Option<&[f32]>,
         evaluator: &mut dyn NeuronEvaluator,
-    ) -> Result<Vector> {
+        out: &mut [f32],
+    ) -> Result<()> {
         if x.len() != self.input_size() {
             return Err(RnnError::InputSizeMismatch {
                 expected: self.input_size(),
@@ -298,20 +389,39 @@ impl Gate {
                 timestep,
             });
         }
-        let mut out = Vec::with_capacity(self.neurons());
-        for n in 0..self.neurons() {
-            let dot = evaluator.evaluate(
-                NeuronRef {
-                    gate_id,
-                    neuron: n,
-                    timestep,
-                },
-                self,
-                x.as_slice(),
-                h_prev.as_slice(),
-            )?;
-            out.push(self.finish_neuron(n, dot, c_prev));
-        }
+        assert_eq!(out.len(), self.neurons(), "gate output width mismatch");
+        evaluator.evaluate_gate(gate_id, timestep, self, x, h_prev, out)?;
+        self.finish_into(out, c_prev);
+        Ok(())
+    }
+
+    /// Evaluates the whole gate for one timestep, returning a freshly
+    /// allocated output vector.  Allocation-conscious callers (the cells'
+    /// sequence loops) use [`Gate::evaluate_into`] with reused scratch
+    /// buffers instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths do not match the gate shape.
+    pub fn evaluate(
+        &self,
+        gate_id: GateId,
+        timestep: usize,
+        x: &Vector,
+        h_prev: &Vector,
+        c_prev: Option<&Vector>,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vector> {
+        let mut out = vec![0.0f32; self.neurons()];
+        self.evaluate_into(
+            gate_id,
+            timestep,
+            x.as_slice(),
+            h_prev.as_slice(),
+            c_prev.map(Vector::as_slice),
+            evaluator,
+            &mut out,
+        )?;
         Ok(Vector::from(out))
     }
 }

@@ -3,6 +3,7 @@
 use crate::error::RnnError;
 use crate::evaluator::NeuronEvaluator;
 use crate::gate::{Gate, GateId, GateKind};
+use crate::scratch::CellScratch;
 use crate::Result;
 use nfm_tensor::activation::Activation;
 use nfm_tensor::rng::DeterministicRng;
@@ -146,7 +147,80 @@ impl GruCell {
         self.hidden_size() * GateKind::GRU.len()
     }
 
-    /// Advances the cell by one timestep.
+    /// Advances the cell by one timestep, writing the next state into
+    /// `next` and reusing the caller-owned `scratch` buffers: the
+    /// steady-state path performs zero allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` or the state widths do not match the cell.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_into(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        x: &[f32],
+        state: &GruState,
+        next: &mut GruState,
+        scratch: &mut CellScratch,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        let hidden = self.hidden_size();
+        if state.h.len() != hidden {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "GRU state width {} does not match hidden size {}",
+                    state.h.len(),
+                    hidden
+                ),
+            });
+        }
+        next.h.resize(hidden, 0.0);
+        let id = |kind| GateId::new(layer, direction, kind);
+        let h_prev = state.h.as_slice();
+        let (zb, rb, gb) = scratch.bufs(hidden);
+        self.update.evaluate_into(
+            id(GateKind::Update),
+            timestep,
+            x,
+            h_prev,
+            None,
+            evaluator,
+            zb,
+        )?;
+        self.reset.evaluate_into(
+            id(GateKind::Reset),
+            timestep,
+            x,
+            h_prev,
+            None,
+            evaluator,
+            rb,
+        )?;
+        // Reset-modulated hidden state, in place: rb = r_t ⊙ h_{t-1}.
+        for (r, h) in rb.iter_mut().zip(h_prev.iter()) {
+            *r *= h;
+        }
+        self.candidate.evaluate_into(
+            id(GateKind::Candidate),
+            timestep,
+            x,
+            rb,
+            None,
+            evaluator,
+            gb,
+        )?;
+        // h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
+        for (n, h_next) in next.h.as_mut_slice().iter_mut().enumerate() {
+            *h_next = (1.0 - zb[n]) * h_prev[n] + zb[n] * gb[n];
+        }
+        Ok(())
+    }
+
+    /// Advances the cell by one timestep, returning a freshly allocated
+    /// state.  Sequence loops use [`GruCell::step_into`] with reused
+    /// buffers instead.
     ///
     /// # Errors
     ///
@@ -160,45 +234,19 @@ impl GruCell {
         state: &GruState,
         evaluator: &mut dyn NeuronEvaluator,
     ) -> Result<GruState> {
-        if state.h.len() != self.hidden_size() {
-            return Err(RnnError::InvalidConfig {
-                what: format!(
-                    "GRU state width {} does not match hidden size {}",
-                    state.h.len(),
-                    self.hidden_size()
-                ),
-            });
-        }
-        let id = |kind| GateId::new(layer, direction, kind);
-        let z_t = self.update.evaluate(
-            id(GateKind::Update),
+        let mut next = GruState::zeros(self.hidden_size());
+        let mut scratch = CellScratch::for_hidden(self.hidden_size());
+        self.step_into(
+            layer,
+            direction,
             timestep,
-            x,
-            &state.h,
-            None,
+            x.as_slice(),
+            state,
+            &mut next,
+            &mut scratch,
             evaluator,
         )?;
-        let r_t = self.reset.evaluate(
-            id(GateKind::Reset),
-            timestep,
-            x,
-            &state.h,
-            None,
-            evaluator,
-        )?;
-        let reset_h = r_t.hadamard(&state.h)?;
-        let g_t = self.candidate.evaluate(
-            id(GateKind::Candidate),
-            timestep,
-            x,
-            &reset_h,
-            None,
-            evaluator,
-        )?;
-        // h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
-        let keep = z_t.map(|z| 1.0 - z).hadamard(&state.h)?;
-        let h_t = keep.add(&z_t.hadamard(&g_t)?)?;
-        Ok(GruState { h: h_t })
+        Ok(next)
     }
 }
 
@@ -258,7 +306,14 @@ mod tests {
         };
         let mut eval = ExactEvaluator::new();
         let next = cell
-            .step(0, 0, 0, &Vector::from(vec![1.0, 2.0, -1.0]), &prev, &mut eval)
+            .step(
+                0,
+                0,
+                0,
+                &Vector::from(vec![1.0, 2.0, -1.0]),
+                &prev,
+                &mut eval,
+            )
             .unwrap();
         for i in 0..3 {
             assert!((next.h[i] - prev.h[i]).abs() < 1e-4);

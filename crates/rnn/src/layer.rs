@@ -7,6 +7,7 @@ use crate::evaluator::NeuronEvaluator;
 use crate::gate::{Gate, GateId, GateKind};
 use crate::gru::{GruCell, GruState};
 use crate::lstm::{LstmCell, LstmState};
+use crate::scratch::CellScratch;
 use crate::Result;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
@@ -31,7 +32,9 @@ impl Cell {
         rng: &mut DeterministicRng,
     ) -> Result<Self> {
         Ok(match kind {
-            CellKind::Lstm => Cell::Lstm(LstmCell::random(input_size, hidden_size, peepholes, rng)?),
+            CellKind::Lstm => {
+                Cell::Lstm(LstmCell::random(input_size, hidden_size, peepholes, rng)?)
+            }
             CellKind::Gru => Cell::Gru(GruCell::random(input_size, hidden_size, rng)?),
         })
     }
@@ -96,6 +99,9 @@ impl Cell {
     /// at every timestep.  `reverse` processes the sequence backwards
     /// (used by the backward half of a bidirectional layer) while still
     /// returning outputs indexed by the original timestep order.
+    ///
+    /// The loop double-buffers two states and one [`CellScratch`], so a
+    /// timestep's only allocation is the cloned per-timestep output.
     pub fn run_sequence(
         &self,
         layer: usize,
@@ -111,19 +117,42 @@ impl Cell {
         } else {
             (0..n).collect()
         };
+        let mut scratch = CellScratch::for_hidden(self.hidden_size());
         match self {
             Cell::Lstm(cell) => {
                 let mut state = LstmState::zeros(cell.hidden_size());
+                let mut next = LstmState::zeros(cell.hidden_size());
                 for (step, &t) in order.iter().enumerate() {
-                    state = cell.step(layer, direction, step, &inputs[t], &state, evaluator)?;
-                    outputs[t] = Some(state.h.clone());
+                    cell.step_into(
+                        layer,
+                        direction,
+                        step,
+                        inputs[t].as_slice(),
+                        &state,
+                        &mut next,
+                        &mut scratch,
+                        evaluator,
+                    )?;
+                    outputs[t] = Some(next.h.clone());
+                    std::mem::swap(&mut state, &mut next);
                 }
             }
             Cell::Gru(cell) => {
                 let mut state = GruState::zeros(cell.hidden_size());
+                let mut next = GruState::zeros(cell.hidden_size());
                 for (step, &t) in order.iter().enumerate() {
-                    state = cell.step(layer, direction, step, &inputs[t], &state, evaluator)?;
-                    outputs[t] = Some(state.h.clone());
+                    cell.step_into(
+                        layer,
+                        direction,
+                        step,
+                        inputs[t].as_slice(),
+                        &state,
+                        &mut next,
+                        &mut scratch,
+                        evaluator,
+                    )?;
+                    outputs[t] = Some(next.h.clone());
+                    std::mem::swap(&mut state, &mut next);
                 }
             }
         }
@@ -217,8 +246,7 @@ impl Layer {
 
     /// Total weights in the layer.
     pub fn weight_count(&self) -> usize {
-        self.forward.weight_count()
-            + self.backward.as_ref().map_or(0, Cell::weight_count)
+        self.forward.weight_count() + self.backward.as_ref().map_or(0, Cell::weight_count)
     }
 
     /// Neuron evaluations per timestep across both directions.

@@ -43,16 +43,20 @@ pub mod gru;
 pub mod layer;
 pub mod lstm;
 pub mod network;
+pub mod scratch;
 
 pub use config::{CellKind, DeepRnnConfig, Direction};
 pub use dense::Dense;
 pub use error::RnnError;
-pub use evaluator::{CountingEvaluator, ExactEvaluator, NeuronEvaluator, NeuronRef};
+pub use evaluator::{
+    CountingEvaluator, ExactEvaluator, NeuronEvaluator, NeuronRef, PerNeuronEvaluator,
+};
 pub use gate::{Gate, GateId, GateKind};
 pub use gru::{GruCell, GruState};
 pub use layer::Layer;
 pub use lstm::{LstmCell, LstmState};
 pub use network::DeepRnn;
+pub use scratch::CellScratch;
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RnnError>;

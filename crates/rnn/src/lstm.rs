@@ -3,6 +3,7 @@
 use crate::error::RnnError;
 use crate::evaluator::NeuronEvaluator;
 use crate::gate::{Gate, GateId, GateKind};
+use crate::scratch::CellScratch;
 use crate::Result;
 use nfm_tensor::activation::Activation;
 use nfm_tensor::rng::DeterministicRng;
@@ -71,9 +72,7 @@ impl LstmCell {
         }
         if hid != neurons {
             return Err(RnnError::InvalidConfig {
-                what: format!(
-                    "LSTM recurrent width {hid} must equal neuron count {neurons}"
-                ),
+                what: format!("LSTM recurrent width {hid} must equal neuron count {neurons}"),
             });
         }
         Ok(LstmCell {
@@ -173,11 +172,99 @@ impl LstmCell {
         self.hidden_size() * GateKind::LSTM.len()
     }
 
-    /// Advances the cell by one timestep.
+    /// Advances the cell by one timestep, writing the next state into
+    /// `next` and reusing the caller-owned `scratch` buffers: the
+    /// steady-state path performs zero allocations.
     ///
     /// `layer`/`direction` locate this cell inside the deep network so the
     /// evaluator can key its memoization tables; `timestep` is the element
-    /// index within the current sequence.
+    /// index within the current sequence.  `state` and `next` must be
+    /// distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` or the state widths do not match the cell.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_into(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        x: &[f32],
+        state: &LstmState,
+        next: &mut LstmState,
+        scratch: &mut CellScratch,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        let hidden = self.hidden_size();
+        if state.h.len() != hidden || state.c.len() != hidden {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "LSTM state width {} does not match hidden size {}",
+                    state.h.len(),
+                    hidden
+                ),
+            });
+        }
+        next.h.resize(hidden, 0.0);
+        next.c.resize(hidden, 0.0);
+        let id = |kind| GateId::new(layer, direction, kind);
+        let h_prev = state.h.as_slice();
+        let c_prev = state.c.as_slice();
+        let (ib, fb, gb) = scratch.bufs(hidden);
+        self.input.evaluate_into(
+            id(GateKind::Input),
+            timestep,
+            x,
+            h_prev,
+            Some(c_prev),
+            evaluator,
+            ib,
+        )?;
+        self.forget.evaluate_into(
+            id(GateKind::Forget),
+            timestep,
+            x,
+            h_prev,
+            Some(c_prev),
+            evaluator,
+            fb,
+        )?;
+        self.candidate.evaluate_into(
+            id(GateKind::Candidate),
+            timestep,
+            x,
+            h_prev,
+            None,
+            evaluator,
+            gb,
+        )?;
+        // c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+        for (n, c_next) in next.c.as_mut_slice().iter_mut().enumerate() {
+            *c_next = fb[n] * c_prev[n] + ib[n] * gb[n];
+        }
+        // The output-gate peephole uses the previous cell state (see the
+        // cell docs); `ib` is free again and holds o_t.
+        self.output.evaluate_into(
+            id(GateKind::Output),
+            timestep,
+            x,
+            h_prev,
+            Some(c_prev),
+            evaluator,
+            ib,
+        )?;
+        // h_t = o_t ⊙ ϕ(c_t)
+        let c_next = next.c.as_slice();
+        for (n, h_next) in next.h.as_mut_slice().iter_mut().enumerate() {
+            *h_next = ib[n] * c_next[n].tanh();
+        }
+        Ok(())
+    }
+
+    /// Advances the cell by one timestep, returning a freshly allocated
+    /// state.  Sequence loops use [`LstmCell::step_into`] with reused
+    /// buffers instead.
     ///
     /// # Errors
     ///
@@ -191,53 +278,19 @@ impl LstmCell {
         state: &LstmState,
         evaluator: &mut dyn NeuronEvaluator,
     ) -> Result<LstmState> {
-        if state.h.len() != self.hidden_size() || state.c.len() != self.hidden_size() {
-            return Err(RnnError::InvalidConfig {
-                what: format!(
-                    "LSTM state width {} does not match hidden size {}",
-                    state.h.len(),
-                    self.hidden_size()
-                ),
-            });
-        }
-        let id = |kind| GateId::new(layer, direction, kind);
-        let i_t = self.input.evaluate(
-            id(GateKind::Input),
+        let mut next = LstmState::zeros(self.hidden_size());
+        let mut scratch = CellScratch::for_hidden(self.hidden_size());
+        self.step_into(
+            layer,
+            direction,
             timestep,
-            x,
-            &state.h,
-            Some(&state.c),
+            x.as_slice(),
+            state,
+            &mut next,
+            &mut scratch,
             evaluator,
         )?;
-        let f_t = self.forget.evaluate(
-            id(GateKind::Forget),
-            timestep,
-            x,
-            &state.h,
-            Some(&state.c),
-            evaluator,
-        )?;
-        let g_t = self.candidate.evaluate(
-            id(GateKind::Candidate),
-            timestep,
-            x,
-            &state.h,
-            None,
-            evaluator,
-        )?;
-        // c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
-        let c_t = f_t.hadamard(&state.c)?.add(&i_t.hadamard(&g_t)?)?;
-        let o_t = self.output.evaluate(
-            id(GateKind::Output),
-            timestep,
-            x,
-            &state.h,
-            Some(&state.c),
-            evaluator,
-        )?;
-        // h_t = o_t ⊙ ϕ(c_t)
-        let h_t = o_t.hadamard(&c_t.map(|v| v.tanh()))?;
-        Ok(LstmState { h: h_t, c: c_t })
+        Ok(next)
     }
 }
 
@@ -321,7 +374,17 @@ mod tests {
     #[test]
     fn new_rejects_mismatched_gates() {
         let mut rng = DeterministicRng::seed_from_u64(5);
-        let g4 = || Gate::random(4, 4, 4, Activation::Sigmoid, false, &mut DeterministicRng::seed_from_u64(1)).unwrap();
+        let g4 = || {
+            Gate::random(
+                4,
+                4,
+                4,
+                Activation::Sigmoid,
+                false,
+                &mut DeterministicRng::seed_from_u64(1),
+            )
+            .unwrap()
+        };
         let g_bad = Gate::random(3, 4, 3, Activation::Sigmoid, false, &mut rng).unwrap();
         assert!(LstmCell::new(g4(), g4(), g4(), g_bad).is_err());
     }

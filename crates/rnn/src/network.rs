@@ -90,12 +90,7 @@ impl DeepRnn {
             layers.push(layer);
         }
         let head = match config.head_size() {
-            Some(out) => Some(Dense::random(
-                layer_input,
-                out,
-                Activation::Identity,
-                rng,
-            )?),
+            Some(out) => Some(Dense::random(layer_input, out, Activation::Identity, rng)?),
             None => None,
         };
         DeepRnn::new(layers, head)
@@ -316,7 +311,10 @@ mod tests {
         let mut rng = DeterministicRng::seed_from_u64(8);
         let net = DeepRnn::random(&cfg, &mut rng).unwrap();
         let mut eval = ExactEvaluator::new();
-        assert!(matches!(net.run(&[], &mut eval), Err(RnnError::EmptySequence)));
+        assert!(matches!(
+            net.run(&[], &mut eval),
+            Err(RnnError::EmptySequence)
+        ));
         let bad = vec![Vector::zeros(2)];
         assert!(matches!(
             net.run(&bad, &mut eval),

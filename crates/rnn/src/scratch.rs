@@ -1,0 +1,86 @@
+//! Reusable per-cell scratch buffers for allocation-free stepping.
+//!
+//! A cell step needs at most three gate-width working buffers alive at
+//! once (LSTM: `i_t`, `f_t`, `g_t` before the cell-state update, with
+//! the output gate reusing the first buffer; GRU: `z_t`, `r_t ⊙ h_{t-1}`
+//! and the candidate).  [`CellScratch`] owns them and is threaded through
+//! [`LstmCell::step_into`](crate::LstmCell::step_into) /
+//! [`GruCell::step_into`](crate::GruCell::step_into) by the sequence
+//! loops, so the steady-state per-timestep allocation count of inference
+//! is zero (only the returned per-timestep outputs are allocated).
+//!
+//! Ownership rule: the *caller* owns the scratch and may reuse it across
+//! timesteps, sequences and cells of the same width; the cell only
+//! requires the buffers for the duration of one `step_into` call and
+//! never stores references to them.
+
+/// Three reusable gate-width buffers.
+#[derive(Debug, Clone, Default)]
+pub struct CellScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl CellScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CellScratch::default()
+    }
+
+    /// Creates scratch pre-sized for a cell with `hidden` neurons per
+    /// gate.
+    pub fn for_hidden(hidden: usize) -> Self {
+        CellScratch {
+            a: vec![0.0; hidden],
+            b: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+
+    /// Returns the three buffers resized to `hidden`, as disjoint
+    /// mutable slices.  Resizing only allocates when the requested width
+    /// grows beyond any previously seen width.
+    pub fn bufs(&mut self, hidden: usize) -> (&mut [f32], &mut [f32], &mut [f32]) {
+        if self.a.len() < hidden {
+            self.a.resize(hidden, 0.0);
+            self.b.resize(hidden, 0.0);
+            self.c.resize(hidden, 0.0);
+        }
+        (
+            &mut self.a[..hidden],
+            &mut self.b[..hidden],
+            &mut self.c[..hidden],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_disjoint_and_sized() {
+        let mut s = CellScratch::new();
+        let (a, b, c) = s.bufs(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(c.len(), 4);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        c[0] = 3.0;
+        let (a2, b2, c2) = s.bufs(4);
+        assert_eq!((a2[0], b2[0], c2[0]), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn buffers_grow_but_never_shrink_storage() {
+        let mut s = CellScratch::for_hidden(2);
+        {
+            let (a, _, _) = s.bufs(8);
+            assert_eq!(a.len(), 8);
+        }
+        let (a, _, _) = s.bufs(2);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,9 +1,12 @@
-//! Property-based tests on RNN inference invariants.
+//! Property-style tests on RNN inference invariants, exercised over
+//! seeded deterministic sampling loops (the container has no `proptest`).
 
-use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig, Direction, ExactEvaluator, GruCell, GruState, LstmCell, LstmState};
+use nfm_rnn::{
+    CellKind, DeepRnn, DeepRnnConfig, Direction, ExactEvaluator, GruCell, GruState, LstmCell,
+    LstmState,
+};
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
-use proptest::prelude::*;
 
 fn sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
     let mut rng = DeterministicRng::seed_from_u64(seed);
@@ -12,11 +15,12 @@ fn sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn gru_hidden_state_is_a_convex_combination(seed in 0u64..500, steps in 1usize..10) {
+#[test]
+fn gru_hidden_state_is_a_convex_combination() {
+    let mut outer = DeterministicRng::seed_from_u64(10);
+    for _ in 0..24 {
+        let seed = outer.index(500) as u64;
+        let steps = 1 + outer.index(9);
         // h_t is elementwise between h_{t-1} and tanh(...) in [-1, 1], so
         // it can never leave [-1, 1].
         let mut rng = DeterministicRng::seed_from_u64(seed);
@@ -25,31 +29,42 @@ proptest! {
         let mut eval = ExactEvaluator::new();
         for (t, x) in sequence(steps, 5, seed ^ 0xABC).iter().enumerate() {
             state = cell.step(0, 0, t, x, &state, &mut eval).unwrap();
-            prop_assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+            assert!(state.h.norm_inf() <= 1.0 + 1e-5);
         }
     }
+}
 
-    #[test]
-    fn lstm_hidden_output_is_bounded_by_one(seed in 0u64..500, steps in 1usize..10) {
+#[test]
+fn lstm_hidden_output_is_bounded_by_one() {
+    let mut outer = DeterministicRng::seed_from_u64(11);
+    for _ in 0..24 {
+        let seed = outer.index(500) as u64;
+        let steps = 1 + outer.index(9);
         let mut rng = DeterministicRng::seed_from_u64(seed);
         let cell = LstmCell::random(4, 6, true, &mut rng).unwrap();
         let mut state = LstmState::zeros(6);
         let mut eval = ExactEvaluator::new();
         for (t, x) in sequence(steps, 4, seed ^ 0xDEF).iter().enumerate() {
             state = cell.step(0, 0, t, x, &state, &mut eval).unwrap();
-            prop_assert!(state.h.norm_inf() <= 1.0 + 1e-5);
-            prop_assert!(state.c.iter().all(|v| v.is_finite()));
+            assert!(state.h.norm_inf() <= 1.0 + 1e-5);
+            assert!(state.c.iter().all(|v| v.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn inference_is_deterministic_and_counts_are_exact(
-        seed in 0u64..300,
-        layers in 1usize..3,
-        steps in 1usize..6,
-        bidirectional in any::<bool>(),
-    ) {
-        let direction = if bidirectional { Direction::Bidirectional } else { Direction::Unidirectional };
+#[test]
+fn inference_is_deterministic_and_counts_are_exact() {
+    let mut outer = DeterministicRng::seed_from_u64(12);
+    for _ in 0..24 {
+        let seed = outer.index(300) as u64;
+        let layers = 1 + outer.index(2);
+        let steps = 1 + outer.index(5);
+        let bidirectional = outer.coin(0.5);
+        let direction = if bidirectional {
+            Direction::Bidirectional
+        } else {
+            Direction::Unidirectional
+        };
         let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 5)
             .layers(layers)
             .direction(direction);
@@ -60,33 +75,45 @@ proptest! {
         let mut e2 = ExactEvaluator::new();
         let a = net.run(&seq, &mut e1).unwrap();
         let b = net.run(&seq, &mut e2).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(e1.evaluations(), e2.evaluations());
-        prop_assert_eq!(
+        assert_eq!(a, b);
+        assert_eq!(e1.evaluations(), e2.evaluations());
+        assert_eq!(
             e1.evaluations() as usize,
             steps * net.neuron_evaluations_per_step()
         );
     }
+}
 
-    #[test]
-    fn output_width_matches_configuration(
-        seed in 0u64..200,
-        hidden in 2usize..8,
-        head in prop::option::of(1usize..5),
-        bidirectional in any::<bool>(),
-    ) {
-        let direction = if bidirectional { Direction::Bidirectional } else { Direction::Unidirectional };
+#[test]
+fn output_width_matches_configuration() {
+    let mut outer = DeterministicRng::seed_from_u64(13);
+    for _ in 0..24 {
+        let seed = outer.index(200) as u64;
+        let hidden = 2 + outer.index(6);
+        let head = if outer.coin(0.5) {
+            Some(1 + outer.index(4))
+        } else {
+            None
+        };
+        let bidirectional = outer.coin(0.5);
+        let direction = if bidirectional {
+            Direction::Bidirectional
+        } else {
+            Direction::Unidirectional
+        };
         let mut cfg = DeepRnnConfig::new(CellKind::Gru, 3, hidden).direction(direction);
         if let Some(h) = head {
             cfg = cfg.output_size(h);
         }
         let mut rng = DeterministicRng::seed_from_u64(seed);
         let net = DeepRnn::random(&cfg, &mut rng).unwrap();
-        let out = net.run(&sequence(3, 3, seed), &mut ExactEvaluator::new()).unwrap();
+        let out = net
+            .run(&sequence(3, 3, seed), &mut ExactEvaluator::new())
+            .unwrap();
         let expected = match head {
             Some(h) => h,
             None => hidden * direction.cells_per_layer(),
         };
-        prop_assert!(out.iter().all(|v| v.len() == expected));
+        assert!(out.iter().all(|v| v.len() == expected));
     }
 }

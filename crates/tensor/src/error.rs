@@ -120,10 +120,14 @@ mod tests {
 
     #[test]
     fn display_empty_and_invalid() {
-        assert!(TensorError::Empty { op: "mean" }.to_string().contains("mean"));
-        assert!(TensorError::InvalidParameter { what: "bins must be > 0" }
+        assert!(TensorError::Empty { op: "mean" }
             .to_string()
-            .contains("bins"));
+            .contains("mean"));
+        assert!(TensorError::InvalidParameter {
+            what: "bins must be > 0"
+        }
+        .to_string()
+        .contains("bins"));
     }
 
     #[test]

@@ -89,12 +89,8 @@ mod tests {
         let m = Initializer::XavierNormal.matrix(&mut rng, 100, 100);
         let expected_std = (2.0 / 200.0_f32).sqrt();
         let mean: f32 = m.as_slice().iter().sum::<f32>() / m.element_count() as f32;
-        let var: f32 = m
-            .as_slice()
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f32>()
-            / m.element_count() as f32;
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / m.element_count() as f32;
         assert!((var.sqrt() - expected_std).abs() < expected_std * 0.2);
     }
 

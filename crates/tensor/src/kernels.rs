@@ -1,0 +1,279 @@
+//! Fused, allocation-free inference kernels.
+//!
+//! These are the hot loops of the whole reproduction: every recurrent
+//! gate evaluation reduces to two dense matrix-vector products over the
+//! gate's weight rows.  The kernels here are written so that
+//!
+//! * the caller owns every output buffer (`*_into` signatures — the
+//!   steady-state inference path performs no allocation),
+//! * the inner dot product uses eight independent accumulators over
+//!   `chunks_exact(8)`, which LLVM auto-vectorizes because the partial
+//!   sums carry no loop-to-loop dependency,
+//! * the *reduction order is fixed* and shared by every entry point
+//!   ([`dot_unchecked`] is the single implementation), so the batched
+//!   gate path and the per-neuron fallback produce bit-identical
+//!   results.
+//!
+//! Dimension checks happen once per call, not once per row or element;
+//! the row loops use `chunks_exact` so the optimizer can drop bounds
+//! checks.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Number of independent accumulators in the unrolled dot product.
+const LANES: usize = 8;
+
+/// Unchecked dot product with a fixed unrolled reduction order.
+///
+/// Both slices must have the same length; the caller is responsible for
+/// checking (this is what lets gate-level code validate dimensions once
+/// and then run every neuron row check-free).
+///
+/// # Panics
+///
+/// May panic (on the shorter slice's bounds) if the lengths differ —
+/// never returns a wrong value silently.
+#[inline]
+pub fn dot_unchecked(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += pa[l] * pb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+        tail += x * y;
+    }
+    // Fixed pairwise reduction: keep this order in sync with nothing —
+    // it IS the canonical order every caller inherits.
+    let head = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    head + tail
+}
+
+/// Matrix-vector product into a caller-owned buffer: `out = m * x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != m.cols()` or
+/// [`TensorError::LengthMismatch`] if `out.len() != m.rows()`.
+pub fn matvec_into(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<()> {
+    if x.len() != m.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: m.rows(),
+            cols: m.cols(),
+            vec_len: x.len(),
+            op: "matvec_into",
+        });
+    }
+    if out.len() != m.rows() {
+        return Err(TensorError::LengthMismatch {
+            left: out.len(),
+            right: m.rows(),
+            op: "matvec_into",
+        });
+    }
+    let cols = m.cols().max(1);
+    for (row, o) in m.as_slice().chunks_exact(cols).zip(out.iter_mut()) {
+        *o = dot_unchecked(row, x);
+    }
+    Ok(())
+}
+
+/// Fused dual matrix-vector product into a caller-owned buffer:
+/// `out[n] = wx[n]·x + wh[n]·h` — the pre-activation dot product of every
+/// neuron of a recurrent gate, without bias.
+///
+/// This is the batched form of the quantity the paper's fuzzy
+/// memoization scheme decides to compute or reuse, so it is exactly what
+/// the exact (baseline) evaluator runs per gate per timestep.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn dual_matvec_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    if x.len() != wx.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: wx.rows(),
+            cols: wx.cols(),
+            vec_len: x.len(),
+            op: "dual_matvec_into(x)",
+        });
+    }
+    if h.len() != wh.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: wh.rows(),
+            cols: wh.cols(),
+            vec_len: h.len(),
+            op: "dual_matvec_into(h)",
+        });
+    }
+    if wx.rows() != wh.rows() || out.len() != wx.rows() {
+        return Err(TensorError::LengthMismatch {
+            left: out.len(),
+            right: wx.rows(),
+            op: "dual_matvec_into(out)",
+        });
+    }
+    let xc = wx.cols().max(1);
+    let hc = wh.cols().max(1);
+    for ((rx, rh), o) in wx
+        .as_slice()
+        .chunks_exact(xc)
+        .zip(wh.as_slice().chunks_exact(hc))
+        .zip(out.iter_mut())
+    {
+        // Keep the `fwd + rec` order of Gate::neuron_dot so both paths
+        // are bit-identical.
+        *o = dot_unchecked(rx, x) + dot_unchecked(rh, h);
+    }
+    Ok(())
+}
+
+/// Fused gate pre-activation into a caller-owned buffer:
+/// `out[n] = wx[n]·x + wh[n]·h + bias[n]`.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn gate_preact_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    bias: &[f32],
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    dual_matvec_into(wx, wh, x, h, out)?;
+    if bias.len() != out.len() {
+        return Err(TensorError::LengthMismatch {
+            left: bias.len(),
+            right: out.len(),
+            op: "gate_preact_into(bias)",
+        });
+    }
+    for (o, b) in out.iter_mut().zip(bias.iter()) {
+        *o += b;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+    use crate::vector::dot;
+    use crate::Vector;
+
+    fn random_matrix(rng: &mut DeterministicRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
+    }
+
+    #[test]
+    fn dot_unchecked_matches_checked_dot_bitwise() {
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 31, 64, 100, 257] {
+            let a: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            assert_eq!(
+                dot_unchecked(&a, &b).to_bits(),
+                dot(&a, &b).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dot_unchecked_is_accurate() {
+        // Compare against a f64 reference on a long vector.
+        let mut rng = DeterministicRng::seed_from_u64(2);
+        let a: Vec<f32> = (0..1000).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..1000).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let reference: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum();
+        assert!((dot_unchecked(&a, &b) as f64 - reference).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        for (rows, cols) in [(1, 1), (3, 5), (8, 8), (13, 21)] {
+            let m = random_matrix(&mut rng, rows, cols);
+            let x: Vec<f32> = (0..cols).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut out = vec![0.0f32; rows];
+            matvec_into(&m, &x, &mut out).unwrap();
+            let reference = m.matvec(&Vector::from(x)).unwrap();
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn matvec_into_validates_shapes() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = vec![0.0; 2];
+        assert!(matvec_into(&m, &[1.0, 2.0], &mut out).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(matvec_into(&m, &[1.0, 2.0, 3.0], &mut short).is_err());
+    }
+
+    #[test]
+    fn dual_matvec_matches_row_dots_bitwise() {
+        let mut rng = DeterministicRng::seed_from_u64(4);
+        let (neurons, input, hidden) = (9, 13, 9);
+        let wx = random_matrix(&mut rng, neurons, input);
+        let wh = random_matrix(&mut rng, neurons, hidden);
+        let x: Vec<f32> = (0..input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..hidden).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut out = vec![0.0f32; neurons];
+        dual_matvec_into(&wx, &wh, &x, &h, &mut out).unwrap();
+        for (n, &o) in out.iter().enumerate() {
+            let reference = wx.row_dot(n, &x).unwrap() + wh.row_dot(n, &h).unwrap();
+            assert_eq!(o.to_bits(), reference.to_bits(), "neuron {n}");
+        }
+    }
+
+    #[test]
+    fn dual_matvec_validates_shapes() {
+        let wx = Matrix::zeros(2, 3);
+        let wh = Matrix::zeros(2, 2);
+        let mut out = vec![0.0; 2];
+        assert!(dual_matvec_into(&wx, &wh, &[0.0; 2], &[0.0; 2], &mut out).is_err());
+        assert!(dual_matvec_into(&wx, &wh, &[0.0; 3], &[0.0; 3], &mut out).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(dual_matvec_into(&wx, &wh, &[0.0; 3], &[0.0; 2], &mut short).is_err());
+        let wh_bad = Matrix::zeros(3, 2);
+        assert!(dual_matvec_into(&wx, &wh_bad, &[0.0; 3], &[0.0; 2], &mut out).is_err());
+    }
+
+    #[test]
+    fn gate_preact_adds_bias_last() {
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let (neurons, input, hidden) = (5, 4, 5);
+        let wx = random_matrix(&mut rng, neurons, input);
+        let wh = random_matrix(&mut rng, neurons, hidden);
+        let bias: Vec<f32> = (0..neurons).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let x: Vec<f32> = (0..input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..hidden).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut out = vec![0.0f32; neurons];
+        gate_preact_into(&wx, &wh, &bias, &x, &h, &mut out).unwrap();
+        for n in 0..neurons {
+            let reference = (wx.row_dot(n, &x).unwrap() + wh.row_dot(n, &h).unwrap()) + bias[n];
+            assert_eq!(out[n].to_bits(), reference.to_bits());
+        }
+        let mut short_bias = vec![0.0f32; neurons];
+        assert!(gate_preact_into(&wx, &wh, &bias[..2], &x, &h, &mut short_bias).is_err());
+    }
+}

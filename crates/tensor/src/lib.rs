@@ -28,6 +28,7 @@
 pub mod activation;
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod quant;
 pub mod rng;

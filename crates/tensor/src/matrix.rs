@@ -172,11 +172,8 @@ impl Matrix {
                 op: "matvec",
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            // Row lengths are guaranteed equal, so `dot` cannot fail here.
-            out.push(dot(self.row(r), x.as_slice()).expect("row/vector length checked"));
-        }
+        let mut out = vec![0.0f32; self.rows];
+        crate::kernels::matvec_into(self, x.as_slice(), &mut out).expect("shapes checked above");
         Ok(Vector::from(out))
     }
 
@@ -240,7 +237,10 @@ mod tests {
         let ok = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert!(ok.is_ok());
         let ragged = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
-        assert!(matches!(ragged, Err(TensorError::RaggedRows { row: 1, .. })));
+        assert!(matches!(
+            ragged,
+            Err(TensorError::RaggedRows { row: 1, .. })
+        ));
         let empty = Matrix::from_rows(vec![]);
         assert!(matches!(empty, Err(TensorError::Empty { .. })));
     }

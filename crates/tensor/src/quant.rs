@@ -125,7 +125,9 @@ pub fn fake_linear_quantize(value: f32, max_abs: f32, bits: u32) -> f32 {
     }
     let levels = (1i64 << (bits - 1)) - 1;
     let scale = levels as f32 / max_abs;
-    let q = (value * scale).round().clamp(-(levels as f32), levels as f32);
+    let q = (value * scale)
+        .round()
+        .clamp(-(levels as f32), levels as f32);
     q / scale
 }
 

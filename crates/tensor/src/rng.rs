@@ -4,26 +4,57 @@
 //! this repository is seeded so experiments are exactly reproducible from
 //! run to run — the analogue of the fixed trained models and test sets of
 //! the paper.
+//!
+//! The generator is a self-contained xoshiro256** seeded through
+//! SplitMix64, so the crate stays dependency-free and the streams are
+//! identical on every platform.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A small wrapper around a seeded [`StdRng`] with the handful of draws
-/// the repository needs (uniform, normal via Box–Muller, booleans).
+/// A small seeded generator with the handful of draws the repository
+/// needs (uniform, normal via Box–Muller, booleans).
 ///
-/// Keeping the wrapper here avoids scattering `rand` version details over
-/// the higher-level crates.
+/// Keeping the wrapper here avoids scattering generator details over the
+/// higher-level crates.
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, the
+        // standard recommended seeding procedure.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DeterministicRng {
-            rng: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 24 bits of mantissa entropy.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform draw in `[low, high)`.
@@ -33,14 +64,14 @@ impl DeterministicRng {
     /// Panics if `low >= high`.
     pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
         assert!(low < high, "uniform range must be non-empty");
-        self.rng.gen_range(low..high)
+        low + (high - low) * self.next_f32()
     }
 
     /// Standard-normal draw using the Box–Muller transform.
     pub fn normal(&mut self) -> f32 {
         // Avoid ln(0) by sampling u1 from (0, 1].
-        let u1: f32 = 1.0 - self.rng.gen::<f32>();
-        let u2: f32 = self.rng.gen();
+        let u1: f32 = 1.0 - self.next_f32();
+        let u2: f32 = self.next_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -56,18 +87,21 @@ impl DeterministicRng {
     /// Panics if `bound == 0`.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.rng.gen_range(0..bound)
+        // Multiply-shift rejection-free mapping; the tiny bias is
+        // irrelevant for synthetic data generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn coin(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
     }
 
     /// Derives a child generator; useful to give each layer/gate its own
     /// stream while keeping the top-level seed the only free parameter.
     pub fn fork(&mut self, stream: u64) -> DeterministicRng {
-        let base: u64 = self.rng.gen();
+        let base: u64 = self.next_u64();
         DeterministicRng::seed_from_u64(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 }
@@ -153,5 +187,15 @@ mod tests {
     fn uniform_empty_range_panics() {
         let mut r = DeterministicRng::seed_from_u64(0);
         let _ = r.uniform(1.0, 1.0);
+    }
+
+    #[test]
+    fn index_distribution_covers_all_buckets() {
+        let mut r = DeterministicRng::seed_from_u64(17);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[r.index(4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
     }
 }

@@ -138,7 +138,7 @@ impl Histogram {
                 what: "histogram needs at least one bin",
             });
         }
-        if !(min < max) {
+        if min >= max {
             return Err(TensorError::InvalidParameter {
                 what: "histogram range must satisfy min < max",
             });
@@ -212,7 +212,10 @@ impl Histogram {
     pub fn bin_bounds(&self, i: usize) -> (f32, f32) {
         assert!(i < self.counts.len(), "bin index out of range");
         let width = (self.max - self.min) / self.counts.len() as f32;
-        (self.min + width * i as f32, self.min + width * (i + 1) as f32)
+        (
+            self.min + width * i as f32,
+            self.min + width * (i + 1) as f32,
+        )
     }
 
     /// Samples that fell below/above the range.
@@ -240,7 +243,9 @@ pub struct CdfPoint {
 /// [`TensorError::InvalidParameter`] if `points < 2`.
 pub fn empirical_cdf(xs: &[f32], points: usize) -> Result<Vec<CdfPoint>> {
     if xs.is_empty() {
-        return Err(TensorError::Empty { op: "empirical_cdf" });
+        return Err(TensorError::Empty {
+            op: "empirical_cdf",
+        });
     }
     if points < 2 {
         return Err(TensorError::InvalidParameter {
@@ -309,7 +314,9 @@ impl Summary {
 /// [`TensorError::InvalidParameter`] if any value is not positive.
 pub fn geometric_mean(xs: &[f32]) -> Result<f32> {
     if xs.is_empty() {
-        return Err(TensorError::Empty { op: "geometric_mean" });
+        return Err(TensorError::Empty {
+            op: "geometric_mean",
+        });
     }
     if xs.iter().any(|&v| v <= 0.0) {
         return Err(TensorError::InvalidParameter {

@@ -39,9 +39,9 @@ impl Vector {
     }
 
     /// Builds a vector by evaluating `f` at each index.
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f32) -> Self {
         Vector {
-            data: (0..len).map(|i| f(i)).collect(),
+            data: (0..len).map(f).collect(),
         }
     }
 
@@ -68,6 +68,13 @@ impl Vector {
     /// Consumes the vector, returning the underlying storage.
     pub fn into_inner(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Resizes the vector in place, filling any new elements with
+    /// `value`.  Used by the allocation-free stepping paths to make a
+    /// reused state buffer match a cell's width.
+    pub fn resize(&mut self, len: usize, value: f32) {
+        self.data.resize(len, value);
     }
 
     /// Iterate over elements by value.
@@ -289,7 +296,9 @@ impl std::ops::IndexMut<usize> for Vector {
 ///
 /// This is the hot inner loop of full-precision RNN inference; it is kept
 /// as a free function over slices so both [`Vector`] and the accelerator
-/// model can share it.
+/// model can share it.  The actual reduction is the unrolled
+/// multi-accumulator kernel in [`crate::kernels::dot_unchecked`], so
+/// every checked and unchecked caller produces bit-identical sums.
 ///
 /// # Errors
 ///
@@ -303,7 +312,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> Result<f32> {
             op: "dot",
         });
     }
-    Ok(a.iter().zip(b.iter()).map(|(x, y)| x * y).sum())
+    Ok(crate::kernels::dot_unchecked(a, b))
 }
 
 /// Relative difference `|a - b| / |a|` used throughout the paper
@@ -347,10 +356,7 @@ mod tests {
     fn dot_length_mismatch_errors() {
         let a = Vector::from(vec![1.0, 2.0]);
         let b = Vector::from(vec![1.0]);
-        assert!(matches!(
-            a.dot(&b),
-            Err(TensorError::LengthMismatch { .. })
-        ));
+        assert!(matches!(a.dot(&b), Err(TensorError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -1,129 +1,168 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-style tests for the linear-algebra substrate, exercised over
+//! seeded deterministic sampling loops (the container has no `proptest`).
 
 use nfm_tensor::activation::{sigmoid, softmax, tanh, Activation};
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::quant::{fake_linear_quantize, quantize_f16};
+use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::stats::{mean, std_dev, Histogram, Summary};
 use nfm_tensor::vector::{dot, Vector};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn vec_f32(rng: &mut DeterministicRng, len: usize, low: f32, high: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(low, high)).collect()
+}
 
-    #[test]
-    fn dot_product_is_commutative_and_linear(
-        pairs in prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 1..64),
-        k in -4.0f32..4.0,
-    ) {
-        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn dot_product_is_commutative_and_linear() {
+    let mut rng = DeterministicRng::seed_from_u64(20);
+    for _ in 0..96 {
+        let len = 1 + rng.index(63);
+        let a = vec_f32(&mut rng, len, -10.0, 10.0);
+        let b = vec_f32(&mut rng, len, -10.0, 10.0);
+        let k = rng.uniform(-4.0, 4.0);
         let ab = dot(&a, &b).unwrap();
         let ba = dot(&b, &a).unwrap();
-        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+        assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
         let ka: Vec<f32> = a.iter().map(|x| x * k).collect();
         let kab = dot(&ka, &b).unwrap();
-        prop_assert!((kab - k * ab).abs() <= 1e-2 * (1.0 + (k * ab).abs()));
+        assert!((kab - k * ab).abs() <= 1e-2 * (1.0 + (k * ab).abs()));
     }
+}
 
-    #[test]
-    fn matvec_is_linear_in_the_vector(
-        rows in 1usize..8,
-        cols in 1usize..8,
-        seed in 0u64..1000,
-        k in -3.0f32..3.0,
-    ) {
-        let mut rng = nfm_tensor::rng::DeterministicRng::seed_from_u64(seed);
+#[test]
+fn matvec_is_linear_in_the_vector() {
+    let mut outer = DeterministicRng::seed_from_u64(21);
+    for _ in 0..96 {
+        let rows = 1 + outer.index(7);
+        let cols = 1 + outer.index(7);
+        let seed = outer.index(1000) as u64;
+        let k = outer.uniform(-3.0, 3.0);
+        let mut rng = DeterministicRng::seed_from_u64(seed);
         let m = nfm_tensor::init::Initializer::XavierUniform.matrix(&mut rng, rows, cols);
         let x = Vector::from_fn(cols, |_| rng.uniform(-1.0, 1.0));
         let y = m.matvec(&x).unwrap();
         let ky = m.matvec(&x.scale(k)).unwrap();
         for i in 0..rows {
-            prop_assert!((ky[i] - k * y[i]).abs() < 1e-3);
+            assert!((ky[i] - k * y[i]).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn transpose_is_an_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {
-        let mut rng = nfm_tensor::rng::DeterministicRng::seed_from_u64(seed);
+#[test]
+fn transpose_is_an_involution() {
+    let mut outer = DeterministicRng::seed_from_u64(22);
+    for _ in 0..96 {
+        let rows = 1 + outer.index(5);
+        let cols = 1 + outer.index(5);
+        let seed = outer.index(100) as u64;
+        let mut rng = DeterministicRng::seed_from_u64(seed);
         let m = Matrix::from_fn(rows, cols, |_, _| rng.uniform(-5.0, 5.0));
-        prop_assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn hadamard_and_add_are_elementwise(
-        pairs in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..32)
-    ) {
-        let a = Vector::from(pairs.iter().map(|p| p.0).collect::<Vec<_>>());
-        let b = Vector::from(pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+#[test]
+fn hadamard_and_add_are_elementwise() {
+    let mut rng = DeterministicRng::seed_from_u64(23);
+    for _ in 0..96 {
+        let len = 1 + rng.index(31);
+        let a = Vector::from(vec_f32(&mut rng, len, -5.0, 5.0));
+        let b = Vector::from(vec_f32(&mut rng, len, -5.0, 5.0));
         let h = a.hadamard(&b).unwrap();
         let s = a.add(&b).unwrap();
         for i in 0..a.len() {
-            prop_assert_eq!(h[i], a[i] * b[i]);
-            prop_assert_eq!(s[i], a[i] + b[i]);
+            assert_eq!(h[i], a[i] * b[i]);
+            assert_eq!(s[i], a[i] + b[i]);
         }
     }
+}
 
-    #[test]
-    fn sigmoid_and_tanh_are_monotone_and_bounded(a in -30.0f32..30.0, b in -30.0f32..30.0) {
+#[test]
+fn sigmoid_and_tanh_are_monotone_and_bounded() {
+    let mut rng = DeterministicRng::seed_from_u64(24);
+    for _ in 0..256 {
+        let a = rng.uniform(-30.0, 30.0);
+        let b = rng.uniform(-30.0, 30.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(sigmoid(lo) <= sigmoid(hi) + 1e-6);
-        prop_assert!(tanh(lo) <= tanh(hi) + 1e-6);
-        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
-        prop_assert!(tanh(a).abs() <= 1.0);
-        prop_assert!((0.0..=1.0).contains(&Activation::HardSigmoid.apply(a)));
+        assert!(sigmoid(lo) <= sigmoid(hi) + 1e-6);
+        assert!(tanh(lo) <= tanh(hi) + 1e-6);
+        assert!((0.0..=1.0).contains(&sigmoid(a)));
+        assert!(tanh(a).abs() <= 1.0);
+        assert!((0.0..=1.0).contains(&Activation::HardSigmoid.apply(a)));
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(values in prop::collection::vec(-20.0f32..20.0, 1..16)) {
+#[test]
+fn softmax_is_a_distribution() {
+    let mut rng = DeterministicRng::seed_from_u64(25);
+    for _ in 0..96 {
+        let len = 1 + rng.index(15);
+        let values = vec_f32(&mut rng, len, -20.0, 20.0);
         let p = softmax(&values);
-        prop_assert_eq!(p.len(), values.len());
-        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        assert_eq!(p.len(), values.len());
+        assert!(p.iter().all(|&v| v >= 0.0));
         let sum: f32 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
+        assert!((sum - 1.0).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn f16_quantization_never_increases_precision_error_twice(x in -1000.0f32..1000.0) {
+#[test]
+fn f16_quantization_never_increases_precision_error_twice() {
+    let mut rng = DeterministicRng::seed_from_u64(26);
+    for _ in 0..256 {
+        let x = rng.uniform(-1000.0, 1000.0);
         let q = quantize_f16(x);
-        prop_assert_eq!(quantize_f16(q), q);
+        assert_eq!(quantize_f16(q), q);
     }
+}
 
-    #[test]
-    fn linear_quantization_is_bounded_and_monotone(
-        a in -2.0f32..2.0,
-        b in -2.0f32..2.0,
-        bits in 2u32..12,
-    ) {
+#[test]
+fn linear_quantization_is_bounded_and_monotone() {
+    let mut rng = DeterministicRng::seed_from_u64(27);
+    for _ in 0..256 {
+        let a = rng.uniform(-2.0, 2.0);
+        let b = rng.uniform(-2.0, 2.0);
+        let bits = 2 + rng.index(10) as u32;
         let max_abs = 2.0;
         let qa = fake_linear_quantize(a, max_abs, bits);
         let qb = fake_linear_quantize(b, max_abs, bits);
-        prop_assert!(qa.abs() <= max_abs + 1e-5);
+        assert!(qa.abs() <= max_abs + 1e-5);
         if a <= b {
-            prop_assert!(qa <= qb + 1e-6);
+            assert!(qa <= qb + 1e-6);
         }
         // Quantization error is bounded by half a step.
         let step = max_abs / ((1i64 << (bits - 1)) - 1) as f32;
-        prop_assert!((qa - a).abs() <= step * 0.5 + 1e-6);
+        assert!((qa - a).abs() <= step * 0.5 + 1e-6);
     }
+}
 
-    #[test]
-    fn summary_and_moments_are_consistent(values in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+#[test]
+fn summary_and_moments_are_consistent() {
+    let mut rng = DeterministicRng::seed_from_u64(28);
+    for _ in 0..96 {
+        let len = 1 + rng.index(63);
+        let values = vec_f32(&mut rng, len, -50.0, 50.0);
         let s = Summary::of(&values).unwrap();
-        prop_assert!(s.min <= s.median + 1e-4);
-        prop_assert!(s.median <= s.max + 1e-4);
-        prop_assert!(s.min <= s.mean + 1e-3 && s.mean <= s.max + 1e-3);
-        prop_assert!((s.mean - mean(&values).unwrap()).abs() < 1e-4);
-        prop_assert!((s.std_dev - std_dev(&values).unwrap()).abs() < 1e-4);
-        prop_assert!(s.std_dev >= 0.0);
+        assert!(s.min <= s.median + 1e-4);
+        assert!(s.median <= s.max + 1e-4);
+        assert!(s.min <= s.mean + 1e-3 && s.mean <= s.max + 1e-3);
+        assert!((s.mean - mean(&values).unwrap()).abs() < 1e-4);
+        assert!((s.std_dev - std_dev(&values).unwrap()).abs() < 1e-4);
+        assert!(s.std_dev >= 0.0);
     }
+}
 
-    #[test]
-    fn histogram_conserves_samples(values in prop::collection::vec(-2.0f32..2.0, 0..128)) {
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = DeterministicRng::seed_from_u64(29);
+    for _ in 0..96 {
+        let len = rng.index(128);
+        let values = vec_f32(&mut rng, len, -2.0, 2.0);
         let mut h = Histogram::new(-1.0, 1.0, 8).unwrap();
         h.extend(values.iter().copied());
         let binned: u64 = h.counts().iter().sum();
         let (below, above) = h.out_of_range();
-        prop_assert_eq!(binned + below + above, values.len() as u64);
-        prop_assert_eq!(h.total(), values.len() as u64);
+        assert_eq!(binned + below + above, values.len() as u64);
+        assert_eq!(h.total(), values.len() as u64);
     }
 }

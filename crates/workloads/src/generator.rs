@@ -41,9 +41,9 @@ impl InputDomain {
     /// The domain used for a given network.
     pub fn for_network(id: NetworkId) -> InputDomain {
         match id {
-            NetworkId::DeepSpeech2 | NetworkId::Eesen => InputDomain::AudioFrames {
-                correlation: 0.95,
-            },
+            NetworkId::DeepSpeech2 | NetworkId::Eesen => {
+                InputDomain::AudioFrames { correlation: 0.95 }
+            }
             NetworkId::ImdbSentiment => InputDomain::TokenStream {
                 vocabulary: 512,
                 repeat_probability: 0.35,

@@ -170,7 +170,10 @@ impl NetworkSpec {
 
     /// Specifications of all four networks.
     pub fn all() -> Vec<NetworkSpec> {
-        NetworkId::ALL.iter().map(|&id| NetworkSpec::of(id)).collect()
+        NetworkId::ALL
+            .iter()
+            .map(|&id| NetworkSpec::of(id))
+            .collect()
     }
 
     /// Total neuron evaluations per timestep for the full-size network.
@@ -206,7 +209,10 @@ mod tests {
     #[test]
     fn table1_topologies_match_the_paper() {
         let imdb = NetworkSpec::of(NetworkId::ImdbSentiment);
-        assert_eq!((imdb.cell, imdb.layers, imdb.neurons), (CellKind::Lstm, 1, 128));
+        assert_eq!(
+            (imdb.cell, imdb.layers, imdb.neurons),
+            (CellKind::Lstm, 1, 128)
+        );
         let ds2 = NetworkSpec::of(NetworkId::DeepSpeech2);
         assert_eq!((ds2.cell, ds2.layers, ds2.neurons), (CellKind::Gru, 5, 800));
         let eesen = NetworkSpec::of(NetworkId::Eesen);
@@ -215,12 +221,18 @@ mod tests {
             (CellKind::Lstm, Direction::Bidirectional, 10, 320)
         );
         let mnmt = NetworkSpec::of(NetworkId::Mnmt);
-        assert_eq!((mnmt.cell, mnmt.layers, mnmt.neurons), (CellKind::Lstm, 8, 1024));
+        assert_eq!(
+            (mnmt.cell, mnmt.layers, mnmt.neurons),
+            (CellKind::Lstm, 8, 1024)
+        );
     }
 
     #[test]
     fn paper_reuse_and_accuracy_figures_are_recorded() {
-        assert_eq!(NetworkSpec::of(NetworkId::ImdbSentiment).paper_reuse_percent, 36.2);
+        assert_eq!(
+            NetworkSpec::of(NetworkId::ImdbSentiment).paper_reuse_percent,
+            36.2
+        );
         assert_eq!(NetworkSpec::of(NetworkId::DeepSpeech2).base_accuracy, 10.24);
         assert_eq!(NetworkSpec::of(NetworkId::Eesen).paper_reuse_percent, 30.5);
         assert_eq!(NetworkSpec::of(NetworkId::Mnmt).base_accuracy, 29.8);
@@ -245,10 +257,7 @@ mod tests {
     #[test]
     fn evaluations_per_step_account_for_directions() {
         let eesen = NetworkSpec::of(NetworkId::Eesen);
-        assert_eq!(
-            eesen.neuron_evaluations_per_step(),
-            10 * 2 * 320 * 4
-        );
+        assert_eq!(eesen.neuron_evaluations_per_step(), 10 * 2 * 320 * 4);
         let imdb = NetworkSpec::of(NetworkId::ImdbSentiment);
         assert_eq!(imdb.neuron_evaluations_per_step(), 128 * 4);
     }
@@ -256,7 +265,10 @@ mod tests {
     #[test]
     fn sweep_bounds_follow_the_metric() {
         assert_eq!(NetworkSpec::of(NetworkId::Eesen).threshold_sweep_max(), 0.6);
-        assert_eq!(NetworkSpec::of(NetworkId::ImdbSentiment).threshold_sweep_max(), 1.0);
+        assert_eq!(
+            NetworkSpec::of(NetworkId::ImdbSentiment).threshold_sweep_max(),
+            1.0
+        );
         assert_eq!(NetworkSpec::of(NetworkId::Mnmt).threshold_sweep_max(), 0.8);
     }
 

@@ -94,7 +94,10 @@ impl Workload {
     /// Total neuron evaluations an exact run of this workload performs.
     pub fn total_neuron_evaluations(&self) -> u64 {
         let per_step = self.network.neuron_evaluations_per_step() as u64;
-        self.sequences.iter().map(|s| s.len() as u64 * per_step).sum()
+        self.sequences
+            .iter()
+            .map(|s| s.len() as u64 * per_step)
+            .sum()
     }
 
     /// Total timesteps across all sequences.
@@ -269,7 +272,10 @@ mod tests {
             .unwrap();
         assert_eq!(w.network().layers().len(), 1);
         assert_eq!(w.network().layers()[0].forward_cell().hidden_size(), 128);
-        assert_eq!(w.network().layers()[0].forward_cell().kind(), CellKind::Lstm);
+        assert_eq!(
+            w.network().layers()[0].forward_cell().kind(),
+            CellKind::Lstm
+        );
         assert_eq!(w.scale(), 1.0);
     }
 
@@ -294,8 +300,14 @@ mod tests {
 
     #[test]
     fn builder_validates_parameters() {
-        assert!(WorkloadBuilder::new(NetworkId::Mnmt).scale(0.0).build().is_err());
-        assert!(WorkloadBuilder::new(NetworkId::Mnmt).scale(1.5).build().is_err());
+        assert!(WorkloadBuilder::new(NetworkId::Mnmt)
+            .scale(0.0)
+            .build()
+            .is_err());
+        assert!(WorkloadBuilder::new(NetworkId::Mnmt)
+            .scale(1.5)
+            .build()
+            .is_err());
         assert!(WorkloadBuilder::new(NetworkId::Mnmt)
             .sequences(0)
             .build()

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let baseline = MemoizedRunner::exact().run(&workload)?;
 
-    println!("\n{:>10} {:>18} {:>18} {:>14} {:>14}", "threshold", "oracle reuse (%)", "bnn reuse (%)", "oracle WER loss", "bnn WER loss");
+    println!(
+        "\n{:>10} {:>18} {:>18} {:>14} {:>14}",
+        "threshold", "oracle reuse (%)", "bnn reuse (%)", "oracle WER loss", "bnn WER loss"
+    );
     for theta in [0.0_f32, 0.1, 0.2, 0.3, 0.4, 0.6] {
         let oracle =
             MemoizedRunner::oracle(OracleMemoConfig::with_threshold(theta)).run(&workload)?;

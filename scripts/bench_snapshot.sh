@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records the inference-throughput perf baseline into BENCH_inference.json.
+#
+# Usage: scripts/bench_snapshot.sh [output-file]
+#
+# Runs the `inference_throughput` bench target (release/bench profile,
+# native CPU features) and writes the medians + derived speedups as JSON.
+# Commit the refreshed file so every optimisation PR is judged against
+# the recorded baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_inference.json}"
+case "$OUT" in
+  /*) : ;;
+  # cargo runs bench binaries from the package directory, so resolve the
+  # output path against the workspace root before handing it over.
+  *) OUT="$(pwd)/$OUT" ;;
+esac
+
+export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
+cargo bench -p nfm-bench --bench inference_throughput -- --save "$OUT"
+
+echo
+echo "Snapshot written to $OUT:"
+cat "$OUT"

@@ -22,7 +22,10 @@ fn exact_runner_is_reference_behaviour_for_every_network() {
         let w = workload(id, 1);
         let a = MemoizedRunner::exact().run(&w).unwrap();
         let b = MemoizedRunner::exact().run(&w).unwrap();
-        assert_eq!(a.outputs, b.outputs, "{id}: exact inference is deterministic");
+        assert_eq!(
+            a.outputs, b.outputs,
+            "{id}: exact inference is deterministic"
+        );
         assert_eq!(a.reuse_fraction(), 0.0);
         assert_eq!(
             a.stats.evaluations(),
@@ -76,7 +79,10 @@ fn bnn_reuse_grows_with_threshold_and_loss_stays_finite() {
                 }
             }
         }
-        assert!(last_reuse > 0.0, "{id}: generous thresholds must reuse something");
+        assert!(
+            last_reuse > 0.0,
+            "{id}: generous thresholds must reuse something"
+        );
     }
 }
 
@@ -96,7 +102,10 @@ fn bnn_predictor_evaluates_the_binary_network_every_step() {
         w.total_neuron_evaluations(),
         "every neuron evaluation request is accounted for"
     );
-    assert_eq!(memo.stats.computed() + memo.stats.reuses(), memo.stats.evaluations());
+    assert_eq!(
+        memo.stats.computed() + memo.stats.reuses(),
+        memo.stats.evaluations()
+    );
 }
 
 #[test]

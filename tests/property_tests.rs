@@ -1,5 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the reproduction.
+//! Property-style tests on the core data structures and invariants of
+//! the reproduction.
+//!
+//! The container has no access to the `proptest` crate, so the
+//! properties are exercised with seeded deterministic sampling loops
+//! instead: every case is reproducible and each property is checked over
+//! dozens of randomly drawn inputs.
 
 use nfm::bnn::{binarize::reference_binary_dot, BitVector};
 use nfm::memo::{BnnMemoConfig, MemoizedRunner, OracleMemoConfig, ReuseStats};
@@ -10,139 +15,191 @@ use nfm::tensor::stats::{empirical_cdf, pearson_correlation, percentile};
 use nfm::tensor::vector::relative_difference;
 use nfm::tensor::Vector;
 use nfm::workloads::accuracy::{bleu, edit_distance, word_error_rate};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn vec_f32(rng: &mut DeterministicRng, len: usize, low: f32, high: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(low, high)).collect()
+}
 
-    // ---- Bit-packed sign vectors -------------------------------------
+fn vec_usize(rng: &mut DeterministicRng, len: usize, bound: usize) -> Vec<usize> {
+    (0..len).map(|_| rng.index(bound)).collect()
+}
 
-    #[test]
-    fn bitvector_packing_roundtrips(values in prop::collection::vec(-10.0f32..10.0, 0..200)) {
+// ---- Bit-packed sign vectors -------------------------------------------
+
+#[test]
+fn bitvector_packing_roundtrips() {
+    let mut rng = DeterministicRng::seed_from_u64(1);
+    for case in 0..64 {
+        let len = rng.index(200);
+        let values = vec_f32(&mut rng, len, -10.0, 10.0);
         let packed = BitVector::from_signs(&values);
-        prop_assert_eq!(packed.len(), values.len());
+        assert_eq!(packed.len(), values.len(), "case {case}");
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(packed.get(i), v >= 0.0);
+            assert_eq!(packed.get(i), v >= 0.0, "case {case} bit {i}");
         }
     }
+}
 
-    #[test]
-    fn xnor_dot_equals_reference_sign_product(
-        pair in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..300)
-    ) {
-        let a: Vec<f32> = pair.iter().map(|p| p.0).collect();
-        let b: Vec<f32> = pair.iter().map(|p| p.1).collect();
+#[test]
+fn xnor_dot_equals_reference_sign_product() {
+    let mut rng = DeterministicRng::seed_from_u64(2);
+    for case in 0..64 {
+        let len = 1 + rng.index(300);
+        let a = vec_f32(&mut rng, len, -5.0, 5.0);
+        let b = vec_f32(&mut rng, len, -5.0, 5.0);
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
-        prop_assert_eq!(pa.xnor_dot(&pb).unwrap(), reference_binary_dot(&a, &b));
+        assert_eq!(
+            pa.xnor_dot(&pb).unwrap(),
+            reference_binary_dot(&a, &b),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn xnor_dot_is_symmetric_and_bounded(
-        pair in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 1..128)
-    ) {
-        let a: Vec<f32> = pair.iter().map(|p| p.0).collect();
-        let b: Vec<f32> = pair.iter().map(|p| p.1).collect();
+#[test]
+fn xnor_dot_is_symmetric_and_bounded() {
+    let mut rng = DeterministicRng::seed_from_u64(3);
+    for _ in 0..64 {
+        let len = 1 + rng.index(128);
+        let a = vec_f32(&mut rng, len, -1.0, 1.0);
+        let b = vec_f32(&mut rng, len, -1.0, 1.0);
         let pa = BitVector::from_signs(&a);
         let pb = BitVector::from_signs(&b);
         let ab = pa.xnor_dot(&pb).unwrap();
         let ba = pb.xnor_dot(&pa).unwrap();
-        prop_assert_eq!(ab, ba);
-        prop_assert!(ab.abs() as usize <= a.len());
-        prop_assert_eq!(pa.xnor_dot(&pa).unwrap() as usize, a.len());
+        assert_eq!(ab, ba);
+        assert!(ab.unsigned_abs() as usize <= a.len());
+        assert_eq!(pa.xnor_dot(&pa).unwrap() as usize, a.len());
     }
+}
 
-    // ---- FP16 quantization -------------------------------------------
+// ---- FP16 quantization ---------------------------------------------------
 
-    #[test]
-    fn f16_roundtrip_is_idempotent_and_close(x in -60000.0f32..60000.0) {
+#[test]
+fn f16_roundtrip_is_idempotent_and_close() {
+    let mut rng = DeterministicRng::seed_from_u64(4);
+    for _ in 0..256 {
+        let x = rng.uniform(-60000.0, 60000.0);
         let once = quantize_f16(x);
         let twice = quantize_f16(once);
-        prop_assert_eq!(once, twice, "quantization must be idempotent");
+        assert_eq!(once, twice, "quantization must be idempotent for {x}");
         // binary16 has ~3 decimal digits of precision.
-        prop_assert!((once - x).abs() <= x.abs() * 1e-3 + 1e-4);
+        assert!((once - x).abs() <= x.abs() * 1e-3 + 1e-4, "{x} -> {once}");
     }
+}
 
-    #[test]
-    fn f16_bits_roundtrip_preserves_ordering(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+#[test]
+fn f16_bits_roundtrip_preserves_ordering() {
+    let mut rng = DeterministicRng::seed_from_u64(5);
+    for _ in 0..256 {
+        let a = rng.uniform(-1000.0, 1000.0);
+        let b = rng.uniform(-1000.0, 1000.0);
         let qa = f16_bits_to_f32(f32_to_f16_bits(a));
         let qb = f16_bits_to_f32(f32_to_f16_bits(b));
         if a <= b {
-            prop_assert!(qa <= qb + 1e-6);
+            assert!(qa <= qb + 1e-6, "{a} <= {b} but {qa} > {qb}");
         }
     }
+}
 
-    // ---- Statistics ----------------------------------------------------
+// ---- Statistics ----------------------------------------------------------
 
-    #[test]
-    fn correlation_is_bounded_and_symmetric(
-        pairs in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 2..64)
-    ) {
-        let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
-        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn correlation_is_bounded_and_symmetric() {
+    let mut rng = DeterministicRng::seed_from_u64(6);
+    for _ in 0..64 {
+        let len = 2 + rng.index(62);
+        let xs = vec_f32(&mut rng, len, -100.0, 100.0);
+        let ys = vec_f32(&mut rng, len, -100.0, 100.0);
         let r = pearson_correlation(&xs, &ys).unwrap();
         let r2 = pearson_correlation(&ys, &xs).unwrap();
-        prop_assert!((-1.0001..=1.0001).contains(&r));
-        prop_assert!((r - r2).abs() < 1e-4);
+        assert!((-1.0001..=1.0001).contains(&r));
+        assert!((r - r2).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn percentiles_are_ordered(values in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+#[test]
+fn percentiles_are_ordered() {
+    let mut rng = DeterministicRng::seed_from_u64(7);
+    for _ in 0..64 {
+        let len = 1 + rng.index(63);
+        let values = vec_f32(&mut rng, len, -50.0, 50.0);
         let p10 = percentile(&values, 10.0).unwrap();
         let p50 = percentile(&values, 50.0).unwrap();
         let p90 = percentile(&values, 90.0).unwrap();
-        prop_assert!(p10 <= p50 + 1e-6);
-        prop_assert!(p50 <= p90 + 1e-6);
+        assert!(p10 <= p50 + 1e-6);
+        assert!(p50 <= p90 + 1e-6);
     }
+}
 
-    #[test]
-    fn empirical_cdf_is_monotone(values in prop::collection::vec(-10.0f32..10.0, 1..80)) {
+#[test]
+fn empirical_cdf_is_monotone() {
+    let mut rng = DeterministicRng::seed_from_u64(8);
+    for _ in 0..64 {
+        let len = 1 + rng.index(79);
+        let values = vec_f32(&mut rng, len, -10.0, 10.0);
         let cdf = empirical_cdf(&values, 11).unwrap();
-        prop_assert!(cdf.windows(2).all(|w| w[0].value <= w[1].value + 1e-6));
+        assert!(cdf.windows(2).all(|w| w[0].value <= w[1].value + 1e-6));
     }
+}
 
-    #[test]
-    fn relative_difference_properties(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+#[test]
+fn relative_difference_properties() {
+    let mut rng = DeterministicRng::seed_from_u64(9);
+    for _ in 0..256 {
+        let a = rng.uniform(-100.0, 100.0);
+        let b = rng.uniform(-100.0, 100.0);
         let d = relative_difference(a, b, 1e-3);
-        prop_assert!(d >= 0.0);
-        prop_assert!(d.is_finite());
-        let same = relative_difference(a, a, 1e-3);
-        prop_assert_eq!(same, 0.0);
+        assert!(d >= 0.0);
+        assert!(d.is_finite());
+        assert_eq!(relative_difference(a, a, 1e-3), 0.0);
     }
+}
 
-    // ---- Accuracy proxies ----------------------------------------------
+// ---- Accuracy proxies ----------------------------------------------------
 
-    #[test]
-    fn edit_distance_is_a_metric(
-        a in prop::collection::vec(0usize..8, 0..16),
-        b in prop::collection::vec(0usize..8, 0..16),
-        c in prop::collection::vec(0usize..8, 0..16),
-    ) {
-        prop_assert_eq!(edit_distance(&a, &a), 0);
-        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+#[test]
+fn edit_distance_is_a_metric() {
+    let mut rng = DeterministicRng::seed_from_u64(10);
+    for _ in 0..64 {
+        let (la, lb, lc) = (rng.index(16), rng.index(16), rng.index(16));
+        let a = vec_usize(&mut rng, la, 8);
+        let b = vec_usize(&mut rng, lb, 8);
+        let c = vec_usize(&mut rng, lc, 8);
+        assert_eq!(edit_distance(&a, &a), 0);
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
         // Triangle inequality.
-        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
         // Upper bound by the longer sequence.
-        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+        assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
     }
+}
 
-    #[test]
-    fn wer_and_bleu_are_bounded(
-        reference in prop::collection::vec(0usize..6, 1..20),
-        hypothesis in prop::collection::vec(0usize..6, 0..20),
-    ) {
+#[test]
+fn wer_and_bleu_are_bounded() {
+    let mut rng = DeterministicRng::seed_from_u64(11);
+    for _ in 0..64 {
+        let (lr, lh) = (1 + rng.index(19), rng.index(20));
+        let reference = vec_usize(&mut rng, lr, 6);
+        let hypothesis = vec_usize(&mut rng, lh, 6);
         let wer = word_error_rate(&reference, &hypothesis);
-        prop_assert!(wer >= 0.0);
-        prop_assert_eq!(word_error_rate(&reference, &reference), 0.0);
+        assert!(wer >= 0.0);
+        assert_eq!(word_error_rate(&reference, &reference), 0.0);
         let b = bleu(&reference, &hypothesis);
-        prop_assert!((0.0..=1.0).contains(&b));
-        prop_assert!((bleu(&reference, &reference) - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&b));
+        assert!((bleu(&reference, &reference) - 1.0).abs() < 1e-9);
     }
+}
 
-    // ---- Reuse statistics ----------------------------------------------
+// ---- Reuse statistics ----------------------------------------------------
 
-    #[test]
-    fn reuse_stats_fractions_are_consistent(computed in 0u32..500, reused in 0u32..500) {
+#[test]
+fn reuse_stats_fractions_are_consistent() {
+    let mut rng = DeterministicRng::seed_from_u64(12);
+    for _ in 0..64 {
+        let computed = rng.index(500) as u32;
+        let reused = rng.index(500) as u32;
         let mut stats = ReuseStats::new();
         for _ in 0..computed {
             stats.record_computed();
@@ -150,39 +207,47 @@ proptest! {
         for _ in 0..reused {
             stats.record_reused();
         }
-        prop_assert_eq!(stats.evaluations(), (computed + reused) as u64);
-        prop_assert_eq!(stats.computed(), computed as u64);
+        assert_eq!(stats.evaluations(), (computed + reused) as u64);
+        assert_eq!(stats.computed(), computed as u64);
         let f = stats.reuse_fraction();
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         if computed + reused > 0 {
             let expected = reused as f64 / (computed + reused) as f64;
-            prop_assert!((f - expected).abs() < 1e-12);
+            assert!((f - expected).abs() < 1e-12);
         }
     }
 }
 
-proptest! {
-    // Heavier end-to-end properties get fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+// ---- Heavier end-to-end properties (fewer cases) -------------------------
 
-    #[test]
-    fn lstm_outputs_stay_bounded_for_arbitrary_bounded_inputs(
-        seed in 0u64..1000,
-        inputs in prop::collection::vec(prop::collection::vec(-2.0f32..2.0, 6), 1..12)
-    ) {
+#[test]
+fn lstm_outputs_stay_bounded_for_arbitrary_bounded_inputs() {
+    let mut rng = DeterministicRng::seed_from_u64(13);
+    for _ in 0..8 {
+        let seed = rng.index(1000) as u64;
         let cfg = DeepRnnConfig::new(CellKind::Lstm, 6, 8);
-        let mut rng = DeterministicRng::seed_from_u64(seed);
-        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
-        let seq: Vec<Vector> = inputs.into_iter().map(Vector::from).collect();
+        let mut net_rng = DeterministicRng::seed_from_u64(seed);
+        let net = DeepRnn::random(&cfg, &mut net_rng).unwrap();
+        let steps = 1 + rng.index(11);
+        let seq: Vec<Vector> = (0..steps)
+            .map(|_| Vector::from(vec_f32(&mut rng, 6, -2.0, 2.0)))
+            .collect();
         let out = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
         for v in out {
-            prop_assert!(v.iter().all(|x| x.is_finite()));
-            prop_assert!(v.norm_inf() <= 1.0 + 1e-4, "LSTM hidden outputs stay in [-1, 1]");
+            assert!(v.iter().all(|x| x.is_finite()));
+            assert!(
+                v.norm_inf() <= 1.0 + 1e-4,
+                "LSTM hidden outputs stay in [-1, 1]"
+            );
         }
     }
+}
 
-    #[test]
-    fn memoized_inference_never_reuses_with_negative_threshold(seed in 0u64..500) {
+#[test]
+fn memoized_inference_never_reuses_with_negative_threshold() {
+    let mut rng = DeterministicRng::seed_from_u64(14);
+    for _ in 0..8 {
+        let seed = rng.index(500) as u64;
         let w = nfm::workloads::WorkloadBuilder::new(nfm::workloads::NetworkId::ImdbSentiment)
             .scale(0.05)
             .sequences(1)
@@ -191,16 +256,24 @@ proptest! {
             .build()
             .unwrap();
         let exact = MemoizedRunner::exact().run(&w).unwrap();
-        let memo = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(-1.0)).run(&w).unwrap();
-        prop_assert_eq!(memo.stats.reuses(), 0);
-        prop_assert_eq!(&exact.outputs, &memo.outputs);
-        let oracle = MemoizedRunner::oracle(OracleMemoConfig::with_threshold(-1.0)).run(&w).unwrap();
-        prop_assert_eq!(oracle.stats.reuses(), 0);
-        prop_assert_eq!(&exact.outputs, &oracle.outputs);
+        let memo = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(-1.0))
+            .run(&w)
+            .unwrap();
+        assert_eq!(memo.stats.reuses(), 0);
+        assert_eq!(&exact.outputs, &memo.outputs);
+        let oracle = MemoizedRunner::oracle(OracleMemoConfig::with_threshold(-1.0))
+            .run(&w)
+            .unwrap();
+        assert_eq!(oracle.stats.reuses(), 0);
+        assert_eq!(&exact.outputs, &oracle.outputs);
     }
+}
 
-    #[test]
-    fn infinite_threshold_reuses_everything_after_the_first_step(seed in 0u64..500) {
+#[test]
+fn infinite_threshold_reuses_everything_after_the_first_step() {
+    let mut rng = DeterministicRng::seed_from_u64(15);
+    for _ in 0..8 {
+        let seed = rng.index(500) as u64;
         let w = nfm::workloads::WorkloadBuilder::new(nfm::workloads::NetworkId::DeepSpeech2)
             .scale(0.05)
             .layers(1)
@@ -213,7 +286,7 @@ proptest! {
             .run(&w)
             .unwrap();
         let per_step = w.network().neuron_evaluations_per_step() as u64;
-        prop_assert_eq!(oracle.stats.computed(), per_step);
-        prop_assert_eq!(oracle.stats.reuses(), per_step * 7);
+        assert_eq!(oracle.stats.computed(), per_step);
+        assert_eq!(oracle.stats.reuses(), per_step * 7);
     }
 }
