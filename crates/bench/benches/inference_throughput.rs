@@ -17,6 +17,14 @@
 //!   path: per-neuron virtual dispatch, per-row dimension checks and the
 //!   strictly-ordered scalar dot product the original implementation
 //!   compiled to.
+//!
+//! Multi-sequence batched inference is measured separately on
+//! 8-sequence workloads: `inference/exact_single/*` and
+//! `inference/bnn_memoized_single/*` process the sequences one at a
+//! time, `inference/exact_batched/*` and
+//! `inference/bnn_memoized_batched/*` run the same sequences through
+//! `MemoizedRunner::run_batched` with 8 lanes per gate invocation (plus
+//! block-hoisted `W_x·x_t` projections on the exact path).
 
 use nfm_bench::Bencher;
 use nfm_bnn::BinaryNetwork;
@@ -185,6 +193,63 @@ fn main() {
         ("medium", workload(NetworkId::ImdbSentiment, 1.0, 2, 48)),
     ];
 
+    // Multi-sequence batched inference: 8 sequences through
+    // serving-scale networks (half- and full-scale IMDB), evaluated
+    // per-sequence (`*_single`) vs lane-striped with BATCH lanes per
+    // gate invocation (`*_batched`).  Both sides go
+    // through the MemoizedRunner so the comparison isolates the batching
+    // itself; `run_batched` additionally gets the block-hoisted `W_x·x_t`
+    // projections on the exact path.  This section runs first: the
+    // seed-faithful benches below churn the allocator with millions of
+    // short-lived HashMap/BitVector allocations, which measurably
+    // inflates the buffer-heavy batched iterations when they run on the
+    // fragmented heap afterwards (a serving process owns a clean heap).
+    const BATCH: usize = 8;
+    let batch_sizes = [
+        ("small", workload(NetworkId::ImdbSentiment, 0.5, 8, 32)),
+        ("medium", workload(NetworkId::ImdbSentiment, 1.0, 8, 48)),
+    ];
+    for (size, w) in &batch_sizes {
+        bench.bench_pair(
+            &format!("inference/exact_single/{size}"),
+            || {
+                black_box(
+                    MemoizedRunner::exact()
+                        .sequential()
+                        .run(w)
+                        .expect("runs")
+                        .outputs
+                        .len(),
+                )
+            },
+            &format!("inference/exact_batched/{size}"),
+            || {
+                black_box(
+                    MemoizedRunner::exact()
+                        .run_batched(w, BATCH)
+                        .expect("runs")
+                        .outputs
+                        .len(),
+                )
+            },
+        );
+        let memo_runner = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.5));
+        bench.bench_pair(
+            &format!("inference/bnn_memoized_single/{size}"),
+            || black_box(memo_runner.sequential().run(w).expect("runs").outputs.len()),
+            &format!("inference/bnn_memoized_batched/{size}"),
+            || {
+                black_box(
+                    memo_runner
+                        .run_batched(w, BATCH)
+                        .expect("runs")
+                        .outputs
+                        .len(),
+                )
+            },
+        );
+    }
+
     for (size, w) in &sizes {
         bench.bench(&format!("inference/exact/{size}"), || {
             let mut evaluator = ExactEvaluator::new();
@@ -218,26 +283,33 @@ fn main() {
     }
 
     // The cross-sequence parallel runner on a many-sequence workload.
+    // Measured interleaved: the spawn-amortization heuristic routes this
+    // small workload onto the calling thread, so the two sides run the
+    // same code and only drift could separate them.
     let fanout = workload(NetworkId::ImdbSentiment, 0.5, 8, 32);
-    bench.bench("runner/sequential", || {
-        black_box(
-            MemoizedRunner::exact()
-                .sequential()
-                .run(&fanout)
-                .expect("runs")
-                .outputs
-                .len(),
-        )
-    });
-    bench.bench("runner/parallel", || {
-        black_box(
-            MemoizedRunner::exact()
-                .run(&fanout)
-                .expect("runs")
-                .outputs
-                .len(),
-        )
-    });
+    bench.bench_pair(
+        "runner/sequential",
+        || {
+            black_box(
+                MemoizedRunner::exact()
+                    .sequential()
+                    .run(&fanout)
+                    .expect("runs")
+                    .outputs
+                    .len(),
+            )
+        },
+        "runner/parallel",
+        || {
+            black_box(
+                MemoizedRunner::exact()
+                    .run(&fanout)
+                    .expect("runs")
+                    .outputs
+                    .len(),
+            )
+        },
+    );
 
     let speedups: Vec<(&str, &str)> = vec![
         ("inference/exact_naive/small", "inference/exact/small"),
@@ -258,6 +330,22 @@ fn main() {
         (
             "inference/bnn_memoized_seed/medium",
             "inference/bnn_memoized/medium",
+        ),
+        (
+            "inference/exact_single/small",
+            "inference/exact_batched/small",
+        ),
+        (
+            "inference/exact_single/medium",
+            "inference/exact_batched/medium",
+        ),
+        (
+            "inference/bnn_memoized_single/small",
+            "inference/bnn_memoized_batched/small",
+        ),
+        (
+            "inference/bnn_memoized_single/medium",
+            "inference/bnn_memoized_batched/medium",
         ),
         ("runner/sequential", "runner/parallel"),
     ];

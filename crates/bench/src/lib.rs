@@ -97,13 +97,34 @@ impl Bencher {
     /// Creates a bencher with default options and a filter/save spec
     /// parsed from the process arguments (`cargo bench` passes its
     /// trailing arguments through; unknown flags are ignored).
+    ///
+    /// `--samples N`, `--sample-time-ms N` and `--warmup-ms N` override
+    /// the measurement loop — CI's bench smoke job passes tiny values so
+    /// every benchmark compiles and runs one iteration without spending
+    /// real measurement time.
     pub fn from_args() -> (Self, Option<String>) {
+        let mut options = BenchOptions::default();
         let mut filter = None;
         let mut save = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--save" => save = args.next(),
+                "--samples" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                        options.samples = v.max(1);
+                    }
+                }
+                "--sample-time-ms" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) {
+                        options.sample_time = Duration::from_millis(v);
+                    }
+                }
+                "--warmup-ms" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) {
+                        options.warmup = Duration::from_millis(v);
+                    }
+                }
                 // Flags cargo/libtest conventionally forward.
                 "--bench" | "--test" | "--nocapture" | "--quiet" => {}
                 other if other.starts_with("--") => {}
@@ -112,7 +133,7 @@ impl Bencher {
         }
         (
             Bencher {
-                options: BenchOptions::default(),
+                options,
                 filter,
                 results: Vec::new(),
             },
@@ -137,12 +158,18 @@ impl Bencher {
                 return;
             }
         }
-        // Warm-up: pay one-time costs and estimate the per-iteration time.
+        // Warm-up: pay one-time costs and estimate the per-iteration
+        // time.  Always run at least one iteration so the estimate comes
+        // from a real measurement even when the warm-up budget is zero
+        // (the CI smoke configuration).
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
-        while warmup_start.elapsed() < self.options.warmup {
+        loop {
             std::hint::black_box(f());
             warmup_iters += 1;
+            if warmup_start.elapsed() >= self.options.warmup {
+                break;
+            }
         }
         let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
         let iters =
@@ -175,6 +202,86 @@ impl Bencher {
             result.iters_per_sample
         );
         self.results.push(result);
+    }
+
+    /// Measures two benchmarks **interleaved**: each timed sample of `a`
+    /// is immediately followed by one of `b`, so slow drift on the host
+    /// (thermal throttling, noisy neighbors on shared vCPUs) hits both
+    /// sides equally.  Use this for head-to-head comparisons whose
+    /// expected ratio is close to 1 — measured back to back as separate
+    /// benchmarks, a few percent of drift between their windows can
+    /// dominate the comparison.
+    ///
+    /// Both use the same per-sample iteration count (scaled from the
+    /// slower side) and are recorded as two ordinary results.  Skipped
+    /// entirely when a command-line filter matches neither id.
+    pub fn bench_pair<RA, RB>(
+        &mut self,
+        id_a: &str,
+        mut fa: impl FnMut() -> RA,
+        id_b: &str,
+        mut fb: impl FnMut() -> RB,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id_a.contains(filter.as_str()) && !id_b.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let estimate = |f: &mut dyn FnMut()| {
+            let start = Instant::now();
+            let mut iters: u64 = 0;
+            loop {
+                f();
+                iters += 1;
+                if start.elapsed() >= self.options.warmup {
+                    break;
+                }
+            }
+            start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+        };
+        let per_iter_a = estimate(&mut || {
+            std::hint::black_box(fa());
+        });
+        let per_iter_b = estimate(&mut || {
+            std::hint::black_box(fb());
+        });
+        let per_iter = per_iter_a.max(per_iter_b).max(1.0);
+        let iters = ((self.options.sample_time.as_nanos() as f64 / per_iter).ceil() as u64).max(1);
+        let mut samples_a: Vec<f64> = Vec::with_capacity(self.options.samples);
+        let mut samples_b: Vec<f64> = Vec::with_capacity(self.options.samples);
+        for _ in 0..self.options.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(fa());
+            }
+            samples_a.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(fb());
+            }
+            samples_b.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        for (id, mut samples) in [(id_a, samples_a), (id_b, samples_b)] {
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let median_ns = samples[samples.len() / 2];
+            let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+            let result = BenchResult {
+                id: id.to_string(),
+                median_ns,
+                mean_ns,
+                min_ns: samples[0],
+                samples: samples.len(),
+                iters_per_sample: iters,
+            };
+            println!(
+                "{:<44} median {:>12}  ({} samples x {} iters, interleaved)",
+                result.id,
+                format_ns(result.median_ns),
+                result.samples,
+                result.iters_per_sample
+            );
+            self.results.push(result);
+        }
     }
 
     /// All results measured so far.
@@ -304,6 +411,43 @@ mod tests {
         assert!(json.contains("\"id\": \"group/fast\""));
         assert!(json.contains("\"speedups\""));
         assert!(json.contains("group/fast vs group/slow"));
+    }
+
+    #[test]
+    fn bench_pair_interleaves_and_records_both() {
+        let mut b = Bencher::with_options(fast_options());
+        b.bench_pair(
+            "pair/a",
+            || std::hint::black_box(1 + 1),
+            "pair/b",
+            || std::hint::black_box(2 + 2),
+        );
+        let a = b.result("pair/a").unwrap();
+        let bb = b.result("pair/b").unwrap();
+        assert_eq!(a.iters_per_sample, bb.iters_per_sample);
+        assert!(a.median_ns > 0.0 && bb.median_ns > 0.0);
+        // Identical closures measured interleaved should agree closely.
+        let ratio = a.median_ns / bb.median_ns;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_budget_options_still_run_each_benchmark_once() {
+        // The CI smoke configuration: no warm-up or sample time, one
+        // sample — every benchmark must still execute at least once.
+        let mut b = Bencher::with_options(BenchOptions {
+            samples: 1,
+            sample_time: Duration::ZERO,
+            warmup: Duration::ZERO,
+        });
+        let mut runs = 0u32;
+        b.bench("smoke/once", || {
+            runs += 1;
+        });
+        assert!(runs >= 2, "one warmup + one timed iteration, got {runs}");
+        let r = b.result("smoke/once").unwrap();
+        assert_eq!(r.samples, 1);
+        assert_eq!(r.iters_per_sample, 1);
     }
 
     #[test]

@@ -51,6 +51,35 @@ impl BitVector {
         }
     }
 
+    /// Repacks the signs of `lanes` lane-striped vectors into `dst`,
+    /// reusing both the outer `Vec` and each [`BitVector`]'s word
+    /// storage.  `values` holds `lanes * width` values with lane `l`'s
+    /// vector at `[l * width .. (l + 1) * width]` — the layout of the
+    /// batched gate-evaluation path, which binarizes every lane's inputs
+    /// exactly once per gate invocation with zero steady-state
+    /// allocations.  `dst` is truncated or grown to exactly `lanes`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != lanes * width`.
+    pub fn fill_lanes_from_signs(
+        dst: &mut Vec<BitVector>,
+        values: &[f32],
+        lanes: usize,
+        width: usize,
+    ) {
+        assert_eq!(
+            values.len(),
+            lanes * width,
+            "lane-striped buffer length mismatch"
+        );
+        dst.resize_with(lanes, || BitVector::zeros(0));
+        for (l, bits) in dst.iter_mut().enumerate() {
+            bits.fill_from_signs(&values[l * width..(l + 1) * width]);
+        }
+    }
+
     /// Creates a vector from explicit booleans (`true` = `+1`).
     pub fn from_bools(bits: &[bool]) -> Self {
         let mut v = BitVector::zeros(bits.len());
@@ -214,6 +243,36 @@ mod tests {
             v.fill_from_signs(&values);
             assert_eq!(v, BitVector::from_signs(&values), "len {len}");
         }
+    }
+
+    #[test]
+    fn fill_lanes_matches_per_lane_from_signs() {
+        let width = 70; // spans a word boundary
+        let lanes = 3;
+        let values: Vec<f32> = (0..lanes * width)
+            .map(|i| if i % 7 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let mut dst = Vec::new();
+        BitVector::fill_lanes_from_signs(&mut dst, &values, lanes, width);
+        assert_eq!(dst.len(), lanes);
+        for (l, bits) in dst.iter().enumerate() {
+            assert_eq!(
+                bits,
+                &BitVector::from_signs(&values[l * width..(l + 1) * width]),
+                "lane {l}"
+            );
+        }
+        // Shrinking reuses storage and truncates to the new lane count.
+        BitVector::fill_lanes_from_signs(&mut dst, &values[..width], 1, width);
+        assert_eq!(dst.len(), 1);
+        assert_eq!(dst[0], BitVector::from_signs(&values[..width]));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane-striped")]
+    fn fill_lanes_rejects_bad_length() {
+        let mut dst = Vec::new();
+        BitVector::fill_lanes_from_signs(&mut dst, &[1.0; 5], 2, 3);
     }
 
     #[test]

@@ -15,11 +15,17 @@ use nfm_tensor::vector::relative_difference;
 /// limit study of Figures 1 and 16.  When a reuse is possible the oracle
 /// returns the *cached* value, so the accuracy impact of oracle-guided
 /// memoization is faithfully propagated through the network.
+/// Under multi-sequence batched inference every lane owns a separate
+/// [`MemoTable`] (see the batched-path notes on
+/// [`BnnMemoEvaluator`](crate::BnnMemoEvaluator)): the oracle's batched
+/// override computes all lanes' true outputs with one lane-striped dual
+/// matrix product, then walks each lane's own table.
 #[derive(Debug, Clone)]
 pub struct OracleEvaluator {
     config: OracleMemoConfig,
     table: MemoTable,
     stats: ReuseStats,
+    lane_tables: Vec<MemoTable>,
 }
 
 impl OracleEvaluator {
@@ -30,6 +36,7 @@ impl OracleEvaluator {
             config,
             table: MemoTable::new(),
             stats: ReuseStats::new(),
+            lane_tables: Vec::new(),
         }
     }
 
@@ -40,6 +47,7 @@ impl OracleEvaluator {
             config,
             table: MemoTable::for_network(network),
             stats: ReuseStats::new(),
+            lane_tables: Vec::new(),
         }
     }
 
@@ -62,6 +70,12 @@ impl OracleEvaluator {
     /// Borrow the memoization table (diagnostics only).
     pub fn table(&self) -> &MemoTable {
         &self.table
+    }
+
+    /// Borrow the per-lane memoization tables of the batched path
+    /// (diagnostics only; empty until a batched run sized them).
+    pub fn lane_tables(&self) -> &[MemoTable] {
+        &self.lane_tables
     }
 }
 
@@ -121,8 +135,61 @@ impl NeuronEvaluator for OracleEvaluator {
         Ok(())
     }
 
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        _timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        // One lane-striped dual matrix product computes every lane's
+        // true outputs (bit-identical per lane to the fused matvec).
+        nfm_tensor::kernels::dual_matmul_into(gate.wx(), gate.wh(), xs, h_prevs, lanes, out)?;
+        assert!(
+            self.lane_tables.len() >= lanes,
+            "evaluate_gate_batch with {lanes} lanes but begin_batch sized {}",
+            self.lane_tables.len()
+        );
+        let neurons = gate.neurons();
+        for l in 0..lanes {
+            let table = &mut self.lane_tables[l];
+            let handle = table.gate_handle(gate_id, neurons);
+            for (n, y) in out[l * neurons..(l + 1) * neurons].iter_mut().enumerate() {
+                let y_t = *y;
+                if let Some(entry) = table.entry(handle, n) {
+                    let delta = relative_difference(y_t, entry.cached_output, self.config.epsilon);
+                    if delta <= self.config.threshold {
+                        self.stats.record_reused();
+                        *y = table.reuse_at(handle, n, delta);
+                        continue;
+                    }
+                }
+                self.stats.record_computed();
+                table.refresh_at(handle, n, y_t, y_t);
+            }
+        }
+        Ok(())
+    }
+
     fn begin_sequence(&mut self) {
         self.table.clear();
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        while self.lane_tables.len() < lanes {
+            self.lane_tables.push(MemoTable::new());
+        }
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        // Keep the single-sequence table cold too: a wrapper may route
+        // batched evaluation through the per-neuron path, which reads
+        // and writes `self.table` (see the BnnMemoEvaluator note).
+        self.table.clear();
+        self.lane_tables[lane].clear();
     }
 }
 

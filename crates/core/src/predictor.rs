@@ -26,6 +26,15 @@ use nfm_tensor::vector::relative_difference;
 /// `BitVector` clones or allocations) and walks the flat memo table with
 /// a pre-resolved gate handle; the per-neuron path remains available for
 /// custom drivers and is bit-identical.
+///
+/// Under multi-sequence batched inference
+/// ([`NeuronEvaluator::evaluate_gate_batch`]) every lane owns a
+/// **separate** [`MemoTable`] (the paper's buffer holds no state across
+/// independent inputs, so lanes must not share entries): `begin_batch`
+/// sizes the per-lane tables from the mirror's gate shapes and
+/// `begin_lane_sequence` clears exactly one lane's table, making lane
+/// `l` of a batched run bit-identical — outputs, reuse statistics and
+/// memo-hit sequence — to a dedicated single-sequence run.
 #[derive(Debug, Clone)]
 pub struct BnnMemoEvaluator {
     mirror: BinaryNetwork,
@@ -39,6 +48,11 @@ pub struct BnnMemoEvaluator {
     // Reusable scratch for the batched path (no per-gate allocation).
     xb: BitVector,
     hb: BitVector,
+    // Per-lane state for multi-sequence batched inference: one memo
+    // table per lane plus reusable binarization scratch per lane.
+    lane_tables: Vec<MemoTable>,
+    lane_xb: Vec<BitVector>,
+    lane_hb: Vec<BitVector>,
 }
 
 #[derive(Debug, Clone)]
@@ -63,6 +77,9 @@ impl BnnMemoEvaluator {
             input_cache: None,
             xb: BitVector::zeros(0),
             hb: BitVector::zeros(0),
+            lane_tables: Vec::new(),
+            lane_xb: Vec::new(),
+            lane_hb: Vec::new(),
         }
     }
 
@@ -79,6 +96,13 @@ impl BnnMemoEvaluator {
     /// Borrow the memoization table (diagnostics only).
     pub fn table(&self) -> &MemoTable {
         &self.table
+    }
+
+    /// Borrow the per-lane memoization tables of the batched path
+    /// (diagnostics only; empty until a batched run sized them via
+    /// `begin_batch`).
+    pub fn lane_tables(&self) -> &[MemoTable] {
+        &self.lane_tables
     }
 
     /// Resets the accumulated statistics.
@@ -227,9 +251,99 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         Ok(())
     }
 
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        _timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        let (isz, hsz, nsz) = (gate.input_size(), gate.hidden_size(), gate.neurons());
+        let mirror_usable = match self.mirror.gate(gate_id) {
+            Some(bg) => bg.input_size() == isz && bg.hidden_size() == hsz,
+            None => false,
+        };
+        if !mirror_usable {
+            // No usable mirror: exact evaluation for every lane (matches
+            // the single-sequence fallback lane for lane, bit-identical
+            // because the lane-striped kernel shares the reduction
+            // order).
+            nfm_tensor::kernels::dual_matmul_into(gate.wx(), gate.wh(), xs, h_prevs, lanes, out)?;
+            self.stats.record_computed_many(out.len() as u64);
+            return Ok(());
+        }
+        assert!(
+            self.lane_tables.len() >= lanes,
+            "evaluate_gate_batch with {lanes} lanes but begin_batch sized {} \
+             (the batch driver always calls begin_batch first)",
+            self.lane_tables.len()
+        );
+        // Binarize every lane's inputs exactly once, into reused storage.
+        BitVector::fill_lanes_from_signs(&mut self.lane_xb, xs, lanes, isz);
+        BitVector::fill_lanes_from_signs(&mut self.lane_hb, h_prevs, lanes, hsz);
+        let binary_gate = self.mirror.gate(gate_id).expect("checked above");
+        for l in 0..lanes {
+            let table = &mut self.lane_tables[l];
+            let handle = table.gate_handle(gate_id, nsz);
+            let (xb, hb) = (&self.lane_xb[l], &self.lane_hb[l]);
+            let x = &xs[l * isz..(l + 1) * isz];
+            let h_prev = &h_prevs[l * hsz..(l + 1) * hsz];
+            for (n, slot) in out[l * nsz..(l + 1) * nsz].iter_mut().enumerate() {
+                // Same per-neuron decision sequence as the
+                // single-sequence batched path, against lane `l`'s table.
+                let yb_t = binary_gate.neuron_output_unchecked(n, xb, hb) as f32;
+                self.stats.record_bnn_evaluation();
+                if let Some(entry) = table.entry(handle, n) {
+                    let eps_t =
+                        relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
+                    let delta_t = if self.config.throttle {
+                        entry.accumulated_delta + eps_t
+                    } else {
+                        eps_t
+                    };
+                    if delta_t <= self.config.threshold {
+                        self.stats.record_reused();
+                        *slot = table.reuse_at(handle, n, delta_t);
+                        continue;
+                    }
+                }
+                let y_t = gate.neuron_dot_unchecked(n, x, h_prev);
+                self.stats.record_computed();
+                table.refresh_at(handle, n, y_t, yb_t);
+                *slot = y_t;
+            }
+        }
+        Ok(())
+    }
+
     fn begin_sequence(&mut self) {
         self.table.clear();
         self.input_cache = None;
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        while self.lane_tables.len() < lanes {
+            // Same dense layout as the single-sequence table: the FMU
+            // buffer shape replicated once per lane.
+            self.lane_tables.push(MemoTable::with_gates(
+                self.mirror.iter().map(|(id, g)| (*id, g.neurons())),
+            ));
+        }
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        // A wrapper may route batched evaluation through the per-neuron
+        // path (the trait's default lane loop), which uses the
+        // single-sequence state — so a lane's fresh sequence must start
+        // that state cold too.  (Under the default loop, lanes > 1
+        // still share it; per-lane isolation needs the batch overrides,
+        // as the trait docs spell out.)
+        self.table.clear();
+        self.input_cache = None;
+        self.lane_tables[lane].clear();
     }
 }
 

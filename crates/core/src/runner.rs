@@ -56,15 +56,43 @@ impl RunOutcome {
     }
 }
 
+/// Estimated work (in weight-MAC units: one fetched weight multiplied
+/// and accumulated once) below which the parallel fan-out falls back to
+/// the sequential path: spawning and joining scoped worker threads plus
+/// merging their statistics costs tens of microseconds, so small runs
+/// lose more to spawn overhead than they gain from extra cores (the
+/// `runner/parallel` regression in early `BENCH_inference.json`
+/// snapshots).  At roughly one MAC per nanosecond per core this
+/// threshold corresponds to tens of milliseconds of single-core work —
+/// comfortably past the spawn-amortization point.
+///
+/// [`MemoizedRunner::with_workers`] bypasses the heuristic entirely: an
+/// explicit worker count always fans out.
+const SPAWN_AMORTIZATION_MACS: u64 = 50_000_000;
+
+/// Estimated cost of running `sequences` through `network`, in
+/// weight-MAC units (`total timesteps x recurrent weights per step`).
+/// Memoized predictors skip some of this work, but the estimate only
+/// gates the spawn decision and an upper bound is the safe side.
+fn estimated_work_macs(network: &DeepRnn, sequences: &[Vec<Vector>]) -> u64 {
+    let per_step = network.weight_count() as u64;
+    let timesteps: u64 = sequences.iter().map(|s| s.len() as u64).sum();
+    timesteps.saturating_mul(per_step)
+}
+
 /// Runs a workload end-to-end under a chosen predictor.
 ///
 /// Sequences are fully independent (memoization state is cleared at
 /// every sequence start), so by default the runner fans them out over
 /// the available cores with one evaluator per worker and merges the
-/// [`ReuseStats`] afterwards.  Outputs and statistics are *identical* to
-/// a sequential run; [`MemoizedRunner::sequential`] remains as an escape
-/// hatch for single-threaded measurements (e.g. figure experiments that
-/// time the run itself).
+/// [`ReuseStats`] afterwards — unless the estimated work is below the
+/// spawn-amortization threshold, in which case it silently runs on the
+/// calling thread (identical results either way).  Outputs and
+/// statistics are *identical* to a sequential run;
+/// [`MemoizedRunner::sequential`] remains as an escape hatch for
+/// single-threaded measurements (e.g. figure experiments that time the
+/// run itself) and [`MemoizedRunner::with_workers`] forces a worker
+/// count regardless of the heuristic.
 ///
 /// ```
 /// use nfm_core::{MemoizedRunner, BnnMemoConfig, InferenceWorkload};
@@ -213,13 +241,16 @@ impl MemoizedRunner {
         };
 
         let workers = if self.parallel {
-            self.workers
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                })
-                .min(sequences.len().max(1))
+            match self.workers {
+                // Explicit override: always fan out as requested.
+                Some(n) => n.min(sequences.len().max(1)),
+                // Auto: only spawn when the work amortizes the threads.
+                None if estimated_work_macs(network, sequences) < SPAWN_AMORTIZATION_MACS => 1,
+                None => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(sequences.len().max(1)),
+            }
         } else {
             1
         };
@@ -250,6 +281,54 @@ impl MemoizedRunner {
             stats.merge(&chunk_stats);
         }
         Ok(RunOutcome { outputs, stats })
+    }
+
+    /// Runs every sequence of `workload` through its network with
+    /// **multi-sequence batched inference**: up to `batch_size`
+    /// sequences (lanes) are evaluated through each gate invocation at
+    /// once, so one weight stream serves all lanes (see
+    /// [`DeepRnn::run_batch`]).
+    ///
+    /// The queue of sequences is packed into lanes wave by wave:
+    /// ragged-length sequences inside a wave are ordered longest-first
+    /// internally, each lane drains as its sequence finishes (the ragged
+    /// tail keeps shrinking the active prefix), and freed lanes are
+    /// refilled from the queue at the next wave boundary — lockstep
+    /// layer processing means a new sequence cannot join mid-wave.
+    ///
+    /// Outputs, reuse statistics and memo-hit behavior are
+    /// **bit-identical** to [`MemoizedRunner::run`] for every predictor:
+    /// memoizing evaluators keep one [`MemoTable`](crate::MemoTable) per
+    /// lane, cleared at each lane's sequence start, exactly like the
+    /// per-sequence path.  `batch_size == 1` degenerates to sequential
+    /// per-sequence inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any inference error (shape mismatches, empty
+    /// sequences).
+    pub fn run_batched(
+        &self,
+        workload: &impl InferenceWorkload,
+        batch_size: usize,
+    ) -> RnnResult<RunOutcome> {
+        let network = workload.network();
+        let sequences = workload.input_sequences();
+        let mirror = match self.predictor {
+            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(network)),
+            _ => None,
+        };
+        let mut evaluator = WorkerEvaluator::build(self.predictor, network, mirror.as_ref());
+        let lanes = batch_size.max(1);
+        let mut outputs = Vec::with_capacity(sequences.len());
+        for wave in sequences.chunks(lanes) {
+            let refs: Vec<&[Vector]> = wave.iter().map(|s| s.as_slice()).collect();
+            outputs.extend(network.run_batch(&refs, evaluator.as_dyn())?);
+        }
+        Ok(RunOutcome {
+            outputs,
+            stats: evaluator.into_stats(),
+        })
     }
 }
 
@@ -406,5 +485,51 @@ mod tests {
         w.seqs[1].clear();
         assert!(MemoizedRunner::exact().run(&w).is_err());
         assert!(MemoizedRunner::exact().sequential().run(&w).is_err());
+        assert!(MemoizedRunner::exact().run_batched(&w, 2).is_err());
+    }
+
+    #[test]
+    fn estimated_work_scales_with_timesteps_and_weights() {
+        let w = workload(2, 10);
+        let per_step = w.net.weight_count() as u64;
+        assert_eq!(estimated_work_macs(&w.net, &w.seqs), 2 * 10 * per_step);
+        assert_eq!(estimated_work_macs(&w.net, &[]), 0);
+        // Small test workloads sit far below the spawn-amortization
+        // threshold, so the auto-parallel path must fall back to the
+        // calling thread (with_workers still forces a fan-out).
+        assert!(estimated_work_macs(&w.net, &w.seqs) < SPAWN_AMORTIZATION_MACS);
+    }
+
+    #[test]
+    fn small_runs_fall_back_to_sequential_but_stay_identical() {
+        // Below the threshold the auto runner must behave exactly like
+        // the sequential runner (it IS the sequential path), and the
+        // explicit override must still match bit for bit.
+        let w = workload(5, 8);
+        let auto = MemoizedRunner::exact().run(&w).unwrap();
+        let seq = MemoizedRunner::exact().sequential().run(&w).unwrap();
+        let forced = MemoizedRunner::exact().with_workers(3).run(&w).unwrap();
+        assert_eq!(auto.outputs, seq.outputs);
+        assert_eq!(auto.stats, seq.stats);
+        assert_eq!(forced.outputs, seq.outputs);
+        assert_eq!(forced.stats, seq.stats);
+    }
+
+    #[test]
+    fn run_batched_matches_run_for_every_predictor() {
+        let w = workload(5, 12);
+        for runner in [
+            MemoizedRunner::exact(),
+            MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.4)),
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(1.0)),
+        ] {
+            let reference = runner.sequential().run(&w).unwrap();
+            // 2 leaves a ragged tail over 5 sequences; 0 clamps to 1.
+            for batch in [0usize, 1, 2, 5, 8] {
+                let batched = runner.run_batched(&w, batch).unwrap();
+                assert_eq!(batched.outputs, reference.outputs, "batch={batch}");
+                assert_eq!(batched.stats, reference.stats, "batch={batch}");
+            }
+        }
     }
 }

@@ -461,4 +461,103 @@ mod tests {
         t.refresh(gid(), 0, 3.0, 3.0);
         assert_eq!(t.get(gid(), 0).unwrap().cached_output, 3.0);
     }
+
+    #[test]
+    fn epoch_wraparound_keeps_counters_and_liveness_consistent() {
+        // Around the wrap, live counts, hardware bytes and the
+        // max-consecutive-reuse watermark must behave exactly like an
+        // ordinary clear: no entry may survive and no counter may leak.
+        let mut t = MemoTable::with_gates([(gid(), 4)]);
+        t.epoch = u32::MAX;
+        let h = t.gate_handle(gid(), 4);
+        for n in 0..4 {
+            t.refresh_at(h, n, n as f32, 0.0);
+        }
+        t.reuse_at(h, 2, 0.1);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.max_consecutive_reuses(), 1);
+        t.clear(); // wraps u32::MAX -> 1 with a full slot sweep
+        assert_eq!(t.epoch, 1, "wrap restarts the epoch at 1");
+        assert!(t.is_empty());
+        assert_eq!(t.hardware_bytes(), 0);
+        assert_eq!(t.max_consecutive_reuses(), 0);
+        for n in 0..4 {
+            assert!(t.entry(h, n).is_none(), "slot {n} must be dead after wrap");
+        }
+        // Entries written before the wrap (epoch == u32::MAX) and the
+        // zero-initialized epoch-0 slots must both read as dead under
+        // the restarted epoch.
+        t.refresh_at(h, 1, 9.0, 9.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entry(h, 1).unwrap().cached_output, 9.0);
+        assert!(t.entry(h, 0).is_none());
+    }
+
+    #[test]
+    fn gate_handle_stays_valid_across_clear_cycles() {
+        // The hot path resolves a GateHandle once per gate invocation;
+        // the batched runner additionally reuses per-lane tables across
+        // waves, so a handle resolved before clear() must keep
+        // addressing the same block afterwards.
+        let mut t = MemoTable::with_gates([(gid(), 8)]);
+        let h = t.gate_handle(gid(), 8);
+        for cycle in 0..5 {
+            assert!(t.is_empty(), "cycle {cycle} starts cold");
+            for n in 0..8 {
+                assert!(t.entry(h, n).is_none(), "cycle {cycle} slot {n}");
+            }
+            t.refresh_at(h, cycle, cycle as f32, -(cycle as f32));
+            assert_eq!(t.entry(h, cycle).unwrap().cached_output, cycle as f32);
+            assert_eq!(t.reuse_at(h, cycle, 0.2), cycle as f32);
+            // Re-resolving yields the same block: no relocation, no new
+            // storage.
+            let resolved = t.gate_handle(gid(), 8);
+            assert_eq!(resolved, h);
+            assert_eq!(t.len(), 1);
+            t.clear();
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_and_lookup_on_freshly_cleared_table() {
+        let other = GateId::new(2, 1, GateKind::Reset);
+        let mut t = MemoTable::with_gates([(gid(), 4), (other, 4)]);
+        let h0 = t.gate_handle(gid(), 4);
+        let h1 = t.gate_handle(other, 4);
+        // Warm both gates, then clear.
+        for n in 0..4 {
+            t.refresh_at(h0, n, 1.0, 1.0);
+            t.refresh_at(h1, n, 2.0, 2.0);
+        }
+        t.clear();
+        // Interleave inserts and lookups: a lookup of a not-yet-refreshed
+        // neuron must miss even though the same slot was live last epoch,
+        // while freshly inserted neighbors hit.
+        assert!(t.entry(h0, 0).is_none());
+        t.refresh_at(h0, 0, 10.0, 10.0);
+        assert!(t.entry(h0, 1).is_none(), "stale neighbor must stay dead");
+        assert_eq!(t.entry(h0, 0).unwrap().cached_output, 10.0);
+        assert!(t.entry(h1, 0).is_none(), "other gate untouched this epoch");
+        t.refresh_at(h1, 3, 30.0, 30.0);
+        assert_eq!(t.entry(h1, 3).unwrap().cached_output, 30.0);
+        assert!(t.entry(h1, 2).is_none());
+        assert_eq!(t.len(), 2);
+        // Reuse immediately after an interleaved insert sees the fresh
+        // entry, not the pre-clear one.
+        assert_eq!(t.reuse_at(h0, 0, 0.5), 10.0);
+        assert_eq!(t.entry(h0, 0).unwrap().consecutive_reuses, 1);
+        assert_eq!(t.entry(h0, 0).unwrap().accumulated_delta, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no memo entry")]
+    fn reuse_of_stale_epoch_entry_panics_after_clear() {
+        let mut t = MemoTable::with_gates([(gid(), 2)]);
+        let h = t.gate_handle(gid(), 2);
+        t.refresh_at(h, 1, 1.0, 1.0);
+        t.clear();
+        // The slot still physically holds last epoch's entry; reusing it
+        // without a refresh must be rejected loudly.
+        let _ = t.reuse_at(h, 1, 0.0);
+    }
 }

@@ -1,0 +1,167 @@
+//! Lane-striped state and scratch for multi-sequence batched inference.
+//!
+//! Batch>1 serving evaluates `B` independent sequences (**lanes**)
+//! through a single gate invocation: every lane-striped buffer stores
+//! lane `l`'s vector at `[l * width .. (l + 1) * width]` of one flat
+//! allocation, so the batched kernels can stream a gate's weight rows
+//! once and reuse them across all lanes.
+//!
+//! Ownership rules mirror the single-sequence [`CellScratch`] contract:
+//! the *caller* owns [`BatchState`] and [`BatchScratch`] and may reuse
+//! them across timesteps, waves and cells of the same width; a cell only
+//! borrows them for the duration of one `step_batch_into` call and never
+//! stores references.  Lanes are advanced in lockstep and must be
+//! ordered by **descending sequence length**, so that at batch step `s`
+//! the active lanes are always the prefix `0..active` — a shorter lane
+//! simply drops out of the prefix when its sequence ends (the ragged
+//! tail) and its stale state is never read again.
+//!
+//! [`CellScratch`]: crate::CellScratch
+
+/// The recurrent state of `lanes` independent cell instances, stored
+/// lane-striped: `h` (and `c` for LSTM cells) hold `lanes * hidden`
+/// values each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchState {
+    h: Vec<f32>,
+    c: Vec<f32>,
+    lanes: usize,
+    hidden: usize,
+}
+
+impl BatchState {
+    /// Zero-initialized state for `lanes` lanes of a cell with `hidden`
+    /// neurons per gate.  The cell-state buffer `c` is always allocated;
+    /// GRU cells simply never touch it.
+    pub fn zeros(lanes: usize, hidden: usize) -> Self {
+        BatchState {
+            h: vec![0.0; lanes * hidden],
+            c: vec![0.0; lanes * hidden],
+            lanes,
+            hidden,
+        }
+    }
+
+    /// Number of lanes the state was sized for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Neurons per gate per lane.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The hidden outputs of the first `active` lanes, lane-striped.
+    pub fn h_prefix(&self, active: usize) -> &[f32] {
+        &self.h[..active * self.hidden]
+    }
+
+    /// Mutable hidden outputs of the first `active` lanes.
+    pub fn h_prefix_mut(&mut self, active: usize) -> &mut [f32] {
+        &mut self.h[..active * self.hidden]
+    }
+
+    /// The cell states of the first `active` lanes, lane-striped.
+    pub fn c_prefix(&self, active: usize) -> &[f32] {
+        &self.c[..active * self.hidden]
+    }
+
+    /// Mutable cell states of the first `active` lanes.
+    pub fn c_prefix_mut(&mut self, active: usize) -> &mut [f32] {
+        &mut self.c[..active * self.hidden]
+    }
+
+    /// Lane `l`'s hidden output.
+    pub fn h_lane(&self, lane: usize) -> &[f32] {
+        &self.h[lane * self.hidden..(lane + 1) * self.hidden]
+    }
+
+    /// Splits the state into mutable hidden outputs and immutable cell
+    /// states over the first `active` lanes (the LSTM `h_t = o_t ⊙ ϕ(c_t)`
+    /// update reads `c` while writing `h`).
+    pub fn h_mut_c_prefix(&mut self, active: usize) -> (&mut [f32], &[f32]) {
+        let len = active * self.hidden;
+        (&mut self.h[..len], &self.c[..len])
+    }
+
+    /// Zeroes lane `lane`'s state so the slot can be refilled with a
+    /// fresh sequence.
+    pub fn reset_lane(&mut self, lane: usize) {
+        self.h[lane * self.hidden..(lane + 1) * self.hidden].fill(0.0);
+        self.c[lane * self.hidden..(lane + 1) * self.hidden].fill(0.0);
+    }
+}
+
+/// Reusable lane-striped working buffers for batched cell stepping: the
+/// batch analogue of [`CellScratch`](crate::CellScratch) — three
+/// gate-width buffers sized `lanes * hidden`.  (The sequence driver
+/// keeps its own block-packing and hoisted-projection buffers; a cell
+/// step only ever needs these three.)
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Returns the three gate buffers resized to `len = lanes * hidden`
+    /// values, as disjoint mutable slices.  Only allocates when `len`
+    /// grows beyond any previously seen width.
+    pub fn bufs(&mut self, len: usize) -> (&mut [f32], &mut [f32], &mut [f32]) {
+        if self.a.len() < len {
+            self.a.resize(len, 0.0);
+            self.b.resize(len, 0.0);
+            self.c.resize(len, 0.0);
+        }
+        (&mut self.a[..len], &mut self.b[..len], &mut self.c[..len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_prefixes_are_lane_striped() {
+        let mut s = BatchState::zeros(3, 4);
+        assert_eq!(s.lanes(), 3);
+        assert_eq!(s.hidden(), 4);
+        assert_eq!(s.h_prefix(2).len(), 8);
+        assert_eq!(s.c_prefix(3).len(), 12);
+        s.h_prefix_mut(3)[5] = 2.5;
+        assert_eq!(s.h_lane(1)[1], 2.5);
+        s.c_prefix_mut(2)[0] = 1.0;
+        assert_eq!(s.c_prefix(1)[0], 1.0);
+    }
+
+    #[test]
+    fn reset_lane_only_touches_one_lane() {
+        let mut s = BatchState::zeros(2, 3);
+        s.h_prefix_mut(2).fill(1.0);
+        s.c_prefix_mut(2).fill(2.0);
+        s.reset_lane(0);
+        assert!(s.h_lane(0).iter().all(|&v| v == 0.0));
+        assert!(s.h_lane(1).iter().all(|&v| v == 1.0));
+        assert_eq!(s.c_prefix(2)[3..], [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scratch_buffers_grow_but_never_shrink_storage() {
+        let mut s = BatchScratch::new();
+        {
+            let (a, b, c) = s.bufs(8);
+            assert_eq!((a.len(), b.len(), c.len()), (8, 8, 8));
+            a[0] = 1.0;
+        }
+        let (a, _, _) = s.bufs(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], 1.0);
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::gate::{Gate, GateId};
 use crate::Result;
-use nfm_tensor::kernels::dual_matvec_into;
+use nfm_tensor::kernels::{dual_matmul_into, dual_matvec_into, matmul_add_into};
 
 /// Identifies one neuron evaluation: which gate, which neuron of that
 /// gate, and at which timestep of the current sequence.
@@ -98,10 +98,124 @@ pub trait NeuronEvaluator {
         Ok(())
     }
 
+    /// Produces the pre-activation dot products for every neuron of
+    /// `gate` across `lanes` independent sequences at once.
+    ///
+    /// `xs`, `h_prevs` and `out` are **lane-striped**: lane `l`'s vector
+    /// occupies `[l * width .. (l + 1) * width]` of the flat slice
+    /// (widths: `gate.input_size()`, `gate.hidden_size()` and
+    /// `gate.neurons()` respectively).  All lanes share the same
+    /// `timestep` (the batch driver advances lanes in lockstep).
+    ///
+    /// The default implementation routes each lane through
+    /// [`evaluate_gate`](NeuronEvaluator::evaluate_gate), so custom
+    /// evaluators keep working unchanged; note that a *stateful* custom
+    /// evaluator (one that memoizes across timesteps) sees every lane
+    /// through the same shared state under this default and should
+    /// override the batch methods for per-lane isolation when driven
+    /// with `lanes > 1`.  Built-in evaluators override this with
+    /// lane-striped kernels (one weight stream serving all lanes) and
+    /// per-lane memoization tables; overrides must keep every lane
+    /// bit-identical to the single-sequence path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths are inconsistent with the
+    /// gate.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let (isz, hsz, nsz) = (gate.input_size(), gate.hidden_size(), gate.neurons());
+        debug_assert_eq!(out.len(), lanes * nsz);
+        for l in 0..lanes {
+            self.evaluate_gate(
+                gate_id,
+                timestep,
+                gate,
+                &xs[l * isz..(l + 1) * isz],
+                &h_prevs[l * hsz..(l + 1) * hsz],
+                &mut out[l * nsz..(l + 1) * nsz],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Whether the batch driver should pre-compute the input-projection
+    /// half `W_x·x_t` for a block of timesteps and hand it to
+    /// [`evaluate_gate_batch_hoisted`](NeuronEvaluator::evaluate_gate_batch_hoisted).
+    ///
+    /// Only evaluators that compute *every* neuron in full precision can
+    /// benefit (the exact baseline); memoizing evaluators skip most dot
+    /// products, so pre-computing their forward halves would be wasted
+    /// work.  Defaults to `false`.
+    fn supports_input_hoisting(&self) -> bool {
+        false
+    }
+
+    /// Like [`evaluate_gate_batch`](NeuronEvaluator::evaluate_gate_batch),
+    /// but with the forward half pre-computed: `fwd` is lane-striped
+    /// (`lanes * gate.neurons()`) and holds `W_x[n]·xs[l]` produced with
+    /// the shared reduction order, so an override only adds the
+    /// recurrent half (`out = fwd + W_h·h`, the exact scalar order of
+    /// the fused kernel).
+    ///
+    /// The default ignores `fwd` and recomputes both halves through
+    /// [`evaluate_gate_batch`](NeuronEvaluator::evaluate_gate_batch) —
+    /// bit-identical, just without the hoisting win — so the method is
+    /// only dispatched to evaluators whose
+    /// [`supports_input_hoisting`](NeuronEvaluator::supports_input_hoisting)
+    /// returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths are inconsistent with the
+    /// gate.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_gate_batch_hoisted(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        fwd: &[f32],
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let _ = fwd;
+        self.evaluate_gate_batch(gate_id, timestep, lanes, gate, xs, h_prevs, out)
+    }
+
     /// Called by [`DeepRnn::run`](crate::DeepRnn::run) before each new
     /// input sequence so implementations can reset per-sequence state
     /// (e.g. memoization tables are cold at the start of a sequence).
     fn begin_sequence(&mut self) {}
+
+    /// Called by [`DeepRnn::run_batch`](crate::DeepRnn::run_batch) once
+    /// before a batched run so implementations can size per-lane state
+    /// (e.g. one memoization table per lane).  The default is a no-op.
+    fn begin_batch(&mut self, lanes: usize) {
+        let _ = lanes;
+    }
+
+    /// Called when lane `lane` of a batched run starts a fresh input
+    /// sequence, so per-lane state can be reset.  The default falls back
+    /// to [`begin_sequence`](NeuronEvaluator::begin_sequence) — exactly
+    /// the per-sequence contract when `lanes == 1`, and the best
+    /// available approximation for stateful custom evaluators that did
+    /// not override the batch methods.
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        let _ = lane;
+        self.begin_sequence();
+    }
 }
 
 /// The baseline evaluator: always computes the exact dot products.
@@ -147,6 +261,41 @@ impl NeuronEvaluator for ExactEvaluator {
         out: &mut [f32],
     ) -> Result<()> {
         dual_matvec_into(gate.wx(), gate.wh(), x, h_prev, out)?;
+        self.evaluations += out.len() as u64;
+        Ok(())
+    }
+
+    fn evaluate_gate_batch(
+        &mut self,
+        _gate_id: GateId,
+        _timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        dual_matmul_into(gate.wx(), gate.wh(), xs, h_prevs, lanes, out)?;
+        self.evaluations += out.len() as u64;
+        Ok(())
+    }
+
+    fn supports_input_hoisting(&self) -> bool {
+        true
+    }
+
+    fn evaluate_gate_batch_hoisted(
+        &mut self,
+        _gate_id: GateId,
+        _timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        fwd: &[f32],
+        _xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        matmul_add_into(gate.wh(), h_prevs, lanes, fwd, out)?;
         self.evaluations += out.len() as u64;
         Ok(())
     }
@@ -220,9 +369,53 @@ impl<E: NeuronEvaluator> NeuronEvaluator for CountingEvaluator<E> {
             .evaluate_gate(gate_id, timestep, gate, x, h_prev, out)
     }
 
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.calls += out.len() as u64;
+        self.inner
+            .evaluate_gate_batch(gate_id, timestep, lanes, gate, xs, h_prevs, out)
+    }
+
+    fn supports_input_hoisting(&self) -> bool {
+        self.inner.supports_input_hoisting()
+    }
+
+    fn evaluate_gate_batch_hoisted(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        fwd: &[f32],
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.calls += out.len() as u64;
+        self.inner
+            .evaluate_gate_batch_hoisted(gate_id, timestep, lanes, gate, fwd, xs, h_prevs, out)
+    }
+
     fn begin_sequence(&mut self) {
         self.sequences += 1;
         self.inner.begin_sequence();
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        self.inner.begin_batch(lanes);
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        self.sequences += 1;
+        self.inner.begin_lane_sequence(lane);
     }
 }
 
@@ -266,11 +459,21 @@ impl<E: NeuronEvaluator> NeuronEvaluator for PerNeuronEvaluator<E> {
         self.inner.evaluate(neuron, gate, x, h_prev)
     }
 
-    // No evaluate_gate override: the trait default IS the per-neuron
-    // loop this wrapper exists to pin down.
+    // No evaluate_gate / evaluate_gate_batch overrides: the trait
+    // defaults ARE the per-neuron and per-lane loops this wrapper exists
+    // to pin down (and `supports_input_hoisting` stays `false`, so the
+    // batch driver never hands this wrapper a hoisted projection).
 
     fn begin_sequence(&mut self) {
         self.inner.begin_sequence();
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        self.inner.begin_batch(lanes);
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        self.inner.begin_lane_sequence(lane);
     }
 }
 

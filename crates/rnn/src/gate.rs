@@ -395,6 +395,70 @@ impl Gate {
         Ok(())
     }
 
+    /// Evaluates the whole gate for one timestep across `lanes`
+    /// independent sequences into a caller-owned lane-striped buffer.
+    ///
+    /// `xs`/`h_prevs`/`c_prevs`/`out` are lane-striped (`lanes *` the
+    /// respective width); lane `l`'s result is bit-identical to a
+    /// single-sequence [`Gate::evaluate_into`] over lane `l`'s vectors.
+    /// When `fwd` is `Some`, it holds the pre-computed input projections
+    /// `W_x[n]·xs[l]` (lane-striped, `lanes * neurons`) and the
+    /// evaluator's hoisted path is used (callers only pass this for
+    /// evaluators whose
+    /// [`supports_input_hoisting`](crate::NeuronEvaluator::supports_input_hoisting)
+    /// returns `true`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input widths do not match the gate shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != lanes * self.neurons()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_batch_into(
+        &self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        xs: &[f32],
+        h_prevs: &[f32],
+        c_prevs: Option<&[f32]>,
+        fwd: Option<&[f32]>,
+        evaluator: &mut dyn NeuronEvaluator,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if xs.len() != lanes * self.input_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: lanes * self.input_size(),
+                found: xs.len(),
+                timestep,
+            });
+        }
+        if h_prevs.len() != lanes * self.hidden_size() {
+            return Err(RnnError::InputSizeMismatch {
+                expected: lanes * self.hidden_size(),
+                found: h_prevs.len(),
+                timestep,
+            });
+        }
+        let neurons = self.neurons();
+        assert_eq!(out.len(), lanes * neurons, "gate output width mismatch");
+        match fwd {
+            Some(fwd) => evaluator.evaluate_gate_batch_hoisted(
+                gate_id, timestep, lanes, self, fwd, xs, h_prevs, out,
+            )?,
+            None => {
+                evaluator.evaluate_gate_batch(gate_id, timestep, lanes, self, xs, h_prevs, out)?
+            }
+        }
+        for l in 0..lanes {
+            let c_lane = c_prevs.map(|c| &c[l * neurons..(l + 1) * neurons]);
+            self.finish_into(&mut out[l * neurons..(l + 1) * neurons], c_lane);
+        }
+        Ok(())
+    }
+
     /// Evaluates the whole gate for one timestep, returning a freshly
     /// allocated output vector.  Allocation-conscious callers (the cells'
     /// sequence loops) use [`Gate::evaluate_into`] with reused scratch

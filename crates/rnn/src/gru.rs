@@ -1,5 +1,6 @@
 //! GRU cell (Figure 3 of the paper).
 
+use crate::batch::{BatchScratch, BatchState};
 use crate::error::RnnError;
 use crate::evaluator::NeuronEvaluator;
 use crate::gate::{Gate, GateId, GateKind};
@@ -213,6 +214,109 @@ impl GruCell {
         )?;
         // h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
         for (n, h_next) in next.h.as_mut_slice().iter_mut().enumerate() {
+            *h_next = (1.0 - zb[n]) * h_prev[n] + zb[n] * gb[n];
+        }
+        Ok(())
+    }
+
+    /// Advances the first `lanes` lanes of a batch by one timestep,
+    /// writing the next lane-striped state into `next` and reusing the
+    /// caller-owned `scratch`.  `xs` is lane-striped
+    /// (`lanes * input_size`); `hoisted`, when present, supplies the
+    /// pre-computed `W_x·x_t` projections, one lane-striped slice per
+    /// gate in [`GateKind::GRU`] order (the candidate's *recurrent* half
+    /// still uses the reset-modulated hidden state per timestep).  Lane
+    /// `l`'s next state is bit-identical to a single-sequence
+    /// [`GruCell::step_into`] over lane `l`'s vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lane-striped widths do not match the
+    /// cell.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_batch_into(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        lanes: usize,
+        xs: &[f32],
+        state: &BatchState,
+        next: &mut BatchState,
+        scratch: &mut BatchScratch,
+        hoisted: Option<&[&[f32]]>,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        let hidden = self.hidden_size();
+        if state.hidden() != hidden
+            || next.hidden() != hidden
+            || state.lanes() < lanes
+            || next.lanes() < lanes
+        {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "batch state ({} lanes x {}) does not cover {} lanes of hidden size {}",
+                    state.lanes(),
+                    state.hidden(),
+                    lanes,
+                    hidden
+                ),
+            });
+        }
+        if let Some(fwd) = hoisted {
+            if fwd.len() != GateKind::GRU.len() {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "hoisted projections cover {} gates, GRU needs {}",
+                        fwd.len(),
+                        GateKind::GRU.len()
+                    ),
+                });
+            }
+        }
+        let id = |kind| GateId::new(layer, direction, kind);
+        let h_prev = state.h_prefix(lanes);
+        let (zb, rb, gb) = scratch.bufs(lanes * hidden);
+        let gate_fwd = |g: usize| hoisted.map(|f| f[g]);
+        self.update.evaluate_batch_into(
+            id(GateKind::Update),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            None,
+            gate_fwd(0),
+            evaluator,
+            zb,
+        )?;
+        self.reset.evaluate_batch_into(
+            id(GateKind::Reset),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            None,
+            gate_fwd(1),
+            evaluator,
+            rb,
+        )?;
+        // Reset-modulated hidden state, in place: rb = r_t ⊙ h_{t-1}.
+        for (r, h) in rb.iter_mut().zip(h_prev.iter()) {
+            *r *= h;
+        }
+        self.candidate.evaluate_batch_into(
+            id(GateKind::Candidate),
+            timestep,
+            lanes,
+            xs,
+            rb,
+            None,
+            gate_fwd(2),
+            evaluator,
+            gb,
+        )?;
+        // h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ g_t
+        for (n, h_next) in next.h_prefix_mut(lanes).iter_mut().enumerate() {
             *h_next = (1.0 - zb[n]) * h_prev[n] + zb[n] * gb[n];
         }
         Ok(())

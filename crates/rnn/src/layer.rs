@@ -1,6 +1,7 @@
 //! A recurrent layer: one cell (unidirectional) or a forward/backward
 //! pair of cells (bidirectional).
 
+use crate::batch::{BatchScratch, BatchState};
 use crate::config::{CellKind, Direction};
 use crate::error::RnnError;
 use crate::evaluator::NeuronEvaluator;
@@ -9,8 +10,20 @@ use crate::gru::{GruCell, GruState};
 use crate::lstm::{LstmCell, LstmState};
 use crate::scratch::CellScratch;
 use crate::Result;
+use nfm_tensor::kernels::matmul_into;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
+
+/// Number of timesteps whose input projections `W_x·x_t` are hoisted
+/// into one matrix-matrix product when the evaluator supports it: the
+/// forward weight matrix of every gate is streamed once per block
+/// instead of once per timestep.  The recurrent half `W_h·h_{t-1}` can
+/// never be hoisted (it depends on the previous step's output).
+const HOIST_BLOCK: usize = 8;
+
+/// The largest gate count of any cell kind (LSTM), sizing the
+/// stack-allocated hoisted-slice array in the batch step loop.
+const MAX_GATES: usize = GateKind::LSTM.len();
 
 /// Either kind of recurrent cell, so layers and networks can mix LSTM and
 /// GRU uniformly.
@@ -158,6 +171,172 @@ impl Cell {
         }
         Ok(outputs.into_iter().map(|o| o.expect("filled")).collect())
     }
+
+    /// Runs one sequence per lane through the cell in lockstep, batching
+    /// every gate evaluation across the active lanes, and returns each
+    /// lane's per-timestep hidden outputs (indexed by the original
+    /// timestep order, like [`Cell::run_sequence`]).
+    ///
+    /// `inputs` must be sorted by **descending sequence length** so the
+    /// active lanes always form a prefix: at batch step `s`, exactly the
+    /// lanes with `len > s` participate (forward processes element `s`,
+    /// reverse processes element `len - 1 - s`), and a lane simply drops
+    /// out of the prefix when its sequence ends.
+    ///
+    /// When the evaluator's
+    /// [`supports_input_hoisting`](NeuronEvaluator::supports_input_hoisting)
+    /// returns `true`, the input projections `W_x·x_t` of up to
+    /// [`HOIST_BLOCK`] timesteps are pre-computed with one lane-striped
+    /// matrix product per gate and handed to the evaluator's hoisted
+    /// path — bit-transparent, because the hoisted kernels keep the
+    /// `fwd + rec` scalar order of the fused path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input width does not match the cell or
+    /// the lanes are not sorted by descending length.
+    pub fn run_sequences_batch(
+        &self,
+        layer: usize,
+        direction: usize,
+        inputs: &[&[Vector]],
+        reverse: bool,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vec<Vector>>> {
+        let lanes = inputs.len();
+        if lanes == 0 {
+            return Ok(Vec::new());
+        }
+        let input_size = self.input_size();
+        let hidden = self.hidden_size();
+        let lens: Vec<usize> = inputs.iter().map(|s| s.len()).collect();
+        if lens.windows(2).any(|w| w[0] < w[1]) {
+            return Err(RnnError::InvalidConfig {
+                what: "batch lanes must be sorted by descending sequence length".into(),
+            });
+        }
+        for seq in inputs {
+            for (t, x) in seq.iter().enumerate() {
+                if x.len() != input_size {
+                    return Err(RnnError::InputSizeMismatch {
+                        expected: input_size,
+                        found: x.len(),
+                        timestep: t,
+                    });
+                }
+            }
+        }
+        let max_len = lens[0];
+        let mut outputs: Vec<Vec<Option<Vector>>> = lens.iter().map(|&n| vec![None; n]).collect();
+        let mut state = BatchState::zeros(lanes, hidden);
+        let mut next = BatchState::zeros(lanes, hidden);
+        let mut scratch = BatchScratch::new();
+        let hoist = evaluator.supports_input_hoisting();
+        let kinds = self.gate_kinds();
+        let gate_count = kinds.len();
+        debug_assert!(gate_count <= MAX_GATES);
+        // Block-local buffers, grown once and reused across blocks.
+        let mut packed: Vec<f32> = Vec::new();
+        let mut fwd_buf: Vec<f32> = Vec::new();
+
+        let mut s = 0;
+        while s < max_len {
+            let block = (max_len - s).min(HOIST_BLOCK);
+            // Per-step active lane counts and packed row offsets for the
+            // block (active counts only shrink: lanes are length-sorted).
+            let mut step_active = [0usize; HOIST_BLOCK];
+            let mut row_offset = [0usize; HOIST_BLOCK];
+            let mut total_rows = 0usize;
+            for b in 0..block {
+                let step = s + b;
+                step_active[b] = lens.iter().take_while(|&&n| n > step).count();
+                row_offset[b] = total_rows;
+                total_rows += step_active[b];
+            }
+            // Gather the block's active inputs lane-striped, step-major.
+            if packed.len() < total_rows * input_size {
+                packed.resize(total_rows * input_size, 0.0);
+            }
+            for b in 0..block {
+                let step = s + b;
+                for l in 0..step_active[b] {
+                    let t = if reverse { lens[l] - 1 - step } else { step };
+                    let dst = (row_offset[b] + l) * input_size;
+                    packed[dst..dst + input_size].copy_from_slice(inputs[l][t].as_slice());
+                }
+            }
+            if hoist {
+                // One matrix product per gate covers the whole block's
+                // input projections.
+                if fwd_buf.len() < gate_count * total_rows * hidden {
+                    fwd_buf.resize(gate_count * total_rows * hidden, 0.0);
+                }
+                for (g, kind) in kinds.iter().enumerate() {
+                    let gate = self.gate(*kind).expect("cell exposes its own gate kinds");
+                    matmul_into(
+                        gate.wx(),
+                        &packed[..total_rows * input_size],
+                        total_rows,
+                        &mut fwd_buf[g * total_rows * hidden..(g + 1) * total_rows * hidden],
+                    )?;
+                }
+            }
+            for b in 0..block {
+                let active = step_active[b];
+                if active == 0 {
+                    break;
+                }
+                let step = s + b;
+                let xs = &packed[row_offset[b] * input_size..(row_offset[b] + active) * input_size];
+                let mut fwd_slices: [&[f32]; MAX_GATES] = [&[]; MAX_GATES];
+                let hoisted: Option<&[&[f32]]> = if hoist {
+                    for (g, slot) in fwd_slices.iter_mut().enumerate().take(gate_count) {
+                        let start = g * total_rows * hidden + row_offset[b] * hidden;
+                        *slot = &fwd_buf[start..start + active * hidden];
+                    }
+                    Some(&fwd_slices[..gate_count])
+                } else {
+                    None
+                };
+                match self {
+                    Cell::Lstm(cell) => cell.step_batch_into(
+                        layer,
+                        direction,
+                        step,
+                        active,
+                        xs,
+                        &state,
+                        &mut next,
+                        &mut scratch,
+                        hoisted,
+                        evaluator,
+                    )?,
+                    Cell::Gru(cell) => cell.step_batch_into(
+                        layer,
+                        direction,
+                        step,
+                        active,
+                        xs,
+                        &state,
+                        &mut next,
+                        &mut scratch,
+                        hoisted,
+                        evaluator,
+                    )?,
+                }
+                for (l, lane_out) in outputs.iter_mut().enumerate().take(active) {
+                    let t = if reverse { lens[l] - 1 - step } else { step };
+                    lane_out[t] = Some(Vector::from(next.h_lane(l).to_vec()));
+                }
+                std::mem::swap(&mut state, &mut next);
+            }
+            s += block;
+        }
+        Ok(outputs
+            .into_iter()
+            .map(|lane| lane.into_iter().map(|o| o.expect("filled")).collect())
+            .collect())
+    }
 }
 
 /// One layer of a deep RNN.
@@ -300,6 +479,42 @@ impl Layer {
                     .iter()
                     .zip(bwd.iter())
                     .map(|(f, b)| f.concat(b))
+                    .collect())
+            }
+        }
+    }
+
+    /// Processes one sequence per lane in lockstep (see
+    /// [`Cell::run_sequences_batch`]), producing each lane's per-timestep
+    /// outputs.  For bidirectional layers the forward and backward
+    /// outputs are concatenated exactly as in [`Layer::process`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input width does not match the layer or
+    /// the lanes are not sorted by descending sequence length.
+    pub fn process_batch(
+        &self,
+        inputs: &[&[Vector]],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vec<Vector>>> {
+        let fwd = self
+            .forward
+            .run_sequences_batch(self.index, 0, inputs, false, evaluator)?;
+        match &self.backward {
+            None => Ok(fwd),
+            Some(bwd_cell) => {
+                let bwd = bwd_cell.run_sequences_batch(self.index, 1, inputs, true, evaluator)?;
+                Ok(fwd
+                    .iter()
+                    .zip(bwd.iter())
+                    .map(|(f_lane, b_lane)| {
+                        f_lane
+                            .iter()
+                            .zip(b_lane.iter())
+                            .map(|(f, b)| f.concat(b))
+                            .collect()
+                    })
                     .collect())
             }
         }

@@ -34,6 +34,7 @@
 //! assert_eq!(outputs[0].len(), 16);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod dense;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod lstm;
 pub mod network;
 pub mod scratch;
 
+pub use batch::{BatchScratch, BatchState};
 pub use config::{CellKind, DeepRnnConfig, Direction};
 pub use dense::Dense;
 pub use error::RnnError;

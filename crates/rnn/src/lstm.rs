@@ -1,5 +1,6 @@
 //! LSTM cell with peephole connections (Figure 2 / Equations 1–6).
 
+use crate::batch::{BatchScratch, BatchState};
 use crate::error::RnnError;
 use crate::evaluator::NeuronEvaluator;
 use crate::gate::{Gate, GateId, GateKind};
@@ -258,6 +259,134 @@ impl LstmCell {
         let c_next = next.c.as_slice();
         for (n, h_next) in next.h.as_mut_slice().iter_mut().enumerate() {
             *h_next = ib[n] * c_next[n].tanh();
+        }
+        Ok(())
+    }
+
+    /// Advances the first `lanes` lanes of a batch by one timestep,
+    /// writing the next lane-striped state into `next` and reusing the
+    /// caller-owned `scratch`: the steady-state path performs zero
+    /// allocations and every gate's weights are streamed once for all
+    /// lanes.
+    ///
+    /// `xs` holds the `lanes` input vectors lane-striped
+    /// (`lanes * input_size`).  `hoisted`, when present, supplies the
+    /// pre-computed input projections `W_x·x_t` for this timestep, one
+    /// lane-striped slice (`lanes * hidden`) per gate in
+    /// [`GateKind::LSTM`] order.  Lane `l`'s next state is bit-identical
+    /// to a single-sequence [`LstmCell::step_into`] over lane `l`'s
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lane-striped widths do not match the
+    /// cell.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_batch_into(
+        &self,
+        layer: usize,
+        direction: usize,
+        timestep: usize,
+        lanes: usize,
+        xs: &[f32],
+        state: &BatchState,
+        next: &mut BatchState,
+        scratch: &mut BatchScratch,
+        hoisted: Option<&[&[f32]]>,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        let hidden = self.hidden_size();
+        if state.hidden() != hidden || state.lanes() < lanes || next.lanes() < lanes {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "batch state ({} lanes x {}) does not cover {} lanes of hidden size {}",
+                    state.lanes(),
+                    state.hidden(),
+                    lanes,
+                    hidden
+                ),
+            });
+        }
+        if next.hidden() != hidden {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "next batch state hidden size {} does not match cell hidden size {}",
+                    next.hidden(),
+                    hidden
+                ),
+            });
+        }
+        if let Some(fwd) = hoisted {
+            if fwd.len() != GateKind::LSTM.len() {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "hoisted projections cover {} gates, LSTM needs {}",
+                        fwd.len(),
+                        GateKind::LSTM.len()
+                    ),
+                });
+            }
+        }
+        let id = |kind| GateId::new(layer, direction, kind);
+        let h_prev = state.h_prefix(lanes);
+        let c_prev = state.c_prefix(lanes);
+        let (ib, fb, gb) = scratch.bufs(lanes * hidden);
+        let gate_fwd = |g: usize| hoisted.map(|f| f[g]);
+        self.input.evaluate_batch_into(
+            id(GateKind::Input),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            Some(c_prev),
+            gate_fwd(0),
+            evaluator,
+            ib,
+        )?;
+        self.forget.evaluate_batch_into(
+            id(GateKind::Forget),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            Some(c_prev),
+            gate_fwd(1),
+            evaluator,
+            fb,
+        )?;
+        self.candidate.evaluate_batch_into(
+            id(GateKind::Candidate),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            None,
+            gate_fwd(2),
+            evaluator,
+            gb,
+        )?;
+        // c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t, elementwise over all lanes
+        // (the per-index scalar order of step_into).
+        for (n, c_next) in next.c_prefix_mut(lanes).iter_mut().enumerate() {
+            *c_next = fb[n] * c_prev[n] + ib[n] * gb[n];
+        }
+        // Output-gate peephole uses the previous cell state (see the
+        // cell docs); `ib` is free again and holds o_t.
+        self.output.evaluate_batch_into(
+            id(GateKind::Output),
+            timestep,
+            lanes,
+            xs,
+            h_prev,
+            Some(c_prev),
+            gate_fwd(3),
+            evaluator,
+            ib,
+        )?;
+        // h_t = o_t ⊙ ϕ(c_t)
+        let (h_next, c_next) = next.h_mut_c_prefix(lanes);
+        for (n, h) in h_next.iter_mut().enumerate() {
+            *h = ib[n] * c_next[n].tanh();
         }
         Ok(())
     }

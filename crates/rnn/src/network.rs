@@ -189,6 +189,92 @@ impl DeepRnn {
         }
     }
 
+    /// Runs up to a batch of independent input sequences through the
+    /// network in lockstep — **lanes** — batching every gate evaluation
+    /// across the sequences so one weight stream serves all of them.
+    ///
+    /// Ragged lengths are supported: internally the lanes are packed
+    /// longest-first (the returned outputs are in the caller's order)
+    /// and a lane drops out of the active prefix when its sequence ends.
+    /// Lane `l`'s outputs, reuse statistics and memoization behavior are
+    /// bit-identical to a dedicated [`DeepRnn::run`] over sequence `l`:
+    /// the evaluator's [`begin_batch`](NeuronEvaluator::begin_batch) hook
+    /// is invoked once, then
+    /// [`begin_lane_sequence`](NeuronEvaluator::begin_lane_sequence) per
+    /// lane, so per-lane memoization state starts cold exactly like the
+    /// per-sequence path.  (For a *stateful custom* evaluator that did
+    /// not override the batch methods, the trait's default lane loop
+    /// shares its single state across lanes — the per-lane guarantee
+    /// then only holds for one lane at a time; see
+    /// [`NeuronEvaluator::evaluate_gate_batch`].)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::EmptySequence`] if any sequence is empty, or
+    /// an error if any element has the wrong width.
+    pub fn run_batch(
+        &self,
+        sequences: &[&[Vector]],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<Vec<Vec<Vector>>> {
+        let lanes = sequences.len();
+        if lanes == 0 {
+            return Ok(Vec::new());
+        }
+        for seq in sequences {
+            if seq.is_empty() {
+                return Err(RnnError::EmptySequence);
+            }
+            for (t, x) in seq.iter().enumerate() {
+                if x.len() != self.input_size {
+                    return Err(RnnError::InputSizeMismatch {
+                        expected: self.input_size,
+                        found: x.len(),
+                        timestep: t,
+                    });
+                }
+            }
+        }
+        // Pack lanes longest-first (stable among equal lengths) so the
+        // active lanes always form a prefix as sequences drain.
+        let mut order: Vec<usize> = (0..lanes).collect();
+        order.sort_by(|&a, &b| sequences[b].len().cmp(&sequences[a].len()));
+        evaluator.begin_batch(lanes);
+        for l in 0..lanes {
+            evaluator.begin_lane_sequence(l);
+        }
+        // Layer 0 reads the caller's sequences directly (no clone); each
+        // layer's owned outputs feed the next layer by reference.
+        let current: Vec<Vec<Vector>> = {
+            let borrowed: Vec<&[Vector]> = order.iter().map(|&i| sequences[i]).collect();
+            let mut layers = self.layers.iter();
+            let first = layers.next().expect("non-empty");
+            let mut out = first.process_batch(&borrowed, evaluator)?;
+            for layer in layers {
+                let refs: Vec<&[Vector]> = out.iter().map(|lane| lane.as_slice()).collect();
+                out = layer.process_batch(&refs, evaluator)?;
+            }
+            out
+        };
+        let current = match &self.head {
+            None => current,
+            Some(head) => current
+                .iter()
+                .map(|lane| {
+                    lane.iter()
+                        .map(|v| head.apply(v))
+                        .collect::<Result<Vec<_>>>()
+                })
+                .collect::<Result<Vec<_>>>()?,
+        };
+        // Un-permute back to the caller's sequence order.
+        let mut result: Vec<Option<Vec<Vector>>> = (0..lanes).map(|_| None).collect();
+        for (&slot, lane_out) in order.iter().zip(current) {
+            result[slot] = Some(lane_out);
+        }
+        Ok(result.into_iter().map(|o| o.expect("filled")).collect())
+    }
+
     /// Runs the network and also returns the outputs of the final
     /// recurrent layer (before the head).  The evaluation harness uses
     /// the recurrent outputs for similarity analyses and the head outputs
@@ -363,6 +449,59 @@ mod tests {
         assert_eq!(hidden.len(), 4);
         assert_eq!(out[0].len(), 2);
         assert_eq!(hidden[0].len(), 5);
+    }
+
+    #[test]
+    fn run_batch_matches_per_sequence_run_bitwise() {
+        // Ragged lengths, bidirectional stack, head: every lane of a
+        // batched run must be bit-identical to its own dedicated run.
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 4, 5)
+            .layers(2)
+            .direction(Direction::Bidirectional)
+            .output_size(3);
+        let mut rng = DeterministicRng::seed_from_u64(21);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let seqs: Vec<Vec<Vector>> = [5usize, 9, 3, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| seq(len, 4, 30 + i as u64))
+            .collect();
+        let refs: Vec<&[Vector]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut batch_eval = ExactEvaluator::new();
+        let batched = net.run_batch(&refs, &mut batch_eval).unwrap();
+        let mut single_evals = 0u64;
+        for (i, s) in seqs.iter().enumerate() {
+            let mut eval = ExactEvaluator::new();
+            let single = net.run(s, &mut eval).unwrap();
+            single_evals += eval.evaluations();
+            assert_eq!(batched[i].len(), single.len(), "lane {i}");
+            for (t, (a, b)) in batched[i].iter().zip(single.iter()).enumerate() {
+                for n in 0..a.len() {
+                    assert_eq!(a[n].to_bits(), b[n].to_bits(), "lane {i} t={t} n={n}");
+                }
+            }
+        }
+        assert_eq!(batch_eval.evaluations(), single_evals);
+    }
+
+    #[test]
+    fn run_batch_rejects_empty_and_misshaped_lanes() {
+        let cfg = DeepRnnConfig::new(CellKind::Gru, 3, 4);
+        let mut rng = DeterministicRng::seed_from_u64(22);
+        let net = DeepRnn::random(&cfg, &mut rng).unwrap();
+        let mut eval = ExactEvaluator::new();
+        assert!(net.run_batch(&[], &mut eval).unwrap().is_empty());
+        let good = seq(4, 3, 23);
+        let empty: Vec<Vector> = Vec::new();
+        assert!(matches!(
+            net.run_batch(&[good.as_slice(), empty.as_slice()], &mut eval),
+            Err(RnnError::EmptySequence)
+        ));
+        let bad = vec![Vector::zeros(2); 3];
+        assert!(matches!(
+            net.run_batch(&[good.as_slice(), bad.as_slice()], &mut eval),
+            Err(RnnError::InputSizeMismatch { .. })
+        ));
     }
 
     #[test]

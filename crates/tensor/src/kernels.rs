@@ -141,6 +141,191 @@ pub fn dual_matvec_into(
     Ok(())
 }
 
+/// Lane-striped matrix-matrix product into a caller-owned buffer:
+/// `out[l*rows + r] = m[r]·xs[l]` for `l in 0..lanes`.
+///
+/// `xs` holds `lanes` input vectors back to back (`lanes * m.cols()`
+/// values, lane-striped), `out` holds `lanes` output vectors back to
+/// back (`lanes * m.rows()`).  The row loop is *outer* and the lane loop
+/// *inner*, so every weight row is streamed from memory exactly once and
+/// then reused for all lanes — this is what turns the memory-bound
+/// per-sequence matvec into a compute-dense kernel under batch>1
+/// serving.  Each `(row, lane)` product goes through [`dot_unchecked`],
+/// so lane `l` of a batch is bit-identical to a single-sequence
+/// [`matvec_into`] over the same vector.
+///
+/// # Errors
+///
+/// Returns a shape/length error if `xs.len() != lanes * m.cols()` or
+/// `out.len() != lanes * m.rows()`.
+pub fn matmul_into(m: &Matrix, xs: &[f32], lanes: usize, out: &mut [f32]) -> Result<()> {
+    if xs.len() != lanes * m.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: m.rows(),
+            cols: m.cols(),
+            vec_len: xs.len(),
+            op: "matmul_into",
+        });
+    }
+    if out.len() != lanes * m.rows() {
+        return Err(TensorError::LengthMismatch {
+            left: out.len(),
+            right: lanes * m.rows(),
+            op: "matmul_into",
+        });
+    }
+    let rows = m.rows();
+    let cols = m.cols().max(1);
+    for (r, row) in m.as_slice().chunks_exact(cols).enumerate() {
+        for l in 0..lanes {
+            out[l * rows + r] = dot_unchecked(row, &xs[l * cols..(l + 1) * cols]);
+        }
+    }
+    Ok(())
+}
+
+/// Lane-striped dual matrix-matrix product:
+/// `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l]`.
+///
+/// The batched form of [`dual_matvec_into`]: both weight rows of a
+/// neuron are streamed once and reused across all `lanes` sequences.
+/// The per-lane scalar order is `fwd + rec` with [`dot_unchecked`] for
+/// each half, so every lane is bit-identical to the single-sequence
+/// path.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn dual_matmul_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    if xs.len() != lanes * wx.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: wx.rows(),
+            cols: wx.cols(),
+            vec_len: xs.len(),
+            op: "dual_matmul_into(xs)",
+        });
+    }
+    if hs.len() != lanes * wh.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: wh.rows(),
+            cols: wh.cols(),
+            vec_len: hs.len(),
+            op: "dual_matmul_into(hs)",
+        });
+    }
+    if wx.rows() != wh.rows() || out.len() != lanes * wx.rows() {
+        return Err(TensorError::LengthMismatch {
+            left: out.len(),
+            right: lanes * wx.rows(),
+            op: "dual_matmul_into(out)",
+        });
+    }
+    let rows = wx.rows();
+    let xc = wx.cols().max(1);
+    let hc = wh.cols().max(1);
+    for ((r, rx), rh) in wx
+        .as_slice()
+        .chunks_exact(xc)
+        .enumerate()
+        .zip(wh.as_slice().chunks_exact(hc))
+    {
+        for l in 0..lanes {
+            out[l * rows + r] = dot_unchecked(rx, &xs[l * xc..(l + 1) * xc])
+                + dot_unchecked(rh, &hs[l * hc..(l + 1) * hc]);
+        }
+    }
+    Ok(())
+}
+
+/// Lane-striped matrix-matrix product *added onto* a precomputed base:
+/// `out[l*rows + r] = base[l*rows + r] + m[r]·xs[l]`.
+///
+/// This is the recurrent half of a sequence-hoisted gate evaluation: the
+/// caller precomputes the input projections `W_x·x_t` for a block of
+/// timesteps (one [`matmul_into`] streams `W_x` once for the whole
+/// block), then per timestep only the recurrent `W_h·h_{t-1}` half is
+/// evaluated here.  The scalar order is `base + rec`, identical to the
+/// `fwd + rec` order of [`dual_matmul_into`], so hoisting is
+/// bit-transparent.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn matmul_add_into(
+    m: &Matrix,
+    xs: &[f32],
+    lanes: usize,
+    base: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    if xs.len() != lanes * m.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: m.rows(),
+            cols: m.cols(),
+            vec_len: xs.len(),
+            op: "matmul_add_into",
+        });
+    }
+    if out.len() != lanes * m.rows() || base.len() != out.len() {
+        return Err(TensorError::LengthMismatch {
+            left: base.len().min(out.len()),
+            right: lanes * m.rows(),
+            op: "matmul_add_into(out)",
+        });
+    }
+    let rows = m.rows();
+    let cols = m.cols().max(1);
+    for (r, row) in m.as_slice().chunks_exact(cols).enumerate() {
+        for l in 0..lanes {
+            let idx = l * rows + r;
+            out[idx] = base[idx] + dot_unchecked(row, &xs[l * cols..(l + 1) * cols]);
+        }
+    }
+    Ok(())
+}
+
+/// Lane-striped fused gate pre-activation:
+/// `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l] + bias[r]`.
+///
+/// The batched form of [`gate_preact_into`]; the bias is added after the
+/// dual product exactly as in the single-sequence kernel.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn gate_preact_batch_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    bias: &[f32],
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    dual_matmul_into(wx, wh, xs, hs, lanes, out)?;
+    if bias.len() != wx.rows() {
+        return Err(TensorError::LengthMismatch {
+            left: bias.len(),
+            right: wx.rows(),
+            op: "gate_preact_batch_into(bias)",
+        });
+    }
+    let rows = wx.rows();
+    for l in 0..lanes {
+        for (o, b) in out[l * rows..(l + 1) * rows].iter_mut().zip(bias.iter()) {
+            *o += b;
+        }
+    }
+    Ok(())
+}
+
 /// Fused gate pre-activation into a caller-owned buffer:
 /// `out[n] = wx[n]·x + wh[n]·h + bias[n]`.
 ///
@@ -256,6 +441,140 @@ mod tests {
         assert!(dual_matvec_into(&wx, &wh, &[0.0; 3], &[0.0; 2], &mut short).is_err());
         let wh_bad = Matrix::zeros(3, 2);
         assert!(dual_matvec_into(&wx, &wh_bad, &[0.0; 3], &[0.0; 2], &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_lane_zero_matches_matvec_bitwise() {
+        let mut rng = DeterministicRng::seed_from_u64(6);
+        for lanes in [1usize, 2, 4, 5] {
+            let (rows, cols) = (7, 13);
+            let m = random_matrix(&mut rng, rows, cols);
+            let xs: Vec<f32> = (0..lanes * cols).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut out = vec![0.0f32; lanes * rows];
+            matmul_into(&m, &xs, lanes, &mut out).unwrap();
+            for l in 0..lanes {
+                let mut single = vec![0.0f32; rows];
+                matvec_into(&m, &xs[l * cols..(l + 1) * cols], &mut single).unwrap();
+                for r in 0..rows {
+                    assert_eq!(
+                        out[l * rows + r].to_bits(),
+                        single[r].to_bits(),
+                        "lane {l} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_validates_shapes() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = vec![0.0; 4];
+        assert!(matmul_into(&m, &[0.0; 5], 2, &mut out).is_err());
+        let mut short = vec![0.0; 3];
+        assert!(matmul_into(&m, &[0.0; 6], 2, &mut short).is_err());
+        assert!(matmul_into(&m, &[0.0; 6], 2, &mut out).is_ok());
+    }
+
+    #[test]
+    fn dual_matmul_lanes_match_dual_matvec_bitwise() {
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        let (neurons, input, hidden, lanes) = (9, 12, 9, 3);
+        let wx = random_matrix(&mut rng, neurons, input);
+        let wh = random_matrix(&mut rng, neurons, hidden);
+        let xs: Vec<f32> = (0..lanes * input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hs: Vec<f32> = (0..lanes * hidden)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let mut out = vec![0.0f32; lanes * neurons];
+        dual_matmul_into(&wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
+        for l in 0..lanes {
+            let mut single = vec![0.0f32; neurons];
+            dual_matvec_into(
+                &wx,
+                &wh,
+                &xs[l * input..(l + 1) * input],
+                &hs[l * hidden..(l + 1) * hidden],
+                &mut single,
+            )
+            .unwrap();
+            for n in 0..neurons {
+                assert_eq!(
+                    out[l * neurons + n].to_bits(),
+                    single[n].to_bits(),
+                    "lane {l} neuron {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_matmul_validates_shapes() {
+        let wx = Matrix::zeros(2, 3);
+        let wh = Matrix::zeros(2, 2);
+        let mut out = vec![0.0; 4];
+        assert!(dual_matmul_into(&wx, &wh, &[0.0; 5], &[0.0; 4], 2, &mut out).is_err());
+        assert!(dual_matmul_into(&wx, &wh, &[0.0; 6], &[0.0; 3], 2, &mut out).is_err());
+        let mut short = vec![0.0; 3];
+        assert!(dual_matmul_into(&wx, &wh, &[0.0; 6], &[0.0; 4], 2, &mut short).is_err());
+        assert!(dual_matmul_into(&wx, &wh, &[0.0; 6], &[0.0; 4], 2, &mut out).is_ok());
+    }
+
+    #[test]
+    fn matmul_add_is_bit_identical_to_fused_dual() {
+        // Hoisting splits fwd and rec halves; base + rec must reproduce
+        // the fused fwd + rec result exactly.
+        let mut rng = DeterministicRng::seed_from_u64(8);
+        let (neurons, input, hidden, lanes) = (6, 10, 6, 4);
+        let wx = random_matrix(&mut rng, neurons, input);
+        let wh = random_matrix(&mut rng, neurons, hidden);
+        let xs: Vec<f32> = (0..lanes * input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hs: Vec<f32> = (0..lanes * hidden)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let mut fused = vec![0.0f32; lanes * neurons];
+        dual_matmul_into(&wx, &wh, &xs, &hs, lanes, &mut fused).unwrap();
+        let mut fwd = vec![0.0f32; lanes * neurons];
+        matmul_into(&wx, &xs, lanes, &mut fwd).unwrap();
+        let mut hoisted = vec![0.0f32; lanes * neurons];
+        matmul_add_into(&wh, &hs, lanes, &fwd, &mut hoisted).unwrap();
+        for (i, (a, b)) in fused.iter().zip(hoisted.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "index {i}");
+        }
+        let mut short = vec![0.0f32; 3];
+        assert!(matmul_add_into(&wh, &hs, lanes, &fwd, &mut short).is_err());
+        assert!(matmul_add_into(&wh, &[0.0; 3], lanes, &fwd, &mut hoisted).is_err());
+    }
+
+    #[test]
+    fn gate_preact_batch_matches_single_lane_kernel() {
+        let mut rng = DeterministicRng::seed_from_u64(9);
+        let (neurons, input, hidden, lanes) = (5, 4, 5, 3);
+        let wx = random_matrix(&mut rng, neurons, input);
+        let wh = random_matrix(&mut rng, neurons, hidden);
+        let bias: Vec<f32> = (0..neurons).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let xs: Vec<f32> = (0..lanes * input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hs: Vec<f32> = (0..lanes * hidden)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let mut out = vec![0.0f32; lanes * neurons];
+        gate_preact_batch_into(&wx, &wh, &bias, &xs, &hs, lanes, &mut out).unwrap();
+        for l in 0..lanes {
+            let mut single = vec![0.0f32; neurons];
+            gate_preact_into(
+                &wx,
+                &wh,
+                &bias,
+                &xs[l * input..(l + 1) * input],
+                &hs[l * hidden..(l + 1) * hidden],
+                &mut single,
+            )
+            .unwrap();
+            for n in 0..neurons {
+                assert_eq!(out[l * neurons + n].to_bits(), single[n].to_bits());
+            }
+        }
+        assert!(gate_preact_batch_into(&wx, &wh, &bias[..2], &xs, &hs, lanes, &mut out).is_err());
     }
 
     #[test]

@@ -62,6 +62,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // 4. Multi-sequence batched inference: the serving path.  Up to
+    //    `batch_size` sequences (lanes) run through every gate
+    //    invocation at once, so one weight stream serves all of them;
+    //    memoizing predictors keep one memo table per lane.  Outputs and
+    //    reuse statistics are bit-identical to the per-sequence runs
+    //    above — batching changes the throughput, never the results.
+    let batch_size = 4;
+    let batched_exact = MemoizedRunner::exact().run_batched(&workload, batch_size)?;
+    assert_eq!(batched_exact.outputs, baseline.outputs);
+    let memo_runner = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.4));
+    let batched_memo = memo_runner.run_batched(&workload, batch_size)?;
+    let per_sequence_memo = memo_runner.run(&workload)?;
+    assert_eq!(batched_memo.outputs, per_sequence_memo.outputs);
+    assert_eq!(batched_memo.stats, per_sequence_memo.stats);
+    println!(
+        "\nbatched (lanes={batch_size}): exact and bnn outputs bit-identical to the \
+         per-sequence path"
+    );
+    println!(
+        "batched bnn (θ=0.40): reuse = {:>5.1}% (same memo hits, one weight stream per gate)",
+        batched_memo.reuse_percent()
+    );
+
     println!("\nHigher thresholds trade accuracy for reuse; the paper deploys the largest");
     println!("threshold whose accuracy loss stays below 1% (Section 3.2.1).");
     Ok(())
