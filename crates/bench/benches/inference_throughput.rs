@@ -28,11 +28,15 @@
 
 use nfm_bench::Bencher;
 use nfm_bnn::BinaryNetwork;
-use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, MemoizedRunner};
+use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator};
 use nfm_rnn::{
-    ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator, Result as RnnResult,
-    RnnError,
+    DeepRnn, ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator,
+    Result as RnnResult, RnnError,
 };
+use nfm_serve::{
+    EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner, PredictorKind,
+};
+use nfm_tensor::Vector;
 use nfm_workloads::{NetworkId, Workload, WorkloadBuilder};
 use std::hint::black_box;
 
@@ -171,6 +175,39 @@ fn workload(id: NetworkId, scale: f32, sequences: usize, len: usize) -> Workload
         .expect("workload builds")
 }
 
+/// Wave-boundary refill over ragged traffic: the pre-engine
+/// `run_batched` schedule — waves of `lanes` sequences through
+/// `run_batch`, freed lanes idle until the wave ends.  The evaluator is
+/// caller-owned and reused across iterations (each wave starts its
+/// lanes cold via `begin_lane_sequence`, so iterations are identical).
+fn wave_refill(
+    net: &DeepRnn,
+    seqs: &[Vec<Vector>],
+    lanes: usize,
+    evaluator: &mut dyn NeuronEvaluator,
+) -> usize {
+    let mut total = 0;
+    for wave in seqs.chunks(lanes) {
+        let refs: Vec<&[Vector]> = wave.iter().map(|s| s.as_slice()).collect();
+        total += net.run_batch(&refs, evaluator).expect("runs").len();
+    }
+    total
+}
+
+/// Mid-wave refill over the same traffic through a caller-owned,
+/// long-lived engine (the serving regime), so the timed work is the
+/// scheduler, not engine construction — symmetric with `wave_refill`'s
+/// reused evaluator.  Each iteration still clones the sequences into
+/// requests: request payload ownership is inherent to the API.
+fn midwave_refill(engine: &nfm_serve::Engine, seqs: &[Vec<Vector>]) -> Vec<InferenceResponse> {
+    for (i, s) in seqs.iter().enumerate() {
+        engine
+            .submit(InferenceRequest::new(i as u64, s.clone()))
+            .expect("submit");
+    }
+    engine.drain()
+}
+
 fn run_all(workload: &Workload, evaluator: &mut dyn NeuronEvaluator) -> usize {
     let mut total = 0;
     for seq in workload.sequences() {
@@ -247,6 +284,83 @@ fn main() {
                         .len(),
                 )
             },
+        );
+    }
+
+    // The serving engine under ragged traffic: the same sequences
+    // drained with wave-boundary refill (the pre-engine `run_batched`
+    // schedule) vs the engine's step-pipelined mid-wave refill.  Long
+    // and short requests interleave, so every wave thins out to a
+    // sliver of active lanes near its end — exactly the utilization gap
+    // mid-wave refill closes.  Construction is symmetric and hoisted
+    // out of the timed closures: the wave side reuses one evaluator,
+    // the engine side one long-lived engine (worker thread + evaluator
+    // already running), so the pair measures the schedulers.  Each
+    // engine iteration still clones the sequences into requests —
+    // payload ownership is inherent to the request API.
+    const ENGINE_LANES: usize = 8;
+    let ragged_base = workload(NetworkId::ImdbSentiment, 0.5, 24, 48);
+    let ragged: Vec<Vec<Vector>> = ragged_base
+        .sequences()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s[..[48usize, 8, 32, 6, 48, 12, 20, 9][i % 8]].to_vec())
+        .collect();
+    let ragged_net = ragged_base.network();
+    for (pred_name, predictor) in [
+        ("exact", PredictorKind::Exact),
+        (
+            "bnn",
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+        ),
+    ] {
+        let mut wave_eval: Box<dyn NeuronEvaluator> = match predictor {
+            PredictorKind::Exact => Box::new(ExactEvaluator::new()),
+            PredictorKind::Oracle(c) => Box::new(OracleEvaluator::for_network(ragged_net, c)),
+            PredictorKind::Bnn(c) => {
+                Box::new(BnnMemoEvaluator::new(BinaryNetwork::mirror(ragged_net), c))
+            }
+        };
+        let engine = EngineBuilder::new(ragged_net.clone(), predictor)
+            .lanes(ENGINE_LANES)
+            .workers(1)
+            .queue_capacity(ragged.len())
+            .build()
+            .expect("engine builds");
+        bench.bench_pair(
+            &format!("inference/engine_wave_refill/{pred_name}"),
+            || {
+                black_box(wave_refill(
+                    ragged_net,
+                    &ragged,
+                    ENGINE_LANES,
+                    wave_eval.as_mut(),
+                ))
+            },
+            &format!("inference/engine_midwave_refill/{pred_name}"),
+            || black_box(midwave_refill(&engine, &ragged).len()),
+        );
+        // Per-request latency percentiles pooled over several engine
+        // passes (24 requests each), so the recorded p99 is a real
+        // tail percentile over ~120 samples rather than the maximum of
+        // a single pass.
+        let mut latencies: Vec<f64> = Vec::new();
+        for _ in 0..5 {
+            latencies.extend(
+                midwave_refill(&engine, &ragged)
+                    .iter()
+                    .map(|r| r.total_latency().as_nanos() as f64),
+            );
+        }
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let percentile = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+        bench.record_value(
+            &format!("inference/engine_request_p50/{pred_name}"),
+            percentile(0.50),
+        );
+        bench.record_value(
+            &format!("inference/engine_request_p99/{pred_name}"),
+            percentile(0.99),
         );
     }
 
@@ -346,6 +460,14 @@ fn main() {
         (
             "inference/bnn_memoized_single/medium",
             "inference/bnn_memoized_batched/medium",
+        ),
+        (
+            "inference/engine_wave_refill/exact",
+            "inference/engine_midwave_refill/exact",
+        ),
+        (
+            "inference/engine_wave_refill/bnn",
+            "inference/engine_midwave_refill/bnn",
         ),
         ("runner/sequential", "runner/parallel"),
     ];

@@ -9,8 +9,9 @@
 use nfm_accel::{EpurConfig, EpurSimulator, LayerShape, NetworkShape};
 use nfm_bench::Bencher;
 use nfm_bnn::{BinaryNetwork, BitVector};
-use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, MemoizedRunner, OracleMemoConfig};
+use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleMemoConfig};
 use nfm_rnn::{ExactEvaluator, NeuronEvaluator};
+use nfm_serve::MemoizedRunner;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::vector::dot;
 use nfm_workloads::{NetworkId, WorkloadBuilder};

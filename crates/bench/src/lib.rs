@@ -284,6 +284,32 @@ impl Bencher {
         }
     }
 
+    /// Records an externally measured value (e.g. a latency percentile
+    /// extracted from serving-engine responses) as a result row, so it
+    /// lands in the printed table and the JSON snapshot alongside the
+    /// measured benchmarks.  Respects the command-line filter.
+    pub fn record_value(&mut self, id: &str, ns: f64) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let result = BenchResult {
+            id: id.to_string(),
+            median_ns: ns,
+            mean_ns: ns,
+            min_ns: ns,
+            samples: 1,
+            iters_per_sample: 1,
+        };
+        println!(
+            "{:<44} value  {:>12}  (recorded)",
+            result.id,
+            format_ns(result.median_ns)
+        );
+        self.results.push(result);
+    }
+
     /// All results measured so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -448,6 +474,16 @@ mod tests {
         let r = b.result("smoke/once").unwrap();
         assert_eq!(r.samples, 1);
         assert_eq!(r.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn record_value_lands_in_results_and_json() {
+        let mut b = Bencher::with_options(fast_options());
+        b.record_value("engine/latency_p99", 12_345.0);
+        let r = b.result("engine/latency_p99").unwrap();
+        assert_eq!(r.median_ns, 12_345.0);
+        assert_eq!(r.samples, 1);
+        assert!(b.to_json(&[]).contains("engine/latency_p99"));
     }
 
     #[test]

@@ -25,8 +25,11 @@
 //! * [`ThresholdExplorer`] — the per-model threshold search of
 //!   Section 3.2.1 (pick the largest reuse whose accuracy loss stays
 //!   within a target).
-//! * [`MemoizedRunner`] / [`InferenceWorkload`] — a small façade that
-//!   runs a workload end-to-end under a chosen predictor.
+//!
+//! The request-oriented serving surface — `MemoizedRunner`,
+//! `InferenceWorkload` and the `Engine` they wrap — lives in the
+//! `nfm-serve` crate, which plugs these evaluators into the
+//! step-pipelined lane scheduler of `nfm-rnn`.
 //!
 //! # Example
 //!
@@ -52,7 +55,6 @@ pub mod config;
 pub mod input_similarity;
 pub mod oracle;
 pub mod predictor;
-pub mod runner;
 pub mod similarity;
 pub mod stats;
 pub mod table;
@@ -62,7 +64,6 @@ pub use config::{BnnMemoConfig, OracleMemoConfig};
 pub use input_similarity::{InputSimilarityConfig, InputSimilarityEvaluator};
 pub use oracle::OracleEvaluator;
 pub use predictor::BnnMemoEvaluator;
-pub use runner::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
 pub use similarity::SimilarityProbe;
 pub use stats::ReuseStats;
 pub use table::{GateHandle, MemoEntry, MemoTable};

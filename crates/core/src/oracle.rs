@@ -26,6 +26,10 @@ pub struct OracleEvaluator {
     table: MemoTable,
     stats: ReuseStats,
     lane_tables: Vec<MemoTable>,
+    // Per-lane accounting for the batched path, so a serving engine can
+    // attribute reuse statistics to the request occupying each lane.
+    // `stats` still aggregates everything.
+    lane_stats: Vec<ReuseStats>,
 }
 
 impl OracleEvaluator {
@@ -37,6 +41,7 @@ impl OracleEvaluator {
             table: MemoTable::new(),
             stats: ReuseStats::new(),
             lane_tables: Vec::new(),
+            lane_stats: Vec::new(),
         }
     }
 
@@ -48,6 +53,7 @@ impl OracleEvaluator {
             table: MemoTable::for_network(network),
             stats: ReuseStats::new(),
             lane_tables: Vec::new(),
+            lane_stats: Vec::new(),
         }
     }
 
@@ -76,6 +82,21 @@ impl OracleEvaluator {
     /// (diagnostics only; empty until a batched run sized them).
     pub fn lane_tables(&self) -> &[MemoTable] {
         &self.lane_tables
+    }
+
+    /// Per-lane reuse statistics of the batched path, accumulated since
+    /// each lane's last `begin_lane_sequence` (empty until a batched
+    /// run sized the lanes).  The aggregate [`stats`](Self::stats)
+    /// includes everything recorded here.
+    pub fn lane_stats(&self) -> &[ReuseStats] {
+        &self.lane_stats
+    }
+
+    /// Takes lane `lane`'s statistics, leaving the lane's counters at
+    /// zero.  Serving engines call this when the request occupying the
+    /// lane completes, *before* the lane is refilled.
+    pub fn take_lane_stats(&mut self, lane: usize) -> ReuseStats {
+        std::mem::take(&mut self.lane_stats[lane])
     }
 }
 
@@ -157,19 +178,25 @@ impl NeuronEvaluator for OracleEvaluator {
         for l in 0..lanes {
             let table = &mut self.lane_tables[l];
             let handle = table.gate_handle(gate_id, neurons);
+            let mut reused = 0u64;
+            let mut computed = 0u64;
             for (n, y) in out[l * neurons..(l + 1) * neurons].iter_mut().enumerate() {
                 let y_t = *y;
                 if let Some(entry) = table.entry(handle, n) {
                     let delta = relative_difference(y_t, entry.cached_output, self.config.epsilon);
                     if delta <= self.config.threshold {
-                        self.stats.record_reused();
+                        reused += 1;
                         *y = table.reuse_at(handle, n, delta);
                         continue;
                     }
                 }
-                self.stats.record_computed();
+                computed += 1;
                 table.refresh_at(handle, n, y_t, y_t);
             }
+            self.stats.record_reused_many(reused);
+            self.stats.record_computed_many(computed);
+            self.lane_stats[l].record_reused_many(reused);
+            self.lane_stats[l].record_computed_many(computed);
         }
         Ok(())
     }
@@ -182,6 +209,9 @@ impl NeuronEvaluator for OracleEvaluator {
         while self.lane_tables.len() < lanes {
             self.lane_tables.push(MemoTable::new());
         }
+        if self.lane_stats.len() < lanes {
+            self.lane_stats.resize(lanes, ReuseStats::new());
+        }
     }
 
     fn begin_lane_sequence(&mut self, lane: usize) {
@@ -190,6 +220,14 @@ impl NeuronEvaluator for OracleEvaluator {
         // and writes `self.table` (see the BnnMemoEvaluator note).
         self.table.clear();
         self.lane_tables[lane].clear();
+        self.lane_stats[lane].reset();
+    }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        // The step-pipelined scheduler moves a surviving lane into a
+        // drained slot; its memo table and per-lane counters move along.
+        self.lane_tables.swap(a, b);
+        self.lane_stats.swap(a, b);
     }
 }
 

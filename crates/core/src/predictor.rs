@@ -53,6 +53,10 @@ pub struct BnnMemoEvaluator {
     lane_tables: Vec<MemoTable>,
     lane_xb: Vec<BitVector>,
     lane_hb: Vec<BitVector>,
+    // Per-lane accounting for the batched path, so a serving engine can
+    // attribute reuse statistics to the request occupying each lane.
+    // `stats` still aggregates everything.
+    lane_stats: Vec<ReuseStats>,
 }
 
 #[derive(Debug, Clone)]
@@ -80,6 +84,7 @@ impl BnnMemoEvaluator {
             lane_tables: Vec::new(),
             lane_xb: Vec::new(),
             lane_hb: Vec::new(),
+            lane_stats: Vec::new(),
         }
     }
 
@@ -103,6 +108,21 @@ impl BnnMemoEvaluator {
     /// `begin_batch`).
     pub fn lane_tables(&self) -> &[MemoTable] {
         &self.lane_tables
+    }
+
+    /// Per-lane reuse statistics of the batched path, accumulated since
+    /// each lane's last `begin_lane_sequence` (empty until a batched
+    /// run sized the lanes).  The aggregate [`stats`](Self::stats)
+    /// includes everything recorded here.
+    pub fn lane_stats(&self) -> &[ReuseStats] {
+        &self.lane_stats
+    }
+
+    /// Takes lane `lane`'s statistics, leaving the lane's counters at
+    /// zero.  Serving engines call this when the request occupying the
+    /// lane completes, *before* the lane is refilled.
+    pub fn take_lane_stats(&mut self, lane: usize) -> ReuseStats {
+        std::mem::take(&mut self.lane_stats[lane])
     }
 
     /// Resets the accumulated statistics.
@@ -273,6 +293,9 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             // order).
             nfm_tensor::kernels::dual_matmul_into(gate.wx(), gate.wh(), xs, h_prevs, lanes, out)?;
             self.stats.record_computed_many(out.len() as u64);
+            for lane_stats in self.lane_stats.iter_mut().take(lanes) {
+                lane_stats.record_computed_many(nsz as u64);
+            }
             return Ok(());
         }
         assert!(
@@ -291,11 +314,12 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             let (xb, hb) = (&self.lane_xb[l], &self.lane_hb[l]);
             let x = &xs[l * isz..(l + 1) * isz];
             let h_prev = &h_prevs[l * hsz..(l + 1) * hsz];
+            let mut reused = 0u64;
+            let mut computed = 0u64;
             for (n, slot) in out[l * nsz..(l + 1) * nsz].iter_mut().enumerate() {
                 // Same per-neuron decision sequence as the
                 // single-sequence batched path, against lane `l`'s table.
                 let yb_t = binary_gate.neuron_output_unchecked(n, xb, hb) as f32;
-                self.stats.record_bnn_evaluation();
                 if let Some(entry) = table.entry(handle, n) {
                     let eps_t =
                         relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
@@ -305,16 +329,25 @@ impl NeuronEvaluator for BnnMemoEvaluator {
                         eps_t
                     };
                     if delta_t <= self.config.threshold {
-                        self.stats.record_reused();
+                        reused += 1;
                         *slot = table.reuse_at(handle, n, delta_t);
                         continue;
                     }
                 }
                 let y_t = gate.neuron_dot_unchecked(n, x, h_prev);
-                self.stats.record_computed();
+                computed += 1;
                 table.refresh_at(handle, n, y_t, yb_t);
                 *slot = y_t;
             }
+            // The BNN mirror ran for every neuron of the lane; fold the
+            // lane's counters into the aggregate and per-lane stats.
+            self.stats.record_bnn_evaluations_many(nsz as u64);
+            self.stats.record_reused_many(reused);
+            self.stats.record_computed_many(computed);
+            let lane_stats = &mut self.lane_stats[l];
+            lane_stats.record_bnn_evaluations_many(nsz as u64);
+            lane_stats.record_reused_many(reused);
+            lane_stats.record_computed_many(computed);
         }
         Ok(())
     }
@@ -332,6 +365,9 @@ impl NeuronEvaluator for BnnMemoEvaluator {
                 self.mirror.iter().map(|(id, g)| (*id, g.neurons())),
             ));
         }
+        if self.lane_stats.len() < lanes {
+            self.lane_stats.resize(lanes, ReuseStats::new());
+        }
     }
 
     fn begin_lane_sequence(&mut self, lane: usize) {
@@ -344,6 +380,14 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         self.table.clear();
         self.input_cache = None;
         self.lane_tables[lane].clear();
+        self.lane_stats[lane].reset();
+    }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        // The step-pipelined scheduler moves a surviving lane into a
+        // drained slot; its memo table and per-lane counters move along.
+        self.lane_tables.swap(a, b);
+        self.lane_stats.swap(a, b);
     }
 }
 

@@ -38,10 +38,21 @@ impl ReuseStats {
         self.reuses += 1;
     }
 
+    /// Records `n` memoization-buffer hits at once (batched paths).
+    pub fn record_reused_many(&mut self, n: u64) {
+        self.evaluations += n;
+        self.reuses += n;
+    }
+
     /// Records one binary-network neuron evaluation (the predictor's own
     /// cost; the BNN is evaluated for every element and neuron).
     pub fn record_bnn_evaluation(&mut self) {
         self.bnn_evaluations += 1;
+    }
+
+    /// Records `n` binary-network evaluations at once (batched paths).
+    pub fn record_bnn_evaluations_many(&mut self, n: u64) {
+        self.bnn_evaluations += n;
     }
 
     /// Total neuron evaluation requests.
@@ -111,6 +122,25 @@ mod tests {
         assert_eq!(s.bnn_evaluations(), 1);
         assert!((s.reuse_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.reuse_percent() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn batched_recorders_match_singles() {
+        let mut a = ReuseStats::new();
+        a.record_computed_many(3);
+        a.record_reused_many(2);
+        a.record_bnn_evaluations_many(5);
+        let mut b = ReuseStats::new();
+        for _ in 0..3 {
+            b.record_computed();
+        }
+        for _ in 0..2 {
+            b.record_reused();
+        }
+        for _ in 0..5 {
+            b.record_bnn_evaluation();
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,9 +2,8 @@
 //! functional results onto the full-size accelerator model.
 
 use nfm_accel::{LayerShape, NetworkShape};
-use nfm_core::{
-    BnnMemoConfig, MemoizedRunner, OracleMemoConfig, ThresholdExplorer, ThresholdPoint,
-};
+use nfm_core::{BnnMemoConfig, OracleMemoConfig, ThresholdExplorer, ThresholdPoint};
+use nfm_serve::MemoizedRunner;
 use nfm_tensor::Vector;
 use nfm_workloads::{NetworkId, NetworkSpec, Workload, WorkloadBuilder};
 

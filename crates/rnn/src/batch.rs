@@ -91,6 +91,24 @@ impl BatchState {
         self.h[lane * self.hidden..(lane + 1) * self.hidden].fill(0.0);
         self.c[lane * self.hidden..(lane + 1) * self.hidden].fill(0.0);
     }
+
+    /// Swaps the state of two lanes.  The step-pipelined scheduler uses
+    /// this to keep the active lanes a contiguous prefix when an interior
+    /// lane drains and no refill is available (see
+    /// [`StepPipeline`](crate::StepPipeline)); evaluators move their
+    /// per-lane state alongside via
+    /// [`NeuronEvaluator::swap_lane_state`](crate::NeuronEvaluator::swap_lane_state).
+    pub fn swap_lanes(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let w = self.hidden;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.h.split_at_mut(hi * w);
+        head[lo * w..(lo + 1) * w].swap_with_slice(&mut tail[..w]);
+        let (head, tail) = self.c.split_at_mut(hi * w);
+        head[lo * w..(lo + 1) * w].swap_with_slice(&mut tail[..w]);
+    }
 }
 
 /// Reusable lane-striped working buffers for batched cell stepping: the
@@ -150,6 +168,22 @@ mod tests {
         assert!(s.h_lane(0).iter().all(|&v| v == 0.0));
         assert!(s.h_lane(1).iter().all(|&v| v == 1.0));
         assert_eq!(s.c_prefix(2)[3..], [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn swap_lanes_exchanges_h_and_c() {
+        let mut s = BatchState::zeros(3, 2);
+        s.h_prefix_mut(3)
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        s.c_prefix_mut(3)
+            .copy_from_slice(&[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+        s.swap_lanes(0, 2);
+        assert_eq!(s.h_lane(0), &[5.0, 6.0]);
+        assert_eq!(s.h_lane(2), &[1.0, 2.0]);
+        assert_eq!(s.c_prefix(3), &[50.0, 60.0, 30.0, 40.0, 10.0, 20.0]);
+        // Swapping a lane with itself is a no-op.
+        s.swap_lanes(1, 1);
+        assert_eq!(s.h_lane(1), &[3.0, 4.0]);
     }
 
     #[test]

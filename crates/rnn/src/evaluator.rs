@@ -216,6 +216,22 @@ pub trait NeuronEvaluator {
         let _ = lane;
         self.begin_sequence();
     }
+
+    /// Exchanges all per-lane state between lanes `a` and `b` (memo
+    /// tables, per-lane statistics, …).
+    ///
+    /// The step-pipelined scheduler
+    /// ([`StepPipeline`](crate::StepPipeline)) calls this when it
+    /// compacts its lanes: a drained interior lane is swapped with the
+    /// last active lane so the active lanes stay a contiguous prefix,
+    /// and the surviving lane's memoization state must move with it.
+    /// Evaluators that keep per-lane state and implement the batch
+    /// methods must override this; the default is a no-op, which is
+    /// correct for stateless evaluators and for stateful custom
+    /// evaluators running through the default (shared-state) lane loop.
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        let _ = (a, b);
+    }
 }
 
 /// The baseline evaluator: always computes the exact dot products.
@@ -417,6 +433,10 @@ impl<E: NeuronEvaluator> NeuronEvaluator for CountingEvaluator<E> {
         self.sequences += 1;
         self.inner.begin_lane_sequence(lane);
     }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        self.inner.swap_lane_state(a, b);
+    }
 }
 
 /// Forces the wrapped evaluator onto the per-neuron fallback path: its
@@ -474,6 +494,10 @@ impl<E: NeuronEvaluator> NeuronEvaluator for PerNeuronEvaluator<E> {
 
     fn begin_lane_sequence(&mut self, lane: usize) {
         self.inner.begin_lane_sequence(lane);
+    }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        self.inner.swap_lane_state(a, b);
     }
 }
 

@@ -1,0 +1,585 @@
+//! Step-pipelined lane scheduler with mid-wave lane refill.
+//!
+//! [`DeepRnn::run_batch`] executes a batch **layer-lockstep**: layer 0
+//! processes every lane's whole sequence, then layer 1, and so on.
+//! That shape cannot admit a new sequence mid-wave — a freed lane stays
+//! idle until the next wave boundary, so ragged traffic drains the
+//! active prefix and the weight-stream amortization of batching decays
+//! with it.
+//!
+//! For **unidirectional** stacks the data dependencies permit a second
+//! schedule: layer `k` at timestep `t` needs only layer `k-1` at `t` and
+//! layer `k`'s own state at `t-1`, so every lane can advance
+//! timestep-by-timestep through the *whole* stack.  [`StepPipeline`]
+//! implements that schedule.  Each [`StepPipeline::step`] call advances
+//! all active lanes one timestep (one batched gate evaluation per gate
+//! per layer over the active prefix), finished lanes are retired at the
+//! end of the step, and [`StepPipeline::admit`] can hand a freed lane a
+//! fresh sequence **immediately** — the mid-wave refill the ROADMAP
+//! asks for.  `nfm-serve` builds its request engine on top of this
+//! scheduler.
+//!
+//! # Equivalence
+//!
+//! Per-lane results are **bit-identical** to a dedicated
+//! [`DeepRnn::run`] over the same sequence, for the same reason the
+//! wave schedule is: every `(neuron, lane)` dot product goes through
+//! the shared reduction order, lanes never interact numerically, and
+//! per-lane memoization state is reset by
+//! [`NeuronEvaluator::begin_lane_sequence`] when a lane is admitted.
+//! Scheduling therefore changes throughput, never results.
+//!
+//! # Lane compaction
+//!
+//! Batched cell stepping requires the active lanes to form a prefix
+//! `0..active`.  While refills are available every slot stays occupied;
+//! when the caller has nothing to admit (queue drained), a finished
+//! interior lane is *swapped* with the last active lane —
+//! [`BatchState::swap_lanes`] moves the recurrent state and
+//! [`NeuronEvaluator::swap_lane_state`] moves the evaluator's per-lane
+//! memo tables and statistics alongside — and the prefix shrinks by
+//! one.
+//!
+//! # Timestep semantics
+//!
+//! Lanes sit at *different* positions of their own sequences, so the
+//! `timestep` handed to the evaluator's batch methods is the pipeline's
+//! global step counter, not a per-lane sequence index.  The built-in
+//! evaluators ignore the batch-path timestep; a custom evaluator that
+//! keys per-lane state must use the lane index plus
+//! [`NeuronEvaluator::begin_lane_sequence`] instead.
+
+use crate::batch::{BatchScratch, BatchState};
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::GateKind;
+use crate::layer::Cell;
+use crate::network::DeepRnn;
+use crate::Result;
+use nfm_tensor::kernels::matmul_into;
+use nfm_tensor::Vector;
+
+/// The largest gate count of any cell kind (LSTM), sizing the
+/// stack-allocated hoisted-slice array in the step loop.
+const MAX_GATES: usize = GateKind::LSTM.len();
+
+/// One lane that finished its sequence during a [`StepPipeline::step`]
+/// call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedLane {
+    /// The caller-chosen token passed to [`StepPipeline::admit`].
+    pub token: u64,
+    /// One output per timestep of the finished sequence (head applied
+    /// when the network has one).
+    pub outputs: Vec<Vector>,
+    /// The evaluator lane index where this sequence's per-lane state
+    /// (memo table, per-lane statistics) resides *right now*.  Read any
+    /// per-lane statistics at this index **before** the next
+    /// [`StepPipeline::admit`] call: admission reuses retired lane
+    /// slots and `begin_lane_sequence` resets their state.
+    pub stats_lane: usize,
+}
+
+/// Per-lane bookkeeping: the sequence being processed, the next
+/// timestep to consume, the outputs produced so far, and the
+/// admission-time hoisted input projections for layer 0.
+#[derive(Debug)]
+struct LaneSlot {
+    token: u64,
+    inputs: Vec<Vector>,
+    t: usize,
+    outputs: Vec<Vector>,
+    /// `W_x·x_t` for every gate of the layer-0 cell over the whole
+    /// sequence, laid out `[gate][t][hidden]`; empty when the evaluator
+    /// does not support input hoisting.
+    hoist: Vec<f32>,
+}
+
+/// A step-pipelined lane scheduler for unidirectional [`DeepRnn`]
+/// stacks (see the [module docs](self) for the schedule and its
+/// equivalence contract).
+///
+/// The pipeline owns all recurrent state and scratch (`2 × layers`
+/// lane-striped [`BatchState`]s plus one [`BatchScratch`]); the caller
+/// owns the evaluator and the network and passes both into
+/// [`admit`](StepPipeline::admit) / [`step`](StepPipeline::step).  Call
+/// [`NeuronEvaluator::begin_batch`] with [`lanes`](StepPipeline::lanes)
+/// once before the first admission so per-lane evaluator state is
+/// sized.
+#[derive(Debug)]
+pub struct StepPipeline {
+    lanes: usize,
+    input_size: usize,
+    /// Hidden size per layer (layer `k`'s output width feeds `k+1`).
+    hidden: Vec<usize>,
+    states: Vec<BatchState>,
+    nexts: Vec<BatchState>,
+    scratch: BatchScratch,
+    /// Gathered layer-0 inputs for the active prefix, lane-striped.
+    x_buf: Vec<f32>,
+    /// Gathered layer-0 hoisted projections for the active prefix, one
+    /// lane-striped block per gate.
+    hoist_buf: Vec<f32>,
+    /// Scratch for packing a sequence at admission (hoist matmul input).
+    pack_buf: Vec<f32>,
+    /// Occupied lane slots; always exactly `active` entries, slot `l`
+    /// holding lane `l`'s sequence.
+    slots: Vec<LaneSlot>,
+    steps: usize,
+}
+
+impl StepPipeline {
+    /// Creates a pipeline with `lanes` lane slots for `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if `lanes == 0` (a pipeline
+    /// needs at least one lane; the accepted range is `lanes >= 1`) or
+    /// if any layer of the stack is bidirectional (the backward half
+    /// consumes the sequence end-first, which is incompatible with
+    /// step-pipelining; use [`DeepRnn::run_batch`] for those).
+    pub fn new(network: &DeepRnn, lanes: usize) -> Result<Self> {
+        if lanes == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: "a step pipeline needs at least one lane (lanes >= 1), got 0".into(),
+            });
+        }
+        if let Some(layer) = network.layers().iter().find(|l| l.is_bidirectional()) {
+            return Err(RnnError::InvalidConfig {
+                what: format!(
+                    "step pipelining requires a unidirectional stack, but layer {} is \
+                     bidirectional",
+                    layer.index()
+                ),
+            });
+        }
+        let hidden: Vec<usize> = network
+            .layers()
+            .iter()
+            .map(|l| l.forward_cell().hidden_size())
+            .collect();
+        let states = hidden
+            .iter()
+            .map(|&h| BatchState::zeros(lanes, h))
+            .collect();
+        let nexts = hidden
+            .iter()
+            .map(|&h| BatchState::zeros(lanes, h))
+            .collect();
+        Ok(StepPipeline {
+            lanes,
+            input_size: network.input_size(),
+            hidden,
+            states,
+            nexts,
+            scratch: BatchScratch::new(),
+            x_buf: Vec::new(),
+            hoist_buf: Vec::new(),
+            pack_buf: Vec::new(),
+            slots: Vec::with_capacity(lanes),
+            steps: 0,
+        })
+    }
+
+    /// Total lane slots.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Currently occupied lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lane slots available for [`admit`](StepPipeline::admit).
+    pub fn free_lanes(&self) -> usize {
+        self.lanes - self.slots.len()
+    }
+
+    /// Whether no lane holds a sequence.
+    pub fn is_idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Places `sequence` into a free lane, resetting that lane's
+    /// recurrent state and calling
+    /// [`begin_lane_sequence`](NeuronEvaluator::begin_lane_sequence) so
+    /// memoization starts cold — mid-wave, with the other lanes
+    /// untouched.  `token` is returned with the lane's
+    /// [`FinishedLane`]; the scheduler attaches no meaning to it.
+    ///
+    /// When the evaluator
+    /// [supports input hoisting](NeuronEvaluator::supports_input_hoisting),
+    /// the layer-0 projections `W_x·x_t` for the whole sequence are
+    /// computed here with one matrix product per gate (bit-transparent:
+    /// the hoisted kernels keep the `fwd + rec` scalar order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no lane is free, the sequence is empty, or
+    /// an element has the wrong width.
+    pub fn admit(
+        &mut self,
+        token: u64,
+        sequence: Vec<Vector>,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        if self.free_lanes() == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: format!("all {} pipeline lanes are occupied", self.lanes),
+            });
+        }
+        if sequence.is_empty() {
+            return Err(RnnError::EmptySequence);
+        }
+        for (t, x) in sequence.iter().enumerate() {
+            if x.len() != self.input_size {
+                return Err(RnnError::InputSizeMismatch {
+                    expected: self.input_size,
+                    found: x.len(),
+                    timestep: t,
+                });
+            }
+        }
+        let lane = self.slots.len();
+        for state in &mut self.states {
+            state.reset_lane(lane);
+        }
+        evaluator.begin_lane_sequence(lane);
+
+        let mut hoist = Vec::new();
+        if evaluator.supports_input_hoisting() {
+            // One matrix product per layer-0 gate covers the whole
+            // sequence's input projections (timesteps take the lane
+            // role, so each projection is the same dot_unchecked the
+            // fused kernel would compute).
+            let len = sequence.len();
+            let cell = network.layers()[0].forward_cell();
+            let h0 = self.hidden[0];
+            if self.pack_buf.len() < len * self.input_size {
+                self.pack_buf.resize(len * self.input_size, 0.0);
+            }
+            for (t, x) in sequence.iter().enumerate() {
+                self.pack_buf[t * self.input_size..(t + 1) * self.input_size]
+                    .copy_from_slice(x.as_slice());
+            }
+            let kinds = cell.gate_kinds();
+            hoist.resize(kinds.len() * len * h0, 0.0);
+            for (g, kind) in kinds.iter().enumerate() {
+                let gate = cell.gate(*kind).expect("cell exposes its own gate kinds");
+                matmul_into(
+                    gate.wx(),
+                    &self.pack_buf[..len * self.input_size],
+                    len,
+                    &mut hoist[g * len * h0..(g + 1) * len * h0],
+                )?;
+            }
+        }
+        self.slots.push(LaneSlot {
+            token,
+            inputs: sequence,
+            t: 0,
+            outputs: Vec::new(),
+            hoist,
+        });
+        Ok(())
+    }
+
+    /// Advances every active lane by one timestep through the whole
+    /// stack, appending finished lanes to `finished` (see
+    /// [`FinishedLane::stats_lane`] for the read-before-admit
+    /// contract).  Returns the number of lanes advanced — `0` means the
+    /// pipeline is idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator/kernel errors; these indicate widths that
+    /// [`admit`](StepPipeline::admit) already validated, so they only
+    /// arise from a network/evaluator swapped mid-flight.
+    pub fn step(
+        &mut self,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) -> Result<usize> {
+        let active = self.slots.len();
+        if active == 0 {
+            return Ok(0);
+        }
+        // Gather each active lane's current input, lane-striped.
+        if self.x_buf.len() < active * self.input_size {
+            self.x_buf.resize(active * self.input_size, 0.0);
+        }
+        for (l, slot) in self.slots.iter().enumerate() {
+            self.x_buf[l * self.input_size..(l + 1) * self.input_size]
+                .copy_from_slice(slot.inputs[slot.t].as_slice());
+        }
+        let hoisting = evaluator.supports_input_hoisting();
+        let layer_count = self.hidden.len();
+        for k in 0..layer_count {
+            let cell = network.layers()[k].forward_cell();
+            let kinds = cell.gate_kinds();
+            let gate_count = kinds.len();
+            debug_assert!(gate_count <= MAX_GATES);
+            let h_k = self.hidden[k];
+            let mut fwd_slices: [&[f32]; MAX_GATES] = [&[]; MAX_GATES];
+            let hoisted: Option<&[&[f32]]> = if k == 0 && hoisting {
+                // Gather this timestep's per-lane projections into one
+                // lane-striped block per gate.
+                if self.hoist_buf.len() < gate_count * active * h_k {
+                    self.hoist_buf.resize(gate_count * active * h_k, 0.0);
+                }
+                for (l, slot) in self.slots.iter().enumerate() {
+                    let len = slot.inputs.len();
+                    for g in 0..gate_count {
+                        let src = g * len * h_k + slot.t * h_k;
+                        let dst = g * active * h_k + l * h_k;
+                        self.hoist_buf[dst..dst + h_k].copy_from_slice(&slot.hoist[src..src + h_k]);
+                    }
+                }
+                for (g, slot) in fwd_slices.iter_mut().enumerate().take(gate_count) {
+                    *slot = &self.hoist_buf[g * active * h_k..(g + 1) * active * h_k];
+                }
+                Some(&fwd_slices[..gate_count])
+            } else {
+                None
+            };
+            let xs: &[f32] = if k == 0 {
+                &self.x_buf[..active * self.input_size]
+            } else {
+                self.states[k - 1].h_prefix(active)
+            };
+            match cell {
+                Cell::Lstm(c) => c.step_batch_into(
+                    k,
+                    0,
+                    self.steps,
+                    active,
+                    xs,
+                    &self.states[k],
+                    &mut self.nexts[k],
+                    &mut self.scratch,
+                    hoisted,
+                    evaluator,
+                )?,
+                Cell::Gru(c) => c.step_batch_into(
+                    k,
+                    0,
+                    self.steps,
+                    active,
+                    xs,
+                    &self.states[k],
+                    &mut self.nexts[k],
+                    &mut self.scratch,
+                    hoisted,
+                    evaluator,
+                )?,
+            }
+            std::mem::swap(&mut self.states[k], &mut self.nexts[k]);
+        }
+        // Emit this timestep's outputs (head applied when present).
+        let last = &self.states[layer_count - 1];
+        for (l, slot) in self.slots.iter_mut().enumerate() {
+            let h = Vector::from(last.h_lane(l).to_vec());
+            let out = match network.head() {
+                None => h,
+                Some(head) => head.apply(&h)?,
+            };
+            slot.outputs.push(out);
+            slot.t += 1;
+        }
+        self.steps += 1;
+        // Retire finished lanes, highest index first so each swap
+        // target is still an unfinished lane (or the lane itself).
+        for l in (0..active).rev() {
+            if self.slots[l].t == self.slots[l].inputs.len() {
+                let tail = self.slots.len() - 1;
+                if l != tail {
+                    self.slots.swap(l, tail);
+                    for state in &mut self.states {
+                        state.swap_lanes(l, tail);
+                    }
+                    evaluator.swap_lane_state(l, tail);
+                }
+                let slot = self.slots.pop().expect("slot exists");
+                finished.push(FinishedLane {
+                    token: slot.token,
+                    outputs: slot.outputs,
+                    stats_lane: tail,
+                });
+            }
+        }
+        Ok(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CellKind, DeepRnnConfig, Direction};
+    use crate::evaluator::{CountingEvaluator, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+
+    fn seq(n: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(width, |_| rng.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    fn networks() -> Vec<DeepRnn> {
+        let mut rng = DeterministicRng::seed_from_u64(77);
+        vec![
+            DeepRnn::random(
+                &DeepRnnConfig::new(CellKind::Lstm, 4, 6)
+                    .layers(2)
+                    .output_size(3),
+                &mut rng,
+            )
+            .unwrap(),
+            DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 5, 7).layers(3), &mut rng).unwrap(),
+        ]
+    }
+
+    /// Drains a set of sequences through a pipeline with `lanes` lanes,
+    /// refilling freed lanes immediately, and returns outputs by token.
+    fn drain_pipeline(
+        net: &DeepRnn,
+        lanes: usize,
+        seqs: &[Vec<Vector>],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Vec<Vec<Vector>> {
+        let mut pipeline = StepPipeline::new(net, lanes).unwrap();
+        evaluator.begin_batch(lanes);
+        let mut queue: std::collections::VecDeque<(u64, Vec<Vector>)> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.clone()))
+            .collect();
+        let mut results: Vec<Option<Vec<Vector>>> = vec![None; seqs.len()];
+        let mut finished = Vec::new();
+        loop {
+            while pipeline.free_lanes() > 0 {
+                match queue.pop_front() {
+                    Some((token, s)) => pipeline.admit(token, s, net, evaluator).unwrap(),
+                    None => break,
+                }
+            }
+            if pipeline.step(net, evaluator, &mut finished).unwrap() == 0 {
+                break;
+            }
+            for f in finished.drain(..) {
+                results[f.token as usize] = Some(f.outputs);
+            }
+        }
+        results.into_iter().map(|r| r.expect("finished")).collect()
+    }
+
+    #[test]
+    fn pipeline_matches_dedicated_runs_bitwise() {
+        // Ragged lengths across every lane count, LSTM with head and a
+        // 3-layer GRU: each sequence's pipelined outputs must be
+        // bit-identical to its own dedicated run.
+        let lens = [9usize, 3, 7, 7, 1, 5];
+        for net in networks() {
+            let seqs: Vec<Vec<Vector>> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| seq(n, net.input_size(), 900 + i as u64))
+                .collect();
+            let mut reference = Vec::new();
+            let mut single_evals = 0u64;
+            for s in &seqs {
+                let mut eval = ExactEvaluator::new();
+                reference.push(net.run(s, &mut eval).unwrap());
+                single_evals += eval.evaluations();
+            }
+            for lanes in [1usize, 2, 3, 8] {
+                let mut eval = ExactEvaluator::new();
+                let outs = drain_pipeline(&net, lanes, &seqs, &mut eval);
+                for (i, (a, b)) in outs.iter().zip(reference.iter()).enumerate() {
+                    assert_eq!(a.len(), b.len(), "lanes={lanes} seq {i}");
+                    for (t, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                        for n in 0..x.len() {
+                            assert_eq!(
+                                x[n].to_bits(),
+                                y[n].to_bits(),
+                                "lanes={lanes} seq={i} t={t} n={n}"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(eval.evaluations(), single_evals, "lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_starts_each_sequence_cold() {
+        // CountingEvaluator counts begin_lane_sequence calls: every
+        // admission (including mid-wave refills) must start a sequence.
+        let net = networks().remove(0);
+        let seqs: Vec<Vec<Vector>> = (0..5)
+            .map(|i| seq(3 + i % 3, net.input_size(), 950 + i as u64))
+            .collect();
+        let mut eval = CountingEvaluator::new(ExactEvaluator::new());
+        let _ = drain_pipeline(&net, 2, &seqs, &mut eval);
+        assert_eq!(eval.sequences(), 5);
+    }
+
+    #[test]
+    fn rejects_bidirectional_stacks_and_zero_lanes() {
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let bidi = DeepRnn::random(
+            &DeepRnnConfig::new(CellKind::Lstm, 3, 4).direction(Direction::Bidirectional),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(matches!(
+            StepPipeline::new(&bidi, 2),
+            Err(RnnError::InvalidConfig { .. })
+        ));
+        let uni = networks().remove(0);
+        assert!(matches!(
+            StepPipeline::new(&uni, 0),
+            Err(RnnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn admit_validates_sequences_and_capacity() {
+        let net = networks().remove(0);
+        let mut pipeline = StepPipeline::new(&net, 1).unwrap();
+        let mut eval = ExactEvaluator::new();
+        eval.begin_batch(1);
+        assert!(matches!(
+            pipeline.admit(0, Vec::new(), &net, &mut eval),
+            Err(RnnError::EmptySequence)
+        ));
+        assert!(matches!(
+            pipeline.admit(0, vec![Vector::zeros(2)], &net, &mut eval),
+            Err(RnnError::InputSizeMismatch { .. })
+        ));
+        pipeline
+            .admit(0, seq(4, net.input_size(), 1), &net, &mut eval)
+            .unwrap();
+        assert_eq!(pipeline.free_lanes(), 0);
+        assert!(pipeline
+            .admit(1, seq(4, net.input_size(), 2), &net, &mut eval)
+            .is_err());
+    }
+
+    #[test]
+    fn idle_pipeline_steps_zero_lanes() {
+        let net = networks().remove(0);
+        let mut pipeline = StepPipeline::new(&net, 3).unwrap();
+        assert!(pipeline.is_idle());
+        assert_eq!(pipeline.lanes(), 3);
+        assert_eq!(pipeline.active_lanes(), 0);
+        let mut eval = ExactEvaluator::new();
+        let mut finished = Vec::new();
+        assert_eq!(pipeline.step(&net, &mut eval, &mut finished).unwrap(), 0);
+        assert!(finished.is_empty());
+    }
+}

@@ -1,0 +1,511 @@
+//! The serving engine: a bounded submission queue in front of worker
+//! threads that each drive a lane scheduler.
+
+use crate::request::{DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId};
+use crate::runner::PredictorKind;
+use crate::worker::{LaneWorker, QueuedRequest};
+use nfm_bnn::BinaryNetwork;
+use nfm_rnn::{DeepRnn, RnnError};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced by [`EngineBuilder::build`] and
+/// [`Engine::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The builder was configured outside the accepted ranges (all
+    /// three knobs accept `1..`): the engine refuses degenerate
+    /// configurations instead of silently clamping them.
+    InvalidConfig {
+        /// Which constraint was violated.
+        what: String,
+    },
+    /// The submission queue is at capacity — backpressure.  Retry after
+    /// draining some responses, or build the engine with a larger
+    /// [`queue_capacity`](EngineBuilder::queue_capacity).
+    QueueFull {
+        /// The configured capacity that is currently exhausted.
+        capacity: usize,
+    },
+    /// The request's sequence is empty.
+    EmptySequence {
+        /// The offending request.
+        id: RequestId,
+    },
+    /// A sequence element does not match the network's input width.
+    InputSizeMismatch {
+        /// The offending request.
+        id: RequestId,
+        /// Width the engine's network expects.
+        expected: usize,
+        /// Width found.
+        found: usize,
+        /// Index of the offending element.
+        timestep: usize,
+    },
+    /// The engine has been shut down and accepts no further work.
+    ShutDown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { what } => write!(f, "invalid engine config: {what}"),
+            EngineError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "submission queue full (capacity {capacity}); backpressure"
+                )
+            }
+            EngineError::EmptySequence { id } => {
+                write!(f, "request {id} has an empty sequence")
+            }
+            EngineError::InputSizeMismatch {
+                id,
+                expected,
+                found,
+                timestep,
+            } => write!(
+                f,
+                "request {id}: element {timestep} has width {found}, network expects {expected}"
+            ),
+            EngineError::ShutDown => write!(f, "engine is shut down"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<EngineError> for RnnError {
+    fn from(e: EngineError) -> RnnError {
+        match e {
+            EngineError::EmptySequence { .. } => RnnError::EmptySequence,
+            EngineError::InputSizeMismatch {
+                expected,
+                found,
+                timestep,
+                ..
+            } => RnnError::InputSizeMismatch {
+                expected,
+                found,
+                timestep,
+            },
+            other => RnnError::InvalidConfig {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Builds an [`Engine`].
+///
+/// # Accepted ranges
+///
+/// All three sizing knobs accept `1..`; `0` is rejected by
+/// [`build`](EngineBuilder::build) with
+/// [`EngineError::InvalidConfig`] — never silently clamped:
+///
+/// * [`lanes`](EngineBuilder::lanes) — sequences evaluated per gate
+///   invocation per worker (default 4).
+/// * [`workers`](EngineBuilder::workers) — background compute threads
+///   (default 1).
+/// * [`queue_capacity`](EngineBuilder::queue_capacity) — bound on
+///   *waiting* submissions, excluding requests already on a lane
+///   (default 256).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    network: Arc<DeepRnn>,
+    predictor: PredictorKind,
+    lanes: usize,
+    workers: usize,
+    queue_capacity: usize,
+    policy: DeadlinePolicy,
+    paused: bool,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for `network` under `predictor` with the
+    /// default knobs.
+    pub fn new(network: impl Into<Arc<DeepRnn>>, predictor: PredictorKind) -> Self {
+        EngineBuilder {
+            network: network.into(),
+            predictor,
+            lanes: 4,
+            workers: 1,
+            queue_capacity: 256,
+            policy: DeadlinePolicy::default(),
+            paused: false,
+        }
+    }
+
+    /// Lane count per worker (`>= 1`): how many sequences share one
+    /// weight stream per gate invocation.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Worker thread count (`>= 1`).  Each worker owns its own
+    /// evaluator and lane scheduler and pulls from the shared queue.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bound on waiting submissions (`>= 1`); a full queue makes
+    /// [`Engine::submit`] return [`EngineError::QueueFull`].
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// What to do with requests whose deadline expired while queued.
+    pub fn deadline_policy(mut self, policy: DeadlinePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts the engine paused: workers are spawned but do not pull
+    /// work until [`Engine::resume`] (or a draining call).  Useful to
+    /// stage a burst of submissions — and to test backpressure
+    /// deterministically.
+    pub fn start_paused(mut self) -> Self {
+        self.paused = true;
+        self
+    }
+
+    /// Spawns the workers and returns the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when `lanes`, `workers`
+    /// or `queue_capacity` is `0`.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        for (what, value) in [
+            ("lanes", self.lanes),
+            ("workers", self.workers),
+            ("queue_capacity", self.queue_capacity),
+        ] {
+            if value == 0 {
+                return Err(EngineError::InvalidConfig {
+                    what: format!(
+                        "{what} must be >= 1, got 0 (degenerate configurations are rejected, \
+                         not clamped)"
+                    ),
+                });
+            }
+        }
+        let mirror = match self.predictor {
+            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(&self.network)),
+            _ => None,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                responses: Vec::new(),
+                outstanding: 0,
+                shutdown: false,
+                paused: self.paused,
+                error: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            capacity: self.queue_capacity,
+            input_size: self.network.input_size(),
+        });
+        let mut handles = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let worker = LaneWorker::new(
+                Arc::clone(&self.network),
+                self.predictor,
+                mirror.as_ref(),
+                self.lanes,
+                self.policy,
+            );
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || worker_loop(shared, worker)));
+        }
+        Ok(Engine {
+            shared,
+            handles,
+            lanes: self.lanes,
+            workers: self.workers,
+            policy: self.policy,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    queue: VecDeque<QueuedRequest>,
+    responses: Vec<InferenceResponse>,
+    /// Submitted but not yet responded (queued or on a lane).
+    outstanding: usize,
+    shutdown: bool,
+    paused: bool,
+    error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for submissions / resume / shutdown.
+    work_cv: Condvar,
+    /// Callers wait here for `outstanding` to reach zero.
+    done_cv: Condvar,
+    capacity: usize,
+    input_size: usize,
+}
+
+fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
+    loop {
+        {
+            let mut state = shared.state.lock().expect("engine state lock");
+            loop {
+                if state.shutdown && state.queue.is_empty() {
+                    return;
+                }
+                // Shutdown overrides pause so the queue always drains.
+                let runnable = !state.queue.is_empty() && (!state.paused || state.shutdown);
+                if runnable {
+                    break;
+                }
+                state = shared.work_cv.wait(state).expect("engine state lock");
+            }
+        }
+        let pull_shared = Arc::clone(&shared);
+        let mut pull = move || {
+            let mut state = pull_shared.state.lock().expect("engine state lock");
+            if state.paused && !state.shutdown {
+                return None;
+            }
+            state.queue.pop_front()
+        };
+        let emit_shared = Arc::clone(&shared);
+        let mut emit = move |response: InferenceResponse| {
+            let mut state = emit_shared.state.lock().expect("engine state lock");
+            state.responses.push(response);
+            state.outstanding -= 1;
+            emit_shared.done_cv.notify_all();
+        };
+        let report_shared = Arc::clone(&shared);
+        let mut report = move |error: String| {
+            let mut state = report_shared.state.lock().expect("engine state lock");
+            state.error.get_or_insert(error);
+        };
+        worker.pump(&mut pull, &mut emit, &mut report);
+    }
+}
+
+/// A request-oriented serving engine.
+///
+/// Built by [`EngineBuilder`]; accepts [`InferenceRequest`]s through
+/// [`submit`](Engine::submit) / [`submit_all`](Engine::submit_all) and
+/// reports every admitted request exactly once as an
+/// [`InferenceResponse`] (collect them with
+/// [`take_completed`](Engine::take_completed),
+/// [`drain`](Engine::drain) or [`shutdown`](Engine::shutdown)).
+///
+/// Internally each worker thread owns one evaluator and a lane
+/// scheduler; for unidirectional stacks that scheduler is the
+/// step-pipelined [`StepPipeline`](nfm_rnn::StepPipeline), which
+/// refills a drained lane from the queue *immediately* (mid-wave lane
+/// refill) instead of waiting for a wave boundary.  Scheduling never
+/// changes results: per-request outputs, reuse statistics and memo-hit
+/// counts are bit-identical to a dedicated
+/// [`MemoizedRunner::run`](crate::MemoizedRunner::run) over the same
+/// sequence.
+///
+/// Dropping the engine shuts it down and joins the workers (draining
+/// any queued work first); pending responses are discarded — call
+/// [`shutdown`](Engine::shutdown) to receive them instead.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+    workers: usize,
+    policy: DeadlinePolicy,
+}
+
+impl Engine {
+    /// Starts building an engine for `network` under `predictor`.
+    pub fn builder(network: impl Into<Arc<DeepRnn>>, predictor: PredictorKind) -> EngineBuilder {
+        EngineBuilder::new(network, predictor)
+    }
+
+    /// Lanes per worker.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Bound on waiting submissions.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The configured deadline policy.
+    pub fn deadline_policy(&self) -> DeadlinePolicy {
+        self.policy
+    }
+
+    /// Submits one request.  On success the request is guaranteed to
+    /// produce exactly one [`InferenceResponse`].
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::EmptySequence`] / [`EngineError::InputSizeMismatch`]
+    ///   — the sequence cannot run on the engine's network (rejected
+    ///   up front so lanes never fault mid-flight);
+    /// * [`EngineError::QueueFull`] — backpressure: the bounded queue
+    ///   is at capacity;
+    /// * [`EngineError::ShutDown`] — the engine no longer accepts work.
+    pub fn submit(&self, request: InferenceRequest) -> Result<(), EngineError> {
+        if request.sequence.is_empty() {
+            return Err(EngineError::EmptySequence { id: request.id });
+        }
+        for (t, x) in request.sequence.iter().enumerate() {
+            if x.len() != self.shared.input_size {
+                return Err(EngineError::InputSizeMismatch {
+                    id: request.id,
+                    expected: self.shared.input_size,
+                    found: x.len(),
+                    timestep: t,
+                });
+            }
+        }
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        if state.shutdown {
+            return Err(EngineError::ShutDown);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(EngineError::QueueFull {
+                capacity: self.shared.capacity,
+            });
+        }
+        state.queue.push_back(QueuedRequest {
+            req: request,
+            submitted_at: Instant::now(),
+        });
+        state.outstanding += 1;
+        if !state.paused {
+            self.shared.work_cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Submits every request in order, stopping at the first error
+    /// (earlier submissions stay admitted).  Returns how many were
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::submit`].
+    pub fn submit_all(
+        &self,
+        requests: impl IntoIterator<Item = InferenceRequest>,
+    ) -> Result<usize, EngineError> {
+        let mut accepted = 0;
+        for request in requests {
+            self.submit(request)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Lets paused workers start pulling work.
+    pub fn resume(&self) {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        state.paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Requests submitted but not yet answered (queued or in flight).
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .outstanding
+    }
+
+    /// Takes every response completed so far, without blocking.
+    pub fn take_completed(&self) -> Vec<InferenceResponse> {
+        std::mem::take(
+            &mut self
+                .shared
+                .state
+                .lock()
+                .expect("engine state lock")
+                .responses,
+        )
+    }
+
+    /// Blocks until every submitted request has a response, then takes
+    /// them all.  Resumes a paused engine first.
+    pub fn drain(&self) -> Vec<InferenceResponse> {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        if state.paused {
+            state.paused = false;
+            self.shared.work_cv.notify_all();
+        }
+        while state.outstanding > 0 {
+            state = self.shared.done_cv.wait(state).expect("engine state lock");
+        }
+        std::mem::take(&mut state.responses)
+    }
+
+    /// The first internal execution error any worker hit, if any (the
+    /// affected requests were answered with
+    /// [`CompletionStatus::Rejected`](crate::CompletionStatus::Rejected)).
+    pub fn last_error(&self) -> Option<String> {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .error
+            .clone()
+    }
+
+    /// Stops accepting work, finishes everything already submitted
+    /// (paused engines are resumed), joins the workers and returns the
+    /// remaining responses.
+    pub fn shutdown(mut self) -> Vec<InferenceResponse> {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        std::mem::take(
+            &mut self
+                .shared
+                .state
+                .lock()
+                .expect("engine state lock")
+                .responses,
+        )
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        state.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # nfm-serve — request-oriented inference serving
+//!
+//! The serving front door of the NFM reproduction.  The paper's
+//! memoization scheme targets *inference serving* — batch-of-one
+//! sequences arriving continuously — so the public unit of work here is
+//! a **request**, not a pre-collected workload:
+//!
+//! * [`InferenceRequest`] — one sequence, an optional deadline, and a
+//!   caller-chosen id.
+//! * [`Engine`] / [`EngineBuilder`] — a bounded submission queue
+//!   (backpressure via [`EngineError::QueueFull`]) in front of worker
+//!   threads; each worker owns one evaluator and a lane scheduler.
+//!   For unidirectional stacks that scheduler is the step-pipelined
+//!   [`StepPipeline`](nfm_rnn::StepPipeline), which refills a drained
+//!   lane from the queue *immediately* (mid-wave lane refill).
+//! * [`InferenceResponse`] — per-request outputs, per-request
+//!   [`ReuseStats`](nfm_core::ReuseStats), queue/compute latency, and a
+//!   [`CompletionStatus`] (`Done` / `DeadlineExpired` / `Rejected`);
+//!   every admitted request is reported exactly once.
+//! * [`MemoizedRunner`] / [`InferenceWorkload`] — the workload-level
+//!   API, kept as thin wrappers over the engine (bit-identical results
+//!   by test).
+//!
+//! # Example
+//!
+//! ```
+//! use nfm_serve::{Engine, EngineBuilder, InferenceRequest, PredictorKind};
+//! use nfm_core::BnnMemoConfig;
+//! use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
+//! use nfm_tensor::rng::DeterministicRng;
+//! use nfm_tensor::Vector;
+//!
+//! let mut rng = DeterministicRng::seed_from_u64(9);
+//! let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 4, 8), &mut rng).unwrap();
+//! let engine = EngineBuilder::new(net, PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)))
+//!     .lanes(2)
+//!     .workers(1)
+//!     .queue_capacity(16)
+//!     .build()
+//!     .unwrap();
+//! for id in 0..4u64 {
+//!     let seq: Vec<Vector> =
+//!         (0..6).map(|t| Vector::from_fn(4, |i| (id as f32) * 0.1 + (t + i) as f32 * 0.05)).collect();
+//!     engine.submit(InferenceRequest::new(id, seq)).unwrap();
+//! }
+//! let responses = engine.shutdown();
+//! assert_eq!(responses.len(), 4);
+//! assert!(responses.iter().all(|r| r.is_done()));
+//! ```
+
+pub mod engine;
+pub mod request;
+pub mod runner;
+mod worker;
+
+pub use engine::{Engine, EngineBuilder, EngineError};
+pub use request::{
+    CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId,
+};
+pub use runner::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};

@@ -1,0 +1,151 @@
+//! The unit of work the serving engine deals in: one request, one
+//! response.
+
+use nfm_core::ReuseStats;
+use nfm_tensor::Vector;
+use std::time::Duration;
+
+/// Caller-chosen identifier carried from an [`InferenceRequest`] to its
+/// [`InferenceResponse`].  The engine attaches no meaning to it (and
+/// does not deduplicate), so callers are free to reuse ids — but then
+/// they must disambiguate responses themselves.
+pub type RequestId = u64;
+
+/// One inference submission: a sequence to run, an optional deadline,
+/// and the id under which the result is reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// Echoed on the response.
+    pub id: RequestId,
+    /// The input sequence (one vector per timestep, widths matching the
+    /// engine's network; must be non-empty).
+    pub sequence: Vec<Vector>,
+    /// Latency budget measured from submission.  `None` means the
+    /// request never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl InferenceRequest {
+    /// A request with no deadline.
+    pub fn new(id: RequestId, sequence: Vec<Vector>) -> Self {
+        InferenceRequest {
+            id,
+            sequence,
+            deadline: None,
+        }
+    }
+
+    /// Sets the latency budget (queue wait + compute), measured from
+    /// the moment [`Engine::submit`](crate::Engine::submit) accepts the
+    /// request.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How a request left the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// Computed within its deadline (or with no deadline).
+    Done,
+    /// The deadline elapsed.  Under
+    /// [`DeadlinePolicy::DropExpired`] the request was never computed
+    /// and `outputs` is empty; under
+    /// [`DeadlinePolicy::RunToCompletion`] (or when the deadline
+    /// expired only *during* compute) `outputs` holds the full result.
+    /// Expired requests are always reported — never silently dropped.
+    DeadlineExpired,
+    /// The engine aborted the request after admission (an internal
+    /// execution error; see
+    /// [`Engine::last_error`](crate::Engine::last_error)).  Submission
+    /// failures are *not* reported this way — they surface as
+    /// [`EngineError`](crate::EngineError)s from `submit` itself.
+    Rejected,
+}
+
+/// What to do with a request whose deadline has already expired while
+/// it waited in the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlinePolicy {
+    /// Skip the computation and report
+    /// [`CompletionStatus::DeadlineExpired`] with empty outputs — the
+    /// lane goes to a request that can still meet its deadline.  This
+    /// is the default.
+    #[default]
+    DropExpired,
+    /// Compute anyway and report the (late) outputs, still marked
+    /// [`CompletionStatus::DeadlineExpired`].
+    RunToCompletion,
+}
+
+/// The per-request result: outputs, this request's own reuse
+/// statistics, and where its latency went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResponse {
+    /// The id of the request this answers.
+    pub id: RequestId,
+    /// How the request completed.
+    pub status: CompletionStatus,
+    /// One output per timestep (empty when the request was dropped
+    /// before compute).
+    pub outputs: Vec<Vector>,
+    /// Reuse statistics attributable to *this request alone* —
+    /// bit-identical to what a dedicated
+    /// [`MemoizedRunner::run`](crate::MemoizedRunner::run) over the
+    /// same sequence would report.
+    pub stats: ReuseStats,
+    /// Time spent waiting in the queue before a lane picked the
+    /// request up.
+    pub queue_latency: Duration,
+    /// Time from lane admission to the last timestep's output.  Lanes
+    /// advance together, so this includes the steps shared with the
+    /// other requests in flight (in wave mode it is the whole wave's
+    /// duration).
+    pub compute_latency: Duration,
+}
+
+impl InferenceResponse {
+    /// Whether the request completed normally.
+    pub fn is_done(&self) -> bool {
+        self.status == CompletionStatus::Done
+    }
+
+    /// Queue plus compute latency.
+    pub fn total_latency(&self) -> Duration {
+        self.queue_latency + self.compute_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_sets_deadline() {
+        let r = InferenceRequest::new(7, vec![Vector::zeros(2)]);
+        assert_eq!(r.id, 7);
+        assert!(r.deadline.is_none());
+        let r = r.with_deadline(Duration::from_millis(5));
+        assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn response_latency_sums() {
+        let r = InferenceResponse {
+            id: 1,
+            status: CompletionStatus::Done,
+            outputs: Vec::new(),
+            stats: ReuseStats::new(),
+            queue_latency: Duration::from_millis(2),
+            compute_latency: Duration::from_millis(3),
+        };
+        assert!(r.is_done());
+        assert_eq!(r.total_latency(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn default_policy_drops_expired() {
+        assert_eq!(DeadlinePolicy::default(), DeadlinePolicy::DropExpired);
+    }
+}

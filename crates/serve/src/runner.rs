@@ -1,12 +1,11 @@
-//! A small façade that runs an entire workload under a chosen predictor,
-//! in parallel across independent input sequences.
+//! The workload-level façade: `MemoizedRunner` as a thin wrapper over
+//! the request [`Engine`].
 
-use crate::config::{BnnMemoConfig, OracleMemoConfig};
-use crate::oracle::OracleEvaluator;
-use crate::predictor::BnnMemoEvaluator;
-use crate::stats::ReuseStats;
-use nfm_bnn::BinaryNetwork;
-use nfm_rnn::{DeepRnn, ExactEvaluator, NeuronEvaluator, Result as RnnResult};
+use crate::engine::EngineBuilder;
+use crate::request::{CompletionStatus, InferenceRequest};
+use nfm_core::config::{BnnMemoConfig, OracleMemoConfig};
+use nfm_core::ReuseStats;
+use nfm_rnn::{DeepRnn, Result as RnnResult, RnnError};
 use nfm_tensor::Vector;
 
 /// Anything that can be run through the memoization schemes: a network
@@ -23,7 +22,8 @@ pub trait InferenceWorkload {
     fn input_sequences(&self) -> &[Vec<Vector>];
 }
 
-/// Which predictor a [`MemoizedRunner`] uses.
+/// Which predictor a [`MemoizedRunner`] or
+/// [`Engine`](crate::Engine) uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PredictorKind {
     /// No memoization: the exact baseline.
@@ -57,8 +57,8 @@ impl RunOutcome {
 }
 
 /// Estimated work (in weight-MAC units: one fetched weight multiplied
-/// and accumulated once) below which the parallel fan-out falls back to
-/// the sequential path: spawning and joining scoped worker threads plus
+/// and accumulated once) below which [`MemoizedRunner::run`] stays on a
+/// single engine worker: spawning and joining worker threads plus
 /// merging their statistics costs tens of microseconds, so small runs
 /// lose more to spawn overhead than they gain from extra cores (the
 /// `runner/parallel` regression in early `BENCH_inference.json`
@@ -80,22 +80,33 @@ fn estimated_work_macs(network: &DeepRnn, sequences: &[Vec<Vector>]) -> u64 {
     timesteps.saturating_mul(per_step)
 }
 
-/// Runs a workload end-to-end under a chosen predictor.
+/// Runs a workload end-to-end under a chosen predictor — a thin
+/// wrapper over the request [`Engine`](crate::Engine): every sequence
+/// becomes one [`InferenceRequest`], and the outcome is the responses
+/// reassembled in submission order with their statistics merged.
 ///
-/// Sequences are fully independent (memoization state is cleared at
-/// every sequence start), so by default the runner fans them out over
-/// the available cores with one evaluator per worker and merges the
-/// [`ReuseStats`] afterwards — unless the estimated work is below the
-/// spawn-amortization threshold, in which case it silently runs on the
-/// calling thread (identical results either way).  Outputs and
-/// statistics are *identical* to a sequential run;
-/// [`MemoizedRunner::sequential`] remains as an escape hatch for
-/// single-threaded measurements (e.g. figure experiments that time the
-/// run itself) and [`MemoizedRunner::with_workers`] forces a worker
-/// count regardless of the heuristic.
+/// [`MemoizedRunner::run`] processes sequences independently (one lane
+/// per worker, the classic per-sequence hot path), fanned out over
+/// engine workers when the estimated work amortizes the threads —
+/// outputs and statistics are *identical* to a sequential run either
+/// way.  [`MemoizedRunner::run_batched`] gives the engine `batch_size`
+/// lanes so gates evaluate many sequences per weight stream (the
+/// step-pipelined scheduler with mid-wave refill on unidirectional
+/// stacks, layer-lockstep waves otherwise).
+///
+/// [`MemoizedRunner::sequential`] remains as the
+/// deterministic-scheduling escape hatch: exactly one engine worker,
+/// requests processed in submission order.  Note that every `run` call
+/// now builds a transient engine — one worker thread spawn/join plus
+/// an owned copy of each input sequence — so callers timing the run
+/// itself (figure experiments, the `runner/*` bench entries) measure
+/// that small constant alongside inference;
+/// [`MemoizedRunner::with_workers`] forces a worker count regardless
+/// of the heuristic.
 ///
 /// ```
-/// use nfm_core::{MemoizedRunner, BnnMemoConfig, InferenceWorkload};
+/// use nfm_serve::{InferenceWorkload, MemoizedRunner};
+/// use nfm_core::BnnMemoConfig;
 /// use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
 /// use nfm_tensor::rng::DeterministicRng;
 /// use nfm_tensor::Vector;
@@ -119,53 +130,6 @@ pub struct MemoizedRunner {
     parallel: bool,
     /// Explicit worker-count override (`None` = available parallelism).
     workers: Option<usize>,
-}
-
-/// One worker's evaluator, constructed per thread so no synchronization
-/// touches the hot path.
-enum WorkerEvaluator {
-    Exact(ExactEvaluator),
-    Oracle(OracleEvaluator),
-    Bnn(Box<BnnMemoEvaluator>),
-}
-
-impl WorkerEvaluator {
-    fn build(
-        predictor: PredictorKind,
-        network: &DeepRnn,
-        mirror: Option<&BinaryNetwork>,
-    ) -> WorkerEvaluator {
-        match predictor {
-            PredictorKind::Exact => WorkerEvaluator::Exact(ExactEvaluator::new()),
-            PredictorKind::Oracle(config) => {
-                WorkerEvaluator::Oracle(OracleEvaluator::for_network(network, config))
-            }
-            PredictorKind::Bnn(config) => {
-                let mirror = mirror.expect("mirror prebuilt for BNN runs").clone();
-                WorkerEvaluator::Bnn(Box::new(BnnMemoEvaluator::new(mirror, config)))
-            }
-        }
-    }
-
-    fn as_dyn(&mut self) -> &mut dyn NeuronEvaluator {
-        match self {
-            WorkerEvaluator::Exact(e) => e,
-            WorkerEvaluator::Oracle(e) => e,
-            WorkerEvaluator::Bnn(e) => e.as_mut(),
-        }
-    }
-
-    fn into_stats(self) -> ReuseStats {
-        match self {
-            WorkerEvaluator::Exact(e) => {
-                let mut stats = ReuseStats::new();
-                stats.record_computed_many(e.evaluations());
-                stats
-            }
-            WorkerEvaluator::Oracle(e) => *e.stats(),
-            WorkerEvaluator::Bnn(e) => *e.stats(),
-        }
-    }
 }
 
 impl MemoizedRunner {
@@ -196,18 +160,19 @@ impl MemoizedRunner {
         }
     }
 
-    /// Disables the cross-sequence parallel fan-out.  Results are
-    /// bitwise identical either way; use this when the caller is timing
-    /// the run on one core or wants fully deterministic scheduling.
+    /// Disables the cross-sequence parallel fan-out (exactly one
+    /// engine worker).  Results are bitwise identical either way; use
+    /// this when the caller wants one compute thread and fully
+    /// deterministic scheduling.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
     }
 
-    /// Overrides the worker count used by the parallel fan-out (clamped
-    /// to the number of sequences).  Useful to exercise or bound the
-    /// threaded path regardless of the host's core count; results stay
-    /// identical for any worker count.
+    /// Overrides the engine worker count used by [`MemoizedRunner::run`]
+    /// (clamped to the number of sequences).  Useful to exercise or
+    /// bound the threaded path regardless of the host's core count;
+    /// results stay identical for any worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
         self
@@ -232,14 +197,6 @@ impl MemoizedRunner {
     pub fn run(&self, workload: &impl InferenceWorkload) -> RnnResult<RunOutcome> {
         let network = workload.network();
         let sequences = workload.input_sequences();
-        // The mirror only depends on the weights; build it once and share
-        // it read-only across workers (each clones its own working copy,
-        // mirroring one FMU sign-buffer per computation unit).
-        let mirror = match self.predictor {
-            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(network)),
-            _ => None,
-        };
-
         let workers = if self.parallel {
             match self.workers {
                 // Explicit override: always fan out as requested.
@@ -254,100 +211,118 @@ impl MemoizedRunner {
         } else {
             1
         };
-
-        if workers <= 1 {
-            let (outputs, stats) = run_chunk(self.predictor, network, mirror.as_ref(), sequences)?;
-            return Ok(RunOutcome { outputs, stats });
-        }
-
-        let chunk_size = sequences.len().div_ceil(workers);
-        let chunks: Vec<&[Vec<Vector>]> = sequences.chunks(chunk_size).collect();
-        let mut results: Vec<Option<ChunkResult>> = (0..chunks.len()).map(|_| None).collect();
-        let predictor = self.predictor;
-        let mirror_ref = mirror.as_ref();
-        std::thread::scope(|scope| {
-            for (slot, chunk) in results.iter_mut().zip(chunks.iter()) {
-                scope.spawn(move || {
-                    *slot = Some(run_chunk(predictor, network, mirror_ref, chunk));
-                });
-            }
-        });
-
-        let mut outputs = Vec::with_capacity(sequences.len());
-        let mut stats = ReuseStats::new();
-        for slot in results {
-            let (chunk_outputs, chunk_stats) = slot.expect("worker finished")?;
-            outputs.extend(chunk_outputs);
-            stats.merge(&chunk_stats);
-        }
-        Ok(RunOutcome { outputs, stats })
+        self.run_with_engine(network, sequences, 1, workers)
     }
 
-    /// Runs every sequence of `workload` through its network with
-    /// **multi-sequence batched inference**: up to `batch_size`
-    /// sequences (lanes) are evaluated through each gate invocation at
-    /// once, so one weight stream serves all lanes (see
-    /// [`DeepRnn::run_batch`]).
+    /// Runs every sequence of `workload` with **multi-sequence batched
+    /// inference**: the engine gets `batch_size` lanes, so up to that
+    /// many sequences are evaluated through each gate invocation at
+    /// once and one weight stream serves all of them.
     ///
-    /// The queue of sequences is packed into lanes wave by wave:
-    /// ragged-length sequences inside a wave are ordered longest-first
-    /// internally, each lane drains as its sequence finishes (the ragged
-    /// tail keeps shrinking the active prefix), and freed lanes are
-    /// refilled from the queue at the next wave boundary — lockstep
-    /// layer processing means a new sequence cannot join mid-wave.
+    /// On unidirectional stacks the lanes are driven by the
+    /// step-pipelined scheduler
+    /// ([`StepPipeline`](nfm_rnn::StepPipeline)): a lane that finishes
+    /// its sequence is refilled from the queue *immediately* — mid-wave
+    /// — so ragged-length traffic keeps every lane busy.  Bidirectional
+    /// stacks fall back to layer-lockstep waves
+    /// ([`DeepRnn::run_batch`]) with refill at wave boundaries.
     ///
     /// Outputs, reuse statistics and memo-hit behavior are
-    /// **bit-identical** to [`MemoizedRunner::run`] for every predictor:
-    /// memoizing evaluators keep one [`MemoTable`](crate::MemoTable) per
-    /// lane, cleared at each lane's sequence start, exactly like the
-    /// per-sequence path.  `batch_size == 1` degenerates to sequential
-    /// per-sequence inference.
+    /// **bit-identical** to [`MemoizedRunner::run`] for every
+    /// predictor: memoizing evaluators keep one
+    /// [`MemoTable`](nfm_core::MemoTable) per lane, reset when a lane
+    /// admits a new sequence, exactly like the per-sequence path.
     ///
     /// # Errors
     ///
-    /// Propagates any inference error (shape mismatches, empty
-    /// sequences).
+    /// Returns [`RnnError::InvalidConfig`] when `batch_size == 0` (the
+    /// accepted range is `batch_size >= 1`; `1` degenerates to
+    /// sequential per-sequence inference), and propagates any inference
+    /// error (shape mismatches, empty sequences).
     pub fn run_batched(
         &self,
         workload: &impl InferenceWorkload,
         batch_size: usize,
     ) -> RnnResult<RunOutcome> {
-        let network = workload.network();
-        let sequences = workload.input_sequences();
-        let mirror = match self.predictor {
-            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(network)),
-            _ => None,
-        };
-        let mut evaluator = WorkerEvaluator::build(self.predictor, network, mirror.as_ref());
-        let lanes = batch_size.max(1);
-        let mut outputs = Vec::with_capacity(sequences.len());
-        for wave in sequences.chunks(lanes) {
-            let refs: Vec<&[Vector]> = wave.iter().map(|s| s.as_slice()).collect();
-            outputs.extend(network.run_batch(&refs, evaluator.as_dyn())?);
+        if batch_size == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: "run_batched requires batch_size >= 1 (0 lanes cannot make progress); \
+                       pass 1 for sequential per-sequence inference"
+                    .into(),
+            });
         }
-        Ok(RunOutcome {
-            outputs,
-            stats: evaluator.into_stats(),
-        })
+        self.run_with_engine(
+            workload.network(),
+            workload.input_sequences(),
+            batch_size,
+            1,
+        )
     }
-}
 
-/// One worker's result: its chunk's outputs plus its evaluator's stats.
-type ChunkResult = RnnResult<(Vec<Vec<Vector>>, ReuseStats)>;
-
-/// Runs one worker's share of the sequences with its own evaluator.
-fn run_chunk(
-    predictor: PredictorKind,
-    network: &DeepRnn,
-    mirror: Option<&BinaryNetwork>,
-    sequences: &[Vec<Vector>],
-) -> ChunkResult {
-    let mut evaluator = WorkerEvaluator::build(predictor, network, mirror);
-    let mut outputs = Vec::with_capacity(sequences.len());
-    for seq in sequences {
-        outputs.push(network.run(seq, evaluator.as_dyn())?);
+    /// Shared wrapper core: submit every sequence to a fresh engine,
+    /// drain it, and reassemble the responses in submission order.
+    ///
+    /// The transient engine owns its inputs, so each call copies the
+    /// network's weights once (an `Arc` hands them to the workers) and
+    /// each sequence once — a constant that one weight-pass of
+    /// inference already dwarfs; long-lived callers that care should
+    /// hold an [`Engine`](crate::Engine) directly.
+    fn run_with_engine(
+        &self,
+        network: &DeepRnn,
+        sequences: &[Vec<Vector>],
+        lanes: usize,
+        workers: usize,
+    ) -> RnnResult<RunOutcome> {
+        if sequences.is_empty() {
+            return Ok(RunOutcome {
+                outputs: Vec::new(),
+                stats: ReuseStats::new(),
+            });
+        }
+        // Paused start: every request is queued before compute begins,
+        // so wave grouping (bidirectional stacks) matches the chunk
+        // boundaries of a pre-collected workload.
+        let engine = EngineBuilder::new(network.clone(), self.predictor)
+            .lanes(lanes)
+            .workers(workers.min(sequences.len()).max(1))
+            .queue_capacity(sequences.len())
+            .start_paused()
+            .build()
+            .map_err(RnnError::from)?;
+        for (i, sequence) in sequences.iter().enumerate() {
+            engine
+                .submit(InferenceRequest::new(i as u64, sequence.clone()))
+                .map_err(RnnError::from)?;
+        }
+        // Drain (which resumes the paused workers) before reading the
+        // error slot, so any failure recorded mid-run is visible; the
+        // drop then joins the worker threads.
+        let mut responses = engine.drain();
+        let worker_error = engine.last_error();
+        drop(engine);
+        debug_assert_eq!(responses.len(), sequences.len());
+        responses.sort_by_key(|r| r.id);
+        let mut outputs = Vec::with_capacity(responses.len());
+        let mut stats = ReuseStats::new();
+        for response in responses {
+            if response.status != CompletionStatus::Done {
+                let cause = worker_error
+                    .as_deref()
+                    .map(|e| format!(": {e}"))
+                    .unwrap_or_default();
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "engine aborted request {} ({:?}){cause}",
+                        response.id, response.status
+                    ),
+                });
+            }
+            stats.merge(&response.stats);
+            outputs.push(response.outputs);
+        }
+        Ok(RunOutcome { outputs, stats })
     }
-    Ok((outputs, evaluator.into_stats()))
 }
 
 #[cfg(test)]
@@ -495,15 +470,15 @@ mod tests {
         assert_eq!(estimated_work_macs(&w.net, &w.seqs), 2 * 10 * per_step);
         assert_eq!(estimated_work_macs(&w.net, &[]), 0);
         // Small test workloads sit far below the spawn-amortization
-        // threshold, so the auto-parallel path must fall back to the
-        // calling thread (with_workers still forces a fan-out).
+        // threshold, so the auto-parallel path must fall back to one
+        // worker (with_workers still forces a fan-out).
         assert!(estimated_work_macs(&w.net, &w.seqs) < SPAWN_AMORTIZATION_MACS);
     }
 
     #[test]
-    fn small_runs_fall_back_to_sequential_but_stay_identical() {
+    fn small_runs_fall_back_to_one_worker_but_stay_identical() {
         // Below the threshold the auto runner must behave exactly like
-        // the sequential runner (it IS the sequential path), and the
+        // the sequential runner (it IS a one-worker engine), and the
         // explicit override must still match bit for bit.
         let w = workload(5, 8);
         let auto = MemoizedRunner::exact().run(&w).unwrap();
@@ -524,12 +499,34 @@ mod tests {
             MemoizedRunner::bnn(BnnMemoConfig::with_threshold(1.0)),
         ] {
             let reference = runner.sequential().run(&w).unwrap();
-            // 2 leaves a ragged tail over 5 sequences; 0 clamps to 1.
-            for batch in [0usize, 1, 2, 5, 8] {
+            // 2 leaves lanes draining at different steps over 5
+            // sequences; 8 exceeds the sequence count.
+            for batch in [1usize, 2, 5, 8] {
                 let batched = runner.run_batched(&w, batch).unwrap();
                 assert_eq!(batched.outputs, reference.outputs, "batch={batch}");
                 assert_eq!(batched.stats, reference.stats, "batch={batch}");
             }
         }
+    }
+
+    #[test]
+    fn run_batched_rejects_zero_lanes() {
+        let w = workload(2, 6);
+        let err = MemoizedRunner::exact().run_batched(&w, 0).unwrap_err();
+        assert!(matches!(err, RnnError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("batch_size >= 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_outcome() {
+        let w = Tiny {
+            net: workload(1, 4).net,
+            seqs: Vec::new(),
+        };
+        let outcome = MemoizedRunner::exact().run(&w).unwrap();
+        assert!(outcome.outputs.is_empty());
+        assert_eq!(outcome.stats, ReuseStats::new());
+        let outcome = MemoizedRunner::exact().run_batched(&w, 3).unwrap();
+        assert!(outcome.outputs.is_empty());
     }
 }

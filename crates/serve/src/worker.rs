@@ -1,0 +1,448 @@
+//! Per-worker execution: one evaluator plus a lane scheduler.
+//!
+//! Every engine worker owns a [`LaneWorker`]: its own evaluator (so no
+//! synchronization ever touches the hot path) and one of three lane
+//! schedules picked at construction:
+//!
+//! * **Single** (`lanes == 1`) — requests run one at a time through
+//!   [`DeepRnn::run`], the exact single-sequence hot path.
+//! * **Pipeline** (`lanes > 1`, unidirectional stack) — the
+//!   step-pipelined scheduler ([`StepPipeline`]): lanes advance
+//!   timestep-by-timestep through the whole stack and a drained lane is
+//!   refilled from the queue *immediately* (mid-wave refill).
+//! * **Wave** (`lanes > 1`, bidirectional stack) — layer-lockstep
+//!   waves via [`DeepRnn::run_batch`]; freed lanes refill at wave
+//!   boundaries (the backward halves need whole sequences up front).
+//!
+//! All three produce bit-identical per-request outputs and reuse
+//! statistics: scheduling never changes results, only latency.
+
+use crate::request::{
+    CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId,
+};
+use crate::runner::PredictorKind;
+use nfm_bnn::BinaryNetwork;
+use nfm_core::{BnnMemoEvaluator, OracleEvaluator, ReuseStats};
+use nfm_rnn::{DeepRnn, ExactEvaluator, FinishedLane, NeuronEvaluator, StepPipeline};
+use nfm_tensor::Vector;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A request plus its submission timestamp (queue-latency anchor).
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    pub req: InferenceRequest,
+    pub submitted_at: Instant,
+}
+
+impl QueuedRequest {
+    fn expired(&self) -> bool {
+        match self.req.deadline {
+            Some(deadline) => self.submitted_at.elapsed() > deadline,
+            None => false,
+        }
+    }
+}
+
+/// One worker's evaluator, constructed per worker so the hot path is
+/// lock-free.
+pub(crate) enum WorkerEvaluator {
+    Exact(ExactEvaluator),
+    Oracle(OracleEvaluator),
+    Bnn(Box<BnnMemoEvaluator>),
+}
+
+impl WorkerEvaluator {
+    pub(crate) fn build(
+        predictor: PredictorKind,
+        network: &DeepRnn,
+        mirror: Option<&BinaryNetwork>,
+    ) -> WorkerEvaluator {
+        match predictor {
+            PredictorKind::Exact => WorkerEvaluator::Exact(ExactEvaluator::new()),
+            PredictorKind::Oracle(config) => {
+                WorkerEvaluator::Oracle(OracleEvaluator::for_network(network, config))
+            }
+            PredictorKind::Bnn(config) => {
+                let mirror = mirror.expect("mirror prebuilt for BNN runs").clone();
+                WorkerEvaluator::Bnn(Box::new(BnnMemoEvaluator::new(mirror, config)))
+            }
+        }
+    }
+
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn NeuronEvaluator {
+        match self {
+            WorkerEvaluator::Exact(e) => e,
+            WorkerEvaluator::Oracle(e) => e,
+            WorkerEvaluator::Bnn(e) => e.as_mut(),
+        }
+    }
+
+    /// Takes the statistics attributable to the request that just
+    /// finished on `lane` of a batched schedule.  The exact evaluator
+    /// keeps no per-lane counters — every neuron of every timestep is
+    /// computed, so its per-request statistics are exactly
+    /// `timesteps * evals_per_step` computed evaluations.
+    fn take_lane_stats(
+        &mut self,
+        lane: usize,
+        timesteps: usize,
+        evals_per_step: u64,
+    ) -> ReuseStats {
+        match self {
+            WorkerEvaluator::Exact(_) => {
+                let mut stats = ReuseStats::new();
+                stats.record_computed_many(timesteps as u64 * evals_per_step);
+                stats
+            }
+            WorkerEvaluator::Oracle(e) => e.take_lane_stats(lane),
+            WorkerEvaluator::Bnn(e) => e.take_lane_stats(lane),
+        }
+    }
+
+    /// Clears the aggregate counters before a single-mode request so
+    /// the post-run snapshot is that request's own statistics.
+    fn reset_stats(&mut self) {
+        match self {
+            WorkerEvaluator::Exact(_) => {}
+            WorkerEvaluator::Oracle(e) => e.reset_stats(),
+            WorkerEvaluator::Bnn(e) => e.reset_stats(),
+        }
+    }
+
+    /// Snapshot of the aggregate counters after a single-mode request.
+    fn stats_snapshot(&self, timesteps: usize, evals_per_step: u64) -> ReuseStats {
+        match self {
+            WorkerEvaluator::Exact(_) => {
+                let mut stats = ReuseStats::new();
+                stats.record_computed_many(timesteps as u64 * evals_per_step);
+                stats
+            }
+            WorkerEvaluator::Oracle(e) => *e.stats(),
+            WorkerEvaluator::Bnn(e) => *e.stats(),
+        }
+    }
+}
+
+/// A request occupying a pipeline lane.
+struct Inflight {
+    id: RequestId,
+    deadline: Option<Duration>,
+    submitted_at: Instant,
+    admitted_at: Instant,
+    timesteps: usize,
+}
+
+/// Step-pipeline bookkeeping (boxed in [`Mode`] to keep the enum
+/// small: one worker holds exactly one of these for its lifetime).
+struct PipelineMode {
+    pipeline: StepPipeline,
+    inflight: HashMap<u64, Inflight>,
+    finished: Vec<FinishedLane>,
+    next_token: u64,
+}
+
+enum Mode {
+    Single,
+    Pipeline(Box<PipelineMode>),
+    Wave { lanes: usize },
+}
+
+/// One worker: evaluator + lane scheduler + response assembly.
+pub(crate) struct LaneWorker {
+    network: Arc<DeepRnn>,
+    evaluator: WorkerEvaluator,
+    policy: DeadlinePolicy,
+    evals_per_step: u64,
+    mode: Mode,
+}
+
+impl LaneWorker {
+    /// Builds a worker.  The mode is picked from `lanes` and the
+    /// network's direction; the caller guarantees `lanes >= 1`.
+    pub(crate) fn new(
+        network: Arc<DeepRnn>,
+        predictor: PredictorKind,
+        mirror: Option<&BinaryNetwork>,
+        lanes: usize,
+        policy: DeadlinePolicy,
+    ) -> LaneWorker {
+        debug_assert!(lanes >= 1);
+        let mut evaluator = WorkerEvaluator::build(predictor, &network, mirror);
+        let unidirectional = network.layers().iter().all(|l| !l.is_bidirectional());
+        let mode = if lanes == 1 {
+            Mode::Single
+        } else if unidirectional {
+            let pipeline =
+                StepPipeline::new(&network, lanes).expect("unidirectional stack, lanes >= 1");
+            // Size the evaluator's per-lane state once up front.
+            evaluator.as_dyn().begin_batch(lanes);
+            Mode::Pipeline(Box::new(PipelineMode {
+                pipeline,
+                inflight: HashMap::new(),
+                finished: Vec::new(),
+                next_token: 0,
+            }))
+        } else {
+            Mode::Wave { lanes }
+        };
+        let evals_per_step = network.neuron_evaluations_per_step() as u64;
+        LaneWorker {
+            network,
+            evaluator,
+            policy,
+            evals_per_step,
+            mode,
+        }
+    }
+
+    /// Drains work from `pull` until it returns `None` and every
+    /// admitted lane has finished, emitting one response per request.
+    /// Internal execution errors (which submit-time validation makes
+    /// unreachable for well-formed engines) turn the affected requests
+    /// into [`CompletionStatus::Rejected`] responses — never silently
+    /// dropped — and are passed to `report` *before* those responses
+    /// are emitted, so a caller observing a rejected response always
+    /// finds the root cause already recorded.
+    pub(crate) fn pump(
+        &mut self,
+        pull: &mut dyn FnMut() -> Option<QueuedRequest>,
+        emit: &mut dyn FnMut(InferenceResponse),
+        report: &mut dyn FnMut(String),
+    ) {
+        match &mut self.mode {
+            Mode::Single => {
+                while let Some(q) = pull() {
+                    let queue_latency = q.submitted_at.elapsed();
+                    if q.expired() && self.policy == DeadlinePolicy::DropExpired {
+                        emit(expired_response(&q, queue_latency));
+                        continue;
+                    }
+                    self.evaluator.reset_stats();
+                    let started = Instant::now();
+                    let result = self.network.run(&q.req.sequence, self.evaluator.as_dyn());
+                    let compute_latency = started.elapsed();
+                    match result {
+                        Ok(outputs) => {
+                            let stats = self
+                                .evaluator
+                                .stats_snapshot(q.req.sequence.len(), self.evals_per_step);
+                            emit(InferenceResponse {
+                                id: q.req.id,
+                                status: completion_status(&q.req.deadline, q.submitted_at),
+                                outputs,
+                                stats,
+                                queue_latency,
+                                compute_latency,
+                            });
+                        }
+                        Err(e) => {
+                            report(e.to_string());
+                            emit(rejected_response(q.req.id, queue_latency, compute_latency));
+                        }
+                    }
+                }
+            }
+            Mode::Wave { lanes } => {
+                let lanes = *lanes;
+                loop {
+                    let mut wave: Vec<QueuedRequest> = Vec::with_capacity(lanes);
+                    while wave.len() < lanes {
+                        match pull() {
+                            Some(q) => {
+                                if q.expired() && self.policy == DeadlinePolicy::DropExpired {
+                                    emit(expired_response(&q, q.submitted_at.elapsed()));
+                                    continue;
+                                }
+                                wave.push(q);
+                            }
+                            None => break,
+                        }
+                    }
+                    if wave.is_empty() {
+                        return;
+                    }
+                    // Longest-first (stable) so wave lane `l` is request
+                    // `l`: run_batch re-sorts stably, which is then the
+                    // identity, and per-lane stats map back directly.
+                    wave.sort_by_key(|q| std::cmp::Reverse(q.req.sequence.len()));
+                    let refs: Vec<&[Vector]> =
+                        wave.iter().map(|q| q.req.sequence.as_slice()).collect();
+                    let admitted_at = Instant::now();
+                    match self.network.run_batch(&refs, self.evaluator.as_dyn()) {
+                        Ok(outputs) => {
+                            let compute_latency = admitted_at.elapsed();
+                            for (lane, (q, outputs)) in wave.iter().zip(outputs).enumerate() {
+                                let stats = self.evaluator.take_lane_stats(
+                                    lane,
+                                    q.req.sequence.len(),
+                                    self.evals_per_step,
+                                );
+                                emit(InferenceResponse {
+                                    id: q.req.id,
+                                    status: completion_status(&q.req.deadline, q.submitted_at),
+                                    outputs,
+                                    stats,
+                                    queue_latency: admitted_at.duration_since(q.submitted_at),
+                                    compute_latency,
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            report(e.to_string());
+                            let compute_latency = admitted_at.elapsed();
+                            for q in &wave {
+                                emit(rejected_response(
+                                    q.req.id,
+                                    admitted_at.duration_since(q.submitted_at),
+                                    compute_latency,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Mode::Pipeline(mode) => {
+                let PipelineMode {
+                    pipeline,
+                    inflight,
+                    finished,
+                    next_token,
+                } = mode.as_mut();
+                loop {
+                    // Refill every free lane straight from the queue —
+                    // this is the mid-wave refill: it happens per step,
+                    // not per wave.
+                    while pipeline.free_lanes() > 0 {
+                        match pull() {
+                            Some(q) => {
+                                let queue_latency = q.submitted_at.elapsed();
+                                if q.expired() && self.policy == DeadlinePolicy::DropExpired {
+                                    emit(expired_response(&q, queue_latency));
+                                    continue;
+                                }
+                                let token = *next_token;
+                                *next_token += 1;
+                                let timesteps = q.req.sequence.len();
+                                // Timestamp before admit(): the
+                                // admission-time W_x hoist is real
+                                // compute and must land in
+                                // compute_latency, not queue_latency.
+                                let admitted_at = Instant::now();
+                                match pipeline.admit(
+                                    token,
+                                    q.req.sequence,
+                                    &self.network,
+                                    self.evaluator.as_dyn(),
+                                ) {
+                                    Ok(()) => {
+                                        inflight.insert(
+                                            token,
+                                            Inflight {
+                                                id: q.req.id,
+                                                deadline: q.req.deadline,
+                                                submitted_at: q.submitted_at,
+                                                admitted_at,
+                                                timesteps,
+                                            },
+                                        );
+                                    }
+                                    Err(e) => {
+                                        report(e.to_string());
+                                        emit(rejected_response(
+                                            q.req.id,
+                                            queue_latency,
+                                            Duration::ZERO,
+                                        ));
+                                    }
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    if pipeline.is_idle() {
+                        return;
+                    }
+                    match pipeline.step(&self.network, self.evaluator.as_dyn(), finished) {
+                        Ok(_) => {
+                            // Read each finished lane's stats before the
+                            // next admission reuses its slot.
+                            for f in finished.drain(..) {
+                                let info = inflight.remove(&f.token).expect("lane tracked");
+                                let stats = self.evaluator.take_lane_stats(
+                                    f.stats_lane,
+                                    info.timesteps,
+                                    self.evals_per_step,
+                                );
+                                emit(InferenceResponse {
+                                    id: info.id,
+                                    status: completion_status(&info.deadline, info.submitted_at),
+                                    outputs: f.outputs,
+                                    stats,
+                                    queue_latency: info
+                                        .admitted_at
+                                        .duration_since(info.submitted_at),
+                                    compute_latency: info.admitted_at.elapsed(),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            // Unreachable for validated submissions; fail
+                            // the in-flight requests loudly and restart
+                            // the pipeline with fresh lanes.
+                            report(e.to_string());
+                            for (_, info) in inflight.drain() {
+                                emit(rejected_response(
+                                    info.id,
+                                    info.admitted_at.duration_since(info.submitted_at),
+                                    info.admitted_at.elapsed(),
+                                ));
+                            }
+                            let lanes = pipeline.lanes();
+                            *pipeline = StepPipeline::new(&self.network, lanes)
+                                .expect("same network accepted these lanes before");
+                            self.evaluator.as_dyn().begin_batch(lanes);
+                            finished.clear();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Status of a computed request: late if its deadline elapsed anywhere
+/// between submission and now.
+fn completion_status(deadline: &Option<Duration>, submitted_at: Instant) -> CompletionStatus {
+    match deadline {
+        Some(d) if submitted_at.elapsed() > *d => CompletionStatus::DeadlineExpired,
+        _ => CompletionStatus::Done,
+    }
+}
+
+fn expired_response(q: &QueuedRequest, queue_latency: Duration) -> InferenceResponse {
+    InferenceResponse {
+        id: q.req.id,
+        status: CompletionStatus::DeadlineExpired,
+        outputs: Vec::new(),
+        stats: ReuseStats::new(),
+        queue_latency,
+        compute_latency: Duration::ZERO,
+    }
+}
+
+fn rejected_response(
+    id: RequestId,
+    queue_latency: Duration,
+    compute_latency: Duration,
+) -> InferenceResponse {
+    InferenceResponse {
+        id,
+        status: CompletionStatus::Rejected,
+        outputs: Vec::new(),
+        stats: ReuseStats::new(),
+        queue_latency,
+        compute_latency,
+    }
+}

@@ -25,6 +25,20 @@ use crate::Result;
 /// Number of independent accumulators in the unrolled dot product.
 const LANES: usize = 8;
 
+/// Tile edge of the register-blocked batched kernels: weight rows and
+/// batch lanes are processed in 4 × 4 tiles, with the lane quad running
+/// through [`dot_quad_unchecked`] so four independent dot products are
+/// in flight per streamed weight row.
+const TILE: usize = 4;
+
+/// The canonical pairwise reduction of the unrolled accumulators.  This
+/// IS the reduction order every kernel inherits — single-lane and quad
+/// paths both end here, which is what keeps them bit-identical.
+#[inline]
+fn reduce(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
 /// Unchecked dot product with a fixed unrolled reduction order.
 ///
 /// Both slices must have the same length; the caller is responsible for
@@ -50,10 +64,75 @@ pub fn dot_unchecked(a: &[f32], b: &[f32]) -> f32 {
     for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
         tail += x * y;
     }
-    // Fixed pairwise reduction: keep this order in sync with nothing —
-    // it IS the canonical order every caller inherits.
-    let head = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
-    head + tail
+    reduce(acc) + tail
+}
+
+/// Four dot products of one shared `row` against four lane vectors at
+/// once — the register-blocked inner kernel of [`dual_matmul_into`].
+///
+/// The row is streamed from memory once while four independent
+/// accumulator sets advance in lockstep, so the instruction-level
+/// parallelism per loaded weight is 4x that of [`dot_unchecked`].
+/// Every lane's additions and multiplies happen in exactly
+/// [`dot_unchecked`]'s order (same chunking, same [`reduce`], same tail
+/// loop), so `dot_quad_unchecked(r, a, b, c, d)[i]` is bit-identical to
+/// `dot_unchecked(r, [a, b, c, d][i])`.
+///
+/// All five slices must have the same length (same contract as
+/// [`dot_unchecked`]).
+#[inline]
+pub fn dot_quad_unchecked(row: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
+    debug_assert!(
+        row.len() == x0.len()
+            && row.len() == x1.len()
+            && row.len() == x2.len()
+            && row.len() == x3.len()
+    );
+    let mut a0 = [0.0f32; LANES];
+    let mut a1 = [0.0f32; LANES];
+    let mut a2 = [0.0f32; LANES];
+    let mut a3 = [0.0f32; LANES];
+    let mut cr = row.chunks_exact(LANES);
+    let mut c0 = x0.chunks_exact(LANES);
+    let mut c1 = x1.chunks_exact(LANES);
+    let mut c2 = x2.chunks_exact(LANES);
+    let mut c3 = x3.chunks_exact(LANES);
+    for ((((pr, p0), p1), p2), p3) in (&mut cr)
+        .zip(&mut c0)
+        .zip(&mut c1)
+        .zip(&mut c2)
+        .zip(&mut c3)
+    {
+        for l in 0..LANES {
+            a0[l] += pr[l] * p0[l];
+            a1[l] += pr[l] * p1[l];
+            a2[l] += pr[l] * p2[l];
+            a3[l] += pr[l] * p3[l];
+        }
+    }
+    let mut t0 = 0.0f32;
+    let mut t1 = 0.0f32;
+    let mut t2 = 0.0f32;
+    let mut t3 = 0.0f32;
+    for ((((x, y0), y1), y2), y3) in cr
+        .remainder()
+        .iter()
+        .zip(c0.remainder())
+        .zip(c1.remainder())
+        .zip(c2.remainder())
+        .zip(c3.remainder())
+    {
+        t0 += x * y0;
+        t1 += x * y1;
+        t2 += x * y2;
+        t3 += x * y3;
+    }
+    [
+        reduce(a0) + t0,
+        reduce(a1) + t1,
+        reduce(a2) + t2,
+        reduce(a3) + t3,
+    ]
 }
 
 /// Matrix-vector product into a caller-owned buffer: `out = m * x`.
@@ -228,17 +307,42 @@ pub fn dual_matmul_into(
         });
     }
     let rows = wx.rows();
-    let xc = wx.cols().max(1);
-    let hc = wh.cols().max(1);
-    for ((r, rx), rh) in wx
-        .as_slice()
-        .chunks_exact(xc)
-        .enumerate()
-        .zip(wh.as_slice().chunks_exact(hc))
-    {
-        for l in 0..lanes {
-            out[l * rows + r] = dot_unchecked(rx, &xs[l * xc..(l + 1) * xc])
-                + dot_unchecked(rh, &hs[l * hc..(l + 1) * hc]);
+    let xc = wx.cols();
+    let hc = wh.cols();
+    let wxs = wx.as_slice();
+    let whs = wh.as_slice();
+    // Register-blocked 4 rows x 4 lanes tiles: within a tile each
+    // weight-row pair is streamed once through the quad-dot kernel (four
+    // independent accumulator sets in flight), and the four lanes' input
+    // slices stay hot in L1 across the tile's rows.  Every (row, lane)
+    // dot is independent and runs the shared reduction order, so tiling
+    // is bit-transparent — lane `l` stays bit-identical to the
+    // single-sequence [`dual_matvec_into`].
+    let lane_quads = lanes - lanes % TILE;
+    for r0 in (0..rows).step_by(TILE) {
+        let r_hi = (r0 + TILE).min(rows);
+        for l0 in (0..lane_quads).step_by(TILE) {
+            let x = |i: usize| &xs[(l0 + i) * xc..(l0 + i + 1) * xc];
+            let h = |i: usize| &hs[(l0 + i) * hc..(l0 + i + 1) * hc];
+            for r in r0..r_hi {
+                let rx = &wxs[r * xc..(r + 1) * xc];
+                let rh = &whs[r * hc..(r + 1) * hc];
+                let fwd = dot_quad_unchecked(rx, x(0), x(1), x(2), x(3));
+                let rec = dot_quad_unchecked(rh, h(0), h(1), h(2), h(3));
+                for i in 0..TILE {
+                    // Keep the `fwd + rec` order of Gate::neuron_dot.
+                    out[(l0 + i) * rows + r] = fwd[i] + rec[i];
+                }
+            }
+        }
+        // Remainder lanes (< TILE of them) fall back to the scalar pair.
+        for l in lane_quads..lanes {
+            let xl = &xs[l * xc..(l + 1) * xc];
+            let hl = &hs[l * hc..(l + 1) * hc];
+            for r in r0..r_hi {
+                out[l * rows + r] = dot_unchecked(&wxs[r * xc..(r + 1) * xc], xl)
+                    + dot_unchecked(&whs[r * hc..(r + 1) * hc], hl);
+            }
         }
     }
     Ok(())
@@ -478,31 +582,67 @@ mod tests {
 
     #[test]
     fn dual_matmul_lanes_match_dual_matvec_bitwise() {
+        // Row and lane counts straddling the 4x4 tile edges: full
+        // tiles, row remainders, lane remainders and sub-tile shapes
+        // must all stay bit-identical to the single-lane kernel.
         let mut rng = DeterministicRng::seed_from_u64(7);
-        let (neurons, input, hidden, lanes) = (9, 12, 9, 3);
-        let wx = random_matrix(&mut rng, neurons, input);
-        let wh = random_matrix(&mut rng, neurons, hidden);
-        let xs: Vec<f32> = (0..lanes * input).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        let hs: Vec<f32> = (0..lanes * hidden)
-            .map(|_| rng.uniform(-1.0, 1.0))
-            .collect();
-        let mut out = vec![0.0f32; lanes * neurons];
-        dual_matmul_into(&wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
-        for l in 0..lanes {
-            let mut single = vec![0.0f32; neurons];
-            dual_matvec_into(
-                &wx,
-                &wh,
-                &xs[l * input..(l + 1) * input],
-                &hs[l * hidden..(l + 1) * hidden],
-                &mut single,
-            )
-            .unwrap();
-            for n in 0..neurons {
+        for (neurons, lanes) in [
+            (9usize, 3usize),
+            (8, 4),
+            (4, 8),
+            (5, 5),
+            (1, 1),
+            (3, 7),
+            (12, 9),
+            (7, 13),
+        ] {
+            let (input, hidden) = (12, neurons);
+            let wx = random_matrix(&mut rng, neurons, input);
+            let wh = random_matrix(&mut rng, neurons, hidden);
+            let xs: Vec<f32> = (0..lanes * input).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let hs: Vec<f32> = (0..lanes * hidden)
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect();
+            let mut out = vec![0.0f32; lanes * neurons];
+            dual_matmul_into(&wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
+            for l in 0..lanes {
+                let mut single = vec![0.0f32; neurons];
+                dual_matvec_into(
+                    &wx,
+                    &wh,
+                    &xs[l * input..(l + 1) * input],
+                    &hs[l * hidden..(l + 1) * hidden],
+                    &mut single,
+                )
+                .unwrap();
+                for n in 0..neurons {
+                    assert_eq!(
+                        out[l * neurons + n].to_bits(),
+                        single[n].to_bits(),
+                        "rows {neurons} lanes {lanes}: lane {l} neuron {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_quad_matches_dot_unchecked_bitwise() {
+        // Lengths exercising the unrolled body, the scalar tail and the
+        // all-tail case: every quad lane must reproduce dot_unchecked
+        // bit for bit.
+        let mut rng = DeterministicRng::seed_from_u64(11);
+        for len in [0usize, 1, 5, 8, 9, 16, 31, 64, 130] {
+            let row: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let x: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect())
+                .collect();
+            let quad = dot_quad_unchecked(&row, &x[0], &x[1], &x[2], &x[3]);
+            for (i, xi) in x.iter().enumerate() {
                 assert_eq!(
-                    out[l * neurons + n].to_bits(),
-                    single[n].to_bits(),
-                    "lane {l} neuron {n}"
+                    quad[i].to_bits(),
+                    dot_unchecked(&row, xi).to_bits(),
+                    "len {len} lane {i}"
                 );
             }
         }

@@ -4,8 +4,8 @@ use crate::accuracy::AccuracyMetric;
 use crate::generator::SequenceGenerator;
 use crate::spec::{NetworkId, NetworkSpec};
 use crate::Result;
-use nfm_core::InferenceWorkload;
 use nfm_rnn::{DeepRnn, DeepRnnConfig, RnnError};
+use nfm_serve::InferenceWorkload;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
 use std::error::Error;
@@ -259,8 +259,9 @@ fn network_salt(id: NetworkId) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nfm_core::{BnnMemoConfig, MemoizedRunner};
+    use nfm_core::BnnMemoConfig;
     use nfm_rnn::{CellKind, Direction};
+    use nfm_serve::MemoizedRunner;
 
     #[test]
     fn full_scale_topology_matches_table1() {

@@ -1,0 +1,145 @@
+//! Serving quickstart: submit → poll → per-request stats.
+//!
+//! Builds a request engine over an IMDB-like LSTM, submits a burst of
+//! ragged-length requests (some with tight deadlines), polls for
+//! completions while the lanes drain, and prints each request's own
+//! reuse statistics and latency split.  Finally cross-checks that the
+//! engine's outputs are bit-identical to the workload-level
+//! `MemoizedRunner` API (which is itself a thin wrapper over this
+//! engine).
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use nfm::memo::BnnMemoConfig;
+use nfm::serve::{
+    CompletionStatus, DeadlinePolicy, EngineBuilder, InferenceRequest, MemoizedRunner,
+    PredictorKind,
+};
+use nfm::workloads::{NetworkId, WorkloadBuilder};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A half-scale IMDB sentiment LSTM and a batch of synthetic
+    // "reviews" of very different lengths — the ragged traffic shape
+    // that mid-wave lane refill exists for.
+    let workload = WorkloadBuilder::new(NetworkId::ImdbSentiment)
+        .scale(0.5)
+        .sequences(12)
+        .sequence_length(32)
+        .seed(11)
+        .build()?;
+    let lens = [32usize, 6, 20, 9, 32, 4, 14, 27, 8, 32, 11, 5];
+    let sequences: Vec<_> = workload
+        .sequences()
+        .iter()
+        .zip(lens)
+        .map(|(s, len)| s[..len].to_vec())
+        .collect();
+
+    let predictor = PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5));
+    let engine = EngineBuilder::new(workload.network().clone(), predictor)
+        .lanes(4) // 4 sequences share each gate's weight stream
+        .workers(1) // one compute thread; results never depend on this
+        .queue_capacity(64) // submissions beyond this get backpressure
+        .deadline_policy(DeadlinePolicy::DropExpired)
+        .build()?;
+
+    // Submit the burst.  Two requests carry a deadline that already
+    // expired (zero budget) to show expiry reporting; everything else
+    // is unbounded.
+    for (id, seq) in sequences.iter().enumerate() {
+        let mut request = InferenceRequest::new(id as u64, seq.clone());
+        if id % 6 == 5 {
+            request = request.with_deadline(Duration::ZERO);
+        }
+        engine.submit(request)?;
+    }
+    println!(
+        "submitted {} requests, pending = {}",
+        lens.len(),
+        engine.pending()
+    );
+
+    // Poll: take completions as they appear (a real server would do
+    // this from its response loop; `drain()` is the blocking variant).
+    let mut responses = Vec::new();
+    while responses.len() < lens.len() {
+        let batch = engine.take_completed();
+        if batch.is_empty() {
+            std::thread::yield_now();
+            continue;
+        }
+        responses.extend(batch);
+    }
+    responses.sort_by_key(|r| r.id);
+
+    println!("\n  id  len  status            reuse%   queue      compute");
+    for r in &responses {
+        let status = match r.status {
+            CompletionStatus::Done => "done",
+            CompletionStatus::DeadlineExpired => "deadline-expired",
+            CompletionStatus::Rejected => "rejected",
+        };
+        println!(
+            "  {:>2}  {:>3}  {:<16}  {:>5.1}   {:>7.1?}  {:>9.1?}",
+            r.id,
+            sequences[r.id as usize].len(),
+            status,
+            r.stats.reuse_percent(),
+            r.queue_latency,
+            r.compute_latency,
+        );
+    }
+
+    // Cross-check: the engine's per-request outputs are bit-identical
+    // to the workload façade (itself an engine wrapper) over the same
+    // admitted sequences.
+    struct Ragged {
+        net: nfm::rnn::DeepRnn,
+        seqs: Vec<Vec<nfm::tensor::Vector>>,
+    }
+    impl nfm::serve::InferenceWorkload for Ragged {
+        fn network(&self) -> &nfm::rnn::DeepRnn {
+            &self.net
+        }
+        fn input_sequences(&self) -> &[Vec<nfm::tensor::Vector>] {
+            &self.seqs
+        }
+    }
+    let admitted: Vec<usize> = responses
+        .iter()
+        .filter(|r| r.status == CompletionStatus::Done)
+        .map(|r| r.id as usize)
+        .collect();
+    let reference = MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.5)).run_batched(
+        &Ragged {
+            net: workload.network().clone(),
+            seqs: admitted.iter().map(|&i| sequences[i].clone()).collect(),
+        },
+        4,
+    )?;
+    for (slot, &id) in admitted.iter().enumerate() {
+        let response = responses.iter().find(|r| r.id == id as u64).unwrap();
+        assert_eq!(response.outputs, reference.outputs[slot]);
+    }
+    let merged = responses
+        .iter()
+        .fold(nfm::memo::ReuseStats::new(), |mut acc, r| {
+            acc.merge(&r.stats);
+            acc
+        });
+    assert_eq!(merged, reference.stats);
+    println!(
+        "\n{} admitted requests: outputs and reuse stats bit-identical to MemoizedRunner \
+         (merged reuse = {:.1}%)",
+        admitted.len(),
+        merged.reuse_percent()
+    );
+    println!(
+        "{} expired requests were reported, not silently dropped",
+        responses.len() - admitted.len()
+    );
+    Ok(())
+}

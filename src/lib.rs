@@ -11,6 +11,9 @@
 //! * [`rnn`] — LSTM/GRU cells, layers and deep networks.
 //! * [`bnn`] — binarized (bitwise) network substrate.
 //! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
+//! * [`serve`] — the request-oriented serving engine (submissions,
+//!   deadlines, step-pipelined lane scheduler) and the
+//!   `MemoizedRunner` workload façade built on it.
 //! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
 //! * [`workloads`] — the four Table 1 RNNs with synthetic data.
 //! * [`eval`] — per-figure/per-table experiment harness.
@@ -37,8 +40,17 @@
 
 pub use nfm_accel as accel;
 pub use nfm_bnn as bnn;
-pub use nfm_core as memo;
 pub use nfm_eval as eval;
 pub use nfm_rnn as rnn;
+pub use nfm_serve as serve;
 pub use nfm_tensor as tensor;
 pub use nfm_workloads as workloads;
+
+/// The memoization surface: the `nfm-core` evaluators plus the
+/// workload-level runner API, which now lives in [`serve`] (the runner
+/// is a thin wrapper over the request engine) but is re-exported here
+/// so `nfm::memo::MemoizedRunner` keeps working.
+pub mod memo {
+    pub use nfm_core::*;
+    pub use nfm_serve::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
+}
