@@ -13,7 +13,7 @@ use crate::timing::TimingModel;
 /// The simulator is driven by the *structure* of the network
 /// ([`NetworkShape`]), the number of timesteps/sequences processed and
 /// the computation-reuse fraction achieved by the memoization scheme
-/// (measured by `nfm-core`'s [`ReuseStats`](nfm_core::ReuseStats) on the
+/// (measured by `nfm-core`'s `ReuseStats` on the
 /// functional model).  This mirrors the paper's methodology, where the
 /// functional accuracy/reuse evaluation (TensorFlow) and the
 /// timing/energy evaluation (the in-house simulator) are separate stages.

@@ -34,7 +34,8 @@ use nfm_rnn::{
     Result as RnnResult, RnnError,
 };
 use nfm_serve::{
-    EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner, PredictorKind,
+    EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner, ModelRegistry,
+    PredictorKind,
 };
 use nfm_tensor::Vector;
 use nfm_workloads::{NetworkId, Workload, WorkloadBuilder};
@@ -363,6 +364,54 @@ fn main() {
             percentile(0.99),
         );
     }
+
+    // Two models, one engine: the multi-model registry serving the
+    // same ragged BNN traffic as `engine_midwave_refill/bnn` *plus* an
+    // interleaved exact quarter-scale model from the same queue — the
+    // serving shape the registry redesign enables.  One long-lived
+    // engine, construction outside the timed closure.
+    let second_base = workload(NetworkId::ImdbSentiment, 0.25, 24, 48);
+    let second_ragged: Vec<Vec<Vector>> = second_base
+        .sequences()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s[..[48usize, 8, 32, 6, 48, 12, 20, 9][i % 8]].to_vec())
+        .collect();
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "imdb-half",
+            ragged_net.clone(),
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+        )
+        .expect("fresh registry");
+    registry
+        .register(
+            "imdb-quarter",
+            second_base.network().clone(),
+            PredictorKind::Exact,
+        )
+        .expect("fresh id");
+    let two_model_engine = EngineBuilder::from_registry(registry)
+        .lanes(ENGINE_LANES)
+        .workers(1)
+        .queue_capacity(ragged.len() + second_ragged.len())
+        .build()
+        .expect("engine builds");
+    bench.bench("inference/engine_two_model/mixed", || {
+        for (i, s) in ragged.iter().enumerate() {
+            two_model_engine
+                .submit(InferenceRequest::new(i as u64, s.clone()).for_model("imdb-half"))
+                .expect("submit");
+            two_model_engine
+                .submit(
+                    InferenceRequest::new(1000 + i as u64, second_ragged[i].clone())
+                        .for_model("imdb-quarter"),
+                )
+                .expect("submit");
+        }
+        black_box(two_model_engine.drain().len())
+    });
 
     for (size, w) in &sizes {
         bench.bench(&format!("inference/exact/{size}"), || {

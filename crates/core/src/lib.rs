@@ -25,6 +25,11 @@
 //! * [`ThresholdExplorer`] — the per-model threshold search of
 //!   Section 3.2.1 (pick the largest reuse whose accuracy loss stays
 //!   within a target).
+//! * [`Predictor`] / [`ServedEvaluator`] — the open evaluator-factory
+//!   abstraction: one memoization policy bound to one model, stamping
+//!   out per-worker evaluators from `Arc`-shared artifacts.
+//!   [`PredictorKind`] names the built-in family
+//!   (exact/oracle/BNN) and instantiates it for a network.
 //!
 //! The request-oriented serving surface — `MemoizedRunner`,
 //! `InferenceWorkload` and the `Engine` they wrap — lives in the
@@ -55,6 +60,7 @@ pub mod config;
 pub mod input_similarity;
 pub mod oracle;
 pub mod predictor;
+pub mod serving;
 pub mod similarity;
 pub mod stats;
 pub mod table;
@@ -64,6 +70,9 @@ pub use config::{BnnMemoConfig, OracleMemoConfig};
 pub use input_similarity::{InputSimilarityConfig, InputSimilarityEvaluator};
 pub use oracle::OracleEvaluator;
 pub use predictor::BnnMemoEvaluator;
+pub use serving::{
+    BnnPredictor, ExactPredictor, OraclePredictor, Predictor, PredictorKind, ServedEvaluator,
+};
 pub use similarity::SimilarityProbe;
 pub use stats::ReuseStats;
 pub use table::{GateHandle, MemoEntry, MemoTable};

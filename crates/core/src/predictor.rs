@@ -6,6 +6,7 @@ use crate::table::MemoTable;
 use nfm_bnn::{BinaryNetwork, BitVector};
 use nfm_rnn::{Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult};
 use nfm_tensor::vector::relative_difference;
+use std::sync::Arc;
 
 /// A [`NeuronEvaluator`] implementing the paper's realisable memoization
 /// scheme:
@@ -37,7 +38,10 @@ use nfm_tensor::vector::relative_difference;
 /// memo-hit sequence — to a dedicated single-sequence run.
 #[derive(Debug, Clone)]
 pub struct BnnMemoEvaluator {
-    mirror: BinaryNetwork,
+    // Arc-shared: the mirror depends only on the trained weights, so
+    // every evaluator of the same model (all engine workers, every
+    // threshold variant) consults one prebuilt copy.
+    mirror: Arc<BinaryNetwork>,
     config: BnnMemoConfig,
     table: MemoTable,
     stats: ReuseStats,
@@ -71,7 +75,13 @@ impl BnnMemoEvaluator {
     /// Creates an evaluator from the binary mirror of the network it will
     /// run and a configuration.  The memo table is laid out up front from
     /// the mirror's gate shapes (the paper's dense FMU buffer).
-    pub fn new(mirror: BinaryNetwork, config: BnnMemoConfig) -> Self {
+    ///
+    /// The mirror is taken as (anything convertible into) an
+    /// `Arc<BinaryNetwork>`: build it once per model and share the
+    /// `Arc` across evaluators — cloning a prebuilt mirror per worker
+    /// would scale memory with `workers × mirror size` for no benefit.
+    pub fn new(mirror: impl Into<Arc<BinaryNetwork>>, config: BnnMemoConfig) -> Self {
+        let mirror = mirror.into();
         let table = MemoTable::with_gates(mirror.iter().map(|(id, g)| (*id, g.neurons())));
         BnnMemoEvaluator {
             mirror,

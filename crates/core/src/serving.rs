@@ -1,0 +1,390 @@
+//! The open predictor abstraction of the serving stack.
+//!
+//! The paper's FMU is one instance of a *family* of memoization
+//! policies (the micro 2019 evaluation compares oracle, BNN and
+//! threshold variants side by side).  This module makes that family an
+//! open set: a [`Predictor`] is an **evaluator factory** — it owns the
+//! `Arc`-shared immutable artifacts of one policy applied to one model
+//! (configuration, the prebuilt [`BinaryNetwork`] mirror) and stamps
+//! out one private [`ServedEvaluator`] per engine worker, so workers
+//! never clone weights or mirrors and never share mutable state.
+//!
+//! * [`Predictor`] — the factory trait.  Anything implementing it can
+//!   be registered with the serving engine's model registry and served
+//!   next to the built-ins.
+//! * [`ServedEvaluator`] — [`NeuronEvaluator`] plus the optional
+//!   statistics-harvest hooks the engine uses to attribute
+//!   [`ReuseStats`] to individual requests.  Evaluators that keep no
+//!   counters (the exact baseline, most custom evaluators) implement
+//!   nothing: the engine synthesizes all-computed statistics from the
+//!   request's length.
+//! * [`ExactPredictor`] / [`OraclePredictor`] / [`BnnPredictor`] — the
+//!   built-in policies as factories.
+//! * [`PredictorKind`] — the closed enum naming the built-in family;
+//!   [`PredictorKind::instantiate`] turns a kind into its factory for a
+//!   concrete network (prebuilding the binary mirror once for the BNN).
+
+use crate::config::{BnnMemoConfig, OracleMemoConfig};
+use crate::oracle::OracleEvaluator;
+use crate::predictor::BnnMemoEvaluator;
+use crate::stats::ReuseStats;
+use nfm_bnn::BinaryNetwork;
+use nfm_rnn::{DeepRnn, ExactEvaluator, NeuronEvaluator};
+use std::fmt;
+use std::sync::Arc;
+
+/// A [`NeuronEvaluator`] as the serving engine drives it: the inference
+/// hook plus optional per-request statistics harvesting.
+///
+/// The engine attributes reuse statistics to the request occupying each
+/// lane.  Evaluators that track counters (the oracle and BNN
+/// evaluators) override the three hooks; evaluators that do not (the
+/// exact baseline, simple custom evaluators) inherit the defaults,
+/// which return `None` — the engine then synthesizes the exact-path
+/// statistics (every neuron of every timestep computed, nothing
+/// reused), which is correct for any evaluator that never skips work.
+pub trait ServedEvaluator: NeuronEvaluator + Send {
+    /// Takes the statistics attributable to the request that just
+    /// finished (or was aborted) on `lane` of a batched schedule,
+    /// leaving the lane's counters at zero.  `None` means the evaluator
+    /// keeps no per-lane counters.
+    fn take_lane_stats(&mut self, lane: usize) -> Option<ReuseStats> {
+        let _ = lane;
+        None
+    }
+
+    /// Clears the aggregate counters before a single-lane request so
+    /// [`stats_snapshot`](ServedEvaluator::stats_snapshot) reports that
+    /// request's own statistics.  No-op by default.
+    fn reset_stats(&mut self) {}
+
+    /// Snapshot of the aggregate counters after a single-lane request.
+    /// `None` means the evaluator keeps no counters.
+    fn stats_snapshot(&self) -> Option<ReuseStats> {
+        None
+    }
+}
+
+impl ServedEvaluator for ExactEvaluator {}
+
+impl ServedEvaluator for OracleEvaluator {
+    fn take_lane_stats(&mut self, lane: usize) -> Option<ReuseStats> {
+        Some(OracleEvaluator::take_lane_stats(self, lane))
+    }
+
+    fn reset_stats(&mut self) {
+        OracleEvaluator::reset_stats(self);
+    }
+
+    fn stats_snapshot(&self) -> Option<ReuseStats> {
+        Some(*self.stats())
+    }
+}
+
+impl ServedEvaluator for BnnMemoEvaluator {
+    fn take_lane_stats(&mut self, lane: usize) -> Option<ReuseStats> {
+        Some(BnnMemoEvaluator::take_lane_stats(self, lane))
+    }
+
+    fn reset_stats(&mut self) {
+        BnnMemoEvaluator::reset_stats(self);
+    }
+
+    fn stats_snapshot(&self) -> Option<ReuseStats> {
+        Some(*self.stats())
+    }
+}
+
+/// An evaluator factory: one memoization policy bound to one model.
+///
+/// Implementations hold only `Arc`-shared immutable artifacts (policy
+/// configuration, the prebuilt binary mirror); every engine worker
+/// calls [`build_evaluator`](Predictor::build_evaluator) once to get a
+/// private mutable evaluator, so the hot path never synchronizes and
+/// worker memory never scales with the shared artifacts.
+///
+/// Custom policies implement this trait and register through the
+/// serving engine's model registry; the built-ins are
+/// [`ExactPredictor`], [`OraclePredictor`] and [`BnnPredictor`]
+/// (usually reached through [`PredictorKind::instantiate`]).
+pub trait Predictor: Send + Sync + fmt::Debug {
+    /// The name under which a registry files this predictor when the
+    /// caller does not pick one ("exact", "oracle", "bnn", …).
+    fn name(&self) -> &str;
+
+    /// Builds one private evaluator for a worker.  `network` is the
+    /// model this predictor was registered for — factories that
+    /// prebuild per-network state (tables sized up front, mirrors) may
+    /// ignore it and use their shared artifacts instead.
+    fn build_evaluator(&self, network: &DeepRnn) -> Box<dyn ServedEvaluator>;
+
+    /// The reuse threshold `θ` this predictor is configured with, if
+    /// the policy has one.  A registry uses it to recognize a
+    /// per-request override that matches the configured value and
+    /// serve it from the existing state instead of materializing a
+    /// duplicate.  Policies overriding
+    /// [`with_threshold`](Predictor::with_threshold) should override
+    /// this too.
+    fn threshold(&self) -> Option<f32> {
+        None
+    }
+
+    /// A copy of this predictor with the reuse threshold `θ` replaced —
+    /// the hook behind per-request threshold overrides.  `None` (the
+    /// default) means the policy has no threshold; the engine then
+    /// rejects override requests with a typed error instead of silently
+    /// ignoring the option.
+    fn with_threshold(&self, threshold: f32) -> Option<Arc<dyn Predictor>> {
+        let _ = threshold;
+        None
+    }
+}
+
+/// The exact baseline as a factory: every neuron computed, nothing
+/// memoized, no threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExactPredictor;
+
+impl Predictor for ExactPredictor {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn build_evaluator(&self, _network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::new(ExactEvaluator::new())
+    }
+}
+
+/// The oracle predictor of Figure 6 as a factory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OraclePredictor {
+    config: OracleMemoConfig,
+}
+
+impl OraclePredictor {
+    /// A factory producing oracle evaluators with `config`.
+    pub fn new(config: OracleMemoConfig) -> Self {
+        OraclePredictor { config }
+    }
+
+    /// The configuration evaluators are built with.
+    pub fn config(&self) -> OracleMemoConfig {
+        self.config
+    }
+}
+
+impl Predictor for OraclePredictor {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn build_evaluator(&self, network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::new(OracleEvaluator::for_network(network, self.config))
+    }
+
+    fn threshold(&self) -> Option<f32> {
+        Some(self.config.threshold)
+    }
+
+    fn with_threshold(&self, threshold: f32) -> Option<Arc<dyn Predictor>> {
+        let mut config = self.config;
+        config.threshold = threshold;
+        Some(Arc::new(OraclePredictor { config }))
+    }
+}
+
+/// The BNN predictor of Figure 10 as a factory: holds the binary mirror
+/// of its model behind an `Arc`, so every worker's evaluator consults
+/// the **same** prebuilt sign buffers — worker memory no longer scales
+/// with mirror size.
+#[derive(Debug, Clone)]
+pub struct BnnPredictor {
+    mirror: Arc<BinaryNetwork>,
+    config: BnnMemoConfig,
+}
+
+impl BnnPredictor {
+    /// A factory producing BNN-memoized evaluators over a prebuilt
+    /// `mirror` (built once per model, shared by every worker and every
+    /// threshold variant).
+    pub fn new(mirror: impl Into<Arc<BinaryNetwork>>, config: BnnMemoConfig) -> Self {
+        BnnPredictor {
+            mirror: mirror.into(),
+            config,
+        }
+    }
+
+    /// Builds the mirror of `network` and wraps it.  Prefer
+    /// [`BnnPredictor::new`] with a shared mirror when several
+    /// predictors serve the same model.
+    pub fn mirror_of(network: &DeepRnn, config: BnnMemoConfig) -> Self {
+        BnnPredictor::new(BinaryNetwork::mirror(network), config)
+    }
+
+    /// The shared binary mirror.
+    pub fn mirror(&self) -> &Arc<BinaryNetwork> {
+        &self.mirror
+    }
+
+    /// The configuration evaluators are built with.
+    pub fn config(&self) -> BnnMemoConfig {
+        self.config
+    }
+}
+
+impl Predictor for BnnPredictor {
+    fn name(&self) -> &str {
+        "bnn"
+    }
+
+    fn build_evaluator(&self, _network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::new(BnnMemoEvaluator::new(Arc::clone(&self.mirror), self.config))
+    }
+
+    fn threshold(&self) -> Option<f32> {
+        Some(self.config.threshold)
+    }
+
+    fn with_threshold(&self, threshold: f32) -> Option<Arc<dyn Predictor>> {
+        let mut config = self.config;
+        config.threshold = threshold;
+        Some(Arc::new(BnnPredictor {
+            mirror: Arc::clone(&self.mirror),
+            config,
+        }))
+    }
+}
+
+/// The built-in predictor family by name — the closed enum the serving
+/// API grew up around, kept as the convenient way to pick a built-in
+/// policy.  [`PredictorKind::instantiate`] turns a kind into its open
+/// [`Predictor`] factory for a concrete network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// No memoization: the exact baseline.
+    Exact,
+    /// The oracle predictor of Figure 6.
+    Oracle(OracleMemoConfig),
+    /// The BNN predictor of Figure 10.
+    Bnn(BnnMemoConfig),
+}
+
+impl PredictorKind {
+    /// The registry name of this kind: `"exact"`, `"oracle"` or
+    /// `"bnn"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorKind::Exact => "exact",
+            PredictorKind::Oracle(_) => "oracle",
+            PredictorKind::Bnn(_) => "bnn",
+        }
+    }
+
+    /// Whether instantiating this kind needs the model's binary mirror.
+    pub fn needs_mirror(&self) -> bool {
+        matches!(self, PredictorKind::Bnn(_))
+    }
+
+    /// Builds the factory for this kind applied to `network`.  `mirror`
+    /// lets the caller share one prebuilt [`BinaryNetwork`] across
+    /// several BNN predictors of the same model; `None` builds it here
+    /// (only when [`needs_mirror`](PredictorKind::needs_mirror)).
+    pub fn instantiate(
+        &self,
+        network: &DeepRnn,
+        mirror: Option<Arc<BinaryNetwork>>,
+    ) -> Arc<dyn Predictor> {
+        match self {
+            PredictorKind::Exact => Arc::new(ExactPredictor),
+            PredictorKind::Oracle(config) => Arc::new(OraclePredictor::new(*config)),
+            PredictorKind::Bnn(config) => {
+                let mirror = mirror.unwrap_or_else(|| Arc::new(BinaryNetwork::mirror(network)));
+                Arc::new(BnnPredictor::new(mirror, *config))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnnConfig};
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::Vector;
+
+    fn network() -> DeepRnn {
+        let mut rng = DeterministicRng::seed_from_u64(21);
+        DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 4, 6), &mut rng).unwrap()
+    }
+
+    fn sequence(net: &DeepRnn, len: usize) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(22);
+        let mut x = Vector::from_fn(net.input_size(), |_| rng.uniform(-0.5, 0.5));
+        (0..len)
+            .map(|_| {
+                x = x
+                    .add(&Vector::from_fn(net.input_size(), |_| {
+                        rng.uniform(-0.05, 0.05)
+                    }))
+                    .unwrap();
+                x.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kinds_name_their_factories() {
+        let net = network();
+        for kind in [
+            PredictorKind::Exact,
+            PredictorKind::Oracle(OracleMemoConfig::with_threshold(0.2)),
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+        ] {
+            let factory = kind.instantiate(&net, None);
+            assert_eq!(factory.name(), kind.name());
+            assert_eq!(kind.needs_mirror(), kind.name() == "bnn");
+        }
+    }
+
+    #[test]
+    fn built_evaluators_match_direct_construction_bitwise() {
+        let net = network();
+        let seq = sequence(&net, 12);
+        let mirror = Arc::new(BinaryNetwork::mirror(&net));
+        let config = BnnMemoConfig::with_threshold(1.0);
+        let factory = PredictorKind::Bnn(config).instantiate(&net, Some(Arc::clone(&mirror)));
+        let mut built = factory.build_evaluator(&net);
+        let from_factory = net.run(&seq, built.as_mut()).unwrap();
+        let mut direct = BnnMemoEvaluator::new(Arc::clone(&mirror), config);
+        let reference = net.run(&seq, &mut direct).unwrap();
+        assert_eq!(from_factory, reference);
+        assert_eq!(
+            built.stats_snapshot().map(|s| s.reuses()),
+            Some(direct.stats().reuses())
+        );
+    }
+
+    #[test]
+    fn threshold_override_shares_the_mirror() {
+        let net = network();
+        let mirror = Arc::new(BinaryNetwork::mirror(&net));
+        let base = BnnPredictor::new(Arc::clone(&mirror), BnnMemoConfig::with_threshold(0.5));
+        let tightened = base.with_threshold(0.0).expect("bnn supports thresholds");
+        assert_eq!(tightened.name(), "bnn");
+        // Two predictors, one override: still a single mirror allocation
+        // (the base Arc plus the local handle plus the override's).
+        assert_eq!(Arc::strong_count(&mirror), 3);
+        assert!(ExactPredictor.with_threshold(0.1).is_none());
+        let oracle = OraclePredictor::new(OracleMemoConfig::with_threshold(0.4));
+        let oracle2 = oracle.with_threshold(0.7).expect("oracle has a threshold");
+        assert_eq!(oracle2.name(), "oracle");
+    }
+
+    #[test]
+    fn untracked_evaluators_report_no_stats() {
+        let mut exact = ExactEvaluator::new();
+        assert!(ServedEvaluator::take_lane_stats(&mut exact, 0).is_none());
+        assert!(ServedEvaluator::stats_snapshot(&exact).is_none());
+        ServedEvaluator::reset_stats(&mut exact); // no-op must not panic
+    }
+}

@@ -186,7 +186,7 @@ impl Cell {
     /// When the evaluator's
     /// [`supports_input_hoisting`](NeuronEvaluator::supports_input_hoisting)
     /// returns `true`, the input projections `W_x·x_t` of up to
-    /// [`HOIST_BLOCK`] timesteps are pre-computed with one lane-striped
+    /// `HOIST_BLOCK` (8) timesteps are pre-computed with one lane-striped
     /// matrix product per gate and handed to the evaluator's hoisted
     /// path — bit-transparent, because the hoisted kernels keep the
     /// `fwd + rec` scalar order of the fused path.

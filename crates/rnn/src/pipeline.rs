@@ -392,7 +392,53 @@ impl StepPipeline {
         self.steps += 1;
         // Retire finished lanes, highest index first so each swap
         // target is still an unfinished lane (or the lane itself).
-        for l in (0..active).rev() {
+        self.retire_finished(evaluator, finished);
+        Ok(active)
+    }
+
+    /// Evicts the lane holding `token` mid-sequence — the per-step
+    /// deadline-abort hook: a serving engine that notices an in-flight
+    /// request's deadline expired frees its lane *immediately* instead
+    /// of computing the remaining timesteps.
+    ///
+    /// Compaction is identical to retiring a finished lane (state swap
+    /// with the tail plus [`NeuronEvaluator::swap_lane_state`]), so the
+    /// surviving lanes keep bit-identical results.  Returns the evicted
+    /// lane with the outputs of the timesteps computed **so far** (a
+    /// partial sequence) and the [`FinishedLane::stats_lane`] index its
+    /// per-lane statistics live at — read them before the next
+    /// [`admit`](StepPipeline::admit), exactly like a finished lane.
+    /// Returns `None` when no active lane holds `token`.
+    pub fn cancel(
+        &mut self,
+        token: u64,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Option<FinishedLane> {
+        let lane = self.slots.iter().position(|s| s.token == token)?;
+        let tail = self.slots.len() - 1;
+        if lane != tail {
+            self.slots.swap(lane, tail);
+            for state in &mut self.states {
+                state.swap_lanes(lane, tail);
+            }
+            evaluator.swap_lane_state(lane, tail);
+        }
+        let slot = self.slots.pop().expect("slot exists");
+        Some(FinishedLane {
+            token: slot.token,
+            outputs: slot.outputs,
+            stats_lane: tail,
+        })
+    }
+
+    /// Shared retire loop of [`step`](StepPipeline::step): pops every
+    /// lane whose sequence is exhausted, compacting the active prefix.
+    fn retire_finished(
+        &mut self,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) {
+        for l in (0..self.slots.len()).rev() {
             if self.slots[l].t == self.slots[l].inputs.len() {
                 let tail = self.slots.len() - 1;
                 if l != tail {
@@ -410,7 +456,6 @@ impl StepPipeline {
                 });
             }
         }
-        Ok(active)
     }
 }
 
@@ -568,6 +613,44 @@ mod tests {
         assert!(pipeline
             .admit(1, seq(4, net.input_size(), 2), &net, &mut eval)
             .is_err());
+    }
+
+    #[test]
+    fn cancel_frees_the_lane_and_keeps_survivors_bit_identical() {
+        let net = networks().remove(0);
+        let seqs: Vec<Vec<Vector>> = (0..3)
+            .map(|i| seq(8, net.input_size(), 970 + i as u64))
+            .collect();
+        // Reference: dedicated runs for the two surviving sequences.
+        let mut reference = Vec::new();
+        for s in &seqs[1..] {
+            reference.push(net.run(s, &mut ExactEvaluator::new()).unwrap());
+        }
+        let mut pipeline = StepPipeline::new(&net, 3).unwrap();
+        let mut eval = ExactEvaluator::new();
+        eval.begin_batch(3);
+        for (i, s) in seqs.iter().enumerate() {
+            pipeline
+                .admit(i as u64, s.clone(), &net, &mut eval)
+                .unwrap();
+        }
+        let mut finished = Vec::new();
+        // Two steps in, abort token 0 mid-sequence.
+        pipeline.step(&net, &mut eval, &mut finished).unwrap();
+        pipeline.step(&net, &mut eval, &mut finished).unwrap();
+        assert!(finished.is_empty());
+        let cancelled = pipeline.cancel(0, &mut eval).expect("token 0 in flight");
+        assert_eq!(cancelled.token, 0);
+        assert_eq!(cancelled.outputs.len(), 2, "partial outputs so far");
+        assert_eq!(pipeline.free_lanes(), 1, "the lane is free immediately");
+        assert!(pipeline.cancel(0, &mut eval).is_none(), "already evicted");
+        // Drain the survivors; their outputs must be unaffected.
+        while pipeline.step(&net, &mut eval, &mut finished).unwrap() > 0 {}
+        finished.sort_by_key(|f| f.token);
+        assert_eq!(finished.len(), 2);
+        for (f, reference) in finished.iter().zip(reference.iter()) {
+            assert_eq!(&f.outputs, reference, "survivor token {}", f.token);
+        }
     }
 
     #[test]

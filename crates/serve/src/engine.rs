@@ -1,10 +1,10 @@
-//! The serving engine: a bounded submission queue in front of worker
-//! threads that each drive a lane scheduler.
+//! The serving engine: a bounded, priority-aware submission queue in
+//! front of worker threads that each drive per-model lane schedulers.
 
+use crate::registry::{ModelId, ModelRegistry};
 use crate::request::{DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId};
-use crate::runner::PredictorKind;
 use crate::worker::{LaneWorker, QueuedRequest};
-use nfm_bnn::BinaryNetwork;
+use nfm_core::PredictorKind;
 use nfm_rnn::{DeepRnn, RnnError};
 use std::collections::VecDeque;
 use std::error::Error;
@@ -13,8 +13,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Errors surfaced by [`EngineBuilder::build`] and
-/// [`Engine::submit`].
+/// The model id [`EngineBuilder::new`] registers its single network
+/// under — the single-model API is sugar for a one-entry registry.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Errors surfaced by [`EngineBuilder::build`],
+/// [`Engine::submit`] and [`ModelRegistry`] registration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The builder was configured outside the accepted ranges (all
@@ -36,17 +40,55 @@ pub enum EngineError {
         /// The offending request.
         id: RequestId,
     },
-    /// A sequence element does not match the network's input width.
+    /// A sequence element does not match the targeted model's input
+    /// width.
     InputSizeMismatch {
         /// The offending request.
         id: RequestId,
-        /// Width the engine's network expects.
+        /// Width the targeted model's network expects.
         expected: usize,
         /// Width found.
         found: usize,
         /// Index of the offending element.
         timestep: usize,
     },
+    /// The request names a model that is not registered.
+    UnknownModel {
+        /// The id that failed to resolve.
+        model: ModelId,
+    },
+    /// The request names a predictor that is not registered for its
+    /// model.
+    UnknownPredictor {
+        /// The model the lookup ran against.
+        model: ModelId,
+        /// The predictor name that failed to resolve.
+        predictor: String,
+    },
+    /// The request overrides the threshold of a predictor that has
+    /// none (the exact baseline, custom predictors without
+    /// [`Predictor::with_threshold`](nfm_core::Predictor::with_threshold)).
+    ThresholdUnsupported {
+        /// The model the request targeted.
+        model: ModelId,
+        /// The predictor without a threshold.
+        predictor: String,
+    },
+    /// A model id was registered twice.
+    DuplicateModel {
+        /// The contested id.
+        model: ModelId,
+    },
+    /// A predictor name was registered twice for the same model.
+    DuplicatePredictor {
+        /// The model the registration ran against.
+        model: ModelId,
+        /// The contested predictor name.
+        predictor: String,
+    },
+    /// The registry holds no models, so there is nothing to serve (and
+    /// no default model to resolve requests against).
+    EmptyRegistry,
     /// The engine has been shut down and accepts no further work.
     ShutDown,
 }
@@ -73,6 +115,26 @@ impl fmt::Display for EngineError {
                 f,
                 "request {id}: element {timestep} has width {found}, network expects {expected}"
             ),
+            EngineError::UnknownModel { model } => {
+                write!(f, "no model registered under id {model:?}")
+            }
+            EngineError::UnknownPredictor { model, predictor } => {
+                write!(f, "model {model:?} has no predictor named {predictor:?}")
+            }
+            EngineError::ThresholdUnsupported { model, predictor } => write!(
+                f,
+                "predictor {predictor:?} of model {model:?} has no threshold to override"
+            ),
+            EngineError::DuplicateModel { model } => {
+                write!(f, "model id {model:?} is already registered")
+            }
+            EngineError::DuplicatePredictor { model, predictor } => write!(
+                f,
+                "model {model:?} already has a predictor named {predictor:?}"
+            ),
+            EngineError::EmptyRegistry => {
+                write!(f, "the model registry is empty; register a model first")
+            }
             EngineError::ShutDown => write!(f, "engine is shut down"),
         }
     }
@@ -103,6 +165,17 @@ impl From<EngineError> for RnnError {
 
 /// Builds an [`Engine`].
 ///
+/// Two entry points:
+///
+/// * [`EngineBuilder::new`] — the single-model path: one network, one
+///   built-in predictor.  Sugar for a one-entry registry under
+///   [`DEFAULT_MODEL`]; behavior (and results) are unchanged from the
+///   pre-registry engine.
+/// * [`EngineBuilder::from_registry`] — the multi-model path: serve
+///   every model/predictor pair in a [`ModelRegistry`], with requests
+///   choosing per submission via
+///   [`RequestOptions`](crate::RequestOptions).
+///
 /// # Accepted ranges
 ///
 /// All three sizing knobs accept `1..`; `0` is rejected by
@@ -116,10 +189,9 @@ impl From<EngineError> for RnnError {
 /// * [`queue_capacity`](EngineBuilder::queue_capacity) — bound on
 ///   *waiting* submissions, excluding requests already on a lane
 ///   (default 256).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EngineBuilder {
-    network: Arc<DeepRnn>,
-    predictor: PredictorKind,
+    registry: Result<ModelRegistry, EngineError>,
     lanes: usize,
     workers: usize,
     queue_capacity: usize,
@@ -128,12 +200,25 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Starts a builder for `network` under `predictor` with the
-    /// default knobs.
+    /// Starts a builder for the single-model path: `network` under
+    /// `predictor`, registered as the model [`DEFAULT_MODEL`] of a
+    /// fresh registry.
     pub fn new(network: impl Into<Arc<DeepRnn>>, predictor: PredictorKind) -> Self {
+        let mut registry = ModelRegistry::new();
+        let registered = registry
+            .register(DEFAULT_MODEL, network, predictor)
+            .map(|()| registry);
+        EngineBuilder::with_registry_result(registered)
+    }
+
+    /// Starts a builder serving every model of `registry`.
+    pub fn from_registry(registry: ModelRegistry) -> Self {
+        EngineBuilder::with_registry_result(Ok(registry))
+    }
+
+    fn with_registry_result(registry: Result<ModelRegistry, EngineError>) -> Self {
         EngineBuilder {
-            network: network.into(),
-            predictor,
+            registry,
             lanes: 4,
             workers: 1,
             queue_capacity: 256,
@@ -183,7 +268,9 @@ impl EngineBuilder {
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidConfig`] when `lanes`, `workers`
-    /// or `queue_capacity` is `0`.
+    /// or `queue_capacity` is `0`, [`EngineError::EmptyRegistry`] when
+    /// no model is registered, and any registration error deferred by
+    /// [`EngineBuilder::new`].
     pub fn build(self) -> Result<Engine, EngineError> {
         for (what, value) in [
             ("lanes", self.lanes),
@@ -199,13 +286,14 @@ impl EngineBuilder {
                 });
             }
         }
-        let mirror = match self.predictor {
-            PredictorKind::Bnn(_) => Some(BinaryNetwork::mirror(&self.network)),
-            _ => None,
-        };
+        let registry = self.registry?;
+        if registry.is_empty() {
+            return Err(EngineError::EmptyRegistry);
+        }
+        let registry = Arc::new(registry);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                queue: PriorityQueue::new(),
                 responses: Vec::new(),
                 outstanding: 0,
                 shutdown: false,
@@ -215,22 +303,16 @@ impl EngineBuilder {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             capacity: self.queue_capacity,
-            input_size: self.network.input_size(),
         });
         let mut handles = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
-            let worker = LaneWorker::new(
-                Arc::clone(&self.network),
-                self.predictor,
-                mirror.as_ref(),
-                self.lanes,
-                self.policy,
-            );
+            let worker = LaneWorker::new(self.lanes, self.policy);
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || worker_loop(shared, worker)));
         }
         Ok(Engine {
             shared,
+            registry,
             handles,
             lanes: self.lanes,
             workers: self.workers,
@@ -239,9 +321,57 @@ impl EngineBuilder {
     }
 }
 
+/// The bounded submission queue: one FIFO per [`Priority`] class,
+/// drained highest class first.  Priority picks the *admission order*;
+/// results never depend on it.
+#[derive(Debug)]
+struct PriorityQueue {
+    classes: [VecDeque<QueuedRequest>; 3],
+    len: usize,
+}
+
+impl PriorityQueue {
+    fn new() -> Self {
+        PriorityQueue {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, request: QueuedRequest) {
+        let class = request.req.options.priority.index();
+        self.classes[class].push_back(request);
+        self.len += 1;
+    }
+
+    /// Pops the first request (highest class first, FIFO within a
+    /// class) that satisfies `admittable`.  Requests the calling worker
+    /// cannot place right now are *skipped, not taken*: they stay
+    /// queued — preserving backpressure accounting and leaving them
+    /// available to any other worker with free capacity.
+    fn pop_where(&mut self, admittable: &dyn Fn(&QueuedRequest) -> bool) -> Option<QueuedRequest> {
+        for class in &mut self.classes {
+            if let Some(i) = class.iter().position(admittable) {
+                let request = class.remove(i).expect("index from position");
+                self.len -= 1;
+                return Some(request);
+            }
+        }
+        None
+    }
+}
+
 #[derive(Debug)]
 struct State {
-    queue: VecDeque<QueuedRequest>,
+    queue: PriorityQueue,
     responses: Vec<InferenceResponse>,
     /// Submitted but not yet responded (queued or on a lane).
     outstanding: usize,
@@ -258,7 +388,6 @@ struct Shared {
     /// Callers wait here for `outstanding` to reach zero.
     done_cv: Condvar,
     capacity: usize,
-    input_size: usize,
 }
 
 fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
@@ -278,12 +407,12 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
             }
         }
         let pull_shared = Arc::clone(&shared);
-        let mut pull = move || {
+        let mut pull = move |admittable: &dyn Fn(&QueuedRequest) -> bool| {
             let mut state = pull_shared.state.lock().expect("engine state lock");
             if state.paused && !state.shutdown {
                 return None;
             }
-            state.queue.pop_front()
+            state.queue.pop_where(admittable)
         };
         let emit_shared = Arc::clone(&shared);
         let mut emit = move |response: InferenceResponse| {
@@ -303,20 +432,30 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
 
 /// A request-oriented serving engine.
 ///
-/// Built by [`EngineBuilder`]; accepts [`InferenceRequest`]s through
-/// [`submit`](Engine::submit) / [`submit_all`](Engine::submit_all) and
+/// Built by [`EngineBuilder`] — over a single model or a whole
+/// [`ModelRegistry`]; accepts [`InferenceRequest`]s through
+/// [`submit`](Engine::submit) / [`submit_all`](Engine::submit_all)
+/// (each request choosing its model, predictor, threshold override
+/// and priority via [`RequestOptions`](crate::RequestOptions)) and
 /// reports every admitted request exactly once as an
 /// [`InferenceResponse`] (collect them with
 /// [`take_completed`](Engine::take_completed),
 /// [`drain`](Engine::drain) or [`shutdown`](Engine::shutdown)).
 ///
-/// Internally each worker thread owns one evaluator and a lane
-/// scheduler; for unidirectional stacks that scheduler is the
-/// step-pipelined [`StepPipeline`](nfm_rnn::StepPipeline), which
-/// refills a drained lane from the queue *immediately* (mid-wave lane
-/// refill) instead of waiting for a wave boundary.  Scheduling never
-/// changes results: per-request outputs, reuse statistics and memo-hit
-/// counts are bit-identical to a dedicated
+/// Internally each worker thread owns one **execution context** per
+/// served (model, predictor, threshold) combination — a private
+/// evaluator built by the registered
+/// [`Predictor`](nfm_core::Predictor) factory plus a lane scheduler —
+/// and interleaves the contexts step by step, so several models make
+/// progress concurrently on one thread.  For unidirectional stacks the
+/// scheduler is the step-pipelined
+/// [`StepPipeline`](nfm_rnn::StepPipeline), which refills a drained
+/// lane from the queue *immediately* (mid-wave lane refill) instead of
+/// waiting for a wave boundary, and aborts in-flight requests whose
+/// deadline expires between timesteps (under
+/// [`DeadlinePolicy::DropExpired`]).  Scheduling never changes
+/// results: per-request outputs, reuse statistics and memo-hit counts
+/// are bit-identical to a dedicated
 /// [`MemoizedRunner::run`](crate::MemoizedRunner::run) over the same
 /// sequence.
 ///
@@ -326,6 +465,7 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
     handles: Vec<JoinHandle<()>>,
     lanes: usize,
     workers: usize,
@@ -333,9 +473,15 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Starts building an engine for `network` under `predictor`.
+    /// Starts building a single-model engine for `network` under
+    /// `predictor`.
     pub fn builder(network: impl Into<Arc<DeepRnn>>, predictor: PredictorKind) -> EngineBuilder {
         EngineBuilder::new(network, predictor)
+    }
+
+    /// The model registry this engine serves.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
     }
 
     /// Lanes per worker.
@@ -361,23 +507,34 @@ impl Engine {
     /// Submits one request.  On success the request is guaranteed to
     /// produce exactly one [`InferenceResponse`].
     ///
+    /// The request's [`RequestOptions`](crate::RequestOptions) are
+    /// resolved against the registry *here*, synchronously: unknown
+    /// ids, unknown predictor names and unsupported threshold
+    /// overrides are typed errors from this call, and the sequence is
+    /// validated against the **targeted model's** input width — lanes
+    /// never fault mid-flight.
+    ///
     /// # Errors
     ///
+    /// * [`EngineError::UnknownModel`] / [`EngineError::UnknownPredictor`]
+    ///   / [`EngineError::ThresholdUnsupported`] — the options do not
+    ///   resolve against the registry;
     /// * [`EngineError::EmptySequence`] / [`EngineError::InputSizeMismatch`]
-    ///   — the sequence cannot run on the engine's network (rejected
-    ///   up front so lanes never fault mid-flight);
+    ///   — the sequence cannot run on the targeted model;
     /// * [`EngineError::QueueFull`] — backpressure: the bounded queue
     ///   is at capacity;
     /// * [`EngineError::ShutDown`] — the engine no longer accepts work.
     pub fn submit(&self, request: InferenceRequest) -> Result<(), EngineError> {
+        let resolved = self.registry.resolve(&request.options)?;
         if request.sequence.is_empty() {
             return Err(EngineError::EmptySequence { id: request.id });
         }
+        let expected = resolved.network.input_size();
         for (t, x) in request.sequence.iter().enumerate() {
-            if x.len() != self.shared.input_size {
+            if x.len() != expected {
                 return Err(EngineError::InputSizeMismatch {
                     id: request.id,
-                    expected: self.shared.input_size,
+                    expected,
                     found: x.len(),
                     timestep: t,
                 });
@@ -392,9 +549,10 @@ impl Engine {
                 capacity: self.shared.capacity,
             });
         }
-        state.queue.push_back(QueuedRequest {
+        state.queue.push(QueuedRequest {
             req: request,
             submitted_at: Instant::now(),
+            resolved,
         });
         state.outstanding += 1;
         if !state.paused {

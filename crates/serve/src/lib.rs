@@ -5,14 +5,23 @@
 //! sequences arriving continuously — so the public unit of work here is
 //! a **request**, not a pre-collected workload:
 //!
-//! * [`InferenceRequest`] — one sequence, an optional deadline, and a
-//!   caller-chosen id.
-//! * [`Engine`] / [`EngineBuilder`] — a bounded submission queue
-//!   (backpressure via [`EngineError::QueueFull`]) in front of worker
-//!   threads; each worker owns one evaluator and a lane scheduler.
-//!   For unidirectional stacks that scheduler is the step-pipelined
+//! * [`InferenceRequest`] — one sequence, an optional deadline,
+//!   per-request [`RequestOptions`] (model, predictor, threshold
+//!   override, priority), and a caller-chosen id.
+//! * [`ModelRegistry`] — the open serving surface: [`ModelId`] →
+//!   network + named [`Predictor`] set.  Built-in predictors register
+//!   by [`PredictorKind`]; custom [`Predictor`] implementations
+//!   register next to them and are served identically.  One engine
+//!   serves every registered model concurrently.
+//! * [`Engine`] / [`EngineBuilder`] — a bounded, priority-aware
+//!   submission queue (backpressure via [`EngineError::QueueFull`]) in
+//!   front of worker threads; each worker builds one private evaluator
+//!   per served (model, predictor, threshold) combination and
+//!   interleaves their lane schedulers.  For unidirectional stacks the
+//!   scheduler is the step-pipelined
 //!   [`StepPipeline`](nfm_rnn::StepPipeline), which refills a drained
-//!   lane from the queue *immediately* (mid-wave lane refill).
+//!   lane from the queue *immediately* (mid-wave lane refill) and
+//!   aborts expired in-flight requests between timesteps.
 //! * [`InferenceResponse`] — per-request outputs, per-request
 //!   [`ReuseStats`](nfm_core::ReuseStats), queue/compute latency, and a
 //!   [`CompletionStatus`] (`Done` / `DeadlineExpired` / `Rejected`);
@@ -49,12 +58,19 @@
 //! ```
 
 pub mod engine;
+pub mod registry;
 pub mod request;
 pub mod runner;
 mod worker;
 
-pub use engine::{Engine, EngineBuilder, EngineError};
+pub use engine::{Engine, EngineBuilder, EngineError, DEFAULT_MODEL};
+pub use registry::{ModelId, ModelRegistry};
 pub use request::{
-    CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId,
+    CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, Priority, RequestId,
+    RequestOptions,
 };
 pub use runner::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
+
+// The open predictor abstraction lives in `nfm-core`; re-exported here
+// because the serving engine is where implementations plug in.
+pub use nfm_core::{BnnPredictor, ExactPredictor, OraclePredictor, Predictor, ServedEvaluator};

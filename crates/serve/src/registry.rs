@@ -1,0 +1,501 @@
+//! The model registry: which models an [`Engine`](crate::Engine)
+//! serves, and which predictors each model can be served under.
+//!
+//! A registry maps a [`ModelId`] to one network plus a named set of
+//! [`Predictor`] factories.  Everything inside is immutable and
+//! `Arc`-shared once the engine is built: workers clone `Arc` handles,
+//! never weights or mirrors (one [`BinaryNetwork`] mirror is prebuilt
+//! per model at registration and shared by every BNN predictor and
+//! every worker).
+//!
+//! Requests pick a model and predictor through
+//! [`RequestOptions`]; submission resolves the options against the
+//! registry **synchronously**, so unknown ids and unsupported
+//! overrides surface as typed [`EngineError`]s from
+//! [`Engine::submit`](crate::Engine::submit), never mid-flight.
+
+use crate::engine::EngineError;
+use crate::request::RequestOptions;
+use nfm_bnn::BinaryNetwork;
+use nfm_core::{Predictor, PredictorKind};
+use nfm_rnn::DeepRnn;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a registered model.  Cheap to clone (shared string);
+/// build one from any string type: `ModelId::from("kws")`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelId(Arc<str>);
+
+impl ModelId {
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(s: &str) -> Self {
+        ModelId(Arc::from(s))
+    }
+}
+
+impl From<String> for ModelId {
+    fn from(s: String) -> Self {
+        ModelId(Arc::from(s))
+    }
+}
+
+impl From<&ModelId> for ModelId {
+    fn from(id: &ModelId) -> Self {
+        id.clone()
+    }
+}
+
+/// One registered model: the network plus its named predictors.
+#[derive(Debug)]
+pub(crate) struct ModelEntry {
+    pub(crate) id: ModelId,
+    pub(crate) network: Arc<DeepRnn>,
+    /// `(name, factory)` in registration order; the first is the
+    /// model's default.
+    pub(crate) predictors: Vec<(Arc<str>, Arc<dyn Predictor>)>,
+    /// The model's binary mirror, built once when the first BNN
+    /// predictor is registered and shared from then on.
+    mirror: Option<Arc<BinaryNetwork>>,
+}
+
+/// A request resolved against the registry: the exact network and
+/// predictor factory the worker must use, plus the context key workers
+/// group lane schedulers by.
+#[derive(Debug, Clone)]
+pub(crate) struct Resolved {
+    pub(crate) key: ContextKey,
+    pub(crate) network: Arc<DeepRnn>,
+    pub(crate) predictor: Arc<dyn Predictor>,
+}
+
+/// Identity of one execution context on a worker: requests with equal
+/// keys share a lane scheduler and an evaluator (same model, same
+/// predictor, same effective threshold).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ContextKey {
+    pub(crate) model: ModelId,
+    pub(crate) predictor: Arc<str>,
+    /// Bit pattern of the per-request threshold override, `None` when
+    /// the predictor's configured threshold applies.
+    pub(crate) threshold_bits: Option<u32>,
+}
+
+/// Maps [`ModelId`]s to networks and named [`Predictor`] sets.
+///
+/// The first registered model is the engine's **default model** (used
+/// by requests that name none — the entire single-model API), and each
+/// model's first predictor is its **default predictor**.
+///
+/// ```
+/// use nfm_serve::{ModelRegistry, PredictorKind};
+/// use nfm_core::BnnMemoConfig;
+/// use nfm_rnn::{CellKind, DeepRnn, DeepRnnConfig};
+/// use nfm_tensor::rng::DeterministicRng;
+///
+/// let mut rng = DeterministicRng::seed_from_u64(3);
+/// let kws = DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 4, 6), &mut rng).unwrap();
+/// let asr = DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 5, 8), &mut rng).unwrap();
+/// let mut registry = ModelRegistry::new();
+/// registry.register("kws", kws, PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5))).unwrap();
+/// registry.register("asr", asr, PredictorKind::Exact).unwrap();
+/// registry.add_predictor("asr", PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.3))).unwrap();
+/// assert_eq!(registry.default_model().unwrap().as_str(), "kws");
+/// assert_eq!(registry.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry { models: Vec::new() }
+    }
+
+    /// Registers `network` under `id` with a built-in default
+    /// predictor.  The first registration becomes the engine's default
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateModel`] when `id` is taken.
+    pub fn register(
+        &mut self,
+        id: impl Into<ModelId>,
+        network: impl Into<Arc<DeepRnn>>,
+        predictor: PredictorKind,
+    ) -> Result<(), EngineError> {
+        let id = id.into();
+        self.register_entry(id.clone(), network.into())?;
+        self.add_predictor(&id, predictor)
+    }
+
+    /// Registers `network` under `id` with a custom [`Predictor`]
+    /// factory as its default, filed under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateModel`] when `id` is taken.
+    pub fn register_custom(
+        &mut self,
+        id: impl Into<ModelId>,
+        network: impl Into<Arc<DeepRnn>>,
+        name: impl Into<Arc<str>>,
+        predictor: Arc<dyn Predictor>,
+    ) -> Result<(), EngineError> {
+        let id = id.into();
+        self.register_entry(id.clone(), network.into())?;
+        self.add_custom_predictor(&id, name, predictor)
+    }
+
+    /// Adds a built-in predictor to an already-registered model, filed
+    /// under [`PredictorKind::name`].  A BNN kind reuses the model's
+    /// prebuilt mirror (building it on first need).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] when `model` is not
+    /// registered and [`EngineError::DuplicatePredictor`] when the name
+    /// is taken for this model.
+    pub fn add_predictor(
+        &mut self,
+        model: impl Into<ModelId>,
+        predictor: PredictorKind,
+    ) -> Result<(), EngineError> {
+        let model = model.into();
+        let entry = self.entry_mut(&model)?;
+        let mirror = if predictor.needs_mirror() {
+            Some(
+                entry
+                    .mirror
+                    .get_or_insert_with(|| Arc::new(BinaryNetwork::mirror(&entry.network)))
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        let factory = predictor.instantiate(&entry.network, mirror);
+        Self::push_predictor(entry, Arc::from(predictor.name()), factory)
+    }
+
+    /// Adds a custom predictor to an already-registered model under
+    /// `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelRegistry::add_predictor`].
+    pub fn add_custom_predictor(
+        &mut self,
+        model: impl Into<ModelId>,
+        name: impl Into<Arc<str>>,
+        predictor: Arc<dyn Predictor>,
+    ) -> Result<(), EngineError> {
+        let model = model.into();
+        let entry = self.entry_mut(&model)?;
+        Self::push_predictor(entry, name.into(), predictor)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is registered (an empty registry cannot build
+    /// an engine).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The default model: the first registered, `None` while empty.
+    pub fn default_model(&self) -> Option<&ModelId> {
+        self.models.first().map(|e| &e.id)
+    }
+
+    /// Registered model ids, in registration order.
+    pub fn model_ids(&self) -> impl Iterator<Item = &ModelId> {
+        self.models.iter().map(|e| &e.id)
+    }
+
+    /// The predictor names registered for `model`, default first
+    /// (`None` for an unknown model).
+    pub fn predictor_names(&self, model: impl Into<ModelId>) -> Option<Vec<&str>> {
+        let model = model.into();
+        self.models
+            .iter()
+            .find(|e| e.id == model)
+            .map(|e| e.predictors.iter().map(|(n, _)| n.as_ref()).collect())
+    }
+
+    /// The network registered under `model`.
+    pub fn network(&self, model: impl Into<ModelId>) -> Option<&Arc<DeepRnn>> {
+        let model = model.into();
+        self.models
+            .iter()
+            .find(|e| e.id == model)
+            .map(|e| &e.network)
+    }
+
+    /// Resolves a request's options to the concrete network + predictor
+    /// pair a worker must serve it with.
+    pub(crate) fn resolve(&self, options: &RequestOptions) -> Result<Resolved, EngineError> {
+        let entry = match &options.model {
+            Some(id) => self
+                .models
+                .iter()
+                .find(|e| &e.id == id)
+                .ok_or_else(|| EngineError::UnknownModel { model: id.clone() })?,
+            None => self.models.first().ok_or(EngineError::EmptyRegistry)?,
+        };
+        let (name, factory) = match &options.predictor {
+            Some(wanted) => entry
+                .predictors
+                .iter()
+                .find(|(name, _)| name.as_ref() == wanted.as_str())
+                .ok_or_else(|| EngineError::UnknownPredictor {
+                    model: entry.id.clone(),
+                    predictor: wanted.clone(),
+                })?,
+            None => entry
+                .predictors
+                .first()
+                .expect("registration always installs a predictor"),
+        };
+        let (predictor, threshold_bits) = match options.threshold {
+            None => (Arc::clone(factory), None),
+            // A no-op override (θ equal to the configured threshold)
+            // resolves to the registered combination itself: same
+            // results either way, and workers must not materialize a
+            // duplicate evaluator for it.
+            Some(theta) if factory.threshold().map(f32::to_bits) == Some(theta.to_bits()) => {
+                (Arc::clone(factory), None)
+            }
+            Some(theta) => (
+                factory
+                    .with_threshold(theta)
+                    .ok_or_else(|| EngineError::ThresholdUnsupported {
+                        model: entry.id.clone(),
+                        predictor: name.as_ref().to_string(),
+                    })?,
+                Some(theta.to_bits()),
+            ),
+        };
+        Ok(Resolved {
+            key: ContextKey {
+                model: entry.id.clone(),
+                predictor: Arc::clone(name),
+                threshold_bits,
+            },
+            network: Arc::clone(&entry.network),
+            predictor,
+        })
+    }
+
+    fn register_entry(&mut self, id: ModelId, network: Arc<DeepRnn>) -> Result<(), EngineError> {
+        if self.models.iter().any(|e| e.id == id) {
+            return Err(EngineError::DuplicateModel { model: id });
+        }
+        self.models.push(ModelEntry {
+            id,
+            network,
+            predictors: Vec::new(),
+            mirror: None,
+        });
+        Ok(())
+    }
+
+    fn entry_mut(&mut self, id: &ModelId) -> Result<&mut ModelEntry, EngineError> {
+        self.models
+            .iter_mut()
+            .find(|e| &e.id == id)
+            .ok_or_else(|| EngineError::UnknownModel { model: id.clone() })
+    }
+
+    fn push_predictor(
+        entry: &mut ModelEntry,
+        name: Arc<str>,
+        predictor: Arc<dyn Predictor>,
+    ) -> Result<(), EngineError> {
+        if entry.predictors.iter().any(|(n, _)| *n == name) {
+            return Err(EngineError::DuplicatePredictor {
+                model: entry.id.clone(),
+                predictor: name.as_ref().to_string(),
+            });
+        }
+        entry.predictors.push((name, predictor));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_core::BnnMemoConfig;
+    use nfm_rnn::{CellKind, DeepRnnConfig};
+    use nfm_tensor::rng::DeterministicRng;
+
+    fn network(seed: u64) -> DeepRnn {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        DeepRnn::random(&DeepRnnConfig::new(CellKind::Lstm, 4, 6), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn duplicate_model_and_predictor_are_rejected() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("m", network(1), PredictorKind::Exact)
+            .unwrap();
+        assert_eq!(
+            registry.register("m", network(2), PredictorKind::Exact),
+            Err(EngineError::DuplicateModel { model: "m".into() })
+        );
+        assert_eq!(
+            registry.add_predictor("m", PredictorKind::Exact),
+            Err(EngineError::DuplicatePredictor {
+                model: "m".into(),
+                predictor: "exact".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn resolve_defaults_to_first_model_and_first_predictor() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("a", network(1), PredictorKind::Exact)
+            .unwrap();
+        registry
+            .register(
+                "b",
+                network(2),
+                PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+            )
+            .unwrap();
+        let resolved = registry.resolve(&RequestOptions::default()).unwrap();
+        assert_eq!(resolved.key.model.as_str(), "a");
+        assert_eq!(resolved.key.predictor.as_ref(), "exact");
+        assert!(resolved.key.threshold_bits.is_none());
+        let resolved = registry
+            .resolve(&RequestOptions::default().model("b"))
+            .unwrap();
+        assert_eq!(resolved.key.model.as_str(), "b");
+        assert_eq!(resolved.key.predictor.as_ref(), "bnn");
+    }
+
+    #[test]
+    fn resolve_reports_typed_errors() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("m", network(1), PredictorKind::Exact)
+            .unwrap();
+        assert_eq!(
+            registry
+                .resolve(&RequestOptions::default().model("ghost"))
+                .unwrap_err(),
+            EngineError::UnknownModel {
+                model: "ghost".into()
+            }
+        );
+        assert_eq!(
+            registry
+                .resolve(&RequestOptions::default().predictor("bnn"))
+                .unwrap_err(),
+            EngineError::UnknownPredictor {
+                model: "m".into(),
+                predictor: "bnn".into(),
+            }
+        );
+        assert_eq!(
+            registry
+                .resolve(&RequestOptions::default().threshold(0.5))
+                .unwrap_err(),
+            EngineError::ThresholdUnsupported {
+                model: "m".into(),
+                predictor: "exact".into(),
+            }
+        );
+        assert_eq!(
+            ModelRegistry::new()
+                .resolve(&RequestOptions::default())
+                .unwrap_err(),
+            EngineError::EmptyRegistry
+        );
+    }
+
+    #[test]
+    fn bnn_predictors_share_one_mirror_per_model() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "m",
+                network(1),
+                PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+            )
+            .unwrap();
+        registry
+            .add_custom_predictor(
+                "m",
+                "bnn-loose",
+                PredictorKind::Bnn(BnnMemoConfig::with_threshold(2.0)).instantiate(
+                    registry.network("m").unwrap(),
+                    None, // deliberately separate: custom registration path
+                ),
+            )
+            .unwrap();
+        // The built-in path shares the entry's mirror.
+        registry
+            .add_predictor(
+                "m",
+                PredictorKind::Oracle(nfm_core::OracleMemoConfig::with_threshold(0.1)),
+            )
+            .unwrap();
+        assert_eq!(
+            registry.predictor_names("m").unwrap(),
+            vec!["bnn", "bnn-loose", "oracle"]
+        );
+        let resolved = registry
+            .resolve(&RequestOptions::default().threshold(0.25))
+            .unwrap();
+        assert_eq!(resolved.key.threshold_bits, Some(0.25f32.to_bits()));
+    }
+
+    #[test]
+    fn noop_threshold_override_resolves_to_the_registered_combination() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "m",
+                network(1),
+                PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+            )
+            .unwrap();
+        let base = registry.resolve(&RequestOptions::default()).unwrap();
+        // θ equal to the configured threshold is not an override:
+        // same context key, same factory — workers never build a
+        // duplicate evaluator for it.
+        let noop = registry
+            .resolve(&RequestOptions::default().threshold(0.5))
+            .unwrap();
+        assert_eq!(noop.key, base.key);
+        assert!(noop.key.threshold_bits.is_none());
+        assert!(Arc::ptr_eq(&noop.predictor, &base.predictor));
+        // A genuinely different θ still keys its own context.
+        let real = registry
+            .resolve(&RequestOptions::default().threshold(0.75))
+            .unwrap();
+        assert_eq!(real.key.threshold_bits, Some(0.75f32.to_bits()));
+    }
+}

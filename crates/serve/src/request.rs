@@ -1,6 +1,7 @@
 //! The unit of work the serving engine deals in: one request, one
 //! response.
 
+use crate::registry::ModelId;
 use nfm_core::ReuseStats;
 use nfm_tensor::Vector;
 use std::time::Duration;
@@ -11,27 +12,125 @@ use std::time::Duration;
 /// they must disambiguate responses themselves.
 pub type RequestId = u64;
 
+/// Scheduling priority of a request.  Workers drain higher classes
+/// first; within a class, submissions stay first-in-first-out.
+/// Priority affects *when* a request is admitted to a lane, never its
+/// results.
+///
+/// Workers take requests strictly in queue order (class, then FIFO)
+/// among the requests they can place *right now*: a request whose
+/// (model, predictor, threshold) combination has no free lane on any
+/// worker waits on the queue — without blocking it — so an admittable
+/// lower-priority request for a different combination may start
+/// first.  Within one combination, priority order is strict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Admitted before everything else.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Admitted only when no higher class is waiting.
+    Low,
+}
+
+impl Priority {
+    /// All classes, highest first (the queue drain order).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense index of this class (`High = 0`).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-request serving options: which model and predictor to run under,
+/// an optional reuse-threshold override, and the scheduling priority.
+///
+/// The default options (`RequestOptions::default()`) reproduce the
+/// single-model API exactly: the engine's default model under that
+/// model's default predictor at its configured threshold, at
+/// [`Priority::Normal`].
+///
+/// Options are resolved against the engine's
+/// [`ModelRegistry`](crate::ModelRegistry) at submission time, so a
+/// request naming an unknown model or predictor — or overriding the
+/// threshold of a predictor that has none — is rejected synchronously
+/// with a typed [`EngineError`](crate::EngineError).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestOptions {
+    /// The model to run, `None` for the engine's default model.
+    pub model: Option<ModelId>,
+    /// The registered predictor name to serve under ("exact",
+    /// "oracle", "bnn", or a custom registration name); `None` for the
+    /// model's default predictor.
+    pub predictor: Option<String>,
+    /// Overrides the predictor's reuse threshold `θ` for this request
+    /// only.  Requests sharing a threshold share memoization state
+    /// machinery (per worker); the override never leaks into other
+    /// requests.
+    pub threshold: Option<f32>,
+    /// Scheduling priority.
+    pub priority: Priority,
+}
+
+impl RequestOptions {
+    /// Targets a registered model.
+    pub fn model(mut self, model: impl Into<ModelId>) -> Self {
+        self.model = Some(model.into());
+        self
+    }
+
+    /// Picks a registered predictor by name.
+    pub fn predictor(mut self, predictor: impl Into<String>) -> Self {
+        self.predictor = Some(predictor.into());
+        self
+    }
+
+    /// Overrides the reuse threshold `θ` for this request.
+    pub fn threshold(mut self, threshold: f32) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
 /// One inference submission: a sequence to run, an optional deadline,
-/// and the id under which the result is reported.
+/// per-request [`RequestOptions`], and the id under which the result is
+/// reported.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceRequest {
     /// Echoed on the response.
     pub id: RequestId,
     /// The input sequence (one vector per timestep, widths matching the
-    /// engine's network; must be non-empty).
+    /// targeted model's network; must be non-empty).
     pub sequence: Vec<Vector>,
     /// Latency budget measured from submission.  `None` means the
     /// request never expires.
     pub deadline: Option<Duration>,
+    /// Model / predictor / threshold / priority choices; the default
+    /// reproduces the single-model path.
+    pub options: RequestOptions,
 }
 
 impl InferenceRequest {
-    /// A request with no deadline.
+    /// A request with no deadline and default options (the engine's
+    /// default model and predictor).
     pub fn new(id: RequestId, sequence: Vec<Vector>) -> Self {
         InferenceRequest {
             id,
             sequence,
             deadline: None,
+            options: RequestOptions::default(),
         }
     }
 
@@ -40,6 +139,38 @@ impl InferenceRequest {
     /// request.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn with_options(mut self, options: RequestOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Targets a registered model (see [`RequestOptions::model`]).
+    pub fn for_model(mut self, model: impl Into<ModelId>) -> Self {
+        self.options.model = Some(model.into());
+        self
+    }
+
+    /// Picks a registered predictor by name (see
+    /// [`RequestOptions::predictor`]).
+    pub fn with_predictor(mut self, predictor: impl Into<String>) -> Self {
+        self.options.predictor = Some(predictor.into());
+        self
+    }
+
+    /// Overrides the reuse threshold for this request (see
+    /// [`RequestOptions::threshold`]).
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.options.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.options.priority = priority;
         self
     }
 }
@@ -98,10 +229,15 @@ pub struct InferenceResponse {
     /// Time spent waiting in the queue before a lane picked the
     /// request up.
     pub queue_latency: Duration,
-    /// Time from lane admission to the last timestep's output.  Lanes
-    /// advance together, so this includes the steps shared with the
-    /// other requests in flight (in wave mode it is the whole wave's
-    /// duration).
+    /// Wall time from lane admission to the last timestep's output
+    /// (or to the mid-sequence abort, for requests dropped by a
+    /// per-step deadline check).  Lanes advance together, so this
+    /// includes the steps shared with the other requests in flight (in
+    /// wave mode it is the whole wave's duration), and on a worker
+    /// serving several (model, predictor, threshold) combinations it
+    /// also includes the interleaved timesteps of the *other*
+    /// contexts: it measures lane occupancy, not this request's
+    /// exclusive compute.
     pub compute_latency: Duration,
 }
 
@@ -126,8 +262,39 @@ mod tests {
         let r = InferenceRequest::new(7, vec![Vector::zeros(2)]);
         assert_eq!(r.id, 7);
         assert!(r.deadline.is_none());
+        assert_eq!(r.options, RequestOptions::default());
         let r = r.with_deadline(Duration::from_millis(5));
         assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn request_builder_sets_options() {
+        let r = InferenceRequest::new(1, vec![Vector::zeros(2)])
+            .for_model("asr")
+            .with_predictor("bnn")
+            .with_threshold(0.25)
+            .with_priority(Priority::High);
+        assert_eq!(r.options.model, Some("asr".into()));
+        assert_eq!(r.options.predictor.as_deref(), Some("bnn"));
+        assert_eq!(r.options.threshold, Some(0.25));
+        assert_eq!(r.options.priority, Priority::High);
+        // with_options replaces everything at once.
+        let r = r.with_options(RequestOptions::default().model("kws"));
+        assert_eq!(r.options.model, Some("kws".into()));
+        assert!(r.options.predictor.is_none());
+        assert_eq!(r.options.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn priority_orders_high_first() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(
+            Priority::ALL.map(|p| p.index()),
+            [0, 1, 2],
+            "dense indices follow drain order"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The workload-level façade: `MemoizedRunner` as a thin wrapper over
-//! the request [`Engine`].
+//! the request [`Engine`](crate::Engine).
 
 use crate::engine::EngineBuilder;
 use crate::request::{CompletionStatus, InferenceRequest};
@@ -7,6 +7,8 @@ use nfm_core::config::{BnnMemoConfig, OracleMemoConfig};
 use nfm_core::ReuseStats;
 use nfm_rnn::{DeepRnn, Result as RnnResult, RnnError};
 use nfm_tensor::Vector;
+
+pub use nfm_core::PredictorKind;
 
 /// Anything that can be run through the memoization schemes: a network
 /// plus a set of input sequences.
@@ -20,18 +22,6 @@ pub trait InferenceWorkload {
     /// The input sequences to process (each is one utterance / review /
     /// sentence, matching the batch-of-one inference regime of the paper).
     fn input_sequences(&self) -> &[Vec<Vector>];
-}
-
-/// Which predictor a [`MemoizedRunner`] or
-/// [`Engine`](crate::Engine) uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PredictorKind {
-    /// No memoization: the exact baseline.
-    Exact,
-    /// The oracle predictor of Figure 6.
-    Oracle(OracleMemoConfig),
-    /// The BNN predictor of Figure 10.
-    Bnn(BnnMemoConfig),
 }
 
 /// The result of running a workload: per-sequence outputs plus the

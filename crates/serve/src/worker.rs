@@ -1,15 +1,33 @@
-//! Per-worker execution: one evaluator plus a lane scheduler.
+//! Per-worker execution: one lane scheduler + evaluator per served
+//! (model, predictor, threshold) combination.
 //!
-//! Every engine worker owns a [`LaneWorker`]: its own evaluator (so no
-//! synchronization ever touches the hot path) and one of three lane
-//! schedules picked at construction:
+//! Every engine worker owns a [`LaneWorker`].  Requests arrive already
+//! resolved against the registry (network +
+//! [`Predictor`](nfm_core::Predictor) factory + [`ContextKey`]); the
+//! worker groups them into **execution contexts** — one per distinct
+//! key, created lazily on first use — and interleaves the non-idle
+//! contexts one timestep at a time, so an engine serving several
+//! models makes progress on all of them concurrently even with a
+//! single worker thread.  The exception is bidirectional models: their
+//! waves run to completion in one piece (`run_batch` needs whole
+//! sequences), pausing the worker's other contexts for the wave's
+//! duration — give latency-sensitive mixes of uni- and bidirectional
+//! models separate workers.
+//!
+//! Each context owns a private evaluator (built once from the shared
+//! factory — no weight or mirror clones) and one of three lane
+//! schedules picked from the engine's lane count and the model's
+//! direction:
 //!
 //! * **Single** (`lanes == 1`) — requests run one at a time through
 //!   [`DeepRnn::run`], the exact single-sequence hot path.
 //! * **Pipeline** (`lanes > 1`, unidirectional stack) — the
 //!   step-pipelined scheduler ([`StepPipeline`]): lanes advance
-//!   timestep-by-timestep through the whole stack and a drained lane is
-//!   refilled from the queue *immediately* (mid-wave refill).
+//!   timestep-by-timestep through the whole stack, a drained lane is
+//!   refilled from the queue *immediately* (mid-wave refill), and an
+//!   in-flight request whose deadline expires is aborted **between
+//!   timesteps** (under [`DeadlinePolicy::DropExpired`]), freeing its
+//!   lane without computing the remaining steps.
 //! * **Wave** (`lanes > 1`, bidirectional stack) — layer-lockstep
 //!   waves via [`DeepRnn::run_batch`]; freed lanes refill at wave
 //!   boundaries (the backward halves need whole sequences up front).
@@ -17,23 +35,23 @@
 //! All three produce bit-identical per-request outputs and reuse
 //! statistics: scheduling never changes results, only latency.
 
+use crate::registry::{ContextKey, Resolved};
 use crate::request::{
     CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId,
 };
-use crate::runner::PredictorKind;
-use nfm_bnn::BinaryNetwork;
-use nfm_core::{BnnMemoEvaluator, OracleEvaluator, ReuseStats};
-use nfm_rnn::{DeepRnn, ExactEvaluator, FinishedLane, NeuronEvaluator, StepPipeline};
-use nfm_tensor::Vector;
+use nfm_core::{ReuseStats, ServedEvaluator};
+use nfm_rnn::{DeepRnn, FinishedLane, StepPipeline};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A request plus its submission timestamp (queue-latency anchor).
+/// A request plus its submission timestamp (queue-latency anchor) and
+/// its registry resolution.
 #[derive(Debug)]
 pub(crate) struct QueuedRequest {
     pub req: InferenceRequest,
     pub submitted_at: Instant,
+    pub resolved: Resolved,
 }
 
 impl QueuedRequest {
@@ -41,86 +59,6 @@ impl QueuedRequest {
         match self.req.deadline {
             Some(deadline) => self.submitted_at.elapsed() > deadline,
             None => false,
-        }
-    }
-}
-
-/// One worker's evaluator, constructed per worker so the hot path is
-/// lock-free.
-pub(crate) enum WorkerEvaluator {
-    Exact(ExactEvaluator),
-    Oracle(OracleEvaluator),
-    Bnn(Box<BnnMemoEvaluator>),
-}
-
-impl WorkerEvaluator {
-    pub(crate) fn build(
-        predictor: PredictorKind,
-        network: &DeepRnn,
-        mirror: Option<&BinaryNetwork>,
-    ) -> WorkerEvaluator {
-        match predictor {
-            PredictorKind::Exact => WorkerEvaluator::Exact(ExactEvaluator::new()),
-            PredictorKind::Oracle(config) => {
-                WorkerEvaluator::Oracle(OracleEvaluator::for_network(network, config))
-            }
-            PredictorKind::Bnn(config) => {
-                let mirror = mirror.expect("mirror prebuilt for BNN runs").clone();
-                WorkerEvaluator::Bnn(Box::new(BnnMemoEvaluator::new(mirror, config)))
-            }
-        }
-    }
-
-    pub(crate) fn as_dyn(&mut self) -> &mut dyn NeuronEvaluator {
-        match self {
-            WorkerEvaluator::Exact(e) => e,
-            WorkerEvaluator::Oracle(e) => e,
-            WorkerEvaluator::Bnn(e) => e.as_mut(),
-        }
-    }
-
-    /// Takes the statistics attributable to the request that just
-    /// finished on `lane` of a batched schedule.  The exact evaluator
-    /// keeps no per-lane counters — every neuron of every timestep is
-    /// computed, so its per-request statistics are exactly
-    /// `timesteps * evals_per_step` computed evaluations.
-    fn take_lane_stats(
-        &mut self,
-        lane: usize,
-        timesteps: usize,
-        evals_per_step: u64,
-    ) -> ReuseStats {
-        match self {
-            WorkerEvaluator::Exact(_) => {
-                let mut stats = ReuseStats::new();
-                stats.record_computed_many(timesteps as u64 * evals_per_step);
-                stats
-            }
-            WorkerEvaluator::Oracle(e) => e.take_lane_stats(lane),
-            WorkerEvaluator::Bnn(e) => e.take_lane_stats(lane),
-        }
-    }
-
-    /// Clears the aggregate counters before a single-mode request so
-    /// the post-run snapshot is that request's own statistics.
-    fn reset_stats(&mut self) {
-        match self {
-            WorkerEvaluator::Exact(_) => {}
-            WorkerEvaluator::Oracle(e) => e.reset_stats(),
-            WorkerEvaluator::Bnn(e) => e.reset_stats(),
-        }
-    }
-
-    /// Snapshot of the aggregate counters after a single-mode request.
-    fn stats_snapshot(&self, timesteps: usize, evals_per_step: u64) -> ReuseStats {
-        match self {
-            WorkerEvaluator::Exact(_) => {
-                let mut stats = ReuseStats::new();
-                stats.record_computed_many(timesteps as u64 * evals_per_step);
-                stats
-            }
-            WorkerEvaluator::Oracle(e) => *e.stats(),
-            WorkerEvaluator::Bnn(e) => *e.stats(),
         }
     }
 }
@@ -134,72 +72,178 @@ struct Inflight {
     timesteps: usize,
 }
 
-/// Step-pipeline bookkeeping (boxed in [`Mode`] to keep the enum
-/// small: one worker holds exactly one of these for its lifetime).
-struct PipelineMode {
+/// Step-pipeline bookkeeping.
+struct PipelineSched {
     pipeline: StepPipeline,
     inflight: HashMap<u64, Inflight>,
     finished: Vec<FinishedLane>,
     next_token: u64,
 }
 
-enum Mode {
+/// The lane schedule of one execution context.
+enum Scheduler {
+    /// `lanes == 1`: requests run one at a time, synchronously at
+    /// routing.
     Single,
-    Pipeline(Box<PipelineMode>),
-    Wave { lanes: usize },
+    /// Unidirectional, `lanes > 1`: step-pipelined with mid-wave refill
+    /// and per-step deadline aborts.
+    Pipeline(Box<PipelineSched>),
+    /// Bidirectional, `lanes > 1`: whole waves through `run_batch`;
+    /// `pending` stages the wave (capped at `lanes` by routing).
+    Wave { pending: Vec<QueuedRequest> },
 }
 
-/// One worker: evaluator + lane scheduler + response assembly.
-pub(crate) struct LaneWorker {
+/// One (model, predictor, threshold) combination being served: private
+/// evaluator + lane scheduler.
+struct ExecContext {
+    key: ContextKey,
     network: Arc<DeepRnn>,
-    evaluator: WorkerEvaluator,
-    policy: DeadlinePolicy,
+    evaluator: Box<dyn ServedEvaluator>,
     evals_per_step: u64,
-    mode: Mode,
+    sched: Scheduler,
+    /// Worker-clock value of the last request routed here (LRU
+    /// eviction of idle threshold-override contexts).
+    last_used: u64,
 }
 
-impl LaneWorker {
-    /// Builds a worker.  The mode is picked from `lanes` and the
-    /// network's direction; the caller guarantees `lanes >= 1`.
-    pub(crate) fn new(
-        network: Arc<DeepRnn>,
-        predictor: PredictorKind,
-        mirror: Option<&BinaryNetwork>,
-        lanes: usize,
-        policy: DeadlinePolicy,
-    ) -> LaneWorker {
-        debug_assert!(lanes >= 1);
-        let mut evaluator = WorkerEvaluator::build(predictor, &network, mirror);
+impl ExecContext {
+    fn new(key: ContextKey, resolved: &Resolved, lanes: usize) -> ExecContext {
+        let network = Arc::clone(&resolved.network);
+        let mut evaluator = resolved.predictor.build_evaluator(&network);
         let unidirectional = network.layers().iter().all(|l| !l.is_bidirectional());
-        let mode = if lanes == 1 {
-            Mode::Single
+        let sched = if lanes == 1 {
+            Scheduler::Single
         } else if unidirectional {
             let pipeline =
                 StepPipeline::new(&network, lanes).expect("unidirectional stack, lanes >= 1");
             // Size the evaluator's per-lane state once up front.
-            evaluator.as_dyn().begin_batch(lanes);
-            Mode::Pipeline(Box::new(PipelineMode {
+            evaluator.begin_batch(lanes);
+            Scheduler::Pipeline(Box::new(PipelineSched {
                 pipeline,
                 inflight: HashMap::new(),
                 finished: Vec::new(),
                 next_token: 0,
             }))
         } else {
-            Mode::Wave { lanes }
+            Scheduler::Wave {
+                pending: Vec::with_capacity(lanes),
+            }
         };
         let evals_per_step = network.neuron_evaluations_per_step() as u64;
-        LaneWorker {
+        ExecContext {
+            key,
             network,
             evaluator,
-            policy,
             evals_per_step,
-            mode,
+            sched,
+            last_used: 0,
+        }
+    }
+
+    /// Whether this context holds no admitted or staged work.
+    fn is_idle(&self) -> bool {
+        match &self.sched {
+            Scheduler::Single => true,
+            Scheduler::Pipeline(p) => p.pipeline.is_idle(),
+            Scheduler::Wave { pending } => pending.is_empty(),
+        }
+    }
+
+    /// Whether this context can take one more request right now (the
+    /// worker's queue-pull admissibility predicate).
+    fn can_accept(&self, lanes: usize) -> bool {
+        match &self.sched {
+            Scheduler::Single => true,
+            Scheduler::Pipeline(p) => p.pipeline.free_lanes() > 0,
+            Scheduler::Wave { pending } => pending.len() < lanes,
+        }
+    }
+
+    /// Statistics attributable to the request that just left `lane`
+    /// (see [`harvest_lane_stats`]).
+    fn take_lane_stats(&mut self, lane: usize, timesteps: usize) -> ReuseStats {
+        harvest_lane_stats(
+            self.evaluator.as_mut(),
+            self.evals_per_step,
+            lane,
+            timesteps,
+        )
+    }
+
+    /// Snapshot of the aggregate counters after a single-mode request
+    /// (the evaluator was [`reset`](ServedEvaluator::reset_stats)
+    /// before it ran); synthesized for untracked evaluators.
+    fn stats_snapshot(&self, timesteps: usize) -> ReuseStats {
+        self.evaluator.stats_snapshot().unwrap_or_else(|| {
+            let mut stats = ReuseStats::new();
+            stats.record_computed_many(timesteps as u64 * self.evals_per_step);
+            stats
+        })
+    }
+}
+
+/// Statistics attributable to the request that just left `lane`:
+/// harvested from the evaluator when it tracks per-lane counters,
+/// synthesized as all-computed otherwise (correct for evaluators that
+/// never skip work — the exact baseline and plain custom evaluators).
+fn harvest_lane_stats(
+    evaluator: &mut dyn ServedEvaluator,
+    evals_per_step: u64,
+    lane: usize,
+    timesteps: usize,
+) -> ReuseStats {
+    evaluator.take_lane_stats(lane).unwrap_or_else(|| {
+        let mut stats = ReuseStats::new();
+        stats.record_computed_many(timesteps as u64 * evals_per_step);
+        stats
+    })
+}
+
+/// How many execution contexts born from per-request threshold
+/// overrides one worker keeps alive at once.  Registered (model,
+/// predictor) combinations are never evicted — their count is bounded
+/// by the registry — but every distinct override θ materializes its
+/// own context, and clients sweeping thresholds would otherwise grow
+/// worker memory without bound.  Idle override contexts beyond this
+/// cap are dropped least-recently-used first; recreating one later is
+/// just an evaluator build (all per-request state is reset at
+/// admission anyway, so eviction never changes results).
+const MAX_IDLE_OVERRIDE_CONTEXTS: usize = 8;
+
+/// The queue-pull callback handed to [`LaneWorker::pump`]: pops the
+/// highest-priority queued request satisfying the worker's
+/// admissibility predicate, leaving everything else queued.
+pub(crate) type PullFn<'a> =
+    dyn FnMut(&dyn Fn(&QueuedRequest) -> bool) -> Option<QueuedRequest> + 'a;
+
+/// One worker: a set of execution contexts fed from the shared queue.
+pub(crate) struct LaneWorker {
+    lanes: usize,
+    policy: DeadlinePolicy,
+    /// Live contexts in creation order (deterministic stepping; one
+    /// entry per served combination, override contexts capped by
+    /// [`MAX_IDLE_OVERRIDE_CONTEXTS`]).
+    contexts: Vec<ExecContext>,
+    /// Monotonic routing counter backing context LRU eviction.
+    clock: u64,
+}
+
+impl LaneWorker {
+    /// Builds a worker; contexts appear lazily as resolved requests
+    /// arrive.  The caller guarantees `lanes >= 1`.
+    pub(crate) fn new(lanes: usize, policy: DeadlinePolicy) -> LaneWorker {
+        debug_assert!(lanes >= 1);
+        LaneWorker {
+            lanes,
+            policy,
+            contexts: Vec::new(),
+            clock: 0,
         }
     }
 
     /// Drains work from `pull` until it returns `None` and every
-    /// admitted lane has finished, emitting one response per request.
-    /// Internal execution errors (which submit-time validation makes
+    /// context is idle, emitting one response per request.  Internal
+    /// execution errors (which submit-time validation makes
     /// unreachable for well-formed engines) turn the affected requests
     /// into [`CompletionStatus::Rejected`] responses — never silently
     /// dropped — and are passed to `report` *before* those responses
@@ -207,207 +251,412 @@ impl LaneWorker {
     /// finds the root cause already recorded.
     pub(crate) fn pump(
         &mut self,
-        pull: &mut dyn FnMut() -> Option<QueuedRequest>,
+        pull: &mut PullFn<'_>,
         emit: &mut dyn FnMut(InferenceResponse),
         report: &mut dyn FnMut(String),
     ) {
-        match &mut self.mode {
-            Mode::Single => {
-                while let Some(q) = pull() {
-                    let queue_latency = q.submitted_at.elapsed();
-                    if q.expired() && self.policy == DeadlinePolicy::DropExpired {
-                        emit(expired_response(&q, queue_latency));
-                        continue;
+        loop {
+            // Fill phase: pull until the queue has nothing this worker
+            // can place right now.  The admissibility predicate keeps
+            // requests for saturated contexts *on the shared queue*
+            // (skipped, not taken), so this worker never hoards work
+            // another worker could serve, a saturated model never
+            // stalls the other models, and backpressure accounting
+            // stays truthful.  Requests a worker can place are taken
+            // strictly in queue priority order.
+            loop {
+                let lanes = self.lanes;
+                let contexts = &self.contexts;
+                let admittable = |q: &QueuedRequest| -> bool {
+                    match contexts.iter().find(|c| c.key == q.resolved.key) {
+                        // New combination: a fresh context always has room.
+                        None => true,
+                        Some(ctx) => ctx.can_accept(lanes),
                     }
-                    self.evaluator.reset_stats();
-                    let started = Instant::now();
-                    let result = self.network.run(&q.req.sequence, self.evaluator.as_dyn());
-                    let compute_latency = started.elapsed();
-                    match result {
-                        Ok(outputs) => {
-                            let stats = self
-                                .evaluator
-                                .stats_snapshot(q.req.sequence.len(), self.evals_per_step);
-                            emit(InferenceResponse {
+                };
+                let Some(q) = pull(&admittable) else { break };
+                self.route(q, emit, report);
+            }
+            // Step phase: one timestep for every active pipeline.
+            // Non-empty waves are due now — the fill phase just proved
+            // the queue holds nothing more this worker could add.
+            let progressed = self.step_contexts(emit, report);
+            if !progressed && self.contexts.iter().all(ExecContext::is_idle) {
+                return;
+            }
+        }
+    }
+
+    /// Index of the context for `key`, creating it on first use (and
+    /// evicting a stale idle threshold-override context when the
+    /// override population outgrows [`MAX_IDLE_OVERRIDE_CONTEXTS`]).
+    fn context_index(&mut self, q: &QueuedRequest) -> usize {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.contexts.iter().position(|c| c.key == q.resolved.key) {
+            Some(i) => {
+                self.contexts[i].last_used = clock;
+                i
+            }
+            None => {
+                if q.resolved.key.threshold_bits.is_some() {
+                    self.evict_stale_override_contexts();
+                }
+                let mut ctx = ExecContext::new(q.resolved.key.clone(), &q.resolved, self.lanes);
+                ctx.last_used = clock;
+                self.contexts.push(ctx);
+                self.contexts.len() - 1
+            }
+        }
+    }
+
+    /// Drops least-recently-used *idle* threshold-override contexts
+    /// until their population is back under the cap (a burst of
+    /// distinct overrides can overshoot it while every context still
+    /// holds work — this shrinks the population as they drain, instead
+    /// of ratcheting).  Contexts with admitted or staged work are
+    /// never touched, and neither are the registered (no-override)
+    /// combinations.
+    fn evict_stale_override_contexts(&mut self) {
+        loop {
+            let overrides = self
+                .contexts
+                .iter()
+                .filter(|c| c.key.threshold_bits.is_some())
+                .count();
+            if overrides < MAX_IDLE_OVERRIDE_CONTEXTS {
+                return;
+            }
+            let victim = self
+                .contexts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.key.threshold_bits.is_some() && c.is_idle())
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.contexts.remove(i);
+                }
+                // Everything over the cap is busy; try again when the
+                // next override context is created.
+                None => return,
+            }
+        }
+    }
+
+    /// Routes one pulled request: runs it (single mode), admits it
+    /// (pipeline), or stages it (wave).  The pull predicate guarantees
+    /// the context has room; the full-context branches below are
+    /// defensive (they fail the request loudly instead of hanging the
+    /// engine if that invariant is ever broken).
+    fn route(
+        &mut self,
+        q: QueuedRequest,
+        emit: &mut dyn FnMut(InferenceResponse),
+        report: &mut dyn FnMut(String),
+    ) {
+        let queue_latency = q.submitted_at.elapsed();
+        if q.expired() && self.policy == DeadlinePolicy::DropExpired {
+            emit(expired_response(&q, queue_latency, Duration::ZERO));
+            return;
+        }
+        let lanes = self.lanes;
+        let idx = self.context_index(&q);
+        let ctx = &mut self.contexts[idx];
+        match &mut ctx.sched {
+            Scheduler::Single => {
+                run_single(ctx, q, queue_latency, emit, report);
+            }
+            Scheduler::Wave { pending } => {
+                if pending.len() >= lanes {
+                    debug_assert!(false, "pull predicate admitted into a full wave");
+                    report("request routed to a full wave context".into());
+                    emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
+                    return;
+                }
+                pending.push(q);
+            }
+            Scheduler::Pipeline(sched) => {
+                if sched.pipeline.free_lanes() == 0 {
+                    debug_assert!(false, "pull predicate admitted into a full pipeline");
+                    report("request routed to a full pipeline context".into());
+                    emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
+                    return;
+                }
+                let token = sched.next_token;
+                sched.next_token += 1;
+                let timesteps = q.req.sequence.len();
+                // Timestamp before admit(): the admission-time W_x
+                // hoist is real compute and must land in
+                // compute_latency, not queue_latency.
+                let admitted_at = Instant::now();
+                match sched.pipeline.admit(
+                    token,
+                    q.req.sequence,
+                    &ctx.network,
+                    ctx.evaluator.as_mut(),
+                ) {
+                    Ok(()) => {
+                        sched.inflight.insert(
+                            token,
+                            Inflight {
                                 id: q.req.id,
-                                status: completion_status(&q.req.deadline, q.submitted_at),
-                                outputs,
-                                stats,
-                                queue_latency,
-                                compute_latency,
-                            });
-                        }
-                        Err(e) => {
-                            report(e.to_string());
-                            emit(rejected_response(q.req.id, queue_latency, compute_latency));
-                        }
+                                deadline: q.req.deadline,
+                                submitted_at: q.submitted_at,
+                                admitted_at,
+                                timesteps,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        report(e.to_string());
+                        emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
                     }
                 }
             }
-            Mode::Wave { lanes } => {
-                let lanes = *lanes;
-                loop {
-                    let mut wave: Vec<QueuedRequest> = Vec::with_capacity(lanes);
-                    while wave.len() < lanes {
-                        match pull() {
-                            Some(q) => {
-                                if q.expired() && self.policy == DeadlinePolicy::DropExpired {
-                                    emit(expired_response(&q, q.submitted_at.elapsed()));
-                                    continue;
-                                }
-                                wave.push(q);
-                            }
-                            None => break,
-                        }
+        }
+    }
+
+    /// Advances every non-idle context: active pipelines by exactly one
+    /// timestep (after aborting expired in-flight requests), staged
+    /// waves in full.  Returns whether any compute happened.
+    fn step_contexts(
+        &mut self,
+        emit: &mut dyn FnMut(InferenceResponse),
+        report: &mut dyn FnMut(String),
+    ) -> bool {
+        let mut progressed = false;
+        let policy = self.policy;
+        for ctx in &mut self.contexts {
+            match &mut ctx.sched {
+                Scheduler::Single => {}
+                Scheduler::Wave { pending } => {
+                    // Any staged wave is due: the fill phase stops only
+                    // when the queue holds nothing more this worker
+                    // could stage, so waiting longer gains nothing.
+                    if !pending.is_empty() {
+                        let wave = std::mem::take(pending);
+                        run_wave(ctx, wave, policy, emit, report);
+                        progressed = true;
                     }
-                    if wave.is_empty() {
-                        return;
-                    }
-                    // Longest-first (stable) so wave lane `l` is request
-                    // `l`: run_batch re-sorts stably, which is then the
-                    // identity, and per-lane stats map back directly.
-                    wave.sort_by_key(|q| std::cmp::Reverse(q.req.sequence.len()));
-                    let refs: Vec<&[Vector]> =
-                        wave.iter().map(|q| q.req.sequence.as_slice()).collect();
-                    let admitted_at = Instant::now();
-                    match self.network.run_batch(&refs, self.evaluator.as_dyn()) {
-                        Ok(outputs) => {
-                            let compute_latency = admitted_at.elapsed();
-                            for (lane, (q, outputs)) in wave.iter().zip(outputs).enumerate() {
-                                let stats = self.evaluator.take_lane_stats(
-                                    lane,
-                                    q.req.sequence.len(),
-                                    self.evals_per_step,
-                                );
-                                emit(InferenceResponse {
-                                    id: q.req.id,
-                                    status: completion_status(&q.req.deadline, q.submitted_at),
-                                    outputs,
-                                    stats,
-                                    queue_latency: admitted_at.duration_since(q.submitted_at),
-                                    compute_latency,
-                                });
-                            }
-                        }
-                        Err(e) => {
-                            report(e.to_string());
-                            let compute_latency = admitted_at.elapsed();
-                            for q in &wave {
-                                emit(rejected_response(
-                                    q.req.id,
-                                    admitted_at.duration_since(q.submitted_at),
-                                    compute_latency,
-                                ));
-                            }
-                        }
+                }
+                Scheduler::Pipeline(_) => {
+                    if step_pipeline(ctx, policy, emit, report) {
+                        progressed = true;
                     }
                 }
             }
-            Mode::Pipeline(mode) => {
-                let PipelineMode {
-                    pipeline,
-                    inflight,
-                    finished,
-                    next_token,
-                } = mode.as_mut();
-                loop {
-                    // Refill every free lane straight from the queue —
-                    // this is the mid-wave refill: it happens per step,
-                    // not per wave.
-                    while pipeline.free_lanes() > 0 {
-                        match pull() {
-                            Some(q) => {
-                                let queue_latency = q.submitted_at.elapsed();
-                                if q.expired() && self.policy == DeadlinePolicy::DropExpired {
-                                    emit(expired_response(&q, queue_latency));
-                                    continue;
-                                }
-                                let token = *next_token;
-                                *next_token += 1;
-                                let timesteps = q.req.sequence.len();
-                                // Timestamp before admit(): the
-                                // admission-time W_x hoist is real
-                                // compute and must land in
-                                // compute_latency, not queue_latency.
-                                let admitted_at = Instant::now();
-                                match pipeline.admit(
-                                    token,
-                                    q.req.sequence,
-                                    &self.network,
-                                    self.evaluator.as_dyn(),
-                                ) {
-                                    Ok(()) => {
-                                        inflight.insert(
-                                            token,
-                                            Inflight {
-                                                id: q.req.id,
-                                                deadline: q.req.deadline,
-                                                submitted_at: q.submitted_at,
-                                                admitted_at,
-                                                timesteps,
-                                            },
-                                        );
-                                    }
-                                    Err(e) => {
-                                        report(e.to_string());
-                                        emit(rejected_response(
-                                            q.req.id,
-                                            queue_latency,
-                                            Duration::ZERO,
-                                        ));
-                                    }
-                                }
-                            }
-                            None => break,
-                        }
-                    }
-                    if pipeline.is_idle() {
-                        return;
-                    }
-                    match pipeline.step(&self.network, self.evaluator.as_dyn(), finished) {
-                        Ok(_) => {
-                            // Read each finished lane's stats before the
-                            // next admission reuses its slot.
-                            for f in finished.drain(..) {
-                                let info = inflight.remove(&f.token).expect("lane tracked");
-                                let stats = self.evaluator.take_lane_stats(
-                                    f.stats_lane,
-                                    info.timesteps,
-                                    self.evals_per_step,
-                                );
-                                emit(InferenceResponse {
-                                    id: info.id,
-                                    status: completion_status(&info.deadline, info.submitted_at),
-                                    outputs: f.outputs,
-                                    stats,
-                                    queue_latency: info
-                                        .admitted_at
-                                        .duration_since(info.submitted_at),
-                                    compute_latency: info.admitted_at.elapsed(),
-                                });
-                            }
-                        }
-                        Err(e) => {
-                            // Unreachable for validated submissions; fail
-                            // the in-flight requests loudly and restart
-                            // the pipeline with fresh lanes.
-                            report(e.to_string());
-                            for (_, info) in inflight.drain() {
-                                emit(rejected_response(
-                                    info.id,
-                                    info.admitted_at.duration_since(info.submitted_at),
-                                    info.admitted_at.elapsed(),
-                                ));
-                            }
-                            let lanes = pipeline.lanes();
-                            *pipeline = StepPipeline::new(&self.network, lanes)
-                                .expect("same network accepted these lanes before");
-                            self.evaluator.as_dyn().begin_batch(lanes);
-                            finished.clear();
-                        }
-                    }
-                }
+        }
+        progressed
+    }
+}
+
+/// Runs one request synchronously on a `lanes == 1` context.
+fn run_single(
+    ctx: &mut ExecContext,
+    q: QueuedRequest,
+    queue_latency: Duration,
+    emit: &mut dyn FnMut(InferenceResponse),
+    report: &mut dyn FnMut(String),
+) {
+    ctx.evaluator.reset_stats();
+    let started = Instant::now();
+    let result = ctx.network.run(&q.req.sequence, ctx.evaluator.as_mut());
+    let compute_latency = started.elapsed();
+    match result {
+        Ok(outputs) => {
+            let stats = ctx.stats_snapshot(q.req.sequence.len());
+            emit(InferenceResponse {
+                id: q.req.id,
+                status: completion_status(&q.req.deadline, q.submitted_at),
+                outputs,
+                stats,
+                queue_latency,
+                compute_latency,
+            });
+        }
+        Err(e) => {
+            report(e.to_string());
+            emit(rejected_response(q.req.id, queue_latency, compute_latency));
+        }
+    }
+}
+
+/// Runs one staged wave to completion on a bidirectional context.
+fn run_wave(
+    ctx: &mut ExecContext,
+    mut wave: Vec<QueuedRequest>,
+    policy: DeadlinePolicy,
+    emit: &mut dyn FnMut(InferenceResponse),
+    report: &mut dyn FnMut(String),
+) {
+    // Deadlines may have expired while the wave was staged; re-check so
+    // a hopeless request does not occupy a wave lane.
+    if policy == DeadlinePolicy::DropExpired {
+        wave.retain(|q| {
+            if q.expired() {
+                emit(expired_response(
+                    q,
+                    q.submitted_at.elapsed(),
+                    Duration::ZERO,
+                ));
+                false
+            } else {
+                true
             }
+        });
+    }
+    if wave.is_empty() {
+        return;
+    }
+    // Longest-first (stable) so wave lane `l` is request `l`: run_batch
+    // re-sorts stably, which is then the identity, and per-lane stats
+    // map back directly.
+    wave.sort_by_key(|q| std::cmp::Reverse(q.req.sequence.len()));
+    let refs: Vec<&[nfm_tensor::Vector]> = wave.iter().map(|q| q.req.sequence.as_slice()).collect();
+    let admitted_at = Instant::now();
+    match ctx.network.run_batch(&refs, ctx.evaluator.as_mut()) {
+        Ok(outputs) => {
+            let compute_latency = admitted_at.elapsed();
+            for (lane, (q, outputs)) in wave.iter().zip(outputs).enumerate() {
+                let stats = ctx.take_lane_stats(lane, q.req.sequence.len());
+                emit(InferenceResponse {
+                    id: q.req.id,
+                    status: completion_status(&q.req.deadline, q.submitted_at),
+                    outputs,
+                    stats,
+                    queue_latency: admitted_at.duration_since(q.submitted_at),
+                    compute_latency,
+                });
+            }
+        }
+        Err(e) => {
+            report(e.to_string());
+            let compute_latency = admitted_at.elapsed();
+            for q in &wave {
+                emit(rejected_response(
+                    q.req.id,
+                    admitted_at.duration_since(q.submitted_at),
+                    compute_latency,
+                ));
+            }
+        }
+    }
+}
+
+/// Aborts expired in-flight requests, then advances an active pipeline
+/// context by one timestep.  Returns whether a step ran.
+fn step_pipeline(
+    ctx: &mut ExecContext,
+    policy: DeadlinePolicy,
+    emit: &mut dyn FnMut(InferenceResponse),
+    report: &mut dyn FnMut(String),
+) -> bool {
+    // Split the context's fields so the scheduler, evaluator and
+    // network can be borrowed side by side.
+    let ExecContext {
+        network,
+        evaluator,
+        evals_per_step,
+        sched,
+        ..
+    } = ctx;
+    let evals_per_step = *evals_per_step;
+    let Scheduler::Pipeline(sched) = sched else {
+        unreachable!("caller matched Pipeline");
+    };
+    if sched.pipeline.is_idle() {
+        return false;
+    }
+    // Per-step deadline aborts: a request whose budget ran out
+    // mid-sequence frees its lane *now* (mid-wave, like refill) instead
+    // of computing its remaining timesteps.  Only DropExpired aborts;
+    // RunToCompletion keeps computing and reports the late result.
+    if policy == DeadlinePolicy::DropExpired {
+        let expired: Vec<u64> = sched
+            .inflight
+            .iter()
+            .filter(|(_, info)| match info.deadline {
+                Some(d) => info.submitted_at.elapsed() > d,
+                None => false,
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            let cancelled = sched
+                .pipeline
+                .cancel(token, evaluator.as_mut())
+                .expect("inflight tokens are on lanes");
+            let info = sched.inflight.remove(&token).expect("lane tracked");
+            // Zero the lane's counters (the partial work is discarded
+            // with the outputs) and report the abort with partial
+            // latency accounting: the queue wait it really had, the
+            // compute time it really consumed.
+            let _ = harvest_lane_stats(
+                evaluator.as_mut(),
+                evals_per_step,
+                cancelled.stats_lane,
+                cancelled.outputs.len(),
+            );
+            emit(InferenceResponse {
+                id: info.id,
+                status: CompletionStatus::DeadlineExpired,
+                outputs: Vec::new(),
+                stats: ReuseStats::new(),
+                queue_latency: info.admitted_at.duration_since(info.submitted_at),
+                compute_latency: info.admitted_at.elapsed(),
+            });
+        }
+        if sched.pipeline.is_idle() {
+            return false;
+        }
+    }
+    match sched
+        .pipeline
+        .step(network, evaluator.as_mut(), &mut sched.finished)
+    {
+        Ok(_) => {
+            // Read each finished lane's stats before the next admission
+            // reuses its slot.
+            let finished = std::mem::take(&mut sched.finished);
+            for f in finished {
+                let info = sched.inflight.remove(&f.token).expect("lane tracked");
+                let stats = harvest_lane_stats(
+                    evaluator.as_mut(),
+                    evals_per_step,
+                    f.stats_lane,
+                    info.timesteps,
+                );
+                emit(InferenceResponse {
+                    id: info.id,
+                    status: completion_status(&info.deadline, info.submitted_at),
+                    outputs: f.outputs,
+                    stats,
+                    queue_latency: info.admitted_at.duration_since(info.submitted_at),
+                    compute_latency: info.admitted_at.elapsed(),
+                });
+            }
+            true
+        }
+        Err(e) => {
+            // Unreachable for validated submissions; fail the in-flight
+            // requests loudly and restart the pipeline with fresh
+            // lanes.
+            report(e.to_string());
+            for (_, info) in sched.inflight.drain() {
+                emit(rejected_response(
+                    info.id,
+                    info.admitted_at.duration_since(info.submitted_at),
+                    info.admitted_at.elapsed(),
+                ));
+            }
+            let lanes = sched.pipeline.lanes();
+            sched.pipeline = StepPipeline::new(network, lanes)
+                .expect("same network accepted these lanes before");
+            evaluator.begin_batch(lanes);
+            sched.finished.clear();
+            true
         }
     }
 }
@@ -421,14 +670,18 @@ fn completion_status(deadline: &Option<Duration>, submitted_at: Instant) -> Comp
     }
 }
 
-fn expired_response(q: &QueuedRequest, queue_latency: Duration) -> InferenceResponse {
+fn expired_response(
+    q: &QueuedRequest,
+    queue_latency: Duration,
+    compute_latency: Duration,
+) -> InferenceResponse {
     InferenceResponse {
         id: q.req.id,
         status: CompletionStatus::DeadlineExpired,
         outputs: Vec::new(),
         stats: ReuseStats::new(),
         queue_latency,
-        compute_latency: Duration::ZERO,
+        compute_latency,
     }
 }
 

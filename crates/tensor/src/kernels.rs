@@ -74,7 +74,7 @@ pub fn dot_unchecked(a: &[f32], b: &[f32]) -> f32 {
 /// accumulator sets advance in lockstep, so the instruction-level
 /// parallelism per loaded weight is 4x that of [`dot_unchecked`].
 /// Every lane's additions and multiplies happen in exactly
-/// [`dot_unchecked`]'s order (same chunking, same [`reduce`], same tail
+/// [`dot_unchecked`]'s order (same chunking, same `reduce`, same tail
 /// loop), so `dot_quad_unchecked(r, a, b, c, d)[i]` is bit-identical to
 /// `dot_unchecked(r, [a, b, c, d][i])`.
 ///

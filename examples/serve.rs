@@ -1,21 +1,34 @@
-//! Serving quickstart: submit → poll → per-request stats.
+//! Serving quickstart: submit → poll → per-request stats, then the
+//! multi-model registry.
 //!
-//! Builds a request engine over an IMDB-like LSTM, submits a burst of
-//! ragged-length requests (some with tight deadlines), polls for
-//! completions while the lanes drain, and prints each request's own
-//! reuse statistics and latency split.  Finally cross-checks that the
-//! engine's outputs are bit-identical to the workload-level
-//! `MemoizedRunner` API (which is itself a thin wrapper over this
-//! engine).
+//! Part 1 builds a single-model request engine over an IMDB-like LSTM,
+//! submits a burst of ragged-length requests (some with tight
+//! deadlines), polls for completions while the lanes drain, and prints
+//! each request's own reuse statistics and latency split — finally
+//! cross-checking that the engine's outputs are bit-identical to the
+//! workload-level `MemoizedRunner` API (itself a thin engine wrapper).
+//!
+//! Part 2 registers **two models** with different predictor sets in one
+//! `ModelRegistry` and serves both from a single engine, with requests
+//! choosing their model, predictor and reuse threshold per submission
+//! (`RequestOptions`).
 //!
 //! ```text
 //! cargo run --release --example serve
 //! ```
+//!
+//! # Migration note (`EngineBuilder::new`)
+//!
+//! `EngineBuilder::new(network, predictor)` is unchanged and keeps
+//! serving exactly one model: it is now sugar for a one-entry
+//! `ModelRegistry` whose model id is `nfm::serve::DEFAULT_MODEL`.
+//! Multi-model engines use `EngineBuilder::from_registry(registry)`
+//! instead; requests without options behave identically on both.
 
 use nfm::memo::BnnMemoConfig;
 use nfm::serve::{
     CompletionStatus, DeadlinePolicy, EngineBuilder, InferenceRequest, MemoizedRunner,
-    PredictorKind,
+    ModelRegistry, PredictorKind, RequestOptions,
 };
 use nfm::workloads::{NetworkId, WorkloadBuilder};
 use std::time::Duration;
@@ -140,6 +153,104 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{} expired requests were reported, not silently dropped",
         responses.len() - admitted.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2: several models, one engine.  A half-scale IMDB LSTM and a
+    // scaled-down DeepSpeech2 GRU register in one ModelRegistry; each
+    // request picks its model, predictor and threshold per submission.
+    // ------------------------------------------------------------------
+    let asr = WorkloadBuilder::new(NetworkId::DeepSpeech2)
+        .scale(0.05)
+        .sequences(4)
+        .sequence_length(24)
+        .seed(23)
+        .build()?;
+
+    let mut registry = ModelRegistry::new();
+    // "imdb": BNN-memoized by default, exact available on request.
+    registry.register(
+        "imdb",
+        workload.network().clone(),
+        PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+    )?;
+    registry.add_predictor("imdb", PredictorKind::Exact)?;
+    // "asr": exact by default, BNN-memoized on request.
+    registry.register("asr", asr.network().clone(), PredictorKind::Exact)?;
+    registry.add_predictor(
+        "asr",
+        PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+    )?;
+
+    let engine = EngineBuilder::from_registry(registry)
+        .lanes(4)
+        .workers(1)
+        .queue_capacity(64)
+        .build()?;
+
+    // Interleave traffic for both models.  The three IMDB requests
+    // carry the *same review* at three reuse thresholds — the
+    // registered 0.5 plus per-request overrides tighter (θ=0.1) and
+    // looser (θ=2.0) — so the engine runs three accuracy/reuse
+    // trade-offs of one model in flight at once, next to the second
+    // model's traffic.
+    let review = sequences[0].clone();
+    let imdb = |o: RequestOptions| (o.model("imdb"), review.clone());
+    let cases: Vec<(RequestOptions, Vec<nfm::tensor::Vector>)> = vec![
+        imdb(RequestOptions::default()),
+        imdb(RequestOptions::default().threshold(0.1)),
+        (
+            RequestOptions::default().model("asr"),
+            asr.sequences()[0].clone(),
+        ),
+        imdb(RequestOptions::default().threshold(2.0)),
+        (
+            RequestOptions::default().model("asr"),
+            asr.sequences()[1].clone(),
+        ),
+        imdb(RequestOptions::default().predictor("exact")),
+    ];
+    let mut expectations = Vec::new();
+    for (i, (options, seq)) in cases.into_iter().enumerate() {
+        let id = 100 + i as u64;
+        expectations.push((id, options.clone()));
+        engine.submit(InferenceRequest::new(id, seq).with_options(options))?;
+    }
+    let mut multi = engine.drain();
+    multi.sort_by_key(|r| r.id);
+    println!("\n  id  model predictor      θ        reuse%");
+    for (r, (id, options)) in multi.iter().zip(&expectations) {
+        assert_eq!(r.id, *id);
+        assert_eq!(r.status, CompletionStatus::Done);
+        println!(
+            "  {:>2}  {:<5} {:<12} {:>8}  {:>5.1}",
+            r.id,
+            options.model.as_ref().map(|m| m.as_str()).unwrap_or("-"),
+            options.predictor.as_deref().unwrap_or("(default)"),
+            options
+                .threshold
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "(cfg)".into()),
+            r.stats.reuse_percent(),
+        );
+    }
+    // Tighter θ trades reuse for accuracy, looser θ the reverse — per
+    // request, on the same registered model.
+    let reuse_at = |theta: Option<f32>| {
+        multi
+            .iter()
+            .zip(&expectations)
+            .find(|(_, (_, o))| {
+                o.threshold == theta && o.model.as_ref().map(|m| m.as_str()) == Some("imdb")
+            })
+            .map(|(r, _)| r.stats.reuse_fraction() * 100.0)
+            .unwrap()
+    };
+    let (tight, base, loose) = (reuse_at(Some(0.1)), reuse_at(None), reuse_at(Some(2.0)));
+    assert!(tight <= base && base <= loose, "reuse is monotone in θ");
+    println!(
+        "\ntwo models served concurrently; per-request θ overrides on \"imdb\" swept reuse \
+         {tight:.1}% (θ=0.1) / {base:.1}% (θ=0.5 registered) / {loose:.1}% (θ=2.0)"
     );
     Ok(())
 }

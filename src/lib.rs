@@ -11,9 +11,9 @@
 //! * [`rnn`] — LSTM/GRU cells, layers and deep networks.
 //! * [`bnn`] — binarized (bitwise) network substrate.
 //! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
-//! * [`serve`] — the request-oriented serving engine (submissions,
-//!   deadlines, step-pipelined lane scheduler) and the
-//!   `MemoizedRunner` workload façade built on it.
+//! * [`serve`] — the request-oriented serving engine (multi-model
+//!   registry, per-request options, deadlines, step-pipelined lane
+//!   scheduler) and the `MemoizedRunner` workload façade built on it.
 //! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
 //! * [`workloads`] — the four Table 1 RNNs with synthetic data.
 //! * [`eval`] — per-figure/per-table experiment harness.
@@ -46,11 +46,12 @@ pub use nfm_serve as serve;
 pub use nfm_tensor as tensor;
 pub use nfm_workloads as workloads;
 
-/// The memoization surface: the `nfm-core` evaluators plus the
+/// The memoization surface: the `nfm-core` evaluators and the open
+/// [`Predictor`](nfm_core::Predictor) factory abstraction, plus the
 /// workload-level runner API, which now lives in [`serve`] (the runner
 /// is a thin wrapper over the request engine) but is re-exported here
 /// so `nfm::memo::MemoizedRunner` keeps working.
 pub mod memo {
     pub use nfm_core::*;
-    pub use nfm_serve::{InferenceWorkload, MemoizedRunner, PredictorKind, RunOutcome};
+    pub use nfm_serve::{InferenceWorkload, MemoizedRunner, RunOutcome};
 }

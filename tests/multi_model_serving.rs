@@ -1,0 +1,684 @@
+//! The open serving API: `Predictor` trait + multi-model registry +
+//! per-request options.
+//!
+//! Four contracts:
+//!
+//! 1. **Open predictors** — a custom [`Predictor`] registered through
+//!    the [`ModelRegistry`] and served through the engine is
+//!    bit-identical to driving its evaluator directly (dedicated
+//!    per-sequence runs and `run_batch` waves).
+//! 2. **Multi-model** — one engine serves two registered models under
+//!    different predictors concurrently, each request bit-identical to
+//!    its dedicated single-model reference, including per-request
+//!    threshold overrides.
+//! 3. **Registry hygiene** — unknown models/predictors and unsupported
+//!    overrides are typed submit-time errors; duplicate registrations
+//!    are rejected.
+//! 4. **Scheduling knobs** — priorities reorder admission (never
+//!    results); per-step deadline aborts free a lane mid-sequence
+//!    under `DropExpired` and are policy-gated.
+
+use nfm::bnn::BinaryNetwork;
+use nfm::memo::{
+    BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator, OracleMemoConfig, Predictor, ServedEvaluator,
+};
+use nfm::rnn::{
+    CellKind, DeepRnn, DeepRnnConfig, Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult,
+};
+use nfm::serve::{
+    CompletionStatus, DeadlinePolicy, EngineBuilder, EngineError, InferenceRequest, ModelRegistry,
+    PredictorKind, Priority, RequestOptions,
+};
+use nfm::tensor::rng::DeterministicRng;
+use nfm::tensor::Vector;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn smooth_sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    let mut x = Vector::from_fn(width, |_| rng.uniform(-0.5, 0.5));
+    (0..len)
+        .map(|_| {
+            x = x
+                .add(&Vector::from_fn(width, |_| rng.uniform(-0.08, 0.08)))
+                .unwrap();
+            x.clone()
+        })
+        .collect()
+}
+
+fn assert_bit_identical(name: &str, a: &[Vector], b: &[Vector]) {
+    assert_eq!(a.len(), b.len(), "{name}: output length");
+    for (t, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.len(), y.len(), "{name}: width at t={t}");
+        for i in 0..x.len() {
+            assert_eq!(
+                x[i].to_bits(),
+                y[i].to_bits(),
+                "{name}: bit mismatch at t={t} i={i}: {} vs {}",
+                x[i],
+                y[i]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A custom memoization policy, implemented entirely outside the built-in
+// family: every third evaluation of a neuron (within one sequence)
+// returns the cached value instead of computing.  It keeps full
+// per-lane state — the contract a stateful evaluator must satisfy to be
+// schedule-independent under lanes > 1.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct StickyState {
+    /// Per (gate, neuron): cached preactivation + evaluation count.
+    cache: HashMap<(GateId, usize), (f32, u32)>,
+}
+
+impl StickyState {
+    fn produce(&mut self, gate_id: GateId, neuron: usize, exact: impl FnOnce() -> f32) -> f32 {
+        let entry = self.cache.entry((gate_id, neuron)).or_insert((0.0, 0));
+        entry.1 += 1;
+        if entry.1.is_multiple_of(3) {
+            entry.0
+        } else {
+            let y = exact();
+            entry.0 = y;
+            y
+        }
+    }
+}
+
+/// The custom evaluator: one [`StickyState`] for the single-sequence
+/// path plus one per lane for batched schedules.
+#[derive(Default)]
+struct StickyEvaluator {
+    single: StickyState,
+    lanes: Vec<StickyState>,
+}
+
+impl NeuronEvaluator for StickyEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        let exact = gate.neuron_dot(neuron.neuron, x, h_prev)?;
+        Ok(self
+            .single
+            .produce(neuron.gate_id, neuron.neuron, move || exact))
+    }
+
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        _timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        let (isz, hsz, nsz) = (gate.input_size(), gate.hidden_size(), gate.neurons());
+        for l in 0..lanes {
+            let x = &xs[l * isz..(l + 1) * isz];
+            let h = &h_prevs[l * hsz..(l + 1) * hsz];
+            let state = &mut self.lanes[l];
+            for (n, slot) in out[l * nsz..(l + 1) * nsz].iter_mut().enumerate() {
+                let exact = gate.neuron_dot(n, x, h)?;
+                *slot = state.produce(gate_id, n, move || exact);
+            }
+        }
+        Ok(())
+    }
+
+    fn begin_sequence(&mut self) {
+        self.single.cache.clear();
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        while self.lanes.len() < lanes {
+            self.lanes.push(StickyState::default());
+        }
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        self.lanes[lane].cache.clear();
+    }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        self.lanes.swap(a, b);
+    }
+}
+
+// No stats overrides: the engine synthesizes all-computed statistics
+// for this policy (it has no notion of skipped work it could report).
+impl ServedEvaluator for StickyEvaluator {}
+
+#[derive(Debug)]
+struct StickyPredictor;
+
+impl Predictor for StickyPredictor {
+    fn name(&self) -> &str {
+        "sticky"
+    }
+
+    fn build_evaluator(&self, _network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::<StickyEvaluator>::default()
+    }
+}
+
+fn unidirectional_network(seed: u64) -> DeepRnn {
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    DeepRnn::random(
+        &DeepRnnConfig::new(CellKind::Lstm, 6, 9)
+            .layers(2)
+            .output_size(3),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+const RAGGED_LENS: [usize; 8] = [12, 5, 9, 1, 3, 11, 7, 2];
+
+fn ragged_sequences(net: &DeepRnn, seed: u64) -> Vec<Vec<Vector>> {
+    RAGGED_LENS
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| smooth_sequence(len, net.input_size(), seed + i as u64))
+        .collect()
+}
+
+/// Contract 1: a custom `Predictor` served through the engine ==
+/// driving its evaluator directly, per-sequence and through `run_batch`
+/// waves, for every lane count.
+#[test]
+fn custom_predictor_through_engine_matches_direct_evaluator_runs() {
+    let net = unidirectional_network(31);
+    let seqs = ragged_sequences(&net, 400);
+
+    // Dedicated per-sequence reference runs.
+    let mut reference = Vec::new();
+    for seq in &seqs {
+        let mut eval = StickyEvaluator::default();
+        reference.push(net.run(seq, &mut eval).unwrap());
+    }
+
+    // The same sequences through `run_batch` waves (the wave-refill
+    // schedule `MemoizedRunner::run_batched` uses).
+    let mut wave_eval = StickyEvaluator::default();
+    let mut wave_outputs = Vec::new();
+    for wave in seqs.chunks(3) {
+        let refs: Vec<&[Vector]> = wave.iter().map(|s| s.as_slice()).collect();
+        wave_outputs.extend(net.run_batch(&refs, &mut wave_eval).unwrap());
+    }
+    for (i, (w, r)) in wave_outputs.iter().zip(reference.iter()).enumerate() {
+        assert_bit_identical(&format!("run_batch vs dedicated, seq {i}"), w, r);
+    }
+
+    // Served through the engine: single lane, mid-wave pipeline lanes.
+    for lanes in [1usize, 2, 3] {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_custom("tiny", net.clone(), "sticky", Arc::new(StickyPredictor))
+            .unwrap();
+        let engine = EngineBuilder::from_registry(registry)
+            .lanes(lanes)
+            .workers(1)
+            .queue_capacity(seqs.len())
+            .start_paused()
+            .build()
+            .unwrap();
+        for (i, seq) in seqs.iter().enumerate() {
+            engine
+                .submit(InferenceRequest::new(i as u64, seq.clone()))
+                .unwrap();
+        }
+        let mut responses = engine.shutdown();
+        assert_eq!(responses.len(), seqs.len());
+        responses.sort_by_key(|r| r.id);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.status, CompletionStatus::Done, "lanes={lanes} seq {i}");
+            assert_bit_identical(
+                &format!("engine lanes={lanes} seq {i}"),
+                &r.outputs,
+                &reference[i],
+            );
+            // Synthesized stats: all-computed over the request's own
+            // timesteps.
+            assert_eq!(
+                r.stats.evaluations(),
+                (seqs[i].len() * net.neuron_evaluations_per_step()) as u64,
+                "lanes={lanes} seq {i}"
+            );
+            assert_eq!(r.stats.reuses(), 0);
+        }
+    }
+}
+
+/// Contract 2: one engine, two models, three predictor families and a
+/// per-request threshold override — every response bit-identical to its
+/// dedicated single-model reference.
+#[test]
+fn one_engine_serves_two_models_with_per_request_options() {
+    let imdb = unidirectional_network(41);
+    let mut rng = DeterministicRng::seed_from_u64(43);
+    let kws =
+        DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 5, 8).layers(2), &mut rng).unwrap();
+
+    let bnn_base = BnnMemoConfig::with_threshold(1.0);
+    let oracle_cfg = OracleMemoConfig::with_threshold(0.4);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("imdb", imdb.clone(), PredictorKind::Bnn(bnn_base))
+        .unwrap();
+    registry
+        .add_predictor("imdb", PredictorKind::Exact)
+        .unwrap();
+    registry
+        .register("kws", kws.clone(), PredictorKind::Exact)
+        .unwrap();
+    registry
+        .add_predictor("kws", PredictorKind::Oracle(oracle_cfg))
+        .unwrap();
+
+    // One request shape per (model, options) combination, interleaved
+    // across the two models so both are in flight at once.
+    enum Expect {
+        Bnn(f32),
+        ExactImdb,
+        ExactKws,
+        Oracle,
+    }
+    let cases: Vec<(RequestOptions, Expect, &DeepRnn)> = vec![
+        (RequestOptions::default(), Expect::Bnn(1.0), &imdb),
+        (
+            RequestOptions::default().model("kws"),
+            Expect::ExactKws,
+            &kws,
+        ),
+        (
+            RequestOptions::default().threshold(0.25),
+            Expect::Bnn(0.25),
+            &imdb,
+        ),
+        (
+            RequestOptions::default().model("kws").predictor("oracle"),
+            Expect::Oracle,
+            &kws,
+        ),
+        (
+            RequestOptions::default().model("imdb").predictor("exact"),
+            Expect::ExactImdb,
+            &imdb,
+        ),
+        (
+            RequestOptions::default()
+                .model("imdb")
+                .threshold(4.0)
+                .priority(Priority::High),
+            Expect::Bnn(4.0),
+            &imdb,
+        ),
+    ];
+
+    // Two full rounds of every case, ragged lengths, through engines
+    // with one and two workers: results must not depend on scheduling.
+    let imdb_mirror = BinaryNetwork::mirror(&imdb);
+    for workers in [1usize, 2] {
+        let engine = EngineBuilder::from_registry({
+            let mut r = ModelRegistry::new();
+            r.register("imdb", imdb.clone(), PredictorKind::Bnn(bnn_base))
+                .unwrap();
+            r.add_predictor("imdb", PredictorKind::Exact).unwrap();
+            r.register("kws", kws.clone(), PredictorKind::Exact)
+                .unwrap();
+            r.add_predictor("kws", PredictorKind::Oracle(oracle_cfg))
+                .unwrap();
+            r
+        })
+        .lanes(2)
+        .workers(workers)
+        .queue_capacity(64)
+        .start_paused()
+        .build()
+        .unwrap();
+
+        let mut submitted: Vec<(u64, Vec<Vector>, &Expect, &DeepRnn)> = Vec::new();
+        for round in 0..2u64 {
+            for (c, (options, expect, net)) in cases.iter().enumerate() {
+                let id = round * 100 + c as u64;
+                let len = 4 + ((round as usize + c) % 3) * 5;
+                let seq = smooth_sequence(len, net.input_size(), 700 + id);
+                engine
+                    .submit(InferenceRequest::new(id, seq.clone()).with_options(options.clone()))
+                    .unwrap();
+                submitted.push((id, seq, expect, net));
+            }
+        }
+        let responses = engine.shutdown();
+        assert_eq!(responses.len(), submitted.len(), "workers={workers}");
+        for (id, seq, expect, net) in submitted {
+            let r = responses.iter().find(|r| r.id == id).unwrap();
+            assert_eq!(
+                r.status,
+                CompletionStatus::Done,
+                "workers={workers} id={id}"
+            );
+            let name = format!("workers={workers} id={id}");
+            match expect {
+                Expect::Bnn(theta) => {
+                    let mut eval = BnnMemoEvaluator::new(
+                        imdb_mirror.clone(),
+                        BnnMemoConfig::with_threshold(*theta),
+                    );
+                    let reference = net.run(&seq, &mut eval).unwrap();
+                    assert_bit_identical(&name, &r.outputs, &reference);
+                    assert_eq!(r.stats, *eval.stats(), "{name}: per-request stats");
+                }
+                Expect::Oracle => {
+                    let mut eval = OracleEvaluator::for_network(net, oracle_cfg);
+                    let reference = net.run(&seq, &mut eval).unwrap();
+                    assert_bit_identical(&name, &r.outputs, &reference);
+                    assert_eq!(r.stats, *eval.stats(), "{name}: per-request stats");
+                }
+                Expect::ExactImdb | Expect::ExactKws => {
+                    let mut eval = nfm::rnn::ExactEvaluator::new();
+                    let reference = net.run(&seq, &mut eval).unwrap();
+                    assert_bit_identical(&name, &r.outputs, &reference);
+                    assert_eq!(r.stats.reuses(), 0, "{name}");
+                    assert_eq!(
+                        r.stats.evaluations(),
+                        (seq.len() * net.neuron_evaluations_per_step()) as u64,
+                        "{name}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A client sweeping many distinct per-request thresholds: each θ
+/// materializes (and, past the worker's idle-context cap, LRU-evicts)
+/// an execution context, and every response must still be
+/// bit-identical to a dedicated run at that θ — eviction/recreation
+/// never touches results.
+#[test]
+fn threshold_sweeps_survive_context_eviction() {
+    let net = unidirectional_network(81);
+    let mirror = BinaryNetwork::mirror(&net);
+    let engine = EngineBuilder::new(
+        net.clone(),
+        PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+    )
+    .lanes(2)
+    .workers(1)
+    .queue_capacity(64)
+    .build()
+    .unwrap();
+    // 20 distinct overrides, far past the per-worker idle cap of 8,
+    // interleaved with re-visits of earlier values.
+    let thetas: Vec<f32> = (0..20).map(|i| 0.05 * (i % 13) as f32 + 0.01).collect();
+    let mut submitted = Vec::new();
+    for (i, &theta) in thetas.iter().enumerate() {
+        let seq = smooth_sequence(5 + i % 4, net.input_size(), 900 + i as u64);
+        engine
+            .submit(InferenceRequest::new(i as u64, seq.clone()).with_threshold(theta))
+            .unwrap();
+        submitted.push((i as u64, theta, seq));
+    }
+    let responses = engine.drain();
+    assert_eq!(responses.len(), submitted.len());
+    for (id, theta, seq) in submitted {
+        let r = responses.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(r.status, CompletionStatus::Done, "id={id}");
+        let mut eval = BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(theta));
+        let reference = net.run(&seq, &mut eval).unwrap();
+        assert_bit_identical(&format!("sweep id={id} θ={theta}"), &r.outputs, &reference);
+        assert_eq!(r.stats, *eval.stats(), "sweep id={id} θ={theta}: stats");
+    }
+}
+
+/// Contract 3: registry and submit-time errors are typed.
+#[test]
+fn unknown_ids_and_unsupported_overrides_are_typed_errors() {
+    let net = unidirectional_network(51);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("only", net.clone(), PredictorKind::Exact)
+        .unwrap();
+
+    // Duplicate registrations are rejected with typed errors.
+    assert_eq!(
+        registry.register("only", net.clone(), PredictorKind::Exact),
+        Err(EngineError::DuplicateModel {
+            model: "only".into()
+        })
+    );
+    assert_eq!(
+        registry.add_predictor("only", PredictorKind::Exact),
+        Err(EngineError::DuplicatePredictor {
+            model: "only".into(),
+            predictor: "exact".into(),
+        })
+    );
+    assert_eq!(
+        registry.add_predictor("ghost", PredictorKind::Exact),
+        Err(EngineError::UnknownModel {
+            model: "ghost".into()
+        })
+    );
+
+    let engine = EngineBuilder::from_registry(registry).build().unwrap();
+    let seq = smooth_sequence(4, net.input_size(), 1);
+    assert_eq!(
+        engine.submit(InferenceRequest::new(1, seq.clone()).for_model("ghost")),
+        Err(EngineError::UnknownModel {
+            model: "ghost".into()
+        })
+    );
+    assert_eq!(
+        engine.submit(InferenceRequest::new(2, seq.clone()).with_predictor("bnn")),
+        Err(EngineError::UnknownPredictor {
+            model: "only".into(),
+            predictor: "bnn".into(),
+        })
+    );
+    // The exact baseline has no threshold to override.
+    assert_eq!(
+        engine.submit(InferenceRequest::new(3, seq.clone()).with_threshold(0.5)),
+        Err(EngineError::ThresholdUnsupported {
+            model: "only".into(),
+            predictor: "exact".into(),
+        })
+    );
+    // Nothing was admitted by the failed submissions.
+    engine.submit(InferenceRequest::new(4, seq)).unwrap();
+    assert_eq!(engine.drain().len(), 1);
+
+    // An empty registry cannot build an engine.
+    assert_eq!(
+        EngineBuilder::from_registry(ModelRegistry::new())
+            .build()
+            .err(),
+        Some(EngineError::EmptyRegistry)
+    );
+}
+
+/// Contract 4a: priorities reorder admission (High before Normal before
+/// Low) without changing any request's results.
+#[test]
+fn priorities_reorder_admission_not_results() {
+    let net = unidirectional_network(61);
+    let engine = EngineBuilder::new(net.clone(), PredictorKind::Exact)
+        .lanes(1)
+        .workers(1)
+        .queue_capacity(8)
+        .start_paused()
+        .build()
+        .unwrap();
+    let mut references = HashMap::new();
+    for (id, priority) in [
+        (1u64, Priority::Low),
+        (2, Priority::Normal),
+        (3, Priority::High),
+        (4, Priority::Normal),
+    ] {
+        let seq = smooth_sequence(5, net.input_size(), 800 + id);
+        references.insert(
+            id,
+            net.run(&seq, &mut nfm::rnn::ExactEvaluator::new()).unwrap(),
+        );
+        engine
+            .submit(InferenceRequest::new(id, seq).with_priority(priority))
+            .unwrap();
+    }
+    // Responses are emitted in completion order; with one single-lane
+    // worker that is exactly the admission order.
+    let responses = engine.drain();
+    let order: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    assert_eq!(order, vec![3, 2, 4, 1], "High first, FIFO within class");
+    for r in &responses {
+        assert_bit_identical(
+            &format!("priority id={}", r.id),
+            &r.outputs,
+            &references[&r.id],
+        );
+    }
+}
+
+/// A deliberately slow exact predictor: computing is correct but takes
+/// ~`delay` per gate batch, making deadline timing deterministic.
+#[derive(Debug)]
+struct SleepyPredictor {
+    delay: Duration,
+}
+
+struct SleepyEvaluator {
+    inner: nfm::rnn::ExactEvaluator,
+    delay: Duration,
+}
+
+impl NeuronEvaluator for SleepyEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        self.inner.evaluate(neuron, gate, x, h_prev)
+    }
+
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        std::thread::sleep(self.delay);
+        self.inner
+            .evaluate_gate_batch(gate_id, timestep, lanes, gate, xs, h_prevs, out)
+    }
+}
+
+impl ServedEvaluator for SleepyEvaluator {}
+
+impl Predictor for SleepyPredictor {
+    fn name(&self) -> &str {
+        "sleepy"
+    }
+
+    fn build_evaluator(&self, _network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::new(SleepyEvaluator {
+            inner: nfm::rnn::ExactEvaluator::new(),
+            delay: self.delay,
+        })
+    }
+}
+
+fn sleepy_engine(net: &DeepRnn, policy: DeadlinePolicy) -> nfm::serve::Engine {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_custom(
+            "slow",
+            net.clone(),
+            "sleepy",
+            Arc::new(SleepyPredictor {
+                delay: Duration::from_millis(1),
+            }),
+        )
+        .unwrap();
+    EngineBuilder::from_registry(registry)
+        .lanes(2)
+        .workers(1)
+        .queue_capacity(8)
+        .deadline_policy(policy)
+        .build()
+        .unwrap()
+}
+
+/// Contract 4b: an in-flight request whose deadline expires is aborted
+/// *between timesteps* under `DropExpired` — its lane frees without
+/// computing the rest of the sequence, with the consumed compute time
+/// reported — while `RunToCompletion` computes the same request to the
+/// (late) end.
+#[test]
+fn per_step_deadline_abort_frees_the_lane_mid_sequence() {
+    let mut rng = DeterministicRng::seed_from_u64(71);
+    // One GRU layer => 3 sleepy gate calls ≈ 3ms per timestep.
+    let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 4, 6), &mut rng).unwrap();
+    let long = smooth_sequence(60, net.input_size(), 1); // ≈ 180ms of compute
+    let short = smooth_sequence(3, net.input_size(), 2);
+
+    let engine = sleepy_engine(&net, DeadlinePolicy::DropExpired);
+    engine
+        .submit(InferenceRequest::new(1, long.clone()).with_deadline(Duration::from_millis(40)))
+        .unwrap();
+    engine
+        .submit(InferenceRequest::new(2, short.clone()))
+        .unwrap();
+    let responses = engine.drain();
+    assert_eq!(responses.len(), 2);
+    let aborted = responses.iter().find(|r| r.id == 1).unwrap();
+    assert_eq!(aborted.status, CompletionStatus::DeadlineExpired);
+    assert!(
+        aborted.outputs.is_empty(),
+        "dropped mid-flight, not computed"
+    );
+    assert!(
+        aborted.compute_latency > Duration::ZERO,
+        "the abort happened on a lane, not in the queue: partial compute is accounted"
+    );
+    assert!(
+        aborted.compute_latency < Duration::from_millis(150),
+        "the request did not run to completion (~180ms): {:?}",
+        aborted.compute_latency
+    );
+    let done = responses.iter().find(|r| r.id == 2).unwrap();
+    assert_eq!(
+        done.status,
+        CompletionStatus::Done,
+        "the freed lane kept serving"
+    );
+    assert_eq!(done.outputs.len(), short.len());
+
+    // Policy-gated: RunToCompletion computes the same request fully.
+    let engine = sleepy_engine(&net, DeadlinePolicy::RunToCompletion);
+    engine
+        .submit(InferenceRequest::new(1, long.clone()).with_deadline(Duration::from_millis(40)))
+        .unwrap();
+    let responses = engine.drain();
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].status, CompletionStatus::DeadlineExpired);
+    assert_eq!(responses[0].outputs.len(), long.len(), "late but complete");
+}
