@@ -27,7 +27,7 @@
 //! block-hoisted `W_x·x_t` projections on the exact path).
 
 use nfm_bench::Bencher;
-use nfm_bnn::BinaryNetwork;
+use nfm_bnn::{BinaryNetwork, BitVector, PopcountBackend};
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator};
 use nfm_rnn::{
     DeepRnn, ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator,
@@ -37,7 +37,9 @@ use nfm_serve::{
     EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner, ModelRegistry,
     PredictorKind,
 };
-use nfm_tensor::Vector;
+use nfm_tensor::backend::KernelBackend;
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::{kernels, Matrix, Vector};
 use nfm_workloads::{NetworkId, Workload, WorkloadBuilder};
 use std::hint::black_box;
 
@@ -474,7 +476,104 @@ fn main() {
         },
     );
 
-    let speedups: Vec<(&str, &str)> = vec![
+    // Per-backend kernel throughput: the same hot kernels measured once
+    // per dispatch tier the host supports, at gate scale (medium IMDB:
+    // 128 neurons, 64 inputs, 128 hidden, 8 serving lanes).  Every tier
+    // computes bit-identical results (tests/backend_kernels.rs), so
+    // these entries isolate pure ISA throughput; `kernel/*/scalar` is
+    // the portable-codegen reference the SIMD tiers are judged against.
+    // Runs last so the allocation-heavy benches above see the same heap
+    // they always did.
+    let kernel_pairs = {
+        let mut rng = DeterministicRng::seed_from_u64(77);
+        let (rows, xc, hc, lanes) = (128usize, 64usize, 128usize, 8usize);
+        let wx = Matrix::from_fn(rows, xc, |_, _| rng.uniform(-1.0, 1.0));
+        let wh = Matrix::from_fn(rows, hc, |_, _| rng.uniform(-1.0, 1.0));
+        let x: Vec<f32> = (0..xc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..hc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let xs: Vec<f32> = (0..lanes * xc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hs: Vec<f32> = (0..lanes * hc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let da: Vec<f32> = (0..1024).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let db: Vec<f32> = (0..1024).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut single_out = vec![0.0f32; rows];
+        let mut batch_out = vec![0.0f32; lanes * rows];
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for backend in KernelBackend::supported() {
+            bench.bench(&format!("kernel/dot_1024/{backend}"), || {
+                black_box(kernels::dot_unchecked_on(
+                    backend,
+                    black_box(&da),
+                    black_box(&db),
+                ))
+            });
+            bench.bench(&format!("kernel/matvec/{backend}"), || {
+                kernels::matvec_into_on(backend, black_box(&wx), black_box(&x), &mut single_out)
+                    .unwrap();
+                black_box(single_out[0])
+            });
+            bench.bench(&format!("kernel/dual_matvec/{backend}"), || {
+                kernels::dual_matvec_into_on(
+                    backend,
+                    black_box(&wx),
+                    black_box(&wh),
+                    black_box(&x),
+                    black_box(&h),
+                    &mut single_out,
+                )
+                .unwrap();
+                black_box(single_out[0])
+            });
+            bench.bench(&format!("kernel/dual_matmul_8l/{backend}"), || {
+                kernels::dual_matmul_into_on(
+                    backend,
+                    black_box(&wx),
+                    black_box(&wh),
+                    black_box(&xs),
+                    black_box(&hs),
+                    lanes,
+                    &mut batch_out,
+                )
+                .unwrap();
+                black_box(batch_out[0])
+            });
+            if backend != KernelBackend::Scalar {
+                for kernel in ["dot_1024", "matvec", "dual_matvec", "dual_matmul_8l"] {
+                    pairs.push((
+                        format!("kernel/{kernel}/scalar"),
+                        format!("kernel/{kernel}/{backend}"),
+                    ));
+                }
+            }
+        }
+        // XNOR-popcount tiers: a BNN-mirror row pair at BDPU scale
+        // (1024 bits) and a wide probe (4096 bits, engages the 8-word
+        // vpopcntdq loop).  Integer-exact on every tier.
+        for bits in [1024usize, 4096] {
+            let a: Vec<f32> = (0..bits).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let b: Vec<f32> = (0..bits).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let pa = BitVector::from_signs(&a);
+            let pb = BitVector::from_signs(&b);
+            for pop in PopcountBackend::supported() {
+                bench.bench(&format!("kernel/xnor_popcount_{bits}/{pop}"), || {
+                    black_box(pa.xnor_dot_on(black_box(&pb), pop).unwrap())
+                });
+                if pop != PopcountBackend::Scalar {
+                    pairs.push((
+                        format!("kernel/xnor_popcount_{bits}/scalar"),
+                        format!("kernel/xnor_popcount_{bits}/{pop}"),
+                    ));
+                }
+            }
+        }
+        pairs
+    };
+
+    // Pin how this snapshot was measured: the dispatch tier the
+    // inference/* entries ran on.
+    bench.set_meta("kernel_backend", nfm_tensor::backend::active().name());
+    bench.set_meta("popcount_backend", nfm_bnn::popcount::active().name());
+
+    let static_speedups: Vec<(&str, &str)> = vec![
         ("inference/exact_naive/small", "inference/exact/small"),
         ("inference/exact_naive/medium", "inference/exact/medium"),
         ("inference/exact_per_neuron/small", "inference/exact/small"),
@@ -520,6 +619,14 @@ fn main() {
         ),
         ("runner/sequential", "runner/parallel"),
     ];
+    let speedups: Vec<(&str, &str)> = static_speedups
+        .into_iter()
+        .chain(
+            kernel_pairs
+                .iter()
+                .map(|(base, cand)| (base.as_str(), cand.as_str())),
+        )
+        .collect();
     println!();
     for (base, cand) in &speedups {
         bench.report_speedup(base, cand);

@@ -30,6 +30,24 @@ fn dot_products(bench: &mut Bencher) {
         bench.bench(&format!("dot_product/xnor_popcount/{len}"), || {
             pa.xnor_dot(black_box(&pb)).unwrap()
         });
+        // The same products once per dispatch tier the host supports
+        // (all tiers are bit/integer identical; this isolates ISA
+        // throughput — the committed per-backend entries live in
+        // inference_throughput's kernel/* group).
+        for backend in nfm_tensor::backend::KernelBackend::supported() {
+            bench.bench(&format!("dot_product/fp32_{backend}/{len}"), || {
+                black_box(nfm_tensor::kernels::dot_unchecked_on(
+                    backend,
+                    black_box(&a),
+                    black_box(&b),
+                ))
+            });
+        }
+        for pop in nfm_bnn::PopcountBackend::supported() {
+            bench.bench(&format!("dot_product/xnor_{pop}/{len}"), || {
+                black_box(pa.xnor_dot_on(black_box(&pb), pop).unwrap())
+            });
+        }
     }
 }
 

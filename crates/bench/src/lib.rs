@@ -91,6 +91,10 @@ pub struct Bencher {
     options: BenchOptions,
     filter: Option<String>,
     results: Vec<BenchResult>,
+    /// Snapshot metadata (`key` → `value`), serialized as the `meta`
+    /// object of the JSON snapshot — e.g. the kernel dispatch backend
+    /// the measurements ran on.
+    meta: Vec<(String, String)>,
 }
 
 impl Bencher {
@@ -136,6 +140,7 @@ impl Bencher {
                 options,
                 filter,
                 results: Vec::new(),
+                meta: Vec::new(),
             },
             save,
         )
@@ -147,6 +152,19 @@ impl Bencher {
             options,
             filter: None,
             results: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Records a metadata key/value pair for the JSON snapshot's `meta`
+    /// object (last write per key wins).  Used by the snapshot script
+    /// to pin *how* the numbers were measured — e.g.
+    /// `kernel_backend = "avx512"`.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        if let Some(entry) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
         }
     }
 
@@ -334,9 +352,19 @@ impl Bencher {
         }
     }
 
-    /// Serializes every result (plus derived speedups) to a JSON string.
+    /// Serializes every result (plus snapshot metadata and derived
+    /// speedups) to a JSON string.
     pub fn to_json(&self, speedups: &[(&str, &str)]) -> String {
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        let mut out = String::from("{\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{}\": \"{}\"",
+                if i == 0 { "" } else { ", " },
+                escape(k),
+                escape(v)
+            ));
+        }
+        out.push_str("},\n  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
@@ -474,6 +502,22 @@ mod tests {
         let r = b.result("smoke/once").unwrap();
         assert_eq!(r.samples, 1);
         assert_eq!(r.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn meta_lands_in_json_and_last_write_wins() {
+        let mut b = Bencher::with_options(fast_options());
+        b.set_meta("kernel_backend", "scalar");
+        b.set_meta("kernel_backend", "avx2");
+        b.set_meta("popcount_backend", "popcnt");
+        let json = b.to_json(&[]);
+        assert!(json.contains(
+            "\"meta\": {\"kernel_backend\": \"avx2\", \"popcount_backend\": \"popcnt\"}"
+        ));
+        assert!(!json.contains("\"scalar\""));
+        // No meta -> empty object, schema stays stable.
+        let empty = Bencher::with_options(fast_options()).to_json(&[]);
+        assert!(empty.contains("\"meta\": {}"));
     }
 
     #[test]

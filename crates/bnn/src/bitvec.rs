@@ -96,6 +96,12 @@ impl BitVector {
         self.len
     }
 
+    /// The packed word storage (for the crate's popcount kernels).
+    #[inline]
+    pub(crate) fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Returns `true` if the vector holds no signs.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -163,7 +169,11 @@ impl BitVector {
     }
 
     /// Check-free variant of [`BitVector::xnor_dot`] for batched callers
-    /// that validated the operand widths once per gate invocation.
+    /// that validated the operand widths once per gate invocation.  The
+    /// full-word popcounts run on the process-wide
+    /// [`PopcountBackend`](crate::popcount::PopcountBackend) (hardware
+    /// `popcnt` / `vpopcntq` / NEON `cnt` where available); popcounts
+    /// are integer-exact, so the tier never changes the result.
     ///
     /// # Panics
     ///
@@ -174,18 +184,64 @@ impl BitVector {
         if self.len == 0 {
             return 0;
         }
-        let mut agreements: u32 = 0;
         let full_words = self.len / 64;
-        for w in 0..full_words {
-            agreements += (!(self.words[w] ^ other.words[w])).count_ones();
-        }
-        let tail = self.len % 64;
-        if tail > 0 {
-            let mask = (1u64 << tail) - 1;
-            let xnor = !(self.words[full_words] ^ other.words[full_words]) & mask;
-            agreements += xnor.count_ones();
-        }
+        let mut agreements =
+            crate::popcount::xnor_agreements(&self.words[..full_words], &other.words[..full_words]);
+        agreements += self.tail_agreements(other, full_words);
         2 * agreements as i32 - self.len as i32
+    }
+
+    /// [`BitVector::xnor_dot`] with the full-word popcounts forced onto
+    /// an explicit [`PopcountBackend`](crate::popcount::PopcountBackend)
+    /// — the hook the cross-tier equivalence tests and the per-backend
+    /// benches use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnnError::LengthMismatch`] if the operands have
+    /// different lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not supported on this host.
+    pub fn xnor_dot_on(
+        &self,
+        other: &BitVector,
+        backend: crate::popcount::PopcountBackend,
+    ) -> Result<i32> {
+        if self.len != other.len {
+            return Err(BnnError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        if self.len == 0 {
+            // Still validate the backend so an unsupported tier fails
+            // loudly even on empty operands.
+            let _ = crate::popcount::xnor_agreements_on(backend, &[], &[]);
+            return Ok(0);
+        }
+        let full_words = self.len / 64;
+        let mut agreements = crate::popcount::xnor_agreements_on(
+            backend,
+            &self.words[..full_words],
+            &other.words[..full_words],
+        );
+        agreements += self.tail_agreements(other, full_words);
+        Ok(2 * agreements as i32 - self.len as i32)
+    }
+
+    /// Agreements in the `len % 64` tail bits of the last word (zero
+    /// when the length is word-aligned).
+    #[inline]
+    fn tail_agreements(&self, other: &BitVector, full_words: usize) -> u32 {
+        let tail = self.len % 64;
+        if tail == 0 {
+            return 0;
+        }
+        let mask = (1u64 << tail) - 1;
+        let xnor = !(self.words[full_words] ^ other.words[full_words]) & mask;
+        xnor.count_ones()
     }
 
     /// Number of positions where the two vectors disagree (Hamming

@@ -91,6 +91,60 @@ impl BinaryGate {
         self.wx_rows[n].xnor_dot_unchecked(xb) + self.wh_rows[n].xnor_dot_unchecked(hb)
     }
 
+    /// Every neuron's binary output in one call:
+    /// `out[n] = neuron_output(n, xb, hb)` — the whole-gate form the
+    /// memoizing evaluators run every timestep.  One call dispatches
+    /// the popcount tier once and keeps the per-row XNOR-popcounts
+    /// inlined, instead of paying the dispatch boundary twice per
+    /// neuron (mirror rows are only a few words wide, so that overhead
+    /// rivals the popcounts themselves).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the packed inputs or `out` do
+    /// not match the gate's dimensions.
+    pub fn neuron_outputs_into(
+        &self,
+        xb: &BitVector,
+        hb: &BitVector,
+        out: &mut [i32],
+    ) -> Result<()> {
+        if xb.len() != self.input_size {
+            return Err(crate::BnnError::LengthMismatch {
+                left: xb.len(),
+                right: self.input_size,
+            });
+        }
+        if hb.len() != self.hidden_size {
+            return Err(crate::BnnError::LengthMismatch {
+                left: hb.len(),
+                right: self.hidden_size,
+            });
+        }
+        if out.len() != self.neurons() {
+            return Err(crate::BnnError::LengthMismatch {
+                left: out.len(),
+                right: self.neurons(),
+            });
+        }
+        self.neuron_outputs_unchecked_into(xb, hb, out);
+        Ok(())
+    }
+
+    /// Check-free variant of [`BinaryGate::neuron_outputs_into`] for
+    /// callers that validated the widths once per gate invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any dimension does not match.
+    #[inline]
+    pub fn neuron_outputs_unchecked_into(&self, xb: &BitVector, hb: &BitVector, out: &mut [i32]) {
+        debug_assert_eq!(xb.len(), self.input_size);
+        debug_assert_eq!(hb.len(), self.hidden_size);
+        debug_assert_eq!(out.len(), self.neurons());
+        crate::popcount::gate_outputs(&self.wx_rows, &self.wh_rows, xb, hb, out);
+    }
+
     /// Convenience wrapper that binarizes the raw inputs and evaluates
     /// neuron `n` in one call (used by tests and by the software-only
     /// memoization path; the runner-level code binarizes once per gate).
@@ -165,6 +219,31 @@ mod tests {
             let out = b.neuron_output_from_raw(n, &x, &h).unwrap();
             assert!(out.abs() <= b.max_output_magnitude());
         }
+    }
+
+    #[test]
+    fn whole_gate_outputs_match_per_neuron_outputs() {
+        let g = fp_gate(13, 21, 13, 7); // odd sizes: tails + word splits
+        let b = BinaryGate::mirror(&g);
+        let mut rng = DeterministicRng::seed_from_u64(8);
+        let x: Vec<f32> = (0..21).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..13).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let (xb, hb) = b.binarize_inputs(&x, &h);
+        let mut out = vec![0i32; 13];
+        b.neuron_outputs_into(&xb, &hb, &mut out).unwrap();
+        for (n, &o) in out.iter().enumerate() {
+            assert_eq!(o, b.neuron_output(n, &xb, &hb).unwrap(), "neuron {n}");
+        }
+        // Dimension checks.
+        assert!(b
+            .neuron_outputs_into(&BitVector::zeros(20), &hb, &mut out)
+            .is_err());
+        assert!(b
+            .neuron_outputs_into(&xb, &BitVector::zeros(12), &mut out)
+            .is_err());
+        assert!(b
+            .neuron_outputs_into(&xb, &hb, &mut out[..12])
+            .is_err());
     }
 
     #[test]

@@ -34,12 +34,14 @@ pub mod binarize;
 pub mod bitvec;
 pub mod gate;
 pub mod mirror;
+pub mod popcount;
 pub mod probe;
 
 pub use binarize::{binarize_sign, binarize_slice};
 pub use bitvec::BitVector;
 pub use gate::BinaryGate;
 pub use mirror::BinaryNetwork;
+pub use popcount::PopcountBackend;
 pub use probe::{CorrelationProbe, NeuronSeries};
 
 /// Errors produced by binarized-network operations.

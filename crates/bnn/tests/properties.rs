@@ -96,3 +96,56 @@ fn mirror_sign_bits_equal_weight_count() {
         assert_eq!(mirror.gate_count(), net.gates().len());
     }
 }
+
+#[test]
+fn xnor_dot_is_identical_on_every_popcount_tier_around_word_boundaries() {
+    // The dispatch satellite of the SIMD-kernel PR: every popcount tier
+    // the host supports must produce the exact scalar result for widths
+    // straddling the 64-bit word boundary (full-word counts, one-bit
+    // tails, multi-chunk widths that engage the 8-word vpopcntdq loop).
+    use nfm_bnn::PopcountBackend;
+    let widths = [
+        1usize, 7, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 511, 512, 513, 1023,
+        1024, 1025,
+    ];
+    let mut rng = DeterministicRng::seed_from_u64(6);
+    let supported = PopcountBackend::supported();
+    assert!(supported.contains(&PopcountBackend::Scalar));
+    for &len in &widths {
+        let a = vec_f32(&mut rng, len, -3.0, 3.0);
+        let b = vec_f32(&mut rng, len, -3.0, 3.0);
+        let pa = BitVector::from_signs(&a);
+        let pb = BitVector::from_signs(&b);
+        let reference = pa.xnor_dot_on(&pb, PopcountBackend::Scalar).unwrap();
+        assert_eq!(
+            reference,
+            reference_binary_dot(&a, &b),
+            "scalar vs unpacked, len {len}"
+        );
+        assert_eq!(
+            pa.xnor_dot(&pb).unwrap(),
+            reference,
+            "active tier, len {len}"
+        );
+        for &backend in &supported {
+            assert_eq!(
+                pa.xnor_dot_on(&pb, backend).unwrap(),
+                reference,
+                "len {len} backend {backend}"
+            );
+        }
+    }
+}
+
+#[test]
+fn xnor_dot_on_validates_lengths_and_empty_operands() {
+    use nfm_bnn::PopcountBackend;
+    let a = BitVector::from_signs(&[1.0, -1.0, 1.0]);
+    let b = BitVector::from_signs(&[1.0, -1.0]);
+    assert!(a.xnor_dot_on(&b, PopcountBackend::Scalar).is_err());
+    let empty = BitVector::from_signs(&[]);
+    assert_eq!(
+        empty.xnor_dot_on(&empty, PopcountBackend::Scalar).unwrap(),
+        0
+    );
+}

@@ -52,6 +52,9 @@ pub struct BnnMemoEvaluator {
     // Reusable scratch for the batched path (no per-gate allocation).
     xb: BitVector,
     hb: BitVector,
+    // Whole-gate mirror outputs, filled by one dispatched
+    // XNOR-popcount call per gate invocation.
+    yb: Vec<i32>,
     // Per-lane state for multi-sequence batched inference: one memo
     // table per lane plus reusable binarization scratch per lane.
     lane_tables: Vec<MemoTable>,
@@ -91,6 +94,7 @@ impl BnnMemoEvaluator {
             input_cache: None,
             xb: BitVector::zeros(0),
             hb: BitVector::zeros(0),
+            yb: Vec::new(),
             lane_tables: Vec::new(),
             lane_xb: Vec::new(),
             lane_hb: Vec::new(),
@@ -252,13 +256,16 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             return Ok(());
         }
 
-        // Binarize the gate inputs exactly once, into reused storage.
+        // Binarize the gate inputs exactly once, into reused storage,
+        // and evaluate the whole mirror gate in one dispatched
+        // XNOR-popcount call (widths were checked above).
         self.xb.fill_from_signs(x);
         self.hb.fill_from_signs(h_prev);
+        self.yb.resize(gate.neurons(), 0);
+        binary_gate.neuron_outputs_unchecked_into(&self.xb, &self.hb, &mut self.yb);
         let handle = self.table.gate_handle(gate_id, gate.neurons());
         for (n, slot) in out.iter_mut().enumerate() {
-            // Widths were checked above, so the binary dot cannot fail.
-            let yb_t = binary_gate.neuron_output_unchecked(n, &self.xb, &self.hb) as f32;
+            let yb_t = self.yb[n] as f32;
             self.stats.record_bnn_evaluation();
             if let Some(entry) = self.table.entry(handle, n) {
                 let eps_t = relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
@@ -324,12 +331,16 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             let (xb, hb) = (&self.lane_xb[l], &self.lane_hb[l]);
             let x = &xs[l * isz..(l + 1) * isz];
             let h_prev = &h_prevs[l * hsz..(l + 1) * hsz];
+            // One dispatched XNOR-popcount call evaluates the whole
+            // mirror gate for this lane.
+            self.yb.resize(nsz, 0);
+            binary_gate.neuron_outputs_unchecked_into(xb, hb, &mut self.yb);
             let mut reused = 0u64;
             let mut computed = 0u64;
             for (n, slot) in out[l * nsz..(l + 1) * nsz].iter_mut().enumerate() {
                 // Same per-neuron decision sequence as the
                 // single-sequence batched path, against lane `l`'s table.
-                let yb_t = binary_gate.neuron_output_unchecked(n, xb, hb) as f32;
+                let yb_t = self.yb[n] as f32;
                 if let Some(entry) = table.entry(handle, n) {
                     let eps_t =
                         relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);

@@ -195,6 +195,7 @@ pub struct EngineBuilder {
     lanes: usize,
     workers: usize,
     queue_capacity: usize,
+    override_context_cap: usize,
     policy: DeadlinePolicy,
     paused: bool,
 }
@@ -222,6 +223,7 @@ impl EngineBuilder {
             lanes: 4,
             workers: 1,
             queue_capacity: 256,
+            override_context_cap: crate::worker::DEFAULT_OVERRIDE_CONTEXT_CAP,
             policy: DeadlinePolicy::default(),
             paused: false,
         }
@@ -245,6 +247,23 @@ impl EngineBuilder {
     /// [`Engine::submit`] return [`EngineError::QueueFull`].
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Per-worker bound on *idle* execution contexts born from
+    /// per-request threshold overrides (`>= 1`, default 8).  Every
+    /// distinct override θ materializes one context (evaluator + lane
+    /// scheduler) per worker that serves it; idle override contexts
+    /// beyond this cap are evicted least-recently-used first, which
+    /// bounds worker memory under clients sweeping thresholds.
+    /// Registered (model, predictor) combinations are never evicted,
+    /// and eviction never changes results — a re-created context
+    /// resets all per-request state at admission anyway
+    /// (`tests/multi_model_serving.rs` sweeps θ under a tiny cap to
+    /// prove it).  Raise the cap when latency-sensitive traffic reuses
+    /// many override values and the evaluator rebuild matters.
+    pub fn override_context_cap(mut self, cap: usize) -> Self {
+        self.override_context_cap = cap;
         self
     }
 
@@ -276,6 +295,7 @@ impl EngineBuilder {
             ("lanes", self.lanes),
             ("workers", self.workers),
             ("queue_capacity", self.queue_capacity),
+            ("override_context_cap", self.override_context_cap),
         ] {
             if value == 0 {
                 return Err(EngineError::InvalidConfig {
@@ -306,7 +326,7 @@ impl EngineBuilder {
         });
         let mut handles = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
-            let worker = LaneWorker::new(self.lanes, self.policy);
+            let worker = LaneWorker::new(self.lanes, self.policy, self.override_context_cap);
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || worker_loop(shared, worker)));
         }
@@ -316,6 +336,7 @@ impl EngineBuilder {
             handles,
             lanes: self.lanes,
             workers: self.workers,
+            override_context_cap: self.override_context_cap,
             policy: self.policy,
         })
     }
@@ -469,6 +490,7 @@ pub struct Engine {
     handles: Vec<JoinHandle<()>>,
     lanes: usize,
     workers: usize,
+    override_context_cap: usize,
     policy: DeadlinePolicy,
 }
 
@@ -497,6 +519,20 @@ impl Engine {
     /// Bound on waiting submissions.
     pub fn queue_capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// Per-worker bound on idle threshold-override execution contexts
+    /// (see [`EngineBuilder::override_context_cap`]).
+    pub fn override_context_cap(&self) -> usize {
+        self.override_context_cap
+    }
+
+    /// The kernel dispatch tier this process serves with (resolved once
+    /// from CPU detection / `NFM_KERNEL_BACKEND` — see
+    /// [`nfm_tensor::backend`]).  Purely observability: the tier never
+    /// changes results, only throughput.
+    pub fn kernel_backend(&self) -> nfm_tensor::backend::KernelBackend {
+        nfm_tensor::backend::active()
     }
 
     /// The configured deadline policy.

@@ -64,6 +64,7 @@ pub mod runner;
 mod worker;
 
 pub use engine::{Engine, EngineBuilder, EngineError, DEFAULT_MODEL};
+pub use nfm_tensor::backend::KernelBackend;
 pub use registry::{ModelId, ModelRegistry};
 pub use request::{
     CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, Priority, RequestId,

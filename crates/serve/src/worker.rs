@@ -199,16 +199,17 @@ fn harvest_lane_stats(
     })
 }
 
-/// How many execution contexts born from per-request threshold
-/// overrides one worker keeps alive at once.  Registered (model,
-/// predictor) combinations are never evicted — their count is bounded
-/// by the registry — but every distinct override θ materializes its
-/// own context, and clients sweeping thresholds would otherwise grow
-/// worker memory without bound.  Idle override contexts beyond this
+/// Default for how many execution contexts born from per-request
+/// threshold overrides one worker keeps alive at once.  Registered
+/// (model, predictor) combinations are never evicted — their count is
+/// bounded by the registry — but every distinct override θ materializes
+/// its own context, and clients sweeping thresholds would otherwise
+/// grow worker memory without bound.  Idle override contexts beyond the
 /// cap are dropped least-recently-used first; recreating one later is
-/// just an evaluator build (all per-request state is reset at
-/// admission anyway, so eviction never changes results).
-const MAX_IDLE_OVERRIDE_CONTEXTS: usize = 8;
+/// just an evaluator build (all per-request state is reset at admission
+/// anyway, so eviction never changes results).  Tune per engine with
+/// [`EngineBuilder::override_context_cap`](crate::EngineBuilder::override_context_cap).
+pub(crate) const DEFAULT_OVERRIDE_CONTEXT_CAP: usize = 8;
 
 /// The queue-pull callback handed to [`LaneWorker::pump`]: pops the
 /// highest-priority queued request satisfying the worker's
@@ -220,9 +221,13 @@ pub(crate) type PullFn<'a> =
 pub(crate) struct LaneWorker {
     lanes: usize,
     policy: DeadlinePolicy,
+    /// Per-worker bound on idle threshold-override contexts (the
+    /// [`EngineBuilder::override_context_cap`](crate::EngineBuilder::override_context_cap)
+    /// knob).
+    override_context_cap: usize,
     /// Live contexts in creation order (deterministic stepping; one
     /// entry per served combination, override contexts capped by
-    /// [`MAX_IDLE_OVERRIDE_CONTEXTS`]).
+    /// `override_context_cap`).
     contexts: Vec<ExecContext>,
     /// Monotonic routing counter backing context LRU eviction.
     clock: u64,
@@ -230,12 +235,19 @@ pub(crate) struct LaneWorker {
 
 impl LaneWorker {
     /// Builds a worker; contexts appear lazily as resolved requests
-    /// arrive.  The caller guarantees `lanes >= 1`.
-    pub(crate) fn new(lanes: usize, policy: DeadlinePolicy) -> LaneWorker {
+    /// arrive.  The caller guarantees `lanes >= 1` and
+    /// `override_context_cap >= 1`.
+    pub(crate) fn new(
+        lanes: usize,
+        policy: DeadlinePolicy,
+        override_context_cap: usize,
+    ) -> LaneWorker {
         debug_assert!(lanes >= 1);
+        debug_assert!(override_context_cap >= 1);
         LaneWorker {
             lanes,
             policy,
+            override_context_cap,
             contexts: Vec::new(),
             clock: 0,
         }
@@ -289,7 +301,7 @@ impl LaneWorker {
 
     /// Index of the context for `key`, creating it on first use (and
     /// evicting a stale idle threshold-override context when the
-    /// override population outgrows [`MAX_IDLE_OVERRIDE_CONTEXTS`]).
+    /// override population outgrows the configured cap).
     fn context_index(&mut self, q: &QueuedRequest) -> usize {
         self.clock += 1;
         let clock = self.clock;
@@ -324,7 +336,7 @@ impl LaneWorker {
                 .iter()
                 .filter(|c| c.key.threshold_bits.is_some())
                 .count();
-            if overrides < MAX_IDLE_OVERRIDE_CONTEXTS {
+            if overrides < self.override_context_cap {
                 return;
             }
             let victim = self

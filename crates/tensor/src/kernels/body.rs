@@ -1,0 +1,491 @@
+//! Backend-generic kernel loop bodies and the scalar reference ops.
+//!
+//! The only code that differs between dispatch tiers is the innermost
+//! dot-product arithmetic; everything else — row iteration, lane
+//! striping, the 4×4 register tiles, tail handling — is shared.  This
+//! module expresses that split: [`DotOps`] is the per-backend arithmetic
+//! surface, the `*_body` functions are the shared loop nests, and every
+//! per-arch module instantiates the bodies inside `#[target_feature]`
+//! wrappers so the ops inline with the right instruction set enabled.
+//!
+//! # The canonical reduction order
+//!
+//! [`ScalarOps`] **is** the specification.  A dot product is
+//!
+//! 1. eight lane-major accumulators over `chunks_exact(8)`
+//!    (`acc[l] += a[8c + l] * b[8c + l]`, multiply-then-add rounding —
+//!    never FMA),
+//! 2. the fixed pairwise tree [`reduce`],
+//! 3. plus a sequential scalar tail over the `len % 8` remainder.
+//!
+//! Every [`DotOps`] implementation must reproduce this bit-for-bit; the
+//! multi-output ops (`dot2`, `dot_quad`) must make each output equal to
+//! the corresponding single [`DotOps::dot`].  `f32` multiplication and
+//! addition are commutative in their operands, so implementations may
+//! swap operand roles within a lane, but never the order in which a
+//! lane's partial sums combine.
+
+/// Number of independent accumulators in the unrolled dot product.
+pub(crate) const LANES: usize = 8;
+
+/// Tile edge of the register-blocked batched kernels: weight rows and
+/// batch lanes are processed in 4 × 4 tiles, with the lane quad running
+/// through [`DotOps::dot_quad`] so four independent dot products are in
+/// flight per streamed weight row.
+pub(crate) const TILE: usize = 4;
+
+/// The canonical pairwise reduction of the unrolled accumulators.  This
+/// IS the reduction order every kernel and every backend inherits —
+/// SIMD tiers implement the same tree over register lanes.
+#[inline]
+pub(crate) fn reduce(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+/// The per-backend arithmetic surface.
+///
+/// # Safety
+///
+/// Methods may use SIMD intrinsics; the caller must guarantee the CPU
+/// supports the implementation's feature set (the dispatch layer calls
+/// them only through `#[target_feature]` wrappers selected at runtime).
+pub(crate) trait DotOps: Copy {
+    /// Dot product in the canonical reduction order.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support this backend's features; slices must have equal
+    /// lengths.
+    unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Two dot products sharing the `shared` operand:
+    /// `[dot(a0, shared), dot(a1, shared)]`, each bit-identical to
+    /// [`DotOps::dot`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`DotOps::dot`] for every operand.
+    #[inline(always)]
+    unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
+        // SAFETY: forwarded caller contract.
+        unsafe { [self.dot(a0, shared), self.dot(a1, shared)] }
+    }
+
+    /// Four dot products of one shared `row` against four lane vectors:
+    /// `dot_quad(r, a, b, c, d)[i]` is bit-identical to
+    /// `dot(r, [a, b, c, d][i])`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`DotOps::dot`] for every operand.
+    unsafe fn dot_quad(
+        self,
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4];
+}
+
+/// The portable reference implementation (and the autovectorizer's
+/// input when no SIMD tier is selected).
+#[derive(Clone, Copy)]
+pub(crate) struct ScalarOps;
+
+impl DotOps for ScalarOps {
+    #[inline(always)]
+    unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f32; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (pa, pb) in (&mut ca).zip(&mut cb) {
+            for l in 0..LANES {
+                acc[l] += pa[l] * pb[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
+            tail += x * y;
+        }
+        reduce(acc) + tail
+    }
+
+    #[inline(always)]
+    unsafe fn dot_quad(
+        self,
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4] {
+        debug_assert!(
+            row.len() == x0.len()
+                && row.len() == x1.len()
+                && row.len() == x2.len()
+                && row.len() == x3.len()
+        );
+        let mut a0 = [0.0f32; LANES];
+        let mut a1 = [0.0f32; LANES];
+        let mut a2 = [0.0f32; LANES];
+        let mut a3 = [0.0f32; LANES];
+        let mut cr = row.chunks_exact(LANES);
+        let mut c0 = x0.chunks_exact(LANES);
+        let mut c1 = x1.chunks_exact(LANES);
+        let mut c2 = x2.chunks_exact(LANES);
+        let mut c3 = x3.chunks_exact(LANES);
+        for ((((pr, p0), p1), p2), p3) in (&mut cr)
+            .zip(&mut c0)
+            .zip(&mut c1)
+            .zip(&mut c2)
+            .zip(&mut c3)
+        {
+            for l in 0..LANES {
+                a0[l] += pr[l] * p0[l];
+                a1[l] += pr[l] * p1[l];
+                a2[l] += pr[l] * p2[l];
+                a3[l] += pr[l] * p3[l];
+            }
+        }
+        let mut t0 = 0.0f32;
+        let mut t1 = 0.0f32;
+        let mut t2 = 0.0f32;
+        let mut t3 = 0.0f32;
+        for ((((x, y0), y1), y2), y3) in cr
+            .remainder()
+            .iter()
+            .zip(c0.remainder())
+            .zip(c1.remainder())
+            .zip(c2.remainder())
+            .zip(c3.remainder())
+        {
+            t0 += x * y0;
+            t1 += x * y1;
+            t2 += x * y2;
+            t3 += x * y3;
+        }
+        [
+            reduce(a0) + t0,
+            reduce(a1) + t1,
+            reduce(a2) + t2,
+            reduce(a3) + t3,
+        ]
+    }
+}
+
+/// `out[r] = m[r]·x` — rows paired through [`DotOps::dot2`] so wide
+/// tiers keep two accumulator sets in flight per streamed `x`.
+///
+/// # Safety
+///
+/// CPU must support `O`'s features; `m.len() == out.len() * cols` and
+/// `x.len() == cols`.
+#[inline(always)]
+pub(crate) unsafe fn matvec_body<O: DotOps>(
+    o: O,
+    m: &[f32],
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+) {
+    let rows = out.len();
+    let mut r = 0;
+    // SAFETY (all calls below): forwarded caller contract.
+    unsafe {
+        while r + 2 <= rows {
+            let [d0, d1] = o.dot2(
+                &m[r * cols..(r + 1) * cols],
+                &m[(r + 1) * cols..(r + 2) * cols],
+                x,
+            );
+            out[r] = d0;
+            out[r + 1] = d1;
+            r += 2;
+        }
+        if r < rows {
+            out[r] = o.dot(&m[r * cols..(r + 1) * cols], x);
+        }
+    }
+}
+
+/// `out[r] = wx[r]·x + wh[r]·h` in the canonical `fwd + rec` order,
+/// rows paired like [`matvec_body`].
+///
+/// # Safety
+///
+/// CPU must support `O`'s features; operand lengths must be consistent
+/// (`wx.len() == out.len() * xc`, `wh.len() == out.len() * hc`,
+/// `x.len() == xc`, `h.len() == hc`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn dual_matvec_body<O: DotOps>(
+    o: O,
+    wx: &[f32],
+    wh: &[f32],
+    xc: usize,
+    hc: usize,
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) {
+    let rows = out.len();
+    let mut r = 0;
+    // SAFETY (all calls below): forwarded caller contract.
+    unsafe {
+        while r + 2 <= rows {
+            let fwd = o.dot2(
+                &wx[r * xc..(r + 1) * xc],
+                &wx[(r + 1) * xc..(r + 2) * xc],
+                x,
+            );
+            let rec = o.dot2(
+                &wh[r * hc..(r + 1) * hc],
+                &wh[(r + 1) * hc..(r + 2) * hc],
+                h,
+            );
+            // Keep the `fwd + rec` order of Gate::neuron_dot so both
+            // paths are bit-identical.
+            out[r] = fwd[0] + rec[0];
+            out[r + 1] = fwd[1] + rec[1];
+            r += 2;
+        }
+        if r < rows {
+            out[r] = o.dot(&wx[r * xc..(r + 1) * xc], x) + o.dot(&wh[r * hc..(r + 1) * hc], h);
+        }
+    }
+}
+
+/// Lane-striped `out[l*rows + r] = m[r]·xs[l]` — row loop outer so each
+/// weight row streams once, lanes paired through [`DotOps::dot2`].
+///
+/// # Safety
+///
+/// CPU must support `O`'s features; `m.len() == rows * cols`,
+/// `xs.len() == lanes * cols`, `out.len() == lanes * rows`.
+#[inline(always)]
+pub(crate) unsafe fn matmul_body<O: DotOps>(
+    o: O,
+    m: &[f32],
+    rows: usize,
+    cols: usize,
+    xs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) {
+    // SAFETY (all calls below): forwarded caller contract.
+    unsafe {
+        for r in 0..rows {
+            let row = &m[r * cols..(r + 1) * cols];
+            let mut l = 0;
+            while l + 2 <= lanes {
+                let [d0, d1] = o.dot2(
+                    &xs[l * cols..(l + 1) * cols],
+                    &xs[(l + 1) * cols..(l + 2) * cols],
+                    row,
+                );
+                out[l * rows + r] = d0;
+                out[(l + 1) * rows + r] = d1;
+                l += 2;
+            }
+            if l < lanes {
+                out[l * rows + r] = o.dot(row, &xs[l * cols..(l + 1) * cols]);
+            }
+        }
+    }
+}
+
+/// Lane-striped `out[l*rows + r] = base[l*rows + r] + m[r]·xs[l]` (the
+/// hoisted recurrent half); scalar order `base + rec`.
+///
+/// # Safety
+///
+/// Same contract as [`matmul_body`], plus `base.len() == out.len()`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn matmul_add_body<O: DotOps>(
+    o: O,
+    m: &[f32],
+    rows: usize,
+    cols: usize,
+    xs: &[f32],
+    lanes: usize,
+    base: &[f32],
+    out: &mut [f32],
+) {
+    // SAFETY (all calls below): forwarded caller contract.
+    unsafe {
+        for r in 0..rows {
+            let row = &m[r * cols..(r + 1) * cols];
+            let mut l = 0;
+            while l + 2 <= lanes {
+                let [d0, d1] = o.dot2(
+                    &xs[l * cols..(l + 1) * cols],
+                    &xs[(l + 1) * cols..(l + 2) * cols],
+                    row,
+                );
+                let i0 = l * rows + r;
+                let i1 = (l + 1) * rows + r;
+                out[i0] = base[i0] + d0;
+                out[i1] = base[i1] + d1;
+                l += 2;
+            }
+            if l < lanes {
+                let idx = l * rows + r;
+                out[idx] = base[idx] + o.dot(row, &xs[l * cols..(l + 1) * cols]);
+            }
+        }
+    }
+}
+
+/// Lane-striped `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l]` with
+/// register-blocked 4 rows × 4 lanes tiles: within a tile each
+/// weight-row pair is streamed once through [`DotOps::dot_quad`] (four
+/// independent accumulator sets in flight), and the four lanes' input
+/// slices stay hot in L1 across the tile's rows.  Every (row, lane) dot
+/// is independent and runs the shared reduction order, so tiling is
+/// bit-transparent.
+///
+/// # Safety
+///
+/// CPU must support `O`'s features; `wx.len() == rows * xc`,
+/// `wh.len() == rows * hc`, `xs.len() == lanes * xc`,
+/// `hs.len() == lanes * hc`, `out.len() == lanes * rows`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn dual_matmul_body<O: DotOps>(
+    o: O,
+    wx: &[f32],
+    wh: &[f32],
+    rows: usize,
+    xc: usize,
+    hc: usize,
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) {
+    let lane_quads = lanes - lanes % TILE;
+    // SAFETY (all calls below): forwarded caller contract.
+    unsafe {
+        for r0 in (0..rows).step_by(TILE) {
+            let r_hi = (r0 + TILE).min(rows);
+            for l0 in (0..lane_quads).step_by(TILE) {
+                let x = |i: usize| &xs[(l0 + i) * xc..(l0 + i + 1) * xc];
+                let h = |i: usize| &hs[(l0 + i) * hc..(l0 + i + 1) * hc];
+                for r in r0..r_hi {
+                    let rx = &wx[r * xc..(r + 1) * xc];
+                    let rh = &wh[r * hc..(r + 1) * hc];
+                    let fwd = o.dot_quad(rx, x(0), x(1), x(2), x(3));
+                    let rec = o.dot_quad(rh, h(0), h(1), h(2), h(3));
+                    for i in 0..TILE {
+                        // Keep the `fwd + rec` order of Gate::neuron_dot.
+                        out[(l0 + i) * rows + r] = fwd[i] + rec[i];
+                    }
+                }
+            }
+            // Remainder lanes (< TILE of them) fall back to single dots.
+            for l in lane_quads..lanes {
+                let xl = &xs[l * xc..(l + 1) * xc];
+                let hl = &hs[l * hc..(l + 1) * hc];
+                for r in r0..r_hi {
+                    out[l * rows + r] =
+                        o.dot(&wx[r * xc..(r + 1) * xc], xl) + o.dot(&wh[r * hc..(r + 1) * hc], hl);
+                }
+            }
+        }
+    }
+}
+
+/// The scalar tier: safe wrappers instantiating the shared bodies with
+/// [`ScalarOps`] (no intrinsics, so no feature requirements).
+pub(crate) mod scalar {
+    use super::{
+        dual_matmul_body, dual_matvec_body, matmul_add_body, matmul_body, matvec_body, DotOps,
+        ScalarOps,
+    };
+
+    #[inline]
+    pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { ScalarOps.dot(a, b) }
+    }
+
+    #[inline]
+    pub(crate) fn dot_quad(
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4] {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { ScalarOps.dot_quad(row, x0, x1, x2, x3) }
+    }
+
+    #[inline]
+    pub(crate) fn matvec(m: &[f32], cols: usize, x: &[f32], out: &mut [f32]) {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { matvec_body(ScalarOps, m, cols, x, out) }
+    }
+
+    #[inline]
+    pub(crate) fn dual_matvec(
+        wx: &[f32],
+        wh: &[f32],
+        xc: usize,
+        hc: usize,
+        x: &[f32],
+        h: &[f32],
+        out: &mut [f32],
+    ) {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { dual_matvec_body(ScalarOps, wx, wh, xc, hc, x, h, out) }
+    }
+
+    #[inline]
+    pub(crate) fn matmul(
+        m: &[f32],
+        rows: usize,
+        cols: usize,
+        xs: &[f32],
+        lanes: usize,
+        out: &mut [f32],
+    ) {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { matmul_body(ScalarOps, m, rows, cols, xs, lanes, out) }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn matmul_add(
+        m: &[f32],
+        rows: usize,
+        cols: usize,
+        xs: &[f32],
+        lanes: usize,
+        base: &[f32],
+        out: &mut [f32],
+    ) {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { matmul_add_body(ScalarOps, m, rows, cols, xs, lanes, base, out) }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn dual_matmul(
+        wx: &[f32],
+        wh: &[f32],
+        rows: usize,
+        xc: usize,
+        hc: usize,
+        xs: &[f32],
+        hs: &[f32],
+        lanes: usize,
+        out: &mut [f32],
+    ) {
+        // SAFETY: ScalarOps uses no intrinsics.
+        unsafe { dual_matmul_body(ScalarOps, wx, wh, rows, xc, hc, xs, hs, lanes, out) }
+    }
+}

@@ -1,4 +1,4 @@
-//! Fused, allocation-free inference kernels.
+//! Fused, allocation-free inference kernels with runtime SIMD dispatch.
 //!
 //! These are the hot loops of the whole reproduction: every recurrent
 //! gate evaluation reduces to two dense matrix-vector products over the
@@ -6,37 +6,68 @@
 //!
 //! * the caller owns every output buffer (`*_into` signatures — the
 //!   steady-state inference path performs no allocation),
-//! * the inner dot product uses eight independent accumulators over
-//!   `chunks_exact(8)`, which LLVM auto-vectorizes because the partial
-//!   sums carry no loop-to-loop dependency,
-//! * the *reduction order is fixed* and shared by every entry point
-//!   ([`dot_unchecked`] is the single implementation), so the batched
-//!   gate path and the per-neuron fallback produce bit-identical
-//!   results.
+//! * each kernel exists in one scalar reference implementation plus
+//!   hand-written intrinsic tiers (AVX2 / AVX-512 / NEON), selected once
+//!   per process by [`crate::backend::active`] — CPU feature detection
+//!   with an `NFM_KERNEL_BACKEND` override (see [`crate::backend`]),
+//! * the *reduction order is fixed* and shared by every entry point and
+//!   every tier ([`dot_unchecked`]'s eight lane-major accumulators, the
+//!   pairwise reduce tree, a sequential tail, multiply-then-add
+//!   rounding), so the batched gate path, the per-neuron fallback and
+//!   every dispatch tier produce bit-identical results.
 //!
 //! Dimension checks happen once per call, not once per row or element;
-//! the row loops use `chunks_exact` so the optimizer can drop bounds
-//! checks.
+//! the `*_on` variants run a specific [`KernelBackend`] explicitly so a
+//! single process can cross-check every tier the host supports
+//! (`crates/tensor/tests/backend_kernels.rs` pins each tier to the
+//! scalar reference byte for byte).
 
+pub(crate) mod body;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86;
+
+use crate::backend::{self, KernelBackend};
 use crate::error::TensorError;
 use crate::matrix::Matrix;
 use crate::Result;
 
-/// Number of independent accumulators in the unrolled dot product.
-const LANES: usize = 8;
+use body::scalar;
 
-/// Tile edge of the register-blocked batched kernels: weight rows and
-/// batch lanes are processed in 4 × 4 tiles, with the lane quad running
-/// through [`dot_quad_unchecked`] so four independent dot products are
-/// in flight per streamed weight row.
-const TILE: usize = 4;
+/// Routes one kernel call to the given tier's implementation.  The
+/// caller guarantees the tier is supported on this host (`active()`
+/// validates at init; the `*_on` entry points assert explicitly).
+macro_rules! dispatch {
+    ($backend:expr, $name:ident($($arg:expr),* $(,)?)) => {
+        match $backend {
+            KernelBackend::Scalar => scalar::$name($($arg),*),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            // SAFETY: the caller guarantees the tier is supported.
+            KernelBackend::Avx2 => unsafe { x86::avx2::$name($($arg),*) },
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            // SAFETY: the caller guarantees the tier is supported.
+            KernelBackend::Avx512 => unsafe { x86::avx512::$name($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: the caller guarantees the tier is supported.
+            KernelBackend::Neon => unsafe { neon::$name($($arg),*) },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("kernel backend {other} is not compiled for this target"),
+        }
+    };
+}
 
-/// The canonical pairwise reduction of the unrolled accumulators.  This
-/// IS the reduction order every kernel inherits — single-lane and quad
-/// paths both end here, which is what keeps them bit-identical.
-#[inline]
-fn reduce(acc: [f32; LANES]) -> f32 {
-    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+#[track_caller]
+fn assert_supported(backend: KernelBackend) {
+    assert!(
+        backend.is_supported(),
+        "kernel backend {backend} is not supported on this host (supported: {})",
+        KernelBackend::supported()
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
 }
 
 /// Unchecked dot product with a fixed unrolled reduction order.
@@ -51,20 +82,19 @@ fn reduce(acc: [f32; LANES]) -> f32 {
 /// never returns a wrong value silently.
 #[inline]
 pub fn dot_unchecked(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; LANES];
-    let mut ca = a.chunks_exact(LANES);
-    let mut cb = b.chunks_exact(LANES);
-    for (pa, pb) in (&mut ca).zip(&mut cb) {
-        for l in 0..LANES {
-            acc[l] += pa[l] * pb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder().iter()) {
-        tail += x * y;
-    }
-    reduce(acc) + tail
+    dispatch!(backend::active(), dot(a, b))
+}
+
+/// [`dot_unchecked`] on an explicit dispatch tier (tests / benches).
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host, or (possibly) if
+/// the lengths differ.
+#[inline]
+pub fn dot_unchecked_on(backend: KernelBackend, a: &[f32], b: &[f32]) -> f32 {
+    assert_supported(backend);
+    dispatch!(backend, dot(a, b))
 }
 
 /// Four dot products of one shared `row` against four lane vectors at
@@ -74,74 +104,38 @@ pub fn dot_unchecked(a: &[f32], b: &[f32]) -> f32 {
 /// accumulator sets advance in lockstep, so the instruction-level
 /// parallelism per loaded weight is 4x that of [`dot_unchecked`].
 /// Every lane's additions and multiplies happen in exactly
-/// [`dot_unchecked`]'s order (same chunking, same `reduce`, same tail
-/// loop), so `dot_quad_unchecked(r, a, b, c, d)[i]` is bit-identical to
-/// `dot_unchecked(r, [a, b, c, d][i])`.
+/// [`dot_unchecked`]'s order (same chunking, same reduce tree, same
+/// tail loop), so `dot_quad_unchecked(r, a, b, c, d)[i]` is
+/// bit-identical to `dot_unchecked(r, [a, b, c, d][i])` on every
+/// dispatch tier.
 ///
 /// All five slices must have the same length (same contract as
 /// [`dot_unchecked`]).
 #[inline]
 pub fn dot_quad_unchecked(row: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
-    debug_assert!(
-        row.len() == x0.len()
-            && row.len() == x1.len()
-            && row.len() == x2.len()
-            && row.len() == x3.len()
-    );
-    let mut a0 = [0.0f32; LANES];
-    let mut a1 = [0.0f32; LANES];
-    let mut a2 = [0.0f32; LANES];
-    let mut a3 = [0.0f32; LANES];
-    let mut cr = row.chunks_exact(LANES);
-    let mut c0 = x0.chunks_exact(LANES);
-    let mut c1 = x1.chunks_exact(LANES);
-    let mut c2 = x2.chunks_exact(LANES);
-    let mut c3 = x3.chunks_exact(LANES);
-    for ((((pr, p0), p1), p2), p3) in (&mut cr)
-        .zip(&mut c0)
-        .zip(&mut c1)
-        .zip(&mut c2)
-        .zip(&mut c3)
-    {
-        for l in 0..LANES {
-            a0[l] += pr[l] * p0[l];
-            a1[l] += pr[l] * p1[l];
-            a2[l] += pr[l] * p2[l];
-            a3[l] += pr[l] * p3[l];
-        }
-    }
-    let mut t0 = 0.0f32;
-    let mut t1 = 0.0f32;
-    let mut t2 = 0.0f32;
-    let mut t3 = 0.0f32;
-    for ((((x, y0), y1), y2), y3) in cr
-        .remainder()
-        .iter()
-        .zip(c0.remainder())
-        .zip(c1.remainder())
-        .zip(c2.remainder())
-        .zip(c3.remainder())
-    {
-        t0 += x * y0;
-        t1 += x * y1;
-        t2 += x * y2;
-        t3 += x * y3;
-    }
-    [
-        reduce(a0) + t0,
-        reduce(a1) + t1,
-        reduce(a2) + t2,
-        reduce(a3) + t3,
-    ]
+    dispatch!(backend::active(), dot_quad(row, x0, x1, x2, x3))
 }
 
-/// Matrix-vector product into a caller-owned buffer: `out = m * x`.
+/// [`dot_quad_unchecked`] on an explicit dispatch tier.
 ///
-/// # Errors
+/// # Panics
 ///
-/// Returns [`TensorError::ShapeMismatch`] if `x.len() != m.cols()` or
-/// [`TensorError::LengthMismatch`] if `out.len() != m.rows()`.
-pub fn matvec_into(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<()> {
+/// Panics if `backend` is not supported on this host, or (possibly) if
+/// the lengths differ.
+#[inline]
+pub fn dot_quad_unchecked_on(
+    backend: KernelBackend,
+    row: &[f32],
+    x0: &[f32],
+    x1: &[f32],
+    x2: &[f32],
+    x3: &[f32],
+) -> [f32; 4] {
+    assert_supported(backend);
+    dispatch!(backend, dot_quad(row, x0, x1, x2, x3))
+}
+
+fn validate_matvec(m: &Matrix, x: &[f32], out: &[f32]) -> Result<()> {
     if x.len() != m.cols() {
         return Err(TensorError::ShapeMismatch {
             rows: m.rows(),
@@ -157,31 +151,43 @@ pub fn matvec_into(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<()> {
             op: "matvec_into",
         });
     }
-    let cols = m.cols().max(1);
-    for (row, o) in m.as_slice().chunks_exact(cols).zip(out.iter_mut()) {
-        *o = dot_unchecked(row, x);
-    }
     Ok(())
 }
 
-/// Fused dual matrix-vector product into a caller-owned buffer:
-/// `out[n] = wx[n]·x + wh[n]·h` — the pre-activation dot product of every
-/// neuron of a recurrent gate, without bias.
-///
-/// This is the batched form of the quantity the paper's fuzzy
-/// memoization scheme decides to compute or reuse, so it is exactly what
-/// the exact (baseline) evaluator runs per gate per timestep.
+/// Matrix-vector product into a caller-owned buffer: `out = m * x`.
 ///
 /// # Errors
 ///
-/// Returns a shape/length error if the operand widths are inconsistent.
-pub fn dual_matvec_into(
-    wx: &Matrix,
-    wh: &Matrix,
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != m.cols()` or
+/// [`TensorError::LengthMismatch`] if `out.len() != m.rows()`.
+pub fn matvec_into(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<()> {
+    validate_matvec(m, x, out)?;
+    dispatch!(backend::active(), matvec(m.as_slice(), m.cols(), x, out));
+    Ok(())
+}
+
+/// [`matvec_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`matvec_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn matvec_into_on(
+    backend: KernelBackend,
+    m: &Matrix,
     x: &[f32],
-    h: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
+    assert_supported(backend);
+    validate_matvec(m, x, out)?;
+    dispatch!(backend, matvec(m.as_slice(), m.cols(), x, out));
+    Ok(())
+}
+
+fn validate_dual_matvec(wx: &Matrix, wh: &Matrix, x: &[f32], h: &[f32], out: &[f32]) -> Result<()> {
     if x.len() != wx.cols() {
         return Err(TensorError::ShapeMismatch {
             rows: wx.rows(),
@@ -205,39 +211,80 @@ pub fn dual_matvec_into(
             op: "dual_matvec_into(out)",
         });
     }
-    let xc = wx.cols().max(1);
-    let hc = wh.cols().max(1);
-    for ((rx, rh), o) in wx
-        .as_slice()
-        .chunks_exact(xc)
-        .zip(wh.as_slice().chunks_exact(hc))
-        .zip(out.iter_mut())
-    {
-        // Keep the `fwd + rec` order of Gate::neuron_dot so both paths
-        // are bit-identical.
-        *o = dot_unchecked(rx, x) + dot_unchecked(rh, h);
-    }
     Ok(())
 }
 
-/// Lane-striped matrix-matrix product into a caller-owned buffer:
-/// `out[l*rows + r] = m[r]·xs[l]` for `l in 0..lanes`.
+/// Fused dual matrix-vector product into a caller-owned buffer:
+/// `out[n] = wx[n]·x + wh[n]·h` — the pre-activation dot product of every
+/// neuron of a recurrent gate, without bias.
 ///
-/// `xs` holds `lanes` input vectors back to back (`lanes * m.cols()`
-/// values, lane-striped), `out` holds `lanes` output vectors back to
-/// back (`lanes * m.rows()`).  The row loop is *outer* and the lane loop
-/// *inner*, so every weight row is streamed from memory exactly once and
-/// then reused for all lanes — this is what turns the memory-bound
-/// per-sequence matvec into a compute-dense kernel under batch>1
-/// serving.  Each `(row, lane)` product goes through [`dot_unchecked`],
-/// so lane `l` of a batch is bit-identical to a single-sequence
-/// [`matvec_into`] over the same vector.
+/// This is the batched form of the quantity the paper's fuzzy
+/// memoization scheme decides to compute or reuse, so it is exactly what
+/// the exact (baseline) evaluator runs per gate per timestep.  The
+/// scalar order is `fwd + rec` (the order of `Gate::neuron_dot`) on
+/// every dispatch tier.
 ///
 /// # Errors
 ///
-/// Returns a shape/length error if `xs.len() != lanes * m.cols()` or
-/// `out.len() != lanes * m.rows()`.
-pub fn matmul_into(m: &Matrix, xs: &[f32], lanes: usize, out: &mut [f32]) -> Result<()> {
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn dual_matvec_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    validate_dual_matvec(wx, wh, x, h, out)?;
+    dispatch!(
+        backend::active(),
+        dual_matvec(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.cols(),
+            wh.cols(),
+            x,
+            h,
+            out
+        )
+    );
+    Ok(())
+}
+
+/// [`dual_matvec_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`dual_matvec_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn dual_matvec_into_on(
+    backend: KernelBackend,
+    wx: &Matrix,
+    wh: &Matrix,
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    assert_supported(backend);
+    validate_dual_matvec(wx, wh, x, h, out)?;
+    dispatch!(
+        backend,
+        dual_matvec(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.cols(),
+            wh.cols(),
+            x,
+            h,
+            out
+        )
+    );
+    Ok(())
+}
+
+fn validate_matmul(m: &Matrix, xs: &[f32], lanes: usize, out: &[f32]) -> Result<()> {
     if xs.len() != lanes * m.cols() {
         return Err(TensorError::ShapeMismatch {
             rows: m.rows(),
@@ -253,35 +300,67 @@ pub fn matmul_into(m: &Matrix, xs: &[f32], lanes: usize, out: &mut [f32]) -> Res
             op: "matmul_into",
         });
     }
-    let rows = m.rows();
-    let cols = m.cols().max(1);
-    for (r, row) in m.as_slice().chunks_exact(cols).enumerate() {
-        for l in 0..lanes {
-            out[l * rows + r] = dot_unchecked(row, &xs[l * cols..(l + 1) * cols]);
-        }
-    }
     Ok(())
 }
 
-/// Lane-striped dual matrix-matrix product:
-/// `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l]`.
+/// Lane-striped matrix-matrix product into a caller-owned buffer:
+/// `out[l*rows + r] = m[r]·xs[l]` for `l in 0..lanes`.
 ///
-/// The batched form of [`dual_matvec_into`]: both weight rows of a
-/// neuron are streamed once and reused across all `lanes` sequences.
-/// The per-lane scalar order is `fwd + rec` with [`dot_unchecked`] for
-/// each half, so every lane is bit-identical to the single-sequence
-/// path.
+/// `xs` holds `lanes` input vectors back to back (`lanes * m.cols()`
+/// values, lane-striped), `out` holds `lanes` output vectors back to
+/// back (`lanes * m.rows()`).  The row loop is *outer* and the lane loop
+/// *inner*, so every weight row is streamed from memory exactly once and
+/// then reused for all lanes — this is what turns the memory-bound
+/// per-sequence matvec into a compute-dense kernel under batch>1
+/// serving.  Each `(row, lane)` product runs [`dot_unchecked`]'s
+/// reduction order, so lane `l` of a batch is bit-identical to a
+/// single-sequence [`matvec_into`] over the same vector.
 ///
 /// # Errors
 ///
-/// Returns a shape/length error if the operand widths are inconsistent.
-pub fn dual_matmul_into(
+/// Returns a shape/length error if `xs.len() != lanes * m.cols()` or
+/// `out.len() != lanes * m.rows()`.
+pub fn matmul_into(m: &Matrix, xs: &[f32], lanes: usize, out: &mut [f32]) -> Result<()> {
+    validate_matmul(m, xs, lanes, out)?;
+    dispatch!(
+        backend::active(),
+        matmul(m.as_slice(), m.rows(), m.cols(), xs, lanes, out)
+    );
+    Ok(())
+}
+
+/// [`matmul_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`matmul_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn matmul_into_on(
+    backend: KernelBackend,
+    m: &Matrix,
+    xs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    assert_supported(backend);
+    validate_matmul(m, xs, lanes, out)?;
+    dispatch!(
+        backend,
+        matmul(m.as_slice(), m.rows(), m.cols(), xs, lanes, out)
+    );
+    Ok(())
+}
+
+fn validate_dual_matmul(
     wx: &Matrix,
     wh: &Matrix,
     xs: &[f32],
     hs: &[f32],
     lanes: usize,
-    out: &mut [f32],
+    out: &[f32],
 ) -> Result<()> {
     if xs.len() != lanes * wx.cols() {
         return Err(TensorError::ShapeMismatch {
@@ -306,44 +385,107 @@ pub fn dual_matmul_into(
             op: "dual_matmul_into(out)",
         });
     }
-    let rows = wx.rows();
-    let xc = wx.cols();
-    let hc = wh.cols();
-    let wxs = wx.as_slice();
-    let whs = wh.as_slice();
-    // Register-blocked 4 rows x 4 lanes tiles: within a tile each
-    // weight-row pair is streamed once through the quad-dot kernel (four
-    // independent accumulator sets in flight), and the four lanes' input
-    // slices stay hot in L1 across the tile's rows.  Every (row, lane)
-    // dot is independent and runs the shared reduction order, so tiling
-    // is bit-transparent — lane `l` stays bit-identical to the
-    // single-sequence [`dual_matvec_into`].
-    let lane_quads = lanes - lanes % TILE;
-    for r0 in (0..rows).step_by(TILE) {
-        let r_hi = (r0 + TILE).min(rows);
-        for l0 in (0..lane_quads).step_by(TILE) {
-            let x = |i: usize| &xs[(l0 + i) * xc..(l0 + i + 1) * xc];
-            let h = |i: usize| &hs[(l0 + i) * hc..(l0 + i + 1) * hc];
-            for r in r0..r_hi {
-                let rx = &wxs[r * xc..(r + 1) * xc];
-                let rh = &whs[r * hc..(r + 1) * hc];
-                let fwd = dot_quad_unchecked(rx, x(0), x(1), x(2), x(3));
-                let rec = dot_quad_unchecked(rh, h(0), h(1), h(2), h(3));
-                for i in 0..TILE {
-                    // Keep the `fwd + rec` order of Gate::neuron_dot.
-                    out[(l0 + i) * rows + r] = fwd[i] + rec[i];
-                }
-            }
-        }
-        // Remainder lanes (< TILE of them) fall back to the scalar pair.
-        for l in lane_quads..lanes {
-            let xl = &xs[l * xc..(l + 1) * xc];
-            let hl = &hs[l * hc..(l + 1) * hc];
-            for r in r0..r_hi {
-                out[l * rows + r] = dot_unchecked(&wxs[r * xc..(r + 1) * xc], xl)
-                    + dot_unchecked(&whs[r * hc..(r + 1) * hc], hl);
-            }
-        }
+    Ok(())
+}
+
+/// Lane-striped dual matrix-matrix product:
+/// `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l]`.
+///
+/// The batched form of [`dual_matvec_into`]: both weight rows of a
+/// neuron are streamed once and reused across all `lanes` sequences, in
+/// register-blocked 4 rows × 4 lanes tiles driven by
+/// [`dot_quad_unchecked`]'s accumulator sets.  The per-lane scalar order
+/// is `fwd + rec` with [`dot_unchecked`]'s reduction for each half, so
+/// every lane is bit-identical to the single-sequence path on every
+/// dispatch tier.
+///
+/// # Errors
+///
+/// Returns a shape/length error if the operand widths are inconsistent.
+pub fn dual_matmul_into(
+    wx: &Matrix,
+    wh: &Matrix,
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    validate_dual_matmul(wx, wh, xs, hs, lanes, out)?;
+    dispatch!(
+        backend::active(),
+        dual_matmul(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.rows(),
+            wx.cols(),
+            wh.cols(),
+            xs,
+            hs,
+            lanes,
+            out,
+        )
+    );
+    Ok(())
+}
+
+/// [`dual_matmul_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`dual_matmul_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn dual_matmul_into_on(
+    backend: KernelBackend,
+    wx: &Matrix,
+    wh: &Matrix,
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    assert_supported(backend);
+    validate_dual_matmul(wx, wh, xs, hs, lanes, out)?;
+    dispatch!(
+        backend,
+        dual_matmul(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.rows(),
+            wx.cols(),
+            wh.cols(),
+            xs,
+            hs,
+            lanes,
+            out,
+        )
+    );
+    Ok(())
+}
+
+fn validate_matmul_add(
+    m: &Matrix,
+    xs: &[f32],
+    lanes: usize,
+    base: &[f32],
+    out: &[f32],
+) -> Result<()> {
+    if xs.len() != lanes * m.cols() {
+        return Err(TensorError::ShapeMismatch {
+            rows: m.rows(),
+            cols: m.cols(),
+            vec_len: xs.len(),
+            op: "matmul_add_into",
+        });
+    }
+    if out.len() != lanes * m.rows() || base.len() != out.len() {
+        return Err(TensorError::LengthMismatch {
+            left: base.len().min(out.len()),
+            right: lanes * m.rows(),
+            op: "matmul_add_into(out)",
+        });
     }
     Ok(())
 }
@@ -369,29 +511,37 @@ pub fn matmul_add_into(
     base: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
-    if xs.len() != lanes * m.cols() {
-        return Err(TensorError::ShapeMismatch {
-            rows: m.rows(),
-            cols: m.cols(),
-            vec_len: xs.len(),
-            op: "matmul_add_into",
-        });
-    }
-    if out.len() != lanes * m.rows() || base.len() != out.len() {
-        return Err(TensorError::LengthMismatch {
-            left: base.len().min(out.len()),
-            right: lanes * m.rows(),
-            op: "matmul_add_into(out)",
-        });
-    }
-    let rows = m.rows();
-    let cols = m.cols().max(1);
-    for (r, row) in m.as_slice().chunks_exact(cols).enumerate() {
-        for l in 0..lanes {
-            let idx = l * rows + r;
-            out[idx] = base[idx] + dot_unchecked(row, &xs[l * cols..(l + 1) * cols]);
-        }
-    }
+    validate_matmul_add(m, xs, lanes, base, out)?;
+    dispatch!(
+        backend::active(),
+        matmul_add(m.as_slice(), m.rows(), m.cols(), xs, lanes, base, out)
+    );
+    Ok(())
+}
+
+/// [`matmul_add_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`matmul_add_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn matmul_add_into_on(
+    backend: KernelBackend,
+    m: &Matrix,
+    xs: &[f32],
+    lanes: usize,
+    base: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    assert_supported(backend);
+    validate_matmul_add(m, xs, lanes, base, out)?;
+    dispatch!(
+        backend,
+        matmul_add(m.as_slice(), m.rows(), m.cols(), xs, lanes, base, out)
+    );
     Ok(())
 }
 
@@ -399,7 +549,8 @@ pub fn matmul_add_into(
 /// `out[l*rows + r] = wx[r]·xs[l] + wh[r]·hs[l] + bias[r]`.
 ///
 /// The batched form of [`gate_preact_into`]; the bias is added after the
-/// dual product exactly as in the single-sequence kernel.
+/// dual product exactly as in the single-sequence kernel (element-wise,
+/// so the addition is bit-identical on every tier).
 ///
 /// # Errors
 ///
@@ -413,7 +564,30 @@ pub fn gate_preact_batch_into(
     lanes: usize,
     out: &mut [f32],
 ) -> Result<()> {
-    dual_matmul_into(wx, wh, xs, hs, lanes, out)?;
+    gate_preact_batch_into_on(backend::active(), wx, wh, bias, xs, hs, lanes, out)
+}
+
+/// [`gate_preact_batch_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`gate_preact_batch_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+#[allow(clippy::too_many_arguments)]
+pub fn gate_preact_batch_into_on(
+    backend: KernelBackend,
+    wx: &Matrix,
+    wh: &Matrix,
+    bias: &[f32],
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    validate_dual_matmul(wx, wh, xs, hs, lanes, out)?;
     if bias.len() != wx.rows() {
         return Err(TensorError::LengthMismatch {
             left: bias.len(),
@@ -421,6 +595,21 @@ pub fn gate_preact_batch_into(
             op: "gate_preact_batch_into(bias)",
         });
     }
+    assert_supported(backend);
+    dispatch!(
+        backend,
+        dual_matmul(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.rows(),
+            wx.cols(),
+            wh.cols(),
+            xs,
+            hs,
+            lanes,
+            out,
+        )
+    );
     let rows = wx.rows();
     for l in 0..lanes {
         for (o, b) in out[l * rows..(l + 1) * rows].iter_mut().zip(bias.iter()) {
@@ -444,7 +633,28 @@ pub fn gate_preact_into(
     h: &[f32],
     out: &mut [f32],
 ) -> Result<()> {
-    dual_matvec_into(wx, wh, x, h, out)?;
+    gate_preact_into_on(backend::active(), wx, wh, bias, x, h, out)
+}
+
+/// [`gate_preact_into`] on an explicit dispatch tier.
+///
+/// # Errors
+///
+/// Same as [`gate_preact_into`].
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub fn gate_preact_into_on(
+    backend: KernelBackend,
+    wx: &Matrix,
+    wh: &Matrix,
+    bias: &[f32],
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    validate_dual_matvec(wx, wh, x, h, out)?;
     if bias.len() != out.len() {
         return Err(TensorError::LengthMismatch {
             left: bias.len(),
@@ -452,6 +662,19 @@ pub fn gate_preact_into(
             op: "gate_preact_into(bias)",
         });
     }
+    assert_supported(backend);
+    dispatch!(
+        backend,
+        dual_matvec(
+            wx.as_slice(),
+            wh.as_slice(),
+            wx.cols(),
+            wh.cols(),
+            x,
+            h,
+            out
+        )
+    );
     for (o, b) in out.iter_mut().zip(bias.iter()) {
         *o += b;
     }
@@ -494,6 +717,37 @@ mod tests {
             .map(|(&x, &y)| x as f64 * y as f64)
             .sum();
         assert!((dot_unchecked(&a, &b) as f64 - reference).abs() < 1e-3);
+    }
+
+    #[test]
+    fn every_supported_backend_matches_scalar_dot_bitwise() {
+        // The exhaustive per-kernel suite lives in
+        // tests/backend_kernels.rs; this is the in-crate smoke check.
+        let mut rng = DeterministicRng::seed_from_u64(21);
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 250] {
+            let a: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let reference = dot_unchecked_on(KernelBackend::Scalar, &a, &b);
+            for backend in KernelBackend::supported() {
+                assert_eq!(
+                    dot_unchecked_on(backend, &a, &b).to_bits(),
+                    reference.to_bits(),
+                    "len {len} backend {backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported on this host")]
+    fn explicit_unsupported_backend_panics() {
+        // At most one of these two can exist on any one target.
+        let foreign = if cfg!(target_arch = "aarch64") {
+            KernelBackend::Avx2
+        } else {
+            KernelBackend::Neon
+        };
+        let _ = dot_unchecked_on(foreign, &[1.0], &[1.0]);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! NEON kernel tier (aarch64).
+//!
+//! The canonical eight lane-major accumulators are represented as two
+//! 128-bit registers — `acc_lo` holds lanes 0–3, `acc_hi` lanes 4–7 —
+//! advanced with `vmulq`/`vaddq` (multiply-then-add, never `vfmaq`: the
+//! scalar reference rounds twice per element).  The final reduction
+//! implements the same pairwise tree as the scalar
+//! [`super::body::reduce`], and the `len % 8` tail runs the same
+//! sequential scalar loop, so results are bit-identical to the scalar
+//! tier.
+//!
+//! This module compiles only on aarch64; it is exercised by the same
+//! per-backend test suites that pin the x86 tiers
+//! (`crates/tensor/tests/backend_kernels.rs` runs every backend in
+//! `KernelBackend::supported()`).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::aarch64::*;
+
+use super::body::DotOps;
+
+/// The canonical pairwise reduce tree over the split accumulator pair:
+/// bit-identical to `body::reduce([lo0..lo3, hi0..hi3])`.
+///
+/// # Safety
+///
+/// Requires `neon`.
+#[inline(always)]
+unsafe fn reduce8(acc_lo: float32x4_t, acc_hi: float32x4_t) -> f32 {
+    // [l0+h0, l1+h1, l2+h2, l3+h3] == [v0+v4, v1+v5, v2+v6, v3+v7]
+    let s = vaddq_f32(acc_lo, acc_hi);
+    // [(v0+v4)+(v2+v6), (v1+v5)+(v3+v7)]
+    let d = vadd_f32(vget_low_f32(s), vget_high_f32(s));
+    // ((v0+v4)+(v2+v6)) + ((v1+v5)+(v3+v7))
+    vget_lane_f32::<0>(vpadd_f32(d, d))
+}
+
+/// Sequential scalar tail over `[from..len)`, shared with every tier.
+#[inline(always)]
+unsafe fn tail_dot(a: *const f32, b: *const f32, from: usize, len: usize) -> f32 {
+    let mut tail = 0.0f32;
+    for i in from..len {
+        tail += *a.add(i) * *b.add(i);
+    }
+    tail
+}
+
+/// One accumulator pair advanced by one 8-element chunk.
+#[inline(always)]
+unsafe fn step(
+    acc: (float32x4_t, float32x4_t),
+    a: *const f32,
+    b: *const f32,
+    at: usize,
+) -> (float32x4_t, float32x4_t) {
+    let lo = vaddq_f32(acc.0, vmulq_f32(vld1q_f32(a.add(at)), vld1q_f32(b.add(at))));
+    let hi = vaddq_f32(
+        acc.1,
+        vmulq_f32(vld1q_f32(a.add(at + 4)), vld1q_f32(b.add(at + 4))),
+    );
+    (lo, hi)
+}
+
+#[derive(Clone, Copy)]
+struct NeonOps;
+
+impl DotOps for NeonOps {
+    #[inline(always)]
+    unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let zero = vdupq_n_f32(0.0);
+        let mut acc = (zero, zero);
+        for c in 0..chunks {
+            acc = step(acc, pa, pb, c * 8);
+        }
+        reduce8(acc.0, acc.1) + tail_dot(pa, pb, chunks * 8, n)
+    }
+
+    #[inline(always)]
+    unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
+        debug_assert!(a0.len() == shared.len() && a1.len() == shared.len());
+        let n = shared.len();
+        let chunks = n / 8;
+        let p0 = a0.as_ptr();
+        let p1 = a1.as_ptr();
+        let ps = shared.as_ptr();
+        let zero = vdupq_n_f32(0.0);
+        let mut acc0 = (zero, zero);
+        let mut acc1 = (zero, zero);
+        for c in 0..chunks {
+            let at = c * 8;
+            let s_lo = vld1q_f32(ps.add(at));
+            let s_hi = vld1q_f32(ps.add(at + 4));
+            acc0 = (
+                vaddq_f32(acc0.0, vmulq_f32(vld1q_f32(p0.add(at)), s_lo)),
+                vaddq_f32(acc0.1, vmulq_f32(vld1q_f32(p0.add(at + 4)), s_hi)),
+            );
+            acc1 = (
+                vaddq_f32(acc1.0, vmulq_f32(vld1q_f32(p1.add(at)), s_lo)),
+                vaddq_f32(acc1.1, vmulq_f32(vld1q_f32(p1.add(at + 4)), s_hi)),
+            );
+        }
+        [
+            reduce8(acc0.0, acc0.1) + tail_dot(p0, ps, chunks * 8, n),
+            reduce8(acc1.0, acc1.1) + tail_dot(p1, ps, chunks * 8, n),
+        ]
+    }
+
+    #[inline(always)]
+    unsafe fn dot_quad(
+        self,
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4] {
+        debug_assert!(
+            row.len() == x0.len()
+                && row.len() == x1.len()
+                && row.len() == x2.len()
+                && row.len() == x3.len()
+        );
+        let n = row.len();
+        let chunks = n / 8;
+        let pr = row.as_ptr();
+        let px = [x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr()];
+        let zero = vdupq_n_f32(0.0);
+        let mut acc = [(zero, zero); 4];
+        for c in 0..chunks {
+            let at = c * 8;
+            let r_lo = vld1q_f32(pr.add(at));
+            let r_hi = vld1q_f32(pr.add(at + 4));
+            for (a, p) in acc.iter_mut().zip(px.iter()) {
+                *a = (
+                    vaddq_f32(a.0, vmulq_f32(r_lo, vld1q_f32(p.add(at)))),
+                    vaddq_f32(a.1, vmulq_f32(r_hi, vld1q_f32(p.add(at + 4)))),
+                );
+            }
+        }
+        [
+            reduce8(acc[0].0, acc[0].1) + tail_dot(pr, px[0], chunks * 8, n),
+            reduce8(acc[1].0, acc[1].1) + tail_dot(pr, px[1], chunks * 8, n),
+            reduce8(acc[2].0, acc[2].1) + tail_dot(pr, px[2], chunks * 8, n),
+            reduce8(acc[3].0, acc[3].1) + tail_dot(pr, px[3], chunks * 8, n),
+        ]
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    crate::kernels::body::DotOps::dot(NeonOps, a, b)
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot_quad(
+    row: &[f32],
+    x0: &[f32],
+    x1: &[f32],
+    x2: &[f32],
+    x3: &[f32],
+) -> [f32; 4] {
+    crate::kernels::body::DotOps::dot_quad(NeonOps, row, x0, x1, x2, x3)
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn matvec(m: &[f32], cols: usize, x: &[f32], out: &mut [f32]) {
+    crate::kernels::body::matvec_body(NeonOps, m, cols, x, out)
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dual_matvec(
+    wx: &[f32],
+    wh: &[f32],
+    xc: usize,
+    hc: usize,
+    x: &[f32],
+    h: &[f32],
+    out: &mut [f32],
+) {
+    crate::kernels::body::dual_matvec_body(NeonOps, wx, wh, xc, hc, x, h, out)
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn matmul(
+    m: &[f32],
+    rows: usize,
+    cols: usize,
+    xs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) {
+    crate::kernels::body::matmul_body(NeonOps, m, rows, cols, xs, lanes, out)
+}
+
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn matmul_add(
+    m: &[f32],
+    rows: usize,
+    cols: usize,
+    xs: &[f32],
+    lanes: usize,
+    base: &[f32],
+    out: &mut [f32],
+) {
+    crate::kernels::body::matmul_add_body(NeonOps, m, rows, cols, xs, lanes, base, out)
+}
+
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn dual_matmul(
+    wx: &[f32],
+    wh: &[f32],
+    rows: usize,
+    xc: usize,
+    hc: usize,
+    xs: &[f32],
+    hs: &[f32],
+    lanes: usize,
+    out: &mut [f32],
+) {
+    crate::kernels::body::dual_matmul_body(NeonOps, wx, wh, rows, xc, hc, xs, hs, lanes, out)
+}

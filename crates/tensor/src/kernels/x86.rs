@@ -1,0 +1,272 @@
+//! AVX2 and AVX-512 kernel tiers (x86 / x86-64).
+//!
+//! Both tiers reproduce the scalar reduction order exactly (see
+//! [`super::body`]): a 256-bit register holds the eight canonical
+//! lane-major accumulators, one `loadu → mul → add` per 8-element chunk
+//! (multiply-then-add, never FMA — the scalar reference rounds twice),
+//! then [`reduce8`] implements the same pairwise tree the scalar
+//! [`super::body::reduce`] computes, and the `len % 8` tail runs the
+//! same sequential scalar loop.
+//!
+//! The AVX-512 tier cannot widen a *single* accumulator chain past
+//! eight lanes without changing the reduction order, so it spends its
+//! width on **pairs**: [`Avx512Ops::dot2`] packs two independent
+//! 8-lane accumulator sets into one `zmm` (two outputs per streamed
+//! shared operand), and [`Avx512Ops::dot_quad`] packs four into two
+//! `zmm`s.  Each 256-bit half evolves exactly like the scalar
+//! accumulator array, so bit-identity is preserved per output.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+use super::body::DotOps;
+
+/// The canonical pairwise reduce tree over a 256-bit accumulator:
+/// bit-identical to `body::reduce([v0..v7])`.
+///
+/// # Safety
+///
+/// Requires `avx`.
+#[inline(always)]
+unsafe fn reduce8(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    // [v0+v4, v1+v5, v2+v6, v3+v7]
+    let s = _mm_add_ps(lo, hi);
+    // [(v0+v4)+(v2+v6), (v1+v5)+(v3+v7), ..]
+    let t = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    // ((v0+v4)+(v2+v6)) + ((v1+v5)+(v3+v7))
+    let r = _mm_add_ss(t, _mm_shuffle_ps::<0b01>(t, t));
+    _mm_cvtss_f32(r)
+}
+
+/// Sequential scalar tail over `[from..len)`, shared by every tier.
+#[inline(always)]
+unsafe fn tail_dot(a: *const f32, b: *const f32, from: usize, len: usize) -> f32 {
+    let mut tail = 0.0f32;
+    for i in from..len {
+        tail += *a.add(i) * *b.add(i);
+    }
+    tail
+}
+
+/// 256-bit tier.
+#[derive(Clone, Copy)]
+struct Avx2Ops;
+
+impl DotOps for Avx2Ops {
+    #[inline(always)]
+    unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(pa.add(c * 8));
+            let vb = _mm256_loadu_ps(pb.add(c * 8));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        reduce8(acc) + tail_dot(pa, pb, chunks * 8, n)
+    }
+
+    #[inline(always)]
+    unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
+        debug_assert!(a0.len() == shared.len() && a1.len() == shared.len());
+        let n = shared.len();
+        let chunks = n / 8;
+        let p0 = a0.as_ptr();
+        let p1 = a1.as_ptr();
+        let ps = shared.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let vs = _mm256_loadu_ps(ps.add(c * 8));
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_loadu_ps(p0.add(c * 8)), vs));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_loadu_ps(p1.add(c * 8)), vs));
+        }
+        [
+            reduce8(acc0) + tail_dot(p0, ps, chunks * 8, n),
+            reduce8(acc1) + tail_dot(p1, ps, chunks * 8, n),
+        ]
+    }
+
+    #[inline(always)]
+    unsafe fn dot_quad(
+        self,
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4] {
+        debug_assert!(
+            row.len() == x0.len()
+                && row.len() == x1.len()
+                && row.len() == x2.len()
+                && row.len() == x3.len()
+        );
+        let n = row.len();
+        let chunks = n / 8;
+        let pr = row.as_ptr();
+        let p0 = x0.as_ptr();
+        let p1 = x1.as_ptr();
+        let p2 = x2.as_ptr();
+        let p3 = x3.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let vr = _mm256_loadu_ps(pr.add(c * 8));
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(vr, _mm256_loadu_ps(p0.add(c * 8))));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(vr, _mm256_loadu_ps(p1.add(c * 8))));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(vr, _mm256_loadu_ps(p2.add(c * 8))));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(vr, _mm256_loadu_ps(p3.add(c * 8))));
+        }
+        [
+            reduce8(acc0) + tail_dot(pr, p0, chunks * 8, n),
+            reduce8(acc1) + tail_dot(pr, p1, chunks * 8, n),
+            reduce8(acc2) + tail_dot(pr, p2, chunks * 8, n),
+            reduce8(acc3) + tail_dot(pr, p3, chunks * 8, n),
+        ]
+    }
+}
+
+/// 512-bit tier.
+///
+/// The fixed 8-lane reduction order caps a *single* accumulator chain
+/// at 256 bits, and packing two independent 8-lane accumulator sets
+/// into one `zmm` was measured slower than two `ymm` chains on this
+/// generation (every non-shared operand pair costs a `vinsertf32x8`
+/// shuffle per chunk, and port-5 pressure beats the saved adds —
+/// 2.1 µs vs 1.9 µs on the 128-neuron `dual_matvec`, 12.6 µs vs
+/// 12.3 µs on the 8-lane `dual_matmul`).  So the f32 side deliberately
+/// runs the AVX2-shaped loops (EVEX-encoded under this tier's feature
+/// set); what AVX-512 genuinely buys this workload is the
+/// `vpopcntdq` XNOR-popcount path in `nfm-bnn` (~2.4x over hardware
+/// `popcnt` at BNN-mirror widths).
+#[derive(Clone, Copy)]
+struct Avx512Ops;
+
+impl DotOps for Avx512Ops {
+    #[inline(always)]
+    unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        Avx2Ops.dot(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
+        Avx2Ops.dot2(a0, a1, shared)
+    }
+
+    #[inline(always)]
+    unsafe fn dot_quad(
+        self,
+        row: &[f32],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) -> [f32; 4] {
+        Avx2Ops.dot_quad(row, x0, x1, x2, x3)
+    }
+}
+
+/// Instantiates the full kernel set for one tier inside
+/// `#[target_feature]` wrappers, so the ops and the shared bodies
+/// inline together under the tier's instruction set.
+macro_rules! kernel_set {
+    ($feat:literal, $ops:expr) => {
+        #[target_feature(enable = $feat)]
+        pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+            $crate::kernels::body::DotOps::dot($ops, a, b)
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(crate) unsafe fn dot_quad(
+            row: &[f32],
+            x0: &[f32],
+            x1: &[f32],
+            x2: &[f32],
+            x3: &[f32],
+        ) -> [f32; 4] {
+            $crate::kernels::body::DotOps::dot_quad($ops, row, x0, x1, x2, x3)
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(crate) unsafe fn matvec(m: &[f32], cols: usize, x: &[f32], out: &mut [f32]) {
+            $crate::kernels::body::matvec_body($ops, m, cols, x, out)
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(crate) unsafe fn dual_matvec(
+            wx: &[f32],
+            wh: &[f32],
+            xc: usize,
+            hc: usize,
+            x: &[f32],
+            h: &[f32],
+            out: &mut [f32],
+        ) {
+            $crate::kernels::body::dual_matvec_body($ops, wx, wh, xc, hc, x, h, out)
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(crate) unsafe fn matmul(
+            m: &[f32],
+            rows: usize,
+            cols: usize,
+            xs: &[f32],
+            lanes: usize,
+            out: &mut [f32],
+        ) {
+            $crate::kernels::body::matmul_body($ops, m, rows, cols, xs, lanes, out)
+        }
+
+        #[target_feature(enable = $feat)]
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) unsafe fn matmul_add(
+            m: &[f32],
+            rows: usize,
+            cols: usize,
+            xs: &[f32],
+            lanes: usize,
+            base: &[f32],
+            out: &mut [f32],
+        ) {
+            $crate::kernels::body::matmul_add_body($ops, m, rows, cols, xs, lanes, base, out)
+        }
+
+        #[target_feature(enable = $feat)]
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) unsafe fn dual_matmul(
+            wx: &[f32],
+            wh: &[f32],
+            rows: usize,
+            xc: usize,
+            hc: usize,
+            xs: &[f32],
+            hs: &[f32],
+            lanes: usize,
+            out: &mut [f32],
+        ) {
+            $crate::kernels::body::dual_matmul_body($ops, wx, wh, rows, xc, hc, xs, hs, lanes, out)
+        }
+    };
+}
+
+pub(crate) mod avx2 {
+    use super::Avx2Ops;
+    kernel_set!("avx,avx2", Avx2Ops);
+}
+
+pub(crate) mod avx512 {
+    use super::Avx512Ops;
+    kernel_set!("avx,avx2,avx512f,avx512dq,avx512vl", Avx512Ops);
+}

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod activation;
+pub mod backend;
 pub mod error;
 pub mod init;
 pub mod kernels;
@@ -35,6 +36,7 @@ pub mod rng;
 pub mod stats;
 pub mod vector;
 
+pub use backend::KernelBackend;
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use vector::Vector;

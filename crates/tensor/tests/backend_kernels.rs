@@ -1,0 +1,292 @@
+//! Dispatch-tier bit-equivalence: every kernel of every backend the
+//! host supports must reproduce the scalar reference **byte for byte**,
+//! across every remainder shape — odd rows, odd cols, odd lanes, the
+//! 4×4 register-tile remainders and dot lengths straddling the 8-wide
+//! chunk boundary.
+//!
+//! This suite is what makes `NFM_KERNEL_BACKEND` a pure performance
+//! knob: memo hit/miss sequences, reuse statistics and outputs are all
+//! derived from these kernels, so kernel-level bit-identity implies
+//! end-to-end bit-identity (the CI `kernel-matrix` job additionally
+//! re-runs the whole workspace under each tier).
+
+use nfm_tensor::backend::KernelBackend;
+use nfm_tensor::kernels::{
+    dot_quad_unchecked_on, dot_unchecked_on, dual_matmul_into_on, dual_matvec_into_on,
+    gate_preact_batch_into_on, gate_preact_into_on, matmul_add_into_on, matmul_into_on,
+    matvec_into_on,
+};
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Matrix;
+
+/// Dot lengths covering the all-tail case, exact chunk multiples and
+/// off-by-one remainders around them.
+const DOT_LENS: [usize; 20] = [
+    0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 31, 32, 33, 63, 64, 65, 129, 257,
+];
+
+/// Row/lane counts straddling the 4×4 tile edges.
+const EDGE_COUNTS: [usize; 9] = [1, 2, 3, 4, 5, 7, 8, 9, 13];
+
+fn simd_backends() -> Vec<KernelBackend> {
+    KernelBackend::supported()
+        .into_iter()
+        .filter(|b| *b != KernelBackend::Scalar)
+        .collect()
+}
+
+fn vecf(rng: &mut DeterministicRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect()
+}
+
+fn random_matrix(rng: &mut DeterministicRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
+}
+
+fn assert_bits_eq(actual: &[f32], expected: &[f32], context: &str) {
+    assert_eq!(actual.len(), expected.len(), "{context}: length");
+    for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            e.to_bits(),
+            "{context}: element {i} ({a} vs {e})"
+        );
+    }
+}
+
+#[test]
+fn reports_exercised_backends() {
+    // Not an assertion — a breadcrumb in test logs so a CI run shows
+    // which tiers this host actually covered.
+    println!(
+        "supported kernel backends: {:?}",
+        KernelBackend::supported()
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dot_matches_scalar_on_every_backend_and_length() {
+    let mut rng = DeterministicRng::seed_from_u64(101);
+    for len in DOT_LENS {
+        let a = vecf(&mut rng, len);
+        let b = vecf(&mut rng, len);
+        let reference = dot_unchecked_on(KernelBackend::Scalar, &a, &b);
+        for backend in simd_backends() {
+            assert_eq!(
+                dot_unchecked_on(backend, &a, &b).to_bits(),
+                reference.to_bits(),
+                "dot len {len} backend {backend}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_quad_matches_scalar_on_every_backend_and_length() {
+    let mut rng = DeterministicRng::seed_from_u64(102);
+    for len in DOT_LENS {
+        let row = vecf(&mut rng, len);
+        let xs: Vec<Vec<f32>> = (0..4).map(|_| vecf(&mut rng, len)).collect();
+        let reference =
+            dot_quad_unchecked_on(KernelBackend::Scalar, &row, &xs[0], &xs[1], &xs[2], &xs[3]);
+        for backend in simd_backends() {
+            let quad = dot_quad_unchecked_on(backend, &row, &xs[0], &xs[1], &xs[2], &xs[3]);
+            for i in 0..4 {
+                assert_eq!(
+                    quad[i].to_bits(),
+                    reference[i].to_bits(),
+                    "dot_quad len {len} lane {i} backend {backend}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matvec_matches_scalar_on_odd_rows_and_cols() {
+    let mut rng = DeterministicRng::seed_from_u64(103);
+    for rows in EDGE_COUNTS {
+        for cols in [1usize, 3, 7, 8, 9, 17, 33] {
+            let m = random_matrix(&mut rng, rows, cols);
+            let x = vecf(&mut rng, cols);
+            let mut reference = vec![0.0f32; rows];
+            matvec_into_on(KernelBackend::Scalar, &m, &x, &mut reference).unwrap();
+            for backend in simd_backends() {
+                let mut out = vec![f32::NAN; rows];
+                matvec_into_on(backend, &m, &x, &mut out).unwrap();
+                assert_bits_eq(&out, &reference, &format!("matvec {rows}x{cols} {backend}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_matvec_matches_scalar_on_odd_shapes() {
+    let mut rng = DeterministicRng::seed_from_u64(104);
+    for rows in EDGE_COUNTS {
+        for (xc, hc) in [(1usize, 1usize), (7, 9), (8, 8), (9, 7), (17, 5), (24, 16)] {
+            let wx = random_matrix(&mut rng, rows, xc);
+            let wh = random_matrix(&mut rng, rows, hc);
+            let x = vecf(&mut rng, xc);
+            let h = vecf(&mut rng, hc);
+            let mut reference = vec![0.0f32; rows];
+            dual_matvec_into_on(KernelBackend::Scalar, &wx, &wh, &x, &h, &mut reference).unwrap();
+            for backend in simd_backends() {
+                let mut out = vec![f32::NAN; rows];
+                dual_matvec_into_on(backend, &wx, &wh, &x, &h, &mut out).unwrap();
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("dual_matvec rows {rows} xc {xc} hc {hc} {backend}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_matches_scalar_on_odd_lanes() {
+    let mut rng = DeterministicRng::seed_from_u64(105);
+    for rows in [1usize, 3, 5, 8] {
+        for lanes in EDGE_COUNTS {
+            for cols in [1usize, 7, 9, 16] {
+                let m = random_matrix(&mut rng, rows, cols);
+                let xs = vecf(&mut rng, lanes * cols);
+                let mut reference = vec![0.0f32; lanes * rows];
+                matmul_into_on(KernelBackend::Scalar, &m, &xs, lanes, &mut reference).unwrap();
+                for backend in simd_backends() {
+                    let mut out = vec![f32::NAN; lanes * rows];
+                    matmul_into_on(backend, &m, &xs, lanes, &mut out).unwrap();
+                    assert_bits_eq(
+                        &out,
+                        &reference,
+                        &format!("matmul {rows}x{cols} lanes {lanes} {backend}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_add_matches_scalar_on_odd_lanes() {
+    let mut rng = DeterministicRng::seed_from_u64(106);
+    for rows in [2usize, 5, 8] {
+        for lanes in EDGE_COUNTS {
+            let cols = 9;
+            let m = random_matrix(&mut rng, rows, cols);
+            let xs = vecf(&mut rng, lanes * cols);
+            let base = vecf(&mut rng, lanes * rows);
+            let mut reference = vec![0.0f32; lanes * rows];
+            matmul_add_into_on(KernelBackend::Scalar, &m, &xs, lanes, &base, &mut reference)
+                .unwrap();
+            for backend in simd_backends() {
+                let mut out = vec![f32::NAN; lanes * rows];
+                matmul_add_into_on(backend, &m, &xs, lanes, &base, &mut out).unwrap();
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("matmul_add {rows}x{cols} lanes {lanes} {backend}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_matmul_matches_scalar_across_tile_remainders() {
+    // The 4×4 register tiles: every (rows % 4, lanes % 4) combination,
+    // with odd column widths so the quad-dot tails run too.
+    let mut rng = DeterministicRng::seed_from_u64(107);
+    for rows in EDGE_COUNTS {
+        for lanes in EDGE_COUNTS {
+            let (xc, hc) = (11, rows.max(1));
+            let wx = random_matrix(&mut rng, rows, xc);
+            let wh = random_matrix(&mut rng, rows, hc);
+            let xs = vecf(&mut rng, lanes * xc);
+            let hs = vecf(&mut rng, lanes * hc);
+            let mut reference = vec![0.0f32; lanes * rows];
+            dual_matmul_into_on(
+                KernelBackend::Scalar,
+                &wx,
+                &wh,
+                &xs,
+                &hs,
+                lanes,
+                &mut reference,
+            )
+            .unwrap();
+            for backend in simd_backends() {
+                let mut out = vec![f32::NAN; lanes * rows];
+                dual_matmul_into_on(backend, &wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("dual_matmul rows {rows} lanes {lanes} {backend}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_preact_matches_scalar_single_and_batch() {
+    let mut rng = DeterministicRng::seed_from_u64(108);
+    for rows in [3usize, 5, 8, 9] {
+        for lanes in [1usize, 3, 4, 5, 8] {
+            let (xc, hc) = (13, rows);
+            let wx = random_matrix(&mut rng, rows, xc);
+            let wh = random_matrix(&mut rng, rows, hc);
+            let bias = vecf(&mut rng, rows);
+            let xs = vecf(&mut rng, lanes * xc);
+            let hs = vecf(&mut rng, lanes * hc);
+            let mut reference = vec![0.0f32; lanes * rows];
+            gate_preact_batch_into_on(
+                KernelBackend::Scalar,
+                &wx,
+                &wh,
+                &bias,
+                &xs,
+                &hs,
+                lanes,
+                &mut reference,
+            )
+            .unwrap();
+            for backend in simd_backends() {
+                let mut out = vec![f32::NAN; lanes * rows];
+                gate_preact_batch_into_on(backend, &wx, &wh, &bias, &xs, &hs, lanes, &mut out)
+                    .unwrap();
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("gate_preact_batch rows {rows} lanes {lanes} {backend}"),
+                );
+                let mut single = vec![f32::NAN; rows];
+                gate_preact_into_on(backend, &wx, &wh, &bias, &xs[..xc], &hs[..hc], &mut single)
+                    .unwrap();
+                assert_bits_eq(
+                    &single,
+                    &reference[..rows],
+                    &format!("gate_preact rows {rows} {backend}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_entry_points_agree_with_the_active_backend() {
+    // The dispatching entry points must be exactly the active tier —
+    // no hidden fallback.
+    let mut rng = DeterministicRng::seed_from_u64(109);
+    let active = nfm_tensor::backend::active();
+    let a = vecf(&mut rng, 100);
+    let b = vecf(&mut rng, 100);
+    assert_eq!(
+        nfm_tensor::kernels::dot_unchecked(&a, &b).to_bits(),
+        dot_unchecked_on(active, &a, &b).to_bits()
+    );
+}

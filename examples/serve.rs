@@ -70,9 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.submit(request)?;
     }
     println!(
-        "submitted {} requests, pending = {}",
+        "submitted {} requests, pending = {} (kernel backend: {})",
         lens.len(),
-        engine.pending()
+        engine.pending(),
+        engine.kernel_backend()
     );
 
     // Poll: take completions as they appear (a real server would do

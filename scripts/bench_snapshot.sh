@@ -3,10 +3,18 @@
 #
 # Usage: scripts/bench_snapshot.sh [output-file]
 #
-# Runs the `inference_throughput` bench target (release/bench profile,
-# native CPU features) and writes the medians + derived speedups as JSON.
-# Commit the refreshed file so every optimisation PR is judged against
-# the recorded baseline.
+# Runs the `inference_throughput` bench target (release/bench profile)
+# and writes the medians + derived speedups as JSON.  Commit the
+# refreshed file so every optimisation PR is judged against the
+# recorded baseline.
+#
+# The build is deliberately *portable* (no `-C target-cpu=native`):
+# SIMD now comes from the runtime-dispatched kernels in
+# `nfm_tensor::kernels`, which is exactly what a deployed binary runs.
+# The snapshot records which dispatch tier was active in its `meta`
+# object (`kernel_backend` / `popcount_backend`); force a tier with
+# `NFM_KERNEL_BACKEND=scalar|avx2|avx512|neon` to record a comparison
+# snapshot.  Set RUSTFLAGS explicitly if you want native codegen on top.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,9 +26,9 @@ case "$OUT" in
   *) OUT="$(pwd)/$OUT" ;;
 esac
 
-export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
+export RUSTFLAGS="${RUSTFLAGS:-}"
 cargo bench -p nfm-bench --bench inference_throughput -- --save "$OUT"
 
 echo
-echo "Snapshot written to $OUT:"
+echo "Snapshot written to $OUT (meta: $(grep -o '"meta": {[^}]*}' "$OUT")):"
 cat "$OUT"

@@ -1,0 +1,137 @@
+//! Dispatch-tier equivalence at workload scale.
+//!
+//! The SIMD dispatch layer's contract is that `NFM_KERNEL_BACKEND` is a
+//! pure performance knob: every tier computes bit-identical kernels, so
+//! every downstream quantity — gate pre-activations, memoization
+//! hit/miss sequences, reuse statistics, engine responses — is
+//! byte-for-byte independent of the tier.  Coverage is layered:
+//!
+//! * `crates/tensor/tests/backend_kernels.rs` pins every kernel of
+//!   every supported tier to the scalar reference across remainder
+//!   shapes (kernel-level identity ⇒ end-to-end identity, since all
+//!   float arithmetic on the inference path flows through those kernels
+//!   and the BNN popcount is integer-exact);
+//! * this file re-checks the identity on *gate-shaped* operands (the
+//!   sizes serving actually runs) and proves whole-workload runs are
+//!   deterministic under the dispatched kernels;
+//! * the CI `kernel-matrix` job re-runs the entire workspace (including
+//!   all of the above plus the serving_engine / batched_lanes /
+//!   multi_model equivalence suites) once per backend, and diffs a
+//!   deterministic example's output across tiers cross-process.
+
+use nfm::memo::{BnnMemoConfig, MemoizedRunner, OracleMemoConfig};
+use nfm::tensor::backend::KernelBackend;
+use nfm::tensor::kernels::{dot_unchecked_on, dual_matmul_into_on, dual_matvec_into_on};
+use nfm::tensor::rng::DeterministicRng;
+use nfm::tensor::Matrix;
+use nfm::workloads::{NetworkId, Workload, WorkloadBuilder};
+
+fn workload() -> Workload {
+    WorkloadBuilder::new(NetworkId::ImdbSentiment)
+        .scale(0.25)
+        .sequences(3)
+        .sequence_length(12)
+        .seed(11)
+        .build()
+        .expect("workload builds")
+}
+
+#[test]
+fn gate_shaped_kernels_are_bit_identical_across_supported_tiers() {
+    // The shapes the serving engine actually runs: IMDB-class gates
+    // (128 neurons over 64 inputs / 128 hidden) and the EESEN-class
+    // widths, at serving lane counts.
+    let mut rng = DeterministicRng::seed_from_u64(42);
+    for (rows, xc, hc, lanes) in [(128usize, 64usize, 128usize, 8usize), (80, 39, 80, 5)] {
+        let wx = Matrix::from_fn(rows, xc, |_, _| rng.uniform(-1.0, 1.0));
+        let wh = Matrix::from_fn(rows, hc, |_, _| rng.uniform(-1.0, 1.0));
+        let x: Vec<f32> = (0..xc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let h: Vec<f32> = (0..hc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let xs: Vec<f32> = (0..lanes * xc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hs: Vec<f32> = (0..lanes * hc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut single_ref = vec![0.0f32; rows];
+        dual_matvec_into_on(KernelBackend::Scalar, &wx, &wh, &x, &h, &mut single_ref).unwrap();
+        let mut batch_ref = vec![0.0f32; lanes * rows];
+        dual_matmul_into_on(
+            KernelBackend::Scalar,
+            &wx,
+            &wh,
+            &xs,
+            &hs,
+            lanes,
+            &mut batch_ref,
+        )
+        .unwrap();
+        let dot_ref = dot_unchecked_on(KernelBackend::Scalar, wx.as_slice(), wx.as_slice());
+
+        for backend in KernelBackend::supported() {
+            let mut single = vec![f32::NAN; rows];
+            dual_matvec_into_on(backend, &wx, &wh, &x, &h, &mut single).unwrap();
+            let mut batch = vec![f32::NAN; lanes * rows];
+            dual_matmul_into_on(backend, &wx, &wh, &xs, &hs, lanes, &mut batch).unwrap();
+            for (i, (a, e)) in single.iter().zip(single_ref.iter()).enumerate() {
+                assert_eq!(a.to_bits(), e.to_bits(), "{backend} single[{i}]");
+            }
+            for (i, (a, e)) in batch.iter().zip(batch_ref.iter()).enumerate() {
+                assert_eq!(a.to_bits(), e.to_bits(), "{backend} batch[{i}]");
+            }
+            assert_eq!(
+                dot_unchecked_on(backend, wx.as_slice(), wx.as_slice()).to_bits(),
+                dot_ref.to_bits(),
+                "{backend} long dot"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_workload_runs_are_deterministic_under_dispatch() {
+    // Two identical runs through every predictor must agree exactly —
+    // outputs and reuse statistics — on whichever tier is active.
+    // Combined with kernel-level tier identity (above) this gives
+    // cross-tier end-to-end identity; the CI kernel-matrix job verifies
+    // it cross-process as well.
+    let w = workload();
+    for (name, runner) in [
+        ("exact", MemoizedRunner::exact()),
+        (
+            "oracle",
+            MemoizedRunner::oracle(OracleMemoConfig::with_threshold(0.4)),
+        ),
+        (
+            "bnn",
+            MemoizedRunner::bnn(BnnMemoConfig::with_threshold(0.5)),
+        ),
+    ] {
+        let a = runner.sequential().run(&w).expect("first run");
+        let b = runner.sequential().run(&w).expect("second run");
+        assert_eq!(a.stats, b.stats, "{name}: stats drifted between runs");
+        assert_eq!(
+            a.outputs.len(),
+            b.outputs.len(),
+            "{name}: output counts differ"
+        );
+        for (s, (seq_a, seq_b)) in a.outputs.iter().zip(b.outputs.iter()).enumerate() {
+            assert_eq!(seq_a.len(), seq_b.len(), "{name}: sequence {s} length");
+            for (t, (va, vb)) in seq_a.iter().zip(seq_b.iter()).enumerate() {
+                for (i, (x, y)) in va.iter().zip(vb.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name}: seq {s} step {t} element {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn active_backend_is_reported_and_supported() {
+    let active = nfm::tensor::backend::active();
+    assert!(active.is_supported());
+    // Breadcrumb for CI logs: which tier did this test process run on?
+    println!("active kernel backend: {active}");
+    println!("active popcount backend: {}", nfm::bnn::popcount::active());
+}

@@ -444,6 +444,60 @@ fn threshold_sweeps_survive_context_eviction() {
     }
 }
 
+/// The override-context cap is a builder knob: a deliberately tiny cap
+/// forces constant LRU eviction/recreation under a θ sweep, and the
+/// results must stay bit-identical to dedicated runs; zero is rejected
+/// like every other sizing knob.
+#[test]
+fn override_context_cap_is_configurable_and_never_changes_results() {
+    let net = unidirectional_network(83);
+    let mirror = BinaryNetwork::mirror(&net);
+    let engine = EngineBuilder::new(
+        net.clone(),
+        PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+    )
+    .lanes(2)
+    .workers(1)
+    .queue_capacity(64)
+    .override_context_cap(2)
+    .build()
+    .unwrap();
+    assert_eq!(engine.override_context_cap(), 2);
+    // 12 distinct overrides against a cap of 2, with re-visits so
+    // evicted contexts are rebuilt mid-stream.
+    let thetas: Vec<f32> = (0..12).map(|i| 0.07 * (i % 5) as f32 + 0.02).collect();
+    let mut submitted = Vec::new();
+    for (i, &theta) in thetas.iter().enumerate() {
+        let seq = smooth_sequence(4 + i % 3, net.input_size(), 1300 + i as u64);
+        engine
+            .submit(InferenceRequest::new(i as u64, seq.clone()).with_threshold(theta))
+            .unwrap();
+        submitted.push((i as u64, theta, seq));
+    }
+    let responses = engine.drain();
+    assert_eq!(responses.len(), submitted.len());
+    for (id, theta, seq) in submitted {
+        let r = responses.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(r.status, CompletionStatus::Done, "id={id}");
+        let mut eval = BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(theta));
+        let reference = net.run(&seq, &mut eval).unwrap();
+        assert_bit_identical(&format!("cap=2 id={id} θ={theta}"), &r.outputs, &reference);
+        assert_eq!(r.stats, *eval.stats(), "cap=2 id={id} θ={theta}: stats");
+    }
+
+    // Zero is a rejected degenerate configuration, never a clamp.
+    let err = EngineBuilder::new(net, PredictorKind::Exact)
+        .override_context_cap(0)
+        .build()
+        .unwrap_err();
+    match err {
+        EngineError::InvalidConfig { what } => {
+            assert!(what.contains("override_context_cap"), "{what}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
 /// Contract 3: registry and submit-time errors are typed.
 #[test]
 fn unknown_ids_and_unsupported_overrides_are_typed_errors() {
