@@ -27,7 +27,7 @@
 //! block-hoisted `W_x·x_t` projections on the exact path).
 
 use nfm_bench::Bencher;
-use nfm_bnn::{BinaryNetwork, BitVector, PopcountBackend};
+use nfm_bnn::{BinaryGate, BinaryNetwork, BitVector, PopcountBackend};
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator};
 use nfm_rnn::{
     DeepRnn, ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator,
@@ -545,6 +545,55 @@ fn main() {
                 }
             }
         }
+        // Streamed vs per-neuron BNN gate evaluation at the
+        // `bnn_memoized_batched` shape (medium IMDB gate, 8 lanes), per
+        // popcount tier.  The per-neuron side is the old batched-path
+        // loop: two dispatched XNOR-popcount calls per neuron per lane.
+        // The streamed side is one dispatched call per gate per wave,
+        // each binary weight row loaded once and reused across lanes.
+        let bnn_gate = {
+            let fp = nfm_rnn::Gate::random(
+                rows,
+                xc,
+                hc,
+                nfm_tensor::activation::Activation::Sigmoid,
+                true,
+                &mut rng,
+            )
+            .expect("gate builds");
+            BinaryGate::mirror(&fp)
+        };
+        let (gate_xbs, gate_hbs): (Vec<BitVector>, Vec<BitVector>) = (0..lanes)
+            .map(|_| {
+                let x: Vec<f32> = (0..xc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let h: Vec<f32> = (0..hc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                (BitVector::from_signs(&x), BitVector::from_signs(&h))
+            })
+            .unzip();
+        let mut yb = vec![0i32; lanes * rows];
+        for pop in PopcountBackend::supported() {
+            bench.bench(&format!("kernel/bnn_gate_8l_per_neuron/{pop}"), || {
+                for l in 0..lanes {
+                    for n in 0..rows {
+                        yb[l * rows + n] = bnn_gate
+                            .neuron_output_on(pop, n, &gate_xbs[l], &gate_hbs[l])
+                            .expect("widths match");
+                    }
+                }
+                black_box(yb[0])
+            });
+            bench.bench(&format!("kernel/bnn_gate_8l_streamed/{pop}"), || {
+                bnn_gate
+                    .neuron_outputs_batch_on(pop, &gate_xbs, &gate_hbs, &mut yb)
+                    .expect("widths match");
+                black_box(yb[0])
+            });
+            pairs.push((
+                format!("kernel/bnn_gate_8l_per_neuron/{pop}"),
+                format!("kernel/bnn_gate_8l_streamed/{pop}"),
+            ));
+        }
+
         // XNOR-popcount tiers: a BNN-mirror row pair at BDPU scale
         // (1024 bits) and a wide probe (4096 bits, engages the 8-word
         // vpopcntdq loop).  Integer-exact on every tier.

@@ -77,6 +77,31 @@ impl BinaryGate {
         Ok(fwd + rec)
     }
 
+    /// [`BinaryGate::neuron_output`] on an explicit popcount tier — the
+    /// hook cross-tier tests and benches use for the per-neuron
+    /// evaluation shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the packed inputs do not match
+    /// the gate's dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()` or `backend` is not supported on
+    /// this host.
+    pub fn neuron_output_on(
+        &self,
+        backend: crate::PopcountBackend,
+        n: usize,
+        xb: &BitVector,
+        hb: &BitVector,
+    ) -> Result<i32> {
+        let fwd = self.wx_rows[n].xnor_dot_on(xb, backend)?;
+        let rec = self.wh_rows[n].xnor_dot_on(hb, backend)?;
+        Ok(fwd + rec)
+    }
+
     /// Check-free variant of [`BinaryGate::neuron_output`] for batched
     /// callers that validated the packed input widths once per gate
     /// invocation.
@@ -143,6 +168,115 @@ impl BinaryGate {
         debug_assert_eq!(hb.len(), self.hidden_size);
         debug_assert_eq!(out.len(), self.neurons());
         crate::popcount::gate_outputs(&self.wx_rows, &self.wh_rows, xb, hb, out);
+    }
+
+    /// Every neuron's binary output for **all** lanes of a batch in one
+    /// call, lane-striped:
+    /// `out[l * neurons + n] = neuron_output(n, &xbs[l], &hbs[l])`.
+    ///
+    /// This is the multi-sequence form of
+    /// [`BinaryGate::neuron_outputs_into`]: one dispatched XNOR-popcount
+    /// call per gate per wave, with each binary weight row streamed once
+    /// and reused across every lane (row-outer, lane-inner — the binary
+    /// analogue of the f32 `matmul` kernels).  Popcounts are
+    /// integer-exact, so every lane equals the single-lane call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `xbs` and `hbs` have different
+    /// lane counts, any lane's packed inputs do not match the gate's
+    /// dimensions, or `out.len() != xbs.len() * self.neurons()`.
+    pub fn neuron_outputs_batch_into(
+        &self,
+        xbs: &[BitVector],
+        hbs: &[BitVector],
+        out: &mut [i32],
+    ) -> Result<()> {
+        self.validate_batch(xbs, hbs, out)?;
+        self.neuron_outputs_batch_unchecked_into(xbs, hbs, out);
+        Ok(())
+    }
+
+    /// [`BinaryGate::neuron_outputs_batch_into`] on an explicit popcount
+    /// tier — the hook cross-tier tests and benches use for the
+    /// streamed whole-wave evaluation shape.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BinaryGate::neuron_outputs_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not supported on this host.
+    pub fn neuron_outputs_batch_on(
+        &self,
+        backend: crate::PopcountBackend,
+        xbs: &[BitVector],
+        hbs: &[BitVector],
+        out: &mut [i32],
+    ) -> Result<()> {
+        self.validate_batch(xbs, hbs, out)?;
+        crate::popcount::gate_outputs_lanes_on(
+            backend,
+            &self.wx_rows,
+            &self.wh_rows,
+            xbs,
+            hbs,
+            out,
+        );
+        Ok(())
+    }
+
+    fn validate_batch(&self, xbs: &[BitVector], hbs: &[BitVector], out: &[i32]) -> Result<()> {
+        if xbs.len() != hbs.len() {
+            return Err(crate::BnnError::LengthMismatch {
+                left: xbs.len(),
+                right: hbs.len(),
+            });
+        }
+        for xb in xbs {
+            if xb.len() != self.input_size {
+                return Err(crate::BnnError::LengthMismatch {
+                    left: xb.len(),
+                    right: self.input_size,
+                });
+            }
+        }
+        for hb in hbs {
+            if hb.len() != self.hidden_size {
+                return Err(crate::BnnError::LengthMismatch {
+                    left: hb.len(),
+                    right: self.hidden_size,
+                });
+            }
+        }
+        if out.len() != xbs.len() * self.neurons() {
+            return Err(crate::BnnError::LengthMismatch {
+                left: out.len(),
+                right: xbs.len() * self.neurons(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check-free variant of [`BinaryGate::neuron_outputs_batch_into`]
+    /// for callers that validated the widths once per gate invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any dimension does not match.
+    #[inline]
+    pub fn neuron_outputs_batch_unchecked_into(
+        &self,
+        xbs: &[BitVector],
+        hbs: &[BitVector],
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(xbs.len(), hbs.len());
+        debug_assert!(xbs.iter().all(|b| b.len() == self.input_size));
+        debug_assert!(hbs.iter().all(|b| b.len() == self.hidden_size));
+        debug_assert_eq!(out.len(), xbs.len() * self.neurons());
+        crate::popcount::gate_outputs_lanes(&self.wx_rows, &self.wh_rows, xbs, hbs, out);
     }
 
     /// Convenience wrapper that binarizes the raw inputs and evaluates
@@ -241,8 +375,69 @@ mod tests {
         assert!(b
             .neuron_outputs_into(&xb, &BitVector::zeros(12), &mut out)
             .is_err());
+        assert!(b.neuron_outputs_into(&xb, &hb, &mut out[..12]).is_err());
+    }
+
+    #[test]
+    fn batched_lane_outputs_match_single_lane_calls() {
+        let g = fp_gate(13, 21, 13, 9); // odd sizes: tails + word splits
+        let b = BinaryGate::mirror(&g);
+        let mut rng = DeterministicRng::seed_from_u64(10);
+        for lanes in [1usize, 2, 3, 5, 8] {
+            let mut xbs = Vec::new();
+            let mut hbs = Vec::new();
+            for _ in 0..lanes {
+                let x: Vec<f32> = (0..21).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let h: Vec<f32> = (0..13).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let (xb, hb) = b.binarize_inputs(&x, &h);
+                xbs.push(xb);
+                hbs.push(hb);
+            }
+            let mut batched = vec![0i32; lanes * 13];
+            b.neuron_outputs_batch_into(&xbs, &hbs, &mut batched)
+                .unwrap();
+            for l in 0..lanes {
+                let mut single = vec![0i32; 13];
+                b.neuron_outputs_into(&xbs[l], &hbs[l], &mut single)
+                    .unwrap();
+                assert_eq!(
+                    &batched[l * 13..(l + 1) * 13],
+                    single.as_slice(),
+                    "lane {l}"
+                );
+            }
+            // Explicit-tier hooks: every supported tier, streamed and
+            // per-neuron, agrees with the active-tier batched call
+            // (popcounts are integer-exact on every tier).
+            for pop in crate::PopcountBackend::supported() {
+                let mut on = vec![0i32; lanes * 13];
+                b.neuron_outputs_batch_on(pop, &xbs, &hbs, &mut on).unwrap();
+                assert_eq!(on, batched, "{pop} lanes {lanes}");
+                for l in 0..lanes {
+                    for n in 0..13 {
+                        assert_eq!(
+                            b.neuron_output_on(pop, n, &xbs[l], &hbs[l]).unwrap(),
+                            batched[l * 13 + n],
+                            "{pop} lane {l} neuron {n}"
+                        );
+                    }
+                }
+            }
+        }
+        // Dimension checks.
+        let (xb, hb) = b.binarize_inputs(&[0.5; 21], &[0.5; 13]);
+        let mut out = vec![0i32; 13];
         assert!(b
-            .neuron_outputs_into(&xb, &hb, &mut out[..12])
+            .neuron_outputs_batch_into(std::slice::from_ref(&xb), &[], &mut out)
+            .is_err());
+        assert!(b
+            .neuron_outputs_batch_into(&[BitVector::zeros(20)], std::slice::from_ref(&hb), &mut out)
+            .is_err());
+        assert!(b
+            .neuron_outputs_batch_into(std::slice::from_ref(&xb), &[BitVector::zeros(12)], &mut out)
+            .is_err());
+        assert!(b
+            .neuron_outputs_batch_into(&[xb], &[hb], &mut out[..12])
             .is_err());
     }
 

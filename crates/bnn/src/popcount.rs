@@ -242,6 +242,103 @@ fn scalar_gate_outputs(
     }
 }
 
+/// The multi-lane form of [`gate_outputs`]: every neuron of one gate
+/// for **all** lanes in one dispatched call, lane-striped —
+/// `out[l * rows + n] = xnor_dot(wx_rows[n], xbs[l]) +
+/// xnor_dot(wh_rows[n], hbs[l])`.
+///
+/// The row loop is *outer* and the lane loop *inner*, mirroring the f32
+/// `matmul` kernels: each binary weight row's words are loaded once and
+/// reused for every lane while they sit in registers/L1, instead of
+/// re-streaming the whole mirror gate once per lane.  Popcounts are
+/// integer-exact, so the reordering cannot change any value.
+///
+/// The caller (`BinaryGate`) has validated the operand widths; every
+/// `xbs[l]` / `hbs[l]` must match row widths, `xbs.len() == hbs.len()`,
+/// and `out.len() == xbs.len() * rows`.
+pub(crate) fn gate_outputs_lanes(
+    wx_rows: &[crate::BitVector],
+    wh_rows: &[crate::BitVector],
+    xbs: &[crate::BitVector],
+    hbs: &[crate::BitVector],
+    out: &mut [i32],
+) {
+    gate_outputs_lanes_dispatch(active(), wx_rows, wh_rows, xbs, hbs, out);
+}
+
+/// [`gate_outputs_lanes`] on an explicit tier — the hook behind
+/// [`BinaryGate::neuron_outputs_batch_on`](crate::BinaryGate::neuron_outputs_batch_on).
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this host.
+pub(crate) fn gate_outputs_lanes_on(
+    backend: PopcountBackend,
+    wx_rows: &[crate::BitVector],
+    wh_rows: &[crate::BitVector],
+    xbs: &[crate::BitVector],
+    hbs: &[crate::BitVector],
+    out: &mut [i32],
+) {
+    assert!(
+        backend.is_supported(),
+        "popcount backend {backend} is not supported on this host (supported: {})",
+        PopcountBackend::supported()
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    gate_outputs_lanes_dispatch(backend, wx_rows, wh_rows, xbs, hbs, out);
+}
+
+#[inline]
+fn gate_outputs_lanes_dispatch(
+    backend: PopcountBackend,
+    wx_rows: &[crate::BitVector],
+    wh_rows: &[crate::BitVector],
+    xbs: &[crate::BitVector],
+    hbs: &[crate::BitVector],
+    out: &mut [i32],
+) {
+    debug_assert_eq!(wx_rows.len(), wh_rows.len());
+    debug_assert_eq!(xbs.len(), hbs.len());
+    debug_assert_eq!(out.len(), xbs.len() * wx_rows.len());
+    match backend {
+        PopcountBackend::Scalar => scalar_gate_outputs_lanes(wx_rows, wh_rows, xbs, hbs, out),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: dispatch reaches these arms only for supported tiers,
+        // and both imply the `popcnt` feature (same rationale as
+        // `gate_outputs`: mirror rows are 1–3 words, so the row-wise
+        // `popcnt` loop beats the wide vpopcntdq kernel here).
+        PopcountBackend::Popcnt | PopcountBackend::Vpopcntdq => unsafe {
+            x86::popcnt_gate_outputs_lanes(wx_rows, wh_rows, xbs, hbs, out)
+        },
+        #[cfg(target_arch = "aarch64")]
+        // `u64::count_ones` lowers to NEON `cnt` on aarch64 baseline.
+        PopcountBackend::Neon => scalar_gate_outputs_lanes(wx_rows, wh_rows, xbs, hbs, out),
+        #[allow(unreachable_patterns)]
+        other => unreachable!("popcount backend {other} is not compiled for this target"),
+    }
+}
+
+fn scalar_gate_outputs_lanes(
+    wx_rows: &[crate::BitVector],
+    wh_rows: &[crate::BitVector],
+    xbs: &[crate::BitVector],
+    hbs: &[crate::BitVector],
+    out: &mut [i32],
+) {
+    let rows = wx_rows.len();
+    for (n, (wx, wh)) in wx_rows.iter().zip(wh_rows.iter()).enumerate() {
+        let (xw_row, hw_row) = (wx.word_slice(), wh.word_slice());
+        for (l, (xb, hb)) in xbs.iter().zip(hbs.iter()).enumerate() {
+            out[l * rows + n] = xnor_dot_words(xw_row, xb.word_slice(), xb.len())
+                + xnor_dot_words(hw_row, hb.word_slice(), hb.len());
+        }
+    }
+}
+
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 mod x86 {
     #[cfg(target_arch = "x86")]
@@ -285,6 +382,32 @@ mod x86 {
         for ((o, wx), wh) in out.iter_mut().zip(wx_rows.iter()).zip(wh_rows.iter()) {
             *o = super::xnor_dot_words(wx.word_slice(), xw, xl)
                 + super::xnor_dot_words(wh.word_slice(), hw, hl);
+        }
+    }
+
+    /// The multi-lane row loop with hardware `popcnt` enabled: one
+    /// `#[target_feature]` body covers every (neuron, lane) dot of a
+    /// gate invocation, streaming each weight row once across all
+    /// lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires `popcnt`.
+    #[target_feature(enable = "popcnt")]
+    pub(super) unsafe fn popcnt_gate_outputs_lanes(
+        wx_rows: &[crate::BitVector],
+        wh_rows: &[crate::BitVector],
+        xbs: &[crate::BitVector],
+        hbs: &[crate::BitVector],
+        out: &mut [i32],
+    ) {
+        let rows = wx_rows.len();
+        for (n, (wx, wh)) in wx_rows.iter().zip(wh_rows.iter()).enumerate() {
+            let (xw_row, hw_row) = (wx.word_slice(), wh.word_slice());
+            for (l, (xb, hb)) in xbs.iter().zip(hbs.iter()).enumerate() {
+                out[l * rows + n] = super::xnor_dot_words(xw_row, xb.word_slice(), xb.len())
+                    + super::xnor_dot_words(hw_row, hb.word_slice(), hb.len());
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::config::BnnMemoConfig;
 use crate::stats::ReuseStats;
-use crate::table::MemoTable;
+use crate::table::{GateHandle, MemoTable};
 use nfm_bnn::{BinaryNetwork, BitVector};
 use nfm_rnn::{Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult};
 use nfm_tensor::vector::relative_difference;
@@ -64,6 +64,14 @@ pub struct BnnMemoEvaluator {
     // attribute reuse statistics to the request occupying each lane.
     // `stats` still aggregates everything.
     lane_stats: Vec<ReuseStats>,
+    // Scratch for the neuron-outer batched decision loop: pre-resolved
+    // per-lane gate handles, the lanes whose memo decision missed on
+    // the current neuron, and per-lane reuse/compute counters for the
+    // current gate invocation.
+    lane_handles: Vec<GateHandle>,
+    miss_lanes: Vec<u32>,
+    lane_reused: Vec<u64>,
+    lane_computed: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -99,6 +107,10 @@ impl BnnMemoEvaluator {
             lane_xb: Vec::new(),
             lane_hb: Vec::new(),
             lane_stats: Vec::new(),
+            lane_handles: Vec::new(),
+            miss_lanes: Vec::new(),
+            lane_reused: Vec::new(),
+            lane_computed: Vec::new(),
         }
     }
 
@@ -325,22 +337,48 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         BitVector::fill_lanes_from_signs(&mut self.lane_xb, xs, lanes, isz);
         BitVector::fill_lanes_from_signs(&mut self.lane_hb, h_prevs, lanes, hsz);
         let binary_gate = self.mirror.gate(gate_id).expect("checked above");
-        for l in 0..lanes {
-            let table = &mut self.lane_tables[l];
-            let handle = table.gate_handle(gate_id, nsz);
-            let (xb, hb) = (&self.lane_xb[l], &self.lane_hb[l]);
-            let x = &xs[l * isz..(l + 1) * isz];
-            let h_prev = &h_prevs[l * hsz..(l + 1) * hsz];
-            // One dispatched XNOR-popcount call evaluates the whole
-            // mirror gate for this lane.
-            self.yb.resize(nsz, 0);
-            binary_gate.neuron_outputs_unchecked_into(xb, hb, &mut self.yb);
-            let mut reused = 0u64;
-            let mut computed = 0u64;
-            for (n, slot) in out[l * nsz..(l + 1) * nsz].iter_mut().enumerate() {
-                // Same per-neuron decision sequence as the
-                // single-sequence batched path, against lane `l`'s table.
-                let yb_t = self.yb[n] as f32;
+        // One dispatched XNOR-popcount call evaluates the whole mirror
+        // gate for *every* lane of the wave: each binary weight row
+        // streams once and is reused across lanes (row-outer,
+        // lane-inner), instead of re-walking the mirror per lane.
+        // Popcounts are integer-exact, so the lane-striped outputs equal
+        // the per-lane calls bit for bit.
+        self.yb.resize(lanes * nsz, 0);
+        binary_gate.neuron_outputs_batch_unchecked_into(
+            &self.lane_xb[..lanes],
+            &self.lane_hb[..lanes],
+            &mut self.yb,
+        );
+        // Resolve every lane's gate block once so the neuron loop below
+        // is pure array indexing, and zero this invocation's per-lane
+        // counters.
+        self.lane_handles.clear();
+        for table in self.lane_tables.iter_mut().take(lanes) {
+            self.lane_handles.push(table.gate_handle(gate_id, nsz));
+        }
+        if self.lane_reused.len() < lanes {
+            self.lane_reused.resize(lanes, 0);
+            self.lane_computed.resize(lanes, 0);
+        }
+        self.lane_reused[..lanes].fill(0);
+        self.lane_computed[..lanes].fill(0);
+
+        // Neuron-outer, lane-inner: per (lane, neuron) memo decisions
+        // are independent (each lane owns its table, each neuron its
+        // slot), so this order is bit-identical to the lane-outer loop
+        // — but the lanes that miss on a neuron now share that neuron's
+        // weight rows.  Misses are computed four at a time with the
+        // quad-dot kernel, whose per-lane results are bit-identical to
+        // individual dots by the kernel contract; the bias-free neuron
+        // dot is exactly `dot(wx row, x) + dot(wh row, h_prev)`, so
+        // each miss equals `neuron_dot_unchecked` bit for bit.
+        let (wx, wh) = (gate.wx(), gate.wh());
+        for n in 0..nsz {
+            self.miss_lanes.clear();
+            for l in 0..lanes {
+                let yb_t = self.yb[l * nsz + n] as f32;
+                let handle = self.lane_handles[l];
+                let table = &mut self.lane_tables[l];
                 if let Some(entry) = table.entry(handle, n) {
                     let eps_t =
                         relative_difference(yb_t, entry.cached_bnn_output, self.config.epsilon);
@@ -350,25 +388,66 @@ impl NeuronEvaluator for BnnMemoEvaluator {
                         eps_t
                     };
                     if delta_t <= self.config.threshold {
-                        reused += 1;
-                        *slot = table.reuse_at(handle, n, delta_t);
+                        self.lane_reused[l] += 1;
+                        out[l * nsz + n] = table.reuse_at(handle, n, delta_t);
                         continue;
                     }
                 }
-                let y_t = gate.neuron_dot_unchecked(n, x, h_prev);
-                computed += 1;
-                table.refresh_at(handle, n, y_t, yb_t);
-                *slot = y_t;
+                self.miss_lanes.push(l as u32);
             }
-            // The BNN mirror ran for every neuron of the lane; fold the
-            // lane's counters into the aggregate and per-lane stats.
+            if self.miss_lanes.is_empty() {
+                continue;
+            }
+            let (wx_row, wh_row) = (wx.row(n), wh.row(n));
+            let mut finish = |l: usize, y_t: f32, tables: &mut [MemoTable]| {
+                self.lane_computed[l] += 1;
+                tables[l].refresh_at(self.lane_handles[l], n, y_t, self.yb[l * nsz + n] as f32);
+                out[l * nsz + n] = y_t;
+            };
+            let mut quads = self.miss_lanes.chunks_exact(4);
+            for quad in &mut quads {
+                let ls = [
+                    quad[0] as usize,
+                    quad[1] as usize,
+                    quad[2] as usize,
+                    quad[3] as usize,
+                ];
+                let fwd = nfm_tensor::kernels::dot_quad_unchecked(
+                    wx_row,
+                    &xs[ls[0] * isz..(ls[0] + 1) * isz],
+                    &xs[ls[1] * isz..(ls[1] + 1) * isz],
+                    &xs[ls[2] * isz..(ls[2] + 1) * isz],
+                    &xs[ls[3] * isz..(ls[3] + 1) * isz],
+                );
+                let rec = nfm_tensor::kernels::dot_quad_unchecked(
+                    wh_row,
+                    &h_prevs[ls[0] * hsz..(ls[0] + 1) * hsz],
+                    &h_prevs[ls[1] * hsz..(ls[1] + 1) * hsz],
+                    &h_prevs[ls[2] * hsz..(ls[2] + 1) * hsz],
+                    &h_prevs[ls[3] * hsz..(ls[3] + 1) * hsz],
+                );
+                for (j, &l) in ls.iter().enumerate() {
+                    finish(l, fwd[j] + rec[j], &mut self.lane_tables);
+                }
+            }
+            for &l in quads.remainder() {
+                let l = l as usize;
+                let y_t = nfm_tensor::kernels::dot_unchecked(wx_row, &xs[l * isz..(l + 1) * isz])
+                    + nfm_tensor::kernels::dot_unchecked(wh_row, &h_prevs[l * hsz..(l + 1) * hsz]);
+                finish(l, y_t, &mut self.lane_tables);
+            }
+        }
+
+        // The BNN mirror ran for every neuron of every lane; fold the
+        // counters into the aggregate and per-lane stats.
+        for l in 0..lanes {
             self.stats.record_bnn_evaluations_many(nsz as u64);
-            self.stats.record_reused_many(reused);
-            self.stats.record_computed_many(computed);
+            self.stats.record_reused_many(self.lane_reused[l]);
+            self.stats.record_computed_many(self.lane_computed[l]);
             let lane_stats = &mut self.lane_stats[l];
             lane_stats.record_bnn_evaluations_many(nsz as u64);
-            lane_stats.record_reused_many(reused);
-            lane_stats.record_computed_many(computed);
+            lane_stats.record_reused_many(self.lane_reused[l]);
+            lane_stats.record_computed_many(self.lane_computed[l]);
         }
         Ok(())
     }

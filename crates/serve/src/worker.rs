@@ -107,9 +107,22 @@ struct ExecContext {
 }
 
 impl ExecContext {
-    fn new(key: ContextKey, resolved: &Resolved, lanes: usize) -> ExecContext {
+    /// Builds a context, reviving a parked evaluator when the worker
+    /// held on to one for this key (LRU-evicted override contexts park
+    /// their evaluators so recreation reuses the allocations — memo
+    /// tables, sign buffers, lane state — instead of rebuilding them).
+    fn new(
+        key: ContextKey,
+        resolved: &Resolved,
+        lanes: usize,
+        revived: Option<Box<dyn ServedEvaluator>>,
+    ) -> ExecContext {
         let network = Arc::clone(&resolved.network);
-        let mut evaluator = resolved.predictor.build_evaluator(&network);
+        let mut evaluator = revived.unwrap_or_else(|| resolved.predictor.build_evaluator(&network));
+        // A revived evaluator carries stale aggregate counters; all
+        // per-request state is reset at admission, but the counters
+        // must start from zero like a fresh build's.
+        evaluator.reset_stats();
         let unidirectional = network.layers().iter().all(|l| !l.is_bidirectional());
         let sched = if lanes == 1 {
             Scheduler::Single
@@ -205,9 +218,11 @@ fn harvest_lane_stats(
 /// bounded by the registry — but every distinct override θ materializes
 /// its own context, and clients sweeping thresholds would otherwise
 /// grow worker memory without bound.  Idle override contexts beyond the
-/// cap are dropped least-recently-used first; recreating one later is
-/// just an evaluator build (all per-request state is reset at admission
-/// anyway, so eviction never changes results).  Tune per engine with
+/// cap are dropped least-recently-used first, their evaluators parked
+/// (also LRU-bounded by the cap) so recreating one revives the parked
+/// allocations instead of rebuilding; a miss is just an evaluator build
+/// (all per-request state is reset at admission anyway, so neither
+/// eviction nor revival ever changes results).  Tune per engine with
 /// [`EngineBuilder::override_context_cap`](crate::EngineBuilder::override_context_cap).
 pub(crate) const DEFAULT_OVERRIDE_CONTEXT_CAP: usize = 8;
 
@@ -229,6 +244,13 @@ pub(crate) struct LaneWorker {
     /// entry per served combination, override contexts capped by
     /// `override_context_cap`).
     contexts: Vec<ExecContext>,
+    /// Evaluators of LRU-evicted override contexts, parked for reuse:
+    /// a client sweeping back to a recently-evicted θ gets its old
+    /// evaluator's allocations back (memo tables, sign buffers, lane
+    /// state) instead of a rebuild.  Bounded by `override_context_cap`,
+    /// least-recently-used entries dropped first; per-request state is
+    /// reset at admission anyway, so revival never changes results.
+    parked: Vec<(ContextKey, Box<dyn ServedEvaluator>, u64)>,
     /// Monotonic routing counter backing context LRU eviction.
     clock: u64,
 }
@@ -249,6 +271,7 @@ impl LaneWorker {
             policy,
             override_context_cap,
             contexts: Vec::new(),
+            parked: Vec::new(),
             clock: 0,
         }
     }
@@ -311,10 +334,22 @@ impl LaneWorker {
                 i
             }
             None => {
+                let mut revived = None;
                 if q.resolved.key.threshold_bits.is_some() {
                     self.evict_stale_override_contexts();
+                    // Evict first, then check the parked pool: a θ the
+                    // client swept away from and is now sweeping back
+                    // to gets its old evaluator's allocations back.
+                    if let Some(pos) = self
+                        .parked
+                        .iter()
+                        .position(|(key, _, _)| *key == q.resolved.key)
+                    {
+                        revived = Some(self.parked.remove(pos).1);
+                    }
                 }
-                let mut ctx = ExecContext::new(q.resolved.key.clone(), &q.resolved, self.lanes);
+                let mut ctx =
+                    ExecContext::new(q.resolved.key.clone(), &q.resolved, self.lanes, revived);
                 ctx.last_used = clock;
                 self.contexts.push(ctx);
                 self.contexts.len() - 1
@@ -348,12 +383,30 @@ impl LaneWorker {
                 .map(|(i, _)| i);
             match victim {
                 Some(i) => {
-                    self.contexts.remove(i);
+                    let ctx = self.contexts.remove(i);
+                    self.park_evaluator(ctx);
                 }
                 // Everything over the cap is busy; try again when the
                 // next override context is created.
                 None => return,
             }
+        }
+    }
+
+    /// Parks an evicted override context's evaluator for later revival,
+    /// keeping the pool itself under the override cap (oldest parked
+    /// entry dropped first).
+    fn park_evaluator(&mut self, ctx: ExecContext) {
+        self.parked.push((ctx.key, ctx.evaluator, ctx.last_used));
+        while self.parked.len() > self.override_context_cap {
+            let oldest = self
+                .parked
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, last_used))| *last_used)
+                .map(|(i, _)| i)
+                .expect("pool is non-empty past the cap");
+            self.parked.remove(oldest);
         }
     }
 

@@ -19,7 +19,7 @@
 //! # Bit-identity contract
 //!
 //! Backend selection never changes results.  Every intrinsic variant
-//! reproduces the scalar kernels' fixed reduction order (eight
+//! reproduces the scalar kernels' fixed reduction order (sixteen
 //! lane-major accumulators, the pairwise [`crate::kernels`] reduce tree,
 //! a sequential scalar tail, multiply-then-add rounding — never FMA), so
 //! outputs, downstream memoization hit/miss sequences and reuse

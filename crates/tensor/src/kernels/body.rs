@@ -12,11 +12,19 @@
 //!
 //! [`ScalarOps`] **is** the specification.  A dot product is
 //!
-//! 1. eight lane-major accumulators over `chunks_exact(8)`
-//!    (`acc[l] += a[8c + l] * b[8c + l]`, multiply-then-add rounding —
+//! 1. sixteen lane-major accumulators over `chunks_exact(16)`
+//!    (`acc[l] += a[16c + l] * b[16c + l]`, multiply-then-add rounding —
 //!    never FMA),
-//! 2. the fixed pairwise tree [`reduce`],
-//! 3. plus a sequential scalar tail over the `len % 8` remainder.
+//! 2. the fixed pairwise tree [`reduce`]: first a half fold
+//!    (`s[i] = acc[i] + acc[i + 8]`), then the 8-wide pairwise tree over
+//!    `s`,
+//! 3. plus a sequential scalar tail over the `len % 16` remainder.
+//!
+//! Sixteen lanes let the AVX-512 tier hold one full accumulator chain in
+//! a single `zmm` register (the half fold is exactly its 256-bit
+//! extract-and-add), AVX2 maps the chain onto two `ymm` registers whose
+//! final `vaddps` *is* the half fold, and NEON spreads it over four
+//! 128-bit registers.
 //!
 //! Every [`DotOps`] implementation must reproduce this bit-for-bit; the
 //! multi-output ops (`dot2`, `dot_quad`) must make each output equal to
@@ -26,7 +34,7 @@
 //! lane's partial sums combine.
 
 /// Number of independent accumulators in the unrolled dot product.
-pub(crate) const LANES: usize = 8;
+pub(crate) const LANES: usize = 16;
 
 /// Tile edge of the register-blocked batched kernels: weight rows and
 /// batch lanes are processed in 4 × 4 tiles, with the lane quad running
@@ -36,10 +44,17 @@ pub(crate) const TILE: usize = 4;
 
 /// The canonical pairwise reduction of the unrolled accumulators.  This
 /// IS the reduction order every kernel and every backend inherits —
-/// SIMD tiers implement the same tree over register lanes.
+/// SIMD tiers implement the same tree over register lanes: the half
+/// fold is AVX-512's 256-bit extract-and-add (and AVX2's add of its two
+/// `ymm` chain halves), the rest is the historical 8-wide tree shaped
+/// like the SSE `movehl`/`shuffle` ladder.
 #[inline]
 pub(crate) fn reduce(acc: [f32; LANES]) -> f32 {
-    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+    let mut s = [0.0f32; 8];
+    for i in 0..8 {
+        s[i] = acc[i] + acc[i + 8];
+    }
+    ((s[0] + s[4]) + (s[2] + s[6])) + ((s[1] + s[5]) + (s[3] + s[7]))
 }
 
 /// The per-backend arithmetic surface.

@@ -11,8 +11,8 @@
 //!   per process by [`crate::backend::active`] — CPU feature detection
 //!   with an `NFM_KERNEL_BACKEND` override (see [`crate::backend`]),
 //! * the *reduction order is fixed* and shared by every entry point and
-//!   every tier ([`dot_unchecked`]'s eight lane-major accumulators, the
-//!   pairwise reduce tree, a sequential tail, multiply-then-add
+//!   every tier ([`dot_unchecked`]'s sixteen lane-major accumulators,
+//!   the pairwise reduce tree, a sequential tail, multiply-then-add
 //!   rounding), so the batched gate path, the per-neuron fallback and
 //!   every dispatch tier produce bit-identical results.
 //!

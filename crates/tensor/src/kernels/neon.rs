@@ -1,13 +1,15 @@
 //! NEON kernel tier (aarch64).
 //!
-//! The canonical eight lane-major accumulators are represented as two
-//! 128-bit registers — `acc_lo` holds lanes 0–3, `acc_hi` lanes 4–7 —
-//! advanced with `vmulq`/`vaddq` (multiply-then-add, never `vfmaq`: the
-//! scalar reference rounds twice per element).  The final reduction
-//! implements the same pairwise tree as the scalar
-//! [`super::body::reduce`], and the `len % 8` tail runs the same
-//! sequential scalar loop, so results are bit-identical to the scalar
-//! tier.
+//! The canonical sixteen lane-major accumulators are represented as four
+//! 128-bit registers — `q0` holds lanes 0–3, `q1` lanes 4–7, `q2` lanes
+//! 8–11, `q3` lanes 12–15 — advanced with `vmulq`/`vaddq`
+//! (multiply-then-add, never `vfmaq`: the scalar reference rounds twice
+//! per element).  The final reduction implements the same tree as the
+//! scalar [`super::body::reduce`]: the half fold `s[i] = acc[i] +
+//! acc[i + 8]` is `vaddq(q0, q2)` / `vaddq(q1, q3)`, then the 8-wide
+//! pairwise tree over the folded pair.  The `len % 16` tail runs the
+//! same sequential scalar loop, so results are bit-identical to the
+//! scalar tier.
 //!
 //! This module compiles only on aarch64; it is exercised by the same
 //! per-backend test suites that pin the x86 tiers
@@ -20,19 +22,27 @@ use std::arch::aarch64::*;
 
 use super::body::DotOps;
 
-/// The canonical pairwise reduce tree over the split accumulator pair:
-/// bit-identical to `body::reduce([lo0..lo3, hi0..hi3])`.
+/// Four q-registers holding one sixteen-lane accumulator chain.
+type Acc16 = (float32x4_t, float32x4_t, float32x4_t, float32x4_t);
+
+/// The canonical reduce tree over the four-register accumulator chain:
+/// bit-identical to `body::reduce([q0 lanes, q1 lanes, q2 lanes, q3
+/// lanes])`.
 ///
 /// # Safety
 ///
 /// Requires `neon`.
 #[inline(always)]
-unsafe fn reduce8(acc_lo: float32x4_t, acc_hi: float32x4_t) -> f32 {
-    // [l0+h0, l1+h1, l2+h2, l3+h3] == [v0+v4, v1+v5, v2+v6, v3+v7]
-    let s = vaddq_f32(acc_lo, acc_hi);
-    // [(v0+v4)+(v2+v6), (v1+v5)+(v3+v7)]
+unsafe fn reduce16(acc: Acc16) -> f32 {
+    // Half fold: [a0+a8, a1+a9, a2+a10, a3+a11] / [a4+a12, ..] ==
+    // s[0..4] / s[4..8].
+    let s_lo = vaddq_f32(acc.0, acc.2);
+    let s_hi = vaddq_f32(acc.1, acc.3);
+    // [s0+s4, s1+s5, s2+s6, s3+s7]
+    let s = vaddq_f32(s_lo, s_hi);
+    // [(s0+s4)+(s2+s6), (s1+s5)+(s3+s7)]
     let d = vadd_f32(vget_low_f32(s), vget_high_f32(s));
-    // ((v0+v4)+(v2+v6)) + ((v1+v5)+(v3+v7))
+    // ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))
     vget_lane_f32::<0>(vpadd_f32(d, d))
 }
 
@@ -46,20 +56,43 @@ unsafe fn tail_dot(a: *const f32, b: *const f32, from: usize, len: usize) -> f32
     tail
 }
 
-/// One accumulator pair advanced by one 8-element chunk.
+/// One accumulator chain advanced by one 16-element chunk.
 #[inline(always)]
-unsafe fn step(
-    acc: (float32x4_t, float32x4_t),
-    a: *const f32,
-    b: *const f32,
+unsafe fn step(acc: Acc16, a: *const f32, b: *const f32, at: usize) -> Acc16 {
+    (
+        vaddq_f32(acc.0, vmulq_f32(vld1q_f32(a.add(at)), vld1q_f32(b.add(at)))),
+        vaddq_f32(
+            acc.1,
+            vmulq_f32(vld1q_f32(a.add(at + 4)), vld1q_f32(b.add(at + 4))),
+        ),
+        vaddq_f32(
+            acc.2,
+            vmulq_f32(vld1q_f32(a.add(at + 8)), vld1q_f32(b.add(at + 8))),
+        ),
+        vaddq_f32(
+            acc.3,
+            vmulq_f32(vld1q_f32(a.add(at + 12)), vld1q_f32(b.add(at + 12))),
+        ),
+    )
+}
+
+/// One chain advanced against four preloaded shared-operand quarters.
+#[inline(always)]
+unsafe fn step_shared(
+    acc: Acc16,
+    p: *const f32,
     at: usize,
-) -> (float32x4_t, float32x4_t) {
-    let lo = vaddq_f32(acc.0, vmulq_f32(vld1q_f32(a.add(at)), vld1q_f32(b.add(at))));
-    let hi = vaddq_f32(
-        acc.1,
-        vmulq_f32(vld1q_f32(a.add(at + 4)), vld1q_f32(b.add(at + 4))),
-    );
-    (lo, hi)
+    s0: float32x4_t,
+    s1: float32x4_t,
+    s2: float32x4_t,
+    s3: float32x4_t,
+) -> Acc16 {
+    (
+        vaddq_f32(acc.0, vmulq_f32(vld1q_f32(p.add(at)), s0)),
+        vaddq_f32(acc.1, vmulq_f32(vld1q_f32(p.add(at + 4)), s1)),
+        vaddq_f32(acc.2, vmulq_f32(vld1q_f32(p.add(at + 8)), s2)),
+        vaddq_f32(acc.3, vmulq_f32(vld1q_f32(p.add(at + 12)), s3)),
+    )
 }
 
 #[derive(Clone, Copy)]
@@ -70,44 +103,40 @@ impl DotOps for NeonOps {
     unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         let n = a.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let pa = a.as_ptr();
         let pb = b.as_ptr();
         let zero = vdupq_n_f32(0.0);
-        let mut acc = (zero, zero);
+        let mut acc = (zero, zero, zero, zero);
         for c in 0..chunks {
-            acc = step(acc, pa, pb, c * 8);
+            acc = step(acc, pa, pb, c * 16);
         }
-        reduce8(acc.0, acc.1) + tail_dot(pa, pb, chunks * 8, n)
+        reduce16(acc) + tail_dot(pa, pb, chunks * 16, n)
     }
 
     #[inline(always)]
     unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
         debug_assert!(a0.len() == shared.len() && a1.len() == shared.len());
         let n = shared.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let p0 = a0.as_ptr();
         let p1 = a1.as_ptr();
         let ps = shared.as_ptr();
         let zero = vdupq_n_f32(0.0);
-        let mut acc0 = (zero, zero);
-        let mut acc1 = (zero, zero);
+        let mut acc0 = (zero, zero, zero, zero);
+        let mut acc1 = (zero, zero, zero, zero);
         for c in 0..chunks {
-            let at = c * 8;
-            let s_lo = vld1q_f32(ps.add(at));
-            let s_hi = vld1q_f32(ps.add(at + 4));
-            acc0 = (
-                vaddq_f32(acc0.0, vmulq_f32(vld1q_f32(p0.add(at)), s_lo)),
-                vaddq_f32(acc0.1, vmulq_f32(vld1q_f32(p0.add(at + 4)), s_hi)),
-            );
-            acc1 = (
-                vaddq_f32(acc1.0, vmulq_f32(vld1q_f32(p1.add(at)), s_lo)),
-                vaddq_f32(acc1.1, vmulq_f32(vld1q_f32(p1.add(at + 4)), s_hi)),
-            );
+            let at = c * 16;
+            let s0 = vld1q_f32(ps.add(at));
+            let s1 = vld1q_f32(ps.add(at + 4));
+            let s2 = vld1q_f32(ps.add(at + 8));
+            let s3 = vld1q_f32(ps.add(at + 12));
+            acc0 = step_shared(acc0, p0, at, s0, s1, s2, s3);
+            acc1 = step_shared(acc1, p1, at, s0, s1, s2, s3);
         }
         [
-            reduce8(acc0.0, acc0.1) + tail_dot(p0, ps, chunks * 8, n),
-            reduce8(acc1.0, acc1.1) + tail_dot(p1, ps, chunks * 8, n),
+            reduce16(acc0) + tail_dot(p0, ps, chunks * 16, n),
+            reduce16(acc1) + tail_dot(p1, ps, chunks * 16, n),
         ]
     }
 
@@ -127,27 +156,26 @@ impl DotOps for NeonOps {
                 && row.len() == x3.len()
         );
         let n = row.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let pr = row.as_ptr();
         let px = [x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr()];
         let zero = vdupq_n_f32(0.0);
-        let mut acc = [(zero, zero); 4];
+        let mut acc = [(zero, zero, zero, zero); 4];
         for c in 0..chunks {
-            let at = c * 8;
-            let r_lo = vld1q_f32(pr.add(at));
-            let r_hi = vld1q_f32(pr.add(at + 4));
+            let at = c * 16;
+            let r0 = vld1q_f32(pr.add(at));
+            let r1 = vld1q_f32(pr.add(at + 4));
+            let r2 = vld1q_f32(pr.add(at + 8));
+            let r3 = vld1q_f32(pr.add(at + 12));
             for (a, p) in acc.iter_mut().zip(px.iter()) {
-                *a = (
-                    vaddq_f32(a.0, vmulq_f32(r_lo, vld1q_f32(p.add(at)))),
-                    vaddq_f32(a.1, vmulq_f32(r_hi, vld1q_f32(p.add(at + 4)))),
-                );
+                *a = step_shared(*a, *p, at, r0, r1, r2, r3);
             }
         }
         [
-            reduce8(acc[0].0, acc[0].1) + tail_dot(pr, px[0], chunks * 8, n),
-            reduce8(acc[1].0, acc[1].1) + tail_dot(pr, px[1], chunks * 8, n),
-            reduce8(acc[2].0, acc[2].1) + tail_dot(pr, px[2], chunks * 8, n),
-            reduce8(acc[3].0, acc[3].1) + tail_dot(pr, px[3], chunks * 8, n),
+            reduce16(acc[0]) + tail_dot(pr, px[0], chunks * 16, n),
+            reduce16(acc[1]) + tail_dot(pr, px[1], chunks * 16, n),
+            reduce16(acc[2]) + tail_dot(pr, px[2], chunks * 16, n),
+            reduce16(acc[3]) + tail_dot(pr, px[3], chunks * 16, n),
         ]
     }
 }

@@ -1,21 +1,20 @@
 //! AVX2 and AVX-512 kernel tiers (x86 / x86-64).
 //!
 //! Both tiers reproduce the scalar reduction order exactly (see
-//! [`super::body`]): a 256-bit register holds the eight canonical
-//! lane-major accumulators, one `loadu → mul → add` per 8-element chunk
-//! (multiply-then-add, never FMA — the scalar reference rounds twice),
-//! then [`reduce8`] implements the same pairwise tree the scalar
-//! [`super::body::reduce`] computes, and the `len % 8` tail runs the
-//! same sequential scalar loop.
+//! [`super::body`]): sixteen canonical lane-major accumulators advanced
+//! once per 16-element chunk with multiply-then-add (never FMA — the
+//! scalar reference rounds twice), the fixed pairwise reduce tree, and
+//! the `len % 16` tail as the same sequential scalar loop.
 //!
-//! The AVX-512 tier cannot widen a *single* accumulator chain past
-//! eight lanes without changing the reduction order, so it spends its
-//! width on **pairs**: [`Avx512Ops::dot2`] packs two independent
-//! 8-lane accumulator sets into one `zmm` (two outputs per streamed
-//! shared operand), and [`Avx512Ops::dot_quad`] packs four into two
-//! `zmm`s.  Each 256-bit half evolves exactly like the scalar
-//! accumulator array, so bit-identity is preserved per output.
-
+//! The 16-lane canonical order is what lets the AVX-512 tier hold one
+//! *full* accumulator chain in a single `zmm` register: one
+//! `loadu → mul → add` per chunk per output ([`reduce16`]'s 256-bit
+//! extract-and-add is exactly the canonical half fold `s[i] = acc[i] +
+//! acc[i + 8]`).  The AVX2 tier represents the same sixteen lanes as a
+//! `ymm` *pair* — `acc_lo` holds lanes 0–7, `acc_hi` lanes 8–15 — and
+//! its final `vaddps` of the two halves is the same half fold, so both
+//! tiers reduce through the shared 8-wide tree [`reduce8`] and stay
+//! bit-identical by construction.
 #![allow(unsafe_op_in_unsafe_fn)]
 
 #[cfg(target_arch = "x86")]
@@ -25,8 +24,9 @@ use std::arch::x86_64::*;
 
 use super::body::DotOps;
 
-/// The canonical pairwise reduce tree over a 256-bit accumulator:
-/// bit-identical to `body::reduce([v0..v7])`.
+/// The canonical 8-wide pairwise reduce tree over a 256-bit register of
+/// half-folded sums: bit-identical to the tree `body::reduce` runs
+/// after its half fold.
 ///
 /// # Safety
 ///
@@ -35,13 +35,38 @@ use super::body::DotOps;
 unsafe fn reduce8(v: __m256) -> f32 {
     let lo = _mm256_castps256_ps128(v);
     let hi = _mm256_extractf128_ps::<1>(v);
-    // [v0+v4, v1+v5, v2+v6, v3+v7]
+    // [s0+s4, s1+s5, s2+s6, s3+s7]
     let s = _mm_add_ps(lo, hi);
-    // [(v0+v4)+(v2+v6), (v1+v5)+(v3+v7), ..]
+    // [(s0+s4)+(s2+s6), (s1+s5)+(s3+s7), ..]
     let t = _mm_add_ps(s, _mm_movehl_ps(s, s));
-    // ((v0+v4)+(v2+v6)) + ((v1+v5)+(v3+v7))
+    // ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))
     let r = _mm_add_ss(t, _mm_shuffle_ps::<0b01>(t, t));
     _mm_cvtss_f32(r)
+}
+
+/// Reduce a sixteen-lane accumulator held as a `ymm` pair: the `vaddps`
+/// of the halves is the canonical half fold `s[i] = acc[i] + acc[i+8]`,
+/// then the shared tree.
+///
+/// # Safety
+///
+/// Requires `avx`.
+#[inline(always)]
+unsafe fn reduce16_pair(acc_lo: __m256, acc_hi: __m256) -> f32 {
+    reduce8(_mm256_add_ps(acc_lo, acc_hi))
+}
+
+/// Reduce a sixteen-lane accumulator held in one `zmm`: the 256-bit
+/// extract-and-add is the canonical half fold, then the shared tree.
+///
+/// # Safety
+///
+/// Requires `avx512f` + `avx512dq` (`vextractf32x8`).
+#[inline(always)]
+unsafe fn reduce16(v: __m512) -> f32 {
+    let lo = _mm512_castps512_ps256(v);
+    let hi = _mm512_extractf32x8_ps::<1>(v);
+    reduce8(_mm256_add_ps(lo, hi))
 }
 
 /// Sequential scalar tail over `[from..len)`, shared by every tier.
@@ -54,7 +79,8 @@ unsafe fn tail_dot(a: *const f32, b: *const f32, from: usize, len: usize) -> f32
     tail
 }
 
-/// 256-bit tier.
+/// 256-bit tier: each sixteen-lane accumulator chain lives in a `ymm`
+/// pair, advanced with two `loadu → mul → add` steps per chunk.
 #[derive(Clone, Copy)]
 struct Avx2Ops;
 
@@ -63,36 +89,52 @@ impl DotOps for Avx2Ops {
     unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         let n = a.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let pa = a.as_ptr();
         let pb = b.as_ptr();
-        let mut acc = _mm256_setzero_ps();
+        let mut acc_lo = _mm256_setzero_ps();
+        let mut acc_hi = _mm256_setzero_ps();
         for c in 0..chunks {
-            let va = _mm256_loadu_ps(pa.add(c * 8));
-            let vb = _mm256_loadu_ps(pb.add(c * 8));
-            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            let at = c * 16;
+            acc_lo = _mm256_add_ps(
+                acc_lo,
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(at)), _mm256_loadu_ps(pb.add(at))),
+            );
+            acc_hi = _mm256_add_ps(
+                acc_hi,
+                _mm256_mul_ps(
+                    _mm256_loadu_ps(pa.add(at + 8)),
+                    _mm256_loadu_ps(pb.add(at + 8)),
+                ),
+            );
         }
-        reduce8(acc) + tail_dot(pa, pb, chunks * 8, n)
+        reduce16_pair(acc_lo, acc_hi) + tail_dot(pa, pb, chunks * 16, n)
     }
 
     #[inline(always)]
     unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
         debug_assert!(a0.len() == shared.len() && a1.len() == shared.len());
         let n = shared.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let p0 = a0.as_ptr();
         let p1 = a1.as_ptr();
         let ps = shared.as_ptr();
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
+        let mut a0_lo = _mm256_setzero_ps();
+        let mut a0_hi = _mm256_setzero_ps();
+        let mut a1_lo = _mm256_setzero_ps();
+        let mut a1_hi = _mm256_setzero_ps();
         for c in 0..chunks {
-            let vs = _mm256_loadu_ps(ps.add(c * 8));
-            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_loadu_ps(p0.add(c * 8)), vs));
-            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_loadu_ps(p1.add(c * 8)), vs));
+            let at = c * 16;
+            let s_lo = _mm256_loadu_ps(ps.add(at));
+            let s_hi = _mm256_loadu_ps(ps.add(at + 8));
+            a0_lo = _mm256_add_ps(a0_lo, _mm256_mul_ps(_mm256_loadu_ps(p0.add(at)), s_lo));
+            a0_hi = _mm256_add_ps(a0_hi, _mm256_mul_ps(_mm256_loadu_ps(p0.add(at + 8)), s_hi));
+            a1_lo = _mm256_add_ps(a1_lo, _mm256_mul_ps(_mm256_loadu_ps(p1.add(at)), s_lo));
+            a1_hi = _mm256_add_ps(a1_hi, _mm256_mul_ps(_mm256_loadu_ps(p1.add(at + 8)), s_hi));
         }
         [
-            reduce8(acc0) + tail_dot(p0, ps, chunks * 8, n),
-            reduce8(acc1) + tail_dot(p1, ps, chunks * 8, n),
+            reduce16_pair(a0_lo, a0_hi) + tail_dot(p0, ps, chunks * 16, n),
+            reduce16_pair(a1_lo, a1_hi) + tail_dot(p1, ps, chunks * 16, n),
         ]
     }
 
@@ -112,57 +154,76 @@ impl DotOps for Avx2Ops {
                 && row.len() == x3.len()
         );
         let n = row.len();
-        let chunks = n / 8;
+        let chunks = n / 16;
         let pr = row.as_ptr();
-        let p0 = x0.as_ptr();
-        let p1 = x1.as_ptr();
-        let p2 = x2.as_ptr();
-        let p3 = x3.as_ptr();
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut acc2 = _mm256_setzero_ps();
-        let mut acc3 = _mm256_setzero_ps();
+        let px = [x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr()];
+        let zero = _mm256_setzero_ps();
+        let mut acc = [(zero, zero); 4];
         for c in 0..chunks {
-            let vr = _mm256_loadu_ps(pr.add(c * 8));
-            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(vr, _mm256_loadu_ps(p0.add(c * 8))));
-            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(vr, _mm256_loadu_ps(p1.add(c * 8))));
-            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(vr, _mm256_loadu_ps(p2.add(c * 8))));
-            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(vr, _mm256_loadu_ps(p3.add(c * 8))));
+            let at = c * 16;
+            let r_lo = _mm256_loadu_ps(pr.add(at));
+            let r_hi = _mm256_loadu_ps(pr.add(at + 8));
+            for (a, p) in acc.iter_mut().zip(px.iter()) {
+                a.0 = _mm256_add_ps(a.0, _mm256_mul_ps(r_lo, _mm256_loadu_ps(p.add(at))));
+                a.1 = _mm256_add_ps(a.1, _mm256_mul_ps(r_hi, _mm256_loadu_ps(p.add(at + 8))));
+            }
         }
         [
-            reduce8(acc0) + tail_dot(pr, p0, chunks * 8, n),
-            reduce8(acc1) + tail_dot(pr, p1, chunks * 8, n),
-            reduce8(acc2) + tail_dot(pr, p2, chunks * 8, n),
-            reduce8(acc3) + tail_dot(pr, p3, chunks * 8, n),
+            reduce16_pair(acc[0].0, acc[0].1) + tail_dot(pr, px[0], chunks * 16, n),
+            reduce16_pair(acc[1].0, acc[1].1) + tail_dot(pr, px[1], chunks * 16, n),
+            reduce16_pair(acc[2].0, acc[2].1) + tail_dot(pr, px[2], chunks * 16, n),
+            reduce16_pair(acc[3].0, acc[3].1) + tail_dot(pr, px[3], chunks * 16, n),
         ]
     }
 }
 
-/// 512-bit tier.
-///
-/// The fixed 8-lane reduction order caps a *single* accumulator chain
-/// at 256 bits, and packing two independent 8-lane accumulator sets
-/// into one `zmm` was measured slower than two `ymm` chains on this
-/// generation (every non-shared operand pair costs a `vinsertf32x8`
-/// shuffle per chunk, and port-5 pressure beats the saved adds —
-/// 2.1 µs vs 1.9 µs on the 128-neuron `dual_matvec`, 12.6 µs vs
-/// 12.3 µs on the 8-lane `dual_matmul`).  So the f32 side deliberately
-/// runs the AVX2-shaped loops (EVEX-encoded under this tier's feature
-/// set); what AVX-512 genuinely buys this workload is the
-/// `vpopcntdq` XNOR-popcount path in `nfm-bnn` (~2.4x over hardware
-/// `popcnt` at BNN-mirror widths).
+/// 512-bit tier: one `zmm` register *is* one full sixteen-lane
+/// accumulator chain — a single `loadu → mul → add` per chunk per
+/// output, half the instruction count of the `ymm`-pair tier on the
+/// same canonical order.  `dot2` keeps two chains (two `zmm`) over one
+/// shared-operand load, `dot_quad` four.
 #[derive(Clone, Copy)]
 struct Avx512Ops;
 
 impl DotOps for Avx512Ops {
     #[inline(always)]
     unsafe fn dot(self, a: &[f32], b: &[f32]) -> f32 {
-        Avx2Ops.dot(a, b)
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 16;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc = _mm512_setzero_ps();
+        for c in 0..chunks {
+            let at = c * 16;
+            acc = _mm512_add_ps(
+                acc,
+                _mm512_mul_ps(_mm512_loadu_ps(pa.add(at)), _mm512_loadu_ps(pb.add(at))),
+            );
+        }
+        reduce16(acc) + tail_dot(pa, pb, chunks * 16, n)
     }
 
     #[inline(always)]
     unsafe fn dot2(self, a0: &[f32], a1: &[f32], shared: &[f32]) -> [f32; 2] {
-        Avx2Ops.dot2(a0, a1, shared)
+        debug_assert!(a0.len() == shared.len() && a1.len() == shared.len());
+        let n = shared.len();
+        let chunks = n / 16;
+        let p0 = a0.as_ptr();
+        let p1 = a1.as_ptr();
+        let ps = shared.as_ptr();
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        for c in 0..chunks {
+            let at = c * 16;
+            let vs = _mm512_loadu_ps(ps.add(at));
+            acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(_mm512_loadu_ps(p0.add(at)), vs));
+            acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(_mm512_loadu_ps(p1.add(at)), vs));
+        }
+        [
+            reduce16(acc0) + tail_dot(p0, ps, chunks * 16, n),
+            reduce16(acc1) + tail_dot(p1, ps, chunks * 16, n),
+        ]
     }
 
     #[inline(always)]
@@ -174,7 +235,30 @@ impl DotOps for Avx512Ops {
         x2: &[f32],
         x3: &[f32],
     ) -> [f32; 4] {
-        Avx2Ops.dot_quad(row, x0, x1, x2, x3)
+        debug_assert!(
+            row.len() == x0.len()
+                && row.len() == x1.len()
+                && row.len() == x2.len()
+                && row.len() == x3.len()
+        );
+        let n = row.len();
+        let chunks = n / 16;
+        let pr = row.as_ptr();
+        let px = [x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr()];
+        let mut acc = [_mm512_setzero_ps(); 4];
+        for c in 0..chunks {
+            let at = c * 16;
+            let vr = _mm512_loadu_ps(pr.add(at));
+            for (a, p) in acc.iter_mut().zip(px.iter()) {
+                *a = _mm512_add_ps(*a, _mm512_mul_ps(vr, _mm512_loadu_ps(p.add(at))));
+            }
+        }
+        [
+            reduce16(acc[0]) + tail_dot(pr, px[0], chunks * 16, n),
+            reduce16(acc[1]) + tail_dot(pr, px[1], chunks * 16, n),
+            reduce16(acc[2]) + tail_dot(pr, px[2], chunks * 16, n),
+            reduce16(acc[3]) + tail_dot(pr, px[3], chunks * 16, n),
+        ]
     }
 }
 

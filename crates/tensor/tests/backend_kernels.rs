@@ -1,7 +1,7 @@
 //! Dispatch-tier bit-equivalence: every kernel of every backend the
 //! host supports must reproduce the scalar reference **byte for byte**,
 //! across every remainder shape — odd rows, odd cols, odd lanes, the
-//! 4×4 register-tile remainders and dot lengths straddling the 8-wide
+//! 4×4 register-tile remainders and dot lengths straddling the 16-wide
 //! chunk boundary.
 //!
 //! This suite is what makes `NFM_KERNEL_BACKEND` a pure performance
@@ -19,11 +19,14 @@ use nfm_tensor::kernels::{
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Matrix;
 
-/// Dot lengths covering the all-tail case, exact chunk multiples and
-/// off-by-one remainders around them.
-const DOT_LENS: [usize; 20] = [
-    0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 31, 32, 33, 63, 64, 65, 129, 257,
-];
+/// Dot lengths pinning every remainder shape of the 16-lane canonical
+/// order: the all-tail cases (`0..16`), *every* tail length `1..=15`
+/// after one full chunk (`17..32`), the one- and two-chunk straddles
+/// (`15..=17`, `31..=33`), a third-chunk straddle (`47..=49`), a wider
+/// straddle (`63..=65`) and two long lengths.
+fn dot_lens() -> Vec<usize> {
+    (0..=33).chain([47, 48, 49, 63, 64, 65, 129, 257]).collect()
+}
 
 /// Row/lane counts straddling the 4×4 tile edges.
 const EDGE_COUNTS: [usize; 9] = [1, 2, 3, 4, 5, 7, 8, 9, 13];
@@ -70,7 +73,7 @@ fn reports_exercised_backends() {
 #[test]
 fn dot_matches_scalar_on_every_backend_and_length() {
     let mut rng = DeterministicRng::seed_from_u64(101);
-    for len in DOT_LENS {
+    for len in dot_lens() {
         let a = vecf(&mut rng, len);
         let b = vecf(&mut rng, len);
         let reference = dot_unchecked_on(KernelBackend::Scalar, &a, &b);
@@ -87,7 +90,7 @@ fn dot_matches_scalar_on_every_backend_and_length() {
 #[test]
 fn dot_quad_matches_scalar_on_every_backend_and_length() {
     let mut rng = DeterministicRng::seed_from_u64(102);
-    for len in DOT_LENS {
+    for len in dot_lens() {
         let row = vecf(&mut rng, len);
         let xs: Vec<Vec<f32>> = (0..4).map(|_| vecf(&mut rng, len)).collect();
         let reference =
@@ -109,7 +112,7 @@ fn dot_quad_matches_scalar_on_every_backend_and_length() {
 fn matvec_matches_scalar_on_odd_rows_and_cols() {
     let mut rng = DeterministicRng::seed_from_u64(103);
     for rows in EDGE_COUNTS {
-        for cols in [1usize, 3, 7, 8, 9, 17, 33] {
+        for cols in [1usize, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 47] {
             let m = random_matrix(&mut rng, rows, cols);
             let x = vecf(&mut rng, cols);
             let mut reference = vec![0.0f32; rows];
@@ -127,7 +130,18 @@ fn matvec_matches_scalar_on_odd_rows_and_cols() {
 fn dual_matvec_matches_scalar_on_odd_shapes() {
     let mut rng = DeterministicRng::seed_from_u64(104);
     for rows in EDGE_COUNTS {
-        for (xc, hc) in [(1usize, 1usize), (7, 9), (8, 8), (9, 7), (17, 5), (24, 16)] {
+        for (xc, hc) in [
+            (1usize, 1usize),
+            (7, 9),
+            (8, 8),
+            (9, 7),
+            (15, 17),
+            (16, 16),
+            (17, 5),
+            (24, 16),
+            (31, 33),
+            (33, 31),
+        ] {
             let wx = random_matrix(&mut rng, rows, xc);
             let wh = random_matrix(&mut rng, rows, hc);
             let x = vecf(&mut rng, xc);
@@ -152,7 +166,7 @@ fn matmul_matches_scalar_on_odd_lanes() {
     let mut rng = DeterministicRng::seed_from_u64(105);
     for rows in [1usize, 3, 5, 8] {
         for lanes in EDGE_COUNTS {
-            for cols in [1usize, 7, 9, 16] {
+            for cols in [1usize, 7, 9, 15, 16, 17, 31, 33] {
                 let m = random_matrix(&mut rng, rows, cols);
                 let xs = vecf(&mut rng, lanes * cols);
                 let mut reference = vec![0.0f32; lanes * rows];
@@ -176,21 +190,22 @@ fn matmul_add_matches_scalar_on_odd_lanes() {
     let mut rng = DeterministicRng::seed_from_u64(106);
     for rows in [2usize, 5, 8] {
         for lanes in EDGE_COUNTS {
-            let cols = 9;
-            let m = random_matrix(&mut rng, rows, cols);
-            let xs = vecf(&mut rng, lanes * cols);
-            let base = vecf(&mut rng, lanes * rows);
-            let mut reference = vec![0.0f32; lanes * rows];
-            matmul_add_into_on(KernelBackend::Scalar, &m, &xs, lanes, &base, &mut reference)
-                .unwrap();
-            for backend in simd_backends() {
-                let mut out = vec![f32::NAN; lanes * rows];
-                matmul_add_into_on(backend, &m, &xs, lanes, &base, &mut out).unwrap();
-                assert_bits_eq(
-                    &out,
-                    &reference,
-                    &format!("matmul_add {rows}x{cols} lanes {lanes} {backend}"),
-                );
+            for cols in [9usize, 17, 31] {
+                let m = random_matrix(&mut rng, rows, cols);
+                let xs = vecf(&mut rng, lanes * cols);
+                let base = vecf(&mut rng, lanes * rows);
+                let mut reference = vec![0.0f32; lanes * rows];
+                matmul_add_into_on(KernelBackend::Scalar, &m, &xs, lanes, &base, &mut reference)
+                    .unwrap();
+                for backend in simd_backends() {
+                    let mut out = vec![f32::NAN; lanes * rows];
+                    matmul_add_into_on(backend, &m, &xs, lanes, &base, &mut out).unwrap();
+                    assert_bits_eq(
+                        &out,
+                        &reference,
+                        &format!("matmul_add {rows}x{cols} lanes {lanes} {backend}"),
+                    );
+                }
             }
         }
     }
@@ -199,34 +214,39 @@ fn matmul_add_matches_scalar_on_odd_lanes() {
 #[test]
 fn dual_matmul_matches_scalar_across_tile_remainders() {
     // The 4×4 register tiles: every (rows % 4, lanes % 4) combination,
-    // with odd column widths so the quad-dot tails run too.
+    // with quad-dot widths that are all-tail (11), a one-chunk straddle
+    // (17), an exact two-chunk multiple (32) and a three-chunk straddle
+    // (47), so the register-tiled path runs every remainder shape of
+    // the 16-lane order too.
     let mut rng = DeterministicRng::seed_from_u64(107);
     for rows in EDGE_COUNTS {
         for lanes in EDGE_COUNTS {
-            let (xc, hc) = (11, rows.max(1));
-            let wx = random_matrix(&mut rng, rows, xc);
-            let wh = random_matrix(&mut rng, rows, hc);
-            let xs = vecf(&mut rng, lanes * xc);
-            let hs = vecf(&mut rng, lanes * hc);
-            let mut reference = vec![0.0f32; lanes * rows];
-            dual_matmul_into_on(
-                KernelBackend::Scalar,
-                &wx,
-                &wh,
-                &xs,
-                &hs,
-                lanes,
-                &mut reference,
-            )
-            .unwrap();
-            for backend in simd_backends() {
-                let mut out = vec![f32::NAN; lanes * rows];
-                dual_matmul_into_on(backend, &wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
-                assert_bits_eq(
-                    &out,
-                    &reference,
-                    &format!("dual_matmul rows {rows} lanes {lanes} {backend}"),
-                );
+            for xc in [11usize, 17, 32, 47] {
+                let hc = rows.max(1);
+                let wx = random_matrix(&mut rng, rows, xc);
+                let wh = random_matrix(&mut rng, rows, hc);
+                let xs = vecf(&mut rng, lanes * xc);
+                let hs = vecf(&mut rng, lanes * hc);
+                let mut reference = vec![0.0f32; lanes * rows];
+                dual_matmul_into_on(
+                    KernelBackend::Scalar,
+                    &wx,
+                    &wh,
+                    &xs,
+                    &hs,
+                    lanes,
+                    &mut reference,
+                )
+                .unwrap();
+                for backend in simd_backends() {
+                    let mut out = vec![f32::NAN; lanes * rows];
+                    dual_matmul_into_on(backend, &wx, &wh, &xs, &hs, lanes, &mut out).unwrap();
+                    assert_bits_eq(
+                        &out,
+                        &reference,
+                        &format!("dual_matmul rows {rows} xc {xc} lanes {lanes} {backend}"),
+                    );
+                }
             }
         }
     }
@@ -237,7 +257,8 @@ fn gate_preact_matches_scalar_single_and_batch() {
     let mut rng = DeterministicRng::seed_from_u64(108);
     for rows in [3usize, 5, 8, 9] {
         for lanes in [1usize, 3, 4, 5, 8] {
-            let (xc, hc) = (13, rows);
+            // 16-lane straddle on the forward half, all-tail recurrent.
+            let (xc, hc) = (19, rows);
             let wx = random_matrix(&mut rng, rows, xc);
             let wh = random_matrix(&mut rng, rows, hc);
             let bias = vecf(&mut rng, rows);

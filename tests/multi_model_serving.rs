@@ -498,6 +498,115 @@ fn override_context_cap_is_configurable_and_never_changes_results() {
     }
 }
 
+// ---------------------------------------------------------------------
+// A predictor that counts evaluator builds: the observable for the
+// evicted-context evaluator-reuse contract below.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CountingPredictor {
+    inner: nfm::memo::OraclePredictor,
+    builds: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl Predictor for CountingPredictor {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn build_evaluator(&self, network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        self.builds
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.inner.build_evaluator(network)
+    }
+
+    fn threshold(&self) -> Option<f32> {
+        self.inner.threshold()
+    }
+
+    fn with_threshold(&self, threshold: f32) -> Option<Arc<dyn Predictor>> {
+        let mut config = self.inner.config();
+        config.threshold = threshold;
+        Some(Arc::new(CountingPredictor {
+            inner: nfm::memo::OraclePredictor::new(config),
+            builds: Arc::clone(&self.builds),
+        }))
+    }
+}
+
+/// Evicting an idle override context parks its evaluator: sweeping back
+/// to a recently-evicted θ revives the parked allocations instead of
+/// calling `build_evaluator` again, and the revived context's results
+/// stay bit-identical to a dedicated fresh-evaluator run.
+#[test]
+fn evicted_override_contexts_revive_parked_evaluators() {
+    let net = unidirectional_network(87);
+    let builds = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let base = OracleMemoConfig::with_threshold(0.5);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_custom(
+            "m",
+            net.clone(),
+            "counting",
+            Arc::new(CountingPredictor {
+                inner: nfm::memo::OraclePredictor::new(base),
+                builds: Arc::clone(&builds),
+            }),
+        )
+        .unwrap();
+    let engine = EngineBuilder::from_registry(registry)
+        .lanes(1)
+        .workers(1)
+        .queue_capacity(8)
+        .override_context_cap(2)
+        .build()
+        .unwrap();
+
+    // One request per distinct θ, drained one at a time so the single
+    // worker creates the contexts in submission order: θ1 and θ2 fill
+    // the cap, θ3 evicts θ1 (LRU) and parks its evaluator.
+    let run_theta = |id: u64, theta: f32| {
+        let seq = smooth_sequence(6, net.input_size(), 1700 + id);
+        engine
+            .submit(InferenceRequest::new(id, seq.clone()).with_threshold(theta))
+            .unwrap();
+        let responses = engine.drain();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].status, CompletionStatus::Done, "id={id}");
+        let mut eval = OracleEvaluator::for_network(&net, OracleMemoConfig::with_threshold(theta));
+        let reference = net.run(&seq, &mut eval).unwrap();
+        assert_bit_identical(
+            &format!("θ={theta} id={id}"),
+            &responses[0].outputs,
+            &reference,
+        );
+    };
+    run_theta(0, 0.1);
+    run_theta(1, 0.2);
+    run_theta(2, 0.3);
+    assert_eq!(
+        builds.load(std::sync::atomic::Ordering::SeqCst),
+        3,
+        "three distinct overrides build three evaluators"
+    );
+
+    // Sweeping back to the evicted θ1 recreates its context from the
+    // parked evaluator — no fourth build, results still bit-identical
+    // to a dedicated fresh evaluator.
+    run_theta(3, 0.1);
+    assert_eq!(
+        builds.load(std::sync::atomic::Ordering::SeqCst),
+        3,
+        "revisiting a recently-evicted override revives its parked evaluator"
+    );
+
+    // A θ that was never parked still builds.
+    run_theta(4, 0.4);
+    assert_eq!(builds.load(std::sync::atomic::Ordering::SeqCst), 4);
+    drop(engine);
+}
+
 /// Contract 3: registry and submit-time errors are typed.
 #[test]
 fn unknown_ids_and_unsupported_overrides_are_typed_errors() {
