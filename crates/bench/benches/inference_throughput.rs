@@ -292,7 +292,8 @@ fn main() {
 
     // The serving engine under ragged traffic: the same sequences
     // drained with wave-boundary refill (the pre-engine `run_batched`
-    // schedule) vs the engine's step-pipelined mid-wave refill.  Long
+    // schedule) vs the unified lane scheduler's mid-wave (block
+    // policy) refill.  Long
     // and short requests interleave, so every wave thins out to a
     // sliver of active lanes near its end — exactly the utilization gap
     // mid-wave refill closes.  Construction is symmetric and hoisted
@@ -414,6 +415,134 @@ fn main() {
         }
         black_box(two_model_engine.drain().len())
     });
+
+    // Skewed traffic: a hot/cold model blend under a Poisson-ish
+    // arrival mix with heavy-tailed ragged lengths — the serving shape
+    // where fixed per-model lane allocations waste the most capacity.
+    // The schedule is drawn once from the deterministic xoshiro RNG (a
+    // Poisson arrival stream thinned per model is itself Poisson, so
+    // at submission granularity the blend is an i.i.d. Bernoulli mix):
+    // ~3/4 of requests hit the hot half-scale DeepSpeech2 model (5 GRU
+    // layers whose per-layer weights exceed L2, so every step-sweep
+    // re-streams them from L3 and thin waves waste real bandwidth),
+    // the rest the cold half-scale IMDB BNN model.  Lengths are
+    // bimodal — ~80% short interactive requests (5-10 steps), ~20%
+    // long stragglers (48-63 steps), the canonical heavy-tailed
+    // service-time mix — so nearly every wave ends with a straggler
+    // holding a sliver of lanes.  The wave reference gives each model
+    // its own fixed ENGINE_LANES-lane waves (the pre-unified-scheduler
+    // regime: no borrowing across models); the engine serves both
+    // models from one worker whose block schedulers let the hot
+    // context borrow the cold context's idle lanes while mid-wave
+    // refill backfills around the stragglers.  This pair is the PR
+    // acceptance measurement: `engine_midwave_refill_skewed` must hold
+    // ≥ 1.1x over `engine_wave_refill_skewed`, interleaved so host
+    // drift cancels.
+    const SKEWED_REQUESTS: usize = 64;
+    let hot_pool = workload(NetworkId::DeepSpeech2, 0.5, SKEWED_REQUESTS, 64);
+    let cold_pool = workload(NetworkId::ImdbSentiment, 0.5, SKEWED_REQUESTS, 64);
+    let mut traffic_rng = DeterministicRng::seed_from_u64(42);
+    let skewed: Vec<(bool, Vec<Vector>)> = (0..SKEWED_REQUESTS)
+        .map(|i| {
+            let hot = traffic_rng.uniform(0.0, 1.0) < 0.75;
+            let long = traffic_rng.uniform(0.0, 1.0) < 0.2;
+            let u: f32 = traffic_rng.uniform(0.0, 1.0);
+            let len = if long {
+                48 + (u * 15.0) as usize
+            } else {
+                5 + (u * 6.0) as usize
+            };
+            let pool = if hot { &hot_pool } else { &cold_pool };
+            (hot, pool.sequences()[i][..len].to_vec())
+        })
+        .collect();
+    let hot_seqs: Vec<Vec<Vector>> = skewed
+        .iter()
+        .filter(|(hot, _)| *hot)
+        .map(|(_, s)| s.clone())
+        .collect();
+    let cold_seqs: Vec<Vec<Vector>> = skewed
+        .iter()
+        .filter(|(hot, _)| !*hot)
+        .map(|(_, s)| s.clone())
+        .collect();
+    assert!(
+        !hot_seqs.is_empty() && !cold_seqs.is_empty(),
+        "skewed schedule must exercise both models"
+    );
+    let mut hot_eval = ExactEvaluator::new();
+    let mut cold_eval = BnnMemoEvaluator::new(
+        BinaryNetwork::mirror(cold_pool.network()),
+        BnnMemoConfig::with_threshold(0.5),
+    );
+    let mut skew_registry = ModelRegistry::new();
+    skew_registry
+        .register("ds2-hot", hot_pool.network().clone(), PredictorKind::Exact)
+        .expect("fresh registry");
+    skew_registry
+        .register(
+            "imdb-cold",
+            cold_pool.network().clone(),
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+        )
+        .expect("fresh id");
+    let skewed_engine = EngineBuilder::from_registry(skew_registry)
+        .lanes(ENGINE_LANES)
+        .workers(1)
+        .queue_capacity(SKEWED_REQUESTS)
+        .build()
+        .expect("engine builds");
+    let submit_skewed = |engine: &nfm_serve::Engine| -> Vec<InferenceResponse> {
+        for (i, (hot, s)) in skewed.iter().enumerate() {
+            engine
+                .submit(
+                    InferenceRequest::new(i as u64, s.clone()).for_model(if *hot {
+                        "ds2-hot"
+                    } else {
+                        "imdb-cold"
+                    }),
+                )
+                .expect("submit");
+        }
+        engine.drain()
+    };
+    bench.bench_pair(
+        "inference/engine_wave_refill_skewed/mixed",
+        || {
+            black_box(
+                wave_refill(hot_pool.network(), &hot_seqs, ENGINE_LANES, &mut hot_eval)
+                    + wave_refill(
+                        cold_pool.network(),
+                        &cold_seqs,
+                        ENGINE_LANES,
+                        &mut cold_eval,
+                    ),
+            )
+        },
+        "inference/engine_midwave_refill_skewed/mixed",
+        || black_box(submit_skewed(&skewed_engine).len()),
+    );
+    // Tail latency under the skew, pooled over several passes so the
+    // p99 is a real percentile over ~160 samples.
+    let mut skew_latencies: Vec<f64> = Vec::new();
+    for _ in 0..5 {
+        skew_latencies.extend(
+            submit_skewed(&skewed_engine)
+                .iter()
+                .map(|r| r.total_latency().as_nanos() as f64),
+        );
+    }
+    skew_latencies.sort_by(|a, b| a.total_cmp(b));
+    let skew_percentile =
+        |q: f64| skew_latencies[((skew_latencies.len() - 1) as f64 * q).round() as usize];
+    bench.record_value(
+        "inference/engine_request_p50_skewed/mixed",
+        skew_percentile(0.50),
+    );
+    bench.record_value(
+        "inference/engine_request_p99_skewed/mixed",
+        skew_percentile(0.99),
+    );
 
     for (size, w) in &sizes {
         bench.bench(&format!("inference/exact/{size}"), || {
@@ -665,6 +794,10 @@ fn main() {
         (
             "inference/engine_wave_refill/bnn",
             "inference/engine_midwave_refill/bnn",
+        ),
+        (
+            "inference/engine_wave_refill_skewed/mixed",
+            "inference/engine_midwave_refill_skewed/mixed",
         ),
         ("runner/sequential", "runner/parallel"),
     ];

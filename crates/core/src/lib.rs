@@ -33,8 +33,8 @@
 //!
 //! The request-oriented serving surface — `MemoizedRunner`,
 //! `InferenceWorkload` and the `Engine` they wrap — lives in the
-//! `nfm-serve` crate, which plugs these evaluators into the
-//! step-pipelined lane scheduler of `nfm-rnn`.
+//! `nfm-serve` crate, which plugs these evaluators into the unified
+//! lane scheduler of `nfm-rnn`.
 //!
 //! # Example
 //!
@@ -71,7 +71,8 @@ pub use input_similarity::{InputSimilarityConfig, InputSimilarityEvaluator};
 pub use oracle::OracleEvaluator;
 pub use predictor::BnnMemoEvaluator;
 pub use serving::{
-    BnnPredictor, ExactPredictor, OraclePredictor, Predictor, PredictorKind, ServedEvaluator,
+    BnnPredictor, ExactPredictor, LaneState, OraclePredictor, Predictor, PredictorKind,
+    ServedEvaluator,
 };
 pub use similarity::SimilarityProbe;
 pub use stats::ReuseStats;

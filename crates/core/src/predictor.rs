@@ -151,6 +151,28 @@ impl BnnMemoEvaluator {
         std::mem::take(&mut self.lane_stats[lane])
     }
 
+    /// Moves lane `lane`'s migratable state — its memo table and
+    /// accumulated statistics — out for transfer to another evaluator
+    /// of the same mirror and configuration (the serving engine's
+    /// lane-migration hook).  The source lane's statistics are left at
+    /// zero; its table is left behind and reset by the next
+    /// `begin_lane_sequence`.
+    pub fn export_lane(&mut self, lane: usize) -> (MemoTable, ReuseStats) {
+        (
+            self.lane_tables[lane].clone(),
+            std::mem::take(&mut self.lane_stats[lane]),
+        )
+    }
+
+    /// Installs a lane exported by [`export_lane`](Self::export_lane)
+    /// into lane `lane`, overwriting whatever state the lane held.
+    /// Grows the per-lane state to cover `lane` if needed.
+    pub fn import_lane(&mut self, lane: usize, table: MemoTable, stats: ReuseStats) {
+        self.begin_batch(lane + 1);
+        self.lane_tables[lane] = table;
+        self.lane_stats[lane] = stats;
+    }
+
     /// Resets the accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();

@@ -28,10 +28,28 @@ use crate::config::{BnnMemoConfig, OracleMemoConfig};
 use crate::oracle::OracleEvaluator;
 use crate::predictor::BnnMemoEvaluator;
 use crate::stats::ReuseStats;
+use crate::table::MemoTable;
 use nfm_bnn::BinaryNetwork;
 use nfm_rnn::{DeepRnn, ExactEvaluator, NeuronEvaluator};
+use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
+
+/// The type-erased per-lane state a [`ServedEvaluator`] hands over when
+/// a lane migrates between workers (see
+/// [`ServedEvaluator::export_lane_state`]).
+pub type LaneState = Box<dyn Any + Send>;
+
+/// Migratable lane state of the built-in memoizing evaluators: one
+/// memo table plus the lane's accumulated statistics.
+struct MemoLaneState {
+    table: MemoTable,
+    stats: ReuseStats,
+}
+
+/// Migratable lane state of the exact evaluator: nothing — the lane's
+/// entire state is the recurrent `(h, c)` the scheduler itself moves.
+struct ExactLaneState;
 
 /// A [`NeuronEvaluator`] as the serving engine drives it: the inference
 /// hook plus optional per-request statistics harvesting.
@@ -63,9 +81,43 @@ pub trait ServedEvaluator: NeuronEvaluator + Send {
     fn stats_snapshot(&self) -> Option<ReuseStats> {
         None
     }
+
+    /// Moves lane `lane`'s migratable evaluator state (memo tables,
+    /// per-lane statistics) out so the serving engine can transfer an
+    /// in-flight request to another worker's evaluator of the same
+    /// predictor — work stealing.  `None` (the default) means the
+    /// evaluator does not support lane migration and the engine must
+    /// finish the lane where it is; custom evaluators therefore never
+    /// migrate unless they opt in.
+    fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let _ = lane;
+        None
+    }
+
+    /// Installs state produced by
+    /// [`export_lane_state`](ServedEvaluator::export_lane_state) on a
+    /// peer evaluator of the same predictor into lane `lane`,
+    /// overwriting the lane's current state **without** resetting it
+    /// (the sequence is mid-flight).  Returns `false` when the state
+    /// is not recognized — the engine treats that as a failed
+    /// migration.
+    fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
+        let _ = (lane, state);
+        false
+    }
 }
 
-impl ServedEvaluator for ExactEvaluator {}
+impl ServedEvaluator for ExactEvaluator {
+    fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let _ = lane;
+        Some(Box::new(ExactLaneState))
+    }
+
+    fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
+        let _ = lane;
+        state.downcast::<ExactLaneState>().is_ok()
+    }
+}
 
 impl ServedEvaluator for OracleEvaluator {
     fn take_lane_stats(&mut self, lane: usize) -> Option<ReuseStats> {
@@ -78,6 +130,21 @@ impl ServedEvaluator for OracleEvaluator {
 
     fn stats_snapshot(&self) -> Option<ReuseStats> {
         Some(*self.stats())
+    }
+
+    fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let (table, stats) = OracleEvaluator::export_lane(self, lane);
+        Some(Box::new(MemoLaneState { table, stats }))
+    }
+
+    fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
+        match state.downcast::<MemoLaneState>() {
+            Ok(s) => {
+                OracleEvaluator::import_lane(self, lane, s.table, s.stats);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -92,6 +159,21 @@ impl ServedEvaluator for BnnMemoEvaluator {
 
     fn stats_snapshot(&self) -> Option<ReuseStats> {
         Some(*self.stats())
+    }
+
+    fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let (table, stats) = BnnMemoEvaluator::export_lane(self, lane);
+        Some(Box::new(MemoLaneState { table, stats }))
+    }
+
+    fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
+        match state.downcast::<MemoLaneState>() {
+            Ok(s) => {
+                BnnMemoEvaluator::import_lane(self, lane, s.table, s.stats);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 

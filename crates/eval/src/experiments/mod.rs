@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod energy;
 pub mod fig01;
 pub mod fig05;
 pub mod fig07;

@@ -20,6 +20,7 @@
 //! | `headline` | Abstract / Section 5 averages | [`experiments::headline`] |
 //! | `ablation` | BNN vs input-similarity predictor (Section 1 argument) | [`experiments::ablation`] |
 //! | `sensitivity` | FMU-latency / DPU-width design sweep | [`experiments::sensitivity`] |
+//! | `energy`   | E-PUR+BM energy model vs measured wall-clock speedup | [`experiments::energy`] |
 //!
 //! Run any of them with `cargo run -p nfm-eval -- <experiment> [--full]`.
 //!
@@ -39,7 +40,7 @@ pub use report::{Series, TableReport};
 
 /// Names of every runnable experiment, as accepted by the `nfm-eval`
 /// binary and produced by [`run_experiment`].
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig1",
@@ -54,6 +55,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "headline",
     "ablation",
     "sensitivity",
+    "energy",
 ];
 
 /// Runs an experiment by name and returns its printable report.
@@ -78,6 +80,7 @@ pub fn run_experiment(name: &str, config: &EvalConfig) -> Result<String, String>
         "headline" => Ok(experiments::headline::run(config).to_string()),
         "ablation" => Ok(experiments::ablation::run(config).to_string()),
         "sensitivity" => Ok(experiments::sensitivity::run(config).to_string()),
+        "energy" => Ok(experiments::energy::run(config).to_string()),
         other => Err(format!(
             "unknown experiment '{other}'; expected one of {EXPERIMENTS:?}"
         )),

@@ -77,6 +77,24 @@ impl BatchState {
         &self.h[lane * self.hidden..(lane + 1) * self.hidden]
     }
 
+    /// Lane `l`'s cell state.
+    pub fn c_lane(&self, lane: usize) -> &[f32] {
+        &self.c[lane * self.hidden..(lane + 1) * self.hidden]
+    }
+
+    /// Overwrites lane `lane`'s state with `h` and `c` (both `hidden`
+    /// wide) — the lane-migration hook: a scheduler implanting a lane
+    /// extracted elsewhere resumes it from this state instead of
+    /// resetting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is not exactly `hidden` long.
+    pub fn set_lane(&mut self, lane: usize, h: &[f32], c: &[f32]) {
+        self.h[lane * self.hidden..(lane + 1) * self.hidden].copy_from_slice(h);
+        self.c[lane * self.hidden..(lane + 1) * self.hidden].copy_from_slice(c);
+    }
+
     /// Splits the state into mutable hidden outputs and immutable cell
     /// states over the first `active` lanes (the LSTM `h_t = o_t ⊙ ϕ(c_t)`
     /// update reads `c` while writing `h`).
@@ -92,10 +110,10 @@ impl BatchState {
         self.c[lane * self.hidden..(lane + 1) * self.hidden].fill(0.0);
     }
 
-    /// Swaps the state of two lanes.  The step-pipelined scheduler uses
-    /// this to keep the active lanes a contiguous prefix when an interior
-    /// lane drains and no refill is available (see
-    /// [`StepPipeline`](crate::StepPipeline)); evaluators move their
+    /// Swaps the state of two lanes.  The unified lane scheduler uses
+    /// this to keep the active lanes a contiguous prefix sorted by
+    /// remaining length (see
+    /// [`LaneScheduler`](crate::LaneScheduler)); evaluators move their
     /// per-lane state alongside via
     /// [`NeuronEvaluator::swap_lane_state`](crate::NeuronEvaluator::swap_lane_state).
     pub fn swap_lanes(&mut self, a: usize, b: usize) {

@@ -220,11 +220,11 @@ pub trait NeuronEvaluator {
     /// Exchanges all per-lane state between lanes `a` and `b` (memo
     /// tables, per-lane statistics, …).
     ///
-    /// The step-pipelined scheduler
-    /// ([`StepPipeline`](crate::StepPipeline)) calls this when it
-    /// compacts its lanes: a drained interior lane is swapped with the
-    /// last active lane so the active lanes stay a contiguous prefix,
-    /// and the surviving lane's memoization state must move with it.
+    /// The unified lane scheduler
+    /// ([`LaneScheduler`](crate::LaneScheduler)) calls this when it
+    /// re-sorts or compacts its lanes: lanes are kept a contiguous
+    /// prefix ordered by descending remaining length, and a moved
+    /// lane's memoization state must move with it.
     /// Evaluators that keep per-lane state and implement the batch
     /// methods must override this; the default is a no-op, which is
     /// correct for stateless evaluators and for stateful custom

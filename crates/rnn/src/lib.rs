@@ -44,7 +44,7 @@ pub mod gru;
 pub mod layer;
 pub mod lstm;
 pub mod network;
-pub mod pipeline;
+pub mod scheduler;
 pub mod scratch;
 
 pub use batch::{BatchScratch, BatchState};
@@ -59,7 +59,7 @@ pub use gru::{GruCell, GruState};
 pub use layer::Layer;
 pub use lstm::{LstmCell, LstmState};
 pub use network::DeepRnn;
-pub use pipeline::{FinishedLane, StepPipeline};
+pub use scheduler::{FinishedLane, LaneScheduler, LaneSnapshot, RefillPolicy, HOIST_BLOCK};
 pub use scratch::CellScratch;
 
 /// Convenience result alias used across the crate.

@@ -1,0 +1,1080 @@
+//! The unified lane scheduler: one scheduler, pluggable refill policy.
+//!
+//! [`DeepRnn::run_batch`] executes a batch **layer-lockstep**: layer 0
+//! processes every lane's whole sequence, then layer 1, and so on.
+//! That shape amortizes one weight stream across all lanes and an
+//! 8-step hoist block, but it cannot admit a new sequence mid-wave — a
+//! freed lane stays idle until the next wave boundary, so ragged
+//! traffic drains the active prefix and the amortization decays with
+//! it.
+//!
+//! For **unidirectional** stacks the data dependencies permit a second
+//! schedule: layer `k` at timestep `t` needs only layer `k-1` at `t`
+//! and layer `k`'s own state at `t-1`, so every lane can advance
+//! through the whole stack in blocks of up to [`HOIST_BLOCK`]
+//! timesteps.  [`LaneScheduler`] with [`RefillPolicy::Block`]
+//! implements that schedule: each [`step`](LaneScheduler::step) call
+//! advances all active lanes one *block*, finished lanes retire at the
+//! block boundary, and [`admit`](LaneScheduler::admit) hands a freed
+//! lane a fresh sequence between blocks — mid-wave refill.  Within a
+//! block the scheduler recovers the wave path's full hoist shape:
+//! every layer's `W_x·x_t` projections for the whole block are
+//! computed with **one matrix product per gate** over all active
+//! lanes and all block steps (the earlier step-pipelined scheduler
+//! hoisted layer 0 only, at admission, and streamed `W_x` per step for
+//! the layers above — the reason mid-wave refill used to tie the wave
+//! scheduler instead of beating it).
+//!
+//! [`RefillPolicy::Wave`] drives the same scheduler API over plain
+//! [`DeepRnn::run_batch`] waves for stacks the block schedule cannot
+//! express (bidirectional layers consume the sequence end-first):
+//! admissions buffer until [`step`](LaneScheduler::step), which runs
+//! the whole wave at once.
+//!
+//! # Equivalence
+//!
+//! Per-lane results are **bit-identical** to a dedicated
+//! [`DeepRnn::run`] over the same sequence under either policy: every
+//! `(neuron, lane)` dot product goes through the shared reduction
+//! order, lanes never interact numerically, per-lane memoization state
+//! is reset by [`NeuronEvaluator::begin_lane_sequence`] when a lane is
+//! admitted, and the hoisted kernels keep the `fwd + rec` scalar order
+//! of the fused path.  Scheduling therefore changes throughput, never
+//! results.
+//!
+//! # Lane order and compaction
+//!
+//! Batched cell stepping requires the active lanes to form a prefix
+//! `0..active` sorted by descending *remaining* length, so the prefix
+//! only shrinks within a block.  [`step`](LaneScheduler::step) restores
+//! that order first (admissions land at the tail): a stable insertion
+//! sort applied as adjacent lane swaps, each swap moving the recurrent
+//! state ([`BatchState::swap_lanes`]) and the evaluator's per-lane
+//! memo tables and statistics ([`NeuronEvaluator::swap_lane_state`])
+//! together, which keeps every lane's results bit-identical.  Retiring
+//! a finished or cancelled lane compacts the prefix the same way.
+//!
+//! # Lane migration
+//!
+//! [`extract`](LaneScheduler::extract) removes a lane mid-sequence as
+//! a self-contained [`LaneSnapshot`] — remaining inputs, outputs so
+//! far, and the per-layer recurrent state — and
+//! [`implant`](LaneScheduler::implant) resumes it on another scheduler
+//! of the same network *without* resetting lane state.  A serving
+//! engine uses the pair to move an in-flight request from a saturated
+//! worker to an idle one (work stealing); the evaluator's per-lane
+//! state travels separately through the serving layer's export/import
+//! hooks.  Because the migrated lane's dot products still consume the
+//! exact same `(x_t, h_{t-1})` values in the same scalar order,
+//! migration is bit-transparent.
+//!
+//! # Timestep semantics
+//!
+//! Lanes sit at *different* positions of their own sequences, so the
+//! `timestep` handed to the evaluator's batch methods under
+//! [`RefillPolicy::Block`] is the scheduler's global block-step
+//! counter, not a per-lane sequence index.  The built-in evaluators
+//! ignore the batch-path timestep; a custom evaluator that keys
+//! per-lane state must use the lane index plus
+//! [`NeuronEvaluator::begin_lane_sequence`] instead.
+
+use crate::batch::{BatchScratch, BatchState};
+use crate::error::RnnError;
+use crate::evaluator::NeuronEvaluator;
+use crate::gate::GateKind;
+use crate::layer::Cell;
+use crate::network::DeepRnn;
+use crate::Result;
+use nfm_tensor::kernels::matmul_into;
+use nfm_tensor::Vector;
+
+/// Timesteps per scheduling block: the number of input projections
+/// `W_x·x_t` hoisted into one matrix product per gate per layer.  The
+/// same block size the wave path ([`DeepRnn::run_batch`]) uses, so the
+/// two schedules amortize weight streams identically when lanes stay
+/// full.
+pub const HOIST_BLOCK: usize = 8;
+
+/// The largest gate count of any cell kind (LSTM), sizing the
+/// stack-allocated hoisted-slice array in the block step loop.
+const MAX_GATES: usize = GateKind::LSTM.len();
+
+/// How a [`LaneScheduler`] refills freed lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefillPolicy {
+    /// Block-synchronous mid-wave refill (unidirectional stacks only):
+    /// lanes advance in [`HOIST_BLOCK`]-step blocks, finished lanes
+    /// retire and refill at block boundaries, and every layer's input
+    /// projections are hoisted across all active lanes per block.
+    Block,
+    /// Wave refill: admissions buffer and [`step`](LaneScheduler::step)
+    /// runs them as one [`DeepRnn::run_batch`] wave.  Freed lanes
+    /// refill only at wave boundaries; required for bidirectional
+    /// stacks.
+    Wave,
+}
+
+/// One lane that finished its sequence during a
+/// [`LaneScheduler::step`] call (or was cancelled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedLane {
+    /// The caller-chosen token passed to [`LaneScheduler::admit`].
+    pub token: u64,
+    /// One output per timestep of the finished sequence (head applied
+    /// when the network has one); a partial prefix for cancelled
+    /// lanes.
+    pub outputs: Vec<Vector>,
+    /// The evaluator lane index where this sequence's per-lane state
+    /// (memo table, per-lane statistics) resides *right now*, or
+    /// `None` when the sequence never entered the evaluator (a
+    /// wave-pending admission that was cancelled before its wave ran).
+    /// Read any per-lane statistics at this index **before** the next
+    /// [`LaneScheduler::admit`] call: admission reuses retired lane
+    /// slots and `begin_lane_sequence` resets their state.
+    pub stats_lane: Option<usize>,
+}
+
+/// Per-lane bookkeeping: the sequence being processed, the next
+/// timestep to consume, and the outputs produced so far.
+#[derive(Debug)]
+struct LaneSlot {
+    token: u64,
+    inputs: Vec<Vector>,
+    t: usize,
+    outputs: Vec<Vector>,
+}
+
+impl LaneSlot {
+    fn remaining(&self) -> usize {
+        self.inputs.len() - self.t
+    }
+}
+
+/// A lane extracted mid-sequence by [`LaneScheduler::extract`]:
+/// everything another scheduler of the same network needs to resume
+/// the sequence bit-identically via [`LaneScheduler::implant`].
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    inputs: Vec<Vector>,
+    t: usize,
+    outputs: Vec<Vector>,
+    /// Per-layer `(h, c)` recurrent state of the lane.
+    layers: Vec<(Vec<f32>, Vec<f32>)>,
+    input_size: usize,
+}
+
+impl LaneSnapshot {
+    /// Timesteps not yet computed.
+    pub fn remaining(&self) -> usize {
+        self.inputs.len() - self.t
+    }
+
+    /// Total timesteps of the underlying sequence.
+    pub fn timesteps(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// The unified lane scheduler (see the [module docs](self) for the
+/// schedule, its equivalence contract, and lane migration).
+///
+/// The scheduler owns all recurrent state and scratch (`2 × layers`
+/// lane-striped [`BatchState`]s plus one [`BatchScratch`] under
+/// [`RefillPolicy::Block`]); the caller owns the evaluator and the
+/// network and passes both into [`admit`](LaneScheduler::admit) /
+/// [`step`](LaneScheduler::step).  Call
+/// [`NeuronEvaluator::begin_batch`] with [`lanes`](LaneScheduler::lanes)
+/// once before the first admission so per-lane evaluator state is
+/// sized.
+#[derive(Debug)]
+pub struct LaneScheduler {
+    policy: RefillPolicy,
+    lanes: usize,
+    input_size: usize,
+    /// Hidden size per layer (layer `k`'s output width feeds `k+1`).
+    hidden: Vec<usize>,
+    states: Vec<BatchState>,
+    nexts: Vec<BatchState>,
+    scratch: BatchScratch,
+    /// Step-major packed layer inputs for the current block (ping).
+    pack_a: Vec<f32>,
+    /// Step-major packed layer outputs for the current block (pong).
+    pack_b: Vec<f32>,
+    /// Hoisted input projections for one layer of the current block,
+    /// one step-major block per gate.
+    fwd_buf: Vec<f32>,
+    /// Occupied lane slots; always exactly `active` entries, slot `l`
+    /// holding lane `l`'s sequence ([`RefillPolicy::Block`]).
+    slots: Vec<LaneSlot>,
+    /// Buffered admissions awaiting the next wave
+    /// ([`RefillPolicy::Wave`]).
+    pending: Vec<(u64, Vec<Vector>)>,
+    steps: usize,
+}
+
+impl LaneScheduler {
+    /// Creates a scheduler with `lanes` lane slots for `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if `lanes == 0` (a scheduler
+    /// needs at least one lane; the accepted range is `lanes >= 1`) or
+    /// if [`RefillPolicy::Block`] is requested for a stack with a
+    /// bidirectional layer (the backward half consumes the sequence
+    /// end-first, which is incompatible with block-synchronous
+    /// stepping; use [`RefillPolicy::Wave`] for those).
+    pub fn new(network: &DeepRnn, lanes: usize, policy: RefillPolicy) -> Result<Self> {
+        if lanes == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: "a lane scheduler needs at least one lane (lanes >= 1), got 0".into(),
+            });
+        }
+        if policy == RefillPolicy::Block {
+            if let Some(layer) = network.layers().iter().find(|l| l.is_bidirectional()) {
+                return Err(RnnError::InvalidConfig {
+                    what: format!(
+                        "block refill requires a unidirectional stack, but layer {} is \
+                         bidirectional (use RefillPolicy::Wave)",
+                        layer.index()
+                    ),
+                });
+            }
+        }
+        let hidden: Vec<usize> = network
+            .layers()
+            .iter()
+            .map(|l| l.forward_cell().hidden_size())
+            .collect();
+        let (states, nexts) = if policy == RefillPolicy::Block {
+            (
+                hidden
+                    .iter()
+                    .map(|&h| BatchState::zeros(lanes, h))
+                    .collect(),
+                hidden
+                    .iter()
+                    .map(|&h| BatchState::zeros(lanes, h))
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Ok(LaneScheduler {
+            policy,
+            lanes,
+            input_size: network.input_size(),
+            hidden,
+            states,
+            nexts,
+            scratch: BatchScratch::new(),
+            pack_a: Vec::new(),
+            pack_b: Vec::new(),
+            fwd_buf: Vec::new(),
+            slots: Vec::with_capacity(lanes),
+            pending: Vec::new(),
+            steps: 0,
+        })
+    }
+
+    /// The refill policy this scheduler was created with.
+    pub fn policy(&self) -> RefillPolicy {
+        self.policy
+    }
+
+    /// Total lane slots.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Currently occupied lanes (buffered admissions under
+    /// [`RefillPolicy::Wave`]).
+    pub fn active_lanes(&self) -> usize {
+        match self.policy {
+            RefillPolicy::Block => self.slots.len(),
+            RefillPolicy::Wave => self.pending.len(),
+        }
+    }
+
+    /// Lane slots available for [`admit`](LaneScheduler::admit).
+    pub fn free_lanes(&self) -> usize {
+        self.lanes - self.active_lanes()
+    }
+
+    /// Whether no lane holds or awaits a sequence.
+    pub fn is_idle(&self) -> bool {
+        self.slots.is_empty() && self.pending.is_empty()
+    }
+
+    /// The lane index currently holding `token`, when the token is an
+    /// active block lane (not a buffered wave admission).  This is
+    /// where the evaluator's per-lane state for the token lives until
+    /// the next [`step`](LaneScheduler::step) /
+    /// [`admit`](LaneScheduler::admit) call.
+    pub fn lane_of(&self, token: u64) -> Option<usize> {
+        self.slots.iter().position(|s| s.token == token)
+    }
+
+    /// Places `sequence` into a free lane.  Under
+    /// [`RefillPolicy::Block`] the lane's recurrent state is reset and
+    /// [`begin_lane_sequence`](NeuronEvaluator::begin_lane_sequence)
+    /// starts memoization cold — mid-wave, with the other lanes
+    /// untouched; under [`RefillPolicy::Wave`] the admission buffers
+    /// until the next [`step`](LaneScheduler::step).  `token` is
+    /// returned with the lane's [`FinishedLane`]; the scheduler
+    /// attaches no meaning to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no lane is free, the sequence is empty, or
+    /// an element has the wrong width.
+    pub fn admit(
+        &mut self,
+        token: u64,
+        sequence: Vec<Vector>,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Result<()> {
+        let _ = network;
+        if self.free_lanes() == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: format!("all {} scheduler lanes are occupied", self.lanes),
+            });
+        }
+        if sequence.is_empty() {
+            return Err(RnnError::EmptySequence);
+        }
+        for (t, x) in sequence.iter().enumerate() {
+            if x.len() != self.input_size {
+                return Err(RnnError::InputSizeMismatch {
+                    expected: self.input_size,
+                    found: x.len(),
+                    timestep: t,
+                });
+            }
+        }
+        match self.policy {
+            RefillPolicy::Wave => {
+                self.pending.push((token, sequence));
+            }
+            RefillPolicy::Block => {
+                let lane = self.slots.len();
+                for state in &mut self.states {
+                    state.reset_lane(lane);
+                }
+                evaluator.begin_lane_sequence(lane);
+                self.slots.push(LaneSlot {
+                    token,
+                    inputs: sequence,
+                    t: 0,
+                    outputs: Vec::new(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the schedule — one [`HOIST_BLOCK`]-step block of every
+    /// active lane under [`RefillPolicy::Block`], one whole wave under
+    /// [`RefillPolicy::Wave`] — appending finished lanes to `finished`
+    /// (see [`FinishedLane::stats_lane`] for the read-before-admit
+    /// contract).  Returns the number of lane-timesteps advanced — `0`
+    /// means the scheduler is idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator/kernel errors; these indicate widths that
+    /// [`admit`](LaneScheduler::admit) already validated, so they only
+    /// arise from a network/evaluator swapped mid-flight.
+    pub fn step(
+        &mut self,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) -> Result<usize> {
+        match self.policy {
+            RefillPolicy::Block => self.step_block(network, evaluator, finished),
+            RefillPolicy::Wave => self.step_wave(network, evaluator, finished),
+        }
+    }
+
+    /// One block-synchronous step: sort lanes by remaining length,
+    /// then run up to [`HOIST_BLOCK`] timesteps of every layer with
+    /// per-layer cross-lane input hoisting, layer-major within the
+    /// block (layer `k`'s step-major packed outputs feed layer `k+1`).
+    fn step_block(
+        &mut self,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) -> Result<usize> {
+        let n = self.slots.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        self.sort_by_remaining(evaluator);
+        // Per-step active lane counts and packed row offsets for the
+        // block (active counts only shrink: lanes are sorted by
+        // descending remaining length).
+        let block = self.slots[0].remaining().min(HOIST_BLOCK);
+        let mut step_active = [0usize; HOIST_BLOCK];
+        let mut row_offset = [0usize; HOIST_BLOCK];
+        let mut total_rows = 0usize;
+        for (b, active) in step_active.iter_mut().enumerate().take(block) {
+            *active = self.slots.iter().take_while(|s| s.remaining() > b).count();
+            row_offset[b] = total_rows;
+            total_rows += *active;
+        }
+        // Gather the block's layer-0 inputs, lane-striped, step-major.
+        let isz = self.input_size;
+        if self.pack_a.len() < total_rows * isz {
+            self.pack_a.resize(total_rows * isz, 0.0);
+        }
+        for b in 0..block {
+            for (l, slot) in self.slots.iter().enumerate().take(step_active[b]) {
+                let dst = (row_offset[b] + l) * isz;
+                self.pack_a[dst..dst + isz].copy_from_slice(slot.inputs[slot.t + b].as_slice());
+            }
+        }
+        let hoisting = evaluator.supports_input_hoisting();
+        let layer_count = self.hidden.len();
+        for k in 0..layer_count {
+            let cell = network.layers()[k].forward_cell();
+            let kinds = cell.gate_kinds();
+            let gate_count = kinds.len();
+            debug_assert!(gate_count <= MAX_GATES);
+            let in_w = if k == 0 { isz } else { self.hidden[k - 1] };
+            let out_w = self.hidden[k];
+            if hoisting {
+                // One matrix product per gate covers the whole block's
+                // input projections for this layer — every lane, every
+                // block step, one weight stream.
+                if self.fwd_buf.len() < gate_count * total_rows * out_w {
+                    self.fwd_buf.resize(gate_count * total_rows * out_w, 0.0);
+                }
+                for (g, kind) in kinds.iter().enumerate() {
+                    let gate = cell.gate(*kind).expect("cell exposes its own gate kinds");
+                    matmul_into(
+                        gate.wx(),
+                        &self.pack_a[..total_rows * in_w],
+                        total_rows,
+                        &mut self.fwd_buf[g * total_rows * out_w..(g + 1) * total_rows * out_w],
+                    )?;
+                }
+            }
+            if self.pack_b.len() < total_rows * out_w {
+                self.pack_b.resize(total_rows * out_w, 0.0);
+            }
+            for b in 0..block {
+                let active = step_active[b];
+                if active == 0 {
+                    break;
+                }
+                let xs = &self.pack_a[row_offset[b] * in_w..(row_offset[b] + active) * in_w];
+                let mut fwd_slices: [&[f32]; MAX_GATES] = [&[]; MAX_GATES];
+                let hoisted: Option<&[&[f32]]> = if hoisting {
+                    for (g, slot) in fwd_slices.iter_mut().enumerate().take(gate_count) {
+                        let start = g * total_rows * out_w + row_offset[b] * out_w;
+                        *slot = &self.fwd_buf[start..start + active * out_w];
+                    }
+                    Some(&fwd_slices[..gate_count])
+                } else {
+                    None
+                };
+                match cell {
+                    Cell::Lstm(c) => c.step_batch_into(
+                        k,
+                        0,
+                        self.steps + b,
+                        active,
+                        xs,
+                        &self.states[k],
+                        &mut self.nexts[k],
+                        &mut self.scratch,
+                        hoisted,
+                        evaluator,
+                    )?,
+                    Cell::Gru(c) => c.step_batch_into(
+                        k,
+                        0,
+                        self.steps + b,
+                        active,
+                        xs,
+                        &self.states[k],
+                        &mut self.nexts[k],
+                        &mut self.scratch,
+                        hoisted,
+                        evaluator,
+                    )?,
+                }
+                let dst = row_offset[b] * out_w;
+                self.pack_b[dst..dst + active * out_w]
+                    .copy_from_slice(self.nexts[k].h_prefix(active));
+                std::mem::swap(&mut self.states[k], &mut self.nexts[k]);
+            }
+            std::mem::swap(&mut self.pack_a, &mut self.pack_b);
+        }
+        // Emit the block's outputs from the last layer's packed rows
+        // (head applied when present).
+        let h_last = *self.hidden.last().expect("at least one layer");
+        for (l, slot) in self.slots.iter_mut().enumerate() {
+            let steps_l = slot.remaining().min(block);
+            for &offset in &row_offset[..steps_l] {
+                let row = offset + l;
+                let h = Vector::from(self.pack_a[row * h_last..(row + 1) * h_last].to_vec());
+                let out = match network.head() {
+                    None => h,
+                    Some(head) => head.apply(&h)?,
+                };
+                slot.outputs.push(out);
+            }
+            slot.t += steps_l;
+        }
+        self.steps += block;
+        // Retire finished lanes, highest index first so each swap
+        // target is still an unfinished lane (or the lane itself).
+        self.retire_finished(evaluator, finished);
+        Ok(total_rows)
+    }
+
+    /// One wave: sort the buffered admissions longest-first (stable,
+    /// so [`DeepRnn::run_batch`]'s internal sort is the identity and
+    /// lane `i` serves admission `i`) and run them all to completion.
+    fn step_wave(
+        &mut self,
+        network: &DeepRnn,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) -> Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let mut wave = std::mem::take(&mut self.pending);
+        wave.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
+        let borrowed: Vec<&[Vector]> = wave.iter().map(|(_, s)| s.as_slice()).collect();
+        let outputs = network.run_batch(&borrowed, evaluator)?;
+        let mut advanced = 0;
+        for (i, ((token, sequence), outs)) in wave.into_iter().zip(outputs).enumerate() {
+            advanced += sequence.len();
+            finished.push(FinishedLane {
+                token,
+                outputs: outs,
+                stats_lane: Some(i),
+            });
+        }
+        Ok(advanced)
+    }
+
+    /// Evicts the lane holding `token` mid-sequence — the
+    /// deadline-abort hook: a serving engine that notices an in-flight
+    /// request's deadline expired frees its lane at the next block
+    /// boundary instead of computing the remaining timesteps.
+    ///
+    /// Compaction is identical to retiring a finished lane (state swap
+    /// with the tail plus [`NeuronEvaluator::swap_lane_state`]), so
+    /// the surviving lanes keep bit-identical results.  Returns the
+    /// evicted lane with the outputs of the timesteps computed **so
+    /// far** (a partial sequence) and the [`FinishedLane::stats_lane`]
+    /// index its per-lane statistics live at — read them before the
+    /// next [`admit`](LaneScheduler::admit), exactly like a finished
+    /// lane.  A buffered wave admission is simply dropped
+    /// (`stats_lane: None`: it never entered the evaluator).  Returns
+    /// `None` when no lane holds `token`.
+    pub fn cancel(
+        &mut self,
+        token: u64,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Option<FinishedLane> {
+        if let Some(i) = self.pending.iter().position(|(t, _)| *t == token) {
+            self.pending.remove(i);
+            return Some(FinishedLane {
+                token,
+                outputs: Vec::new(),
+                stats_lane: None,
+            });
+        }
+        let lane = self.lane_of(token)?;
+        let tail = self.slots.len() - 1;
+        self.swap_lanes(lane, tail, evaluator);
+        let slot = self.slots.pop().expect("slot exists");
+        Some(FinishedLane {
+            token: slot.token,
+            outputs: slot.outputs,
+            stats_lane: Some(tail),
+        })
+    }
+
+    /// Removes the lane holding `token` as a self-contained
+    /// [`LaneSnapshot`] for migration to another scheduler of the same
+    /// network (see the [module docs](self)).  The caller must export
+    /// the evaluator's per-lane state at
+    /// [`lane_of(token)`](LaneScheduler::lane_of) **before** calling
+    /// this: extraction compacts the active prefix, which moves lane
+    /// state around.  Returns `None` when no active block lane holds
+    /// `token` (buffered wave admissions do not migrate).
+    pub fn extract(
+        &mut self,
+        token: u64,
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Option<LaneSnapshot> {
+        if self.policy != RefillPolicy::Block {
+            return None;
+        }
+        let lane = self.lane_of(token)?;
+        let layers: Vec<(Vec<f32>, Vec<f32>)> = self
+            .states
+            .iter()
+            .map(|st| (st.h_lane(lane).to_vec(), st.c_lane(lane).to_vec()))
+            .collect();
+        let tail = self.slots.len() - 1;
+        self.swap_lanes(lane, tail, evaluator);
+        let slot = self.slots.pop().expect("slot exists");
+        Some(LaneSnapshot {
+            inputs: slot.inputs,
+            t: slot.t,
+            outputs: slot.outputs,
+            layers,
+            input_size: self.input_size,
+        })
+    }
+
+    /// Resumes an extracted lane on this scheduler **without**
+    /// resetting its recurrent or evaluator lane state: the snapshot's
+    /// per-layer `(h, c)` is written into the admitted lane, and the
+    /// caller imports the evaluator's per-lane state at the returned
+    /// lane index.  [`begin_lane_sequence`](NeuronEvaluator::begin_lane_sequence)
+    /// is deliberately *not* called — the sequence is mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnnError::InvalidConfig`] if this scheduler uses
+    /// [`RefillPolicy::Wave`], has no free lane, or the snapshot's
+    /// shape does not match this scheduler's network.
+    pub fn implant(&mut self, token: u64, snapshot: LaneSnapshot) -> Result<usize> {
+        if self.policy != RefillPolicy::Block {
+            return Err(RnnError::InvalidConfig {
+                what: "wave-refill schedulers cannot implant migrated lanes".into(),
+            });
+        }
+        if self.free_lanes() == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: format!("all {} scheduler lanes are occupied", self.lanes),
+            });
+        }
+        let widths_match = snapshot.layers.len() == self.hidden.len()
+            && snapshot
+                .layers
+                .iter()
+                .zip(&self.hidden)
+                .all(|((h, c), &w)| h.len() == w && c.len() == w);
+        if snapshot.input_size != self.input_size || !widths_match || snapshot.remaining() == 0 {
+            return Err(RnnError::InvalidConfig {
+                what: "migrated lane does not match this scheduler's network shape".into(),
+            });
+        }
+        let lane = self.slots.len();
+        for (state, (h, c)) in self.states.iter_mut().zip(&snapshot.layers) {
+            state.set_lane(lane, h, c);
+        }
+        self.slots.push(LaneSlot {
+            token,
+            inputs: snapshot.inputs,
+            t: snapshot.t,
+            outputs: snapshot.outputs,
+        });
+        Ok(lane)
+    }
+
+    /// The token of the active block lane with the most remaining
+    /// timesteps, provided at least `min_remaining` remain — the lane
+    /// a saturated worker offers an idle one.  `None` under
+    /// [`RefillPolicy::Wave`] or when no lane qualifies.
+    pub fn steal_candidate(&self, min_remaining: usize) -> Option<u64> {
+        if self.policy != RefillPolicy::Block {
+            return None;
+        }
+        self.slots
+            .iter()
+            .filter(|s| s.remaining() >= min_remaining)
+            .max_by_key(|s| s.remaining())
+            .map(|s| s.token)
+    }
+
+    /// Restores the descending-remaining lane order admissions at the
+    /// tail may have broken.  A stable insertion sort applied as
+    /// adjacent swaps, so recurrent and evaluator lane state move with
+    /// their lanes and results stay bit-identical.
+    fn sort_by_remaining(&mut self, evaluator: &mut dyn NeuronEvaluator) {
+        for i in 1..self.slots.len() {
+            let mut j = i;
+            while j > 0 && self.slots[j].remaining() > self.slots[j - 1].remaining() {
+                self.swap_lanes(j - 1, j, evaluator);
+                j -= 1;
+            }
+        }
+    }
+
+    /// Swaps two lanes everywhere their state lives: slot bookkeeping,
+    /// per-layer recurrent state, and the evaluator's per-lane state.
+    fn swap_lanes(&mut self, a: usize, b: usize, evaluator: &mut dyn NeuronEvaluator) {
+        if a == b {
+            return;
+        }
+        self.slots.swap(a, b);
+        for state in &mut self.states {
+            state.swap_lanes(a, b);
+        }
+        evaluator.swap_lane_state(a, b);
+    }
+
+    /// Shared retire loop of [`step`](LaneScheduler::step): pops every
+    /// lane whose sequence is exhausted, compacting the active prefix.
+    fn retire_finished(
+        &mut self,
+        evaluator: &mut dyn NeuronEvaluator,
+        finished: &mut Vec<FinishedLane>,
+    ) {
+        for l in (0..self.slots.len()).rev() {
+            if self.slots[l].remaining() == 0 {
+                let tail = self.slots.len() - 1;
+                self.swap_lanes(l, tail, evaluator);
+                let slot = self.slots.pop().expect("slot exists");
+                finished.push(FinishedLane {
+                    token: slot.token,
+                    outputs: slot.outputs,
+                    stats_lane: Some(tail),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CellKind, DeepRnnConfig, Direction};
+    use crate::evaluator::{CountingEvaluator, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+
+    fn seq(n: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(width, |_| rng.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    fn networks() -> Vec<DeepRnn> {
+        let mut rng = DeterministicRng::seed_from_u64(77);
+        vec![
+            DeepRnn::random(
+                &DeepRnnConfig::new(CellKind::Lstm, 4, 6)
+                    .layers(2)
+                    .output_size(3),
+                &mut rng,
+            )
+            .unwrap(),
+            DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 5, 7).layers(3), &mut rng).unwrap(),
+        ]
+    }
+
+    /// Drains a set of sequences through a scheduler with `lanes`
+    /// lanes, refilling freed lanes as soon as the policy allows, and
+    /// returns outputs by token.
+    fn drain_scheduler(
+        net: &DeepRnn,
+        lanes: usize,
+        policy: RefillPolicy,
+        seqs: &[Vec<Vector>],
+        evaluator: &mut dyn NeuronEvaluator,
+    ) -> Vec<Vec<Vector>> {
+        let mut sched = LaneScheduler::new(net, lanes, policy).unwrap();
+        evaluator.begin_batch(lanes);
+        let mut queue: std::collections::VecDeque<(u64, Vec<Vector>)> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.clone()))
+            .collect();
+        let mut results: Vec<Option<Vec<Vector>>> = vec![None; seqs.len()];
+        let mut finished = Vec::new();
+        loop {
+            while sched.free_lanes() > 0 {
+                match queue.pop_front() {
+                    Some((token, s)) => sched.admit(token, s, net, evaluator).unwrap(),
+                    None => break,
+                }
+            }
+            if sched.step(net, evaluator, &mut finished).unwrap() == 0 {
+                break;
+            }
+            for f in finished.drain(..) {
+                results[f.token as usize] = Some(f.outputs);
+            }
+        }
+        results.into_iter().map(|r| r.expect("finished")).collect()
+    }
+
+    fn assert_bitwise_eq(a: &[Vec<Vector>], b: &[Vec<Vector>], what: &str) {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.len(), y.len(), "{what} seq {i}");
+            for (t, (u, v)) in x.iter().zip(y.iter()).enumerate() {
+                for n in 0..u.len() {
+                    assert_eq!(u[n].to_bits(), v[n].to_bits(), "{what} seq={i} t={t} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_scheduler_matches_dedicated_runs_bitwise() {
+        // Ragged lengths across every lane count, LSTM with head and a
+        // 3-layer GRU: each sequence's block-scheduled outputs must be
+        // bit-identical to its own dedicated run, and mid-wave refill
+        // must not change the total evaluation count.
+        let lens = [9usize, 3, 7, 7, 1, 5, 17, 2];
+        for net in networks() {
+            let seqs: Vec<Vec<Vector>> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| seq(n, net.input_size(), 900 + i as u64))
+                .collect();
+            let mut reference = Vec::new();
+            let mut single_evals = 0u64;
+            for s in &seqs {
+                let mut eval = ExactEvaluator::new();
+                reference.push(net.run(s, &mut eval).unwrap());
+                single_evals += eval.evaluations();
+            }
+            for lanes in [1usize, 2, 3, 8] {
+                let mut eval = ExactEvaluator::new();
+                let outs = drain_scheduler(&net, lanes, RefillPolicy::Block, &seqs, &mut eval);
+                assert_bitwise_eq(&outs, &reference, &format!("lanes={lanes}"));
+                assert_eq!(eval.evaluations(), single_evals, "lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn wave_policy_matches_dedicated_runs_bitwise() {
+        let lens = [9usize, 3, 7, 7, 1, 5];
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let mut nets = networks();
+        nets.push(
+            DeepRnn::random(
+                &DeepRnnConfig::new(CellKind::Lstm, 3, 4).direction(Direction::Bidirectional),
+                &mut rng,
+            )
+            .unwrap(),
+        );
+        for net in nets {
+            let seqs: Vec<Vec<Vector>> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| seq(n, net.input_size(), 400 + i as u64))
+                .collect();
+            let reference: Vec<Vec<Vector>> = seqs
+                .iter()
+                .map(|s| net.run(s, &mut ExactEvaluator::new()).unwrap())
+                .collect();
+            for lanes in [2usize, 3] {
+                let mut eval = ExactEvaluator::new();
+                let outs = drain_scheduler(&net, lanes, RefillPolicy::Wave, &seqs, &mut eval);
+                assert_bitwise_eq(&outs, &reference, &format!("wave lanes={lanes}"));
+            }
+        }
+    }
+
+    #[test]
+    fn refill_starts_each_sequence_cold() {
+        // CountingEvaluator counts begin_lane_sequence calls: every
+        // admission (including mid-wave refills) must start a sequence.
+        let net = networks().remove(0);
+        let seqs: Vec<Vec<Vector>> = (0..5)
+            .map(|i| seq(3 + i % 3, net.input_size(), 950 + i as u64))
+            .collect();
+        let mut eval = CountingEvaluator::new(ExactEvaluator::new());
+        let _ = drain_scheduler(&net, 2, RefillPolicy::Block, &seqs, &mut eval);
+        assert_eq!(eval.sequences(), 5);
+    }
+
+    #[test]
+    fn rejects_bidirectional_block_stacks_and_zero_lanes() {
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        let bidi = DeepRnn::random(
+            &DeepRnnConfig::new(CellKind::Lstm, 3, 4).direction(Direction::Bidirectional),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(matches!(
+            LaneScheduler::new(&bidi, 2, RefillPolicy::Block),
+            Err(RnnError::InvalidConfig { .. })
+        ));
+        assert!(LaneScheduler::new(&bidi, 2, RefillPolicy::Wave).is_ok());
+        let uni = networks().remove(0);
+        for policy in [RefillPolicy::Block, RefillPolicy::Wave] {
+            assert!(matches!(
+                LaneScheduler::new(&uni, 0, policy),
+                Err(RnnError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn admit_validates_sequences_and_capacity() {
+        let net = networks().remove(0);
+        for policy in [RefillPolicy::Block, RefillPolicy::Wave] {
+            let mut sched = LaneScheduler::new(&net, 1, policy).unwrap();
+            let mut eval = ExactEvaluator::new();
+            eval.begin_batch(1);
+            assert!(matches!(
+                sched.admit(0, Vec::new(), &net, &mut eval),
+                Err(RnnError::EmptySequence)
+            ));
+            assert!(matches!(
+                sched.admit(0, vec![Vector::zeros(2)], &net, &mut eval),
+                Err(RnnError::InputSizeMismatch { .. })
+            ));
+            sched
+                .admit(0, seq(4, net.input_size(), 1), &net, &mut eval)
+                .unwrap();
+            assert_eq!(sched.free_lanes(), 0);
+            assert!(sched
+                .admit(1, seq(4, net.input_size(), 2), &net, &mut eval)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn cancel_frees_the_lane_and_keeps_survivors_bit_identical() {
+        let net = networks().remove(0);
+        let seqs: Vec<Vec<Vector>> = (0..3)
+            .map(|i| seq(12, net.input_size(), 970 + i as u64))
+            .collect();
+        // Reference: dedicated runs for the two surviving sequences.
+        let mut reference = Vec::new();
+        for s in &seqs[1..] {
+            reference.push(net.run(s, &mut ExactEvaluator::new()).unwrap());
+        }
+        let mut sched = LaneScheduler::new(&net, 3, RefillPolicy::Block).unwrap();
+        let mut eval = ExactEvaluator::new();
+        eval.begin_batch(3);
+        for (i, s) in seqs.iter().enumerate() {
+            sched.admit(i as u64, s.clone(), &net, &mut eval).unwrap();
+        }
+        let mut finished = Vec::new();
+        // One block in (8 of 12 timesteps), abort token 0 mid-sequence.
+        sched.step(&net, &mut eval, &mut finished).unwrap();
+        assert!(finished.is_empty());
+        let cancelled = sched.cancel(0, &mut eval).expect("token 0 in flight");
+        assert_eq!(cancelled.token, 0);
+        assert_eq!(cancelled.outputs.len(), 8, "one block of partial outputs");
+        assert!(cancelled.stats_lane.is_some());
+        assert_eq!(sched.free_lanes(), 1, "the lane is free immediately");
+        assert!(sched.cancel(0, &mut eval).is_none(), "already evicted");
+        // Drain the survivors; their outputs must be unaffected.
+        while sched.step(&net, &mut eval, &mut finished).unwrap() > 0 {}
+        finished.sort_by_key(|f| f.token);
+        assert_eq!(finished.len(), 2);
+        for (f, reference) in finished.iter().zip(reference.iter()) {
+            assert_eq!(&f.outputs, reference, "survivor token {}", f.token);
+        }
+    }
+
+    #[test]
+    fn cancelled_wave_admissions_never_enter_the_evaluator() {
+        let net = networks().remove(0);
+        let mut sched = LaneScheduler::new(&net, 2, RefillPolicy::Wave).unwrap();
+        let mut eval = CountingEvaluator::new(ExactEvaluator::new());
+        sched
+            .admit(7, seq(4, net.input_size(), 3), &net, &mut eval)
+            .unwrap();
+        let dropped = sched.cancel(7, &mut eval).expect("pending admission");
+        assert_eq!(dropped.token, 7);
+        assert!(dropped.outputs.is_empty());
+        assert_eq!(dropped.stats_lane, None);
+        assert!(sched.is_idle());
+        assert_eq!(eval.sequences(), 0);
+    }
+
+    #[test]
+    fn extract_implant_resumes_bit_identically_across_schedulers() {
+        // Run two ragged sequences one block in, extract the longer
+        // one mid-sequence, implant it into a fresh scheduler, and
+        // drain both: every output must equal a dedicated run, and the
+        // donor's survivor must be unaffected.
+        let net = networks().remove(0);
+        let long = seq(20, net.input_size(), 31);
+        let short = seq(11, net.input_size(), 32);
+        let ref_long = net.run(&long, &mut ExactEvaluator::new()).unwrap();
+        let ref_short = net.run(&short, &mut ExactEvaluator::new()).unwrap();
+
+        let mut donor = LaneScheduler::new(&net, 2, RefillPolicy::Block).unwrap();
+        let mut donor_eval = ExactEvaluator::new();
+        donor_eval.begin_batch(2);
+        donor.admit(0, long, &net, &mut donor_eval).unwrap();
+        donor.admit(1, short, &net, &mut donor_eval).unwrap();
+        let mut finished = Vec::new();
+        donor.step(&net, &mut donor_eval, &mut finished).unwrap();
+        assert!(finished.is_empty());
+
+        assert_eq!(donor.steal_candidate(64), None, "nothing that long");
+        assert_eq!(donor.steal_candidate(10), Some(0), "token 0 has 12 left");
+        assert!(donor.lane_of(0).is_some());
+        let snap = donor.extract(0, &mut donor_eval).expect("token 0 active");
+        assert_eq!(snap.remaining(), 12);
+        assert_eq!(snap.timesteps(), 20);
+        assert_eq!(donor.active_lanes(), 1);
+
+        let mut receiver = LaneScheduler::new(&net, 1, RefillPolicy::Block).unwrap();
+        let mut receiver_eval = ExactEvaluator::new();
+        receiver_eval.begin_batch(1);
+        let lane = receiver.implant(9, snap).unwrap();
+        assert_eq!(lane, 0);
+        while receiver
+            .step(&net, &mut receiver_eval, &mut finished)
+            .unwrap()
+            > 0
+        {}
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].token, 9);
+        assert_eq!(&finished[0].outputs, &ref_long, "migrated lane");
+        finished.clear();
+        while donor.step(&net, &mut donor_eval, &mut finished).unwrap() > 0 {}
+        assert_eq!(finished.len(), 1);
+        assert_eq!(&finished[0].outputs, &ref_short, "donor survivor");
+    }
+
+    #[test]
+    fn implant_rejects_mismatched_shapes_and_wave_policy() {
+        let mut nets = networks();
+        let gru = nets.pop().unwrap();
+        let lstm = nets.pop().unwrap();
+        let mut donor = LaneScheduler::new(&lstm, 1, RefillPolicy::Block).unwrap();
+        let mut eval = ExactEvaluator::new();
+        eval.begin_batch(1);
+        donor
+            .admit(0, seq(20, lstm.input_size(), 8), &lstm, &mut eval)
+            .unwrap();
+        let mut finished = Vec::new();
+        donor.step(&lstm, &mut eval, &mut finished).unwrap();
+        let snap = donor.extract(0, &mut eval).unwrap();
+        let mut wrong_shape = LaneScheduler::new(&gru, 1, RefillPolicy::Block).unwrap();
+        assert!(wrong_shape.implant(1, snap.clone()).is_err());
+        let mut wave = LaneScheduler::new(&lstm, 1, RefillPolicy::Wave).unwrap();
+        assert!(wave.implant(1, snap).is_err());
+    }
+
+    #[test]
+    fn idle_scheduler_steps_zero_lanes() {
+        let net = networks().remove(0);
+        for policy in [RefillPolicy::Block, RefillPolicy::Wave] {
+            let mut sched = LaneScheduler::new(&net, 3, policy).unwrap();
+            assert!(sched.is_idle());
+            assert_eq!(sched.lanes(), 3);
+            assert_eq!(sched.active_lanes(), 0);
+            assert_eq!(sched.policy(), policy);
+            let mut eval = ExactEvaluator::new();
+            let mut finished = Vec::new();
+            assert_eq!(sched.step(&net, &mut eval, &mut finished).unwrap(), 0);
+            assert!(finished.is_empty());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::registry::{ModelId, ModelRegistry};
 use crate::request::{DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId};
-use crate::worker::{LaneWorker, QueuedRequest};
+use crate::worker::{LaneWorker, MigratedLane, QueuedRequest, StealBridge};
 use nfm_core::PredictorKind;
 use nfm_rnn::{DeepRnn, RnnError};
 use std::collections::VecDeque;
@@ -316,6 +316,10 @@ impl EngineBuilder {
                 queue: PriorityQueue::new(),
                 responses: Vec::new(),
                 outstanding: 0,
+                migrated: VecDeque::new(),
+                idle_workers: 0,
+                migrations: 0,
+                lane_borrows: 0,
                 shutdown: false,
                 paused: self.paused,
                 error: None,
@@ -396,6 +400,18 @@ struct State {
     responses: Vec<InferenceResponse>,
     /// Submitted but not yet responded (queued or on a lane).
     outstanding: usize,
+    /// In-flight lanes a saturated worker extracted for an idle one
+    /// (worker work stealing); drained before any worker exits.
+    migrated: VecDeque<MigratedLane>,
+    /// Workers currently parked on `work_cv` — the donor-side signal
+    /// that migrating a lane would buy real parallelism.
+    idle_workers: usize,
+    /// Lanes migrated between workers since the engine started.
+    migrations: u64,
+    /// Cross-context lane borrows since the engine started (a hot
+    /// model admitted beyond its fair share into lanes its sibling
+    /// contexts left idle).
+    lane_borrows: u64,
     shutdown: bool,
     paused: bool,
     error: Option<String>,
@@ -411,20 +427,68 @@ struct Shared {
     capacity: usize,
 }
 
+/// The engine side of worker work stealing: a thin, locked window onto
+/// [`State`]'s migration pool and idle-worker count.
+struct EngineBridge {
+    shared: Arc<Shared>,
+}
+
+impl StealBridge for EngineBridge {
+    fn try_receive(&self, admittable: &dyn Fn(&MigratedLane) -> bool) -> Option<MigratedLane> {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        if state.paused && !state.shutdown {
+            return None;
+        }
+        let i = state.migrated.iter().position(admittable)?;
+        state.migrated.remove(i)
+    }
+
+    fn donation_wanted(&self) -> bool {
+        let state = self.shared.state.lock().expect("engine state lock");
+        // Donate only into real idleness: an empty queue (otherwise the
+        // idle worker has queued work to pull), an empty pool (one
+        // outstanding donation at a time), and a worker parked on the
+        // condvar.  Never during shutdown — workers are draining.
+        !state.shutdown
+            && !state.paused
+            && state.queue.is_empty()
+            && state.migrated.is_empty()
+            && state.idle_workers > 0
+    }
+
+    fn donate(&self, lane: MigratedLane) {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        state.migrated.push_back(lane);
+        state.migrations += 1;
+        self.shared.work_cv.notify_one();
+    }
+
+    fn note_lane_borrow(&self) {
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        state.lane_borrows += 1;
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
     loop {
         {
             let mut state = shared.state.lock().expect("engine state lock");
             loop {
-                if state.shutdown && state.queue.is_empty() {
+                if state.shutdown && state.queue.is_empty() && state.migrated.is_empty() {
                     return;
                 }
                 // Shutdown overrides pause so the queue always drains.
-                let runnable = !state.queue.is_empty() && (!state.paused || state.shutdown);
+                let runnable = (!state.queue.is_empty() || !state.migrated.is_empty())
+                    && (!state.paused || state.shutdown);
                 if runnable {
                     break;
                 }
+                // Parked workers are the donation signal: a saturated
+                // worker migrates an in-flight lane here only while
+                // someone is actually waiting to run it.
+                state.idle_workers += 1;
                 state = shared.work_cv.wait(state).expect("engine state lock");
+                state.idle_workers -= 1;
             }
         }
         let pull_shared = Arc::clone(&shared);
@@ -434,6 +498,9 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
                 return None;
             }
             state.queue.pop_where(admittable)
+        };
+        let bridge = EngineBridge {
+            shared: Arc::clone(&shared),
         };
         let emit_shared = Arc::clone(&shared);
         let mut emit = move |response: InferenceResponse| {
@@ -447,7 +514,7 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
             let mut state = report_shared.state.lock().expect("engine state lock");
             state.error.get_or_insert(error);
         };
-        worker.pump(&mut pull, &mut emit, &mut report);
+        worker.pump(&mut pull, &bridge, &mut emit, &mut report);
     }
 }
 
@@ -467,14 +534,19 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
 /// served (model, predictor, threshold) combination — a private
 /// evaluator built by the registered
 /// [`Predictor`](nfm_core::Predictor) factory plus a lane scheduler —
-/// and interleaves the contexts step by step, so several models make
-/// progress concurrently on one thread.  For unidirectional stacks the
-/// scheduler is the step-pipelined
-/// [`StepPipeline`](nfm_rnn::StepPipeline), which refills a drained
-/// lane from the queue *immediately* (mid-wave lane refill) instead of
-/// waiting for a wave boundary, and aborts in-flight requests whose
-/// deadline expires between timesteps (under
-/// [`DeadlinePolicy::DropExpired`]).  Scheduling never changes
+/// and interleaves the contexts block by block, so several models make
+/// progress concurrently on one thread.  Every context runs the unified
+/// [`LaneScheduler`](nfm_rnn::LaneScheduler): unidirectional stacks use
+/// [`RefillPolicy::Block`](nfm_rnn::RefillPolicy), which refills a
+/// drained lane from the queue *immediately* (mid-wave lane refill)
+/// instead of waiting for a wave boundary, hoists all lanes' inputs
+/// across a whole [`HOIST_BLOCK`](nfm_rnn::HOIST_BLOCK)-step block, and
+/// aborts in-flight requests whose deadline expires between blocks
+/// (under [`DeadlinePolicy::DropExpired`]).  A hot context may also
+/// *borrow* idle lanes from cold contexts on the same worker
+/// ([`lane_borrows`](Engine::lane_borrows)), and a saturated worker may
+/// *donate* an in-flight lane to an idle worker
+/// ([`migrations`](Engine::migrations)).  Scheduling never changes
 /// results: per-request outputs, reuse statistics and memo-hit counts
 /// are bit-identical to a dedicated
 /// [`MemoizedRunner::run`](crate::MemoizedRunner::run) over the same
@@ -525,6 +597,28 @@ impl Engine {
     /// (see [`EngineBuilder::override_context_cap`]).
     pub fn override_context_cap(&self) -> usize {
         self.override_context_cap
+    }
+
+    /// In-flight lanes migrated from a saturated worker to an idle one
+    /// since the engine started (worker work stealing).  Purely
+    /// observability: migration never changes results, only latency.
+    pub fn migrations(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .migrations
+    }
+
+    /// Requests admitted beyond their context's fair share into lanes
+    /// that sibling contexts on the same worker were leaving idle
+    /// (cross-context lane stealing).  Purely observability.
+    pub fn lane_borrows(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .lane_borrows
     }
 
     /// The kernel dispatch tier this process serves with (resolved once

@@ -17,11 +17,14 @@
 //!   submission queue (backpressure via [`EngineError::QueueFull`]) in
 //!   front of worker threads; each worker builds one private evaluator
 //!   per served (model, predictor, threshold) combination and
-//!   interleaves their lane schedulers.  For unidirectional stacks the
-//!   scheduler is the step-pipelined
-//!   [`StepPipeline`](nfm_rnn::StepPipeline), which refills a drained
-//!   lane from the queue *immediately* (mid-wave lane refill) and
-//!   aborts expired in-flight requests between timesteps.
+//!   interleaves their lane schedulers.  Every context runs the unified
+//!   [`LaneScheduler`](nfm_rnn::LaneScheduler); unidirectional stacks
+//!   use [`RefillPolicy::Block`](nfm_rnn::RefillPolicy), which refills
+//!   a drained lane from the queue *immediately* (mid-wave lane
+//!   refill), hoists inputs across whole 8-step blocks, and aborts
+//!   expired in-flight requests between blocks.  Hot contexts borrow
+//!   idle lanes from cold ones, and saturated workers donate in-flight
+//!   lanes to idle workers — all without changing results.
 //! * [`InferenceResponse`] — per-request outputs, per-request
 //!   [`ReuseStats`](nfm_core::ReuseStats), queue/compute latency, and a
 //!   [`CompletionStatus`] (`Done` / `DeadlineExpired` / `Rejected`);

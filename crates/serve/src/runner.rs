@@ -81,8 +81,8 @@ fn estimated_work_macs(network: &DeepRnn, sequences: &[Vec<Vector>]) -> u64 {
 /// outputs and statistics are *identical* to a sequential run either
 /// way.  [`MemoizedRunner::run_batched`] gives the engine `batch_size`
 /// lanes so gates evaluate many sequences per weight stream (the
-/// step-pipelined scheduler with mid-wave refill on unidirectional
-/// stacks, layer-lockstep waves otherwise).
+/// unified lane scheduler's block policy with mid-wave refill on
+/// unidirectional stacks, layer-lockstep waves otherwise).
 ///
 /// [`MemoizedRunner::sequential`] remains as the
 /// deterministic-scheduling escape hatch: exactly one engine worker,
@@ -209,11 +209,12 @@ impl MemoizedRunner {
     /// many sequences are evaluated through each gate invocation at
     /// once and one weight stream serves all of them.
     ///
-    /// On unidirectional stacks the lanes are driven by the
-    /// step-pipelined scheduler
-    /// ([`StepPipeline`](nfm_rnn::StepPipeline)): a lane that finishes
-    /// its sequence is refilled from the queue *immediately* — mid-wave
-    /// — so ragged-length traffic keeps every lane busy.  Bidirectional
+    /// On unidirectional stacks the lanes are driven by the unified
+    /// [`LaneScheduler`](nfm_rnn::LaneScheduler) under
+    /// [`RefillPolicy::Block`](nfm_rnn::RefillPolicy): a lane that
+    /// finishes its sequence is refilled from the queue *immediately* —
+    /// mid-wave — so ragged-length traffic keeps every lane busy, and
+    /// all lanes' inputs are hoisted per 8-step block.  Bidirectional
     /// stacks fall back to layer-lockstep waves
     /// ([`DeepRnn::run_batch`]) with refill at wave boundaries.
     ///

@@ -1,47 +1,74 @@
-//! Per-worker execution: one lane scheduler + evaluator per served
-//! (model, predictor, threshold) combination.
+//! Per-worker execution: one unified lane scheduler + evaluator per
+//! served (model, predictor, threshold) combination.
 //!
 //! Every engine worker owns a [`LaneWorker`].  Requests arrive already
 //! resolved against the registry (network +
 //! [`Predictor`](nfm_core::Predictor) factory + [`ContextKey`]); the
 //! worker groups them into **execution contexts** — one per distinct
 //! key, created lazily on first use — and interleaves the non-idle
-//! contexts one timestep at a time, so an engine serving several
-//! models makes progress on all of them concurrently even with a
-//! single worker thread.  The exception is bidirectional models: their
-//! waves run to completion in one piece (`run_batch` needs whole
+//! contexts one scheduling block at a time, so an engine serving
+//! several models makes progress on all of them concurrently even with
+//! a single worker thread.  The exception is bidirectional models:
+//! their waves run to completion in one piece (`run_batch` needs whole
 //! sequences), pausing the worker's other contexts for the wave's
 //! duration — give latency-sensitive mixes of uni- and bidirectional
 //! models separate workers.
 //!
 //! Each context owns a private evaluator (built once from the shared
-//! factory — no weight or mirror clones) and one of three lane
-//! schedules picked from the engine's lane count and the model's
-//! direction:
+//! factory — no weight or mirror clones) and one [`LaneScheduler`],
+//! its refill policy picked from the model's direction:
 //!
-//! * **Single** (`lanes == 1`) — requests run one at a time through
-//!   [`DeepRnn::run`], the exact single-sequence hot path.
-//! * **Pipeline** (`lanes > 1`, unidirectional stack) — the
-//!   step-pipelined scheduler ([`StepPipeline`]): lanes advance
-//!   timestep-by-timestep through the whole stack, a drained lane is
-//!   refilled from the queue *immediately* (mid-wave refill), and an
-//!   in-flight request whose deadline expires is aborted **between
-//!   timesteps** (under [`DeadlinePolicy::DropExpired`]), freeing its
-//!   lane without computing the remaining steps.
-//! * **Wave** (`lanes > 1`, bidirectional stack) — layer-lockstep
-//!   waves via [`DeepRnn::run_batch`]; freed lanes refill at wave
+//! * [`RefillPolicy::Block`] (unidirectional stacks, any lane count) —
+//!   lanes advance through the whole stack in [`HOIST_BLOCK`]-step
+//!   blocks with every layer's input projections hoisted across all
+//!   active lanes, a drained lane is refilled from the queue at the
+//!   next block boundary (mid-wave refill), and an in-flight request
+//!   whose deadline expires is aborted **between blocks** (under
+//!   [`DeadlinePolicy::DropExpired`]), freeing its lane without
+//!   computing the remaining steps.
+//! * [`RefillPolicy::Wave`] (bidirectional stacks) — layer-lockstep
+//!   waves via `DeepRnn::run_batch`; freed lanes refill at wave
 //!   boundaries (the backward halves need whole sequences up front).
 //!
-//! All three produce bit-identical per-request outputs and reuse
+//! Both policies produce bit-identical per-request outputs and reuse
 //! statistics: scheduling never changes results, only latency.
+//!
+//! # Cross-context lane stealing
+//!
+//! A block scheduler is built with **twice** the engine's configured
+//! lane count; the extra lanes are *borrowed* capacity.  The worker's
+//! queue-pull predicate admits a request beyond a context's fair share
+//! (the configured lane count) only while the worker's *total* active
+//! lanes stay under `lanes × contexts` — i.e. a hot model may borrow
+//! exactly the lanes its sibling contexts are leaving idle, and a
+//! worker serving a single context never exceeds the configured count.
+//! Borrowing widens the hoisted matrix products of the hot context
+//! (more rows per weight stream) without starving anyone: the moment a
+//! cold context gets traffic, its fair share is free by construction.
+//!
+//! # Worker work stealing
+//!
+//! When another engine worker goes idle while this one still holds two
+//! or more active lanes, the worker **migrates** one in-flight lane to
+//! it through the engine's [`StealBridge`]: the lane with the most
+//! remaining timesteps (at least [`MIN_STEAL_REMAINING`]) is extracted
+//! as a [`LaneSnapshot`] together with the evaluator's per-lane state
+//! ([`ServedEvaluator::export_lane_state`]), and the receiving worker
+//! implants it into its own context and resumes mid-sequence.
+//! Migration is bit-transparent — the resumed lane consumes the same
+//! inputs and recurrent state in the same scalar order — and
+//! exactly-once: the donor forgets the request without emitting, the
+//! receiver emits its single response.  Evaluators that do not
+//! implement the export/import hooks never migrate.
 
 use crate::registry::{ContextKey, Resolved};
 use crate::request::{
     CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId,
 };
-use nfm_core::{ReuseStats, ServedEvaluator};
-use nfm_rnn::{DeepRnn, FinishedLane, StepPipeline};
+use nfm_core::{LaneState, ReuseStats, ServedEvaluator};
+use nfm_rnn::{DeepRnn, FinishedLane, LaneScheduler, LaneSnapshot, RefillPolicy, HOIST_BLOCK};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,8 +90,8 @@ impl QueuedRequest {
     }
 }
 
-/// A request occupying a pipeline lane.
-struct Inflight {
+/// A request occupying a scheduler lane (or staged for the next wave).
+pub(crate) struct Inflight {
     id: RequestId,
     deadline: Option<Duration>,
     submitted_at: Instant,
@@ -72,35 +99,78 @@ struct Inflight {
     timesteps: usize,
 }
 
-/// Step-pipeline bookkeeping.
-struct PipelineSched {
-    pipeline: StepPipeline,
-    inflight: HashMap<u64, Inflight>,
-    finished: Vec<FinishedLane>,
-    next_token: u64,
+impl Inflight {
+    fn expired(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.submitted_at.elapsed() > d,
+            None => false,
+        }
+    }
 }
 
-/// The lane schedule of one execution context.
-enum Scheduler {
-    /// `lanes == 1`: requests run one at a time, synchronously at
-    /// routing.
-    Single,
-    /// Unidirectional, `lanes > 1`: step-pipelined with mid-wave refill
-    /// and per-step deadline aborts.
-    Pipeline(Box<PipelineSched>),
-    /// Bidirectional, `lanes > 1`: whole waves through `run_batch`;
-    /// `pending` stages the wave (capped at `lanes` by routing).
-    Wave { pending: Vec<QueuedRequest> },
+/// Fewest remaining timesteps an in-flight lane must have to be worth
+/// migrating to an idle worker: below two full hoist blocks the donor
+/// finishes the lane faster than the handoff amortizes.
+pub(crate) const MIN_STEAL_REMAINING: usize = 2 * HOIST_BLOCK;
+
+/// An in-flight lane migrating from a saturated worker to an idle one:
+/// the scheduler-side snapshot, the evaluator's per-lane state, and the
+/// request bookkeeping (original timestamps, so latency accounting
+/// spans the migration).
+pub(crate) struct MigratedLane {
+    pub(crate) resolved: Resolved,
+    pub(crate) inflight: Inflight,
+    pub(crate) snapshot: LaneSnapshot,
+    pub(crate) eval_state: LaneState,
+}
+
+impl fmt::Debug for MigratedLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MigratedLane")
+            .field("key", &self.resolved.key)
+            .field("request", &self.inflight.id)
+            .field("remaining", &self.snapshot.remaining())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The worker's window onto the engine's migration pool.  All methods
+/// are called from the worker thread between scheduling blocks.
+pub(crate) trait StealBridge {
+    /// Pops a migrated lane this worker can host right now, leaving the
+    /// rest pooled.
+    fn try_receive(&self, admittable: &dyn Fn(&MigratedLane) -> bool) -> Option<MigratedLane>;
+    /// Whether some other worker is idle and the pool is empty — the
+    /// donor-side precondition for extracting a lane.
+    fn donation_wanted(&self) -> bool;
+    /// Hands an extracted lane to the pool and wakes an idle worker.
+    fn donate(&self, lane: MigratedLane);
+    /// Records a cross-context lane borrow (observability only).
+    fn note_lane_borrow(&self);
+}
+
+/// Unified scheduler bookkeeping of one execution context.
+struct LaneSched {
+    scheduler: LaneScheduler,
+    /// Requests on lanes (or staged for the next wave), by token.
+    inflight: HashMap<u64, Inflight>,
+    /// Scratch for [`LaneScheduler::step`] results.
+    finished: Vec<FinishedLane>,
+    /// Tokens are context-local and never reused.
+    next_token: u64,
 }
 
 /// One (model, predictor, threshold) combination being served: private
 /// evaluator + lane scheduler.
 struct ExecContext {
     key: ContextKey,
+    /// The registry resolution that created this context, kept so a
+    /// migrating lane carries everything its receiver needs.
+    resolved: Resolved,
     network: Arc<DeepRnn>,
     evaluator: Box<dyn ServedEvaluator>,
     evals_per_step: u64,
-    sched: Scheduler,
+    sched: LaneSched,
     /// Worker-clock value of the last request routed here (LRU
     /// eviction of idle threshold-override contexts).
     last_used: u64,
@@ -124,74 +194,58 @@ impl ExecContext {
         // must start from zero like a fresh build's.
         evaluator.reset_stats();
         let unidirectional = network.layers().iter().all(|l| !l.is_bidirectional());
-        let sched = if lanes == 1 {
-            Scheduler::Single
-        } else if unidirectional {
-            let pipeline =
-                StepPipeline::new(&network, lanes).expect("unidirectional stack, lanes >= 1");
-            // Size the evaluator's per-lane state once up front.
-            evaluator.begin_batch(lanes);
-            Scheduler::Pipeline(Box::new(PipelineSched {
-                pipeline,
-                inflight: HashMap::new(),
-                finished: Vec::new(),
-                next_token: 0,
-            }))
+        let (policy, capacity) = if unidirectional {
+            // Twice the fair share: the extra lanes are borrowable
+            // capacity for cross-context lane stealing.  The queue-pull
+            // predicate keeps a context at its fair share unless
+            // sibling contexts leave lanes idle.
+            (RefillPolicy::Block, lanes * 2)
         } else {
-            Scheduler::Wave {
-                pending: Vec::with_capacity(lanes),
-            }
+            (RefillPolicy::Wave, lanes)
         };
+        let scheduler = LaneScheduler::new(&network, capacity, policy)
+            .expect("lanes >= 1, and Wave accepts any stack");
+        if policy == RefillPolicy::Block {
+            // Size the evaluator's per-lane state once up front (wave
+            // schedulers size it per wave inside run_batch).
+            evaluator.begin_batch(capacity);
+        }
         let evals_per_step = network.neuron_evaluations_per_step() as u64;
         ExecContext {
             key,
+            resolved: resolved.clone(),
             network,
             evaluator,
             evals_per_step,
-            sched,
+            sched: LaneSched {
+                scheduler,
+                inflight: HashMap::new(),
+                finished: Vec::new(),
+                next_token: 0,
+            },
             last_used: 0,
         }
     }
 
     /// Whether this context holds no admitted or staged work.
     fn is_idle(&self) -> bool {
-        match &self.sched {
-            Scheduler::Single => true,
-            Scheduler::Pipeline(p) => p.pipeline.is_idle(),
-            Scheduler::Wave { pending } => pending.is_empty(),
-        }
+        self.sched.scheduler.is_idle()
     }
 
     /// Whether this context can take one more request right now (the
-    /// worker's queue-pull admissibility predicate).
-    fn can_accept(&self, lanes: usize) -> bool {
-        match &self.sched {
-            Scheduler::Single => true,
-            Scheduler::Pipeline(p) => p.pipeline.free_lanes() > 0,
-            Scheduler::Wave { pending } => pending.len() < lanes,
+    /// worker's queue-pull admissibility predicate): room within its
+    /// fair share, or a borrowable lane some sibling context is leaving
+    /// idle (cross-context lane stealing — block schedulers only, and
+    /// never past the worker-wide fair-share total, so a single-context
+    /// worker never exceeds the configured lane count).
+    fn can_accept(&self, fair_share: usize, total_active: usize, contexts: usize) -> bool {
+        let active = self.sched.scheduler.active_lanes();
+        if active < fair_share {
+            return true;
         }
-    }
-
-    /// Statistics attributable to the request that just left `lane`
-    /// (see [`harvest_lane_stats`]).
-    fn take_lane_stats(&mut self, lane: usize, timesteps: usize) -> ReuseStats {
-        harvest_lane_stats(
-            self.evaluator.as_mut(),
-            self.evals_per_step,
-            lane,
-            timesteps,
-        )
-    }
-
-    /// Snapshot of the aggregate counters after a single-mode request
-    /// (the evaluator was [`reset`](ServedEvaluator::reset_stats)
-    /// before it ran); synthesized for untracked evaluators.
-    fn stats_snapshot(&self, timesteps: usize) -> ReuseStats {
-        self.evaluator.stats_snapshot().unwrap_or_else(|| {
-            let mut stats = ReuseStats::new();
-            stats.record_computed_many(timesteps as u64 * self.evals_per_step);
-            stats
-        })
+        self.sched.scheduler.policy() == RefillPolicy::Block
+            && total_active < fair_share * contexts
+            && self.sched.scheduler.free_lanes() > 0
     }
 }
 
@@ -276,21 +330,42 @@ impl LaneWorker {
         }
     }
 
-    /// Drains work from `pull` until it returns `None` and every
-    /// context is idle, emitting one response per request.  Internal
-    /// execution errors (which submit-time validation makes
-    /// unreachable for well-formed engines) turn the affected requests
-    /// into [`CompletionStatus::Rejected`] responses — never silently
-    /// dropped — and are passed to `report` *before* those responses
-    /// are emitted, so a caller observing a rejected response always
-    /// finds the root cause already recorded.
+    /// Drains work from `pull` (and migrated lanes from `bridge`) until
+    /// both run dry and every context is idle, emitting one response
+    /// per request.  Internal execution errors (which submit-time
+    /// validation makes unreachable for well-formed engines) turn the
+    /// affected requests into [`CompletionStatus::Rejected`] responses
+    /// — never silently dropped — and are passed to `report` *before*
+    /// those responses are emitted, so a caller observing a rejected
+    /// response always finds the root cause already recorded.
     pub(crate) fn pump(
         &mut self,
         pull: &mut PullFn<'_>,
+        bridge: &dyn StealBridge,
         emit: &mut dyn FnMut(InferenceResponse),
         report: &mut dyn FnMut(String),
     ) {
         loop {
+            // Migrated lanes first: they carry in-flight work another
+            // worker already started, so they outrank fresh queue
+            // pulls.
+            loop {
+                let contexts = &self.contexts;
+                let receivable = |m: &MigratedLane| -> bool {
+                    match contexts.iter().find(|c| c.key == m.resolved.key) {
+                        // A fresh context always has room.
+                        None => true,
+                        Some(ctx) => {
+                            ctx.sched.scheduler.policy() == RefillPolicy::Block
+                                && ctx.sched.scheduler.free_lanes() > 0
+                        }
+                    }
+                };
+                let Some(lane) = bridge.try_receive(&receivable) else {
+                    break;
+                };
+                self.receive(lane, emit, report);
+            }
             // Fill phase: pull until the queue has nothing this worker
             // can place right now.  The admissibility predicate keeps
             // requests for saturated contexts *on the shared queue*
@@ -302,40 +377,49 @@ impl LaneWorker {
             loop {
                 let lanes = self.lanes;
                 let contexts = &self.contexts;
+                let total_active: usize = contexts
+                    .iter()
+                    .map(|c| c.sched.scheduler.active_lanes())
+                    .sum();
+                let count = contexts.len();
                 let admittable = |q: &QueuedRequest| -> bool {
                     match contexts.iter().find(|c| c.key == q.resolved.key) {
                         // New combination: a fresh context always has room.
                         None => true,
-                        Some(ctx) => ctx.can_accept(lanes),
+                        Some(ctx) => ctx.can_accept(lanes, total_active, count),
                     }
                 };
                 let Some(q) = pull(&admittable) else { break };
-                self.route(q, emit, report);
+                self.route(q, bridge, emit, report);
             }
-            // Step phase: one timestep for every active pipeline.
-            // Non-empty waves are due now — the fill phase just proved
-            // the queue holds nothing more this worker could add.
+            // Step phase: one scheduling block for every active
+            // context.  Non-empty waves are due now — the fill phase
+            // just proved the queue holds nothing more this worker
+            // could add.
             let progressed = self.step_contexts(emit, report);
-            if !progressed && self.contexts.iter().all(ExecContext::is_idle) {
+            // Donate phase: if another worker went idle while this one
+            // still holds several active lanes, hand one over.
+            let donated = self.try_donate(bridge);
+            if !progressed && !donated && self.contexts.iter().all(ExecContext::is_idle) {
                 return;
             }
         }
     }
 
-    /// Index of the context for `key`, creating it on first use (and
-    /// evicting a stale idle threshold-override context when the
+    /// Index of the context for `resolved`, creating it on first use
+    /// (and evicting a stale idle threshold-override context when the
     /// override population outgrows the configured cap).
-    fn context_index(&mut self, q: &QueuedRequest) -> usize {
+    fn context_index(&mut self, resolved: &Resolved) -> usize {
         self.clock += 1;
         let clock = self.clock;
-        match self.contexts.iter().position(|c| c.key == q.resolved.key) {
+        match self.contexts.iter().position(|c| c.key == resolved.key) {
             Some(i) => {
                 self.contexts[i].last_used = clock;
                 i
             }
             None => {
                 let mut revived = None;
-                if q.resolved.key.threshold_bits.is_some() {
+                if resolved.key.threshold_bits.is_some() {
                     self.evict_stale_override_contexts();
                     // Evict first, then check the parked pool: a θ the
                     // client swept away from and is now sweeping back
@@ -343,13 +427,12 @@ impl LaneWorker {
                     if let Some(pos) = self
                         .parked
                         .iter()
-                        .position(|(key, _, _)| *key == q.resolved.key)
+                        .position(|(key, _, _)| *key == resolved.key)
                     {
                         revived = Some(self.parked.remove(pos).1);
                     }
                 }
-                let mut ctx =
-                    ExecContext::new(q.resolved.key.clone(), &q.resolved, self.lanes, revived);
+                let mut ctx = ExecContext::new(resolved.key.clone(), resolved, self.lanes, revived);
                 ctx.last_used = clock;
                 self.contexts.push(ctx);
                 self.contexts.len() - 1
@@ -410,82 +493,74 @@ impl LaneWorker {
         }
     }
 
-    /// Routes one pulled request: runs it (single mode), admits it
-    /// (pipeline), or stages it (wave).  The pull predicate guarantees
-    /// the context has room; the full-context branches below are
-    /// defensive (they fail the request loudly instead of hanging the
-    /// engine if that invariant is ever broken).
+    /// Routes one pulled request: admits it into its context's
+    /// scheduler (block lanes start at the next step phase, wave
+    /// admissions stage until their wave is due).  The pull predicate
+    /// guarantees the context has room; the full-context branch below
+    /// is defensive (it fails the request loudly instead of hanging
+    /// the engine if that invariant is ever broken).
     fn route(
         &mut self,
         q: QueuedRequest,
+        bridge: &dyn StealBridge,
         emit: &mut dyn FnMut(InferenceResponse),
         report: &mut dyn FnMut(String),
     ) {
         let queue_latency = q.submitted_at.elapsed();
         if q.expired() && self.policy == DeadlinePolicy::DropExpired {
-            emit(expired_response(&q, queue_latency, Duration::ZERO));
+            emit(expired_response(q.req.id, queue_latency, Duration::ZERO));
             return;
         }
-        let lanes = self.lanes;
-        let idx = self.context_index(&q);
+        let fair_share = self.lanes;
+        let idx = self.context_index(&q.resolved);
         let ctx = &mut self.contexts[idx];
-        match &mut ctx.sched {
-            Scheduler::Single => {
-                run_single(ctx, q, queue_latency, emit, report);
-            }
-            Scheduler::Wave { pending } => {
-                if pending.len() >= lanes {
-                    debug_assert!(false, "pull predicate admitted into a full wave");
-                    report("request routed to a full wave context".into());
-                    emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
-                    return;
-                }
-                pending.push(q);
-            }
-            Scheduler::Pipeline(sched) => {
-                if sched.pipeline.free_lanes() == 0 {
-                    debug_assert!(false, "pull predicate admitted into a full pipeline");
-                    report("request routed to a full pipeline context".into());
-                    emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
-                    return;
-                }
-                let token = sched.next_token;
-                sched.next_token += 1;
-                let timesteps = q.req.sequence.len();
-                // Timestamp before admit(): the admission-time W_x
-                // hoist is real compute and must land in
-                // compute_latency, not queue_latency.
-                let admitted_at = Instant::now();
-                match sched.pipeline.admit(
+        if ctx.sched.scheduler.free_lanes() == 0 {
+            debug_assert!(false, "pull predicate admitted into a full scheduler");
+            report("request routed to a full execution context".into());
+            emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
+            return;
+        }
+        // An admission past the fair share is a borrowed sibling lane.
+        let borrows = ctx.sched.scheduler.policy() == RefillPolicy::Block
+            && ctx.sched.scheduler.active_lanes() >= fair_share;
+        let token = ctx.sched.next_token;
+        ctx.sched.next_token += 1;
+        let timesteps = q.req.sequence.len();
+        // Timestamp before admit(): lane setup is the request's own
+        // compute, not queue wait.  (Wave admissions re-stamp when
+        // their wave actually starts.)
+        let admitted_at = Instant::now();
+        match ctx
+            .sched
+            .scheduler
+            .admit(token, q.req.sequence, &ctx.network, ctx.evaluator.as_mut())
+        {
+            Ok(()) => {
+                ctx.sched.inflight.insert(
                     token,
-                    q.req.sequence,
-                    &ctx.network,
-                    ctx.evaluator.as_mut(),
-                ) {
-                    Ok(()) => {
-                        sched.inflight.insert(
-                            token,
-                            Inflight {
-                                id: q.req.id,
-                                deadline: q.req.deadline,
-                                submitted_at: q.submitted_at,
-                                admitted_at,
-                                timesteps,
-                            },
-                        );
-                    }
-                    Err(e) => {
-                        report(e.to_string());
-                        emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
-                    }
+                    Inflight {
+                        id: q.req.id,
+                        deadline: q.req.deadline,
+                        submitted_at: q.submitted_at,
+                        admitted_at,
+                        timesteps,
+                    },
+                );
+                if borrows {
+                    bridge.note_lane_borrow();
                 }
+            }
+            Err(e) => {
+                report(e.to_string());
+                emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
             }
         }
     }
 
-    /// Advances every non-idle context: active pipelines by exactly one
-    /// timestep (after aborting expired in-flight requests), staged
-    /// waves in full.  Returns whether any compute happened.
+    /// Advances every non-idle context by one scheduling block (block
+    /// policy) or one whole staged wave (wave policy), after aborting
+    /// expired in-flight requests.  Returns whether any compute
+    /// happened.
     fn step_contexts(
         &mut self,
         emit: &mut dyn FnMut(InferenceResponse),
@@ -494,115 +569,107 @@ impl LaneWorker {
         let mut progressed = false;
         let policy = self.policy;
         for ctx in &mut self.contexts {
-            match &mut ctx.sched {
-                Scheduler::Single => {}
-                Scheduler::Wave { pending } => {
-                    // Any staged wave is due: the fill phase stops only
-                    // when the queue holds nothing more this worker
-                    // could stage, so waiting longer gains nothing.
-                    if !pending.is_empty() {
-                        let wave = std::mem::take(pending);
-                        run_wave(ctx, wave, policy, emit, report);
-                        progressed = true;
-                    }
-                }
-                Scheduler::Pipeline(_) => {
-                    if step_pipeline(ctx, policy, emit, report) {
-                        progressed = true;
-                    }
-                }
+            if step_context(ctx, policy, emit, report) {
+                progressed = true;
             }
         }
         progressed
     }
-}
 
-/// Runs one request synchronously on a `lanes == 1` context.
-fn run_single(
-    ctx: &mut ExecContext,
-    q: QueuedRequest,
-    queue_latency: Duration,
-    emit: &mut dyn FnMut(InferenceResponse),
-    report: &mut dyn FnMut(String),
-) {
-    ctx.evaluator.reset_stats();
-    let started = Instant::now();
-    let result = ctx.network.run(&q.req.sequence, ctx.evaluator.as_mut());
-    let compute_latency = started.elapsed();
-    match result {
-        Ok(outputs) => {
-            let stats = ctx.stats_snapshot(q.req.sequence.len());
-            emit(InferenceResponse {
-                id: q.req.id,
-                status: completion_status(&q.req.deadline, q.submitted_at),
-                outputs,
-                stats,
-                queue_latency,
-                compute_latency,
+    /// Donor half of worker work stealing: when another worker is idle
+    /// and this one still holds two or more active lanes, extract the
+    /// lane with the most remaining work (evaluator state included) and
+    /// hand it over.  At most one lane per pump round — the pool is
+    /// drained before anyone donates again, so workers cannot flood it.
+    fn try_donate(&mut self, bridge: &dyn StealBridge) -> bool {
+        if !bridge.donation_wanted() {
+            return false;
+        }
+        let total_active: usize = self
+            .contexts
+            .iter()
+            .map(|c| c.sched.scheduler.active_lanes())
+            .sum();
+        // Never donate the last active lane: that just moves the work.
+        if total_active < 2 {
+            return false;
+        }
+        for ctx in &mut self.contexts {
+            let Some(token) = ctx.sched.scheduler.steal_candidate(MIN_STEAL_REMAINING) else {
+                continue;
+            };
+            let Some(lane) = ctx.sched.scheduler.lane_of(token) else {
+                continue;
+            };
+            // Export the evaluator's lane state *before* extraction
+            // compacts the lane prefix; evaluators without the hook
+            // keep their lanes.
+            let Some(eval_state) = ctx.evaluator.export_lane_state(lane) else {
+                continue;
+            };
+            let snapshot = ctx
+                .sched
+                .scheduler
+                .extract(token, ctx.evaluator.as_mut())
+                .expect("steal candidate is an active lane");
+            let inflight = ctx
+                .sched
+                .inflight
+                .remove(&token)
+                .expect("active lanes are tracked");
+            bridge.donate(MigratedLane {
+                resolved: ctx.resolved.clone(),
+                inflight,
+                snapshot,
+                eval_state,
             });
+            return true;
         }
-        Err(e) => {
-            report(e.to_string());
-            emit(rejected_response(q.req.id, queue_latency, compute_latency));
-        }
+        false
     }
-}
 
-/// Runs one staged wave to completion on a bidirectional context.
-fn run_wave(
-    ctx: &mut ExecContext,
-    mut wave: Vec<QueuedRequest>,
-    policy: DeadlinePolicy,
-    emit: &mut dyn FnMut(InferenceResponse),
-    report: &mut dyn FnMut(String),
-) {
-    // Deadlines may have expired while the wave was staged; re-check so
-    // a hopeless request does not occupy a wave lane.
-    if policy == DeadlinePolicy::DropExpired {
-        wave.retain(|q| {
-            if q.expired() {
-                emit(expired_response(
-                    q,
-                    q.submitted_at.elapsed(),
-                    Duration::ZERO,
-                ));
-                false
-            } else {
-                true
+    /// Receiver half of worker work stealing: implant a migrated lane
+    /// into this worker's context for the same key and resume it
+    /// mid-sequence.  The failure paths are defensive — the donor only
+    /// exports through the same evaluator hooks — and fail the request
+    /// loudly rather than losing it.
+    fn receive(
+        &mut self,
+        lane: MigratedLane,
+        emit: &mut dyn FnMut(InferenceResponse),
+        report: &mut dyn FnMut(String),
+    ) {
+        let MigratedLane {
+            resolved,
+            inflight,
+            snapshot,
+            eval_state,
+        } = lane;
+        let queue_latency = inflight.admitted_at.duration_since(inflight.submitted_at);
+        let compute_latency = inflight.admitted_at.elapsed();
+        let idx = self.context_index(&resolved);
+        let ctx = &mut self.contexts[idx];
+        let token = ctx.sched.next_token;
+        ctx.sched.next_token += 1;
+        match ctx.sched.scheduler.implant(token, snapshot) {
+            Ok(lane_idx) => {
+                if ctx.evaluator.import_lane_state(lane_idx, eval_state) {
+                    ctx.sched.inflight.insert(token, inflight);
+                } else {
+                    let _ = ctx.sched.scheduler.cancel(token, ctx.evaluator.as_mut());
+                    report("migrated lane rejected: evaluator refused the lane state".into());
+                    emit(rejected_response(
+                        inflight.id,
+                        queue_latency,
+                        compute_latency,
+                    ));
+                }
             }
-        });
-    }
-    if wave.is_empty() {
-        return;
-    }
-    // Longest-first (stable) so wave lane `l` is request `l`: run_batch
-    // re-sorts stably, which is then the identity, and per-lane stats
-    // map back directly.
-    wave.sort_by_key(|q| std::cmp::Reverse(q.req.sequence.len()));
-    let refs: Vec<&[nfm_tensor::Vector]> = wave.iter().map(|q| q.req.sequence.as_slice()).collect();
-    let admitted_at = Instant::now();
-    match ctx.network.run_batch(&refs, ctx.evaluator.as_mut()) {
-        Ok(outputs) => {
-            let compute_latency = admitted_at.elapsed();
-            for (lane, (q, outputs)) in wave.iter().zip(outputs).enumerate() {
-                let stats = ctx.take_lane_stats(lane, q.req.sequence.len());
-                emit(InferenceResponse {
-                    id: q.req.id,
-                    status: completion_status(&q.req.deadline, q.submitted_at),
-                    outputs,
-                    stats,
-                    queue_latency: admitted_at.duration_since(q.submitted_at),
-                    compute_latency,
-                });
-            }
-        }
-        Err(e) => {
-            report(e.to_string());
-            let compute_latency = admitted_at.elapsed();
-            for q in &wave {
+            Err(e) => {
+                report(e.to_string());
                 emit(rejected_response(
-                    q.req.id,
-                    admitted_at.duration_since(q.submitted_at),
+                    inflight.id,
+                    queue_latency,
                     compute_latency,
                 ));
             }
@@ -610,9 +677,10 @@ fn run_wave(
     }
 }
 
-/// Aborts expired in-flight requests, then advances an active pipeline
-/// context by one timestep.  Returns whether a step ran.
-fn step_pipeline(
+/// Aborts expired in-flight requests, then advances one context by a
+/// scheduling block (or a whole staged wave).  Returns whether any
+/// compute happened.
+fn step_context(
     ctx: &mut ExecContext,
     policy: DeadlinePolicy,
     emit: &mut dyn FnMut(InferenceResponse),
@@ -628,71 +696,91 @@ fn step_pipeline(
         ..
     } = ctx;
     let evals_per_step = *evals_per_step;
-    let Scheduler::Pipeline(sched) = sched else {
-        unreachable!("caller matched Pipeline");
-    };
-    if sched.pipeline.is_idle() {
+    if sched.scheduler.is_idle() {
         return false;
     }
-    // Per-step deadline aborts: a request whose budget ran out
+    // Block-boundary deadline aborts: a request whose budget ran out
     // mid-sequence frees its lane *now* (mid-wave, like refill) instead
-    // of computing its remaining timesteps.  Only DropExpired aborts;
-    // RunToCompletion keeps computing and reports the late result.
+    // of computing its remaining timesteps; a staged wave admission
+    // whose budget ran out is unstaged before it costs anything.  Only
+    // DropExpired aborts; RunToCompletion keeps computing and reports
+    // the late result.
     if policy == DeadlinePolicy::DropExpired {
         let expired: Vec<u64> = sched
             .inflight
             .iter()
-            .filter(|(_, info)| match info.deadline {
-                Some(d) => info.submitted_at.elapsed() > d,
-                None => false,
-            })
+            .filter(|(_, info)| info.expired())
             .map(|(&token, _)| token)
             .collect();
         for token in expired {
             let cancelled = sched
-                .pipeline
+                .scheduler
                 .cancel(token, evaluator.as_mut())
-                .expect("inflight tokens are on lanes");
+                .expect("inflight tokens are scheduled");
             let info = sched.inflight.remove(&token).expect("lane tracked");
-            // Zero the lane's counters (the partial work is discarded
-            // with the outputs) and report the abort with partial
-            // latency accounting: the queue wait it really had, the
-            // compute time it really consumed.
-            let _ = harvest_lane_stats(
-                evaluator.as_mut(),
-                evals_per_step,
-                cancelled.stats_lane,
-                cancelled.outputs.len(),
-            );
-            emit(InferenceResponse {
-                id: info.id,
-                status: CompletionStatus::DeadlineExpired,
-                outputs: Vec::new(),
-                stats: ReuseStats::new(),
-                queue_latency: info.admitted_at.duration_since(info.submitted_at),
-                compute_latency: info.admitted_at.elapsed(),
-            });
+            match cancelled.stats_lane {
+                // The lane ran: zero its counters (the partial work is
+                // discarded with the outputs) and report the abort with
+                // partial latency accounting — the queue wait it really
+                // had, the compute time it really consumed.
+                Some(lane) => {
+                    let _ = harvest_lane_stats(
+                        evaluator.as_mut(),
+                        evals_per_step,
+                        lane,
+                        cancelled.outputs.len(),
+                    );
+                    emit(InferenceResponse {
+                        id: info.id,
+                        status: CompletionStatus::DeadlineExpired,
+                        outputs: Vec::new(),
+                        stats: ReuseStats::new(),
+                        queue_latency: info.admitted_at.duration_since(info.submitted_at),
+                        compute_latency: info.admitted_at.elapsed(),
+                    });
+                }
+                // A staged wave admission that never entered the
+                // evaluator: pure queue wait, zero compute.
+                None => {
+                    emit(expired_response(
+                        info.id,
+                        info.submitted_at.elapsed(),
+                        Duration::ZERO,
+                    ));
+                }
+            }
         }
-        if sched.pipeline.is_idle() {
+        if sched.scheduler.is_idle() {
             return false;
         }
     }
+    // A staged wave starts computing *now*: re-stamp its admissions so
+    // queue latency covers the whole staging wait and compute latency
+    // the wave itself.
+    if sched.scheduler.policy() == RefillPolicy::Wave {
+        let wave_start = Instant::now();
+        for info in sched.inflight.values_mut() {
+            info.admitted_at = wave_start;
+        }
+    }
     match sched
-        .pipeline
+        .scheduler
         .step(network, evaluator.as_mut(), &mut sched.finished)
     {
-        Ok(_) => {
+        Ok(advanced) => {
             // Read each finished lane's stats before the next admission
             // reuses its slot.
             let finished = std::mem::take(&mut sched.finished);
             for f in finished {
                 let info = sched.inflight.remove(&f.token).expect("lane tracked");
-                let stats = harvest_lane_stats(
-                    evaluator.as_mut(),
-                    evals_per_step,
-                    f.stats_lane,
-                    info.timesteps,
-                );
+                let stats = match f.stats_lane {
+                    Some(lane) => {
+                        harvest_lane_stats(evaluator.as_mut(), evals_per_step, lane, info.timesteps)
+                    }
+                    // Unreachable for finished lanes (only cancelled
+                    // wave-pending admissions lack a lane).
+                    None => ReuseStats::new(),
+                };
                 emit(InferenceResponse {
                     id: info.id,
                     status: completion_status(&info.deadline, info.submitted_at),
@@ -702,11 +790,11 @@ fn step_pipeline(
                     compute_latency: info.admitted_at.elapsed(),
                 });
             }
-            true
+            advanced > 0
         }
         Err(e) => {
             // Unreachable for validated submissions; fail the in-flight
-            // requests loudly and restart the pipeline with fresh
+            // requests loudly and restart the scheduler with fresh
             // lanes.
             report(e.to_string());
             for (_, info) in sched.inflight.drain() {
@@ -716,10 +804,13 @@ fn step_pipeline(
                     info.admitted_at.elapsed(),
                 ));
             }
-            let lanes = sched.pipeline.lanes();
-            sched.pipeline = StepPipeline::new(network, lanes)
-                .expect("same network accepted these lanes before");
-            evaluator.begin_batch(lanes);
+            let capacity = sched.scheduler.lanes();
+            let refill = sched.scheduler.policy();
+            sched.scheduler = LaneScheduler::new(network, capacity, refill)
+                .expect("same network accepted this configuration before");
+            if refill == RefillPolicy::Block {
+                evaluator.begin_batch(capacity);
+            }
             sched.finished.clear();
             true
         }
@@ -736,12 +827,12 @@ fn completion_status(deadline: &Option<Duration>, submitted_at: Instant) -> Comp
 }
 
 fn expired_response(
-    q: &QueuedRequest,
+    id: RequestId,
     queue_latency: Duration,
     compute_latency: Duration,
 ) -> InferenceResponse {
     InferenceResponse {
-        id: q.req.id,
+        id,
         status: CompletionStatus::DeadlineExpired,
         outputs: Vec::new(),
         stats: ReuseStats::new(),

@@ -12,8 +12,10 @@
 //! * [`bnn`] — binarized (bitwise) network substrate.
 //! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
 //! * [`serve`] — the request-oriented serving engine (multi-model
-//!   registry, per-request options, deadlines, step-pipelined lane
-//!   scheduler) and the `MemoizedRunner` workload façade built on it.
+//!   registry, per-request options, deadlines, unified lane scheduler
+//!   with mid-wave refill, cross-context lane borrowing and worker
+//!   work stealing) and the `MemoizedRunner` workload façade built on
+//!   it.
 //! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
 //! * [`workloads`] — the four Table 1 RNNs with synthetic data.
 //! * [`eval`] — per-figure/per-table experiment harness.

@@ -1,7 +1,7 @@
 //! The open serving API: `Predictor` trait + multi-model registry +
 //! per-request options.
 //!
-//! Four contracts:
+//! Five contracts:
 //!
 //! 1. **Open predictors** — a custom [`Predictor`] registered through
 //!    the [`ModelRegistry`] and served through the engine is
@@ -17,10 +17,17 @@
 //! 4. **Scheduling knobs** — priorities reorder admission (never
 //!    results); per-step deadline aborts free a lane mid-sequence
 //!    under `DropExpired` and are policy-gated.
+//! 5. **Lane and work stealing** — a hot model borrows the lanes a
+//!    cold sibling context leaves idle (never past the worker-wide
+//!    fair-share total), a custom evaluator can opt into cross-worker
+//!    lane migration, and a migrated request still aborts at its
+//!    deadline on the receiving worker — none of which ever changes
+//!    results.
 
 use nfm::bnn::BinaryNetwork;
 use nfm::memo::{
-    BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator, OracleMemoConfig, Predictor, ServedEvaluator,
+    BnnMemoConfig, BnnMemoEvaluator, LaneState, OracleEvaluator, OracleMemoConfig, Predictor,
+    ServedEvaluator,
 };
 use nfm::rnn::{
     CellKind, DeepRnn, DeepRnnConfig, Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult,
@@ -754,7 +761,19 @@ impl NeuronEvaluator for SleepyEvaluator {
     }
 }
 
-impl ServedEvaluator for SleepyEvaluator {}
+// Stateless per lane (the inner exact evaluator recomputes everything
+// from the scheduler-carried recurrent state), so it can opt into
+// cross-worker lane migration with a unit lane-state token — the
+// custom-evaluator side of the work-stealing contract.
+impl ServedEvaluator for SleepyEvaluator {
+    fn export_lane_state(&mut self, _lane: usize) -> Option<LaneState> {
+        Some(Box::new(()))
+    }
+
+    fn import_lane_state(&mut self, _lane: usize, state: LaneState) -> bool {
+        state.downcast::<()>().is_ok()
+    }
+}
 
 impl Predictor for SleepyPredictor {
     fn name(&self) -> &str {
@@ -844,4 +863,213 @@ fn per_step_deadline_abort_frees_the_lane_mid_sequence() {
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].status, CompletionStatus::DeadlineExpired);
     assert_eq!(responses[0].outputs.len(), long.len(), "late but complete");
+}
+
+/// Contract 5a: cross-context lane stealing.  A hot model may borrow
+/// the lanes a cold sibling context leaves idle — but never past the
+/// worker-wide fair-share total — and borrowing changes admission only,
+/// never results.  With one worker and a paused engine the fill order
+/// is the submission order, making the borrow deterministic.
+#[test]
+fn hot_context_borrows_idle_lanes_from_cold_sibling() {
+    let hot = unidirectional_network(91);
+    let cold = unidirectional_network(92);
+    let theta = 1.0f32;
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "hot",
+            hot.clone(),
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(theta)),
+        )
+        .unwrap();
+    registry
+        .register("cold", cold.clone(), PredictorKind::Exact)
+        .unwrap();
+    let engine = EngineBuilder::from_registry(registry)
+        .lanes(2)
+        .workers(1)
+        .queue_capacity(16)
+        .start_paused()
+        .build()
+        .unwrap();
+
+    // Two hot requests fill the hot context's fair share (= the
+    // configured 2 lanes), one cold request occupies the cold context,
+    // and the third hot request is only admittable by borrowing a lane
+    // the cold context leaves idle: 3 active lanes < 2 lanes × 2
+    // contexts.  The remaining hot requests wait on the queue until
+    // lanes retire.
+    let hot_seqs: Vec<Vec<Vector>> = [12usize, 9, 7, 5, 3]
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| smooth_sequence(len, hot.input_size(), 2100 + i as u64))
+        .collect();
+    let cold_seq = smooth_sequence(10, cold.input_size(), 2200);
+    for (i, seq) in hot_seqs.iter().take(2).enumerate() {
+        engine
+            .submit(InferenceRequest::new(i as u64, seq.clone()).for_model("hot"))
+            .unwrap();
+    }
+    engine
+        .submit(InferenceRequest::new(100, cold_seq.clone()).for_model("cold"))
+        .unwrap();
+    for (i, seq) in hot_seqs.iter().enumerate().skip(2) {
+        engine
+            .submit(InferenceRequest::new(i as u64, seq.clone()).for_model("hot"))
+            .unwrap();
+    }
+    let responses = engine.drain();
+    assert_eq!(
+        responses.len(),
+        hot_seqs.len() + 1,
+        "every request reported"
+    );
+    assert!(
+        engine.lane_borrows() >= 1,
+        "the third hot request was admitted on a borrowed lane"
+    );
+    let mirror = BinaryNetwork::mirror(&hot);
+    for (i, seq) in hot_seqs.iter().enumerate() {
+        let r = responses.iter().find(|r| r.id == i as u64).unwrap();
+        assert_eq!(r.status, CompletionStatus::Done, "hot seq {i}");
+        let mut eval = BnnMemoEvaluator::new(mirror.clone(), BnnMemoConfig::with_threshold(theta));
+        let reference = hot.run(seq, &mut eval).unwrap();
+        assert_bit_identical(
+            &format!("borrowed-lane hot seq {i}"),
+            &r.outputs,
+            &reference,
+        );
+        assert_eq!(r.stats, *eval.stats(), "hot seq {i}: per-request stats");
+    }
+    let r = responses.iter().find(|r| r.id == 100).unwrap();
+    assert_eq!(r.status, CompletionStatus::Done, "cold request");
+    let reference = cold
+        .run(&cold_seq, &mut nfm::rnn::ExactEvaluator::new())
+        .unwrap();
+    assert_bit_identical("cold request", &r.outputs, &reference);
+
+    // A single-context worker has no sibling to borrow from: the same
+    // traffic through a one-model engine never exceeds the configured
+    // lane count, so the borrow counter stays at zero.
+    let engine = EngineBuilder::new(
+        hot.clone(),
+        PredictorKind::Bnn(BnnMemoConfig::with_threshold(theta)),
+    )
+    .lanes(2)
+    .workers(1)
+    .queue_capacity(16)
+    .start_paused()
+    .build()
+    .unwrap();
+    for (i, seq) in hot_seqs.iter().enumerate() {
+        engine
+            .submit(InferenceRequest::new(i as u64, seq.clone()))
+            .unwrap();
+    }
+    let responses = engine.drain();
+    assert_eq!(responses.len(), hot_seqs.len());
+    assert!(responses.iter().all(|r| r.status == CompletionStatus::Done));
+    assert_eq!(
+        engine.lane_borrows(),
+        0,
+        "a single-context worker never borrows"
+    );
+}
+
+/// Contract 5b: steal-then-deadline-abort.  A request migrated to
+/// another worker mid-sequence still aborts at its deadline on the
+/// receiving worker under `DropExpired`, and every request — migrated
+/// or not — is reported exactly once.
+#[test]
+fn stolen_lanes_still_abort_on_deadline() {
+    let mut rng = DeterministicRng::seed_from_u64(73);
+    // One GRU layer => 3 sleepy gate calls ≈ 3ms per timestep.
+    let net = DeepRnn::random(&DeepRnnConfig::new(CellKind::Gru, 4, 6), &mut rng).unwrap();
+    // Two shorts (retire fast, leaving their worker idle) + two longs
+    // that cannot possibly meet their 250ms deadline (≈ 360ms each).
+    let shorts = [
+        smooth_sequence(10, net.input_size(), 1),
+        smooth_sequence(6, net.input_size(), 2),
+    ];
+    let longs = [
+        smooth_sequence(120, net.input_size(), 3),
+        smooth_sequence(120, net.input_size(), 4),
+    ];
+
+    let mut migrated = false;
+    for attempt in 0..10 {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_custom(
+                "slow",
+                net.clone(),
+                "sleepy",
+                Arc::new(SleepyPredictor {
+                    delay: Duration::from_millis(1),
+                }),
+            )
+            .unwrap();
+        let engine = EngineBuilder::from_registry(registry)
+            .lanes(2)
+            .workers(2)
+            .queue_capacity(8)
+            .deadline_policy(DeadlinePolicy::DropExpired)
+            .start_paused()
+            .build()
+            .unwrap();
+        // A paused burst, shorts first: on resume the first worker's
+        // fill loop runs to its fair share without yielding, so it
+        // usually takes both shorts and the second worker takes both
+        // longs — then drains its shorts, goes idle, and receives one
+        // of the longs.  The layout is still a scheduling race, hence
+        // the retry loop; the deadline/exactly-once assertions hold on
+        // every attempt regardless.
+        for (i, seq) in shorts.iter().enumerate() {
+            engine
+                .submit(InferenceRequest::new(i as u64, seq.clone()))
+                .unwrap();
+        }
+        for (i, seq) in longs.iter().enumerate() {
+            engine
+                .submit(
+                    InferenceRequest::new(10 + i as u64, seq.clone())
+                        .with_deadline(Duration::from_millis(250)),
+                )
+                .unwrap();
+        }
+        let responses = engine.drain();
+        assert_eq!(
+            responses.len(),
+            4,
+            "attempt {attempt}: exactly-once across migration"
+        );
+        for (i, seq) in shorts.iter().enumerate() {
+            let r = responses.iter().find(|r| r.id == i as u64).unwrap();
+            assert_eq!(
+                r.status,
+                CompletionStatus::Done,
+                "attempt {attempt} short {i}"
+            );
+            assert_eq!(r.outputs.len(), seq.len());
+        }
+        for i in 0..longs.len() {
+            let r = responses.iter().find(|r| r.id == 10 + i as u64).unwrap();
+            assert_eq!(
+                r.status,
+                CompletionStatus::DeadlineExpired,
+                "attempt {attempt} long {i}"
+            );
+            assert!(r.outputs.is_empty(), "aborted mid-flight, not computed");
+            assert!(
+                r.compute_latency > Duration::ZERO,
+                "attempt {attempt} long {i}: the abort happened on a lane"
+            );
+        }
+        if engine.migrations() > 0 {
+            migrated = true;
+            break;
+        }
+    }
+    assert!(migrated, "no lane migrated in 10 attempts");
 }
