@@ -29,6 +29,8 @@
 use nfm_bench::Bencher;
 use nfm_bnn::{BinaryGate, BinaryNetwork, BitVector, PopcountBackend};
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator};
+use nfm_loadgen::{run_scenario, ArrivalProcess, BlendEntry, Scenario};
+use nfm_net::{NetClient, NetServer, ServerFrame, WireRequest};
 use nfm_rnn::{
     DeepRnn, ExactEvaluator, Gate, NeuronEvaluator, NeuronRef, PerNeuronEvaluator,
     Result as RnnResult, RnnError,
@@ -544,6 +546,141 @@ fn main() {
         skew_percentile(0.99),
     );
 
+    // ------------------------------------------------------------------
+    // Network serving (`net/*`): what the TCP front door costs.
+    //
+    // 1. Loopback protocol overhead — the same single BNN request
+    //    served by `Engine::submit`+`drain` in-process vs a full
+    //    encode → loopback TCP → decode → submit → respond round trip,
+    //    as an interleaved pair so machine drift cancels.  The
+    //    `engine_submit vs loopback_roundtrip` speedup in the snapshot
+    //    is the honest overhead factor.
+    // 2. Open-loop Poisson latencies — seeded arrivals against a live
+    //    server, p50/p99/p999 measured from each request's *scheduled*
+    //    arrival (no coordinated omission).
+    // 3. Mixed two-model blend — closed-loop traffic spreading over
+    //    two registered models with θ overrides and ragged lengths.
+    // ------------------------------------------------------------------
+    {
+        let net_pool = workload(NetworkId::ImdbSentiment, 0.25, 8, 24);
+        let sibling = WorkloadBuilder::new(NetworkId::ImdbSentiment)
+            .scale(0.25)
+            .sequences(2)
+            .sequence_length(24)
+            .seed(29)
+            .build()
+            .expect("workload builds");
+        let net_engine = || {
+            let mut registry = ModelRegistry::new();
+            registry
+                .register(
+                    "imdb",
+                    net_pool.network().clone(),
+                    PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+                )
+                .expect("register model");
+            registry
+                .register(
+                    "imdb-b",
+                    sibling.network().clone(),
+                    PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.5)),
+                )
+                .expect("register sibling");
+            EngineBuilder::from_registry(registry)
+                .workers(2)
+                .queue_capacity(256)
+                .build()
+                .expect("engine builds")
+        };
+
+        // 1. Loopback overhead, one request at a time on both paths.
+        let direct = net_engine();
+        let server = NetServer::bind("127.0.0.1:0", net_engine()).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = NetClient::connect(handle.addr()).expect("connect");
+        let seq = net_pool.sequences()[0].clone();
+        bench.bench_pair(
+            "net/engine_submit/bnn",
+            || {
+                direct
+                    .submit(InferenceRequest::new(1, seq.clone()))
+                    .expect("submit");
+                black_box(direct.drain().len())
+            },
+            "net/loopback_roundtrip/bnn",
+            || {
+                client
+                    .send(&WireRequest::new(1, seq.clone()))
+                    .expect("send");
+                match client.recv().expect("recv") {
+                    ServerFrame::Response(r) => black_box(r.outputs.len()),
+                    ServerFrame::Reject(r) => panic!("rejected: {}", r.message),
+                }
+            },
+        );
+        drop(client);
+        direct.shutdown();
+
+        // 2. Open-loop Poisson against the same live server.
+        let open = Scenario {
+            seed: 0xA11CE,
+            warmup: 16,
+            measure: 96,
+            arrival: ArrivalProcess::OpenLoopPoisson {
+                rate_per_sec: 250.0,
+                max_in_flight: 64,
+            },
+            blend: vec![BlendEntry::new(1.0)],
+            pool: net_pool.sequences().to_vec(),
+            ragged_lengths: Some(vec![8, 16, 24]),
+        };
+        let report = run_scenario(handle.addr(), &open).expect("open-loop scenario");
+        assert_eq!(report.done, 96, "open loop must answer every request");
+        bench.record_value(
+            "net/openloop_poisson_p50/bnn",
+            report.latency.quantile_ns(0.50) as f64,
+        );
+        bench.record_value(
+            "net/openloop_poisson_p99/bnn",
+            report.latency.quantile_ns(0.99) as f64,
+        );
+        bench.record_value(
+            "net/openloop_poisson_p999/bnn",
+            report.latency.quantile_ns(0.999) as f64,
+        );
+
+        // 3. Mixed two-model blend, closed loop (capacity regime).
+        let blend = Scenario {
+            seed: 0xB1E4D,
+            warmup: 16,
+            measure: 96,
+            arrival: ArrivalProcess::ClosedLoop { concurrency: 8 },
+            blend: vec![
+                BlendEntry::new(2.0).model("imdb"),
+                BlendEntry::new(1.0).model("imdb").threshold(0.2),
+                BlendEntry::new(1.0).model("imdb-b"),
+            ],
+            pool: net_pool.sequences().to_vec(),
+            ragged_lengths: Some(vec![8, 16, 24]),
+        };
+        let report = run_scenario(handle.addr(), &blend).expect("blend scenario");
+        assert_eq!(report.done, 96, "blend must answer every request");
+        bench.record_value(
+            "net/two_model_blend_p50/mixed",
+            report.latency.quantile_ns(0.50) as f64,
+        );
+        bench.record_value(
+            "net/two_model_blend_p99/mixed",
+            report.latency.quantile_ns(0.99) as f64,
+        );
+        bench.record_value(
+            "net/two_model_blend_p999/mixed",
+            report.latency.quantile_ns(0.999) as f64,
+        );
+        let stats = handle.shutdown();
+        assert_eq!(stats.rejects_total(), 0, "net benches must not shed");
+    }
+
     for (size, w) in &sizes {
         bench.bench(&format!("inference/exact/{size}"), || {
             let mut evaluator = ExactEvaluator::new();
@@ -752,6 +889,7 @@ fn main() {
     bench.set_meta("popcount_backend", nfm_bnn::popcount::active().name());
 
     let static_speedups: Vec<(&str, &str)> = vec![
+        ("net/loopback_roundtrip/bnn", "net/engine_submit/bnn"),
         ("inference/exact_naive/small", "inference/exact/small"),
         ("inference/exact_naive/medium", "inference/exact/medium"),
         ("inference/exact_per_neuron/small", "inference/exact/small"),

@@ -1,0 +1,219 @@
+//! The client half of the wire: frame a [`WireRequest`], read back
+//! [`ServerFrame`]s.
+//!
+//! [`NetClient`] is deliberately simple — a blocking `TcpStream`
+//! wrapper with the same [`FrameAssembler`] the server uses, so the
+//! load generator, the e2e tests and the example all speak through one
+//! code path.  `recv` blocks until a full frame arrives;
+//! [`try_recv`](NetClient::try_recv) flips the socket nonblocking for
+//! open-loop senders that must not stall on slow responses.
+
+use crate::protocol::{FrameAssembler, ProtocolError, ServerFrame, WireRequest};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Failures a [`NetClient`] can surface.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket failed or closed.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a protocol frame.
+    Protocol(ProtocolError),
+    /// The peer closed the connection cleanly mid-conversation.
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NetError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            NetError::Disconnected => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    scratch: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connects to `addr` with `TCP_NODELAY` (request/response frames
+    /// are latency-sensitive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            assembler: FrameAssembler::default(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The local (client-side) address of the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.stream.local_addr()?)
+    }
+
+    /// Encodes and writes one request frame (blocking until the socket
+    /// accepted all of it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send(&mut self, request: &WireRequest) -> Result<(), NetError> {
+        self.scratch.clear();
+        request.encode(&mut self.scratch);
+        self.stream.set_nonblocking(false)?;
+        self.stream.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Blocks until the next server frame arrives (response or typed
+    /// reject).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF, otherwise socket or
+    /// decode failures.
+    pub fn recv(&mut self) -> Result<ServerFrame, NetError> {
+        self.stream.set_nonblocking(false)?;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some(payload) = self.assembler.next_frame()? {
+                return Ok(ServerFrame::decode(&payload)?);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => self.assembler.push(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Nonblocking receive: returns `Ok(None)` when no complete frame
+    /// is available yet.  Open-loop senders poll this between sends so
+    /// arrivals never wait on responses.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF, otherwise socket or
+    /// decode failures.
+    pub fn try_recv(&mut self) -> Result<Option<ServerFrame>, NetError> {
+        if let Some(payload) = self.assembler.next_frame()? {
+            return Ok(Some(ServerFrame::decode(&payload)?));
+        }
+        self.stream.set_nonblocking(true)?;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => {
+                    self.assembler.push(&chunk[..n]);
+                    if let Some(payload) = self.assembler.next_frame()? {
+                        return Ok(Some(ServerFrame::decode(&payload)?));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for the next frame; `Ok(None)` on
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF, otherwise socket or
+    /// decode failures.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<ServerFrame>, NetError> {
+        if let Some(payload) = self.assembler.next_frame()? {
+            return Ok(Some(ServerFrame::decode(&payload)?));
+        }
+        self.stream.set_nonblocking(false)?;
+        // read_timeout(Some(0)) is rejected by std; clamp up.
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream.set_read_timeout(Some(timeout))?;
+        let mut chunk = [0u8; 64 * 1024];
+        let result = loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Err(NetError::Disconnected),
+                Ok(n) => {
+                    self.assembler.push(&chunk[..n]);
+                    if let Some(payload) = self.assembler.next_frame()? {
+                        break Ok(Some(ServerFrame::decode(&payload)?));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break Ok(None)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => break Err(NetError::Io(e)),
+            }
+        };
+        self.stream.set_read_timeout(None)?;
+        result
+    }
+
+    /// Sends raw bytes on the wire, bypassing the encoder — the
+    /// property tests use this to throw malformed frames at a live
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.set_nonblocking(false)?;
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Half-closes the write side so the server sees EOF after the
+    /// in-flight requests, while responses keep flowing back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shutdown failure.
+    pub fn finish_sending(&mut self) -> Result<(), NetError> {
+        self.stream.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,65 @@
+//! # nfm-net — the engine's TCP serving surface
+//!
+//! Everything needed to put the in-process [`Engine`](nfm_serve::Engine)
+//! behind a socket, with **no dependencies outside `std`**:
+//!
+//! * [`protocol`] — the length-prefixed little-endian wire format:
+//!   [`WireRequest`] in, [`WireResponse`] / [`WireReject`] out, with
+//!   [`FrameAssembler`] turning an arbitrary byte stream back into
+//!   frames.  `f32` payloads travel as IEEE-754 bit patterns, so a
+//!   loopback round-trip is bit-exact — the e2e tests assert network
+//!   outputs identical to `Engine::submit`.
+//! * [`server`] — [`NetServer`], a single-threaded nonblocking poll
+//!   loop (`set_nonblocking` + readiness sweep) that decodes frames,
+//!   admits them into the engine's bounded priority queue, sheds
+//!   [`Priority::Low`](nfm_serve::Priority::Low) work past a queue
+//!   watermark, and answers every refusal with a typed reject frame.
+//! * [`client`] — [`NetClient`], the blocking/nonblocking client used
+//!   by the load generator, the tests and the example.
+//!
+//! ## Minimal round trip
+//!
+//! ```
+//! use nfm_core::PredictorKind;
+//! use nfm_net::{NetClient, NetServer, ServerFrame, WireRequest};
+//! use nfm_serve::Engine;
+//! use nfm_workloads::{NetworkId, WorkloadBuilder};
+//!
+//! let workload = WorkloadBuilder::new(NetworkId::ImdbSentiment)
+//!     .scale(0.05)
+//!     .sequences(1)
+//!     .sequence_length(4)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let engine = Engine::builder(workload.network().clone(), PredictorKind::Exact)
+//!     .workers(1)
+//!     .build()
+//!     .unwrap();
+//!
+//! let server = NetServer::bind("127.0.0.1:0", engine).unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! let mut client = NetClient::connect(handle.addr()).unwrap();
+//! client
+//!     .send(&WireRequest::new(1, workload.sequences()[0].clone()))
+//!     .unwrap();
+//! match client.recv().unwrap() {
+//!     ServerFrame::Response(r) => assert_eq!(r.id, 1),
+//!     ServerFrame::Reject(r) => panic!("rejected: {}", r.message),
+//! }
+//!
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.responses_sent, 1);
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{NetClient, NetError};
+pub use protocol::{
+    FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireReject, WireRequest,
+    WireResponse, WireStats, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

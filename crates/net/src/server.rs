@@ -1,0 +1,699 @@
+//! The TCP front door: a nonblocking poll loop feeding the engine.
+//!
+//! [`NetServer`] owns a `TcpListener`, a set of client connections and
+//! the [`Engine`] it fronts.  One thread sweeps everything:
+//!
+//! 1. **Accept** — drain `accept()` until `WouldBlock`; new sockets go
+//!    nonblocking with `TCP_NODELAY`.
+//! 2. **Read** — for each connection, read whatever the socket has into
+//!    its [`FrameAssembler`], pop complete frames, decode and admit
+//!    them (see *Admission* below).
+//! 3. **Route** — take the engine's completed responses and encode each
+//!    into the outbox of the connection that submitted it.
+//! 4. **Flush** — write outboxes until `WouldBlock` (partial writes
+//!    keep their tail for the next sweep).
+//!
+//! # Admission and load shedding
+//!
+//! Every decoded request is resolved against the engine synchronously,
+//! and every refusal is a **typed [`WireReject`] frame — never a silent
+//! drop**:
+//!
+//! * protocol failures (bad version, truncation, trailing bytes, bad
+//!   enum bytes) → [`RejectReason::Malformed`] /
+//!   [`RejectReason::UnsupportedVersion`], connection stays usable
+//!   (frame boundaries come from the length prefix);
+//! * an oversized length prefix → [`RejectReason::Oversized`], then the
+//!   connection closes — the prefix can no longer be trusted as a frame
+//!   boundary;
+//! * registry misses → [`RejectReason::UnknownModel`] /
+//!   [`RejectReason::UnknownPredictor`] /
+//!   [`RejectReason::ThresholdUnsupported`];
+//! * invalid sequences → [`RejectReason::InvalidSequence`];
+//! * the shed watermark: once [`Engine::queue_depth`] crosses
+//!   `shed_low_watermark × queue_capacity`, [`Priority::Low`] requests
+//!   are turned away with [`RejectReason::ShedLowPriority`] *before*
+//!   they reach the queue, keeping the remaining headroom for the
+//!   higher classes (the engine's priority queue already drains High
+//!   before Normal before Low among admitted work);
+//! * a full queue → [`RejectReason::Overloaded`] for any priority —
+//!   the engine's own [`EngineError::QueueFull`] backpressure,
+//!   surfaced over the wire;
+//! * a draining server → [`RejectReason::ShuttingDown`].
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or [`NetServer::run`] observing its stop
+//! flag) drains gracefully: stop accepting, call
+//! [`Engine::initiate_shutdown`] so new submissions get typed rejects,
+//! keep sweeping until every admitted request's response has been
+//! routed and flushed, then join the engine workers and return the
+//! final [`ServerStats`].
+
+use crate::protocol::{
+    peek_kind, salvage_request_id, FrameAssembler, ProtocolError, RejectReason, WireReject,
+    WireRequest, WireResponse, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
+};
+use nfm_serve::{Engine, EngineError, InferenceRequest, Priority, RequestOptions};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Cap on a single frame's payload; frames declaring more are
+    /// rejected with [`RejectReason::Oversized`] and the connection is
+    /// closed.  Default [`DEFAULT_MAX_FRAME_BYTES`].
+    pub max_frame_bytes: usize,
+    /// Fraction of the engine's queue capacity above which
+    /// [`Priority::Low`] requests are shed (`0.0..=1.0`; default
+    /// `0.75`).  At `1.0` nothing is shed early and every class rides
+    /// the queue until [`RejectReason::Overloaded`].
+    pub shed_low_watermark: f64,
+    /// How long one sweep parks when it moved no bytes and no frames
+    /// (keeps an idle server off the CPU without adding meaningful
+    /// latency).  Default 200 µs.
+    pub idle_park: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            shed_low_watermark: 0.75,
+            idle_park: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Counters the server accumulates over its lifetime; returned by
+/// [`ServerHandle::shutdown`] / [`NetServer::run`] so tests and the
+/// load generator can assert nothing was silently dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections_accepted: usize,
+    /// Requests decoded and admitted into the engine.
+    pub requests_admitted: u64,
+    /// Responses encoded back to their connections.
+    pub responses_sent: u64,
+    /// Typed reject frames sent, by [`RejectReason`] code.
+    pub rejects_by_reason: [u64; RejectReason::ALL.len()],
+    /// Responses whose connection had already gone away (counted, not
+    /// silent; the work was done but had no socket to return to).
+    pub responses_orphaned: u64,
+}
+
+impl ServerStats {
+    /// Total typed rejects across all reasons.
+    pub fn rejects_total(&self) -> u64 {
+        self.rejects_by_reason.iter().sum()
+    }
+
+    /// Rejects sent for `reason`.
+    pub fn rejects(&self, reason: RejectReason) -> u64 {
+        self.rejects_by_reason[reason.code() as usize]
+    }
+
+    fn count_reject(&mut self, reason: RejectReason) {
+        self.rejects_by_reason[reason.code() as usize] += 1;
+    }
+}
+
+/// One client connection's state.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    /// Encoded frames waiting for the socket to accept them (partial
+    /// writes keep their unsent tail here).
+    outbox: Vec<u8>,
+    /// Set when the peer hung up or the stream poisoned; the
+    /// connection is dropped once its outbox flushed (so a final
+    /// reject frame still gets out when the peer half-closed).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize) -> Conn {
+        Conn {
+            stream,
+            assembler: FrameAssembler::new(max_frame),
+            outbox: Vec::new(),
+            closing: false,
+        }
+    }
+}
+
+/// The engine's TCP serving surface.  Bind, then either call
+/// [`run`](NetServer::run) on the current thread or
+/// [`spawn`](NetServer::spawn) a serving thread and keep the
+/// [`ServerHandle`].
+pub struct NetServer {
+    listener: TcpListener,
+    engine: Engine,
+    config: ServerConfig,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Engine-side id → (connection, client-chosen id).  The engine
+    /// namespace is server-owned so ids from different connections
+    /// never collide.
+    routes: HashMap<u64, (u64, u64)>,
+    next_engine_id: u64,
+    shed_threshold: usize,
+    stats: ServerStats,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) in front of
+    /// `engine` with default [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<NetServer> {
+        NetServer::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Binds with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        engine: Engine,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let capacity = engine.queue_capacity();
+        let watermark = config.shed_low_watermark.clamp(0.0, 1.0);
+        // ceil() so a watermark of 1.0 only sheds when the queue is
+        // genuinely full, and a tiny capacity still gets a threshold
+        // of at least 1.
+        let shed_threshold = ((capacity as f64) * watermark).ceil() as usize;
+        Ok(NetServer {
+            listener,
+            engine,
+            config,
+            conns: HashMap::new(),
+            next_conn: 0,
+            routes: HashMap::new(),
+            next_engine_id: 0,
+            shed_threshold,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Serves until `stop` becomes `true`, then drains gracefully
+    /// (admitted work completes and flushes, new work gets
+    /// [`RejectReason::ShuttingDown`]) and returns the final counters.
+    pub fn run(mut self, stop: &AtomicBool) -> ServerStats {
+        while !stop.load(Ordering::Acquire) {
+            let moved = self.sweep(false);
+            if !moved {
+                std::thread::sleep(self.config.idle_park);
+            }
+        }
+        self.drain()
+    }
+
+    /// Spawns the serving thread and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the address query failure (the thread itself cannot
+    /// fail to start).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || self.run(&flag));
+        Ok(ServerHandle { addr, stop, thread })
+    }
+
+    /// One poll-loop sweep: accept, read/decode/admit, route completed
+    /// responses, flush outboxes, reap closed connections.  Returns
+    /// whether anything moved (bytes, frames or responses) — the idle
+    /// signal for the caller's park.
+    ///
+    /// `draining` suppresses accepts and turns fresh requests into
+    /// [`RejectReason::ShuttingDown`] rejects.
+    fn sweep(&mut self, draining: bool) -> bool {
+        let mut moved = false;
+        if !draining {
+            moved |= self.accept_new();
+        }
+        moved |= self.read_all(draining);
+        moved |= self.route_responses();
+        moved |= self.flush_all();
+        self.reap_closed();
+        moved
+    }
+
+    /// Accept loop: drain the listener backlog.
+    fn accept_new(&mut self) -> bool {
+        let mut moved = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Nonblocking + NODELAY: the poll loop must never
+                    // park inside a socket call, and response frames
+                    // are latency-sensitive (no Nagle batching).
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns
+                        .insert(id, Conn::new(stream, self.config.max_frame_bytes));
+                    self.stats.connections_accepted += 1;
+                    moved = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept errors (ECONNABORTED etc.): skip.
+                Err(_) => break,
+            }
+        }
+        moved
+    }
+
+    /// Read phase: pull available bytes from every connection and admit
+    /// the complete frames.
+    fn read_all(&mut self, draining: bool) -> bool {
+        let mut moved = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        let mut chunk = [0u8; 64 * 1024];
+        for conn_id in ids {
+            let conn = self.conns.get_mut(&conn_id).expect("listed");
+            if conn.closing {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Peer closed its write half; whatever frames
+                        // are already buffered still decode below.
+                        conn.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.assembler.push(&chunk[..n]);
+                        moved = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+            // Decode every complete frame this connection has buffered.
+            loop {
+                let conn = self.conns.get_mut(&conn_id).expect("listed");
+                match conn.assembler.next_frame() {
+                    Ok(Some(payload)) => {
+                        moved = true;
+                        self.handle_frame(conn_id, &payload, draining);
+                    }
+                    Ok(None) => break,
+                    Err(oversized) => {
+                        // Typed reject, then close: the stream is
+                        // desynced (the length prefix lied).
+                        moved = true;
+                        self.send_reject(
+                            conn_id,
+                            WireReject::new(0, RejectReason::Oversized, oversized.to_string()),
+                        );
+                        if let Some(c) = self.conns.get_mut(&conn_id) {
+                            c.closing = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// Decodes and admits one frame from `conn_id`.
+    fn handle_frame(&mut self, conn_id: u64, payload: &[u8], draining: bool) {
+        let request = match self.decode_request(payload) {
+            Ok(request) => request,
+            Err(reject) => {
+                self.send_reject(conn_id, reject);
+                return;
+            }
+        };
+        let client_id = request.id;
+        if draining || self.engine.is_shutting_down() {
+            self.send_reject(
+                conn_id,
+                WireReject::new(
+                    client_id,
+                    RejectReason::ShuttingDown,
+                    "server is draining; no new work admitted",
+                ),
+            );
+            return;
+        }
+        // Load shedding ahead of the queue: past the watermark, Low
+        // gives up its spot so High/Normal keep the remaining headroom.
+        if request.priority == Priority::Low && self.engine.queue_depth() >= self.shed_threshold {
+            self.send_reject(
+                conn_id,
+                WireReject::new(
+                    client_id,
+                    RejectReason::ShedLowPriority,
+                    format!(
+                        "queue depth {} crossed the shed watermark {}",
+                        self.engine.queue_depth(),
+                        self.shed_threshold
+                    ),
+                ),
+            );
+            return;
+        }
+        let engine_id = self.next_engine_id;
+        self.next_engine_id += 1;
+        match self.engine.submit(to_engine_request(engine_id, request)) {
+            Ok(()) => {
+                self.routes.insert(engine_id, (conn_id, client_id));
+                self.stats.requests_admitted += 1;
+            }
+            Err(e) => {
+                let reason = reject_reason_for(&e);
+                self.send_reject(conn_id, WireReject::new(client_id, reason, e.to_string()));
+            }
+        }
+    }
+
+    /// Decodes a request payload, mapping every failure to the typed
+    /// reject frame the client should see.
+    fn decode_request(&self, payload: &[u8]) -> Result<WireRequest, WireReject> {
+        let id = salvage_request_id(payload);
+        match peek_kind(payload) {
+            Ok(FRAME_REQUEST) => {}
+            Ok(found) => {
+                return Err(WireReject::new(
+                    id,
+                    RejectReason::Malformed,
+                    ProtocolError::UnexpectedKind { found }.to_string(),
+                ))
+            }
+            Err(e @ ProtocolError::UnsupportedVersion { .. }) => {
+                return Err(WireReject::new(
+                    0,
+                    RejectReason::UnsupportedVersion,
+                    e.to_string(),
+                ))
+            }
+            Err(e) => return Err(WireReject::new(0, RejectReason::Malformed, e.to_string())),
+        }
+        WireRequest::decode(payload)
+            .map_err(|e| WireReject::new(id, RejectReason::Malformed, e.to_string()))
+    }
+
+    /// Route phase: encode completed engine responses into the outbox
+    /// of the connection that submitted each.
+    fn route_responses(&mut self) -> bool {
+        let responses = self.engine.take_completed();
+        let moved = !responses.is_empty();
+        for r in responses {
+            match self.routes.remove(&r.id) {
+                Some((conn_id, client_id)) => {
+                    let wire = WireResponse::from_response(client_id, &r);
+                    match self.conns.get_mut(&conn_id) {
+                        Some(conn) => {
+                            wire.encode(&mut conn.outbox);
+                            self.stats.responses_sent += 1;
+                        }
+                        None => self.stats.responses_orphaned += 1,
+                    }
+                }
+                // Unroutable response: engine ids are server-issued, so
+                // this cannot happen; counted rather than ignored.
+                None => self.stats.responses_orphaned += 1,
+            }
+        }
+        moved
+    }
+
+    /// Flush phase: write every outbox until its socket would block.
+    fn flush_all(&mut self) -> bool {
+        let mut moved = false;
+        for conn in self.conns.values_mut() {
+            while !conn.outbox.is_empty() {
+                match conn.stream.write(&conn.outbox) {
+                    Ok(0) => {
+                        conn.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.outbox.drain(..n);
+                        moved = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// Drops connections marked closed once their outbox is empty (or
+    /// their socket died), forgetting any routes pointing at them.
+    fn reap_closed(&mut self) {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.closing && c.outbox.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            self.conns.remove(&id);
+            // Responses still in flight for this connection will be
+            // counted as orphaned when they complete.
+        }
+    }
+
+    /// Encodes a typed reject into `conn_id`'s outbox (or counts it as
+    /// orphaned when the connection vanished mid-handling).
+    fn send_reject(&mut self, conn_id: u64, reject: WireReject) {
+        self.stats.count_reject(reject.reason);
+        match self.conns.get_mut(&conn_id) {
+            Some(conn) => reject.encode(&mut conn.outbox),
+            None => self.stats.responses_orphaned += 1,
+        }
+    }
+
+    /// Graceful drain: reject fresh work, finish everything admitted,
+    /// flush every response, join the engine workers, return counters.
+    fn drain(mut self) -> ServerStats {
+        self.engine.initiate_shutdown();
+        // Finish routing everything the engine still owes.  Sweeping
+        // keeps reading (so queued frames become typed ShuttingDown
+        // rejects instead of going unanswered) and keeps flushing.
+        while self.engine.pending() > 0 {
+            if !self.sweep(true) {
+                std::thread::sleep(self.config.idle_park);
+            }
+        }
+        // Workers may still be parked between the last response and
+        // their exit; join them and route any tail the final
+        // take_completed() missed.
+        let NetServer {
+            listener: _listener,
+            engine,
+            config,
+            mut conns,
+            routes,
+            mut stats,
+            ..
+        } = self;
+        let tail = engine.shutdown();
+        for r in tail {
+            match routes.get(&r.id) {
+                Some(&(conn_id, client_id)) => match conns.get_mut(&conn_id) {
+                    Some(conn) => {
+                        WireResponse::from_response(client_id, &r).encode(&mut conn.outbox);
+                        stats.responses_sent += 1;
+                    }
+                    None => stats.responses_orphaned += 1,
+                },
+                None => stats.responses_orphaned += 1,
+            }
+        }
+        // Best-effort final flush with a bounded budget: a stuck peer
+        // must not wedge shutdown.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            let mut pending = false;
+            for conn in conns.values_mut() {
+                while !conn.outbox.is_empty() {
+                    match conn.stream.write(&conn.outbox) {
+                        Ok(0) => {
+                            conn.outbox.clear();
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.outbox.drain(..n);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            pending = true;
+                            break;
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.outbox.clear();
+                            break;
+                        }
+                    }
+                }
+            }
+            if !pending {
+                break;
+            }
+            std::thread::sleep(config.idle_park);
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("connections", &self.conns.len())
+            .field("in_flight", &self.routes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Handle to a spawned [`NetServer`] thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<ServerStats>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serving thread to drain gracefully and joins it,
+    /// returning the lifetime counters.
+    pub fn shutdown(self) -> ServerStats {
+        self.stop.store(true, Ordering::Release);
+        self.thread.join().expect("server thread never panics")
+    }
+}
+
+/// Builds the engine-side request: the server-issued `engine_id` keys
+/// the response route; all client choices map field for field.
+fn to_engine_request(engine_id: u64, w: WireRequest) -> InferenceRequest {
+    let mut options = RequestOptions::default().priority(w.priority);
+    if let Some(model) = w.model {
+        options = options.model(model);
+    }
+    if let Some(predictor) = w.predictor {
+        options = options.predictor(predictor);
+    }
+    if let Some(threshold) = w.threshold {
+        options = options.threshold(threshold);
+    }
+    let mut request = InferenceRequest::new(engine_id, w.sequence).with_options(options);
+    if let Some(deadline) = w.deadline {
+        request = request.with_deadline(deadline);
+    }
+    request
+}
+
+/// Maps a submit-time engine error onto the wire's typed reject space.
+fn reject_reason_for(e: &EngineError) -> RejectReason {
+    match e {
+        EngineError::QueueFull { .. } => RejectReason::Overloaded,
+        EngineError::UnknownModel { .. } => RejectReason::UnknownModel,
+        EngineError::UnknownPredictor { .. } => RejectReason::UnknownPredictor,
+        EngineError::ThresholdUnsupported { .. } => RejectReason::ThresholdUnsupported,
+        EngineError::EmptySequence { .. } | EngineError::InputSizeMismatch { .. } => {
+            RejectReason::InvalidSequence
+        }
+        EngineError::ShutDown => RejectReason::ShuttingDown,
+        _ => RejectReason::Internal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_mapping_covers_submit_errors() {
+        assert_eq!(
+            reject_reason_for(&EngineError::QueueFull { capacity: 4 }),
+            RejectReason::Overloaded
+        );
+        assert_eq!(
+            reject_reason_for(&EngineError::UnknownModel {
+                model: "nope".into()
+            }),
+            RejectReason::UnknownModel
+        );
+        assert_eq!(
+            reject_reason_for(&EngineError::EmptySequence { id: 1 }),
+            RejectReason::InvalidSequence
+        );
+        assert_eq!(
+            reject_reason_for(&EngineError::ShutDown),
+            RejectReason::ShuttingDown
+        );
+        assert_eq!(
+            reject_reason_for(&EngineError::EmptyRegistry),
+            RejectReason::Internal
+        );
+    }
+
+    #[test]
+    fn server_stats_counts_by_reason() {
+        let mut stats = ServerStats::default();
+        stats.count_reject(RejectReason::Overloaded);
+        stats.count_reject(RejectReason::Overloaded);
+        stats.count_reject(RejectReason::ShedLowPriority);
+        assert_eq!(stats.rejects(RejectReason::Overloaded), 2);
+        assert_eq!(stats.rejects(RejectReason::ShedLowPriority), 1);
+        assert_eq!(stats.rejects_total(), 3);
+    }
+}

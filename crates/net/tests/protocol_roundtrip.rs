@@ -1,0 +1,266 @@
+//! Fuzz-ish property tests for the wire protocol: seeded-random frames
+//! round-trip bit-exactly, and every way of damaging a frame —
+//! truncation, byte mutation, random garbage, hostile length prefixes,
+//! adversarial chunking — produces a *typed* error, never a panic and
+//! never a desynced stream.
+
+use nfm_net::protocol::{
+    peek_kind, FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireReject, WireRequest,
+    WireResponse, WireStats, FRAME_REJECT, FRAME_RESPONSE,
+};
+use nfm_serve::{CompletionStatus, Priority};
+use nfm_tensor::rng::DeterministicRng;
+use nfm_tensor::Vector;
+use std::time::Duration;
+
+/// Random f32 whose bit pattern may be anything the wire must carry
+/// faithfully — normals, subnormals, infinities, NaNs, both zeros.
+fn any_f32(rng: &mut DeterministicRng) -> f32 {
+    match rng.index(8) {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => -0.0,
+        4 => f32::MIN_POSITIVE / 2.0, // subnormal
+        _ => rng.uniform(-1e6, 1e6),
+    }
+}
+
+fn any_sequence(rng: &mut DeterministicRng) -> Vec<Vector> {
+    let width = 1 + rng.index(7);
+    let steps = 1 + rng.index(9);
+    (0..steps)
+        .map(|_| Vector::from_fn(width, |_| any_f32(rng)))
+        .collect()
+}
+
+fn any_name(rng: &mut DeterministicRng) -> String {
+    let len = 1 + rng.index(12);
+    (0..len)
+        .map(|_| char::from(b'a' + rng.index(26) as u8))
+        .collect()
+}
+
+fn any_request(rng: &mut DeterministicRng) -> WireRequest {
+    let mut req = WireRequest::new(rng.index(usize::MAX) as u64, any_sequence(rng));
+    if rng.coin(0.5) {
+        req = req.with_model(any_name(rng));
+    }
+    if rng.coin(0.5) {
+        req = req.with_predictor(any_name(rng));
+    }
+    if rng.coin(0.5) {
+        req = req.with_threshold(any_f32(rng));
+    }
+    if rng.coin(0.5) {
+        req = req.with_deadline(Duration::from_micros(rng.index(5_000_000) as u64));
+    }
+    req.with_priority(match rng.index(3) {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    })
+}
+
+fn any_response(rng: &mut DeterministicRng) -> WireResponse {
+    WireResponse {
+        id: rng.index(usize::MAX) as u64,
+        status: match rng.index(3) {
+            0 => CompletionStatus::Done,
+            1 => CompletionStatus::DeadlineExpired,
+            _ => CompletionStatus::Rejected,
+        },
+        stats: WireStats {
+            computed: rng.index(1 << 30) as u64,
+            reuses: rng.index(1 << 30) as u64,
+            bnn_evaluations: rng.index(1 << 30) as u64,
+        },
+        queue_latency_ns: rng.index(usize::MAX) as u64,
+        compute_latency_ns: rng.index(usize::MAX) as u64,
+        outputs: if rng.coin(0.2) {
+            Vec::new() // expired requests ship empty outputs
+        } else {
+            any_sequence(rng)
+        },
+    }
+}
+
+fn any_reject(rng: &mut DeterministicRng) -> WireReject {
+    WireReject::new(
+        rng.index(usize::MAX) as u64,
+        RejectReason::ALL[rng.index(RejectReason::ALL.len())],
+        any_name(rng),
+    )
+}
+
+fn encoded(encode: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode(&mut out);
+    out
+}
+
+/// Round-trips are proven on raw bytes (encode ∘ decode ∘ encode is the
+/// identity), which covers NaN payloads that `PartialEq` cannot.
+#[test]
+fn random_requests_roundtrip_bit_exactly() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A1);
+    for _ in 0..512 {
+        let req = any_request(&mut rng);
+        let bytes = encoded(|out| req.encode(out));
+        let back = WireRequest::decode(&bytes[4..]).expect("valid frame decodes");
+        let again = encoded(|out| back.encode(out));
+        assert_eq!(bytes, again, "re-encode must reproduce the wire bytes");
+    }
+}
+
+#[test]
+fn random_server_frames_roundtrip_bit_exactly() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A2);
+    for _ in 0..512 {
+        let bytes = if rng.coin(0.5) {
+            encoded(|out| any_response(&mut rng).encode(out))
+        } else {
+            encoded(|out| any_reject(&mut rng).encode(out))
+        };
+        let again = match ServerFrame::decode(&bytes[4..]).expect("valid frame decodes") {
+            ServerFrame::Response(r) => encoded(|out| r.encode(out)),
+            ServerFrame::Reject(r) => encoded(|out| r.encode(out)),
+        };
+        assert_eq!(bytes, again);
+    }
+}
+
+/// Every truncation point of every random frame yields a typed error.
+#[test]
+fn random_truncations_are_typed_never_panic() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A3);
+    for _ in 0..64 {
+        let bytes = encoded(|out| any_request(&mut rng).encode(out));
+        let payload = &bytes[4..];
+        for len in 0..payload.len() {
+            WireRequest::decode(&payload[..len]).expect_err("truncated frame must not decode");
+        }
+        let bytes = encoded(|out| any_response(&mut rng).encode(out));
+        let payload = &bytes[4..];
+        for len in 0..payload.len() {
+            ServerFrame::decode(&payload[..len]).expect_err("truncated frame must not decode");
+        }
+    }
+}
+
+/// Arbitrary single-byte corruption either still decodes (the byte was
+/// genuinely free, e.g. an f32 payload bit) or fails with a typed
+/// error; it never panics.
+#[test]
+fn random_mutations_never_panic() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A4);
+    for _ in 0..256 {
+        let mut bytes = encoded(|out| any_request(&mut rng).encode(out));
+        let at = 4 + rng.index(bytes.len() - 4);
+        bytes[at] ^= 1 << rng.index(8);
+        let _ = WireRequest::decode(&bytes[4..]);
+        let _ = ServerFrame::decode(&bytes[4..]);
+        let _ = peek_kind(&bytes[4..]);
+    }
+}
+
+/// Pure random garbage decodes to a typed error for every prefix
+/// length.
+#[test]
+fn random_garbage_is_typed_never_panic() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A5);
+    for _ in 0..256 {
+        let len = rng.index(200);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.index(256) as u8).collect();
+        let _ = WireRequest::decode(&garbage);
+        let _ = ServerFrame::decode(&garbage);
+        let _ = peek_kind(&garbage);
+    }
+}
+
+/// A multi-frame stream survives arbitrary chunking: however the bytes
+/// are split, the assembler yields exactly the original frames in
+/// order — no desync, no loss, no invention.
+#[test]
+fn random_chunking_never_desyncs() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A6);
+    for _ in 0..32 {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..1 + rng.index(8) {
+            let bytes = match rng.index(3) {
+                0 => encoded(|out| any_request(&mut rng).encode(out)),
+                1 => encoded(|out| any_response(&mut rng).encode(out)),
+                _ => encoded(|out| any_reject(&mut rng).encode(out)),
+            };
+            expected.push(bytes[4..].to_vec());
+            stream.extend_from_slice(&bytes);
+        }
+        let mut assembler = FrameAssembler::default();
+        let mut got = Vec::new();
+        let mut cursor = 0;
+        while cursor < stream.len() {
+            let chunk = 1 + rng.index(97).min(stream.len() - cursor - 1);
+            assembler.push(&stream[cursor..cursor + chunk]);
+            cursor += chunk;
+            while let Some(frame) = assembler.next_frame().expect("well-formed stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+}
+
+/// A hostile length prefix is rejected before any payload is buffered,
+/// and the assembler stays poisoned afterwards: the caller must drop
+/// the connection, not resynchronize on attacker-controlled bytes.
+#[test]
+fn hostile_length_prefix_poisons_before_buffering() {
+    let mut assembler = FrameAssembler::new(1024);
+    assembler.push(&u32::MAX.to_le_bytes());
+    match assembler.next_frame() {
+        Err(ProtocolError::Oversized { declared, max }) => {
+            assert_eq!(declared, u32::MAX as usize);
+            assert_eq!(max, 1024);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    // Still poisoned, even when fed an innocent-looking valid frame.
+    let innocent = encoded(|out| {
+        WireReject::new(1, RejectReason::Malformed, "x").encode(out);
+    });
+    assembler.push(&innocent);
+    assert!(matches!(
+        assembler.next_frame(),
+        Err(ProtocolError::Oversized { .. })
+    ));
+}
+
+/// The reason/priority/status/kind code spaces reject every byte they
+/// do not define (no silent wrap-around into a neighbouring meaning).
+#[test]
+fn unknown_enum_bytes_are_typed() {
+    let mut rng = DeterministicRng::seed_from_u64(0xF0A7);
+    // A valid reject frame with the reason byte swapped for garbage.
+    let bytes = encoded(|out| WireReject::new(7, RejectReason::Malformed, "m").encode(out));
+    let reason_at = 4 + 2 + 8; // version, kind, id — then the reason byte
+    for _ in 0..64 {
+        let bad = 11 + rng.index(245) as u8; // anything past the defined codes
+        let mut mutated = bytes.clone();
+        mutated[reason_at] = bad;
+        match ServerFrame::decode(&mutated[4..]) {
+            Err(ProtocolError::UnknownReason { found }) => assert_eq!(found, bad),
+            other => panic!("reason byte {bad} gave {other:?}"),
+        }
+    }
+    // Kind bytes outside the three frame types are typed too.
+    let mut mutated = bytes.clone();
+    mutated[5] = 0x7F;
+    assert!(matches!(
+        peek_kind(&mutated[4..]),
+        Err(ProtocolError::UnknownKind { found: 0x7F })
+    ));
+    assert_eq!(peek_kind(&bytes[4..]), Ok(FRAME_REJECT));
+    let response = encoded(|out| any_response(&mut rng).encode(out));
+    assert_eq!(peek_kind(&response[4..]), Ok(FRAME_RESPONSE));
+}

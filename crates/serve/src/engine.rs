@@ -726,6 +726,44 @@ impl Engine {
             .outstanding
     }
 
+    /// Requests waiting in the submission queue right now (excluding
+    /// requests already on a lane).  This is the number
+    /// [`queue_capacity`](Engine::queue_capacity) bounds — the signal
+    /// admission control in front of the engine (e.g. the `nfm-net`
+    /// listener's load shedding) watches to start rejecting
+    /// low-priority traffic *before* the queue hard-fails everyone
+    /// with [`EngineError::QueueFull`].
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .queue
+            .len()
+    }
+
+    /// Whether [`initiate_shutdown`](Engine::initiate_shutdown) (or a
+    /// consuming [`shutdown`](Engine::shutdown)) has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .shutdown
+    }
+
+    /// Starts a graceful drain without consuming the engine: every
+    /// further [`submit`](Engine::submit) returns
+    /// [`EngineError::ShutDown`], while everything already admitted
+    /// keeps running to its response (paused workers are woken so the
+    /// queue always drains).  Collect the tail with
+    /// [`take_completed`](Engine::take_completed) /
+    /// [`drain`](Engine::drain), then call
+    /// [`shutdown`](Engine::shutdown) to join the workers.  Idempotent.
+    pub fn initiate_shutdown(&self) {
+        self.begin_shutdown();
+    }
+
     /// Takes every response completed so far, without blocking.
     pub fn take_completed(&self) -> Vec<InferenceResponse> {
         std::mem::take(

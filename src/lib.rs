@@ -16,6 +16,10 @@
 //!   with mid-wave refill, cross-context lane borrowing and worker
 //!   work stealing) and the `MemoizedRunner` workload façade built on
 //!   it.
+//! * [`net`] — the TCP serving surface: length-prefixed wire
+//!   protocol, nonblocking poll-loop server, client.
+//! * [`loadgen`] — closed/open-loop traffic generator with latency
+//!   histograms for the serving surface.
 //! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
 //! * [`workloads`] — the four Table 1 RNNs with synthetic data.
 //! * [`eval`] — per-figure/per-table experiment harness.
@@ -43,6 +47,8 @@
 pub use nfm_accel as accel;
 pub use nfm_bnn as bnn;
 pub use nfm_eval as eval;
+pub use nfm_loadgen as loadgen;
+pub use nfm_net as net;
 pub use nfm_rnn as rnn;
 pub use nfm_serve as serve;
 pub use nfm_tensor as tensor;

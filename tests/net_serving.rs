@@ -1,0 +1,368 @@
+//! End-to-end contracts for the TCP serving surface.
+//!
+//! 1. **Loopback bit-identity** — responses served over a real socket
+//!    (outputs *and* `ReuseStats`) are bit-identical to in-process
+//!    `Engine::submit` for the same request stream: exact baseline,
+//!    BNN predictor, and per-request θ override.
+//! 2. **Deadline expiry over the wire** — an already-expired deadline
+//!    comes back as `DeadlineExpired` with empty outputs, exactly like
+//!    the in-process path.
+//! 3. **Shedding and overload over the wire** — against a paused
+//!    engine with a tiny queue, Low-priority work is shed at the
+//!    watermark and a full queue yields `Overloaded`; every admitted
+//!    request is still answered after the graceful drain. No silent
+//!    drops: sent = answered.
+//! 4. **Malformed traffic** — garbage frames get typed rejects and the
+//!    connection keeps working; an oversized frame gets a typed reject
+//!    and a close.
+//! 5. **Loadgen loops** — closed- and open-loop scenarios drive a live
+//!    server and account for every request they send.
+
+use nfm::loadgen::{run_scenario, ArrivalProcess, BlendEntry, Scenario};
+use nfm::memo::{BnnMemoConfig, PredictorKind};
+use nfm::net::{
+    NetClient, NetError, NetServer, RejectReason, ServerConfig, ServerFrame, WireRequest,
+};
+use nfm::serve::{
+    CompletionStatus, Engine, EngineBuilder, InferenceRequest, ModelRegistry, Priority,
+    RequestOptions,
+};
+use nfm::tensor::Vector;
+use nfm::workloads::{NetworkId, Workload, WorkloadBuilder};
+use std::time::Duration;
+
+fn workload(seed: u64) -> Workload {
+    WorkloadBuilder::new(NetworkId::ImdbSentiment)
+        .scale(0.05)
+        .sequences(4)
+        .sequence_length(6)
+        .seed(seed)
+        .build()
+        .expect("workload builds")
+}
+
+/// One engine configuration, constructed identically for the
+/// in-process reference and the served instance (workers = 1 keeps the
+/// execution order, and therefore memo-table evolution, identical).
+fn make_engine(w: &Workload) -> Engine {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("imdb", w.network().clone(), PredictorKind::Exact)
+        .expect("register model");
+    registry
+        .add_predictor(
+            "imdb",
+            PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.05)),
+        )
+        .expect("register bnn");
+    EngineBuilder::from_registry(registry)
+        .workers(1)
+        .build()
+        .expect("engine builds")
+}
+
+/// The request mix the bit-identity test replays on both paths: the
+/// exact baseline, the BNN predictor, and a θ override, across all
+/// pool sequences.
+fn mixed_requests(w: &Workload) -> Vec<(u64, Vec<Vector>, RequestOptions)> {
+    let mut requests = Vec::new();
+    let mut id = 0u64;
+    for seq in w.sequences() {
+        for options in [
+            RequestOptions::default(),
+            RequestOptions::default().predictor("bnn"),
+            RequestOptions::default().predictor("bnn").threshold(0.2),
+        ] {
+            requests.push((id, seq.clone(), options));
+            id += 1;
+        }
+    }
+    requests
+}
+
+#[test]
+fn loopback_responses_bit_identical_to_in_process() {
+    let w = workload(11);
+    let requests = mixed_requests(&w);
+
+    // In-process reference: submit one at a time so the order is fixed.
+    let reference_engine = make_engine(&w);
+    let mut reference = Vec::new();
+    for (id, seq, options) in &requests {
+        reference_engine
+            .submit(InferenceRequest::new(*id, seq.clone()).with_options(options.clone()))
+            .expect("reference submit");
+        let mut done = reference_engine.drain();
+        assert_eq!(done.len(), 1);
+        reference.push(done.pop().unwrap());
+    }
+    reference_engine.shutdown();
+
+    // Same stream over a real socket, same one-at-a-time order.
+    let server = NetServer::bind("127.0.0.1:0", make_engine(&w)).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for ((id, seq, options), expected) in requests.iter().zip(&reference) {
+        let mut wire = WireRequest::new(*id, seq.clone());
+        if let Some(predictor) = &options.predictor {
+            wire = wire.with_predictor(predictor.clone());
+        }
+        if let Some(theta) = options.threshold {
+            wire = wire.with_threshold(theta);
+        }
+        client.send(&wire).expect("send");
+        let response = match client.recv().expect("recv") {
+            ServerFrame::Response(r) => r,
+            ServerFrame::Reject(r) => panic!("request {id} rejected: {}", r.message),
+        };
+        assert_eq!(response.id, *id);
+        assert_eq!(response.status, CompletionStatus::Done);
+        assert_eq!(
+            response.outputs.len(),
+            expected.outputs.len(),
+            "request {id}: output length"
+        );
+        for (t, (a, b)) in response.outputs.iter().zip(&expected.outputs).enumerate() {
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(
+                    a[i].to_bits(),
+                    b[i].to_bits(),
+                    "request {id}: bit mismatch at t={t} i={i}"
+                );
+            }
+        }
+        let stats = response.stats();
+        assert_eq!(stats.computed(), expected.stats.computed(), "request {id}");
+        assert_eq!(stats.reuses(), expected.stats.reuses(), "request {id}");
+        assert_eq!(
+            stats.bnn_evaluations(),
+            expected.stats.bnn_evaluations(),
+            "request {id}"
+        );
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests_admitted, requests.len() as u64);
+    assert_eq!(stats.responses_sent, requests.len() as u64);
+    assert_eq!(stats.rejects_total(), 0);
+    assert_eq!(stats.responses_orphaned, 0);
+}
+
+#[test]
+fn deadline_expiry_travels_the_wire() {
+    let w = workload(23);
+    let server = NetServer::bind("127.0.0.1:0", make_engine(&w)).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    client
+        .send(&WireRequest::new(1, w.sequences()[0].clone()).with_deadline(Duration::ZERO))
+        .expect("send");
+    match client.recv().expect("recv") {
+        ServerFrame::Response(r) => {
+            assert_eq!(r.status, CompletionStatus::DeadlineExpired);
+            assert!(r.outputs.is_empty(), "DropExpired ships no outputs");
+        }
+        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shed_and_overload_paths_over_the_wire() {
+    let w = workload(31);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("imdb", w.network().clone(), PredictorKind::Exact)
+        .expect("register model");
+    // Paused engine: admissions queue up deterministically, nothing
+    // completes until the drain at shutdown. Capacity 4, default
+    // watermark 0.75 → Low sheds once depth reaches 3.
+    let engine = EngineBuilder::from_registry(registry)
+        .workers(1)
+        .queue_capacity(4)
+        .start_paused()
+        .build()
+        .expect("engine builds");
+    let server = NetServer::bind("127.0.0.1:0", engine).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    let seq = &w.sequences()[0];
+    let send = |client: &mut NetClient, id: u64, priority: Priority| {
+        client
+            .send(&WireRequest::new(id, seq.clone()).with_priority(priority))
+            .expect("send");
+    };
+    send(&mut client, 1, Priority::Normal);
+    send(&mut client, 2, Priority::Normal);
+    send(&mut client, 3, Priority::Normal);
+    send(&mut client, 4, Priority::Low); // depth 3 ≥ watermark → shed
+    send(&mut client, 5, Priority::Normal); // fills the queue
+    send(&mut client, 6, Priority::Normal); // queue full → Overloaded
+
+    // The two rejects arrive while the engine is still paused.
+    let mut rejects = Vec::new();
+    while rejects.len() < 2 {
+        match client.recv().expect("recv reject") {
+            ServerFrame::Reject(r) => rejects.push(r),
+            ServerFrame::Response(r) => panic!("unexpected response {} before drain", r.id),
+        }
+    }
+    rejects.sort_by_key(|r| r.id);
+    assert_eq!(rejects[0].id, 4);
+    assert_eq!(rejects[0].reason, RejectReason::ShedLowPriority);
+    assert_eq!(rejects[1].id, 6);
+    assert_eq!(rejects[1].reason, RejectReason::Overloaded);
+
+    // Graceful drain answers every admitted request.
+    let collector = std::thread::spawn(move || {
+        let mut done = Vec::new();
+        loop {
+            match client.recv() {
+                Ok(ServerFrame::Response(r)) => {
+                    assert_eq!(r.status, CompletionStatus::Done);
+                    done.push(r.id);
+                }
+                Ok(ServerFrame::Reject(r)) => panic!("unexpected reject: {}", r.message),
+                Err(NetError::Disconnected) => break,
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        done
+    });
+    let stats = handle.shutdown();
+    let mut done = collector.join().expect("collector");
+    done.sort_unstable();
+    assert_eq!(done, vec![1, 2, 3, 5]);
+    assert_eq!(stats.requests_admitted, 4);
+    assert_eq!(stats.responses_sent, 4);
+    assert_eq!(stats.rejects(RejectReason::ShedLowPriority), 1);
+    assert_eq!(stats.rejects(RejectReason::Overloaded), 1);
+    assert_eq!(stats.rejects_total(), 2);
+}
+
+#[test]
+fn malformed_frames_get_typed_rejects_without_desync() {
+    let w = workload(41);
+    let config = ServerConfig {
+        max_frame_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with("127.0.0.1:0", make_engine(&w), config).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    // A frame with a valid prefix but garbage payload: typed reject,
+    // connection stays usable.
+    let garbage = [9u8, 0, 0, 0, 0xEE, 0xFF, 1, 2, 3, 4, 5, 6, 7];
+    client.send_raw(&garbage).expect("send garbage");
+    match client.recv().expect("recv") {
+        ServerFrame::Reject(r) => assert_eq!(r.reason, RejectReason::UnsupportedVersion),
+        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+    }
+
+    // An unknown model: typed reject, connection stays usable.
+    client
+        .send(&WireRequest::new(8, w.sequences()[0].clone()).with_model("no-such-model"))
+        .expect("send");
+    match client.recv().expect("recv") {
+        ServerFrame::Reject(r) => {
+            assert_eq!(r.id, 8);
+            assert_eq!(r.reason, RejectReason::UnknownModel);
+        }
+        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+    }
+
+    // The connection still serves real work after both rejects.
+    client
+        .send(&WireRequest::new(9, w.sequences()[0].clone()))
+        .expect("send");
+    match client.recv().expect("recv") {
+        ServerFrame::Response(r) => {
+            assert_eq!(r.id, 9);
+            assert_eq!(r.status, CompletionStatus::Done);
+        }
+        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+    }
+
+    // An oversized length prefix: typed reject, then the server closes
+    // this connection (the frame boundary is gone).
+    client
+        .send_raw(&(1u32 << 24).to_le_bytes())
+        .expect("send oversized prefix");
+    match client.recv().expect("recv") {
+        ServerFrame::Reject(r) => assert_eq!(r.reason, RejectReason::Oversized),
+        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+    }
+    match client.recv() {
+        Err(NetError::Disconnected) => {}
+        other => panic!("expected close after oversized frame, got {other:?}"),
+    }
+
+    // A fresh connection is unaffected.
+    let mut fresh = NetClient::connect(handle.addr()).expect("reconnect");
+    fresh
+        .send(&WireRequest::new(10, w.sequences()[0].clone()))
+        .expect("send");
+    match fresh.recv().expect("recv") {
+        ServerFrame::Response(r) => assert_eq!(r.id, 10),
+        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_closed_loop_accounts_for_every_request() {
+    let w = workload(51);
+    let server = NetServer::bind("127.0.0.1:0", make_engine(&w)).expect("bind");
+    let handle = server.spawn().expect("spawn");
+
+    let scenario = Scenario::closed_loop(w.sequences().to_vec(), 4)
+        .seed(77)
+        .warmup(4)
+        .measure(24)
+        .ragged_lengths(vec![2, 4, 6])
+        .blend(vec![
+            BlendEntry::new(2.0),
+            BlendEntry::new(1.0).predictor("bnn"),
+            BlendEntry::new(1.0).predictor("bnn").threshold(0.3),
+        ]);
+    let report = run_scenario(handle.addr(), &scenario).expect("scenario runs");
+    assert_eq!(report.sent, 28);
+    assert_eq!(report.done, 24);
+    assert_eq!(report.deadline_expired, 0);
+    assert_eq!(report.rejects_total(), 0);
+    assert_eq!(report.latency.count(), 24);
+    assert!(report.latency.p50() <= report.latency.p99());
+    assert!(report.latency.p99() <= report.latency.p999());
+    assert!(report.achieved_rate() > 0.0);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests_admitted, 28);
+    assert_eq!(stats.responses_sent, 28);
+}
+
+#[test]
+fn loadgen_open_loop_poisson_accounts_for_every_request() {
+    let w = workload(61);
+    let server = NetServer::bind("127.0.0.1:0", make_engine(&w)).expect("bind");
+    let handle = server.spawn().expect("spawn");
+
+    let mut scenario = Scenario::open_loop(w.sequences().to_vec(), 400.0)
+        .seed(88)
+        .warmup(4)
+        .measure(16);
+    scenario.arrival = ArrivalProcess::OpenLoopPoisson {
+        rate_per_sec: 400.0,
+        max_in_flight: 8,
+    };
+    let report = run_scenario(handle.addr(), &scenario).expect("scenario runs");
+    assert_eq!(report.sent, 20);
+    assert_eq!(report.done, 16);
+    assert_eq!(report.offered_rate, Some(400.0));
+    assert_eq!(report.latency.count(), 16);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests_admitted, 20);
+    assert_eq!(stats.responses_sent, 20);
+}
