@@ -108,6 +108,17 @@ pub enum ProtocolError {
         /// The field that failed to decode.
         field: &'static str,
     },
+    /// The header declares `timesteps > 0` vectors of width 0 — a
+    /// geometry no encoder produces.  Rejected explicitly: zero width
+    /// makes the payload-length check vacuous (`0 × timesteps` bytes)
+    /// while the timestep count would still drive the allocation, so a
+    /// ~30-byte frame could demand billions of empty vectors.
+    InvalidDimensions {
+        /// The declared vector width.
+        width: u32,
+        /// The declared timestep count.
+        timesteps: u32,
+    },
     /// The length prefix declares a payload larger than the receiver's
     /// frame cap.  The receiver refuses to buffer it; since the
     /// declared length can no longer be trusted as a frame boundary,
@@ -145,6 +156,9 @@ impl fmt::Display for ProtocolError {
                 write!(f, "{extra} trailing bytes after the last field")
             }
             ProtocolError::InvalidUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
+            ProtocolError::InvalidDimensions { width, timesteps } => {
+                write!(f, "impossible geometry: {timesteps} timesteps of width {width}")
+            }
             ProtocolError::Oversized { declared, max } => {
                 write!(f, "frame declares {declared} payload bytes, cap is {max}")
             }
@@ -403,6 +417,7 @@ impl WireRequest {
         let predictor = r.name("predictor name")?;
         let width = r.u32("input width")? as usize;
         let timesteps = r.u32("timesteps")? as usize;
+        check_dimensions(width, timesteps)?;
         let want = (width as u64) * (timesteps as u64) * 4;
         if r.remaining() as u64 != want {
             return if (r.remaining() as u64) < want {
@@ -558,6 +573,7 @@ impl WireResponse {
         let compute_latency_ns = r.u64("compute latency")?;
         let width = r.u32("output width")? as usize;
         let timesteps = r.u32("timesteps")? as usize;
+        check_dimensions(width, timesteps)?;
         let want = (width as u64) * (timesteps as u64) * 4;
         if (r.remaining() as u64) < want {
             return Err(ProtocolError::Truncated { field: "outputs" });
@@ -687,6 +703,22 @@ impl ServerFrame {
             ServerFrame::Reject(r) => r.id,
         }
     }
+}
+
+/// Guards a sequence-geometry header before anything is reserved for
+/// it.  With `width == 0` the payload-length check wants `0 ×
+/// timesteps` bytes — vacuously satisfied by an empty payload — yet the
+/// decode loop would still allocate and push `timesteps` empty vectors,
+/// so a tiny hostile header could demand a multi-gigabyte allocation.
+/// No encoder produces zero-width steps; reject the geometry outright.
+fn check_dimensions(width: usize, timesteps: usize) -> Result<(), ProtocolError> {
+    if width == 0 && timesteps != 0 {
+        return Err(ProtocolError::InvalidDimensions {
+            width: width as u32,
+            timesteps: timesteps as u32,
+        });
+    }
+    Ok(())
 }
 
 /// Validates the version byte and returns the kind byte without
@@ -1058,6 +1090,58 @@ mod tests {
         assert_eq!(
             WireRequest::decode(&out[4..]),
             Err(ProtocolError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    /// A hand-built request payload declaring `timesteps` steps of
+    /// width 0 — passes the payload-length check (0 bytes wanted), so
+    /// only the geometry guard stands between it and the allocator.
+    fn zero_width_request_payload(timesteps: u32) -> Vec<u8> {
+        let mut p = vec![PROTOCOL_VERSION, FRAME_REQUEST];
+        p.extend_from_slice(&7u64.to_le_bytes()); // id
+        p.push(1); // Normal priority
+        p.extend_from_slice(&NO_DEADLINE_US.to_le_bytes());
+        p.push(0); // no θ override
+        p.extend_from_slice(&0u16.to_le_bytes()); // model: default
+        p.extend_from_slice(&0u16.to_le_bytes()); // predictor: default
+        p.extend_from_slice(&0u32.to_le_bytes()); // width 0
+        p.extend_from_slice(&timesteps.to_le_bytes());
+        p
+    }
+
+    #[test]
+    fn zero_width_request_header_is_rejected_before_allocating() {
+        // The hostile shape: ~30 bytes on the wire, u32::MAX timesteps
+        // declared.  Must fail typed and fast, not allocate billions of
+        // empty vectors.
+        assert_eq!(
+            WireRequest::decode(&zero_width_request_payload(u32::MAX)),
+            Err(ProtocolError::InvalidDimensions {
+                width: 0,
+                timesteps: u32::MAX
+            })
+        );
+        // The legitimate empty-sequence encoding (0 × 0) still decodes.
+        let empty = WireRequest::decode(&zero_width_request_payload(0)).expect("decodes");
+        assert!(empty.sequence.is_empty());
+    }
+
+    #[test]
+    fn zero_width_response_header_is_rejected_before_allocating() {
+        let mut p = vec![PROTOCOL_VERSION, FRAME_RESPONSE];
+        p.extend_from_slice(&7u64.to_le_bytes()); // id
+        p.push(0); // Done
+        for _ in 0..5 {
+            p.extend_from_slice(&0u64.to_le_bytes()); // counters + latencies
+        }
+        p.extend_from_slice(&0u32.to_le_bytes()); // width 0
+        p.extend_from_slice(&u32::MAX.to_le_bytes()); // timesteps
+        assert_eq!(
+            WireResponse::decode(&p),
+            Err(ProtocolError::InvalidDimensions {
+                width: 0,
+                timesteps: u32::MAX
+            })
         );
     }
 

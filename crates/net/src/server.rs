@@ -41,6 +41,19 @@
 //!   surfaced over the wire;
 //! * a draining server → [`RejectReason::ShuttingDown`].
 //!
+//! # Backpressure and connection lifecycle
+//!
+//! Outboxes are bounded: once a connection holds
+//! [`ServerConfig::max_outbox_bytes`] of undelivered responses, the
+//! server stops reading (and therefore admitting) from it until the
+//! client drains — TCP pushes back on the sender instead of server
+//! memory growing without bound.  A read EOF only *half*-closes: the
+//! connection stays alive until every response its admitted requests
+//! are owed has been flushed, so a client may send, shut down its
+//! write half and still collect all results.  A hard socket failure
+//! reaps the connection immediately; responses it can no longer take
+//! are counted as orphaned, never silently lost.
+//!
 //! # Shutdown
 //!
 //! [`ServerHandle::shutdown`] (or [`NetServer::run`] observing its stop
@@ -73,8 +86,17 @@ pub struct ServerConfig {
     /// Fraction of the engine's queue capacity above which
     /// [`Priority::Low`] requests are shed (`0.0..=1.0`; default
     /// `0.75`).  At `1.0` nothing is shed early and every class rides
-    /// the queue until [`RejectReason::Overloaded`].
+    /// the queue until [`RejectReason::Overloaded`].  The resulting
+    /// depth threshold is floored at 1, so `0.0` sheds Low whenever
+    /// *any* request is queued — never on an idle server.
     pub shed_low_watermark: f64,
+    /// Slow-reader backpressure: once a connection's outbox holds at
+    /// least this many undelivered bytes, the server stops reading
+    /// (and therefore admitting) from that connection until the outbox
+    /// drains below the cap — the socket's receive buffer fills and
+    /// TCP pushes back on the client instead of the outbox growing
+    /// without bound.  Default 2 × [`DEFAULT_MAX_FRAME_BYTES`].
+    pub max_outbox_bytes: usize,
     /// How long one sweep parks when it moved no bytes and no frames
     /// (keeps an idle server off the CPU without adding meaningful
     /// latency).  Default 200 µs.
@@ -86,6 +108,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             shed_low_watermark: 0.75,
+            max_outbox_bytes: 2 * DEFAULT_MAX_FRAME_BYTES,
             idle_park: Duration::from_micros(200),
         }
     }
@@ -132,10 +155,18 @@ struct Conn {
     /// Encoded frames waiting for the socket to accept them (partial
     /// writes keep their unsent tail here).
     outbox: Vec<u8>,
-    /// Set when the peer hung up or the stream poisoned; the
-    /// connection is dropped once its outbox flushed (so a final
-    /// reject frame still gets out when the peer half-closed).
+    /// Set when no more requests will arrive (peer half-closed, or the
+    /// inbound stream desynced).  The write side stays alive: the
+    /// connection is only dropped once its outbox flushed *and* no
+    /// admitted request still owes it a response — a half-closing
+    /// client ([`finish_sending`](crate::NetClient::finish_sending))
+    /// keeps receiving everything it was promised.
     closing: bool,
+    /// Set when the socket itself failed (read or write error, zero
+    /// write): nothing can be delivered anymore, so the connection is
+    /// reaped immediately and any in-flight responses are counted as
+    /// orphaned when they complete.
+    dead: bool,
 }
 
 impl Conn {
@@ -145,8 +176,17 @@ impl Conn {
             assembler: FrameAssembler::new(max_frame),
             outbox: Vec::new(),
             closing: false,
+            dead: false,
         }
     }
+}
+
+/// Whether the read phase should pull bytes from this connection:
+/// not once it is closing/dead, and not while its outbox holds
+/// `max_outbox` or more undelivered bytes (slow-reader backpressure —
+/// see [`ServerConfig::max_outbox_bytes`]).
+fn wants_read(conn: &Conn, max_outbox: usize) -> bool {
+    !conn.closing && conn.outbox.len() < max_outbox
 }
 
 /// The engine's TCP serving surface.  Bind, then either call
@@ -191,12 +231,7 @@ impl NetServer {
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        let capacity = engine.queue_capacity();
-        let watermark = config.shed_low_watermark.clamp(0.0, 1.0);
-        // ceil() so a watermark of 1.0 only sheds when the queue is
-        // genuinely full, and a tiny capacity still gets a threshold
-        // of at least 1.
-        let shed_threshold = ((capacity as f64) * watermark).ceil() as usize;
+        let shed_threshold = shed_threshold_for(engine.queue_capacity(), config.shed_low_watermark);
         Ok(NetServer {
             listener,
             engine,
@@ -310,14 +345,15 @@ impl NetServer {
         let mut chunk = [0u8; 64 * 1024];
         for conn_id in ids {
             let conn = self.conns.get_mut(&conn_id).expect("listed");
-            if conn.closing {
+            if !wants_read(conn, self.config.max_outbox_bytes) {
                 continue;
             }
             loop {
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
                         // Peer closed its write half; whatever frames
-                        // are already buffered still decode below.
+                        // are already buffered still decode below, and
+                        // responses keep flowing until delivered.
                         conn.closing = true;
                         break;
                     }
@@ -328,7 +364,10 @@ impl NetServer {
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
+                        // Hard socket failure: nothing more can be
+                        // read *or* delivered.
                         conn.closing = true;
+                        conn.dead = true;
                         break;
                     }
                 }
@@ -470,18 +509,18 @@ impl NetServer {
         for conn in self.conns.values_mut() {
             while !conn.outbox.is_empty() {
                 match conn.stream.write(&conn.outbox) {
-                    Ok(0) => {
-                        conn.closing = true;
-                        break;
-                    }
-                    Ok(n) => {
+                    Ok(n) if n > 0 => {
                         conn.outbox.drain(..n);
                         moved = true;
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                    Err(_) => {
+                    // Ok(0) or a hard error: the write side is gone,
+                    // nothing buffered can ever be delivered.
+                    _ => {
                         conn.closing = true;
+                        conn.dead = true;
+                        conn.outbox.clear();
                         break;
                     }
                 }
@@ -490,19 +529,27 @@ impl NetServer {
         moved
     }
 
-    /// Drops connections marked closed once their outbox is empty (or
-    /// their socket died), forgetting any routes pointing at them.
+    /// Drops connections that are finished.  A dead socket is reaped
+    /// immediately (its in-flight responses are counted as orphaned
+    /// when they complete).  A *closing* connection — read EOF, write
+    /// side still good — is kept until its outbox is flushed **and**
+    /// no admitted request still routes to it, so a half-closing
+    /// client receives every response it was promised before the
+    /// connection goes away.
     fn reap_closed(&mut self) {
         let dead: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.closing && c.outbox.is_empty())
+            .filter(|(&id, c)| {
+                c.dead
+                    || (c.closing
+                        && c.outbox.is_empty()
+                        && !self.routes.values().any(|&(conn_id, _)| conn_id == id))
+            })
             .map(|(&id, _)| id)
             .collect();
         for id in dead {
             self.conns.remove(&id);
-            // Responses still in flight for this connection will be
-            // counted as orphaned when they complete.
         }
     }
 
@@ -621,6 +668,17 @@ impl ServerHandle {
     }
 }
 
+/// The queue depth at which [`Priority::Low`] requests start being
+/// shed.  ceil() so a watermark of 1.0 only sheds when the queue is
+/// genuinely full; floored at 1 so a watermark of 0.0 (or a tiny
+/// capacity) sheds only when something is actually queued — `>= 0`
+/// would shed every Low request on an idle server.
+fn shed_threshold_for(capacity: usize, watermark: f64) -> usize {
+    ((capacity as f64) * watermark.clamp(0.0, 1.0))
+        .ceil()
+        .max(1.0) as usize
+}
+
 /// Builds the engine-side request: the server-issued `engine_id` keys
 /// the response route; all client choices map field for field.
 fn to_engine_request(engine_id: u64, w: WireRequest) -> InferenceRequest {
@@ -684,6 +742,37 @@ mod tests {
             reject_reason_for(&EngineError::EmptyRegistry),
             RejectReason::Internal
         );
+    }
+
+    #[test]
+    fn shed_threshold_never_sheds_an_idle_server() {
+        // The interesting edge: watermark 0.0 floors at depth 1, so
+        // Low is shed only when something is actually queued.
+        assert_eq!(shed_threshold_for(4, 0.0), 1);
+        assert_eq!(shed_threshold_for(4, 0.75), 3);
+        // 1.0 sheds only at a genuinely full queue.
+        assert_eq!(shed_threshold_for(4, 1.0), 4);
+        assert_eq!(shed_threshold_for(1, 0.5), 1);
+        // Out-of-range watermarks clamp instead of misbehaving.
+        assert_eq!(shed_threshold_for(4, -1.0), 1);
+        assert_eq!(shed_threshold_for(4, 2.0), 4);
+    }
+
+    #[test]
+    fn outbox_cap_pauses_reads() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let _peer = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        let mut conn = Conn::new(stream, DEFAULT_MAX_FRAME_BYTES);
+        assert!(wants_read(&conn, 64));
+        // At the cap: reads (and so admissions) pause until it drains.
+        conn.outbox = vec![0u8; 64];
+        assert!(!wants_read(&conn, 64));
+        conn.outbox.truncate(63);
+        assert!(wants_read(&conn, 64));
+        // Closing connections are never read.
+        conn.closing = true;
+        assert!(!wants_read(&conn, 64));
     }
 
     #[test]

@@ -273,7 +273,31 @@ fn malformed_frames_get_typed_rejects_without_desync() {
         ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
     }
 
-    // The connection still serves real work after both rejects.
+    // A hostile geometry header — width 0, u32::MAX timesteps — passes
+    // the payload-length arithmetic (0 bytes wanted) but must be a
+    // cheap typed reject, not a multi-gigabyte allocation.
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&32u32.to_le_bytes()); // payload length
+    hostile.push(1); // protocol version
+    hostile.push(0x01); // request kind
+    hostile.extend_from_slice(&11u64.to_le_bytes()); // id
+    hostile.push(1); // Normal priority
+    hostile.extend_from_slice(&u64::MAX.to_le_bytes()); // no deadline
+    hostile.push(0); // no θ override
+    hostile.extend_from_slice(&0u16.to_le_bytes()); // model: default
+    hostile.extend_from_slice(&0u16.to_le_bytes()); // predictor: default
+    hostile.extend_from_slice(&0u32.to_le_bytes()); // width 0
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes()); // timesteps
+    client.send_raw(&hostile).expect("send hostile header");
+    match client.recv().expect("recv") {
+        ServerFrame::Reject(r) => {
+            assert_eq!(r.id, 11);
+            assert_eq!(r.reason, RejectReason::Malformed);
+        }
+        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+    }
+
+    // The connection still serves real work after the rejects.
     client
         .send(&WireRequest::new(9, w.sequences()[0].clone()))
         .expect("send");
@@ -309,6 +333,61 @@ fn malformed_frames_get_typed_rejects_without_desync() {
         ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
     }
     handle.shutdown();
+}
+
+/// A client that half-closes its write side after its last request
+/// must still receive every response — the server may not reap the
+/// connection while admitted requests are in flight.  The paused
+/// engine makes the race deterministic: the server observes EOF long
+/// before any response exists.
+#[test]
+fn half_close_still_delivers_pending_responses() {
+    let w = workload(71);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("imdb", w.network().clone(), PredictorKind::Exact)
+        .expect("register model");
+    let engine = EngineBuilder::from_registry(registry)
+        .workers(1)
+        .queue_capacity(8)
+        .start_paused()
+        .build()
+        .expect("engine builds");
+    let server = NetServer::bind("127.0.0.1:0", engine).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for id in 0..3 {
+        client
+            .send(&WireRequest::new(id, w.sequences()[0].clone()))
+            .expect("send");
+    }
+    client.finish_sending().expect("half-close");
+    // Let the server sweep past the EOF while the engine is still
+    // paused (the regression reaped the connection right here and
+    // orphaned all three responses).
+    std::thread::sleep(Duration::from_millis(50));
+    let collector = std::thread::spawn(move || {
+        let mut done = Vec::new();
+        loop {
+            match client.recv() {
+                Ok(ServerFrame::Response(r)) => {
+                    assert_eq!(r.status, CompletionStatus::Done);
+                    done.push(r.id);
+                }
+                Ok(ServerFrame::Reject(r)) => panic!("unexpected reject: {}", r.message),
+                Err(NetError::Disconnected) => break,
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        done
+    });
+    let stats = handle.shutdown();
+    let mut done = collector.join().expect("collector");
+    done.sort_unstable();
+    assert_eq!(done, vec![0, 1, 2]);
+    assert_eq!(stats.requests_admitted, 3);
+    assert_eq!(stats.responses_sent, 3);
+    assert_eq!(stats.responses_orphaned, 0);
 }
 
 #[test]
