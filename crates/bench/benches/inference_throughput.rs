@@ -28,6 +28,7 @@
 
 use nfm_bench::Bencher;
 use nfm_bnn::{BinaryGate, BinaryNetwork, BitVector, PopcountBackend};
+use nfm_control::{AdaptivePredictor, ControllerConfig};
 use nfm_core::{BnnMemoConfig, BnnMemoEvaluator, OracleEvaluator};
 use nfm_loadgen::{run_scenario, ArrivalProcess, BlendEntry, Scenario};
 use nfm_net::{NetClient, NetServer, ServerFrame, WireRequest};
@@ -42,8 +43,9 @@ use nfm_serve::{
 use nfm_tensor::backend::KernelBackend;
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::{kernels, Matrix, Vector};
-use nfm_workloads::{NetworkId, Workload, WorkloadBuilder};
+use nfm_workloads::{InputDomain, NetworkId, SequenceGenerator, Workload, WorkloadBuilder};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// Seed-faithful naive evaluator: one virtual call per neuron, dimension
 /// checks re-run per row, and a strictly-ordered scalar reduction (the
@@ -289,6 +291,50 @@ fn main() {
                         .len(),
                 )
             },
+        );
+    }
+
+    // Adaptive thresholds vs the static θ they start from, on a
+    // drifting-regime workload (the input distribution wanders — the
+    // traffic the controller exists for).  Both sides run the same
+    // sequences through the same half-scale IMDB network; the adaptive
+    // side additionally pays deterministic audit sampling (one in
+    // eight memoization hits recomputed exactly) and block-boundary θ
+    // updates on top of the BnnMemoEvaluator, so the pair prices the
+    // controller machinery on the inference hot path.  Controller
+    // state persists across iterations: after the first iterations
+    // converge θ, the median measures the steady-state regime.
+    {
+        let base = workload(NetworkId::ImdbSentiment, 0.5, 1, 8);
+        let net = base.network();
+        let mirror = Arc::new(BinaryNetwork::mirror(net));
+        let drift =
+            SequenceGenerator::new(InputDomain::drifting(), net.input_size(), 11).sequences(8, 48);
+        let theta = 0.5;
+        let mut static_eval =
+            BnnMemoEvaluator::new(Arc::clone(&mirror), BnnMemoConfig::with_threshold(theta));
+        let control = ControllerConfig::new(0.05)
+            .audit_period(8)
+            .initial_theta(theta)
+            .seed(11);
+        let predictor = AdaptivePredictor::new(Arc::clone(&mirror), control);
+        let mut adaptive_eval = predictor.evaluator();
+        fn run_drift(
+            net: &DeepRnn,
+            seqs: &[Vec<Vector>],
+            evaluator: &mut dyn NeuronEvaluator,
+        ) -> usize {
+            let mut total = 0;
+            for seq in seqs {
+                total += net.run(black_box(seq), evaluator).expect("drift run").len();
+            }
+            total
+        }
+        bench.bench_pair(
+            "inference/adaptive_vs_static/static",
+            || black_box(run_drift(net, &drift, &mut static_eval)),
+            "inference/adaptive_vs_static/adaptive",
+            || black_box(run_drift(net, &drift, &mut adaptive_eval)),
         );
     }
 
@@ -936,6 +982,10 @@ fn main() {
         (
             "inference/engine_wave_refill_skewed/mixed",
             "inference/engine_midwave_refill_skewed/mixed",
+        ),
+        (
+            "inference/adaptive_vs_static/static",
+            "inference/adaptive_vs_static/adaptive",
         ),
         ("runner/sequential", "runner/parallel"),
     ];

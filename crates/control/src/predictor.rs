@@ -1,0 +1,484 @@
+//! The adaptive predictor and its evaluator wrapper.
+
+use crate::controller::{ControllerConfig, ThresholdController};
+use nfm_bnn::BinaryNetwork;
+use nfm_core::{
+    BnnMemoConfig, BnnMemoEvaluator, ControlSnapshot, LaneState, MemoTable, Predictor, ReuseStats,
+    ServedEvaluator,
+};
+use nfm_rnn::{
+    DeepRnn, Gate, GateId, NeuronEvaluator, NeuronRef, Result as RnnResult, HOIST_BLOCK,
+};
+use std::sync::Arc;
+
+/// Migratable lane state of the adaptive evaluator: the memoizing
+/// lane state plus the lane's audit hit counter, so the deterministic
+/// audit phase survives worker migration.
+struct AdaptiveLaneState {
+    table: MemoTable,
+    stats: ReuseStats,
+    audit_counter: u64,
+}
+
+/// An online-adaptive memoization policy as a [`Predictor`] factory.
+///
+/// Holds the model's binary mirror and one shared
+/// [`ThresholdController`]; every worker's evaluator drains audit
+/// telemetry into the controller and re-reads per-layer θ at block
+/// boundaries. Registering it next to static predictors needs no
+/// engine changes.
+///
+/// Per-request θ overrides are rejected ([`Predictor::with_threshold`]
+/// returns `None`): the controller owns θ — pinning it per request
+/// would undo the control loop. Use a static
+/// [`BnnPredictor`](nfm_core::BnnPredictor) for explicit thresholds.
+#[derive(Debug, Clone)]
+pub struct AdaptivePredictor {
+    mirror: Arc<BinaryNetwork>,
+    base: BnnMemoConfig,
+    controller: Arc<ThresholdController>,
+}
+
+/// Number of recurrent layers addressed by the mirror's gates.
+fn mirror_layers(mirror: &BinaryNetwork) -> usize {
+    mirror
+        .iter()
+        .map(|(id, _)| id.layer)
+        .max()
+        .map_or(1, |m| m + 1)
+}
+
+impl AdaptivePredictor {
+    /// An adaptive predictor over a prebuilt `mirror` with default
+    /// memoization settings (throttling on, default ε) and the given
+    /// controller configuration.
+    pub fn new(mirror: impl Into<Arc<BinaryNetwork>>, config: ControllerConfig) -> Self {
+        let base = BnnMemoConfig::with_threshold(config.initial_theta);
+        AdaptivePredictor::with_base(mirror, base, config)
+    }
+
+    /// Like [`new`](AdaptivePredictor::new) but with an explicit base
+    /// [`BnnMemoConfig`] (throttle / ε); its `threshold` is overridden
+    /// by `config.initial_theta` so the uniform fallback always agrees
+    /// with the controller's starting point.
+    pub fn with_base(
+        mirror: impl Into<Arc<BinaryNetwork>>,
+        mut base: BnnMemoConfig,
+        config: ControllerConfig,
+    ) -> Self {
+        let mirror = mirror.into();
+        base.threshold = config.initial_theta;
+        let controller = Arc::new(ThresholdController::new(mirror_layers(&mirror), config));
+        AdaptivePredictor {
+            mirror,
+            base,
+            controller,
+        }
+    }
+
+    /// Builds the mirror of `network` and wraps it.
+    pub fn for_network(network: &DeepRnn, config: ControllerConfig) -> Self {
+        AdaptivePredictor::new(BinaryNetwork::mirror(network), config)
+    }
+
+    /// The shared controller (live state; snapshots via
+    /// [`ThresholdController::snapshot`]).
+    pub fn controller(&self) -> &Arc<ThresholdController> {
+        &self.controller
+    }
+
+    /// The shared binary mirror.
+    pub fn mirror(&self) -> &Arc<BinaryNetwork> {
+        &self.mirror
+    }
+
+    /// The memoization settings evaluators start from.
+    pub fn base_config(&self) -> BnnMemoConfig {
+        self.base
+    }
+
+    /// Builds the concrete evaluator type (the trait object path goes
+    /// through [`Predictor::build_evaluator`]).
+    pub fn evaluator(&self) -> AdaptiveEvaluator {
+        AdaptiveEvaluator::new(
+            Arc::clone(&self.mirror),
+            self.base,
+            Arc::clone(&self.controller),
+        )
+    }
+}
+
+impl Predictor for AdaptivePredictor {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn build_evaluator(&self, _network: &DeepRnn) -> Box<dyn ServedEvaluator> {
+        Box::new(self.evaluator())
+    }
+
+    fn control_snapshot(&self) -> Option<ControlSnapshot> {
+        Some(self.controller.snapshot())
+    }
+}
+
+/// A [`BnnMemoEvaluator`] wrapped with the adaptive control loop.
+///
+/// Delegates every evaluation bit-identically to the inner evaluator
+/// (which runs with audit sampling and the controller's per-layer θ
+/// installed) and, every [`HOIST_BLOCK`] timesteps' worth of whole-gate
+/// calls, performs a *sync*: drain the accumulated audit counters into
+/// the shared controller, and — only if the controller's epoch moved —
+/// re-read the per-layer thresholds. θ therefore never changes inside
+/// a gate invocation, so all lanes of one call always share a single θ.
+#[derive(Debug)]
+pub struct AdaptiveEvaluator {
+    inner: BnnMemoEvaluator,
+    controller: Arc<ThresholdController>,
+    seen_epoch: u64,
+    // Whole-gate calls per timestep; a sync runs every
+    // `block_span = gates_per_step * HOIST_BLOCK` calls.
+    block_span: u64,
+    calls_in_block: u64,
+    thetas: Vec<f32>,
+}
+
+impl AdaptiveEvaluator {
+    /// Wraps a fresh audit-enabled evaluator around `mirror` and the
+    /// shared `controller`.
+    pub fn new(
+        mirror: Arc<BinaryNetwork>,
+        base: BnnMemoConfig,
+        controller: Arc<ThresholdController>,
+    ) -> Self {
+        let gates_per_step = mirror.iter().count().max(1) as u64;
+        let mut inner =
+            BnnMemoEvaluator::new(mirror, base).with_audit(controller.config().audit_config());
+        let mut thetas = Vec::new();
+        controller.write_thetas_into(&mut thetas);
+        inner.set_layer_thresholds(&thetas);
+        let seen_epoch = controller.epoch();
+        AdaptiveEvaluator {
+            inner,
+            controller,
+            seen_epoch,
+            block_span: gates_per_step * HOIST_BLOCK as u64,
+            calls_in_block: 0,
+            thetas,
+        }
+    }
+
+    /// The shared controller.
+    pub fn controller(&self) -> &Arc<ThresholdController> {
+        &self.controller
+    }
+
+    /// The wrapped evaluator (statistics, audit counters, tables).
+    pub fn inner(&self) -> &BnnMemoEvaluator {
+        &self.inner
+    }
+
+    /// Forces a sync now: drains pending audit telemetry into the
+    /// controller and re-reads θ. Drivers call this after a run so the
+    /// tail of the last block is observed too.
+    pub fn flush(&mut self) {
+        self.calls_in_block = 0;
+        self.sync();
+    }
+
+    fn sync(&mut self) {
+        let audit = self.inner.take_audit_stats();
+        if !audit.is_empty() {
+            self.controller.observe(&audit);
+        }
+        let epoch = self.controller.epoch();
+        if epoch != self.seen_epoch {
+            self.seen_epoch = epoch;
+            self.controller.write_thetas_into(&mut self.thetas);
+            self.inner.set_layer_thresholds(&self.thetas);
+        }
+    }
+
+    #[inline]
+    fn after_gate_call(&mut self) {
+        self.calls_in_block += 1;
+        if self.calls_in_block >= self.block_span {
+            self.calls_in_block = 0;
+            self.sync();
+        }
+    }
+}
+
+impl NeuronEvaluator for AdaptiveEvaluator {
+    fn evaluate(
+        &mut self,
+        neuron: NeuronRef,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+    ) -> RnnResult<f32> {
+        // Per-neuron drivers have no gate-call cadence; they sync at
+        // sequence boundaries only.
+        self.inner.evaluate(neuron, gate, x, h_prev)
+    }
+
+    fn evaluate_gate(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        gate: &Gate,
+        x: &[f32],
+        h_prev: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        self.inner
+            .evaluate_gate(gate_id, timestep, gate, x, h_prev, out)?;
+        self.after_gate_call();
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_gate_batch(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        self.inner
+            .evaluate_gate_batch(gate_id, timestep, lanes, gate, xs, h_prevs, out)?;
+        self.after_gate_call();
+        Ok(())
+    }
+
+    fn supports_input_hoisting(&self) -> bool {
+        self.inner.supports_input_hoisting()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_gate_batch_hoisted(
+        &mut self,
+        gate_id: GateId,
+        timestep: usize,
+        lanes: usize,
+        gate: &Gate,
+        fwd: &[f32],
+        xs: &[f32],
+        h_prevs: &[f32],
+        out: &mut [f32],
+    ) -> RnnResult<()> {
+        self.inner
+            .evaluate_gate_batch_hoisted(gate_id, timestep, lanes, gate, fwd, xs, h_prevs, out)?;
+        self.after_gate_call();
+        Ok(())
+    }
+
+    fn begin_sequence(&mut self) {
+        self.calls_in_block = 0;
+        self.sync();
+        self.inner.begin_sequence();
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        self.inner.begin_batch(lanes);
+        self.sync();
+    }
+
+    fn begin_lane_sequence(&mut self, lane: usize) {
+        // A lane admission is a block boundary for that lane: drain
+        // telemetry and pick up the freshest θ before the new request.
+        self.sync();
+        self.inner.begin_lane_sequence(lane);
+    }
+
+    fn swap_lane_state(&mut self, a: usize, b: usize) {
+        self.inner.swap_lane_state(a, b);
+    }
+}
+
+impl ServedEvaluator for AdaptiveEvaluator {
+    fn take_lane_stats(&mut self, lane: usize) -> Option<ReuseStats> {
+        Some(self.inner.take_lane_stats(lane))
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn stats_snapshot(&self) -> Option<ReuseStats> {
+        Some(*self.inner.stats())
+    }
+
+    fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let audit_counter = self.inner.lane_audit_counter(lane);
+        let (table, stats) = self.inner.export_lane(lane);
+        Some(Box::new(AdaptiveLaneState {
+            table,
+            stats,
+            audit_counter,
+        }))
+    }
+
+    fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
+        match state.downcast::<AdaptiveLaneState>() {
+            Ok(s) => {
+                self.inner.import_lane(lane, s.table, s.stats);
+                self.inner.set_lane_audit_counter(lane, s.audit_counter);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_rnn::{CellKind, DeepRnnConfig, ExactEvaluator};
+    use nfm_tensor::rng::DeterministicRng;
+    use nfm_tensor::Vector;
+
+    fn network(seed: u64) -> DeepRnn {
+        let cfg = DeepRnnConfig::new(CellKind::Lstm, 8, 12);
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        DeepRnn::random(&cfg, &mut rng).unwrap()
+    }
+
+    fn smooth_sequence(len: usize, width: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let mut x = Vector::from_fn(width, |_| rng.uniform(-0.5, 0.5));
+        (0..len)
+            .map(|_| {
+                x = x
+                    .add(&Vector::from_fn(width, |_| rng.uniform(-0.05, 0.05)))
+                    .unwrap();
+                x.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frozen_controller_is_bit_identical_to_static() {
+        let net = network(1);
+        let seqs: Vec<_> = (0..4).map(|i| smooth_sequence(40, 8, 10 + i)).collect();
+        let theta = 1.0;
+        let predictor =
+            AdaptivePredictor::for_network(&net, ControllerConfig::frozen_at(0.05, theta));
+        let mut adaptive = predictor.evaluator();
+        let mut fixed = BnnMemoEvaluator::new(
+            Arc::clone(predictor.mirror()),
+            BnnMemoConfig::with_threshold(theta),
+        );
+        for seq in &seqs {
+            let a = net.run(seq, &mut adaptive).unwrap();
+            let b = net.run(seq, &mut fixed).unwrap();
+            assert_eq!(a, b);
+        }
+        let a = adaptive.inner().stats();
+        let b = fixed.stats();
+        assert_eq!(a.evaluations(), b.evaluations());
+        assert_eq!(a.reuses(), b.reuses());
+        assert_eq!(a.bnn_evaluations(), b.bnn_evaluations());
+        assert!(a.audited() > 0, "frozen mode still audits");
+        assert_eq!(b.audited(), 0);
+    }
+
+    #[test]
+    fn adaptation_is_deterministic() {
+        let net = network(3);
+        let seqs: Vec<_> = (0..6).map(|i| smooth_sequence(50, 8, 20 + i)).collect();
+        let run = || {
+            let predictor = AdaptivePredictor::for_network(
+                &net,
+                ControllerConfig::new(0.02).min_audits_per_update(2),
+            );
+            let mut evaluator = predictor.evaluator();
+            let outputs: Vec<_> = seqs
+                .iter()
+                .map(|s| net.run(s, &mut evaluator).unwrap())
+                .collect();
+            evaluator.flush();
+            (outputs, predictor.controller().snapshot())
+        };
+        let (out_a, snap_a) = run();
+        let (out_b, snap_b) = run();
+        assert_eq!(out_a, out_b, "bit-identical outputs across runs");
+        assert_eq!(snap_a, snap_b, "identical controller trajectories");
+    }
+
+    #[test]
+    fn tight_slo_shrinks_theta_and_loose_slo_grows_it() {
+        let net = network(5);
+        let seqs: Vec<_> = (0..8).map(|i| smooth_sequence(60, 8, 30 + i)).collect();
+        let drive = |slo: f64| {
+            let predictor = AdaptivePredictor::for_network(
+                &net,
+                ControllerConfig::new(slo)
+                    .initial_theta(1.0)
+                    .audit_period(4)
+                    .min_audits_per_update(2),
+            );
+            let mut evaluator = predictor.evaluator();
+            for seq in &seqs {
+                let _ = net.run(seq, &mut evaluator).unwrap();
+            }
+            evaluator.flush();
+            predictor.controller().thetas()[0]
+        };
+        let tight = drive(0.0);
+        let loose = drive(1e3);
+        assert!(tight < 1.0, "SLO 0 must shrink θ, got {tight}");
+        assert!(loose > 1.0, "huge SLO must grow θ, got {loose}");
+    }
+
+    #[test]
+    fn predictor_reports_control_snapshot_and_rejects_overrides() {
+        let net = network(7);
+        let predictor = AdaptivePredictor::for_network(&net, ControllerConfig::new(0.1));
+        assert_eq!(predictor.name(), "adaptive");
+        assert!(predictor.threshold().is_none());
+        assert!(predictor.with_threshold(0.5).is_none());
+        let snap = predictor.control_snapshot().expect("adaptive has control");
+        assert_eq!(snap.slo, 0.1);
+        assert!(!snap.layers.is_empty());
+    }
+
+    #[test]
+    fn lane_state_roundtrips_between_evaluators() {
+        let net = network(9);
+        let seq = smooth_sequence(30, 8, 40);
+        let predictor =
+            AdaptivePredictor::for_network(&net, ControllerConfig::frozen_at(0.05, 1.0));
+        // Drive one evaluator batched so lane 0 holds real state.
+        let mut donor = predictor.evaluator();
+        let outputs = net.run_batch(&[&seq[..]], &mut donor).unwrap();
+        let mut receiver = predictor.evaluator();
+        receiver.begin_batch(1);
+        let state = ServedEvaluator::export_lane_state(&mut donor, 0).unwrap();
+        assert!(ServedEvaluator::import_lane_state(&mut receiver, 0, state));
+        // Sanity: the batched run matched the sequential one.
+        let mut sequential = predictor.evaluator();
+        let expected = net.run(&seq, &mut sequential).unwrap();
+        assert_eq!(outputs[0], expected);
+    }
+
+    #[test]
+    fn exact_outputs_unaffected_by_wrapper_plumbing() {
+        // The adaptive θ floor can be pushed so low the evaluator
+        // degenerates to (nearly) exact inference; outputs must stay
+        // finite and bounded like the plain evaluator's.
+        let net = network(11);
+        let seq = smooth_sequence(20, 8, 50);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let predictor = AdaptivePredictor::for_network(
+            &net,
+            ControllerConfig::frozen_at(0.0, -1.0).theta_range(-1.0, 1.0),
+        );
+        let mut evaluator = predictor.evaluator();
+        let out = net.run(&seq, &mut evaluator).unwrap();
+        assert_eq!(exact, out, "θ<0 degenerates to exact inference");
+    }
+}

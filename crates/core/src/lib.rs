@@ -56,6 +56,7 @@
 //! assert_eq!(stats.evaluations(), 10 * net.neuron_evaluations_per_step() as u64);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod input_similarity;
 pub mod oracle;
@@ -66,6 +67,7 @@ pub mod stats;
 pub mod table;
 pub mod threshold;
 
+pub use audit::{AuditConfig, AuditStats, ControlSnapshot, LayerAudit, LayerControl};
 pub use config::{BnnMemoConfig, OracleMemoConfig};
 pub use input_similarity::{InputSimilarityConfig, InputSimilarityEvaluator};
 pub use oracle::OracleEvaluator;

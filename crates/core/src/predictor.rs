@@ -1,5 +1,6 @@
 //! The BNN-based memoization predictor (Figures 10 and 12).
 
+use crate::audit::{AuditConfig, AuditStats};
 use crate::config::BnnMemoConfig;
 use crate::stats::ReuseStats;
 use crate::table::{GateHandle, MemoTable};
@@ -72,6 +73,35 @@ pub struct BnnMemoEvaluator {
     miss_lanes: Vec<u32>,
     lane_reused: Vec<u64>,
     lane_computed: Vec<u64>,
+    // Per-layer threshold overrides installed by an adaptive
+    // controller; empty means the uniform `config.threshold` applies
+    // to every layer.
+    layer_thresholds: Vec<f32>,
+    // Deterministic 1-in-N audit sampling of memo hits (None = off).
+    audit: Option<AuditSampler>,
+    audit_stats: AuditStats,
+    // Hit counters driving audit selection: one for the
+    // single-sequence paths, one per lane for the batched path (so a
+    // lane's audit sequence matches a dedicated single-sequence run).
+    audit_counter: u64,
+    lane_audit_counters: Vec<u64>,
+    // Scratch: audits taken per lane during the current gate call.
+    lane_audited: Vec<u64>,
+}
+
+/// Precomputed audit selection: hit number `c` is audited iff
+/// `c % period == offset`.
+#[derive(Debug, Clone, Copy)]
+struct AuditSampler {
+    period: u64,
+    offset: u64,
+}
+
+impl AuditSampler {
+    #[inline]
+    fn due(&self, count: u64) -> bool {
+        count % self.period == self.offset
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -111,7 +141,75 @@ impl BnnMemoEvaluator {
             miss_lanes: Vec::new(),
             lane_reused: Vec::new(),
             lane_computed: Vec::new(),
+            layer_thresholds: Vec::new(),
+            audit: None,
+            audit_stats: AuditStats::new(),
+            audit_counter: 0,
+            lane_audit_counters: Vec::new(),
+            lane_audited: Vec::new(),
         }
+    }
+
+    /// Enables deterministic audit sampling: one in `config.period`
+    /// memo hits is *also* computed exactly and its absolute output
+    /// error recorded into per-layer [`AuditStats`] (plus the
+    /// `audited` counter of [`ReuseStats`]).  The emitted outputs are
+    /// unchanged — auditing only observes; the audited hit stays a
+    /// reuse.
+    pub fn with_audit(mut self, config: AuditConfig) -> Self {
+        self.audit = Some(AuditSampler {
+            period: config.period,
+            offset: config.offset(),
+        });
+        self
+    }
+
+    /// Installs per-layer thresholds overriding the uniform
+    /// `config.threshold`: a gate on layer `i` (`GateId::layer`) uses
+    /// `thresholds[i]`, layers past the end fall back to the uniform
+    /// value.  The adaptive controller calls this between whole-gate
+    /// invocations only, so every lane of one gate call sees the same
+    /// θ.
+    pub fn set_layer_thresholds(&mut self, thresholds: &[f32]) {
+        self.layer_thresholds.clear();
+        self.layer_thresholds.extend_from_slice(thresholds);
+    }
+
+    /// The per-layer thresholds in effect (empty = uniform).
+    pub fn layer_thresholds(&self) -> &[f32] {
+        &self.layer_thresholds
+    }
+
+    /// Borrows the per-layer audit counters accumulated so far.
+    pub fn audit_stats(&self) -> &AuditStats {
+        &self.audit_stats
+    }
+
+    /// Takes the per-layer audit counters, leaving zeros behind.
+    pub fn take_audit_stats(&mut self) -> AuditStats {
+        self.audit_stats.take()
+    }
+
+    /// Lane `lane`'s audit hit counter (lane-migration hook).
+    pub fn lane_audit_counter(&self, lane: usize) -> u64 {
+        self.lane_audit_counters.get(lane).copied().unwrap_or(0)
+    }
+
+    /// Restores lane `lane`'s audit hit counter (lane-migration hook).
+    pub fn set_lane_audit_counter(&mut self, lane: usize, counter: u64) {
+        if lane >= self.lane_audit_counters.len() {
+            self.lane_audit_counters.resize(lane + 1, 0);
+        }
+        self.lane_audit_counters[lane] = counter;
+    }
+
+    /// The threshold in effect for `layer`.
+    #[inline]
+    fn threshold_for(&self, layer: usize) -> f32 {
+        self.layer_thresholds
+            .get(layer)
+            .copied()
+            .unwrap_or(self.config.threshold)
     }
 
     /// The reuse statistics accumulated so far.
@@ -251,11 +349,26 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             } else {
                 eps_t
             };
-            if delta_t <= self.config.threshold {
+            if delta_t <= self.threshold_for(neuron.gate_id.layer) {
                 self.stats.record_reused();
                 let cached = self
                     .table
                     .record_reuse(neuron.gate_id, neuron.neuron, delta_t);
+                if let Some(sampler) = self.audit {
+                    let layer = neuron.gate_id.layer;
+                    self.audit_stats.record_hit(layer);
+                    let count = self.audit_counter;
+                    self.audit_counter += 1;
+                    if sampler.due(count) {
+                        // Audit step: compute the skipped dot product
+                        // anyway to observe the error — but still emit
+                        // the cached value, so outputs are unchanged.
+                        let y_exact = gate.neuron_dot(neuron.neuron, x, h_prev)?;
+                        self.audit_stats
+                            .record_audit(layer, f64::from((y_exact - cached).abs()));
+                        self.stats.record_audited();
+                    }
+                }
                 return Ok(cached);
             }
         }
@@ -298,6 +411,8 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         self.yb.resize(gate.neurons(), 0);
         binary_gate.neuron_outputs_unchecked_into(&self.xb, &self.hb, &mut self.yb);
         let handle = self.table.gate_handle(gate_id, gate.neurons());
+        let theta = self.threshold_for(gate_id.layer);
+        let sampler = self.audit;
         for (n, slot) in out.iter_mut().enumerate() {
             let yb_t = self.yb[n] as f32;
             self.stats.record_bnn_evaluation();
@@ -308,9 +423,21 @@ impl NeuronEvaluator for BnnMemoEvaluator {
                 } else {
                     eps_t
                 };
-                if delta_t <= self.config.threshold {
+                if delta_t <= theta {
                     self.stats.record_reused();
-                    *slot = self.table.reuse_at(handle, n, delta_t);
+                    let cached = self.table.reuse_at(handle, n, delta_t);
+                    *slot = cached;
+                    if let Some(sampler) = sampler {
+                        self.audit_stats.record_hit(gate_id.layer);
+                        let count = self.audit_counter;
+                        self.audit_counter += 1;
+                        if sampler.due(count) {
+                            let y_exact = gate.neuron_dot_unchecked(n, x, h_prev);
+                            self.audit_stats
+                                .record_audit(gate_id.layer, f64::from((y_exact - cached).abs()));
+                            self.stats.record_audited();
+                        }
+                    }
                     continue;
                 }
             }
@@ -381,9 +508,16 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         if self.lane_reused.len() < lanes {
             self.lane_reused.resize(lanes, 0);
             self.lane_computed.resize(lanes, 0);
+            self.lane_audited.resize(lanes, 0);
         }
         self.lane_reused[..lanes].fill(0);
         self.lane_computed[..lanes].fill(0);
+        self.lane_audited[..lanes].fill(0);
+        // θ and the audit sampler are hoisted once per gate call:
+        // adaptive controllers only swap thresholds between whole-gate
+        // invocations, so every lane of this call shares one θ.
+        let theta = self.threshold_for(gate_id.layer);
+        let sampler = self.audit;
 
         // Neuron-outer, lane-inner: per (lane, neuron) memo decisions
         // are independent (each lane owns its table, each neuron its
@@ -409,9 +543,28 @@ impl NeuronEvaluator for BnnMemoEvaluator {
                     } else {
                         eps_t
                     };
-                    if delta_t <= self.config.threshold {
+                    if delta_t <= theta {
                         self.lane_reused[l] += 1;
-                        out[l * nsz + n] = table.reuse_at(handle, n, delta_t);
+                        let cached = table.reuse_at(handle, n, delta_t);
+                        out[l * nsz + n] = cached;
+                        if let Some(sampler) = sampler {
+                            let count = self.lane_audit_counters[l];
+                            self.lane_audit_counters[l] += 1;
+                            if sampler.due(count) {
+                                let y_exact = nfm_tensor::kernels::dot_unchecked(
+                                    wx.row(n),
+                                    &xs[l * isz..(l + 1) * isz],
+                                ) + nfm_tensor::kernels::dot_unchecked(
+                                    wh.row(n),
+                                    &h_prevs[l * hsz..(l + 1) * hsz],
+                                );
+                                self.audit_stats.record_audit(
+                                    gate_id.layer,
+                                    f64::from((y_exact - cached).abs()),
+                                );
+                                self.lane_audited[l] += 1;
+                            }
+                        }
                         continue;
                     }
                 }
@@ -466,10 +619,16 @@ impl NeuronEvaluator for BnnMemoEvaluator {
             self.stats.record_bnn_evaluations_many(nsz as u64);
             self.stats.record_reused_many(self.lane_reused[l]);
             self.stats.record_computed_many(self.lane_computed[l]);
+            self.stats.record_audited_many(self.lane_audited[l]);
             let lane_stats = &mut self.lane_stats[l];
             lane_stats.record_bnn_evaluations_many(nsz as u64);
             lane_stats.record_reused_many(self.lane_reused[l]);
             lane_stats.record_computed_many(self.lane_computed[l]);
+            lane_stats.record_audited_many(self.lane_audited[l]);
+            if sampler.is_some() {
+                self.audit_stats
+                    .record_hits(gate_id.layer, self.lane_reused[l]);
+            }
         }
         Ok(())
     }
@@ -477,6 +636,7 @@ impl NeuronEvaluator for BnnMemoEvaluator {
     fn begin_sequence(&mut self) {
         self.table.clear();
         self.input_cache = None;
+        self.audit_counter = 0;
     }
 
     fn begin_batch(&mut self, lanes: usize) {
@@ -490,6 +650,9 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         if self.lane_stats.len() < lanes {
             self.lane_stats.resize(lanes, ReuseStats::new());
         }
+        if self.lane_audit_counters.len() < lanes {
+            self.lane_audit_counters.resize(lanes, 0);
+        }
     }
 
     fn begin_lane_sequence(&mut self, lane: usize) {
@@ -501,8 +664,10 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         // as the trait docs spell out.)
         self.table.clear();
         self.input_cache = None;
+        self.audit_counter = 0;
         self.lane_tables[lane].clear();
         self.lane_stats[lane].reset();
+        self.lane_audit_counters[lane] = 0;
     }
 
     fn swap_lane_state(&mut self, a: usize, b: usize) {
@@ -510,6 +675,7 @@ impl NeuronEvaluator for BnnMemoEvaluator {
         // drained slot; its memo table and per-lane counters move along.
         self.lane_tables.swap(a, b);
         self.lane_stats.swap(a, b);
+        self.lane_audit_counters.swap(a, b);
     }
 }
 
@@ -681,5 +847,46 @@ mod tests {
         }
         assert!(divergences[0] <= divergences[2] + 1e-6);
         assert!(divergences[2] < 0.5, "mean divergence stays small");
+    }
+
+    #[test]
+    fn audit_sampling_never_changes_outputs() {
+        let net = network(5);
+        let seq = smooth_sequence(30, 8, 6);
+        let theta = 1.0;
+        let mut plain = evaluator(&net, BnnMemoConfig::with_threshold(theta));
+        let baseline = net.run(&seq, &mut plain).unwrap();
+        let mut audited = evaluator(&net, BnnMemoConfig::with_threshold(theta))
+            .with_audit(AuditConfig::new(4, 2019));
+        let out = net.run(&seq, &mut audited).unwrap();
+        assert_eq!(baseline, out, "auditing must not change emitted outputs");
+        assert_eq!(plain.stats().reuses(), audited.stats().reuses());
+        assert_eq!(plain.stats().evaluations(), audited.stats().evaluations());
+        assert_eq!(
+            plain.stats().bnn_evaluations(),
+            audited.stats().bnn_evaluations()
+        );
+        assert!(audited.stats().audited() > 0, "some hits were audited");
+        let audit = audited.audit_stats();
+        assert_eq!(audit.audited(), audited.stats().audited());
+        let hits: u64 = audit.layers().iter().map(|l| l.hits).sum();
+        assert_eq!(hits, audited.stats().reuses(), "every hit is counted");
+        assert!(audit.mean_error().is_some());
+    }
+
+    #[test]
+    fn per_layer_thresholds_override_uniform() {
+        let net = network(1);
+        let seq = smooth_sequence(15, 8, 2);
+        let exact = net.run(&seq, &mut ExactEvaluator::new()).unwrap();
+        let mut memo = evaluator(&net, BnnMemoConfig::with_threshold(4.0));
+        memo.set_layer_thresholds(&[-1.0; 4]);
+        let out = net.run(&seq, &mut memo).unwrap();
+        assert_eq!(exact, out, "θ<0 on every layer degenerates to exact");
+        assert_eq!(memo.stats().reuses(), 0);
+        // Clearing the overrides restores the uniform threshold.
+        memo.set_layer_thresholds(&[]);
+        let _ = net.run(&seq, &mut memo).unwrap();
+        assert!(memo.stats().reuses() > 0);
     }
 }

@@ -24,6 +24,7 @@
 //!   [`PredictorKind::instantiate`] turns a kind into its factory for a
 //!   concrete network (prebuilding the binary mirror once for the BNN).
 
+use crate::audit::ControlSnapshot;
 use crate::config::{BnnMemoConfig, OracleMemoConfig};
 use crate::oracle::OracleEvaluator;
 use crate::predictor::BnnMemoEvaluator;
@@ -41,10 +42,13 @@ use std::sync::Arc;
 pub type LaneState = Box<dyn Any + Send>;
 
 /// Migratable lane state of the built-in memoizing evaluators: one
-/// memo table plus the lane's accumulated statistics.
+/// memo table plus the lane's accumulated statistics and — for
+/// audit-enabled BNN evaluators — the lane's audit hit counter, so the
+/// deterministic 1-in-N audit phase survives migration.
 struct MemoLaneState {
     table: MemoTable,
     stats: ReuseStats,
+    audit_counter: u64,
 }
 
 /// Migratable lane state of the exact evaluator: nothing — the lane's
@@ -134,7 +138,11 @@ impl ServedEvaluator for OracleEvaluator {
 
     fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
         let (table, stats) = OracleEvaluator::export_lane(self, lane);
-        Some(Box::new(MemoLaneState { table, stats }))
+        Some(Box::new(MemoLaneState {
+            table,
+            stats,
+            audit_counter: 0,
+        }))
     }
 
     fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
@@ -162,14 +170,20 @@ impl ServedEvaluator for BnnMemoEvaluator {
     }
 
     fn export_lane_state(&mut self, lane: usize) -> Option<LaneState> {
+        let audit_counter = self.lane_audit_counter(lane);
         let (table, stats) = BnnMemoEvaluator::export_lane(self, lane);
-        Some(Box::new(MemoLaneState { table, stats }))
+        Some(Box::new(MemoLaneState {
+            table,
+            stats,
+            audit_counter,
+        }))
     }
 
     fn import_lane_state(&mut self, lane: usize, state: LaneState) -> bool {
         match state.downcast::<MemoLaneState>() {
             Ok(s) => {
                 BnnMemoEvaluator::import_lane(self, lane, s.table, s.stats);
+                self.set_lane_audit_counter(lane, s.audit_counter);
                 true
             }
             Err(_) => false,
@@ -218,6 +232,15 @@ pub trait Predictor: Send + Sync + fmt::Debug {
     /// ignoring the option.
     fn with_threshold(&self, threshold: f32) -> Option<Arc<dyn Predictor>> {
         let _ = threshold;
+        None
+    }
+
+    /// Snapshot of this predictor's live controller state — current
+    /// per-layer θ, audit-error EWMA, hit/audit counters — if the
+    /// policy adapts its thresholds online.  `None` (the default) means
+    /// the policy is static; the serving engine surfaces the snapshot
+    /// through its observability accessors.
+    fn control_snapshot(&self) -> Option<ControlSnapshot> {
         None
     }
 }

@@ -12,6 +12,7 @@ pub struct ReuseStats {
     evaluations: u64,
     reuses: u64,
     bnn_evaluations: u64,
+    audited: u64,
 }
 
 impl ReuseStats {
@@ -55,6 +56,18 @@ impl ReuseStats {
         self.bnn_evaluations += n;
     }
 
+    /// Records one audit step: a memoization hit that was *also*
+    /// computed exactly to observe its error. Audits do not change
+    /// `evaluations`/`reuses` — the hit stays a hit.
+    pub fn record_audited(&mut self) {
+        self.audited += 1;
+    }
+
+    /// Records `n` audit steps at once (batched paths).
+    pub fn record_audited_many(&mut self, n: u64) {
+        self.audited += n;
+    }
+
     /// Total neuron evaluation requests.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
@@ -73,6 +86,12 @@ impl ReuseStats {
     /// Binary-network evaluations performed.
     pub fn bnn_evaluations(&self) -> u64 {
         self.bnn_evaluations
+    }
+
+    /// Memoization hits that were additionally computed exactly as
+    /// audit samples (a subset of `reuses`).
+    pub fn audited(&self) -> u64 {
+        self.audited
     }
 
     /// Fraction of requests served from the buffer, in `[0, 1]`.
@@ -96,6 +115,7 @@ impl ReuseStats {
         self.evaluations += other.evaluations;
         self.reuses += other.reuses;
         self.bnn_evaluations += other.bnn_evaluations;
+        self.audited += other.audited;
     }
 
     /// Resets all counters to zero.
@@ -148,13 +168,27 @@ mod tests {
         let mut a = ReuseStats::new();
         a.record_computed();
         a.record_reused();
+        a.record_audited();
         let mut b = ReuseStats::new();
         b.record_reused();
         b.record_bnn_evaluation();
+        b.record_audited_many(2);
         a.merge(&b);
         assert_eq!(a.evaluations(), 3);
         assert_eq!(a.reuses(), 2);
         assert_eq!(a.bnn_evaluations(), 1);
+        assert_eq!(a.audited(), 3);
+    }
+
+    #[test]
+    fn audits_do_not_count_as_evaluations() {
+        let mut s = ReuseStats::new();
+        s.record_reused();
+        s.record_audited();
+        assert_eq!(s.evaluations(), 1);
+        assert_eq!(s.reuses(), 1);
+        assert_eq!(s.audited(), 1);
+        assert_eq!(s.computed(), 0);
     }
 
     #[test]

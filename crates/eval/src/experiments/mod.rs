@@ -11,6 +11,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod frontier;
 pub mod headline;
 pub mod hw;
 pub mod sensitivity;

@@ -21,6 +21,7 @@
 //! | `ablation` | BNN vs input-similarity predictor (Section 1 argument) | [`experiments::ablation`] |
 //! | `sensitivity` | FMU-latency / DPU-width design sweep | [`experiments::sensitivity`] |
 //! | `energy`   | E-PUR+BM energy model vs measured wall-clock speedup | [`experiments::energy`] |
+//! | `frontier` | Adaptive θ control vs static sweep under drift (Section 3.2.1 extension) | [`experiments::frontier`] |
 //!
 //! Run any of them with `cargo run -p nfm-eval -- <experiment> [--full]`.
 //!
@@ -40,7 +41,7 @@ pub use report::{Series, TableReport};
 
 /// Names of every runnable experiment, as accepted by the `nfm-eval`
 /// binary and produced by [`run_experiment`].
-pub const EXPERIMENTS: [&str; 15] = [
+pub const EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig1",
@@ -56,6 +57,7 @@ pub const EXPERIMENTS: [&str; 15] = [
     "ablation",
     "sensitivity",
     "energy",
+    "frontier",
 ];
 
 /// Runs an experiment by name and returns its printable report.
@@ -81,6 +83,7 @@ pub fn run_experiment(name: &str, config: &EvalConfig) -> Result<String, String>
         "ablation" => Ok(experiments::ablation::run(config).to_string()),
         "sensitivity" => Ok(experiments::sensitivity::run(config).to_string()),
         "energy" => Ok(experiments::energy::run(config).to_string()),
+        "frontier" => Ok(experiments::frontier::run(config).to_string()),
         other => Err(format!(
             "unknown experiment '{other}'; expected one of {EXPERIMENTS:?}"
         )),

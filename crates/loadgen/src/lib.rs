@@ -23,16 +23,48 @@
 //!   actual send, so a stalled sender cannot hide queueing delay
 //!   (no coordinated omission).
 //!
+//! * **Regime pools** — [`regime_pool`] / [`drifting_pool`] build the
+//!   request pool from `nfm-workloads` regime generators (slow drift,
+//!   bursty switches, long memory), the traffic shapes adaptive
+//!   thresholds (`nfm-control`) are built for; and callers holding the
+//!   engine can [`attach`](ScenarioReport::attach_context_stats) its
+//!   [`context_stats`](nfm_serve::Engine::context_stats) so the
+//!   [`summary`](ScenarioReport::summary) reports memo hit rates and
+//!   controller state next to the latencies.
+//!
 //! Everything is deterministic given [`Scenario::seed`] — the same
 //! blend, lengths and arrival schedule replay exactly; only the
 //! measured durations differ run to run.
 
 use nfm_net::{NetClient, NetError, RejectReason, ServerFrame, WireRequest};
-use nfm_serve::{CompletionStatus, Priority};
+use nfm_serve::{CompletionStatus, ContextStats, Priority};
 use nfm_tensor::rng::DeterministicRng;
 use nfm_tensor::Vector;
+use nfm_workloads::{InputDomain, SequenceGenerator};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Builds a request pool of `count` sequences of `length` steps drawn
+/// from a regime generator — the drifting-input scenario knob.  Feed
+/// the result to [`Scenario::closed_loop`] / [`Scenario::open_loop`]
+/// to offer non-stationary traffic (slow drift, bursty switches, long
+/// memory) instead of i.i.d. frames.
+pub fn regime_pool(
+    domain: InputDomain,
+    features: usize,
+    count: usize,
+    length: usize,
+    seed: u64,
+) -> Vec<Vec<Vector>> {
+    SequenceGenerator::new(domain, features, seed).sequences(count, length)
+}
+
+/// [`regime_pool`] over the slow-drift regime
+/// ([`InputDomain::drifting`]) — the workload adaptive thresholds are
+/// built for.
+pub fn drifting_pool(features: usize, count: usize, length: usize, seed: u64) -> Vec<Vec<Vector>> {
+    regime_pool(InputDomain::drifting(), features, count, length, seed)
+}
 
 /// Log-bucketed latency histogram: 64 power-of-two ranges × 16
 /// sub-buckets (≈3 % relative resolution), exact min/max/mean.
@@ -338,7 +370,7 @@ impl Scenario {
 }
 
 /// What a [`run_scenario`] measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScenarioReport {
     /// Requests sent (warmup + measured).
     pub sent: u64,
@@ -359,9 +391,22 @@ pub struct ScenarioReport {
     /// Offered rate for open-loop scenarios (requests/s), `None` for
     /// closed loop.
     pub offered_rate: Option<f64>,
+    /// Per-(model, predictor, threshold) engine-side statistics,
+    /// attached by the caller via
+    /// [`attach_context_stats`](ScenarioReport::attach_context_stats)
+    /// when it holds the serving engine (the loadgen itself only sees
+    /// the wire).  Rendered by [`summary`](ScenarioReport::summary).
+    pub context_stats: Vec<ContextStats>,
 }
 
 impl ScenarioReport {
+    /// Attaches engine-side per-context statistics
+    /// ([`Engine::context_stats`](nfm_serve::Engine::context_stats))
+    /// so [`summary`](ScenarioReport::summary) can report memo hit
+    /// rates and adaptive-controller state next to the latencies.
+    pub fn attach_context_stats(&mut self, stats: Vec<ContextStats>) {
+        self.context_stats = stats;
+    }
     /// Rejects received for `reason` during the measure phase.
     pub fn rejects(&self, reason: RejectReason) -> u64 {
         self.rejects_by_reason[reason.code() as usize]
@@ -382,9 +427,12 @@ impl ScenarioReport {
         answered as f64 / self.elapsed.as_secs_f64()
     }
 
-    /// One-line human summary.
+    /// Human summary: the one-line latency digest, plus one line per
+    /// attached engine context (memo hit rate, and for adaptive
+    /// predictors the SLO, the audit-error EWMA and the current
+    /// per-layer θ).
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "done {} · expired {} · rejected {} · p50 {:?} · p99 {:?} · p999 {:?} · {:.0} req/s",
             self.done,
             self.deadline_expired,
@@ -393,7 +441,27 @@ impl ScenarioReport {
             self.latency.p99(),
             self.latency.p999(),
             self.achieved_rate(),
-        )
+        );
+        for ctx in &self.context_stats {
+            out.push_str(&format!("\n  {}/{}", ctx.model, ctx.predictor));
+            if let Some(theta) = ctx.threshold_override {
+                out.push_str(&format!(" @θ={theta}"));
+            }
+            out.push_str(&format!(" · hit rate {:.1}%", ctx.hit_rate() * 100.0));
+            if let Some(control) = &ctx.control {
+                out.push_str(&format!(" · slo {:.4}", control.slo));
+                if let Some(ewma) = control.max_ewma_error() {
+                    out.push_str(&format!(" · ewma err {ewma:.4}"));
+                }
+                let thetas: Vec<String> = control
+                    .thresholds()
+                    .iter()
+                    .map(|t| format!("{t:.3}"))
+                    .collect();
+                out.push_str(&format!(" · θ [{}]", thetas.join(" ")));
+            }
+        }
+        out
     }
 }
 
@@ -531,6 +599,7 @@ pub fn run_scenario(
         rejects_by_reason: [0; RejectReason::ALL.len()],
         latency: LatencyHistogram::new(),
         elapsed: Duration::ZERO,
+        context_stats: Vec::new(),
         offered_rate: match scenario.arrival {
             ArrivalProcess::OpenLoopPoisson { rate_per_sec, .. } => Some(rate_per_sec),
             ArrivalProcess::ClosedLoop { .. } => None,
@@ -714,6 +783,57 @@ mod tests {
             .count();
         // 3:1 mix over 400 draws → ~300 hot; wide tolerance, zero flake.
         assert!((220..=380).contains(&hot), "hot={hot}");
+    }
+
+    #[test]
+    fn regime_pools_are_seed_deterministic() {
+        let a = drifting_pool(4, 3, 10, 77);
+        let b = regime_pool(InputDomain::drifting(), 4, 3, 10, 77);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|s| s.len() == 10 && s[0].len() == 4));
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert_eq!(u.as_slice(), v.as_slice());
+            }
+        }
+        let c = drifting_pool(4, 3, 10, 78);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.iter().zip(y).any(|(u, v)| u.as_slice() != v.as_slice())),
+            "different seeds should draw different pools"
+        );
+    }
+
+    #[test]
+    fn summary_renders_attached_context_stats() {
+        use nfm_core::{ControlSnapshot, LayerControl, ReuseStats};
+        let mut report = ScenarioReport::default();
+        let mut stats = ReuseStats::new();
+        stats.record_reused_many(3);
+        stats.record_computed();
+        report.attach_context_stats(vec![ContextStats {
+            model: "default".into(),
+            predictor: "adaptive".to_string(),
+            threshold_override: None,
+            stats,
+            control: Some(ControlSnapshot {
+                slo: 0.05,
+                layers: vec![LayerControl {
+                    threshold: 0.25,
+                    ewma_error: Some(0.04),
+                    hits: 3,
+                    audited: 1,
+                    error_sum: 0.04,
+                }],
+            }),
+        }]);
+        let text = report.summary();
+        assert!(text.contains("default/adaptive"), "{text}");
+        assert!(text.contains("hit rate 75.0%"), "{text}");
+        assert!(text.contains("slo 0.0500"), "{text}");
+        assert!(text.contains("ewma err 0.0400"), "{text}");
+        assert!(text.contains("θ [0.250]"), "{text}");
     }
 
     #[test]

@@ -157,7 +157,10 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::InvalidUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
             ProtocolError::InvalidDimensions { width, timesteps } => {
-                write!(f, "impossible geometry: {timesteps} timesteps of width {width}")
+                write!(
+                    f,
+                    "impossible geometry: {timesteps} timesteps of width {width}"
+                )
             }
             ProtocolError::Oversized { declared, max } => {
                 write!(f, "frame declares {declared} payload bytes, cap is {max}")

@@ -195,7 +195,7 @@ fn wants_read(conn: &Conn, max_outbox: usize) -> bool {
 /// [`ServerHandle`].
 pub struct NetServer {
     listener: TcpListener,
-    engine: Engine,
+    engine: Arc<Engine>,
     config: ServerConfig,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
@@ -234,7 +234,7 @@ impl NetServer {
         let shed_threshold = shed_threshold_for(engine.queue_capacity(), config.shed_low_watermark);
         Ok(NetServer {
             listener,
-            engine,
+            engine: Arc::new(engine),
             config,
             conns: HashMap::new(),
             next_conn: 0,
@@ -287,8 +287,14 @@ impl NetServer {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
+        let engine = Arc::clone(&self.engine);
         let thread = std::thread::spawn(move || self.run(&flag));
-        Ok(ServerHandle { addr, stop, thread })
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread,
+            engine,
+        })
     }
 
     /// One poll-loop sweep: accept, read/decode/admit, route completed
@@ -575,9 +581,10 @@ impl NetServer {
                 std::thread::sleep(self.config.idle_park);
             }
         }
-        // Workers may still be parked between the last response and
-        // their exit; join them and route any tail the final
-        // take_completed() missed.
+        // Route any tail the last sweep's take_completed() missed.
+        // The engine is `Arc`-shared with a possible `ServerHandle`;
+        // its workers are joined when the final handle drops (they are
+        // already draining — `initiate_shutdown` ran above).
         let NetServer {
             listener: _listener,
             engine,
@@ -587,7 +594,7 @@ impl NetServer {
             mut stats,
             ..
         } = self;
-        let tail = engine.shutdown();
+        let tail = engine.take_completed();
         for r in tail {
             match routes.get(&r.id) {
                 Some(&(conn_id, client_id)) => match conns.get_mut(&conn_id) {
@@ -652,12 +659,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: JoinHandle<ServerStats>,
+    engine: Arc<Engine>,
 }
 
 impl ServerHandle {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The engine behind the spawned server — live observability
+    /// ([`Engine::context_stats`], queue depth) while traffic runs.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Signals the serving thread to drain gracefully and joins it,

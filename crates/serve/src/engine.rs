@@ -1,10 +1,10 @@
 //! The serving engine: a bounded, priority-aware submission queue in
 //! front of worker threads that each drive per-model lane schedulers.
 
-use crate::registry::{ModelId, ModelRegistry};
+use crate::registry::{ContextKey, ModelId, ModelRegistry};
 use crate::request::{DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId};
 use crate::worker::{LaneWorker, MigratedLane, QueuedRequest, StealBridge};
-use nfm_core::PredictorKind;
+use nfm_core::{ControlSnapshot, PredictorKind, ReuseStats};
 use nfm_rnn::{DeepRnn, RnnError};
 use std::collections::VecDeque;
 use std::error::Error;
@@ -320,6 +320,7 @@ impl EngineBuilder {
                 idle_workers: 0,
                 migrations: 0,
                 lane_borrows: 0,
+                context_stats: (0..self.workers).map(|_| Vec::new()).collect(),
                 shutdown: false,
                 paused: self.paused,
                 error: None,
@@ -329,10 +330,12 @@ impl EngineBuilder {
             capacity: self.queue_capacity,
         });
         let mut handles = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
+        for index in 0..self.workers {
             let worker = LaneWorker::new(self.lanes, self.policy, self.override_context_cap);
             let shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || worker_loop(shared, worker)));
+            handles.push(std::thread::spawn(move || {
+                worker_loop(shared, worker, index)
+            }));
         }
         Ok(Engine {
             shared,
@@ -412,6 +415,10 @@ struct State {
     /// model admitted beyond its fair share into lanes its sibling
     /// contexts left idle).
     lane_borrows: u64,
+    /// Per-worker context-stats snapshots, republished (replaced, not
+    /// accumulated — evaluator counters are cumulative) every time a
+    /// worker drains the queue and goes idle.  Indexed by worker.
+    context_stats: Vec<Vec<(ContextKey, ReuseStats)>>,
     shutdown: bool,
     paused: bool,
     error: Option<String>,
@@ -469,7 +476,7 @@ impl StealBridge for EngineBridge {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
+fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker, index: usize) {
     loop {
         {
             let mut state = shared.state.lock().expect("engine state lock");
@@ -485,8 +492,13 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
                 }
                 // Parked workers are the donation signal: a saturated
                 // worker migrates an in-flight lane here only while
-                // someone is actually waiting to run it.
+                // someone is actually waiting to run it.  Parking also
+                // wakes `drain` waiters: they wait for *quiescence*
+                // (zero outstanding + every worker parked), which makes
+                // the context-stats snapshots published below complete
+                // by the time `drain` returns.
                 state.idle_workers += 1;
+                shared.done_cv.notify_all();
                 state = shared.work_cv.wait(state).expect("engine state lock");
                 state.idle_workers -= 1;
             }
@@ -515,6 +527,43 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker) {
             state.error.get_or_insert(error);
         };
         worker.pump(&mut pull, &bridge, &mut emit, &mut report);
+        // Publish this worker's per-context counters before parking (or
+        // exiting): `Engine::context_stats` merges these snapshots, and
+        // both quiescence points — `drain` returning, `shutdown`
+        // joining — happen after the publication.
+        let snapshots = worker.stats_snapshots();
+        let mut state = shared.state.lock().expect("engine state lock");
+        state.context_stats[index] = snapshots;
+    }
+}
+
+/// Aggregate statistics of one served (model, predictor, threshold)
+/// execution context, merged across workers — the engine's
+/// observability surface for memoization behavior
+/// ([`Engine::context_stats`]).
+#[derive(Debug, Clone)]
+pub struct ContextStats {
+    /// The model this context serves.
+    pub model: ModelId,
+    /// The predictor name the context was resolved under.
+    pub predictor: String,
+    /// The per-request threshold override that keyed this context,
+    /// `None` for the registered (model, predictor) combination.
+    pub threshold_override: Option<f32>,
+    /// Reuse counters accumulated by the context's evaluators across
+    /// every request they served (workers merged).
+    pub stats: ReuseStats,
+    /// Live controller state for adaptive predictors (current per-layer
+    /// θ, audit-error EWMA, hit/audit counters) — `None` for static
+    /// predictors and for threshold-override contexts.
+    pub control: Option<ControlSnapshot>,
+}
+
+impl ContextStats {
+    /// Fraction of neuron evaluations answered from the memo table,
+    /// `0.0` before any work.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.reuse_fraction()
     }
 }
 
@@ -619,6 +668,63 @@ impl Engine {
             .lock()
             .expect("engine state lock")
             .lane_borrows
+    }
+
+    /// Aggregate per-context memoization statistics: one entry per
+    /// served (model, predictor, threshold) combination, merged across
+    /// workers and sorted by (model, predictor, override θ bits) so the
+    /// listing is deterministic.  Adaptive predictors additionally
+    /// carry a live [`ControlSnapshot`] (current per-layer θ,
+    /// audit-error EWMA, hit/audit counters) fetched from the
+    /// registered factory at call time.
+    ///
+    /// Each worker republishes its counters every time it drains the
+    /// queue and goes idle, so under in-flight traffic the numbers can
+    /// trail the responses already taken; after [`drain`](Engine::drain)
+    /// (which waits for full quiescence) or
+    /// [`shutdown`](Engine::shutdown) they cover every answered
+    /// request.  Contexts born from threshold overrides may be
+    /// LRU-evicted while idle (see
+    /// [`EngineBuilder::override_context_cap`]); an evicted context's
+    /// counters leave the listing with it.
+    pub fn context_stats(&self) -> Vec<ContextStats> {
+        let per_worker = {
+            let state = self.shared.state.lock().expect("engine state lock");
+            state.context_stats.clone()
+        };
+        let mut merged: Vec<(ContextKey, ReuseStats)> = Vec::new();
+        for (key, stats) in per_worker.into_iter().flatten() {
+            match merged.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, acc)) => acc.merge(&stats),
+                None => merged.push((key, stats)),
+            }
+        }
+        merged.sort_by(|(a, _), (b, _)| {
+            (a.model.as_str(), a.predictor.as_ref(), a.threshold_bits).cmp(&(
+                b.model.as_str(),
+                b.predictor.as_ref(),
+                b.threshold_bits,
+            ))
+        });
+        merged
+            .into_iter()
+            .map(|(key, stats)| {
+                let control = if key.threshold_bits.is_none() {
+                    self.registry
+                        .find_predictor(&key.model, &key.predictor)
+                        .and_then(|p| p.control_snapshot())
+                } else {
+                    None
+                };
+                ContextStats {
+                    model: key.model.clone(),
+                    predictor: key.predictor.as_ref().to_string(),
+                    threshold_override: key.threshold_bits.map(f32::from_bits),
+                    stats,
+                    control,
+                }
+            })
+            .collect()
     }
 
     /// The kernel dispatch tier this process serves with (resolved once
@@ -778,13 +884,21 @@ impl Engine {
 
     /// Blocks until every submitted request has a response, then takes
     /// them all.  Resumes a paused engine first.
+    ///
+    /// `drain` waits for full quiescence — zero outstanding requests
+    /// *and* every worker parked — so the per-context counters behind
+    /// [`context_stats`](Engine::context_stats) are complete for all
+    /// returned responses by the time it returns.
     pub fn drain(&self) -> Vec<InferenceResponse> {
         let mut state = self.shared.state.lock().expect("engine state lock");
         if state.paused {
             state.paused = false;
             self.shared.work_cv.notify_all();
         }
-        while state.outstanding > 0 {
+        // During shutdown workers exit instead of parking, so the
+        // idle-worker quiescence condition only applies to a live
+        // engine (`shutdown` reaches quiescence by joining instead).
+        while state.outstanding > 0 || (!state.shutdown && state.idle_workers < self.workers) {
             state = self.shared.done_cv.wait(state).expect("engine state lock");
         }
         std::mem::take(&mut state.responses)
@@ -824,6 +938,9 @@ impl Engine {
         let mut state = self.shared.state.lock().expect("engine state lock");
         state.shutdown = true;
         self.shared.work_cv.notify_all();
+        // Wake `drain` waiters too: their quiescence condition changes
+        // shape under shutdown (workers exit instead of parking).
+        self.shared.done_cv.notify_all();
     }
 }
 

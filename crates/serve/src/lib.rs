@@ -66,7 +66,7 @@ pub mod request;
 pub mod runner;
 mod worker;
 
-pub use engine::{Engine, EngineBuilder, EngineError, DEFAULT_MODEL};
+pub use engine::{ContextStats, Engine, EngineBuilder, EngineError, DEFAULT_MODEL};
 pub use nfm_tensor::backend::KernelBackend;
 pub use registry::{ModelId, ModelRegistry};
 pub use request::{

@@ -249,6 +249,22 @@ impl ModelRegistry {
             .map(|e| &e.network)
     }
 
+    /// The registered factory for `(model, name)`, if any.  The
+    /// engine's observability path resolves live
+    /// [`control_snapshot`](nfm_core::Predictor::control_snapshot)s
+    /// through it.
+    pub(crate) fn find_predictor(
+        &self,
+        model: &ModelId,
+        name: &str,
+    ) -> Option<&Arc<dyn Predictor>> {
+        self.models
+            .iter()
+            .find(|e| &e.id == model)
+            .and_then(|e| e.predictors.iter().find(|(n, _)| n.as_ref() == name))
+            .map(|(_, predictor)| predictor)
+    }
+
     /// Resolves a request's options to the concrete network + predictor
     /// pair a worker must serve it with.
     pub(crate) fn resolve(&self, options: &RequestOptions) -> Result<Resolved, EngineError> {

@@ -330,6 +330,21 @@ impl LaneWorker {
         }
     }
 
+    /// Aggregate reuse counters of every live execution context, keyed
+    /// by context identity — the feed behind
+    /// [`Engine::context_stats`](crate::Engine::context_stats).
+    /// Evaluators that keep no counters (custom predictors without
+    /// [`ServedEvaluator::stats_snapshot`]) report empty stats.
+    pub(crate) fn stats_snapshots(&self) -> Vec<(ContextKey, ReuseStats)> {
+        self.contexts
+            .iter()
+            .map(|c| {
+                let stats = c.evaluator.stats_snapshot().unwrap_or_default();
+                (c.key.clone(), stats)
+            })
+            .collect()
+    }
+
     /// Drains work from `pull` (and migrated lanes from `bridge`) until
     /// both run dry and every context is idle, emitting one response
     /// per request.  Internal execution errors (which submit-time

@@ -35,6 +35,34 @@ pub enum InputDomain {
         /// Probability of repeating the previous token (stickiness).
         repeat_probability: f64,
     },
+    /// Slow input drift: AR(1) frames around a mean that random-walks,
+    /// so the operating point of the sequence migrates over time — the
+    /// regime that invalidates a θ tuned offline.
+    DriftingFrames {
+        /// Frame-to-frame correlation coefficient `ρ` in `(0, 1)`.
+        correlation: f32,
+        /// Per-step standard deviation of the mean's random walk.
+        drift: f32,
+    },
+    /// Bursty regime switches: a two-state sticky Markov chain flips
+    /// between a calm high-correlation regime and a bursty
+    /// low-correlation one, so hit rates collapse and recover abruptly.
+    RegimeSwitching {
+        /// Correlation of the calm regime (high, e.g. 0.98).
+        calm_correlation: f32,
+        /// Correlation of the bursty regime (low, e.g. 0.4).
+        burst_correlation: f32,
+        /// Per-step probability of switching regimes (small = sticky).
+        switch_probability: f64,
+    },
+    /// Long-memory sequences: a sum of AR(1) components at
+    /// geometrically spaced timescales (à la long-range-dependent
+    /// processes), so similarity has structure far beyond one step.
+    LongMemory {
+        /// Number of superimposed timescales (≥ 1); component `k` has
+        /// correlation `1 − 2^{-(k+1)}`.
+        timescales: usize,
+    },
 }
 
 impl InputDomain {
@@ -53,6 +81,30 @@ impl InputDomain {
                 repeat_probability: 0.15,
             },
         }
+    }
+
+    /// The default slow-drift regime used by the adaptive-threshold
+    /// experiments: audio-like correlation with a mean that walks.
+    pub fn drifting() -> InputDomain {
+        InputDomain::DriftingFrames {
+            correlation: 0.95,
+            drift: 0.05,
+        }
+    }
+
+    /// The default bursty regime: sticky switches between a calm
+    /// (ρ = 0.98) and a bursty (ρ = 0.4) state.
+    pub fn bursty() -> InputDomain {
+        InputDomain::RegimeSwitching {
+            calm_correlation: 0.98,
+            burst_correlation: 0.4,
+            switch_probability: 0.04,
+        }
+    }
+
+    /// The default long-memory regime: four superimposed timescales.
+    pub fn long_memory() -> InputDomain {
+        InputDomain::LongMemory { timescales: 4 }
     }
 }
 
@@ -77,7 +129,7 @@ impl SequenceGenerator {
                     .map(|_| Vector::from_fn(features, |_| emb_rng.normal_with(0.0, 0.4)))
                     .collect()
             }
-            InputDomain::AudioFrames { .. } => Vec::new(),
+            _ => Vec::new(),
         };
         SequenceGenerator {
             domain,
@@ -110,6 +162,20 @@ impl SequenceGenerator {
                 vocabulary,
                 repeat_probability,
             } => self.token_sequence(length, vocabulary, repeat_probability),
+            InputDomain::DriftingFrames { correlation, drift } => {
+                self.drifting_sequence(length, correlation, drift)
+            }
+            InputDomain::RegimeSwitching {
+                calm_correlation,
+                burst_correlation,
+                switch_probability,
+            } => self.switching_sequence(
+                length,
+                calm_correlation,
+                burst_correlation,
+                switch_probability,
+            ),
+            InputDomain::LongMemory { timescales } => self.long_memory_sequence(length, timescales),
         }
     }
 
@@ -127,6 +193,74 @@ impl SequenceGenerator {
                     rho * frame[i] + innovation * self.rng.normal_with(0.0, 0.5)
                 });
                 frame.clone()
+            })
+            .collect()
+    }
+
+    fn drifting_sequence(&mut self, length: usize, rho: f32, drift: f32) -> Vec<Vector> {
+        let innovation = (1.0 - rho * rho).sqrt();
+        let mut mean = Vector::from_fn(self.features, |_| self.rng.normal_with(0.0, 0.5));
+        let mut deviation = Vector::from_fn(self.features, |_| self.rng.normal_with(0.0, 0.5));
+        (0..length)
+            .map(|_| {
+                // The mean random-walks slowly; frames are AR(1) around it.
+                mean = Vector::from_fn(self.features, |i| {
+                    mean[i] + drift * self.rng.normal_with(0.0, 1.0)
+                });
+                deviation = Vector::from_fn(self.features, |i| {
+                    rho * deviation[i] + innovation * self.rng.normal_with(0.0, 0.5)
+                });
+                mean.add(&deviation).expect("equal widths")
+            })
+            .collect()
+    }
+
+    fn switching_sequence(
+        &mut self,
+        length: usize,
+        calm_rho: f32,
+        burst_rho: f32,
+        switch_probability: f64,
+    ) -> Vec<Vector> {
+        let mut calm = true;
+        let mut frame = Vector::from_fn(self.features, |_| self.rng.normal_with(0.0, 0.5));
+        (0..length)
+            .map(|_| {
+                if self.rng.coin(switch_probability) {
+                    calm = !calm;
+                }
+                let rho = if calm { calm_rho } else { burst_rho };
+                let innovation = (1.0 - rho * rho).sqrt();
+                frame = Vector::from_fn(self.features, |i| {
+                    rho * frame[i] + innovation * self.rng.normal_with(0.0, 0.5)
+                });
+                frame.clone()
+            })
+            .collect()
+    }
+
+    fn long_memory_sequence(&mut self, length: usize, timescales: usize) -> Vec<Vector> {
+        let timescales = timescales.max(1);
+        // Component k follows AR(1) with ρ_k = 1 − 2^{-(k+1)}: the sum
+        // exhibits correlation at every represented timescale.
+        let rhos: Vec<f32> = (0..timescales)
+            .map(|k| 1.0 - (2.0f32).powi(-(k as i32 + 1)))
+            .collect();
+        let scale = 1.0 / (timescales as f32).sqrt();
+        let mut components: Vec<Vector> = (0..timescales)
+            .map(|_| Vector::from_fn(self.features, |_| self.rng.normal_with(0.0, 0.5)))
+            .collect();
+        (0..length)
+            .map(|_| {
+                for (component, &rho) in components.iter_mut().zip(&rhos) {
+                    let innovation = (1.0 - rho * rho).sqrt();
+                    *component = Vector::from_fn(self.features, |i| {
+                        rho * component[i] + innovation * self.rng.normal_with(0.0, 0.5)
+                    });
+                }
+                Vector::from_fn(self.features, |i| {
+                    components.iter().map(|c| c[i]).sum::<f32>() * scale
+                })
             })
             .collect()
     }
@@ -258,5 +392,70 @@ mod tests {
     fn mean_change_of_short_sequences_is_zero() {
         assert_eq!(mean_consecutive_change(&[]), 0.0);
         assert_eq!(mean_consecutive_change(&[Vector::zeros(3)]), 0.0);
+    }
+
+    #[test]
+    fn drifting_frames_migrate_their_operating_point() {
+        let mut g = SequenceGenerator::new(InputDomain::drifting(), 16, 11);
+        let seq = g.sequence(400);
+        // The windowed mean of the first and last segments must differ
+        // far more than within-window variation: the regime drifts.
+        let window_mean = |frames: &[Vector]| {
+            let mut acc = Vector::zeros(16);
+            for f in frames {
+                acc = acc.add(f).unwrap();
+            }
+            acc.scale(1.0 / frames.len() as f32)
+        };
+        let head = window_mean(&seq[..50]);
+        let tail = window_mean(&seq[350..]);
+        let moved = tail.sub(&head).unwrap().norm2();
+        assert!(moved > 1.0, "mean should migrate, moved {moved}");
+        // Consecutive frames still change slowly (the reuse opportunity
+        // is intact even while the operating point moves).
+        assert!(mean_consecutive_change(&seq) < 1.0);
+    }
+
+    #[test]
+    fn regime_switching_mixes_calm_and_bursty_steps() {
+        let mut g = SequenceGenerator::new(InputDomain::bursty(), 16, 13);
+        let seq = g.sequence(600);
+        let changes: Vec<f32> = seq
+            .windows(2)
+            .map(|w| {
+                let denom = w[0].norm2().max(1e-6);
+                w[1].sub(&w[0]).unwrap().norm2() / denom
+            })
+            .collect();
+        let calm_steps = changes.iter().filter(|&&c| c < 0.3).count();
+        let burst_steps = changes.iter().filter(|&&c| c > 0.7).count();
+        assert!(calm_steps > 50, "calm steps present: {calm_steps}");
+        assert!(burst_steps > 20, "bursty steps present: {burst_steps}");
+    }
+
+    #[test]
+    fn long_memory_is_smoother_than_its_fastest_component() {
+        let mut long = SequenceGenerator::new(InputDomain::long_memory(), 16, 17);
+        let mut fast =
+            SequenceGenerator::new(InputDomain::AudioFrames { correlation: 0.5 }, 16, 17);
+        let l = mean_consecutive_change(&long.sequence(300));
+        let f = mean_consecutive_change(&fast.sequence(300));
+        assert!(
+            l < f,
+            "long-memory change {l} should undercut the ρ=0.5 AR(1) change {f}"
+        );
+    }
+
+    #[test]
+    fn regime_generation_is_deterministic_per_seed() {
+        for domain in [
+            InputDomain::drifting(),
+            InputDomain::bursty(),
+            InputDomain::long_memory(),
+        ] {
+            let mk = |seed| SequenceGenerator::new(domain, 8, seed).sequence(30);
+            assert_eq!(mk(7), mk(7));
+            assert_ne!(mk(7), mk(8));
+        }
     }
 }

@@ -11,6 +11,8 @@
 //! * [`rnn`] — LSTM/GRU cells, layers and deep networks.
 //! * [`bnn`] — binarized (bitwise) network substrate.
 //! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
+//! * [`control`] — online adaptive threshold controller holding an
+//!   accuracy SLO from deterministic audit sampling.
 //! * [`serve`] — the request-oriented serving engine (multi-model
 //!   registry, per-request options, deadlines, unified lane scheduler
 //!   with mid-wave refill, cross-context lane borrowing and worker
@@ -46,6 +48,7 @@
 
 pub use nfm_accel as accel;
 pub use nfm_bnn as bnn;
+pub use nfm_control as control;
 pub use nfm_eval as eval;
 pub use nfm_loadgen as loadgen;
 pub use nfm_net as net;
