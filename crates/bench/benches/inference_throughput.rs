@@ -37,8 +37,8 @@ use nfm_rnn::{
     Result as RnnResult, RnnError,
 };
 use nfm_serve::{
-    EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner, ModelRegistry,
-    PredictorKind,
+    CanaryConfig, EngineBuilder, InferenceRequest, InferenceResponse, MemoizedRunner,
+    ModelRegistry, PredictorKind, RequestOptions, SwapOutcome,
 };
 use nfm_tensor::backend::KernelBackend;
 use nfm_tensor::rng::DeterministicRng;
@@ -452,12 +452,15 @@ fn main() {
     bench.bench("inference/engine_two_model/mixed", || {
         for (i, s) in ragged.iter().enumerate() {
             two_model_engine
-                .submit(InferenceRequest::new(i as u64, s.clone()).for_model("imdb-half"))
+                .submit(
+                    InferenceRequest::new(i as u64, s.clone())
+                        .with_options(RequestOptions::for_model("imdb-half")),
+                )
                 .expect("submit");
             two_model_engine
                 .submit(
                     InferenceRequest::new(1000 + i as u64, second_ragged[i].clone())
-                        .for_model("imdb-quarter"),
+                        .with_options(RequestOptions::for_model("imdb-quarter")),
                 )
                 .expect("submit");
         }
@@ -543,13 +546,9 @@ fn main() {
     let submit_skewed = |engine: &nfm_serve::Engine| -> Vec<InferenceResponse> {
         for (i, (hot, s)) in skewed.iter().enumerate() {
             engine
-                .submit(
-                    InferenceRequest::new(i as u64, s.clone()).for_model(if *hot {
-                        "ds2-hot"
-                    } else {
-                        "imdb-cold"
-                    }),
-                )
+                .submit(InferenceRequest::new(i as u64, s.clone()).with_options(
+                    RequestOptions::for_model(if *hot { "ds2-hot" } else { "imdb-cold" }),
+                ))
                 .expect("submit");
         }
         engine.drain()
@@ -660,7 +659,7 @@ fn main() {
                     .expect("send");
                 match client.recv().expect("recv") {
                     ServerFrame::Response(r) => black_box(r.outputs.len()),
-                    ServerFrame::Reject(r) => panic!("rejected: {}", r.message),
+                    other => panic!("unexpected frame: {other:?}"),
                 }
             },
         );
@@ -929,6 +928,101 @@ fn main() {
         pairs
     };
 
+    // Per-shape kernel autotuning: the fixed historical blocking
+    // (`Blocking::Quad4` for dual_matmul) against whatever
+    // `tune_gate_shape` measured as fastest for this (shape, backend)
+    // and installed in the process-wide cache.  The tuned entry can tie
+    // the fixed one (when Quad4 wins the shape) but must never lose
+    // beyond run-to-run noise — that is the autotuner's contract.
+    {
+        use nfm_tensor::autotune;
+        const TUNE_LANES: usize = 8;
+        let shapes = [
+            ("small", 32usize, 16usize, 32usize),
+            ("medium", 128usize, 64usize, 128usize),
+        ];
+        for (size, rows, xc, hc) in shapes {
+            let mut rng = DeterministicRng::seed_from_u64(0x7A11 ^ rows as u64);
+            let wx = Matrix::from_fn(rows, xc, |_, _| rng.uniform(-1.0, 1.0));
+            let wh = Matrix::from_fn(rows, hc, |_, _| rng.uniform(-1.0, 1.0));
+            let xs: Vec<f32> = (0..xc * TUNE_LANES)
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect();
+            let hs: Vec<f32> = (0..hc * TUNE_LANES)
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect();
+            let mut out_fixed = vec![0.0f32; rows * TUNE_LANES];
+            let mut out_tuned = vec![0.0f32; rows * TUNE_LANES];
+            let plan =
+                autotune::tune_gate_shape(rows, xc, hc, TUNE_LANES, nfm_tensor::backend::active());
+            plan.install();
+            bench.bench_pair(
+                &format!("kernel/autotune/dual_matmul_fixed/{size}"),
+                || {
+                    kernels::dual_matmul_into(&wx, &wh, &xs, &hs, TUNE_LANES, &mut out_fixed)
+                        .expect("kernel");
+                    black_box(out_fixed[0])
+                },
+                &format!("kernel/autotune/dual_matmul_tuned/{size}"),
+                || {
+                    kernels::dual_matmul_into_tuned(&wx, &wh, &xs, &hs, TUNE_LANES, &mut out_tuned)
+                        .expect("kernel");
+                    black_box(out_tuned[0])
+                },
+            );
+            assert_eq!(out_fixed, out_tuned, "blocking must not change results");
+        }
+    }
+
+    // Hot-swap cost: a full stage → canary (every request, paired with
+    // an incumbent shadow) → promote cycle of an identical-weights
+    // artifact, against the same 8-request traffic on a quiet engine.
+    // The gap prices the canary double-execution plus the registry
+    // locking — the steady-state overhead a live swap imposes.
+    {
+        let w = workload(NetworkId::ImdbSentiment, 0.25, 8, 24);
+        let artifact = nfm_model::save_to_vec(w.network(), None).expect("artifact serializes");
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("kws", w.network().clone(), PredictorKind::Exact)
+            .expect("register");
+        let engine = EngineBuilder::from_registry(registry)
+            .lanes(ENGINE_LANES)
+            .workers(1)
+            .queue_capacity(64)
+            .build()
+            .expect("engine builds");
+        let submit_pool = |engine: &nfm_serve::Engine| {
+            for (i, seq) in w.sequences().iter().enumerate() {
+                engine
+                    .submit(InferenceRequest::new(i as u64, seq.clone()))
+                    .expect("submit");
+            }
+            engine.drain().len()
+        };
+        bench.bench_pair(
+            "inference/model_swap/baseline",
+            || black_box(submit_pool(&engine)),
+            "inference/model_swap/stage_promote",
+            || {
+                engine
+                    .swap_model_artifact(
+                        "kws",
+                        &artifact,
+                        &[PredictorKind::Exact],
+                        CanaryConfig::fraction(1.0).min_requests(4),
+                    )
+                    .expect("stage");
+                let served = submit_pool(&engine);
+                let reports = engine.swap_reports();
+                assert_eq!(reports.len(), 1, "swap must decide within the pool");
+                assert_eq!(reports[0].outcome, SwapOutcome::Promoted);
+                black_box(served)
+            },
+        );
+        engine.shutdown();
+    }
+
     // Pin how this snapshot was measured: the dispatch tier the
     // inference/* entries ran on.
     bench.set_meta("kernel_backend", nfm_tensor::backend::active().name());
@@ -988,6 +1082,18 @@ fn main() {
             "inference/adaptive_vs_static/adaptive",
         ),
         ("runner/sequential", "runner/parallel"),
+        (
+            "kernel/autotune/dual_matmul_fixed/small",
+            "kernel/autotune/dual_matmul_tuned/small",
+        ),
+        (
+            "kernel/autotune/dual_matmul_fixed/medium",
+            "kernel/autotune/dual_matmul_tuned/medium",
+        ),
+        (
+            "inference/model_swap/baseline",
+            "inference/model_swap/stage_promote",
+        ),
     ];
     let speedups: Vec<(&str, &str)> = static_speedups
         .into_iter()

@@ -1,6 +1,37 @@
 //! Packed sign vectors and the XNOR-popcount dot product.
 
 use crate::{BnnError, Result};
+use nfm_tensor::arena::{ArenaU64, TensorArena};
+use std::sync::Arc;
+
+/// Backing storage of a bit vector's packed words: owned, or a borrowed
+/// window of a loaded model arena (the saved BNN mirror).  Mutation of
+/// arena-backed words falls back to copy-on-write.
+#[derive(Debug, Clone)]
+enum Words {
+    Owned(Vec<u64>),
+    Arena(ArenaU64),
+}
+
+impl Words {
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Words::Owned(v) => v,
+            Words::Arena(a) => a.as_slice(),
+        }
+    }
+
+    fn make_mut(&mut self) -> &mut Vec<u64> {
+        if let Words::Arena(a) = self {
+            *self = Words::Owned(a.as_slice().to_vec());
+        }
+        match self {
+            Words::Owned(v) => v,
+            Words::Arena(_) => unreachable!("converted above"),
+        }
+    }
+}
 
 /// A bit-packed vector of signs: bit `i` is `1` when the `i`-th value is
 /// non-negative (`+1`) and `0` when it is negative (`-1`).
@@ -11,19 +42,58 @@ use crate::{BnnError, Result};
 /// each disagreement `-1`.  This is exactly what the paper's BDPU
 /// (binary dot-product unit) computes with an XNOR array and an adder
 /// tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct BitVector {
-    words: Vec<u64>,
+    words: Words,
     len: usize,
+}
+
+impl PartialEq for BitVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words.as_slice() == other.words.as_slice()
+    }
+}
+
+impl Eq for BitVector {}
+
+impl std::hash::Hash for BitVector {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words.as_slice().hash(state);
+    }
 }
 
 impl BitVector {
     /// Creates an all-zero (all-negative-sign) vector of the given length.
     pub fn zeros(len: usize) -> Self {
         BitVector {
-            words: vec![0; len.div_ceil(64)],
+            words: Words::Owned(vec![0; len.div_ceil(64)]),
             len,
         }
+    }
+
+    /// Creates a bit vector whose packed words are a borrowed window of
+    /// a shared model arena — the zero-copy path for a saved BNN mirror.
+    /// The window must hold exactly `len.div_ceil(64)` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if the window is misaligned or escapes
+    /// the arena.
+    pub fn from_arena(
+        arena: Arc<TensorArena>,
+        byte_offset: usize,
+        len: usize,
+    ) -> std::result::Result<Self, nfm_tensor::TensorError> {
+        Ok(BitVector {
+            words: Words::Arena(ArenaU64::new(arena, byte_offset, len.div_ceil(64))?),
+            len,
+        })
+    }
+
+    /// Returns `true` if the packed words borrow a model arena.
+    pub fn is_arena_backed(&self) -> bool {
+        matches!(self.words, Words::Arena(_))
     }
 
     /// Packs the signs of a slice of values (non-negative → bit set).
@@ -40,9 +110,10 @@ impl BitVector {
     pub fn fill_from_signs(&mut self, values: &[f32]) {
         self.len = values.len();
         let words = values.len().div_ceil(64);
-        self.words.clear();
-        self.words.resize(words, 0);
-        for (word, chunk) in self.words.iter_mut().zip(values.chunks(64)) {
+        let store = self.words.make_mut();
+        store.clear();
+        store.resize(words, 0);
+        for (word, chunk) in store.iter_mut().zip(values.chunks(64)) {
             let mut bits = 0u64;
             for (i, &x) in chunk.iter().enumerate() {
                 bits |= ((x >= 0.0) as u64) << i;
@@ -99,7 +170,14 @@ impl BitVector {
     /// The packed word storage (for the crate's popcount kernels).
     #[inline]
     pub(crate) fn word_slice(&self) -> &[u64] {
-        &self.words
+        self.words.as_slice()
+    }
+
+    /// The packed word storage — one `u64` per 64 signs, tail bits zero.
+    /// Exposed so the model-artifact writer can serialize a prebuilt
+    /// mirror without re-binarizing.
+    pub fn words(&self) -> &[u64] {
+        self.words.as_slice()
     }
 
     /// Returns `true` if the vector holds no signs.
@@ -114,7 +192,7 @@ impl BitVector {
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        (self.words.as_slice()[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Sets bit `i`.
@@ -124,7 +202,7 @@ impl BitVector {
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
-        let word = &mut self.words[i / 64];
+        let word = &mut self.words.make_mut()[i / 64];
         let mask = 1u64 << (i % 64);
         if value {
             *word |= mask;
@@ -135,7 +213,7 @@ impl BitVector {
 
     /// Number of set bits (positive signs).
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.words.as_slice().iter().map(|w| w.count_ones()).sum()
     }
 
     /// The sign at position `i` as `+1.0` / `-1.0`.
@@ -185,8 +263,10 @@ impl BitVector {
             return 0;
         }
         let full_words = self.len / 64;
-        let mut agreements =
-            crate::popcount::xnor_agreements(&self.words[..full_words], &other.words[..full_words]);
+        let mut agreements = crate::popcount::xnor_agreements(
+            &self.words.as_slice()[..full_words],
+            &other.words.as_slice()[..full_words],
+        );
         agreements += self.tail_agreements(other, full_words);
         2 * agreements as i32 - self.len as i32
     }
@@ -224,8 +304,8 @@ impl BitVector {
         let full_words = self.len / 64;
         let mut agreements = crate::popcount::xnor_agreements_on(
             backend,
-            &self.words[..full_words],
-            &other.words[..full_words],
+            &self.words.as_slice()[..full_words],
+            &other.words.as_slice()[..full_words],
         );
         agreements += self.tail_agreements(other, full_words);
         Ok(2 * agreements as i32 - self.len as i32)
@@ -240,7 +320,7 @@ impl BitVector {
             return 0;
         }
         let mask = (1u64 << tail) - 1;
-        let xnor = !(self.words[full_words] ^ other.words[full_words]) & mask;
+        let xnor = !(self.words.as_slice()[full_words] ^ other.words.as_slice()[full_words]) & mask;
         xnor.count_ones()
     }
 
@@ -266,7 +346,7 @@ impl BitVector {
     /// the accelerator area/energy model (the sign buffer stores exactly
     /// these bits).
     pub fn storage_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words.as_slice().len() * 8
     }
 }
 

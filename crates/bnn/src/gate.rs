@@ -37,6 +37,69 @@ impl BinaryGate {
         }
     }
 
+    /// Reassembles a mirror from explicit per-neuron sign rows — the
+    /// path a loaded model artifact takes, so the prebuilt mirror never
+    /// has to be re-binarized from full-precision weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnnError::LengthMismatch`](crate::BnnError) if the row
+    /// counts differ or any row's width disagrees with the declared
+    /// sizes.
+    pub fn from_rows(
+        wx_rows: Vec<BitVector>,
+        wh_rows: Vec<BitVector>,
+        input_size: usize,
+        hidden_size: usize,
+    ) -> Result<Self> {
+        if wx_rows.len() != wh_rows.len() {
+            return Err(crate::BnnError::LengthMismatch {
+                left: wx_rows.len(),
+                right: wh_rows.len(),
+            });
+        }
+        for row in &wx_rows {
+            if row.len() != input_size {
+                return Err(crate::BnnError::LengthMismatch {
+                    left: row.len(),
+                    right: input_size,
+                });
+            }
+        }
+        for row in &wh_rows {
+            if row.len() != hidden_size {
+                return Err(crate::BnnError::LengthMismatch {
+                    left: row.len(),
+                    right: hidden_size,
+                });
+            }
+        }
+        Ok(BinaryGate {
+            wx_rows,
+            wh_rows,
+            input_size,
+            hidden_size,
+        })
+    }
+
+    /// Packed signs of neuron `n`'s forward-weight row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()`.
+    pub fn wx_row(&self, n: usize) -> &BitVector {
+        &self.wx_rows[n]
+    }
+
+    /// Packed signs of neuron `n`'s recurrent-weight row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.neurons()`.
+    pub fn wh_row(&self, n: usize) -> &BitVector {
+        &self.wh_rows[n]
+    }
+
     /// Number of neurons in the mirrored gate.
     pub fn neurons(&self) -> usize {
         self.wx_rows.len()

@@ -28,6 +28,12 @@ impl BinaryNetwork {
         BinaryNetwork { gates }
     }
 
+    /// Reassembles a mirror from explicit per-gate binary mirrors — the
+    /// path a loaded model artifact takes.
+    pub fn from_gates(gates: HashMap<GateId, BinaryGate>) -> Self {
+        BinaryNetwork { gates }
+    }
+
     /// Number of mirrored gates.
     pub fn gate_count(&self) -> usize {
         self.gates.len()

@@ -545,6 +545,9 @@ fn account(
         ServerFrame::Reject(r) => {
             report.rejects_by_reason[r.reason.code() as usize] += 1;
         }
+        // The loadgen never sends admin frames, so an ack cannot be
+        // meant for one of its in-flight requests; ignore it.
+        ServerFrame::AdminOk(_) => {}
     }
 }
 
@@ -814,6 +817,7 @@ mod tests {
         stats.record_computed();
         report.attach_context_stats(vec![ContextStats {
             model: "default".into(),
+            version: 1,
             predictor: "adaptive".to_string(),
             threshold_override: None,
             stats,

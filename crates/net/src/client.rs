@@ -8,7 +8,7 @@
 //! [`try_recv`](NetClient::try_recv) flips the socket nonblocking for
 //! open-loop senders that must not stall on slow responses.
 
-use crate::protocol::{FrameAssembler, ProtocolError, ServerFrame, WireRequest};
+use crate::protocol::{FrameAssembler, ProtocolError, ServerFrame, WireAdmin, WireRequest};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -102,6 +102,40 @@ impl NetClient {
         self.stream.set_nonblocking(false)?;
         self.stream.write_all(&self.scratch)?;
         Ok(())
+    }
+
+    /// Encodes and writes one admin frame (blocking until the socket
+    /// accepted all of it).  The ack arrives as a regular
+    /// [`ServerFrame`] — use [`admin`](NetClient::admin) for the
+    /// send-and-wait round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send_admin(&mut self, admin: &WireAdmin) -> Result<(), NetError> {
+        self.scratch.clear();
+        admin.encode(&mut self.scratch);
+        self.stream.set_nonblocking(false)?;
+        self.stream.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Sends one admin operation and blocks for the server's verdict:
+    /// [`ServerFrame::AdminOk`] on success, [`ServerFrame::Reject`]
+    /// with the typed reason otherwise.
+    ///
+    /// Intended for a dedicated control connection: on a connection
+    /// with inference requests in flight, the next frame may be one of
+    /// their responses rather than this ack (match on
+    /// [`ServerFrame::id`] in that case).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF, otherwise socket or
+    /// decode failures.
+    pub fn admin(&mut self, admin: &WireAdmin) -> Result<ServerFrame, NetError> {
+        self.send_admin(admin)?;
+        self.recv()
     }
 
     /// Blocks until the next server frame arrives (response or typed

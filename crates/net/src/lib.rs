@@ -46,7 +46,7 @@
 //!     .unwrap();
 //! match client.recv().unwrap() {
 //!     ServerFrame::Response(r) => assert_eq!(r.id, 1),
-//!     ServerFrame::Reject(r) => panic!("rejected: {}", r.message),
+//!     other => panic!("unexpected frame: {other:?}"),
 //! }
 //!
 //! let stats = handle.shutdown();
@@ -59,7 +59,8 @@ pub mod server;
 
 pub use client::{NetClient, NetError};
 pub use protocol::{
-    FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireReject, WireRequest,
-    WireResponse, WireStats, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    AdminOp, FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireAdmin, WireAdminOk,
+    WirePredictorKind, WireReject, WireRequest, WireResponse, WireStats, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

@@ -28,7 +28,7 @@
 //! prefix (which the receiver refuses to buffer) poisons the stream,
 //! and the server closes the connection after rejecting it.
 
-use nfm_core::ReuseStats;
+use nfm_core::{BnnMemoConfig, OracleMemoConfig, PredictorKind, ReuseStats};
 use nfm_serve::{CompletionStatus, InferenceResponse, Priority};
 use nfm_tensor::Vector;
 use std::error::Error;
@@ -46,6 +46,11 @@ pub const FRAME_REQUEST: u8 = 0x01;
 pub const FRAME_RESPONSE: u8 = 0x02;
 /// Frame kind byte of a server → client typed reject.
 pub const FRAME_REJECT: u8 = 0x03;
+/// Frame kind byte of a client → server admin operation (hot swap /
+/// evict).
+pub const FRAME_ADMIN: u8 = 0x04;
+/// Frame kind byte of a server → client admin acknowledgement.
+pub const FRAME_ADMIN_OK: u8 = 0x05;
 
 /// Default cap on a single frame's payload (16 MiB ≈ a 1 M-timestep
 /// sequence of width 4).  Frames declaring more are rejected before a
@@ -119,6 +124,17 @@ pub enum ProtocolError {
         /// The declared timestep count.
         timesteps: u32,
     },
+    /// The admin-op byte names no admin operation.
+    UnknownAdminOp {
+        /// The byte received.
+        found: u8,
+    },
+    /// The predictor-kind byte of an admin swap names no predictor
+    /// kind.
+    UnknownPredictorKind {
+        /// The byte received.
+        found: u8,
+    },
     /// The length prefix declares a payload larger than the receiver's
     /// frame cap.  The receiver refuses to buffer it; since the
     /// declared length can no longer be trusted as a frame boundary,
@@ -161,6 +177,12 @@ impl fmt::Display for ProtocolError {
                     f,
                     "impossible geometry: {timesteps} timesteps of width {width}"
                 )
+            }
+            ProtocolError::UnknownAdminOp { found } => {
+                write!(f, "unknown admin-op byte {found}")
+            }
+            ProtocolError::UnknownPredictorKind { found } => {
+                write!(f, "unknown predictor-kind byte {found}")
             }
             ProtocolError::Oversized { declared, max } => {
                 write!(f, "frame declares {declared} payload bytes, cap is {max}")
@@ -672,13 +694,297 @@ impl WireReject {
     }
 }
 
-/// A server → client frame: a response or a typed reject.
+/// Predictor selection inside an admin swap, flattened for the wire:
+/// a kind byte (`0` exact, `1` BNN, `2` oracle) followed by an `f32`
+/// threshold θ for the kinds that take one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WirePredictorKind {
+    /// No memoization: the exact baseline.
+    Exact,
+    /// The BNN predictor at this reuse threshold θ.
+    Bnn(f32),
+    /// The oracle predictor at this reuse threshold θ.
+    Oracle(f32),
+}
+
+impl WirePredictorKind {
+    /// The engine-side kind this wire selection names.
+    pub fn to_kind(self) -> PredictorKind {
+        match self {
+            WirePredictorKind::Exact => PredictorKind::Exact,
+            WirePredictorKind::Bnn(theta) => {
+                PredictorKind::Bnn(BnnMemoConfig::with_threshold(theta))
+            }
+            WirePredictorKind::Oracle(theta) => {
+                PredictorKind::Oracle(OracleMemoConfig::with_threshold(theta))
+            }
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            WirePredictorKind::Exact => 0,
+            WirePredictorKind::Bnn(_) => 1,
+            WirePredictorKind::Oracle(_) => 2,
+        }
+    }
+}
+
+/// The operation an admin frame requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminOp {
+    /// Stage `artifact` as the next version of `model` and canary a
+    /// fraction of its live traffic onto it (the engine's
+    /// `swap_model_artifact`).
+    Swap {
+        /// The model to swap.
+        model: String,
+        /// Predictors the staged version serves (at least one).
+        predictors: Vec<WirePredictorKind>,
+        /// Fraction of the model's traffic to canary, `(0, 1]`.
+        fraction: f32,
+        /// Clean canary comparisons required to promote.
+        min_requests: u64,
+        /// Largest tolerated absolute output difference.
+        tolerance: f32,
+        /// The serialized model artifact (`nfm-model` format).
+        artifact: Vec<u8>,
+    },
+    /// Remove `model` from the registry.
+    Evict {
+        /// The model to evict.
+        model: String,
+    },
+}
+
+/// One admin operation as it travels over the wire (client → server).
+///
+/// Body layout after the shared version + kind bytes:
+///
+/// | bytes | field |
+/// |-------|-------|
+/// | `u64` | operation id (echoed on the ack / reject) |
+/// | `u8`  | op (`0` swap, `1` evict) |
+/// | `u16` + bytes | model name (UTF-8) |
+///
+/// A swap continues with:
+///
+/// | bytes | field |
+/// |-------|-------|
+/// | `u8`  | predictor count |
+/// | `u8` + `f32?` | per predictor: kind (`0` exact, `1` BNN, `2` oracle); θ follows for `1`/`2` |
+/// | `f32` | canary fraction |
+/// | `u64` | canary min_requests |
+/// | `f32` | canary tolerance |
+/// | `u32` + bytes | the serialized artifact (must end the payload exactly) |
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAdmin {
+    /// Client-chosen id, echoed on the ack / reject.  Shares the id
+    /// space of the connection's request ids — use distinct ids (or a
+    /// dedicated control connection) to correlate replies.
+    pub id: u64,
+    /// The operation.
+    pub op: AdminOp,
+}
+
+impl WireAdmin {
+    /// A swap operation with the default canary policy: 50% of
+    /// traffic, 8 clean comparisons, zero tolerance, exact predictor.
+    pub fn swap(id: u64, model: impl Into<String>, artifact: Vec<u8>) -> WireAdmin {
+        WireAdmin {
+            id,
+            op: AdminOp::Swap {
+                model: model.into(),
+                predictors: vec![WirePredictorKind::Exact],
+                fraction: 0.5,
+                min_requests: 8,
+                tolerance: 0.0,
+                artifact,
+            },
+        }
+    }
+
+    /// An evict operation.
+    pub fn evict(id: u64, model: impl Into<String>) -> WireAdmin {
+        WireAdmin {
+            id,
+            op: AdminOp::Evict {
+                model: model.into(),
+            },
+        }
+    }
+
+    /// Replaces the swap's predictor set (no-op for evict).
+    pub fn predictors(mut self, kinds: Vec<WirePredictorKind>) -> Self {
+        if let AdminOp::Swap { predictors, .. } = &mut self.op {
+            *predictors = kinds;
+        }
+        self
+    }
+
+    /// Sets the swap's canary fraction (no-op for evict).
+    pub fn fraction(mut self, f: f32) -> Self {
+        if let AdminOp::Swap { fraction, .. } = &mut self.op {
+            *fraction = f;
+        }
+        self
+    }
+
+    /// Sets the swap's promotion quorum (no-op for evict).
+    pub fn min_requests(mut self, n: u64) -> Self {
+        if let AdminOp::Swap { min_requests, .. } = &mut self.op {
+            *min_requests = n;
+        }
+        self
+    }
+
+    /// Sets the swap's output tolerance (no-op for evict).
+    pub fn tolerance(mut self, t: f32) -> Self {
+        if let AdminOp::Swap { tolerance, .. } = &mut self.op {
+            *tolerance = t;
+        }
+        self
+    }
+
+    /// Appends this operation as one length-prefixed frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = FrameWriter::begin(out, FRAME_ADMIN);
+        w.u64(self.id);
+        match &self.op {
+            AdminOp::Swap {
+                model,
+                predictors,
+                fraction,
+                min_requests,
+                tolerance,
+                artifact,
+            } => {
+                w.u8(0);
+                w.name(Some(model));
+                w.u8(predictors.len() as u8);
+                for p in predictors {
+                    w.u8(p.code());
+                    match p {
+                        WirePredictorKind::Exact => {}
+                        WirePredictorKind::Bnn(theta) | WirePredictorKind::Oracle(theta) => {
+                            w.f32(*theta)
+                        }
+                    }
+                }
+                w.f32(*fraction);
+                w.u64(*min_requests);
+                w.f32(*tolerance);
+                w.u32(artifact.len() as u32);
+                w.bytes(artifact);
+            }
+            AdminOp::Evict { model } => {
+                w.u8(1);
+                w.name(Some(model));
+            }
+        }
+        w.finish();
+    }
+
+    /// Decodes one admin payload (length prefix already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] describing the malformation; the declared
+    /// artifact length is validated against the payload length
+    /// exactly.
+    pub fn decode(payload: &[u8]) -> Result<WireAdmin, ProtocolError> {
+        let mut r = FrameReader::begin(payload, FRAME_ADMIN)?;
+        let id = r.u64("admin id")?;
+        let op = match r.u8("admin op")? {
+            0 => {
+                let model = r.name("model name")?.unwrap_or_default();
+                let count = r.u8("predictor count")? as usize;
+                let mut predictors = Vec::with_capacity(count);
+                for _ in 0..count {
+                    predictors.push(match r.u8("predictor kind")? {
+                        0 => WirePredictorKind::Exact,
+                        1 => WirePredictorKind::Bnn(r.f32("bnn threshold")?),
+                        2 => WirePredictorKind::Oracle(r.f32("oracle threshold")?),
+                        found => return Err(ProtocolError::UnknownPredictorKind { found }),
+                    });
+                }
+                let fraction = r.f32("canary fraction")?;
+                let min_requests = r.u64("canary min_requests")?;
+                let tolerance = r.f32("canary tolerance")?;
+                let declared = r.u32("artifact length")? as usize;
+                if r.remaining() != declared {
+                    return if r.remaining() < declared {
+                        Err(ProtocolError::Truncated { field: "artifact" })
+                    } else {
+                        Err(ProtocolError::TrailingBytes {
+                            extra: r.remaining() - declared,
+                        })
+                    };
+                }
+                let artifact = r.take_remaining();
+                AdminOp::Swap {
+                    model,
+                    predictors,
+                    fraction,
+                    min_requests,
+                    tolerance,
+                    artifact,
+                }
+            }
+            1 => AdminOp::Evict {
+                model: r.name("model name")?.unwrap_or_default(),
+            },
+            found => return Err(ProtocolError::UnknownAdminOp { found }),
+        };
+        r.end()?;
+        Ok(WireAdmin { id, op })
+    }
+}
+
+/// Acknowledgement of a completed admin operation (server → client):
+/// `u64` echoed id, `u32` resulting version (the staged version for a
+/// swap, `0` for an evict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireAdminOk {
+    /// The acknowledged operation's id.
+    pub id: u64,
+    /// The staged version a swap produced; `0` for an evict.
+    pub version: u32,
+}
+
+impl WireAdminOk {
+    /// Appends this ack as one length-prefixed frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = FrameWriter::begin(out, FRAME_ADMIN_OK);
+        w.u64(self.id);
+        w.u32(self.version);
+        w.finish();
+    }
+
+    /// Decodes one ack payload (length prefix already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] describing the malformation.
+    pub fn decode(payload: &[u8]) -> Result<WireAdminOk, ProtocolError> {
+        let mut r = FrameReader::begin(payload, FRAME_ADMIN_OK)?;
+        let id = r.u64("admin id")?;
+        let version = r.u32("version")?;
+        r.end()?;
+        Ok(WireAdminOk { id, version })
+    }
+}
+
+/// A server → client frame: a response, a typed reject, or an admin
+/// acknowledgement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerFrame {
     /// A completed request's result.
     Response(WireResponse),
     /// A refused request.
     Reject(WireReject),
+    /// A completed admin operation.
+    AdminOk(WireAdminOk),
 }
 
 impl ServerFrame {
@@ -694,7 +1000,8 @@ impl ServerFrame {
         match kind {
             FRAME_RESPONSE => WireResponse::decode(payload).map(ServerFrame::Response),
             FRAME_REJECT => WireReject::decode(payload).map(ServerFrame::Reject),
-            FRAME_REQUEST => Err(ProtocolError::UnexpectedKind { found: kind }),
+            FRAME_ADMIN_OK => WireAdminOk::decode(payload).map(ServerFrame::AdminOk),
+            FRAME_REQUEST | FRAME_ADMIN => Err(ProtocolError::UnexpectedKind { found: kind }),
             found => Err(ProtocolError::UnknownKind { found }),
         }
     }
@@ -704,6 +1011,7 @@ impl ServerFrame {
         match self {
             ServerFrame::Response(r) => r.id,
             ServerFrame::Reject(r) => r.id,
+            ServerFrame::AdminOk(r) => r.id,
         }
     }
 }
@@ -742,7 +1050,9 @@ pub fn peek_kind(payload: &[u8]) -> Result<u8, ProtocolError> {
         return Err(ProtocolError::UnsupportedVersion { found: payload[0] });
     }
     match payload[1] {
-        kind @ (FRAME_REQUEST | FRAME_RESPONSE | FRAME_REJECT) => Ok(kind),
+        kind @ (FRAME_REQUEST | FRAME_RESPONSE | FRAME_REJECT | FRAME_ADMIN | FRAME_ADMIN_OK) => {
+            Ok(kind)
+        }
         found => Err(ProtocolError::UnknownKind { found }),
     }
 }
@@ -793,6 +1103,10 @@ impl<'a> FrameWriter<'a> {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
 
+    fn bytes(&mut self, v: &[u8]) {
+        self.out.extend_from_slice(v);
+    }
+
     /// `u16` length-prefixed UTF-8 name; `None` encodes as length 0.
     /// Names longer than `u16::MAX` bytes are truncated at the cap (the
     /// registry never holds such names; requests carrying them would be
@@ -831,6 +1145,13 @@ impl<'a> FrameReader<'a> {
 
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Consumes and returns every byte left in the payload.
+    fn take_remaining(&mut self) -> Vec<u8> {
+        let rest = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        rest
     }
 
     fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], ProtocolError> {

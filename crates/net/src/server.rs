@@ -64,10 +64,11 @@
 //! final [`ServerStats`].
 
 use crate::protocol::{
-    peek_kind, salvage_request_id, FrameAssembler, ProtocolError, RejectReason, WireReject,
-    WireRequest, WireResponse, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
+    peek_kind, salvage_request_id, AdminOp, FrameAssembler, ProtocolError, RejectReason, WireAdmin,
+    WireAdminOk, WireReject, WireRequest, WireResponse, DEFAULT_MAX_FRAME_BYTES, FRAME_ADMIN,
+    FRAME_REQUEST,
 };
-use nfm_serve::{Engine, EngineError, InferenceRequest, Priority, RequestOptions};
+use nfm_serve::{CanaryConfig, Engine, EngineError, InferenceRequest, Priority, RequestOptions};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -408,6 +409,10 @@ impl NetServer {
 
     /// Decodes and admits one frame from `conn_id`.
     fn handle_frame(&mut self, conn_id: u64, payload: &[u8], draining: bool) {
+        if matches!(peek_kind(payload), Ok(FRAME_ADMIN)) {
+            self.handle_admin(conn_id, payload, draining);
+            return;
+        }
         let request = match self.decode_request(payload) {
             Ok(request) => request,
             Err(reject) => {
@@ -454,6 +459,67 @@ impl NetServer {
             Err(e) => {
                 let reason = reject_reason_for(&e);
                 self.send_reject(conn_id, WireReject::new(client_id, reason, e.to_string()));
+            }
+        }
+    }
+
+    /// Decodes and executes one admin frame (hot swap / evict).
+    /// Success is acknowledged with a [`WireAdminOk`]; every failure —
+    /// malformed frame, bad artifact, engine refusal — comes back as
+    /// the same typed reject an inference request would get.
+    fn handle_admin(&mut self, conn_id: u64, payload: &[u8], draining: bool) {
+        let admin = match WireAdmin::decode(payload) {
+            Ok(admin) => admin,
+            Err(e) => {
+                self.send_reject(
+                    conn_id,
+                    WireReject::new(0, RejectReason::Malformed, e.to_string()),
+                );
+                return;
+            }
+        };
+        if draining || self.engine.is_shutting_down() {
+            self.send_reject(
+                conn_id,
+                WireReject::new(
+                    admin.id,
+                    RejectReason::ShuttingDown,
+                    "server is draining; no admin ops accepted",
+                ),
+            );
+            return;
+        }
+        let result = match &admin.op {
+            AdminOp::Swap {
+                model,
+                predictors,
+                fraction,
+                min_requests,
+                tolerance,
+                artifact,
+            } => {
+                let kinds: Vec<_> = predictors.iter().map(|p| p.to_kind()).collect();
+                let canary = CanaryConfig::fraction(*fraction)
+                    .min_requests(*min_requests)
+                    .tolerance(*tolerance);
+                self.engine
+                    .swap_model_artifact(model.as_str(), artifact, &kinds, canary)
+            }
+            AdminOp::Evict { model } => self.engine.evict_model(model.as_str()).map(|()| 0),
+        };
+        match result {
+            Ok(version) => {
+                let ok = WireAdminOk {
+                    id: admin.id,
+                    version,
+                };
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    ok.encode(&mut conn.outbox);
+                }
+            }
+            Err(e) => {
+                let reason = reject_reason_for(&e);
+                self.send_reject(conn_id, WireReject::new(admin.id, reason, e.to_string()));
             }
         }
     }

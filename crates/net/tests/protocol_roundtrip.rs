@@ -5,8 +5,9 @@
 //! never a desynced stream.
 
 use nfm_net::protocol::{
-    peek_kind, FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireReject, WireRequest,
-    WireResponse, WireStats, FRAME_REJECT, FRAME_RESPONSE,
+    peek_kind, AdminOp, FrameAssembler, ProtocolError, RejectReason, ServerFrame, WireAdmin,
+    WireAdminOk, WirePredictorKind, WireReject, WireRequest, WireResponse, WireStats, FRAME_REJECT,
+    FRAME_RESPONSE,
 };
 use nfm_serve::{CompletionStatus, Priority};
 use nfm_tensor::rng::DeterministicRng;
@@ -125,8 +126,74 @@ fn random_server_frames_roundtrip_bit_exactly() {
         let again = match ServerFrame::decode(&bytes[4..]).expect("valid frame decodes") {
             ServerFrame::Response(r) => encoded(|out| r.encode(out)),
             ServerFrame::Reject(r) => encoded(|out| r.encode(out)),
+            ServerFrame::AdminOk(r) => encoded(|out| r.encode(out)),
         };
         assert_eq!(bytes, again);
+    }
+}
+
+fn any_admin(rng: &mut DeterministicRng) -> WireAdmin {
+    let id = rng.index(usize::MAX) as u64;
+    if rng.coin(0.3) {
+        return WireAdmin::evict(id, any_name(rng));
+    }
+    let artifact: Vec<u8> = (0..rng.index(64)).map(|_| rng.index(256) as u8).collect();
+    let count = 1 + rng.index(3);
+    let predictors = (0..count)
+        .map(|_| match rng.index(3) {
+            0 => WirePredictorKind::Exact,
+            1 => WirePredictorKind::Bnn(any_f32(rng)),
+            _ => WirePredictorKind::Oracle(any_f32(rng)),
+        })
+        .collect();
+    WireAdmin::swap(id, any_name(rng), artifact)
+        .predictors(predictors)
+        .fraction(any_f32(rng))
+        .min_requests(rng.index(usize::MAX) as u64)
+        .tolerance(any_f32(rng))
+}
+
+#[test]
+fn random_admin_frames_roundtrip_bit_exactly() {
+    let mut rng = DeterministicRng::seed_from_u64(0xAD31);
+    for _ in 0..512 {
+        let admin = any_admin(&mut rng);
+        let bytes = encoded(|out| admin.encode(out));
+        let back = WireAdmin::decode(&bytes[4..]).expect("valid frame decodes");
+        // NaN thresholds break `==` on the struct; compare the bytes.
+        assert_eq!(bytes, encoded(|out| back.encode(out)));
+        if let (AdminOp::Swap { artifact, .. }, AdminOp::Swap { artifact: b, .. }) =
+            (&admin.op, &back.op)
+        {
+            assert_eq!(artifact, b, "artifact bytes carried verbatim");
+        }
+
+        let ok = WireAdminOk {
+            id: rng.index(usize::MAX) as u64,
+            version: rng.index(u32::MAX as usize) as u32,
+        };
+        let bytes = encoded(|out| ok.encode(out));
+        assert_eq!(
+            WireAdminOk::decode(&bytes[4..]).expect("ack decodes"),
+            ok,
+            "acks are tiny fixed frames"
+        );
+    }
+}
+
+/// Every truncation point of a random admin frame yields a typed
+/// error, never a panic.
+#[test]
+fn truncated_admin_frames_are_typed_never_panic() {
+    let mut rng = DeterministicRng::seed_from_u64(0xAD32);
+    for _ in 0..64 {
+        let bytes = encoded(|out| any_admin(&mut rng).encode(out));
+        for cut in 0..bytes.len().saturating_sub(4) {
+            assert!(
+                WireAdmin::decode(&bytes[4..4 + cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
     }
 }
 

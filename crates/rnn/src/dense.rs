@@ -45,6 +45,21 @@ impl Dense {
         })
     }
 
+    /// The weight matrix (`output_size x input_size`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector (`output_size`).
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+
+    /// The output activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Creates a randomly initialized dense layer.
     ///
     /// # Errors

@@ -56,7 +56,7 @@ pub use evaluator::{
 };
 pub use gate::{Gate, GateId, GateKind};
 pub use gru::{GruCell, GruState};
-pub use layer::Layer;
+pub use layer::{Cell, Layer};
 pub use lstm::{LstmCell, LstmState};
 pub use network::DeepRnn;
 pub use scheduler::{FinishedLane, LaneScheduler, LaneSnapshot, RefillPolicy, HOIST_BLOCK};

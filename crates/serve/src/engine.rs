@@ -1,15 +1,19 @@
 //! The serving engine: a bounded, priority-aware submission queue in
 //! front of worker threads that each drive per-model lane schedulers.
 
-use crate::registry::{ContextKey, ModelId, ModelRegistry};
-use crate::request::{DeadlinePolicy, InferenceRequest, InferenceResponse, RequestId};
-use crate::worker::{LaneWorker, MigratedLane, QueuedRequest, StealBridge};
+use crate::registry::{ContextKey, ModelId, ModelRegistry, ModelVersion};
+use crate::request::{
+    CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, Priority, RequestId,
+};
+use crate::worker::{LaneWorker, MigratedLane, QueuedRequest, ResponseTag, StealBridge};
+use nfm_bnn::BinaryNetwork;
 use nfm_core::{ControlSnapshot, PredictorKind, ReuseStats};
 use nfm_rnn::{DeepRnn, RnnError};
-use std::collections::VecDeque;
+use nfm_tensor::Vector;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -89,6 +93,24 @@ pub enum EngineError {
     /// The registry holds no models, so there is nothing to serve (and
     /// no default model to resolve requests against).
     EmptyRegistry,
+    /// A hot swap is already staged for this model; resolve it
+    /// (promotion, rollback or eviction) before staging another.
+    SwapInProgress {
+        /// The model with a pending swap.
+        model: ModelId,
+    },
+    /// Evicting this model would leave the registry empty; an engine
+    /// cannot serve without a default model.
+    CannotEvictLast {
+        /// The model that was not evicted.
+        model: ModelId,
+    },
+    /// The supplied model artifact could not be loaded (see
+    /// [`nfm_model::ModelArtifactError`] for the failure taxonomy).
+    BadArtifact {
+        /// The underlying artifact error, rendered.
+        what: String,
+    },
     /// The engine has been shut down and accepts no further work.
     ShutDown,
 }
@@ -135,6 +157,13 @@ impl fmt::Display for EngineError {
             EngineError::EmptyRegistry => {
                 write!(f, "the model registry is empty; register a model first")
             }
+            EngineError::SwapInProgress { model } => {
+                write!(f, "model {model:?} already has a hot swap staged")
+            }
+            EngineError::CannotEvictLast { model } => {
+                write!(f, "cannot evict {model:?}: it is the last registered model")
+            }
+            EngineError::BadArtifact { what } => write!(f, "bad model artifact: {what}"),
             EngineError::ShutDown => write!(f, "engine is shut down"),
         }
     }
@@ -159,6 +188,270 @@ impl From<EngineError> for RnnError {
             other => RnnError::InvalidConfig {
                 what: other.to_string(),
             },
+        }
+    }
+}
+
+/// Which live requests a staged hot swap canaries on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CanaryRule {
+    /// Route this fraction (`(0, 1]`) of the model's traffic to the
+    /// staged version.  Routing is a deterministic proportional
+    /// counter, not sampling: over any window the canary share tracks
+    /// the fraction exactly.
+    Fraction(f32),
+    /// Route exactly this priority class to the staged version.
+    Priority(Priority),
+}
+
+/// How a hot swap canaries and when it decides.
+///
+/// Every canaried request runs **twice**: once on the staged version
+/// (the response the caller sees) and once on the incumbent (a shadow,
+/// suppressed from the response stream but compared output-by-output).
+/// The swap promotes after [`min_requests`](CanaryConfig::min_requests)
+/// comparisons stay within [`tolerance`](CanaryConfig::tolerance), and
+/// rolls back on the first comparison that exceeds it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanaryConfig {
+    /// Which requests canary.
+    pub rule: CanaryRule,
+    /// Completed canary/incumbent comparisons required to promote
+    /// (`>= 1`).
+    pub min_requests: u64,
+    /// Largest tolerated absolute output difference between the staged
+    /// and incumbent versions.  `0.0` demands bit-identical outputs —
+    /// right for weight-preserving swaps (artifact reloads, kernel
+    /// retuning); widen it for genuinely retrained weights.
+    pub tolerance: f32,
+}
+
+impl CanaryConfig {
+    /// Canary `fraction` of the model's traffic, promote after 8 clean
+    /// comparisons at zero tolerance.
+    pub fn fraction(fraction: f32) -> Self {
+        CanaryConfig {
+            rule: CanaryRule::Fraction(fraction),
+            min_requests: 8,
+            tolerance: 0.0,
+        }
+    }
+
+    /// Canary exactly one priority class, promote after 8 clean
+    /// comparisons at zero tolerance.
+    pub fn priority(priority: Priority) -> Self {
+        CanaryConfig {
+            rule: CanaryRule::Priority(priority),
+            min_requests: 8,
+            tolerance: 0.0,
+        }
+    }
+
+    /// Sets the comparisons required to promote (`>= 1`).
+    pub fn min_requests(mut self, min_requests: u64) -> Self {
+        self.min_requests = min_requests;
+        self
+    }
+
+    /// Sets the tolerated absolute output difference.
+    pub fn tolerance(mut self, tolerance: f32) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        if let CanaryRule::Fraction(f) = self.rule {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(EngineError::InvalidConfig {
+                    what: format!("canary fraction must be in (0, 1], got {f}"),
+                });
+            }
+        }
+        if self.min_requests == 0 {
+            return Err(EngineError::InvalidConfig {
+                what: "canary min_requests must be >= 1".into(),
+            });
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return Err(EngineError::InvalidConfig {
+                what: format!("canary tolerance must be >= 0, got {}", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How a hot swap ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// Enough canary comparisons matched; the staged version is live.
+    Promoted,
+    /// A comparison exceeded the tolerance; the staged version was
+    /// discarded and the incumbent kept serving.
+    RolledBack,
+}
+
+/// Live progress of a staged hot swap ([`Engine::swap_status`]).
+#[derive(Debug, Clone)]
+pub struct SwapStatus {
+    /// The model being swapped.
+    pub model: ModelId,
+    /// The incumbent version.
+    pub from: ModelVersion,
+    /// The staged version.
+    pub to: ModelVersion,
+    /// Requests for this model observed while the swap was undecided.
+    pub seen: u64,
+    /// Canary pairs routed so far.
+    pub canaries: u64,
+    /// Comparisons completed within tolerance.
+    pub matched: u64,
+    /// Canary pairs still in flight.
+    pub in_flight: usize,
+    /// The decision, once reached (applied after the in-flight pairs
+    /// finish).
+    pub decision: Option<SwapOutcome>,
+}
+
+/// The record of a finished hot swap ([`Engine::swap_reports`]).
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// The model that was swapped.
+    pub model: ModelId,
+    /// The version that was serving when the swap was staged.
+    pub from: ModelVersion,
+    /// The version that was staged.
+    pub to: ModelVersion,
+    /// How the swap ended.
+    pub outcome: SwapOutcome,
+    /// Canary pairs routed.
+    pub canaries: u64,
+    /// Comparisons completed within tolerance.
+    pub matched: u64,
+    /// Largest absolute output difference observed across all
+    /// comparisons.
+    pub max_abs_diff: f32,
+    /// Reuse counters accumulated by the staged version's canary runs.
+    pub canary_stats: ReuseStats,
+    /// Reuse counters accumulated by the incumbent's shadow runs.
+    pub incumbent_stats: ReuseStats,
+}
+
+/// One half of a canary pair, captured at emission.
+#[derive(Debug)]
+struct ObservedHalf {
+    done: bool,
+    outputs: Vec<Vector>,
+    stats: ReuseStats,
+}
+
+/// A canary pair waiting for both halves.
+#[derive(Debug, Default)]
+struct PendingPair {
+    canary: Option<ObservedHalf>,
+    incumbent: Option<ObservedHalf>,
+}
+
+/// Engine-side bookkeeping of one staged hot swap.  Lives in [`State`]
+/// (mutated under the state lock by `submit` and the workers' emit
+/// path); the decision is applied to the registry later by
+/// [`Engine::apply_ready_swaps`] under the registry write lock.
+#[derive(Debug)]
+struct SwapState {
+    model: ModelId,
+    from: ModelVersion,
+    to: ModelVersion,
+    config: CanaryConfig,
+    seen: u64,
+    routed: u64,
+    matched: u64,
+    max_abs_diff: f32,
+    pending: HashMap<u64, PendingPair>,
+    decision: Option<SwapOutcome>,
+    canary_stats: ReuseStats,
+    incumbent_stats: ReuseStats,
+}
+
+/// Largest absolute element difference between two output sequences;
+/// infinite when the shapes disagree or any element is non-finite (a
+/// shape change across versions can never promote).
+fn max_abs_diff(a: &[Vector], b: &[Vector]) -> f32 {
+    if a.len() != b.len() {
+        return f32::INFINITY;
+    }
+    let mut max = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        if x.len() != y.len() {
+            return f32::INFINITY;
+        }
+        for n in 0..x.len() {
+            let d = (x[n] - y[n]).abs();
+            if !d.is_finite() {
+                return f32::INFINITY;
+            }
+            if d > max {
+                max = d;
+            }
+        }
+    }
+    max
+}
+
+/// Feeds one emitted response into the swap bookkeeping: records the
+/// pair half the tag names, and when both halves are in, compares them
+/// and advances the swap toward promotion or rollback.  Runs under the
+/// state lock on the worker's emit path; non-canary responses (serial
+/// not in any pending map) fall straight through.
+fn swap_observe(state: &mut State, response: &InferenceResponse, tag: ResponseTag) {
+    let Some(swap) = state
+        .swaps
+        .iter_mut()
+        .find(|s| s.pending.contains_key(&tag.serial))
+    else {
+        return;
+    };
+    let pair = swap
+        .pending
+        .get_mut(&tag.serial)
+        .expect("serial found above");
+    let half = ObservedHalf {
+        done: response.status == CompletionStatus::Done,
+        outputs: response.outputs.clone(),
+        stats: response.stats,
+    };
+    if tag.shadow {
+        pair.incumbent = Some(half);
+    } else {
+        pair.canary = Some(half);
+    }
+    if pair.canary.is_none() || pair.incumbent.is_none() {
+        return;
+    }
+    let pair = swap.pending.remove(&tag.serial).expect("pair completed");
+    let (canary, incumbent) = (
+        pair.canary.expect("checked above"),
+        pair.incumbent.expect("checked above"),
+    );
+    swap.canary_stats.merge(&canary.stats);
+    swap.incumbent_stats.merge(&incumbent.stats);
+    // Pairs where either half expired or was rejected are inconclusive:
+    // they neither promote nor roll back.
+    if !(canary.done && incumbent.done) {
+        return;
+    }
+    let diff = max_abs_diff(&canary.outputs, &incumbent.outputs);
+    if diff > swap.max_abs_diff {
+        swap.max_abs_diff = diff;
+    }
+    if swap.decision.is_some() {
+        return;
+    }
+    if diff > swap.config.tolerance || !diff.is_finite() {
+        swap.decision = Some(SwapOutcome::RolledBack);
+    } else {
+        swap.matched += 1;
+        if swap.matched >= swap.config.min_requests {
+            swap.decision = Some(SwapOutcome::Promoted);
         }
     }
 }
@@ -198,6 +491,7 @@ pub struct EngineBuilder {
     override_context_cap: usize,
     policy: DeadlinePolicy,
     paused: bool,
+    autotune: bool,
 }
 
 impl EngineBuilder {
@@ -226,6 +520,7 @@ impl EngineBuilder {
             override_context_cap: crate::worker::DEFAULT_OVERRIDE_CONTEXT_CAP,
             policy: DeadlinePolicy::default(),
             paused: false,
+            autotune: false,
         }
     }
 
@@ -282,6 +577,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Autotunes kernel blockings at build time (default off): every
+    /// registered model's distinct gate shapes are benchmarked once on
+    /// the active backend at the configured lane count, and the winning
+    /// traversals are recorded in the process-wide autotune cache (see
+    /// [`ModelRegistry::autotune_model`]).  Hot-swapped versions are
+    /// tuned when staged.  Tuning never changes results — all
+    /// candidates share the canonical reduction order — it only picks
+    /// the measured-fastest traversal per shape.
+    pub fn autotune(mut self, autotune: bool) -> Self {
+        self.autotune = autotune;
+        self
+    }
+
     /// Spawns the workers and returns the engine.
     ///
     /// # Errors
@@ -306,11 +614,17 @@ impl EngineBuilder {
                 });
             }
         }
-        let registry = self.registry?;
+        let mut registry = self.registry?;
         if registry.is_empty() {
             return Err(EngineError::EmptyRegistry);
         }
-        let registry = Arc::new(registry);
+        if self.autotune {
+            let ids: Vec<ModelId> = registry.model_ids().cloned().collect();
+            for id in ids {
+                registry.autotune_model(&id, self.lanes)?;
+            }
+        }
+        let registry = Arc::new(RwLock::new(registry));
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: PriorityQueue::new(),
@@ -321,6 +635,9 @@ impl EngineBuilder {
                 migrations: 0,
                 lane_borrows: 0,
                 context_stats: (0..self.workers).map(|_| Vec::new()).collect(),
+                swaps: Vec::new(),
+                swap_reports: Vec::new(),
+                next_serial: 1,
                 shutdown: false,
                 paused: self.paused,
                 error: None,
@@ -345,6 +662,7 @@ impl EngineBuilder {
             workers: self.workers,
             override_context_cap: self.override_context_cap,
             policy: self.policy,
+            autotune: self.autotune,
         })
     }
 }
@@ -419,6 +737,15 @@ struct State {
     /// accumulated — evaluator counters are cumulative) every time a
     /// worker drains the queue and goes idle.  Indexed by worker.
     context_stats: Vec<Vec<(ContextKey, ReuseStats)>>,
+    /// Staged hot swaps: canary bookkeeping mutated by `submit` and the
+    /// emit path; decisions applied to the registry by
+    /// `apply_ready_swaps`.
+    swaps: Vec<SwapState>,
+    /// Finished swaps awaiting collection via `Engine::swap_reports`.
+    swap_reports: Vec<SwapReport>,
+    /// Next submission serial (unique per admitted request; canary
+    /// pairs share one serial across their two halves).
+    next_serial: u64,
     shutdown: bool,
     paused: bool,
     error: Option<String>,
@@ -515,9 +842,17 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker, index: usize) {
             shared: Arc::clone(&shared),
         };
         let emit_shared = Arc::clone(&shared);
-        let mut emit = move |response: InferenceResponse| {
+        let mut emit = move |response: InferenceResponse, tag: ResponseTag| {
             let mut state = emit_shared.state.lock().expect("engine state lock");
-            state.responses.push(response);
+            swap_observe(&mut state, &response, tag);
+            // Shadow halves of canary pairs are compared above but
+            // never surfaced: callers see exactly one response per
+            // submitted request.  They still balance `outstanding`, so
+            // drain/quiescence accounting holds even for shadows that
+            // land after their swap decided.
+            if !tag.shadow {
+                state.responses.push(response);
+            }
             state.outstanding -= 1;
             emit_shared.done_cv.notify_all();
         };
@@ -545,6 +880,9 @@ fn worker_loop(shared: Arc<Shared>, mut worker: LaneWorker, index: usize) {
 pub struct ContextStats {
     /// The model this context serves.
     pub model: ModelId,
+    /// The model weight version the context ran (canary contexts of a
+    /// hot swap report the staged version).
+    pub version: ModelVersion,
     /// The predictor name the context was resolved under.
     pub predictor: String,
     /// The per-request threshold override that keyed this context,
@@ -607,12 +945,16 @@ impl ContextStats {
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
-    registry: Arc<ModelRegistry>,
+    /// Lock order: registry (read or write) strictly **before** the
+    /// state mutex, everywhere.  Workers never touch the registry —
+    /// they run on `Arc` handles resolved at submission.
+    registry: Arc<RwLock<ModelRegistry>>,
     handles: Vec<JoinHandle<()>>,
     lanes: usize,
     workers: usize,
     override_context_cap: usize,
     policy: DeadlinePolicy,
+    autotune: bool,
 }
 
 impl Engine {
@@ -622,9 +964,18 @@ impl Engine {
         EngineBuilder::new(network, predictor)
     }
 
-    /// The model registry this engine serves.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    /// The model registry this engine serves (a read guard: the
+    /// registry is shared with the hot-swap path, which takes the write
+    /// side briefly to stage, promote or evict versions).  Don't hold
+    /// the guard across calls into the engine.
+    pub fn registry(&self) -> RwLockReadGuard<'_, ModelRegistry> {
+        self.registry.read().expect("registry lock")
+    }
+
+    /// Whether build-time/staging-time kernel autotuning is enabled
+    /// (see [`EngineBuilder::autotune`]).
+    pub fn autotune_enabled(&self) -> bool {
+        self.autotune
     }
 
     /// Lanes per worker.
@@ -700,24 +1051,33 @@ impl Engine {
             }
         }
         merged.sort_by(|(a, _), (b, _)| {
-            (a.model.as_str(), a.predictor.as_ref(), a.threshold_bits).cmp(&(
-                b.model.as_str(),
-                b.predictor.as_ref(),
-                b.threshold_bits,
-            ))
+            (
+                a.model.as_str(),
+                a.version,
+                a.predictor.as_ref(),
+                a.threshold_bits,
+            )
+                .cmp(&(
+                    b.model.as_str(),
+                    b.version,
+                    b.predictor.as_ref(),
+                    b.threshold_bits,
+                ))
         });
+        let registry = self.registry.read().expect("registry lock");
         merged
             .into_iter()
             .map(|(key, stats)| {
                 let control = if key.threshold_bits.is_none() {
-                    self.registry
-                        .find_predictor(&key.model, &key.predictor)
+                    registry
+                        .find_predictor(&key.model, key.version, &key.predictor)
                         .and_then(|p| p.control_snapshot())
                 } else {
                     None
                 };
                 ContextStats {
                     model: key.model.clone(),
+                    version: key.version,
                     predictor: key.predictor.as_ref().to_string(),
                     threshold_override: key.threshold_bits.map(f32::from_bits),
                     stats,
@@ -761,7 +1121,11 @@ impl Engine {
     ///   is at capacity;
     /// * [`EngineError::ShutDown`] — the engine no longer accepts work.
     pub fn submit(&self, request: InferenceRequest) -> Result<(), EngineError> {
-        let resolved = self.registry.resolve(&request.options)?;
+        // Lock order: registry before state, always.  The read guard is
+        // held across the state lock so a staged version cannot be
+        // promoted or discarded between resolution and enqueue.
+        let registry = self.registry.read().expect("registry lock");
+        let resolved = registry.resolve(&request.options)?;
         if request.sequence.is_empty() {
             return Err(EngineError::EmptySequence { id: request.id });
         }
@@ -785,10 +1149,70 @@ impl Engine {
                 capacity: self.shared.capacity,
             });
         }
+        // Canary routing: while an undecided swap covers this model,
+        // requests the rule selects run as a pair — the staged version
+        // answers the caller, the incumbent shadows for comparison.
+        let model = &resolved.key.model;
+        if let Some(idx) = state
+            .swaps
+            .iter()
+            .position(|s| &s.model == model && s.decision.is_none())
+        {
+            state.swaps[idx].seen += 1;
+            let swap = &state.swaps[idx];
+            let route = match swap.config.rule {
+                // Deterministic proportional routing: canary exactly
+                // when doing so keeps routed/seen at or under the
+                // fraction.
+                CanaryRule::Fraction(f) => (swap.routed + 1) as f64 <= swap.seen as f64 * f as f64,
+                CanaryRule::Priority(p) => request.options.priority == p,
+            };
+            // A pair needs room for both halves; with one slot left the
+            // request falls back to the incumbent rather than failing.
+            if route && state.queue.len() + 2 <= self.shared.capacity {
+                if let Ok(staged) = registry.resolve_staged(model, &request.options) {
+                    let serial = state.next_serial;
+                    state.next_serial += 1;
+                    state.swaps[idx].routed += 1;
+                    state.swaps[idx]
+                        .pending
+                        .insert(serial, PendingPair::default());
+                    let shadow_req = request.clone();
+                    let submitted_at = Instant::now();
+                    state.queue.push(QueuedRequest {
+                        req: request,
+                        submitted_at,
+                        resolved: staged,
+                        serial,
+                        shadow: false,
+                    });
+                    state.queue.push(QueuedRequest {
+                        req: shadow_req,
+                        submitted_at,
+                        resolved,
+                        serial,
+                        shadow: true,
+                    });
+                    state.outstanding += 2;
+                    if !state.paused {
+                        self.shared.work_cv.notify_one();
+                        self.shared.work_cv.notify_one();
+                    }
+                    return Ok(());
+                }
+                // The staged version cannot serve these options (e.g. a
+                // predictor it was not staged with): serve the
+                // incumbent alone.
+            }
+        }
+        let serial = state.next_serial;
+        state.next_serial += 1;
         state.queue.push(QueuedRequest {
             req: request,
             submitted_at: Instant::now(),
             resolved,
+            serial,
+            shadow: false,
         });
         state.outstanding += 1;
         if !state.paused {
@@ -814,6 +1238,207 @@ impl Engine {
             accepted += 1;
         }
         Ok(accepted)
+    }
+
+    /// Stages `network` as the next version of `model` and starts
+    /// canarying live traffic onto it, without pausing the engine or
+    /// dropping any in-flight request.
+    ///
+    /// The staged version gets predictors built from `predictors`
+    /// (deduplicating BNN mirrors), version `live + 1`, and — when
+    /// [`EngineBuilder::autotune`] is on — freshly tuned kernel
+    /// blockings for its gate shapes.  While the swap is undecided,
+    /// requests selected by `canary` run as pairs: the staged version
+    /// answers the caller, the incumbent shadows for comparison.
+    /// After [`CanaryConfig::min_requests`] comparisons within
+    /// [`CanaryConfig::tolerance`] the staged version is promoted;
+    /// the first comparison outside it rolls the swap back.  Either
+    /// way the registry change is applied only once the last canary
+    /// pair lands (see [`Engine::swap_status`] /
+    /// [`Engine::swap_reports`]); requests already resolved keep their
+    /// weight handles and always complete.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::UnknownModel`] — `model` is not registered;
+    /// * [`EngineError::SwapInProgress`] — a swap is already staged;
+    /// * [`EngineError::InvalidConfig`] — `canary` is degenerate or
+    ///   `predictors` is empty;
+    /// * [`EngineError::ShutDown`] — the engine no longer accepts work.
+    pub fn swap_model(
+        &self,
+        model: impl Into<ModelId>,
+        network: impl Into<Arc<DeepRnn>>,
+        predictors: &[PredictorKind],
+        canary: CanaryConfig,
+    ) -> Result<ModelVersion, EngineError> {
+        self.stage_swap(model.into(), network.into(), None, predictors, canary)
+    }
+
+    /// Like [`Engine::swap_model`], but the new version arrives as a
+    /// serialized model artifact (see [`nfm_model`]).  The artifact's
+    /// prebuilt binary mirror, when present, is reused for BNN
+    /// predictors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadArtifact`] when the bytes do not decode, plus
+    /// everything [`Engine::swap_model`] returns.
+    pub fn swap_model_artifact(
+        &self,
+        model: impl Into<ModelId>,
+        artifact: &[u8],
+        predictors: &[PredictorKind],
+        canary: CanaryConfig,
+    ) -> Result<ModelVersion, EngineError> {
+        let loaded =
+            nfm_model::load_from_slice(artifact).map_err(|e| EngineError::BadArtifact {
+                what: e.to_string(),
+            })?;
+        self.stage_swap(
+            model.into(),
+            Arc::new(loaded.network),
+            loaded.mirror.map(Arc::new),
+            predictors,
+            canary,
+        )
+    }
+
+    fn stage_swap(
+        &self,
+        model: ModelId,
+        network: Arc<DeepRnn>,
+        mirror: Option<Arc<BinaryNetwork>>,
+        predictors: &[PredictorKind],
+        canary: CanaryConfig,
+    ) -> Result<ModelVersion, EngineError> {
+        canary.validate()?;
+        self.apply_ready_swaps();
+        let mut registry = self.registry.write().expect("registry lock");
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        if state.shutdown {
+            return Err(EngineError::ShutDown);
+        }
+        let from = registry
+            .version(&model)
+            .ok_or_else(|| EngineError::UnknownModel {
+                model: model.clone(),
+            })?;
+        // A decided-but-not-yet-applied swap still owns the staged
+        // slot; `stage` rejects it below via the staged entry.
+        let to = registry.stage(&model, network, mirror, predictors)?;
+        if self.autotune {
+            registry.autotune_staged(&model, self.lanes);
+        }
+        state.swaps.push(SwapState {
+            model,
+            from,
+            to,
+            config: canary,
+            seen: 0,
+            routed: 0,
+            matched: 0,
+            max_abs_diff: 0.0,
+            pending: HashMap::new(),
+            decision: None,
+            canary_stats: ReuseStats::new(),
+            incumbent_stats: ReuseStats::new(),
+        });
+        Ok(to)
+    }
+
+    /// Removes `model` from the registry: new submissions naming it get
+    /// [`EngineError::UnknownModel`], while everything already admitted
+    /// runs to its response on the retired weights.  A staged swap for
+    /// the model is discarded with it.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::UnknownModel`] — `model` is not registered;
+    /// * [`EngineError::CannotEvictLast`] — it is the only model.
+    pub fn evict_model(&self, model: impl Into<ModelId>) -> Result<(), EngineError> {
+        let model = model.into();
+        self.apply_ready_swaps();
+        let mut registry = self.registry.write().expect("registry lock");
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        registry.evict(&model)?;
+        // Orphan the model's canary bookkeeping: in-flight pair halves
+        // still emit (and balance `outstanding`), they just no longer
+        // find a pending slot to compare into.
+        state.swaps.retain(|s| s.model != model);
+        Ok(())
+    }
+
+    /// Progress of the staged swap for `model`, `None` when no swap is
+    /// staged (finished swaps move to [`Engine::swap_reports`]).
+    /// Applies any decision whose last canary pair has landed.
+    pub fn swap_status(&self, model: impl Into<ModelId>) -> Option<SwapStatus> {
+        let model = model.into();
+        self.apply_ready_swaps();
+        let state = self.shared.state.lock().expect("engine state lock");
+        state
+            .swaps
+            .iter()
+            .find(|s| s.model == model)
+            .map(|s| SwapStatus {
+                model: s.model.clone(),
+                from: s.from,
+                to: s.to,
+                seen: s.seen,
+                canaries: s.routed,
+                matched: s.matched,
+                in_flight: s.pending.len(),
+                decision: s.decision,
+            })
+    }
+
+    /// Takes the reports of every swap that finished (decision applied
+    /// to the registry) since the last call.
+    pub fn swap_reports(&self) -> Vec<SwapReport> {
+        self.apply_ready_swaps();
+        std::mem::take(
+            &mut self
+                .shared
+                .state
+                .lock()
+                .expect("engine state lock")
+                .swap_reports,
+        )
+    }
+
+    /// Applies every decided swap whose canary pairs have all landed:
+    /// promotion installs the staged version as live, rollback discards
+    /// it.  Takes the registry write lock *then* the state lock (the
+    /// engine-wide order), which is why the emit path only records
+    /// decisions — it already holds the state lock.
+    fn apply_ready_swaps(&self) {
+        let mut registry = self.registry.write().expect("registry lock");
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        let mut i = 0;
+        while i < state.swaps.len() {
+            let ready = state.swaps[i].decision.is_some() && state.swaps[i].pending.is_empty();
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let swap = state.swaps.remove(i);
+            let outcome = swap.decision.expect("checked ready above");
+            match outcome {
+                SwapOutcome::Promoted => registry.promote(&swap.model),
+                SwapOutcome::RolledBack => registry.discard_staged(&swap.model),
+            }
+            state.swap_reports.push(SwapReport {
+                model: swap.model,
+                from: swap.from,
+                to: swap.to,
+                outcome,
+                canaries: swap.routed,
+                matched: swap.matched,
+                max_abs_diff: swap.max_abs_diff,
+                canary_stats: swap.canary_stats,
+                incumbent_stats: swap.incumbent_stats,
+            });
+        }
     }
 
     /// Lets paused workers start pulling work.
@@ -890,18 +1515,25 @@ impl Engine {
     /// [`context_stats`](Engine::context_stats) are complete for all
     /// returned responses by the time it returns.
     pub fn drain(&self) -> Vec<InferenceResponse> {
-        let mut state = self.shared.state.lock().expect("engine state lock");
-        if state.paused {
-            state.paused = false;
-            self.shared.work_cv.notify_all();
-        }
-        // During shutdown workers exit instead of parking, so the
-        // idle-worker quiescence condition only applies to a live
-        // engine (`shutdown` reaches quiescence by joining instead).
-        while state.outstanding > 0 || (!state.shutdown && state.idle_workers < self.workers) {
-            state = self.shared.done_cv.wait(state).expect("engine state lock");
-        }
-        std::mem::take(&mut state.responses)
+        let responses = {
+            let mut state = self.shared.state.lock().expect("engine state lock");
+            if state.paused {
+                state.paused = false;
+                self.shared.work_cv.notify_all();
+            }
+            // During shutdown workers exit instead of parking, so the
+            // idle-worker quiescence condition only applies to a live
+            // engine (`shutdown` reaches quiescence by joining instead).
+            while state.outstanding > 0 || (!state.shutdown && state.idle_workers < self.workers) {
+                state = self.shared.done_cv.wait(state).expect("engine state lock");
+            }
+            std::mem::take(&mut state.responses)
+        };
+        // Quiescence means every canary pair has landed: apply any swap
+        // decision now, so traffic after this drain resolves against
+        // the promoted (or rolled-back) registry.
+        self.apply_ready_swaps();
+        responses
     }
 
     /// The first internal execution error any worker hit, if any (the

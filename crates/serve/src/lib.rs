@@ -66,9 +66,12 @@ pub mod request;
 pub mod runner;
 mod worker;
 
-pub use engine::{ContextStats, Engine, EngineBuilder, EngineError, DEFAULT_MODEL};
+pub use engine::{
+    CanaryConfig, CanaryRule, ContextStats, Engine, EngineBuilder, EngineError, SwapOutcome,
+    SwapReport, SwapStatus, DEFAULT_MODEL,
+};
 pub use nfm_tensor::backend::KernelBackend;
-pub use registry::{ModelId, ModelRegistry};
+pub use registry::{ModelId, ModelRegistry, ModelVersion};
 pub use request::{
     CompletionStatus, DeadlinePolicy, InferenceRequest, InferenceResponse, Priority, RequestId,
     RequestOptions,

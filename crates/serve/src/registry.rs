@@ -1,24 +1,35 @@
 //! The model registry: which models an [`Engine`](crate::Engine)
-//! serves, and which predictors each model can be served under.
+//! serves, which predictors each model can be served under, and which
+//! **version** of each model is live.
 //!
 //! A registry maps a [`ModelId`] to one network plus a named set of
-//! [`Predictor`] factories.  Everything inside is immutable and
-//! `Arc`-shared once the engine is built: workers clone `Arc` handles,
-//! never weights or mirrors (one [`BinaryNetwork`] mirror is prebuilt
-//! per model at registration and shared by every BNN predictor and
-//! every worker).
+//! [`Predictor`] factories.  Entries are keyed `(ModelId, version)`:
+//! exactly one entry per id is *live* (the one `resolve` routes to) and
+//! at most one higher-versioned entry is *staged* during a hot swap.
+//! Weights and mirrors are immutable and `Arc`-shared once registered:
+//! workers clone `Arc` handles, never weights or mirrors (one
+//! [`BinaryNetwork`] mirror is prebuilt per model version and shared by
+//! every BNN predictor and every worker).
 //!
 //! Requests pick a model and predictor through
 //! [`RequestOptions`]; submission resolves the options against the
 //! registry **synchronously**, so unknown ids and unsupported
 //! overrides surface as typed [`EngineError`]s from
 //! [`Engine::submit`](crate::Engine::submit), never mid-flight.
+//!
+//! Registration can also **autotune** a model: benchmark every kernel
+//! blocking for each distinct gate shape once and record the winners in
+//! the process-wide [`nfm_tensor::autotune`] cache, so every worker's
+//! batched kernels run the measured-fastest traversal for that shape on
+//! this machine.
 
 use crate::engine::EngineError;
 use crate::request::RequestOptions;
 use nfm_bnn::BinaryNetwork;
 use nfm_core::{Predictor, PredictorKind};
+use nfm_model::LoadedModel;
 use nfm_rnn::DeepRnn;
+use nfm_tensor::autotune::{tune_gate_shape, GateShapePlan};
 use std::fmt;
 use std::sync::Arc;
 
@@ -26,6 +37,11 @@ use std::sync::Arc;
 /// build one from any string type: `ModelId::from("kws")`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelId(Arc<str>);
+
+/// Monotonic version of a registered model's weights.  Registration
+/// starts at 1; each staged hot swap targets the incumbent's version
+/// plus one.
+pub type ModelVersion = u32;
 
 impl ModelId {
     /// The id as a string slice.
@@ -58,17 +74,26 @@ impl From<&ModelId> for ModelId {
     }
 }
 
-/// One registered model: the network plus its named predictors.
+/// One registered model version: the network plus its named predictors.
 #[derive(Debug)]
 pub(crate) struct ModelEntry {
     pub(crate) id: ModelId,
+    /// This entry's weight version.
+    pub(crate) version: ModelVersion,
+    /// Whether `resolve` routes to this entry.  Exactly one entry per
+    /// id is live; a non-live entry is a staged hot-swap candidate.
+    pub(crate) live: bool,
     pub(crate) network: Arc<DeepRnn>,
     /// `(name, factory)` in registration order; the first is the
     /// model's default.
     pub(crate) predictors: Vec<(Arc<str>, Arc<dyn Predictor>)>,
     /// The model's binary mirror, built once when the first BNN
-    /// predictor is registered and shared from then on.
+    /// predictor is registered (or carried over from an artifact) and
+    /// shared from then on.
     mirror: Option<Arc<BinaryNetwork>>,
+    /// Autotuned kernel plans, one per distinct gate shape, recorded by
+    /// [`ModelRegistry::autotune_model`].  Empty when never tuned.
+    pub(crate) tuning: Vec<GateShapePlan>,
 }
 
 /// A request resolved against the registry: the exact network and
@@ -82,18 +107,22 @@ pub(crate) struct Resolved {
 }
 
 /// Identity of one execution context on a worker: requests with equal
-/// keys share a lane scheduler and an evaluator (same model, same
-/// predictor, same effective threshold).
+/// keys share a lane scheduler and an evaluator (same model version,
+/// same predictor, same effective threshold).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ContextKey {
     pub(crate) model: ModelId,
+    /// Weight version the context runs — a hot swap's canary requests
+    /// key separate contexts from incumbent traffic.
+    pub(crate) version: ModelVersion,
     pub(crate) predictor: Arc<str>,
     /// Bit pattern of the per-request threshold override, `None` when
     /// the predictor's configured threshold applies.
     pub(crate) threshold_bits: Option<u32>,
 }
 
-/// Maps [`ModelId`]s to networks and named [`Predictor`] sets.
+/// Maps [`ModelId`]s to versioned networks and named [`Predictor`]
+/// sets.
 ///
 /// The first registered model is the engine's **default model** (used
 /// by requests that name none — the entire single-model API), and each
@@ -113,6 +142,7 @@ pub(crate) struct ContextKey {
 /// registry.register("asr", asr, PredictorKind::Exact).unwrap();
 /// registry.add_predictor("asr", PredictorKind::Bnn(BnnMemoConfig::with_threshold(0.3))).unwrap();
 /// assert_eq!(registry.default_model().unwrap().as_str(), "kws");
+/// assert_eq!(registry.version("kws"), Some(1));
 /// assert_eq!(registry.len(), 2);
 /// ```
 #[derive(Debug, Default)]
@@ -126,9 +156,9 @@ impl ModelRegistry {
         ModelRegistry { models: Vec::new() }
     }
 
-    /// Registers `network` under `id` with a built-in default
-    /// predictor.  The first registration becomes the engine's default
-    /// model.
+    /// Registers `network` under `id` (as version 1) with a built-in
+    /// default predictor.  The first registration becomes the engine's
+    /// default model.
     ///
     /// # Errors
     ///
@@ -140,7 +170,27 @@ impl ModelRegistry {
         predictor: PredictorKind,
     ) -> Result<(), EngineError> {
         let id = id.into();
-        self.register_entry(id.clone(), network.into())?;
+        self.register_entry(id.clone(), network.into(), None)?;
+        self.add_predictor(&id, predictor)
+    }
+
+    /// Registers a model loaded from a versioned artifact (see
+    /// [`nfm_model`]).  The artifact's prebuilt [`BinaryNetwork`]
+    /// mirror, when present, is reused — a BNN predictor never
+    /// rebuilds sign rows the artifact already carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateModel`] when `id` is taken.
+    pub fn register_loaded(
+        &mut self,
+        id: impl Into<ModelId>,
+        loaded: LoadedModel,
+        predictor: PredictorKind,
+    ) -> Result<(), EngineError> {
+        let id = id.into();
+        let mirror = loaded.mirror.map(Arc::new);
+        self.register_entry(id.clone(), Arc::new(loaded.network), mirror)?;
         self.add_predictor(&id, predictor)
     }
 
@@ -158,13 +208,14 @@ impl ModelRegistry {
         predictor: Arc<dyn Predictor>,
     ) -> Result<(), EngineError> {
         let id = id.into();
-        self.register_entry(id.clone(), network.into())?;
+        self.register_entry(id.clone(), network.into(), None)?;
         self.add_custom_predictor(&id, name, predictor)
     }
 
-    /// Adds a built-in predictor to an already-registered model, filed
-    /// under [`PredictorKind::name`].  A BNN kind reuses the model's
-    /// prebuilt mirror (building it on first need).
+    /// Adds a built-in predictor to an already-registered model's
+    /// **live** version, filed under [`PredictorKind::name`].  A BNN
+    /// kind reuses the model's prebuilt mirror (building it on first
+    /// need).
     ///
     /// # Errors
     ///
@@ -192,8 +243,8 @@ impl ModelRegistry {
         Self::push_predictor(entry, Arc::from(predictor.name()), factory)
     }
 
-    /// Adds a custom predictor to an already-registered model under
-    /// `name`.
+    /// Adds a custom predictor to an already-registered model's live
+    /// version under `name`.
     ///
     /// # Errors
     ///
@@ -209,73 +260,146 @@ impl ModelRegistry {
         Self::push_predictor(entry, name.into(), predictor)
     }
 
-    /// Number of registered models.
+    /// Benchmarks every kernel blocking for each distinct gate shape of
+    /// `model`'s live version at `lanes` lanes on the active backend,
+    /// records the winners in the process-wide autotune cache, and
+    /// stores the measured plans in the registry entry (see
+    /// [`ModelRegistry::tuned_plans`]).  Returns the number of distinct
+    /// shapes tuned.
+    ///
+    /// Tuning changes only *traversal order candidates that share the
+    /// canonical reduction order*, so outputs stay bit-identical to the
+    /// untuned kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] when `model` is not
+    /// registered and [`EngineError::InvalidConfig`] when `lanes` is 0.
+    pub fn autotune_model(
+        &mut self,
+        model: impl Into<ModelId>,
+        lanes: usize,
+    ) -> Result<usize, EngineError> {
+        if lanes == 0 {
+            return Err(EngineError::InvalidConfig {
+                what: "autotune lane count must be at least 1".into(),
+            });
+        }
+        let model = model.into();
+        let entry = self.entry_mut(&model)?;
+        Ok(Self::tune_entry(entry, lanes))
+    }
+
+    /// The autotuned kernel plans recorded for `model`'s live version,
+    /// one per distinct gate shape.  Empty when the model was never
+    /// autotuned; `None` for an unknown model.
+    pub fn tuned_plans(&self, model: impl Into<ModelId>) -> Option<&[GateShapePlan]> {
+        let model = model.into();
+        self.live_entry(&model).map(|e| e.tuning.as_slice())
+    }
+
+    /// Number of registered models (staged swap candidates do not
+    /// count).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.models.iter().filter(|e| e.live).count()
     }
 
     /// Whether no model is registered (an empty registry cannot build
     /// an engine).
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.len() == 0
     }
 
     /// The default model: the first registered, `None` while empty.
     pub fn default_model(&self) -> Option<&ModelId> {
-        self.models.first().map(|e| &e.id)
+        self.models.iter().find(|e| e.live).map(|e| &e.id)
     }
 
     /// Registered model ids, in registration order.
     pub fn model_ids(&self) -> impl Iterator<Item = &ModelId> {
-        self.models.iter().map(|e| &e.id)
+        self.models.iter().filter(|e| e.live).map(|e| &e.id)
     }
 
-    /// The predictor names registered for `model`, default first
-    /// (`None` for an unknown model).
+    /// The live version of `model`, `None` for an unknown model.
+    /// Versions start at 1 and increase by one per promoted hot swap.
+    pub fn version(&self, model: impl Into<ModelId>) -> Option<ModelVersion> {
+        let model = model.into();
+        self.live_entry(&model).map(|e| e.version)
+    }
+
+    /// The version staged for hot swap on `model`, if a swap is in
+    /// progress.
+    pub fn staged_version(&self, model: impl Into<ModelId>) -> Option<ModelVersion> {
+        let model = model.into();
+        self.staged_entry(&model).map(|e| e.version)
+    }
+
+    /// The predictor names registered for `model`'s live version,
+    /// default first (`None` for an unknown model).
     pub fn predictor_names(&self, model: impl Into<ModelId>) -> Option<Vec<&str>> {
         let model = model.into();
-        self.models
-            .iter()
-            .find(|e| e.id == model)
+        self.live_entry(&model)
             .map(|e| e.predictors.iter().map(|(n, _)| n.as_ref()).collect())
     }
 
-    /// The network registered under `model`.
+    /// The network registered under `model`'s live version.
     pub fn network(&self, model: impl Into<ModelId>) -> Option<&Arc<DeepRnn>> {
         let model = model.into();
-        self.models
-            .iter()
-            .find(|e| e.id == model)
-            .map(|e| &e.network)
+        self.live_entry(&model).map(|e| &e.network)
     }
 
-    /// The registered factory for `(model, name)`, if any.  The
-    /// engine's observability path resolves live
+    /// The registered factory for `(model, version, name)`, if any.
+    /// The engine's observability path resolves live
     /// [`control_snapshot`](nfm_core::Predictor::control_snapshot)s
     /// through it.
     pub(crate) fn find_predictor(
         &self,
         model: &ModelId,
+        version: ModelVersion,
         name: &str,
     ) -> Option<&Arc<dyn Predictor>> {
         self.models
             .iter()
-            .find(|e| &e.id == model)
+            .find(|e| &e.id == model && e.version == version)
             .and_then(|e| e.predictors.iter().find(|(n, _)| n.as_ref() == name))
             .map(|(_, predictor)| predictor)
     }
 
     /// Resolves a request's options to the concrete network + predictor
-    /// pair a worker must serve it with.
+    /// pair a worker must serve it with.  Routes to live versions only;
+    /// staged swap candidates are reached through
+    /// [`ModelRegistry::resolve_staged`].
     pub(crate) fn resolve(&self, options: &RequestOptions) -> Result<Resolved, EngineError> {
         let entry = match &options.model {
             Some(id) => self
+                .live_entry(id)
+                .ok_or_else(|| EngineError::UnknownModel { model: id.clone() })?,
+            None => self
                 .models
                 .iter()
-                .find(|e| &e.id == id)
-                .ok_or_else(|| EngineError::UnknownModel { model: id.clone() })?,
-            None => self.models.first().ok_or(EngineError::EmptyRegistry)?,
+                .find(|e| e.live)
+                .ok_or(EngineError::EmptyRegistry)?,
         };
+        Self::resolve_in(entry, options)
+    }
+
+    /// Resolves `options` against the **staged** entry of `model` — the
+    /// canary side of a hot swap.  The caller guarantees a staged entry
+    /// exists.
+    pub(crate) fn resolve_staged(
+        &self,
+        model: &ModelId,
+        options: &RequestOptions,
+    ) -> Result<Resolved, EngineError> {
+        let entry = self
+            .staged_entry(model)
+            .ok_or_else(|| EngineError::UnknownModel {
+                model: model.clone(),
+            })?;
+        Self::resolve_in(entry, options)
+    }
+
+    fn resolve_in(entry: &ModelEntry, options: &RequestOptions) -> Result<Resolved, EngineError> {
         let (name, factory) = match &options.predictor {
             Some(wanted) => entry
                 .predictors
@@ -312,6 +436,7 @@ impl ModelRegistry {
         Ok(Resolved {
             key: ContextKey {
                 model: entry.id.clone(),
+                version: entry.version,
                 predictor: Arc::clone(name),
                 threshold_bits,
             },
@@ -320,15 +445,158 @@ impl ModelRegistry {
         })
     }
 
-    fn register_entry(&mut self, id: ModelId, network: Arc<DeepRnn>) -> Result<(), EngineError> {
+    /// Stages `network` as the next version of `model` for hot swap.
+    /// The staged entry gets predictors built from `kinds` (reusing
+    /// `mirror` when supplied, e.g. from an artifact) and version
+    /// `live + 1`.  It is invisible to [`ModelRegistry::resolve`] until
+    /// promoted.
+    pub(crate) fn stage(
+        &mut self,
+        model: &ModelId,
+        network: Arc<DeepRnn>,
+        mirror: Option<Arc<BinaryNetwork>>,
+        kinds: &[PredictorKind],
+    ) -> Result<ModelVersion, EngineError> {
+        if kinds.is_empty() {
+            return Err(EngineError::InvalidConfig {
+                what: "a staged model needs at least one predictor".into(),
+            });
+        }
+        let live = self
+            .live_entry(model)
+            .ok_or_else(|| EngineError::UnknownModel {
+                model: model.clone(),
+            })?;
+        let version = live.version + 1;
+        if self.staged_entry(model).is_some() {
+            return Err(EngineError::SwapInProgress {
+                model: model.clone(),
+            });
+        }
+        let mut entry = ModelEntry {
+            id: model.clone(),
+            version,
+            live: false,
+            network,
+            predictors: Vec::new(),
+            mirror,
+            tuning: Vec::new(),
+        };
+        for kind in kinds {
+            let mirror = if kind.needs_mirror() {
+                Some(
+                    entry
+                        .mirror
+                        .get_or_insert_with(|| Arc::new(BinaryNetwork::mirror(&entry.network)))
+                        .clone(),
+                )
+            } else {
+                None
+            };
+            let factory = kind.instantiate(&entry.network, mirror);
+            Self::push_predictor(&mut entry, Arc::from(kind.name()), factory)?;
+        }
+        self.models.push(entry);
+        Ok(version)
+    }
+
+    /// Autotunes the staged entry of `model` (no-op when none exists).
+    /// Returns the number of distinct shapes tuned.
+    pub(crate) fn autotune_staged(&mut self, model: &ModelId, lanes: usize) -> usize {
+        match self.models.iter_mut().find(|e| &e.id == model && !e.live) {
+            Some(entry) => Self::tune_entry(entry, lanes),
+            None => 0,
+        }
+    }
+
+    /// Promotes `model`'s staged entry to live, retiring the incumbent.
+    /// The new version takes the incumbent's registration slot so
+    /// default-model ordering never changes.  In-flight requests keep
+    /// their `Arc` handles to the retired weights; nothing is freed
+    /// until they finish.  No-op when no swap is staged.
+    pub(crate) fn promote(&mut self, model: &ModelId) {
+        let Some(live_idx) = self.models.iter().position(|e| &e.id == model && e.live) else {
+            return;
+        };
+        let Some(staged_idx) = self.models.iter().position(|e| &e.id == model && !e.live) else {
+            return;
+        };
+        self.models[staged_idx].live = true;
+        self.models.swap(live_idx, staged_idx);
+        self.models.remove(staged_idx);
+    }
+
+    /// Drops `model`'s staged entry (hot-swap rollback).  No-op when no
+    /// swap is staged.
+    pub(crate) fn discard_staged(&mut self, model: &ModelId) {
+        self.models.retain(|e| &e.id != model || e.live);
+    }
+
+    /// Removes `model` entirely — live entry and any staged candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] when `model` is not
+    /// registered and [`EngineError::CannotEvictLast`] when it is the
+    /// only live model (an engine cannot serve an empty registry).
+    pub(crate) fn evict(&mut self, model: &ModelId) -> Result<(), EngineError> {
+        if self.live_entry(model).is_none() {
+            return Err(EngineError::UnknownModel {
+                model: model.clone(),
+            });
+        }
+        if self.len() == 1 {
+            return Err(EngineError::CannotEvictLast {
+                model: model.clone(),
+            });
+        }
+        self.models.retain(|e| &e.id != model);
+        Ok(())
+    }
+
+    fn live_entry(&self, id: &ModelId) -> Option<&ModelEntry> {
+        self.models.iter().find(|e| &e.id == id && e.live)
+    }
+
+    fn staged_entry(&self, id: &ModelId) -> Option<&ModelEntry> {
+        self.models.iter().find(|e| &e.id == id && !e.live)
+    }
+
+    fn tune_entry(entry: &mut ModelEntry, lanes: usize) -> usize {
+        let backend = nfm_tensor::backend::active();
+        let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
+        for (_, gate) in entry.network.gates() {
+            let shape = (gate.neurons(), gate.input_size(), gate.hidden_size());
+            if !shapes.contains(&shape) {
+                shapes.push(shape);
+            }
+        }
+        entry.tuning.clear();
+        for (rows, xc, hc) in shapes {
+            let plan = tune_gate_shape(rows, xc, hc, lanes, backend);
+            plan.install();
+            entry.tuning.push(plan);
+        }
+        entry.tuning.len()
+    }
+
+    fn register_entry(
+        &mut self,
+        id: ModelId,
+        network: Arc<DeepRnn>,
+        mirror: Option<Arc<BinaryNetwork>>,
+    ) -> Result<(), EngineError> {
         if self.models.iter().any(|e| e.id == id) {
             return Err(EngineError::DuplicateModel { model: id });
         }
         self.models.push(ModelEntry {
             id,
+            version: 1,
+            live: true,
             network,
             predictors: Vec::new(),
-            mirror: None,
+            mirror,
+            tuning: Vec::new(),
         });
         Ok(())
     }
@@ -336,7 +604,7 @@ impl ModelRegistry {
     fn entry_mut(&mut self, id: &ModelId) -> Result<&mut ModelEntry, EngineError> {
         self.models
             .iter_mut()
-            .find(|e| &e.id == id)
+            .find(|e| &e.id == id && e.live)
             .ok_or_else(|| EngineError::UnknownModel { model: id.clone() })
     }
 
@@ -403,6 +671,7 @@ mod tests {
         let resolved = registry.resolve(&RequestOptions::default()).unwrap();
         assert_eq!(resolved.key.model.as_str(), "a");
         assert_eq!(resolved.key.predictor.as_ref(), "exact");
+        assert_eq!(resolved.key.version, 1);
         assert!(resolved.key.threshold_bits.is_none());
         let resolved = registry
             .resolve(&RequestOptions::default().model("b"))
@@ -513,5 +782,116 @@ mod tests {
             .resolve(&RequestOptions::default().threshold(0.75))
             .unwrap();
         assert_eq!(real.key.threshold_bits, Some(0.75f32.to_bits()));
+    }
+
+    #[test]
+    fn stage_promote_and_rollback_manage_versions() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("a", network(1), PredictorKind::Exact)
+            .unwrap();
+        registry
+            .register("b", network(2), PredictorKind::Exact)
+            .unwrap();
+        assert_eq!(registry.version("a"), Some(1));
+        assert_eq!(registry.staged_version("a"), None);
+
+        // Stage v2 of "a": invisible to resolve, visible to
+        // resolve_staged.
+        let v = registry
+            .stage(
+                &"a".into(),
+                Arc::new(network(3)),
+                None,
+                &[PredictorKind::Exact],
+            )
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(registry.staged_version("a"), Some(2));
+        assert_eq!(registry.version("a"), Some(1));
+        assert_eq!(registry.len(), 2, "staged entries do not count");
+        let live = registry.resolve(&RequestOptions::default()).unwrap();
+        assert_eq!(live.key.version, 1);
+        let staged = registry
+            .resolve_staged(&"a".into(), &RequestOptions::default())
+            .unwrap();
+        assert_eq!(staged.key.version, 2);
+
+        // A second stage while one is pending is a typed error.
+        assert!(matches!(
+            registry.stage(
+                &"a".into(),
+                Arc::new(network(4)),
+                None,
+                &[PredictorKind::Exact]
+            ),
+            Err(EngineError::SwapInProgress { .. })
+        ));
+
+        // Rollback: staged entry vanishes, live untouched.
+        registry.discard_staged(&"a".into());
+        assert_eq!(registry.staged_version("a"), None);
+        assert_eq!(registry.version("a"), Some(1));
+
+        // Promote: staged becomes live, version advances, default-model
+        // ordering is preserved.
+        registry
+            .stage(
+                &"a".into(),
+                Arc::new(network(3)),
+                None,
+                &[PredictorKind::Exact],
+            )
+            .unwrap();
+        registry.promote(&"a".into());
+        assert_eq!(registry.version("a"), Some(2));
+        assert_eq!(registry.staged_version("a"), None);
+        assert_eq!(registry.default_model().unwrap().as_str(), "a");
+        let resolved = registry.resolve(&RequestOptions::default()).unwrap();
+        assert_eq!(resolved.key.version, 2);
+    }
+
+    #[test]
+    fn evict_requires_known_model_and_refuses_the_last() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("a", network(1), PredictorKind::Exact)
+            .unwrap();
+        assert!(matches!(
+            registry.evict(&"ghost".into()),
+            Err(EngineError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            registry.evict(&"a".into()),
+            Err(EngineError::CannotEvictLast { .. })
+        ));
+        registry
+            .register("b", network(2), PredictorKind::Exact)
+            .unwrap();
+        registry.evict(&"a".into()).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.default_model().unwrap().as_str(), "b");
+        assert!(registry.version("a").is_none());
+    }
+
+    #[test]
+    fn stage_errors_are_typed() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("a", network(1), PredictorKind::Exact)
+            .unwrap();
+        assert!(matches!(
+            registry.stage(
+                &"ghost".into(),
+                Arc::new(network(2)),
+                None,
+                &[PredictorKind::Exact]
+            ),
+            Err(EngineError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            registry.stage(&"a".into(), Arc::new(network(2)), None, &[]),
+            Err(EngineError::InvalidConfig { .. })
+        ));
     }
 }

@@ -62,6 +62,7 @@ impl Priority {
 /// threshold of a predictor that has none — is rejected synchronously
 /// with a typed [`EngineError`](crate::EngineError).
 #[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
 pub struct RequestOptions {
     /// The model to run, `None` for the engine's default model.
     pub model: Option<ModelId>,
@@ -79,6 +80,28 @@ pub struct RequestOptions {
 }
 
 impl RequestOptions {
+    /// Options for the engine's default model — the start of a fluent
+    /// chain, equivalent to `RequestOptions::default()`.
+    pub fn new() -> Self {
+        RequestOptions::default()
+    }
+
+    /// Options targeting a registered model — the canonical start of
+    /// the fluent chain:
+    ///
+    /// ```
+    /// use nfm_serve::{Priority, RequestOptions};
+    ///
+    /// let options = RequestOptions::for_model("kws")
+    ///     .predictor("bnn")
+    ///     .threshold(0.4)
+    ///     .priority(Priority::High);
+    /// assert_eq!(options.model, Some("kws".into()));
+    /// ```
+    pub fn for_model(model: impl Into<ModelId>) -> Self {
+        RequestOptions::default().model(model)
+    }
+
     /// Targets a registered model.
     pub fn model(mut self, model: impl Into<ModelId>) -> Self {
         self.model = Some(model.into());
@@ -142,13 +165,28 @@ impl InferenceRequest {
         self
     }
 
-    /// Replaces all options at once.
+    /// Replaces all options at once — the canonical way to choose a
+    /// model, predictor, threshold and priority, paired with the
+    /// [`RequestOptions`] fluent builder:
+    ///
+    /// ```
+    /// use nfm_serve::{InferenceRequest, Priority, RequestOptions};
+    /// use nfm_tensor::Vector;
+    ///
+    /// let request = InferenceRequest::new(1, vec![Vector::zeros(4)])
+    ///     .with_options(RequestOptions::for_model("kws").priority(Priority::High));
+    /// ```
     pub fn with_options(mut self, options: RequestOptions) -> Self {
         self.options = options;
         self
     }
 
     /// Targets a registered model (see [`RequestOptions::model`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build options with `RequestOptions::for_model(..)` and attach them via \
+                `with_options`"
+    )]
     pub fn for_model(mut self, model: impl Into<ModelId>) -> Self {
         self.options.model = Some(model.into());
         self
@@ -156,6 +194,11 @@ impl InferenceRequest {
 
     /// Picks a registered predictor by name (see
     /// [`RequestOptions::predictor`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build options with `RequestOptions::..predictor(..)` and attach them via \
+                `with_options`"
+    )]
     pub fn with_predictor(mut self, predictor: impl Into<String>) -> Self {
         self.options.predictor = Some(predictor.into());
         self
@@ -163,12 +206,22 @@ impl InferenceRequest {
 
     /// Overrides the reuse threshold for this request (see
     /// [`RequestOptions::threshold`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build options with `RequestOptions::..threshold(..)` and attach them via \
+                `with_options`"
+    )]
     pub fn with_threshold(mut self, threshold: f32) -> Self {
         self.options.threshold = Some(threshold);
         self
     }
 
     /// Sets the scheduling priority.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build options with `RequestOptions::..priority(..)` and attach them via \
+                `with_options`"
+    )]
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.options.priority = priority;
         self
@@ -268,6 +321,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shims must keep working until removal
     fn request_builder_sets_options() {
         let r = InferenceRequest::new(1, vec![Vector::zeros(2)])
             .for_model("asr")
@@ -283,6 +337,19 @@ mod tests {
         assert_eq!(r.options.model, Some("kws".into()));
         assert!(r.options.predictor.is_none());
         assert_eq!(r.options.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn options_fluent_builder_composes() {
+        let o = RequestOptions::for_model("kws")
+            .predictor("bnn")
+            .threshold(0.4)
+            .priority(Priority::High);
+        assert_eq!(o.model, Some("kws".into()));
+        assert_eq!(o.predictor.as_deref(), Some("bnn"));
+        assert_eq!(o.threshold, Some(0.4));
+        assert_eq!(o.priority, Priority::High);
+        assert_eq!(RequestOptions::new(), RequestOptions::default());
     }
 
     #[test]

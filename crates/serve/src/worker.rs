@@ -72,6 +72,16 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Routes a response back to the engine's swap observer: the
+/// submission serial (unique per admitted request) plus whether this is
+/// the suppressed shadow half of a canary pair.  Workers thread the tag
+/// through unchanged; only the engine's emit closure interprets it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResponseTag {
+    pub(crate) serial: u64,
+    pub(crate) shadow: bool,
+}
+
 /// A request plus its submission timestamp (queue-latency anchor) and
 /// its registry resolution.
 #[derive(Debug)]
@@ -79,6 +89,10 @@ pub(crate) struct QueuedRequest {
     pub req: InferenceRequest,
     pub submitted_at: Instant,
     pub resolved: Resolved,
+    /// Engine-issued submission serial (see [`ResponseTag`]).
+    pub serial: u64,
+    /// Whether this is the suppressed shadow half of a canary pair.
+    pub shadow: bool,
 }
 
 impl QueuedRequest {
@@ -86,6 +100,13 @@ impl QueuedRequest {
         match self.req.deadline {
             Some(deadline) => self.submitted_at.elapsed() > deadline,
             None => false,
+        }
+    }
+
+    fn tag(&self) -> ResponseTag {
+        ResponseTag {
+            serial: self.serial,
+            shadow: self.shadow,
         }
     }
 }
@@ -97,6 +118,8 @@ pub(crate) struct Inflight {
     submitted_at: Instant,
     admitted_at: Instant,
     timesteps: usize,
+    serial: u64,
+    shadow: bool,
 }
 
 impl Inflight {
@@ -104,6 +127,13 @@ impl Inflight {
         match self.deadline {
             Some(d) => self.submitted_at.elapsed() > d,
             None => false,
+        }
+    }
+
+    fn tag(&self) -> ResponseTag {
+        ResponseTag {
+            serial: self.serial,
+            shadow: self.shadow,
         }
     }
 }
@@ -357,7 +387,7 @@ impl LaneWorker {
         &mut self,
         pull: &mut PullFn<'_>,
         bridge: &dyn StealBridge,
-        emit: &mut dyn FnMut(InferenceResponse),
+        emit: &mut dyn FnMut(InferenceResponse, ResponseTag),
         report: &mut dyn FnMut(String),
     ) {
         loop {
@@ -518,12 +548,16 @@ impl LaneWorker {
         &mut self,
         q: QueuedRequest,
         bridge: &dyn StealBridge,
-        emit: &mut dyn FnMut(InferenceResponse),
+        emit: &mut dyn FnMut(InferenceResponse, ResponseTag),
         report: &mut dyn FnMut(String),
     ) {
         let queue_latency = q.submitted_at.elapsed();
+        let tag = q.tag();
         if q.expired() && self.policy == DeadlinePolicy::DropExpired {
-            emit(expired_response(q.req.id, queue_latency, Duration::ZERO));
+            emit(
+                expired_response(q.req.id, queue_latency, Duration::ZERO),
+                tag,
+            );
             return;
         }
         let fair_share = self.lanes;
@@ -532,7 +566,10 @@ impl LaneWorker {
         if ctx.sched.scheduler.free_lanes() == 0 {
             debug_assert!(false, "pull predicate admitted into a full scheduler");
             report("request routed to a full execution context".into());
-            emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
+            emit(
+                rejected_response(q.req.id, queue_latency, Duration::ZERO),
+                tag,
+            );
             return;
         }
         // An admission past the fair share is a borrowed sibling lane.
@@ -559,6 +596,8 @@ impl LaneWorker {
                         submitted_at: q.submitted_at,
                         admitted_at,
                         timesteps,
+                        serial: q.serial,
+                        shadow: q.shadow,
                     },
                 );
                 if borrows {
@@ -567,7 +606,10 @@ impl LaneWorker {
             }
             Err(e) => {
                 report(e.to_string());
-                emit(rejected_response(q.req.id, queue_latency, Duration::ZERO));
+                emit(
+                    rejected_response(q.req.id, queue_latency, Duration::ZERO),
+                    tag,
+                );
             }
         }
     }
@@ -578,7 +620,7 @@ impl LaneWorker {
     /// happened.
     fn step_contexts(
         &mut self,
-        emit: &mut dyn FnMut(InferenceResponse),
+        emit: &mut dyn FnMut(InferenceResponse, ResponseTag),
         report: &mut dyn FnMut(String),
     ) -> bool {
         let mut progressed = false;
@@ -651,7 +693,7 @@ impl LaneWorker {
     fn receive(
         &mut self,
         lane: MigratedLane,
-        emit: &mut dyn FnMut(InferenceResponse),
+        emit: &mut dyn FnMut(InferenceResponse, ResponseTag),
         report: &mut dyn FnMut(String),
     ) {
         let MigratedLane {
@@ -673,20 +715,18 @@ impl LaneWorker {
                 } else {
                     let _ = ctx.sched.scheduler.cancel(token, ctx.evaluator.as_mut());
                     report("migrated lane rejected: evaluator refused the lane state".into());
-                    emit(rejected_response(
-                        inflight.id,
-                        queue_latency,
-                        compute_latency,
-                    ));
+                    emit(
+                        rejected_response(inflight.id, queue_latency, compute_latency),
+                        inflight.tag(),
+                    );
                 }
             }
             Err(e) => {
                 report(e.to_string());
-                emit(rejected_response(
-                    inflight.id,
-                    queue_latency,
-                    compute_latency,
-                ));
+                emit(
+                    rejected_response(inflight.id, queue_latency, compute_latency),
+                    inflight.tag(),
+                );
             }
         }
     }
@@ -698,7 +738,7 @@ impl LaneWorker {
 fn step_context(
     ctx: &mut ExecContext,
     policy: DeadlinePolicy,
-    emit: &mut dyn FnMut(InferenceResponse),
+    emit: &mut dyn FnMut(InferenceResponse, ResponseTag),
     report: &mut dyn FnMut(String),
 ) -> bool {
     // Split the context's fields so the scheduler, evaluator and
@@ -745,23 +785,25 @@ fn step_context(
                         lane,
                         cancelled.outputs.len(),
                     );
-                    emit(InferenceResponse {
-                        id: info.id,
-                        status: CompletionStatus::DeadlineExpired,
-                        outputs: Vec::new(),
-                        stats: ReuseStats::new(),
-                        queue_latency: info.admitted_at.duration_since(info.submitted_at),
-                        compute_latency: info.admitted_at.elapsed(),
-                    });
+                    emit(
+                        InferenceResponse {
+                            id: info.id,
+                            status: CompletionStatus::DeadlineExpired,
+                            outputs: Vec::new(),
+                            stats: ReuseStats::new(),
+                            queue_latency: info.admitted_at.duration_since(info.submitted_at),
+                            compute_latency: info.admitted_at.elapsed(),
+                        },
+                        info.tag(),
+                    );
                 }
                 // A staged wave admission that never entered the
                 // evaluator: pure queue wait, zero compute.
                 None => {
-                    emit(expired_response(
-                        info.id,
-                        info.submitted_at.elapsed(),
-                        Duration::ZERO,
-                    ));
+                    emit(
+                        expired_response(info.id, info.submitted_at.elapsed(), Duration::ZERO),
+                        info.tag(),
+                    );
                 }
             }
         }
@@ -796,14 +838,17 @@ fn step_context(
                     // wave-pending admissions lack a lane).
                     None => ReuseStats::new(),
                 };
-                emit(InferenceResponse {
-                    id: info.id,
-                    status: completion_status(&info.deadline, info.submitted_at),
-                    outputs: f.outputs,
-                    stats,
-                    queue_latency: info.admitted_at.duration_since(info.submitted_at),
-                    compute_latency: info.admitted_at.elapsed(),
-                });
+                emit(
+                    InferenceResponse {
+                        id: info.id,
+                        status: completion_status(&info.deadline, info.submitted_at),
+                        outputs: f.outputs,
+                        stats,
+                        queue_latency: info.admitted_at.duration_since(info.submitted_at),
+                        compute_latency: info.admitted_at.elapsed(),
+                    },
+                    info.tag(),
+                );
             }
             advanced > 0
         }
@@ -813,11 +858,14 @@ fn step_context(
             // lanes.
             report(e.to_string());
             for (_, info) in sched.inflight.drain() {
-                emit(rejected_response(
-                    info.id,
-                    info.admitted_at.duration_since(info.submitted_at),
-                    info.admitted_at.elapsed(),
-                ));
+                emit(
+                    rejected_response(
+                        info.id,
+                        info.admitted_at.duration_since(info.submitted_at),
+                        info.admitted_at.elapsed(),
+                    ),
+                    info.tag(),
+                );
             }
             let capacity = sched.scheduler.lanes();
             let refill = sched.scheduler.policy();

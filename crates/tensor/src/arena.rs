@@ -1,0 +1,355 @@
+//! Contiguous, 8-byte-aligned tensor arena for zero-copy model loading.
+//!
+//! A model artifact's whole payload is read into **one** [`TensorArena`]
+//! (a single allocation, a single bulk read); every tensor in the model
+//! then *borrows* its slice of the arena instead of owning a copy.  The
+//! arena is backed by `u64` words so any offset that is a multiple of 8
+//! is correctly aligned for both `f32` views (weight matrices, biases)
+//! and `u64` views (the BNN mirror's packed sign words) — the artifact
+//! writer pads every tensor to a 64-byte boundary, which is a multiple
+//! of both.
+//!
+//! Views hand out plain `&[f32]` / `&[u64]` slices, so the hot kernel
+//! paths are completely unaware of whether a tensor is owned or
+//! arena-backed.  Mutation of an arena-backed tensor (rare: training or
+//! test mutation helpers) falls back to copy-on-write in the tensor
+//! types, never writes through the shared arena.
+
+use crate::error::TensorError;
+use crate::Result;
+use std::io::Read;
+use std::sync::Arc;
+
+/// One contiguous, shared, read-only buffer holding every tensor of a
+/// loaded model.
+///
+/// The backing store is a `Vec<u64>` so the base address is always
+/// 8-byte aligned; `len_bytes` tracks the real payload length (the last
+/// word may be partially used).
+pub struct TensorArena {
+    words: Vec<u64>,
+    len_bytes: usize,
+}
+
+impl TensorArena {
+    /// Wraps an already-materialized word buffer.
+    ///
+    /// `len_bytes` is the number of meaningful bytes; it must fit in
+    /// `words.len() * 8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if `len_bytes` exceeds
+    /// the buffer.
+    pub fn from_words(words: Vec<u64>, len_bytes: usize) -> Result<Self> {
+        if len_bytes > words.len() * 8 {
+            return Err(TensorError::InvalidParameter {
+                what: "arena byte length exceeds word buffer",
+            });
+        }
+        Ok(TensorArena { words, len_bytes })
+    }
+
+    /// Reads exactly `len_bytes` from `reader` into a fresh arena — the
+    /// single bulk copy a model load performs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (including unexpected EOF).
+    pub fn read_exact_from(reader: &mut impl Read, len_bytes: usize) -> std::io::Result<Self> {
+        let mut words = vec![0u64; len_bytes.div_ceil(8)];
+        // SAFETY: the byte view covers exactly the Vec's initialized
+        // allocation; u64 has no invalid bit patterns, so writing raw
+        // bytes through it is sound.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len_bytes) };
+        reader.read_exact(bytes)?;
+        Ok(TensorArena { words, len_bytes })
+    }
+
+    /// Copies a byte slice into a fresh arena (one whole-payload copy,
+    /// used when the caller already holds the artifact in memory).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: as above — the byte view covers the allocation.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, bytes.len()) };
+        dst.copy_from_slice(bytes);
+        TensorArena {
+            words,
+            len_bytes: bytes.len(),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.len_bytes
+    }
+
+    /// Returns `true` if the arena holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    /// Whole payload as bytes (for checksumming).
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the view covers initialized memory inside the Vec.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len_bytes) }
+    }
+
+    /// Borrows `count` `f32` values starting at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the offset is not
+    /// 4-byte aligned or the range escapes the arena.
+    pub fn f32s(&self, byte_offset: usize, count: usize) -> Result<&[f32]> {
+        let bytes = count.checked_mul(4).ok_or(TensorError::InvalidParameter {
+            what: "f32 view length overflows",
+        })?;
+        let end = byte_offset
+            .checked_add(bytes)
+            .ok_or(TensorError::InvalidParameter {
+                what: "f32 view range overflows",
+            })?;
+        if !byte_offset.is_multiple_of(4) {
+            return Err(TensorError::InvalidParameter {
+                what: "f32 view offset must be 4-byte aligned",
+            });
+        }
+        if end > self.len_bytes {
+            return Err(TensorError::InvalidParameter {
+                what: "f32 view escapes the arena",
+            });
+        }
+        // SAFETY: range checked above; base is 8-byte aligned and the
+        // offset is a multiple of 4, so the pointer is f32-aligned; f32
+        // has no invalid bit patterns.
+        Ok(unsafe {
+            std::slice::from_raw_parts(
+                (self.words.as_ptr() as *const u8).add(byte_offset) as *const f32,
+                count,
+            )
+        })
+    }
+
+    /// Borrows `count` `u64` words starting at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the offset is not
+    /// 8-byte aligned or the range escapes the arena.
+    pub fn u64s(&self, byte_offset: usize, count: usize) -> Result<&[u64]> {
+        let bytes = count.checked_mul(8).ok_or(TensorError::InvalidParameter {
+            what: "u64 view length overflows",
+        })?;
+        let end = byte_offset
+            .checked_add(bytes)
+            .ok_or(TensorError::InvalidParameter {
+                what: "u64 view range overflows",
+            })?;
+        if !byte_offset.is_multiple_of(8) {
+            return Err(TensorError::InvalidParameter {
+                what: "u64 view offset must be 8-byte aligned",
+            });
+        }
+        if end > self.len_bytes {
+            return Err(TensorError::InvalidParameter {
+                what: "u64 view escapes the arena",
+            });
+        }
+        // SAFETY: range and alignment checked above.
+        Ok(unsafe {
+            std::slice::from_raw_parts(
+                (self.words.as_ptr() as *const u8).add(byte_offset) as *const u64,
+                count,
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for TensorArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TensorArena")
+            .field("len_bytes", &self.len_bytes)
+            .finish()
+    }
+}
+
+/// A borrowed `f32` window into a shared [`TensorArena`].
+///
+/// Cloning a view clones the `Arc`, never the data.
+#[derive(Clone)]
+pub struct ArenaF32 {
+    arena: Arc<TensorArena>,
+    byte_offset: usize,
+    len: usize,
+}
+
+impl ArenaF32 {
+    /// Creates a view of `len` `f32`s at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] on misalignment or an
+    /// out-of-range window.
+    pub fn new(arena: Arc<TensorArena>, byte_offset: usize, len: usize) -> Result<Self> {
+        arena.f32s(byte_offset, len)?;
+        Ok(ArenaF32 {
+            arena,
+            byte_offset,
+            len,
+        })
+    }
+
+    /// The viewed slice.
+    pub fn as_slice(&self) -> &[f32] {
+        self.arena
+            .f32s(self.byte_offset, self.len)
+            .expect("validated at construction")
+    }
+
+    /// Number of `f32` elements in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for ArenaF32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaF32")
+            .field("byte_offset", &self.byte_offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A borrowed `u64` window into a shared [`TensorArena`] (packed sign
+/// words of the BNN mirror).
+#[derive(Clone)]
+pub struct ArenaU64 {
+    arena: Arc<TensorArena>,
+    byte_offset: usize,
+    len: usize,
+}
+
+impl ArenaU64 {
+    /// Creates a view of `len` words at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] on misalignment or an
+    /// out-of-range window.
+    pub fn new(arena: Arc<TensorArena>, byte_offset: usize, len: usize) -> Result<Self> {
+        arena.u64s(byte_offset, len)?;
+        Ok(ArenaU64 {
+            arena,
+            byte_offset,
+            len,
+        })
+    }
+
+    /// The viewed words.
+    pub fn as_slice(&self) -> &[u64] {
+        self.arena
+            .u64s(self.byte_offset, self.len)
+            .expect("validated at construction")
+    }
+
+    /// Number of words in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for ArenaU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaU64")
+            .field("byte_offset", &self.byte_offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_of_f32s(values: &[f32]) -> Arc<TensorArena> {
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Arc::new(TensorArena::from_bytes(&bytes))
+    }
+
+    #[test]
+    fn f32_view_round_trips_on_little_endian() {
+        if cfg!(target_endian = "big") {
+            return; // arenas reinterpret LE payload bytes natively
+        }
+        let arena = arena_of_f32s(&[1.0, -2.5, 3.25]);
+        assert_eq!(arena.f32s(0, 3).unwrap(), &[1.0, -2.5, 3.25]);
+        assert_eq!(arena.f32s(4, 2).unwrap(), &[-2.5, 3.25]);
+    }
+
+    #[test]
+    fn out_of_range_and_misaligned_views_error() {
+        let arena = arena_of_f32s(&[1.0, 2.0]);
+        assert!(arena.f32s(0, 3).is_err());
+        assert!(arena.f32s(1, 1).is_err());
+        assert!(arena.u64s(4, 1).is_err());
+        assert!(arena.u64s(0, 2).is_err());
+        assert!(arena.f32s(usize::MAX, 1).is_err());
+        assert!(arena.f32s(0, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn u64_view_reads_words() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0xDEAD_BEEF_0123_4567u64.to_le_bytes());
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        let arena = TensorArena::from_bytes(&bytes);
+        if cfg!(target_endian = "little") {
+            assert_eq!(arena.u64s(0, 2).unwrap(), &[0xDEAD_BEEF_0123_4567, 7]);
+            assert_eq!(arena.u64s(8, 1).unwrap(), &[7]);
+        }
+    }
+
+    #[test]
+    fn read_exact_from_consumes_reader() {
+        let bytes: Vec<u8> = (0..24).collect();
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let arena = TensorArena::read_exact_from(&mut cursor, 24).unwrap();
+        assert_eq!(arena.as_bytes(), &bytes[..]);
+        let mut short = std::io::Cursor::new(vec![0u8; 3]);
+        assert!(TensorArena::read_exact_from(&mut short, 24).is_err());
+    }
+
+    #[test]
+    fn views_share_the_arena() {
+        let arena = arena_of_f32s(&[0.0; 16]);
+        let a = ArenaF32::new(arena.clone(), 0, 8).unwrap();
+        let b = a.clone();
+        assert_eq!(a.as_slice().len(), b.as_slice().len());
+        assert!(ArenaF32::new(arena.clone(), 60, 8).is_err());
+        let w = ArenaU64::new(arena, 0, 8).unwrap();
+        assert_eq!(w.as_slice(), &[0u64; 8]);
+    }
+
+    #[test]
+    fn from_words_checks_length() {
+        assert!(TensorArena::from_words(vec![0; 2], 16).is_ok());
+        assert!(TensorArena::from_words(vec![0; 2], 17).is_err());
+    }
+}

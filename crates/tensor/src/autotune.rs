@@ -1,0 +1,520 @@
+//! Per-shape kernel autotuning.
+//!
+//! The batched gate kernels ([`crate::kernels::matmul_into`],
+//! [`crate::kernels::matmul_add_into`],
+//! [`crate::kernels::dual_matmul_into`]) each fix one traversal
+//! *blocking* — the order rows and lanes are walked and how many outputs
+//! share one streamed operand.  The best blocking depends on the layer
+//! shape (neurons × input width × lane count) and the active SIMD tier:
+//! a wide AVX-512 row amortizes differently than a NEON row, and a
+//! 4-lane tile that wins at 16 lanes can lose at 2.
+//!
+//! Because every blocking drives the *same* canonical sixteen-lane
+//! reduction order per (row, lane) output (see [`crate::kernels`]), the
+//! choice is bit-transparent: outputs are identical to the last ulp
+//! across [`Blocking`] variants and across tiers.  That makes the
+//! traversal a pure performance knob, safe to tune at model-registration
+//! time without perturbing memoization decisions.
+//!
+//! The cuDNN-style protocol: [`tune_gate_shape`] benchmarks each
+//! candidate on synthetic data shaped like the real workload, picks the
+//! fastest, and records it in a process-wide cache keyed by
+//! `(kernel, shape, backend)`.  The `*_into_tuned` kernel entry points
+//! consult the cache and fall back to each kernel's historical default
+//! when no entry exists — untuned behavior is byte-for-byte the old
+//! behavior.  Since every kernel's default is itself a candidate, the
+//! tuned choice is never slower than the fixed one (up to measurement
+//! noise bounded by the median-of-samples timing below).
+
+use crate::backend::KernelBackend;
+use crate::kernels;
+use crate::rng::DeterministicRng;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+use std::time::Instant;
+
+/// Traversal blocking of a lane-striped gate kernel.
+///
+/// All variants compute bit-identical outputs; they differ only in how
+/// many (row, lane) outputs share one pass over a streamed operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blocking {
+    /// One dot per (row, lane): no sharing, smallest register
+    /// footprint.  Wins when lanes are few and rows are short.
+    Plain,
+    /// Lanes paired through `dot2`, sharing each streamed row across
+    /// two accumulator chains.  Historical default for `matmul` /
+    /// `matmul_add`.
+    Pair2,
+    /// 4×4 row-by-lane register tiles driven by `dot_quad`.  Historical
+    /// default for `dual_matmul`.
+    Quad4,
+}
+
+impl Blocking {
+    /// All candidates, in tuning order.
+    pub const ALL: [Blocking; 3] = [Blocking::Plain, Blocking::Pair2, Blocking::Quad4];
+
+    /// Stable short name (used in bench IDs and registry dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Blocking::Plain => "plain",
+            Blocking::Pair2 => "pair2",
+            Blocking::Quad4 => "quad4",
+        }
+    }
+}
+
+/// Which tunable kernel a cache entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TunedKernel {
+    /// Lane-striped `out[l] = M·x_l` (hoisted recurrent product).
+    Matmul,
+    /// `out[l] = base_l + M·x_l` (hoisted forward + recurrent combine).
+    MatmulAdd,
+    /// Fused `out[l] = Wx·x_l + Wh·h_l` (batched gate pre-activation).
+    DualMatmul,
+}
+
+impl TunedKernel {
+    /// The blocking each kernel used before autotuning existed — the
+    /// fallback when the cache has no entry, and always a candidate.
+    pub fn default_blocking(self) -> Blocking {
+        match self {
+            TunedKernel::Matmul | TunedKernel::MatmulAdd => Blocking::Pair2,
+            TunedKernel::DualMatmul => Blocking::Quad4,
+        }
+    }
+
+    /// Stable short name (used in bench IDs).
+    pub fn name(self) -> &'static str {
+        match self {
+            TunedKernel::Matmul => "matmul",
+            TunedKernel::MatmulAdd => "matmul_add",
+            TunedKernel::DualMatmul => "dual_matmul",
+        }
+    }
+}
+
+/// Cache key: one tuned decision per kernel × problem shape × SIMD tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// Which kernel the decision applies to.
+    pub kernel: TunedKernel,
+    /// Output rows (gate neurons).
+    pub rows: usize,
+    /// Forward operand width (input size).  For [`TunedKernel::Matmul`]
+    /// and [`TunedKernel::MatmulAdd`] this is the single operand width.
+    pub xc: usize,
+    /// Recurrent operand width (hidden size); `0` for the single-matrix
+    /// kernels.
+    pub hc: usize,
+    /// Lane (batch) count the kernel is invoked with.
+    pub lanes: usize,
+    /// SIMD tier the decision was measured on.
+    pub backend: KernelBackend,
+}
+
+fn cache() -> &'static RwLock<HashMap<ShapeKey, Blocking>> {
+    static CACHE: OnceLock<RwLock<HashMap<ShapeKey, Blocking>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Looks up a previously recorded decision.  `None` means "untuned":
+/// callers fall back to [`TunedKernel::default_blocking`].
+pub fn lookup(key: &ShapeKey) -> Option<Blocking> {
+    cache().read().ok()?.get(key).copied()
+}
+
+/// Records a decision, replacing any previous entry for the key.
+pub fn record(key: ShapeKey, blocking: Blocking) {
+    if let Ok(mut map) = cache().write() {
+        map.insert(key, blocking);
+    }
+}
+
+/// Resolved blocking for a key: the cached decision, or the kernel's
+/// historical default when untuned.
+pub fn blocking_for(key: &ShapeKey) -> Blocking {
+    lookup(key).unwrap_or_else(|| key.kernel.default_blocking())
+}
+
+/// Drops every recorded decision (test isolation).
+pub fn clear() {
+    if let Ok(mut map) = cache().write() {
+        map.clear();
+    }
+}
+
+/// Number of decisions currently cached.
+pub fn cached_entries() -> usize {
+    cache().read().map(|m| m.len()).unwrap_or(0)
+}
+
+/// Hoist block sizes the scheduler-level tuner may choose between.
+/// Bounded above by the schedulers' fixed `HOIST_BLOCK` array size.
+pub const HOIST_BLOCK_CANDIDATES: [usize; 2] = [4, 8];
+
+/// One candidate's measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The traversal measured.
+    pub blocking: Blocking,
+    /// Median wall time per kernel invocation, in nanoseconds.
+    pub nanos: f64,
+}
+
+/// The tuned plan for one gate shape on one backend: the winning
+/// blocking per kernel plus the measurements that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateShapePlan {
+    /// Gate neurons (output rows).
+    pub rows: usize,
+    /// Input width.
+    pub xc: usize,
+    /// Hidden width.
+    pub hc: usize,
+    /// Lane count tuned for.
+    pub lanes: usize,
+    /// Backend tuned on.
+    pub backend: KernelBackend,
+    /// Winner for [`TunedKernel::DualMatmul`].
+    pub dual_matmul: Blocking,
+    /// Winner for [`TunedKernel::Matmul`].
+    pub matmul: Blocking,
+    /// Winner for [`TunedKernel::MatmulAdd`].
+    pub matmul_add: Blocking,
+    /// Chosen hoist block size (timestep rows packed per hoisted
+    /// matmul), from [`HOIST_BLOCK_CANDIDATES`].
+    pub hoist_block: usize,
+    /// All `dual_matmul` measurements (winner included).
+    pub dual_matmul_samples: Vec<Sample>,
+    /// All `matmul` measurements at `lanes` lanes.
+    pub matmul_samples: Vec<Sample>,
+    /// All `matmul_add` measurements.
+    pub matmul_add_samples: Vec<Sample>,
+}
+
+impl GateShapePlan {
+    /// Speedup of the tuned `dual_matmul` choice over the fixed
+    /// default (≥ 1.0 up to timing noise, since the default is always
+    /// a candidate).
+    pub fn dual_matmul_speedup(&self) -> f64 {
+        speedup(
+            &self.dual_matmul_samples,
+            TunedKernel::DualMatmul.default_blocking(),
+            self.dual_matmul,
+        )
+    }
+
+    /// Speedup of the tuned hoisted-`matmul` choice over the default.
+    pub fn matmul_speedup(&self) -> f64 {
+        speedup(
+            &self.matmul_samples,
+            TunedKernel::Matmul.default_blocking(),
+            self.matmul,
+        )
+    }
+
+    /// Records all three winners in the process-wide cache so the
+    /// `*_into_tuned` entry points pick them up.
+    pub fn install(&self) {
+        record(self.key(TunedKernel::DualMatmul), self.dual_matmul);
+        record(self.key(TunedKernel::Matmul), self.matmul);
+        record(self.key(TunedKernel::MatmulAdd), self.matmul_add);
+    }
+
+    /// Cache key for one of this plan's kernels.
+    pub fn key(&self, kernel: TunedKernel) -> ShapeKey {
+        match kernel {
+            TunedKernel::DualMatmul => ShapeKey {
+                kernel,
+                rows: self.rows,
+                xc: self.xc,
+                hc: self.hc,
+                lanes: self.lanes,
+                backend: self.backend,
+            },
+            // The hoisted single-matrix kernels stream Wh against
+            // packed hidden states: operand width hc, lane count
+            // lanes × hoist_block.
+            TunedKernel::Matmul | TunedKernel::MatmulAdd => ShapeKey {
+                kernel,
+                rows: self.rows,
+                xc: self.hc,
+                hc: 0,
+                lanes: self.lanes * self.hoist_block,
+                backend: self.backend,
+            },
+        }
+    }
+}
+
+fn speedup(samples: &[Sample], default: Blocking, chosen: Blocking) -> f64 {
+    let find = |b: Blocking| samples.iter().find(|s| s.blocking == b).map(|s| s.nanos);
+    match (find(default), find(chosen)) {
+        (Some(d), Some(c)) if c > 0.0 => d / c,
+        _ => 1.0,
+    }
+}
+
+/// Median wall time of `f` over `samples` timed batches of `iters`
+/// invocations each, after one warmup batch.  Returns nanoseconds per
+/// invocation.
+fn time_median<F: FnMut()>(mut f: F, iters: usize, samples: usize) -> f64 {
+    let run_batch = |f: &mut F| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    run_batch(&mut f); // warmup: touch caches, settle frequency
+    let mut times: Vec<f64> = (0..samples).map(|_| run_batch(&mut f)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("Instant nanos are finite"));
+    times[times.len() / 2]
+}
+
+/// Picks timing iteration counts so small shapes still measure above
+/// clock granularity while big shapes stay cheap: aim for ~2M
+/// multiply-adds per batch, clamped to `[4, 256]` invocations.
+fn iters_for(flops: usize) -> usize {
+    (2_000_000 / flops.max(1)).clamp(4, 256)
+}
+
+/// Benchmarks every [`Blocking`] for the three batched gate kernels at
+/// one gate shape on `backend`, plus the hoist block size, and returns
+/// the winning plan.  Pure measurement — call
+/// [`GateShapePlan::install`] to make the `*_into_tuned` entry points
+/// use it.
+///
+/// Synthetic operands are deterministic (seeded from the shape) so
+/// tuning never touches real weights and runs before any model data
+/// exists.
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this machine (same contract
+/// as invoking the kernels themselves) or if any dimension is zero.
+pub fn tune_gate_shape(
+    rows: usize,
+    xc: usize,
+    hc: usize,
+    lanes: usize,
+    backend: KernelBackend,
+) -> GateShapePlan {
+    assert!(
+        rows > 0 && xc > 0 && hc > 0 && lanes > 0,
+        "tune_gate_shape: zero dimension"
+    );
+    let mut rng = DeterministicRng::seed_from_u64(
+        0x5EED ^ (rows as u64) << 48 ^ (xc as u64) << 32 ^ (hc as u64) << 16 ^ lanes as u64,
+    );
+    let wx = crate::Matrix::from_fn(rows, xc, |_, _| rng.uniform(-1.0, 1.0));
+    let wh = crate::Matrix::from_fn(rows, hc, |_, _| rng.uniform(-1.0, 1.0));
+    let mut fill = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect() };
+    let max_pack = lanes * HOIST_BLOCK_CANDIDATES[HOIST_BLOCK_CANDIDATES.len() - 1];
+    let xs = fill(xc * lanes);
+    let hs = fill(hc * max_pack);
+    let base = fill(rows * max_pack);
+    let mut out = vec![0.0f32; rows * max_pack];
+
+    // dual_matmul: rows × (xc + hc) MACs per lane.
+    let dual_iters = iters_for(rows * (xc + hc) * lanes);
+    let dual_matmul_samples: Vec<Sample> = Blocking::ALL
+        .iter()
+        .map(|&blocking| Sample {
+            blocking,
+            nanos: time_median(
+                || {
+                    kernels::dual_matmul_into_blocked_on(
+                        backend,
+                        wx.as_slice(),
+                        wh.as_slice(),
+                        rows,
+                        xc,
+                        hc,
+                        &xs,
+                        &hs[..hc * lanes],
+                        lanes,
+                        &mut out[..rows * lanes],
+                        blocking,
+                    )
+                    .expect("tuning operands are well-formed");
+                },
+                dual_iters,
+                5,
+            ),
+        })
+        .collect();
+
+    // Hoisted matmul / matmul_add stream Wh over `lanes × block` packed
+    // rows.  Tune the blocking at the largest pack (most lanes → the
+    // regime where blocking matters most), then the block size at the
+    // winning blocking, normalizing per processed row.
+    let pack_iters = iters_for(rows * hc * max_pack);
+    let matmul_samples: Vec<Sample> = Blocking::ALL
+        .iter()
+        .map(|&blocking| Sample {
+            blocking,
+            nanos: time_median(
+                || {
+                    kernels::matmul_into_blocked_on(
+                        backend, &wh, &hs, max_pack, &mut out, blocking,
+                    )
+                    .expect("tuning operands are well-formed");
+                },
+                pack_iters,
+                5,
+            ),
+        })
+        .collect();
+    let matmul_add_samples: Vec<Sample> = Blocking::ALL
+        .iter()
+        .map(|&blocking| Sample {
+            blocking,
+            nanos: time_median(
+                || {
+                    kernels::matmul_add_into_blocked_on(
+                        backend, &wh, &hs, max_pack, &base, &mut out, blocking,
+                    )
+                    .expect("tuning operands are well-formed");
+                },
+                pack_iters,
+                5,
+            ),
+        })
+        .collect();
+
+    let pick = |samples: &[Sample]| -> Blocking {
+        samples
+            .iter()
+            .min_by(|a, b| a.nanos.partial_cmp(&b.nanos).expect("finite"))
+            .expect("Blocking::ALL is non-empty")
+            .blocking
+    };
+    let matmul = pick(&matmul_samples);
+
+    // Hoist block: time the winning matmul blocking at each candidate
+    // pack, comparing nanoseconds per processed row.
+    let hoist_block = HOIST_BLOCK_CANDIDATES
+        .iter()
+        .copied()
+        .map(|block| {
+            let pack = lanes * block;
+            let nanos = time_median(
+                || {
+                    kernels::matmul_into_blocked_on(
+                        backend,
+                        &wh,
+                        &hs[..hc * pack],
+                        pack,
+                        &mut out[..rows * pack],
+                        matmul,
+                    )
+                    .expect("tuning operands are well-formed");
+                },
+                iters_for(rows * hc * pack),
+                5,
+            );
+            (block, nanos / pack as f64)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("HOIST_BLOCK_CANDIDATES is non-empty")
+        .0;
+
+    GateShapePlan {
+        rows,
+        xc,
+        hc,
+        lanes,
+        backend,
+        dual_matmul: pick(&dual_matmul_samples),
+        matmul,
+        matmul_add: pick(&matmul_add_samples),
+        hoist_block,
+        dual_matmul_samples,
+        matmul_samples,
+        matmul_add_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kernel: TunedKernel) -> ShapeKey {
+        ShapeKey {
+            kernel,
+            rows: 33,
+            xc: 17,
+            hc: 33,
+            lanes: 5,
+            backend: KernelBackend::Scalar,
+        }
+    }
+
+    #[test]
+    fn untuned_lookup_falls_back_to_historical_default() {
+        let k = ShapeKey {
+            rows: 9999,
+            ..key(TunedKernel::Matmul)
+        };
+        assert_eq!(lookup(&k), None);
+        assert_eq!(blocking_for(&k), Blocking::Pair2);
+        let k = ShapeKey {
+            rows: 9999,
+            ..key(TunedKernel::DualMatmul)
+        };
+        assert_eq!(blocking_for(&k), Blocking::Quad4);
+    }
+
+    #[test]
+    fn record_then_lookup_round_trips() {
+        let k = ShapeKey {
+            rows: 4242,
+            ..key(TunedKernel::MatmulAdd)
+        };
+        record(k, Blocking::Plain);
+        assert_eq!(lookup(&k), Some(Blocking::Plain));
+        assert_eq!(blocking_for(&k), Blocking::Plain);
+        record(k, Blocking::Quad4);
+        assert_eq!(lookup(&k), Some(Blocking::Quad4), "replaces prior entry");
+    }
+
+    #[test]
+    fn tune_produces_plan_with_all_candidates_measured() {
+        let plan = tune_gate_shape(16, 8, 16, 4, KernelBackend::Scalar);
+        assert_eq!(plan.dual_matmul_samples.len(), Blocking::ALL.len());
+        assert_eq!(plan.matmul_samples.len(), Blocking::ALL.len());
+        assert_eq!(plan.matmul_add_samples.len(), Blocking::ALL.len());
+        assert!(HOIST_BLOCK_CANDIDATES.contains(&plan.hoist_block));
+        // The chosen blocking is the measured minimum, so speedup vs
+        // the default candidate can never be below 1.
+        assert!(plan.dual_matmul_speedup() >= 1.0);
+        assert!(plan.matmul_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn install_populates_cache_for_all_three_kernels() {
+        let plan = tune_gate_shape(12, 6, 12, 3, KernelBackend::Scalar);
+        plan.install();
+        assert_eq!(
+            lookup(&plan.key(TunedKernel::DualMatmul)),
+            Some(plan.dual_matmul)
+        );
+        assert_eq!(lookup(&plan.key(TunedKernel::Matmul)), Some(plan.matmul));
+        assert_eq!(
+            lookup(&plan.key(TunedKernel::MatmulAdd)),
+            Some(plan.matmul_add)
+        );
+        // Hoisted keys carry the packed lane count.
+        assert_eq!(plan.key(TunedKernel::Matmul).lanes, 3 * plan.hoist_block);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimension_panics() {
+        tune_gate_shape(0, 8, 8, 4, KernelBackend::Scalar);
+    }
+}

@@ -26,6 +26,8 @@
 //! ```
 
 pub mod activation;
+pub mod arena;
+pub mod autotune;
 pub mod backend;
 pub mod error;
 pub mod init;
@@ -36,6 +38,7 @@ pub mod rng;
 pub mod stats;
 pub mod vector;
 
+pub use arena::{ArenaF32, ArenaU64, TensorArena};
 pub use backend::KernelBackend;
 pub use error::TensorError;
 pub use matrix::Matrix;

@@ -1,8 +1,42 @@
 //! Row-major dense `f32` matrix used for gate weight storage.
 
+use crate::arena::{ArenaF32, TensorArena};
 use crate::error::TensorError;
 use crate::vector::{dot, Vector};
 use crate::Result;
+use std::sync::Arc;
+
+/// Backing storage of a matrix: owned heap data or a borrowed window of
+/// a shared model arena.  Arena-backed matrices convert to owned storage
+/// on first mutation (copy-on-write), so the shared arena is never
+/// written through.
+#[derive(Debug, Clone)]
+pub(crate) enum Store {
+    /// Plain owned storage (the default for constructed matrices).
+    Owned(Vec<f32>),
+    /// Borrowed view of a loaded model artifact's arena.
+    Arena(ArenaF32),
+}
+
+impl Store {
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        match self {
+            Store::Owned(v) => v,
+            Store::Arena(a) => a.as_slice(),
+        }
+    }
+
+    /// Copy-on-write access: arena-backed storage is copied out once.
+    pub(crate) fn make_mut(&mut self) -> &mut Vec<f32> {
+        if let Store::Arena(a) = self {
+            *self = Store::Owned(a.as_slice().to_vec());
+        }
+        match self {
+            Store::Owned(v) => v,
+            Store::Arena(_) => unreachable!("converted above"),
+        }
+    }
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -21,11 +55,17 @@ use crate::Result;
 /// let x = Vector::from(vec![3.0, 4.0]);
 /// assert_eq!(m.matvec(&x).unwrap().as_slice(), &[3.0, 4.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Store,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Matrix {
@@ -34,8 +74,40 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Store::Owned(vec![0.0; rows * cols]),
         }
+    }
+
+    /// Creates a matrix whose storage is a borrowed window of a shared
+    /// model arena — no per-tensor allocation or copy.  Mutating methods
+    /// fall back to copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the window is
+    /// misaligned or escapes the arena.
+    pub fn from_arena(
+        arena: Arc<TensorArena>,
+        byte_offset: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self> {
+        let len = rows
+            .checked_mul(cols)
+            .ok_or(TensorError::InvalidParameter {
+                what: "matrix element count overflows",
+            })?;
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Store::Arena(ArenaF32::new(arena, byte_offset, len)?),
+        })
+    }
+
+    /// Returns `true` if the matrix borrows a model arena (used by the
+    /// zero-copy load tests; hot paths never need to ask).
+    pub fn is_arena_backed(&self) -> bool {
+        matches!(self.data, Store::Arena(_))
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
@@ -46,7 +118,11 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Store::Owned(data),
+        }
     }
 
     /// Builds a matrix from a list of equal-length rows.
@@ -75,7 +151,7 @@ impl Matrix {
         Ok(Matrix {
             rows: rows.len(),
             cols,
-            data,
+            data: Store::Owned(data),
         })
     }
 
@@ -90,7 +166,11 @@ impl Matrix {
                 what: "flat buffer length must equal rows * cols",
             });
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Store::Owned(data),
+        })
     }
 
     /// Number of rows.
@@ -105,7 +185,7 @@ impl Matrix {
 
     /// Total number of stored weights (`rows * cols`).
     pub fn element_count(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Borrows row `r` as a slice.
@@ -115,7 +195,7 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrows row `r` as a slice.
@@ -125,7 +205,8 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data.make_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Returns element `(r, c)`.
@@ -135,7 +216,7 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Sets element `(r, c)` to `value`.
@@ -145,17 +226,18 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c] = value;
+        let idx = r * self.cols + c;
+        self.data.make_mut()[idx] = value;
     }
 
     /// Borrows the flat row-major storage.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Iterates over rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        self.data.as_slice().chunks_exact(self.cols.max(1))
     }
 
     /// Matrix-vector product `self * x`.
@@ -208,14 +290,19 @@ impl Matrix {
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data.make_mut() {
             *v = f(*v);
         }
     }
 
     /// Frobenius norm (square root of the sum of squared elements).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.data
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
     }
 }
 

@@ -1,7 +1,10 @@
 //! Owned, dimension-checked `f32` vector.
 
+use crate::arena::TensorArena;
 use crate::error::TensorError;
+use crate::matrix::Store;
 use crate::Result;
+use std::sync::Arc;
 
 /// A dense, owned vector of `f32` values.
 ///
@@ -18,73 +21,109 @@ use crate::Result;
 /// let b = Vector::from(vec![4.0, 5.0, 6.0]);
 /// assert_eq!(a.dot(&b).unwrap(), 32.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone)]
 pub struct Vector {
-    data: Vec<f32>,
+    data: Store,
+}
+
+impl Default for Vector {
+    fn default() -> Self {
+        Vector {
+            data: Store::Owned(Vec::new()),
+        }
+    }
+}
+
+impl PartialEq for Vector {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
 }
 
 impl Vector {
     /// Creates a zero vector of the given length.
     pub fn zeros(len: usize) -> Self {
         Vector {
-            data: vec![0.0; len],
+            data: Store::Owned(vec![0.0; len]),
         }
+    }
+
+    /// Creates a vector whose storage is a borrowed window of a shared
+    /// model arena — no per-tensor allocation or copy.  Mutating methods
+    /// fall back to copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the window is
+    /// misaligned or escapes the arena.
+    pub fn from_arena(arena: Arc<TensorArena>, byte_offset: usize, len: usize) -> Result<Self> {
+        Ok(Vector {
+            data: Store::Arena(crate::arena::ArenaF32::new(arena, byte_offset, len)?),
+        })
+    }
+
+    /// Returns `true` if the vector borrows a model arena.
+    pub fn is_arena_backed(&self) -> bool {
+        matches!(self.data, Store::Arena(_))
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f32) -> Self {
         Vector {
-            data: vec![value; len],
+            data: Store::Owned(vec![value; len]),
         }
     }
 
     /// Builds a vector by evaluating `f` at each index.
     pub fn from_fn(len: usize, f: impl FnMut(usize) -> f32) -> Self {
         Vector {
-            data: (0..len).map(f).collect(),
+            data: Store::Owned((0..len).map(f).collect()),
         }
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     /// Returns `true` if the vector has no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Borrow the underlying slice.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutably borrow the underlying slice.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
     /// Consumes the vector, returning the underlying storage.
     pub fn into_inner(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            Store::Owned(v) => v,
+            Store::Arena(a) => a.as_slice().to_vec(),
+        }
     }
 
     /// Resizes the vector in place, filling any new elements with
     /// `value`.  Used by the allocation-free stepping paths to make a
     /// reused state buffer match a cell's width.
     pub fn resize(&mut self, len: usize, value: f32) {
-        self.data.resize(len, value);
+        self.data.make_mut().resize(len, value);
     }
 
     /// Iterate over elements by value.
     pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
-        self.data.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Returns the element at `i`, or `None` if out of bounds.
     pub fn get(&self, i: usize) -> Option<f32> {
-        self.data.get(i).copied()
+        self.as_slice().get(i).copied()
     }
 
     /// Sets element `i` to `value`.
@@ -93,7 +132,7 @@ impl Vector {
     ///
     /// Panics if `i` is out of bounds.
     pub fn set(&mut self, i: usize, value: f32) {
-        self.data[i] = value;
+        self.data.make_mut()[i] = value;
     }
 
     /// Dot product with another vector.
@@ -102,7 +141,7 @@ impl Vector {
     ///
     /// Returns [`TensorError::LengthMismatch`] if the lengths differ.
     pub fn dot(&self, other: &Vector) -> Result<f32> {
-        dot(&self.data, &other.data)
+        dot(self.as_slice(), other.as_slice())
     }
 
     /// Element-wise addition, returning a new vector.
@@ -138,7 +177,7 @@ impl Vector {
     /// Returns a new vector scaled by `k`.
     pub fn scale(&self, k: f32) -> Vector {
         Vector {
-            data: self.data.iter().map(|v| v * k).collect(),
+            data: Store::Owned(self.as_slice().iter().map(|v| v * k).collect()),
         }
     }
 
@@ -155,7 +194,7 @@ impl Vector {
                 op: "axpy",
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.data.make_mut().iter_mut().zip(other.as_slice()) {
             *a += alpha * b;
         }
         Ok(())
@@ -164,43 +203,43 @@ impl Vector {
     /// Applies `f` to every element, returning a new vector.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Vector {
         Vector {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Store::Owned(self.as_slice().iter().map(|&v| f(v)).collect()),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data.make_mut() {
             *v = f(*v);
         }
     }
 
     /// Euclidean (L2) norm.
     pub fn norm2(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
     /// L1 norm (sum of absolute values).
     pub fn norm1(&self) -> f32 {
-        self.data.iter().map(|v| v.abs()).sum()
+        self.as_slice().iter().map(|v| v.abs()).sum()
     }
 
     /// Maximum absolute value, or 0.0 for an empty vector.
     pub fn norm_inf(&self) -> f32 {
-        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+        self.as_slice().iter().fold(0.0_f32, |m, v| m.max(v.abs()))
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Arithmetic mean, or 0.0 for an empty vector.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
@@ -208,12 +247,13 @@ impl Vector {
     ///
     /// Returns `None` for an empty vector.
     pub fn argmax(&self) -> Option<usize> {
-        if self.data.is_empty() {
+        let data = self.as_slice();
+        if data.is_empty() {
             return None;
         }
         let mut best = 0usize;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > self.data[best] {
+        for (i, &v) in data.iter().enumerate() {
+            if v > data[best] {
                 best = i;
             }
         }
@@ -227,9 +267,11 @@ impl Vector {
     /// inputs before feeding the fuzzy memoization unit.
     pub fn concat(&self, other: &Vector) -> Vector {
         let mut data = Vec::with_capacity(self.len() + other.len());
-        data.extend_from_slice(&self.data);
-        data.extend_from_slice(&other.data);
-        Vector { data }
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(other.as_slice());
+        Vector {
+            data: Store::Owned(data),
+        }
     }
 
     fn zip_with(
@@ -246,26 +288,29 @@ impl Vector {
             });
         }
         Ok(Vector {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Store::Owned(
+                self.as_slice()
+                    .iter()
+                    .zip(other.as_slice())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         })
     }
 }
 
 impl From<Vec<f32>> for Vector {
     fn from(data: Vec<f32>) -> Self {
-        Vector { data }
+        Vector {
+            data: Store::Owned(data),
+        }
     }
 }
 
 impl From<&[f32]> for Vector {
     fn from(data: &[f32]) -> Self {
         Vector {
-            data: data.to_vec(),
+            data: Store::Owned(data.to_vec()),
         }
     }
 }
@@ -273,7 +318,7 @@ impl From<&[f32]> for Vector {
 impl FromIterator<f32> for Vector {
     fn from_iter<T: IntoIterator<Item = f32>>(iter: T) -> Self {
         Vector {
-            data: iter.into_iter().collect(),
+            data: Store::Owned(iter.into_iter().collect()),
         }
     }
 }
@@ -282,13 +327,13 @@ impl std::ops::Index<usize> for Vector {
     type Output = f32;
 
     fn index(&self, index: usize) -> &f32 {
-        &self.data[index]
+        &self.data.as_slice()[index]
     }
 }
 
 impl std::ops::IndexMut<usize> for Vector {
     fn index_mut(&mut self, index: usize) -> &mut f32 {
-        &mut self.data[index]
+        &mut self.data.make_mut()[index]
     }
 }
 

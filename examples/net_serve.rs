@@ -79,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Duration::from_nanos(r.compute_latency_ns),
             );
         }
+        ServerFrame::AdminOk(r) => {
+            println!("{label:<28} id={} ADMIN OK version={}", r.id, r.version);
+        }
         ServerFrame::Reject(r) => {
             println!(
                 "{label:<28} id={} REJECT {:?}: {}",

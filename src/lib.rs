@@ -5,32 +5,46 @@
 //!
 //! It re-exports the workspace crates under a single namespace so
 //! examples, integration tests and downstream users can write
-//! `use nfm::memo::...` without tracking individual crate names:
+//! `use nfm::memo::...` without tracking individual crate names.
 //!
-//! * [`tensor`] — dense linear algebra, activations, statistics.
-//! * [`rnn`] — LSTM/GRU cells, layers and deep networks.
-//! * [`bnn`] — binarized (bitwise) network substrate.
-//! * [`memo`] — the paper's contribution: neuron-level fuzzy memoization.
-//! * [`control`] — online adaptive threshold controller holding an
-//!   accuracy SLO from deterministic audit sampling.
-//! * [`serve`] — the request-oriented serving engine (multi-model
-//!   registry, per-request options, deadlines, unified lane scheduler
-//!   with mid-wave refill, cross-context lane borrowing and worker
-//!   work stealing) and the `MemoizedRunner` workload façade built on
-//!   it.
-//! * [`net`] — the TCP serving surface: length-prefixed wire
-//!   protocol, nonblocking poll-loop server, client.
-//! * [`loadgen`] — closed/open-loop traffic generator with latency
-//!   histograms for the serving surface.
-//! * [`accel`] — the E-PUR accelerator simulator (timing/energy/area).
-//! * [`workloads`] — the four Table 1 RNNs with synthetic data.
-//! * [`eval`] — per-figure/per-table experiment harness.
+//! # Public surface
+//!
+//! Every type has exactly **one canonical path**; the table is the
+//! contract (aliases that predate it are deprecated re-exports, kept
+//! for one release):
+//!
+//! | Path | What lives there |
+//! |---|---|
+//! | [`tensor`] | dense linear algebra, activations, statistics, kernel backends, per-shape autotune cache |
+//! | [`rnn`] | LSTM/GRU cells, layers, deep networks, lane schedulers |
+//! | [`bnn`] | binarized (bitwise) network substrate |
+//! | [`memo`] | the paper's contribution: neuron-level fuzzy memoization (evaluators, configs, the open [`Predictor`](nfm_core::Predictor) abstraction) |
+//! | [`model`] | versioned binary model artifacts: zero-copy aligned save/load, prebuilt BNN mirrors |
+//! | [`control`] | online adaptive threshold controller holding an accuracy SLO |
+//! | [`serve`] | the request-oriented serving engine: multi-model registry, per-request options, deadlines, hot swaps with canary routing, and the `MemoizedRunner` workload façade |
+//! | [`net`] | the TCP serving surface: length-prefixed wire protocol, poll-loop server, client |
+//! | [`loadgen`] | closed/open-loop traffic generator with latency histograms |
+//! | [`accel`] | the E-PUR accelerator simulator (timing/energy/area) |
+//! | [`workloads`] | the four Table 1 RNNs with synthetic data |
+//! | [`eval`] | per-figure/per-table experiment harness |
+//!
+//! Types re-exported by more than one crate resolve as follows:
+//!
+//! * Workload-level running ([`MemoizedRunner`](serve::MemoizedRunner),
+//!   [`InferenceWorkload`](serve::InferenceWorkload),
+//!   [`RunOutcome`](serve::RunOutcome)) is canonical in [`serve`] — the
+//!   runner is a thin wrapper over the request engine.  The `memo::`
+//!   aliases are deprecated.
+//! * The predictor abstraction ([`Predictor`](nfm_core::Predictor) and
+//!   the built-in implementations) is canonical in [`memo`]; [`serve`]
+//!   re-exports it because the engine is where implementations plug in.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use nfm::workloads::{NetworkId, WorkloadBuilder};
-//! use nfm::memo::{BnnMemoConfig, MemoizedRunner};
+//! use nfm::memo::BnnMemoConfig;
+//! use nfm::serve::MemoizedRunner;
 //!
 //! // Build a scaled-down IMDB sentiment workload and run it with the
 //! // BNN-predictor memoization scheme at threshold 0.05.
@@ -51,6 +65,7 @@ pub use nfm_bnn as bnn;
 pub use nfm_control as control;
 pub use nfm_eval as eval;
 pub use nfm_loadgen as loadgen;
+pub use nfm_model as model;
 pub use nfm_net as net;
 pub use nfm_rnn as rnn;
 pub use nfm_serve as serve;
@@ -58,11 +73,20 @@ pub use nfm_tensor as tensor;
 pub use nfm_workloads as workloads;
 
 /// The memoization surface: the `nfm-core` evaluators and the open
-/// [`Predictor`](nfm_core::Predictor) factory abstraction, plus the
-/// workload-level runner API, which now lives in [`serve`] (the runner
-/// is a thin wrapper over the request engine) but is re-exported here
-/// so `nfm::memo::MemoizedRunner` keeps working.
+/// [`Predictor`](nfm_core::Predictor) factory abstraction.
 pub mod memo {
     pub use nfm_core::*;
-    pub use nfm_serve::{InferenceWorkload, MemoizedRunner, RunOutcome};
+
+    #[deprecated(
+        since = "0.1.0",
+        note = "canonical path is `nfm::serve::InferenceWorkload`"
+    )]
+    pub use nfm_serve::InferenceWorkload;
+    #[deprecated(
+        since = "0.1.0",
+        note = "canonical path is `nfm::serve::MemoizedRunner`"
+    )]
+    pub use nfm_serve::MemoizedRunner;
+    #[deprecated(since = "0.1.0", note = "canonical path is `nfm::serve::RunOutcome`")]
+    pub use nfm_serve::RunOutcome;
 }

@@ -9,7 +9,7 @@
 use nfm::control::{AdaptivePredictor, ControllerConfig};
 use nfm::memo::{AuditConfig, BnnMemoConfig, BnnMemoEvaluator};
 use nfm::rnn::{CellKind, DeepRnn, DeepRnnConfig};
-use nfm::serve::{EngineBuilder, InferenceRequest, ModelRegistry, PredictorKind};
+use nfm::serve::{EngineBuilder, InferenceRequest, ModelRegistry, PredictorKind, RequestOptions};
 use nfm::tensor::rng::DeterministicRng;
 use nfm::tensor::Vector;
 use nfm::workloads::{InputDomain, SequenceGenerator};
@@ -47,7 +47,10 @@ fn serve_all(
         .expect("engine builds");
     for (i, seq) in sequences.iter().enumerate() {
         engine
-            .submit(InferenceRequest::new(i as u64, seq.clone()).with_predictor(predictor))
+            .submit(
+                InferenceRequest::new(i as u64, seq.clone())
+                    .with_options(RequestOptions::new().predictor(predictor)),
+            )
             .expect("submit");
     }
     let mut responses = engine.shutdown();
@@ -232,8 +235,8 @@ fn context_stats_reports_every_served_context() {
         let mut request = InferenceRequest::new(i as u64, seq.clone());
         request = match i % 3 {
             0 => request, // default predictor (bnn)
-            1 => request.with_predictor("adaptive"),
-            _ => request.with_threshold(0.25), // per-request θ override
+            1 => request.with_options(RequestOptions::new().predictor("adaptive")),
+            _ => request.with_options(RequestOptions::new().threshold(0.25)), // per-request θ override
         };
         engine.submit(request).expect("submit");
     }

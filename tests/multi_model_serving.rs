@@ -435,7 +435,10 @@ fn threshold_sweeps_survive_context_eviction() {
     for (i, &theta) in thetas.iter().enumerate() {
         let seq = smooth_sequence(5 + i % 4, net.input_size(), 900 + i as u64);
         engine
-            .submit(InferenceRequest::new(i as u64, seq.clone()).with_threshold(theta))
+            .submit(
+                InferenceRequest::new(i as u64, seq.clone())
+                    .with_options(RequestOptions::new().threshold(theta)),
+            )
             .unwrap();
         submitted.push((i as u64, theta, seq));
     }
@@ -477,7 +480,10 @@ fn override_context_cap_is_configurable_and_never_changes_results() {
     for (i, &theta) in thetas.iter().enumerate() {
         let seq = smooth_sequence(4 + i % 3, net.input_size(), 1300 + i as u64);
         engine
-            .submit(InferenceRequest::new(i as u64, seq.clone()).with_threshold(theta))
+            .submit(
+                InferenceRequest::new(i as u64, seq.clone())
+                    .with_options(RequestOptions::new().threshold(theta)),
+            )
             .unwrap();
         submitted.push((i as u64, theta, seq));
     }
@@ -576,7 +582,10 @@ fn evicted_override_contexts_revive_parked_evaluators() {
     let run_theta = |id: u64, theta: f32| {
         let seq = smooth_sequence(6, net.input_size(), 1700 + id);
         engine
-            .submit(InferenceRequest::new(id, seq.clone()).with_threshold(theta))
+            .submit(
+                InferenceRequest::new(id, seq.clone())
+                    .with_options(RequestOptions::new().threshold(theta)),
+            )
             .unwrap();
         let responses = engine.drain();
         assert_eq!(responses.len(), 1);
@@ -647,13 +656,18 @@ fn unknown_ids_and_unsupported_overrides_are_typed_errors() {
     let engine = EngineBuilder::from_registry(registry).build().unwrap();
     let seq = smooth_sequence(4, net.input_size(), 1);
     assert_eq!(
-        engine.submit(InferenceRequest::new(1, seq.clone()).for_model("ghost")),
+        engine.submit(
+            InferenceRequest::new(1, seq.clone()).with_options(RequestOptions::for_model("ghost"))
+        ),
         Err(EngineError::UnknownModel {
             model: "ghost".into()
         })
     );
     assert_eq!(
-        engine.submit(InferenceRequest::new(2, seq.clone()).with_predictor("bnn")),
+        engine.submit(
+            InferenceRequest::new(2, seq.clone())
+                .with_options(RequestOptions::new().predictor("bnn"))
+        ),
         Err(EngineError::UnknownPredictor {
             model: "only".into(),
             predictor: "bnn".into(),
@@ -661,7 +675,10 @@ fn unknown_ids_and_unsupported_overrides_are_typed_errors() {
     );
     // The exact baseline has no threshold to override.
     assert_eq!(
-        engine.submit(InferenceRequest::new(3, seq.clone()).with_threshold(0.5)),
+        engine.submit(
+            InferenceRequest::new(3, seq.clone())
+                .with_options(RequestOptions::new().threshold(0.5))
+        ),
         Err(EngineError::ThresholdUnsupported {
             model: "only".into(),
             predictor: "exact".into(),
@@ -705,7 +722,10 @@ fn priorities_reorder_admission_not_results() {
             net.run(&seq, &mut nfm::rnn::ExactEvaluator::new()).unwrap(),
         );
         engine
-            .submit(InferenceRequest::new(id, seq).with_priority(priority))
+            .submit(
+                InferenceRequest::new(id, seq)
+                    .with_options(RequestOptions::new().priority(priority)),
+            )
             .unwrap();
     }
     // Responses are emitted in completion order; with one single-lane
@@ -908,15 +928,24 @@ fn hot_context_borrows_idle_lanes_from_cold_sibling() {
     let cold_seq = smooth_sequence(10, cold.input_size(), 2200);
     for (i, seq) in hot_seqs.iter().take(2).enumerate() {
         engine
-            .submit(InferenceRequest::new(i as u64, seq.clone()).for_model("hot"))
+            .submit(
+                InferenceRequest::new(i as u64, seq.clone())
+                    .with_options(RequestOptions::for_model("hot")),
+            )
             .unwrap();
     }
     engine
-        .submit(InferenceRequest::new(100, cold_seq.clone()).for_model("cold"))
+        .submit(
+            InferenceRequest::new(100, cold_seq.clone())
+                .with_options(RequestOptions::for_model("cold")),
+        )
         .unwrap();
     for (i, seq) in hot_seqs.iter().enumerate().skip(2) {
         engine
-            .submit(InferenceRequest::new(i as u64, seq.clone()).for_model("hot"))
+            .submit(
+                InferenceRequest::new(i as u64, seq.clone())
+                    .with_options(RequestOptions::for_model("hot")),
+            )
             .unwrap();
     }
     let responses = engine.drain();

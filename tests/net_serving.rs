@@ -113,7 +113,7 @@ fn loopback_responses_bit_identical_to_in_process() {
         client.send(&wire).expect("send");
         let response = match client.recv().expect("recv") {
             ServerFrame::Response(r) => r,
-            ServerFrame::Reject(r) => panic!("request {id} rejected: {}", r.message),
+            other => panic!("request {id} got unexpected frame: {other:?}"),
         };
         assert_eq!(response.id, *id);
         assert_eq!(response.status, CompletionStatus::Done);
@@ -162,7 +162,7 @@ fn deadline_expiry_travels_the_wire() {
             assert_eq!(r.status, CompletionStatus::DeadlineExpired);
             assert!(r.outputs.is_empty(), "DropExpired ships no outputs");
         }
-        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+        other => panic!("unexpected frame: {other:?}"),
     }
     handle.shutdown();
 }
@@ -205,7 +205,7 @@ fn shed_and_overload_paths_over_the_wire() {
     while rejects.len() < 2 {
         match client.recv().expect("recv reject") {
             ServerFrame::Reject(r) => rejects.push(r),
-            ServerFrame::Response(r) => panic!("unexpected response {} before drain", r.id),
+            other => panic!("unexpected frame before drain: {other:?}"),
         }
     }
     rejects.sort_by_key(|r| r.id);
@@ -223,7 +223,7 @@ fn shed_and_overload_paths_over_the_wire() {
                     assert_eq!(r.status, CompletionStatus::Done);
                     done.push(r.id);
                 }
-                Ok(ServerFrame::Reject(r)) => panic!("unexpected reject: {}", r.message),
+                Ok(other) => panic!("unexpected frame: {other:?}"),
                 Err(NetError::Disconnected) => break,
                 Err(e) => panic!("recv failed: {e}"),
             }
@@ -258,7 +258,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
     client.send_raw(&garbage).expect("send garbage");
     match client.recv().expect("recv") {
         ServerFrame::Reject(r) => assert_eq!(r.reason, RejectReason::UnsupportedVersion),
-        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+        other => panic!("unexpected frame: {other:?}"),
     }
 
     // An unknown model: typed reject, connection stays usable.
@@ -270,7 +270,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
             assert_eq!(r.id, 8);
             assert_eq!(r.reason, RejectReason::UnknownModel);
         }
-        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+        other => panic!("unexpected frame: {other:?}"),
     }
 
     // A hostile geometry header — width 0, u32::MAX timesteps — passes
@@ -294,7 +294,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
             assert_eq!(r.id, 11);
             assert_eq!(r.reason, RejectReason::Malformed);
         }
-        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+        other => panic!("unexpected frame: {other:?}"),
     }
 
     // The connection still serves real work after the rejects.
@@ -306,7 +306,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
             assert_eq!(r.id, 9);
             assert_eq!(r.status, CompletionStatus::Done);
         }
-        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+        other => panic!("unexpected frame: {other:?}"),
     }
 
     // An oversized length prefix: typed reject, then the server closes
@@ -316,7 +316,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
         .expect("send oversized prefix");
     match client.recv().expect("recv") {
         ServerFrame::Reject(r) => assert_eq!(r.reason, RejectReason::Oversized),
-        ServerFrame::Response(r) => panic!("unexpected response {}", r.id),
+        other => panic!("unexpected frame: {other:?}"),
     }
     match client.recv() {
         Err(NetError::Disconnected) => {}
@@ -330,7 +330,7 @@ fn malformed_frames_get_typed_rejects_without_desync() {
         .expect("send");
     match fresh.recv().expect("recv") {
         ServerFrame::Response(r) => assert_eq!(r.id, 10),
-        ServerFrame::Reject(r) => panic!("unexpected reject: {}", r.message),
+        other => panic!("unexpected frame: {other:?}"),
     }
     handle.shutdown();
 }
@@ -374,7 +374,7 @@ fn half_close_still_delivers_pending_responses() {
                     assert_eq!(r.status, CompletionStatus::Done);
                     done.push(r.id);
                 }
-                Ok(ServerFrame::Reject(r)) => panic!("unexpected reject: {}", r.message),
+                Ok(other) => panic!("unexpected frame: {other:?}"),
                 Err(NetError::Disconnected) => break,
                 Err(e) => panic!("recv failed: {e}"),
             }
